@@ -1,0 +1,38 @@
+// §2.2 interface-vulnerability campaign: every adversary strategy against
+// every stack profile, classified from ground truth (memory violations,
+// isolation violations, end-to-end integrity, TLS failures). Reproduces the
+// paper's security argument as a table: the dual-boundary design never does
+// worse than degraded service; the unhardened baseline is memory-unsafe.
+
+#include <cstdio>
+
+#include "src/cio/attack_campaign.h"
+
+int main() {
+  cio::CampaignOptions options;
+  options.messages_per_cell = 8;
+  options.message_size = 400;
+  auto cells = cio::RunCampaign(options);
+  std::printf("== attack campaign (%zu cells) ==\n\n%s\n", cells.size(),
+              cio::CampaignTable(cells).c_str());
+
+  // Summary per profile: worst outcome observed.
+  std::printf("worst outcome per profile:\n");
+  for (cio::StackProfile profile : options.profiles) {
+    cio::AttackOutcome worst = cio::AttackOutcome::kBlocked;
+    for (const auto& cell : cells) {
+      if (cell.profile == profile &&
+          static_cast<int>(cell.outcome) < static_cast<int>(worst)) {
+        worst = cell.outcome;
+      }
+    }
+    std::printf("  %-18s %s\n",
+                std::string(StackProfileName(profile)).c_str(),
+                std::string(AttackOutcomeName(worst)).c_str());
+  }
+  std::printf(
+      "\nClaim (Section 3.1): under the ternary model, compromising the I/O\n"
+      "path can at most degrade service or raise observability; reaching\n"
+      "the application now requires a multi-stage attack.\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// §3.3 storage benchmarks: 4 KiB-class operations through the layers of
+// the dual-boundary storage stack — raw hardened block ring, + encryption
+// at rest, + extent FS, + the full ConfidentialStore (compartment boundary
+// and app-side sealing). Sequential and random access, modeled clock.
+
+#include <cstdio>
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/blockio/store.h"
+
+namespace {
+
+struct StorageWorld {
+  ciobase::SimClock clock;
+  ciobase::CostModel costs{&clock};
+  ciotee::TeeMemory memory;
+  cioblock::BlockRingConfig config;
+  std::unique_ptr<ciotee::SharedRegion> shared;
+  std::unique_ptr<cioblock::HostBlockDevice> device;
+  std::unique_ptr<cioblock::RingBlockClient> ring;
+  std::unique_ptr<cioblock::EncryptedBlockClient> crypt;
+
+  StorageWorld() {
+    config.block_count = 2048;
+    shared = std::make_unique<ciotee::SharedRegion>(
+        &memory, config.RegionSize(), "ring");
+    device = std::make_unique<cioblock::HostBlockDevice>(
+        shared.get(), config, nullptr, nullptr, &clock);
+    ring = std::make_unique<cioblock::RingBlockClient>(shared.get(), config,
+                                                       device.get(), &costs);
+    crypt = std::make_unique<cioblock::EncryptedBlockClient>(
+        ring.get(), ciobase::BufferFromString("disk-key-0123456789abcdef"),
+        &costs);
+  }
+};
+
+double OpsPerSec(uint64_t ops, uint64_t modeled_ns) {
+  return modeled_ns == 0 ? 0.0
+                         : 1e9 * static_cast<double>(ops) /
+                               static_cast<double>(modeled_ns);
+}
+
+void BenchClient(const char* name, cioblock::BlockClient* client,
+                 ciobase::SimClock* clock, bool random_access) {
+  ciobase::Rng rng(5);
+  ciobase::Buffer block = rng.Bytes(client->block_size());
+  constexpr int kOps = 300;
+  uint64_t start_ns = clock->now_ns();
+  for (int i = 0; i < kOps; ++i) {
+    uint64_t lba = random_access ? rng.NextBounded(1024)
+                                 : static_cast<uint64_t>(i % 1024);
+    (void)client->WriteBlock(lba, block);
+  }
+  uint64_t write_ns = clock->now_ns() - start_ns;
+  start_ns = clock->now_ns();
+  for (int i = 0; i < kOps; ++i) {
+    uint64_t lba = random_access ? rng.NextBounded(1024)
+                                 : static_cast<uint64_t>(i % 1024);
+    (void)client->ReadBlock(lba);
+  }
+  uint64_t read_ns = clock->now_ns() - start_ns;
+  std::printf("%-22s %6s %14.0f %14.0f\n", name,
+              random_access ? "rand" : "seq", OpsPerSec(kOps, write_ns),
+              OpsPerSec(kOps, read_ns));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== block I/O (4 KiB-class ops, modeled) ==\n");
+  std::printf("%-22s %6s %14s %14s\n", "layer", "access", "write ops/s",
+              "read ops/s");
+  std::printf("%s\n", std::string(60, '-').c_str());
+  for (bool random_access : {false, true}) {
+    {
+      StorageWorld world;
+      BenchClient("raw hardened ring", world.ring.get(), &world.clock,
+                  random_access);
+    }
+    {
+      StorageWorld world;
+      BenchClient("+ encryption at rest", world.crypt.get(), &world.clock,
+                  random_access);
+    }
+  }
+
+  // Full store with compartment boundary and app-side sealing.
+  {
+    ciobase::SimClock clock;
+    ciobase::CostModel costs(&clock);
+    ciotee::TeeMemory memory;
+    ciotee::CompartmentManager compartments(&costs);
+    auto app = compartments.Create("app", 1 << 20);
+    auto storage = compartments.Create("storage", 1 << 20);
+    ciohost::ObservabilityLog observability;
+    cioblock::ConfidentialStore::Options options;
+    options.ring.block_count = 2048;
+    options.disk_key = ciobase::BufferFromString("disk-key-0123456789abcdef");
+    options.value_key = ciobase::BufferFromString("value-key-0123456789abcd");
+    cioblock::ConfidentialStore store(&memory, &compartments, app, storage,
+                                      &costs, nullptr, &observability,
+                                      &clock, options);
+    (void)store.Format();
+    ciobase::Rng rng(6);
+    ciobase::Buffer value = rng.Bytes(3000);
+    constexpr int kOps = 200;
+    uint64_t start_ns = clock.now_ns();
+    for (int i = 0; i < kOps; ++i) {
+      (void)store.Put("obj-" + std::to_string(i % 32), value);
+    }
+    uint64_t put_ns = clock.now_ns() - start_ns;
+    start_ns = clock.now_ns();
+    for (int i = 0; i < kOps; ++i) {
+      (void)store.Get("obj-" + std::to_string(i % 32));
+    }
+    uint64_t get_ns = clock.now_ns() - start_ns;
+    std::printf("%-22s %6s %14.0f %14.0f\n", "full dual-boundary", "3KB",
+                OpsPerSec(kOps, put_ns), OpsPerSec(kOps, get_ns));
+  }
+  std::printf(
+      "\nShape: the hardened ring itself costs one copy per op; encryption\n"
+      "adds the AEAD per block; the full store adds the compartment\n"
+      "crossing and value sealing — the same layering as the network path.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// §3.4: direct device assignment vs the paravirtual designs. DDA replaces
+// interface hardening with link crypto: every frame pays an AEAD, the
+// host sees only ciphertext TLPs, and the device firmware joins the TCB.
+// This bench puts the trade-off next to the paper's dual-boundary design.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/cio/tcb.h"
+
+int main() {
+  using namespace cio;  // NOLINT
+  std::printf("== direct device assignment vs paravirtual (400 x 1 KiB) ==\n");
+  std::printf("%-18s %12s %12s %12s %14s\n", "profile", "Gbit/s(sim)",
+              "aead bytes/op", "appTCB KLoC", "xnet bits/op");
+  std::printf("%s\n", std::string(74, '-').c_str());
+  for (StackProfile profile :
+       {StackProfile::kDualBoundary, StackProfile::kDirectDevice,
+        StackProfile::kPassthroughL2}) {
+    LinkedPair pair(ciobench::MakeNode(profile, 1),
+                    ciobench::MakeNode(profile, 2));
+    if (!pair.Establish()) {
+      std::printf("%-18s establish failed\n",
+                  std::string(StackProfileName(profile)).c_str());
+      continue;
+    }
+    pair.client->observability().Clear();
+    pair.client->costs().ResetCounters();
+    auto result = ciobench::BulkTransfer(pair, 400, 1024);
+    double aead_per_op =
+        pair.client->messages_sent() == 0
+            ? 0
+            : static_cast<double>(
+                  pair.client->costs().counter("bytes_aead")) /
+                  static_cast<double>(pair.client->app_ops());
+    std::printf("%-18s %12.3f %12.0f %12.1f %14.1f\n",
+                std::string(StackProfileName(profile)).c_str(),
+                result.GbitPerSec(), aead_per_op,
+                static_cast<double>(ProfileTcb(profile).AppTcbLines()) /
+                    1000.0,
+                pair.client->observability().BeyondNetworkBitsPerOp(
+                    pair.client->app_ops()));
+  }
+  std::printf(
+      "\nTrade-offs (Section 3.4): DDA needs no interface hardening — the\n"
+      "IDE AEAD turns every host tampering attempt into a detected drop —\n"
+      "but pays link crypto per frame and adds the device (and the full\n"
+      "network stack) to the application's TCB. 'DDA is not a\n"
+      "silver-bullet': paravirtual designs still win on TCB size and on\n"
+      "oversubscription.\n");
+  return 0;
+}

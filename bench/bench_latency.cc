@@ -1,0 +1,37 @@
+// Round-trip latency across stack profiles (64-byte ping-pong, modeled
+// clock). The syscall profile pays two host exits per message in each
+// direction; the dual boundary pays compartment switches instead.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cio;  // NOLINT
+  std::printf("== latency (modeled RTT, 64B ping-pong) ==\n");
+  std::printf("%-18s %12s %14s %14s\n", "profile", "RTT us", "host exits",
+              "cmpt switches");
+  std::printf("%s\n", std::string(62, '-').c_str());
+  for (StackProfile profile : AllStackProfiles()) {
+    LinkedPair pair(ciobench::MakeNode(profile, 1),
+                    ciobench::MakeNode(profile, 2));
+    if (!pair.Establish()) {
+      std::printf("%-18s  establish failed\n",
+                  std::string(StackProfileName(profile)).c_str());
+      continue;
+    }
+    pair.client->costs().ResetCounters();
+    double rtt_ns = ciobench::PingPongRtt(pair, 50);
+    std::printf("%-18s %12.1f %14llu %14llu\n",
+                std::string(StackProfileName(profile)).c_str(),
+                rtt_ns / 1000.0,
+                static_cast<unsigned long long>(
+                    pair.client->costs().counter("host_exits")),
+                static_cast<unsigned long long>(
+                    pair.client->costs().counter("compartment_switches")));
+  }
+  std::printf(
+      "\nNote: RTT includes two fabric traversals (20 us each way by\n"
+      "default); the profile differences on top are the boundary costs.\n");
+  return 0;
+}

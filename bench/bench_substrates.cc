@@ -1,0 +1,152 @@
+// Substrate microbenchmarks (google-benchmark, real wall time): crypto
+// primitives, TLS record protection, TCP bulk transfer through the full
+// stack, virtqueue and hardened-ring primitive operations, and the masking
+// helpers. These are the building blocks whose costs the table benches
+// aggregate.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/base/bits.h"
+#include "src/base/rng.h"
+#include "src/crypto/aead.h"
+#include "src/crypto/sha256.h"
+#include "src/net/fabric.h"
+#include "src/net/stack.h"
+#include "src/tls/session.h"
+
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  ciobase::Rng rng(1);
+  ciobase::Buffer data = rng.Bytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ciocrypto::Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_AeadSeal(benchmark::State& state) {
+  ciobase::Rng rng(2);
+  ciobase::Buffer key = rng.Bytes(ciocrypto::kAeadKeySize);
+  ciobase::Buffer nonce = rng.Bytes(ciocrypto::kAeadNonceSize);
+  ciobase::Buffer data = rng.Bytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ciocrypto::AeadSeal(key, nonce, {}, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_AeadOpen(benchmark::State& state) {
+  ciobase::Rng rng(3);
+  ciobase::Buffer key = rng.Bytes(ciocrypto::kAeadKeySize);
+  ciobase::Buffer nonce = rng.Bytes(ciocrypto::kAeadNonceSize);
+  ciobase::Buffer sealed = ciocrypto::AeadSeal(
+      key, nonce, {}, rng.Bytes(static_cast<size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ciocrypto::AeadOpen(key, nonce, {}, sealed));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadOpen)->Arg(1024)->Arg(16384);
+
+void BM_TlsRecordRoundTrip(benchmark::State& state) {
+  ciobase::Buffer psk = ciobase::BufferFromString("bench-psk-32-bytes......");
+  ciotls::TlsSession client(ciotls::TlsRole::kClient, psk, "b", 1);
+  ciotls::TlsSession server(ciotls::TlsRole::kServer, psk, "b", 2);
+  client.Start();
+  server.Start();
+  for (int i = 0; i < 4; ++i) {
+    (void)server.Feed(client.TakeOutput());
+    (void)client.Feed(server.TakeOutput());
+  }
+  ciobase::Rng rng(4);
+  ciobase::Buffer message = rng.Bytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    (void)client.WriteMessage(message);
+    (void)server.Feed(client.TakeOutput());
+    benchmark::DoNotOptimize(server.ReadMessage());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TlsRecordRoundTrip)->Arg(256)->Arg(4096);
+
+void BM_TcpBulk(benchmark::State& state) {
+  // Full TCP/IP stack over a zero-latency fabric, 64 KiB per iteration.
+  ciobase::SimClock clock;
+  cionet::Fabric fabric(&clock, 5, cionet::Fabric::Options{0, 0, 0, 9216});
+  cionet::DirectFabricPort port_a(&fabric, "a", cionet::MacAddress::FromId(1));
+  cionet::DirectFabricPort port_b(&fabric, "b", cionet::MacAddress::FromId(2));
+  cionet::NetStack::Config config_a;
+  config_a.ip = cionet::Ipv4Address::FromOctets(10, 0, 0, 1);
+  cionet::NetStack::Config config_b;
+  config_b.ip = cionet::Ipv4Address::FromOctets(10, 0, 0, 2);
+  config_b.seed = 2;
+  cionet::NetStack stack_a(&port_a, &clock, config_a);
+  cionet::NetStack stack_b(&port_b, &clock, config_b);
+  auto listener = stack_b.TcpListen(80);
+  auto client = stack_a.TcpConnect(config_b.ip, 80);
+  cionet::SocketId server{};
+  for (int i = 0; i < 100; ++i) {
+    stack_a.Poll();
+    stack_b.Poll();
+    auto accepted = stack_b.TcpAccept(*listener);
+    if (accepted.ok()) {
+      server = *accepted;
+    }
+    clock.Advance(1000);
+  }
+  ciobase::Rng rng(6);
+  ciobase::Buffer chunk = rng.Bytes(65536);
+  uint8_t sink[16384];
+  for (auto _ : state) {
+    size_t sent = 0;
+    size_t received = 0;
+    while (received < chunk.size()) {
+      if (sent < chunk.size()) {
+        auto n = stack_a.TcpSend(
+            *client, ciobase::ByteSpan(chunk.data() + sent,
+                                       chunk.size() - sent));
+        if (n.ok()) {
+          sent += *n;
+        }
+      }
+      stack_a.Poll();
+      stack_b.Poll();
+      auto got = stack_b.TcpReceive(server, sink);
+      if (got.ok()) {
+        received += *got;
+      }
+      clock.Advance(1000);
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * 65536);
+}
+BENCHMARK(BM_TcpBulk);
+
+void BM_MaskIndex(benchmark::State& state) {
+  ciobase::Rng rng(7);
+  uint64_t value = rng.NextU64();
+  for (auto _ : state) {
+    value = value * 6364136223846793005ULL + 1;
+    benchmark::DoNotOptimize(ciobase::MaskIndex(value, 256));
+    benchmark::DoNotOptimize(
+        ciobase::MaskOffset(value, 1 << 20, 1 << 11));
+  }
+}
+BENCHMARK(BM_MaskIndex);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  ciobase::Rng rng(8);
+  ciobase::Buffer data = rng.Bytes(1460);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cionet::InternetChecksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * 1460);
+}
+BENCHMARK(BM_InternetChecksum);
+
+}  // namespace

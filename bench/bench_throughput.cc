@@ -1,0 +1,34 @@
+// End-to-end throughput across stack profiles and message sizes
+// (TCP + TLS, modeled clock). Complements fig5_design_space with the
+// size sweep.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cio;  // NOLINT
+  const size_t kSizes[] = {256, 1400, 4096, 16384};
+  std::printf("== throughput (modeled) ==\n");
+  std::printf("%-18s %8s %12s %12s\n", "profile", "msg size", "msgs/s",
+              "Gbit/s");
+  std::printf("%s\n", std::string(56, '-').c_str());
+  for (StackProfile profile : AllStackProfiles()) {
+    for (size_t size : kSizes) {
+      LinkedPair pair(ciobench::MakeNode(profile, 1),
+                      ciobench::MakeNode(profile, 2));
+      if (!pair.Establish()) {
+        std::printf("%-18s %8zu  establish failed\n",
+                    std::string(StackProfileName(profile)).c_str(), size);
+        continue;
+      }
+      size_t count = size >= 16384 ? 100 : 200;
+      auto result = ciobench::BulkTransfer(pair, count, size);
+      std::printf("%-18s %8zu %12.0f %12.3f%s\n",
+                  std::string(StackProfileName(profile)).c_str(), size,
+                  result.MsgPerSec(), result.GbitPerSec(),
+                  result.ok ? "" : "  (incomplete)");
+    }
+  }
+  return 0;
+}

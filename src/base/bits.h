@@ -1,0 +1,69 @@
+// Power-of-two and masking helpers.
+//
+// The paper's "safe ring buffer & shared data area" principle (§3.2) mandates
+// that all host-influenced indices and offsets be made safe *by construction*
+// via masking against power-of-two sizes, rather than by ad-hoc bounds
+// checks. These helpers are the single implementation of that masking.
+
+#ifndef SRC_BASE_BITS_H_
+#define SRC_BASE_BITS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ciobase {
+
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Smallest power of two >= v (v must be <= 2^63; RoundUpPow2(0) == 1).
+constexpr uint64_t RoundUpPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// Masks an untrusted index into [0, size) where size is a power of two.
+// This is total: no branch, no failure path — the core of the paper's
+// masking discipline (cf. Xen's ring macros [14]).
+constexpr uint64_t MaskIndex(uint64_t untrusted, uint64_t pow2_size) {
+  return untrusted & (pow2_size - 1);
+}
+
+// Masks an untrusted byte offset so that [offset, offset + len) stays within
+// a power-of-two area of `pow2_area` bytes, assuming len <= pow2_chunk and
+// offset is produced in pow2_chunk-aligned units. Returns the clamped offset.
+constexpr uint64_t MaskOffset(uint64_t untrusted, uint64_t pow2_area,
+                              uint64_t pow2_chunk) {
+  // Align down to the chunk, then wrap inside the area.
+  return (untrusted & ~(pow2_chunk - 1)) & (pow2_area - 1);
+}
+
+constexpr uint64_t AlignUp(uint64_t v, uint64_t pow2) {
+  return (v + pow2 - 1) & ~(pow2 - 1);
+}
+
+constexpr uint64_t AlignDown(uint64_t v, uint64_t pow2) {
+  return v & ~(pow2 - 1);
+}
+
+constexpr bool IsAligned(uint64_t v, uint64_t pow2) {
+  return (v & (pow2 - 1)) == 0;
+}
+
+constexpr uint32_t RotL32(uint32_t x, int r) {
+  return (x << r) | (x >> (32 - r));
+}
+
+constexpr uint64_t RotL64(uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+constexpr uint32_t RotR32(uint32_t x, int r) {
+  return (x >> r) | (x << (32 - r));
+}
+
+}  // namespace ciobase
+
+#endif  // SRC_BASE_BITS_H_

@@ -1,0 +1,99 @@
+#include "src/base/bytes.h"
+
+#include <array>
+
+namespace ciobase {
+
+Buffer BufferFromString(std::string_view s) {
+  return Buffer(s.begin(), s.end());
+}
+
+std::string StringFromBytes(ByteSpan bytes) {
+  return std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+std::string HexEncode(ByteSpan bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Buffer HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return {};
+  }
+  Buffer out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return {};
+    }
+    out.push_back(static_cast<uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+std::string HexDump(ByteSpan bytes) {
+  std::string out;
+  std::array<char, 80> line;
+  for (size_t off = 0; off < bytes.size(); off += 16) {
+    size_t n = std::min<size_t>(16, bytes.size() - off);
+    int pos = std::snprintf(line.data(), line.size(), "%08zx  ", off);
+    out.append(line.data(), static_cast<size_t>(pos));
+    for (size_t i = 0; i < 16; ++i) {
+      if (i < n) {
+        pos = std::snprintf(line.data(), line.size(), "%02x ", bytes[off + i]);
+        out.append(line.data(), static_cast<size_t>(pos));
+      } else {
+        out.append("   ");
+      }
+      if (i == 7) {
+        out.push_back(' ');
+      }
+    }
+    out.append(" |");
+    for (size_t i = 0; i < n; ++i) {
+      uint8_t c = bytes[off + i];
+      out.push_back(c >= 0x20 && c < 0x7f ? static_cast<char>(c) : '.');
+    }
+    out.append("|\n");
+  }
+  return out;
+}
+
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  uint8_t diff = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    diff = static_cast<uint8_t>(diff | (a[i] ^ b[i]));
+  }
+  return diff == 0;
+}
+
+}  // namespace ciobase

@@ -1,0 +1,112 @@
+// Byte-buffer utilities shared by every cio library: spans over raw bytes,
+// little/big-endian loads and stores, hex encoding, and a growable Buffer.
+//
+// All wire formats in this codebase (virtqueue descriptors, Ethernet/IP/TCP
+// headers, TLS records, block-ring slots) are serialized through these
+// helpers so that endianness handling lives in exactly one place.
+
+#ifndef SRC_BASE_BYTES_H_
+#define SRC_BASE_BYTES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ciobase {
+
+using ByteSpan = std::span<const uint8_t>;
+using MutableByteSpan = std::span<uint8_t>;
+using Buffer = std::vector<uint8_t>;
+
+// --- Unaligned little-endian accessors -------------------------------------
+
+inline uint16_t LoadLe16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+inline uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+inline uint64_t LoadLe64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadLe32(p)) |
+         static_cast<uint64_t>(LoadLe32(p + 4)) << 32;
+}
+inline void StoreLe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+inline void StoreLe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+inline void StoreLe64(uint8_t* p, uint64_t v) {
+  StoreLe32(p, static_cast<uint32_t>(v));
+  StoreLe32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+// --- Unaligned big-endian (network order) accessors ------------------------
+
+inline uint16_t LoadBe16(const uint8_t* p) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) << 8 | p[1]);
+}
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) << 24 | static_cast<uint32_t>(p[1]) << 16 |
+         static_cast<uint32_t>(p[2]) << 8 | static_cast<uint32_t>(p[3]);
+}
+inline uint64_t LoadBe64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadBe32(p)) << 32 |
+         static_cast<uint64_t>(LoadBe32(p + 4));
+}
+inline void StoreBe16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+inline void StoreBe32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+inline void StoreBe64(uint8_t* p, uint64_t v) {
+  StoreBe32(p, static_cast<uint32_t>(v >> 32));
+  StoreBe32(p + 4, static_cast<uint32_t>(v));
+}
+
+// --- Buffer helpers ---------------------------------------------------------
+
+// Appends `src` to `out`.
+inline void Append(Buffer& out, ByteSpan src) {
+  out.insert(out.end(), src.begin(), src.end());
+}
+
+// Appends a string's bytes to `out`.
+inline void AppendString(Buffer& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// Makes a Buffer from a string literal / string_view (for tests & examples).
+Buffer BufferFromString(std::string_view s);
+
+// Interprets a byte span as a std::string (for tests & examples).
+std::string StringFromBytes(ByteSpan bytes);
+
+// Lowercase hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string HexEncode(ByteSpan bytes);
+
+// Inverse of HexEncode. Returns an empty buffer on malformed input.
+Buffer HexDecode(std::string_view hex);
+
+// Classic offset/hex/ascii dump, 16 bytes per line (debugging aid).
+std::string HexDump(ByteSpan bytes);
+
+// Constant-time byte-span equality (length leak only). Used for MAC checks.
+bool ConstantTimeEqual(ByteSpan a, ByteSpan b);
+
+}  // namespace ciobase
+
+#endif  // SRC_BASE_BYTES_H_

@@ -1,0 +1,7 @@
+#include "src/base/clock.h"
+
+// SimClock and CostModel are header-only today; this translation unit exists
+// so the library has a stable archive member for them and future out-of-line
+// additions.
+
+namespace ciobase {}  // namespace ciobase

@@ -1,0 +1,47 @@
+// Minimal leveled logger. Off by default above kWarn so tests stay quiet;
+// examples turn on kInfo to narrate what the stack is doing.
+
+#ifndef SRC_BASE_LOG_H_
+#define SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace ciobase {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal sink; use the CIO_LOG macro instead.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ciobase
+
+#define CIO_LOG(level)                                          \
+  if (::ciobase::LogLevel::level < ::ciobase::GetLogLevel()) {  \
+  } else                                                        \
+    ::ciobase::LogLine(::ciobase::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // SRC_BASE_LOG_H_

@@ -1,0 +1,94 @@
+#include "src/base/rng.h"
+
+#include "src/base/bits.h"
+
+namespace ciobase {
+
+namespace {
+
+// splitmix64: expands the single seed into the four xoshiro words.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& w : s_) {
+    w = SplitMix64(x);
+  }
+  // Avoid the all-zero state, which xoshiro cannot leave.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    s_[0] = 1;
+  }
+}
+
+uint64_t Rng::NextU64() {
+  uint64_t result = RotL64(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL64(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) % bound
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) {
+  return lo + NextBounded(hi - lo + 1);
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into the mantissa.
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+void Rng::Fill(MutableByteSpan out) {
+  size_t i = 0;
+  while (i + 8 <= out.size()) {
+    StoreLe64(out.data() + i, NextU64());
+    i += 8;
+  }
+  if (i < out.size()) {
+    uint64_t last = NextU64();
+    for (; i < out.size(); ++i) {
+      out[i] = static_cast<uint8_t>(last);
+      last >>= 8;
+    }
+  }
+}
+
+Buffer Rng::Bytes(size_t n) {
+  Buffer out(n);
+  Fill(out);
+  return out;
+}
+
+}  // namespace ciobase

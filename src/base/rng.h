@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Everything in this repository that needs randomness — workload generators,
+// the adversary's strategy choices, TLS nonces in the simulation, fabric
+// loss/reorder — draws from a seeded Rng so that tests and benchmarks are
+// reproducible run to run. This is a simulation substrate, NOT a
+// cryptographically secure generator; the crypto library never uses it for
+// key material outside of tests.
+
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "src/base/bytes.h"
+
+namespace ciobase {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextU64();
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  void Fill(MutableByteSpan out);
+  Buffer Bytes(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ciobase
+
+#endif  // SRC_BASE_RNG_H_

@@ -1,0 +1,225 @@
+#include "src/blockio/block_ring.h"
+
+#include <cassert>
+
+#include "src/base/bits.h"
+
+namespace cioblock {
+
+// Submit slot header: [op u32][len u32][lba u64][pad 16] then payload.
+// Complete slot header: [status u32][len u32][pad 24] then payload.
+
+bool BlockRingConfig::Valid() const {
+  return ciobase::IsPowerOfTwo(block_size) && ciobase::IsPowerOfTwo(ring_slots) &&
+         block_count > 0;
+}
+
+uint64_t BlockRingConfig::RegionSize() const {
+  return BlockLayout(*this).total;
+}
+
+BlockLayout::BlockLayout(const BlockRingConfig& config)
+    : slots(config.ring_slots), slot_size(config.SlotSize()) {
+  submit_ring = 256;
+  complete_ring = submit_ring + slots * slot_size;
+  total = complete_ring + slots * slot_size;
+}
+
+uint64_t BlockLayout::SubmitSlot(uint64_t index) const {
+  return submit_ring + ciobase::MaskIndex(index, slots) * slot_size;
+}
+
+uint64_t BlockLayout::CompleteSlot(uint64_t index) const {
+  return complete_ring + ciobase::MaskIndex(index, slots) * slot_size;
+}
+
+// --- RingBlockClient -------------------------------------------------------------
+
+RingBlockClient::RingBlockClient(ciotee::SharedRegion* region,
+                                 BlockRingConfig config,
+                                 HostBlockDevice* device,
+                                 ciobase::CostModel* costs)
+    : region_(region),
+      config_(config),
+      layout_(config),
+      device_(device),
+      costs_(costs) {
+  assert(config.Valid());
+  assert(region->size() >= layout_.total);
+}
+
+ciobase::Status RingBlockClient::Submit(BlockOp op, uint64_t lba,
+                                        ciobase::ByteSpan data) {
+  if (lba >= config_.block_count) {
+    return ciobase::OutOfRange("lba beyond device");
+  }
+  if (data.size() > config_.block_size) {
+    return ciobase::InvalidArgument("payload exceeds block size");
+  }
+  uint64_t consumed = region_->GuestReadLe64(layout_.SubmitConsumed());
+  if (submit_produced_ - std::min(consumed, submit_produced_) >=
+      layout_.slots) {
+    return ciobase::ResourceExhausted("submit ring full");
+  }
+  uint64_t slot = layout_.SubmitSlot(submit_produced_);
+  uint8_t header[32] = {0};
+  ciobase::StoreLe32(header, static_cast<uint32_t>(op));
+  ciobase::StoreLe32(header + 4, static_cast<uint32_t>(data.size()));
+  ciobase::StoreLe64(header + 8, lba);
+  region_->GuestWrite(slot, header);
+  if (!data.empty()) {
+    costs_->ChargeCopy(data.size());
+    region_->GuestWrite(slot + 32, data);
+  }
+  ++submit_produced_;
+  region_->GuestWriteLe64(layout_.SubmitProduced(), submit_produced_);
+  return ciobase::OkStatus();
+}
+
+ciobase::Result<ciobase::Buffer> RingBlockClient::Reap(uint32_t expected_len) {
+  // Strict FIFO: run the host device until our completion index appears.
+  for (int spins = 0; spins < 1024; ++spins) {
+    costs_->ChargeRingPoll();
+    device_->Poll();
+    uint64_t produced = region_->GuestReadLe64(layout_.CompleteProduced());
+    uint64_t pending = produced - complete_consumed_;
+    if (pending == 0 || pending > (1ULL << 63)) {
+      continue;
+    }
+    uint64_t slot = layout_.CompleteSlot(complete_consumed_);
+    // Single fetch of the whole completion slot.
+    ciobase::Buffer raw(32 + expected_len);
+    costs_->ChargeCopy(raw.size());
+    region_->GuestRead(slot, raw);
+    ++complete_consumed_;
+    region_->GuestWriteLe64(layout_.CompleteConsumed(), complete_consumed_);
+
+    uint32_t status = ciobase::LoadLe32(raw.data());
+    uint32_t len = ciobase::LoadLe32(raw.data() + 4);
+    if (len > expected_len) {
+      ++stats_.clamped_completions;
+      len = expected_len;
+    }
+    if (status != 0) {
+      ++stats_.failed_completions;
+      return ciobase::HostViolation("device reported failure");
+    }
+    return ciobase::Buffer(raw.begin() + 32, raw.begin() + 32 + len);
+  }
+  return ciobase::Unavailable("completion never arrived");
+}
+
+ciobase::Status RingBlockClient::WriteBlock(uint64_t lba,
+                                            ciobase::ByteSpan data) {
+  CIO_RETURN_IF_ERROR(Submit(BlockOp::kWrite, lba, data));
+  ++stats_.writes;
+  auto done = Reap(0);
+  return done.status();
+}
+
+ciobase::Result<ciobase::Buffer> RingBlockClient::ReadBlock(uint64_t lba) {
+  CIO_RETURN_IF_ERROR(Submit(BlockOp::kRead, lba, {}));
+  ++stats_.reads;
+  return Reap(config_.block_size);
+}
+
+ciobase::Status RingBlockClient::Flush() {
+  CIO_RETURN_IF_ERROR(Submit(BlockOp::kFlush, 0, {}));
+  return Reap(0).status();
+}
+
+// --- HostBlockDevice ---------------------------------------------------------------
+
+HostBlockDevice::HostBlockDevice(ciotee::SharedRegion* region,
+                                 BlockRingConfig config,
+                                 ciohost::Adversary* adversary,
+                                 ciohost::ObservabilityLog* observability,
+                                 ciobase::SimClock* clock)
+    : region_(region),
+      config_(config),
+      layout_(config),
+      adversary_(adversary),
+      observability_(observability),
+      clock_(clock),
+      image_(config.block_count) {}
+
+ciobase::ByteSpan HostBlockDevice::RawBlock(uint64_t lba) const {
+  static const ciobase::Buffer kEmpty;
+  if (lba >= image_.size()) {
+    return kEmpty;
+  }
+  return image_[lba];
+}
+
+void HostBlockDevice::Poll() {
+  for (;;) {
+    uint64_t produced = region_->HostReadLe64(layout_.SubmitProduced());
+    if (submit_consumed_ >= produced) {
+      break;
+    }
+    uint64_t slot = layout_.SubmitSlot(submit_consumed_);
+    uint8_t header[32];
+    region_->HostRead(slot, header);
+    uint32_t op = ciobase::LoadLe32(header);
+    uint32_t len = std::min<uint32_t>(ciobase::LoadLe32(header + 4),
+                                      config_.block_size);
+    uint64_t lba = ciobase::LoadLe64(header + 8);
+    ++submit_consumed_;
+    region_->HostWriteLe64(layout_.SubmitConsumed(), submit_consumed_);
+    ++stats_.ops;
+
+    if (observability_ != nullptr) {
+      // The storage access pattern the host inevitably observes [3].
+      observability_->Record(ciohost::ObsCategory::kCallArgs, lba,
+                             "block lba");
+      observability_->Record(ciohost::ObsCategory::kMessageBoundary, len,
+                             "block len");
+      observability_->Record(ciohost::ObsCategory::kPacketTiming,
+                             clock_->now_ns(), "block op");
+    }
+
+    uint32_t status = 0;
+    ciobase::Buffer payload;
+    if (lba >= image_.size() && op != static_cast<uint32_t>(BlockOp::kFlush)) {
+      ++stats_.bad_lba;
+      status = 1;
+    } else if (op == static_cast<uint32_t>(BlockOp::kWrite)) {
+      ciobase::Buffer data(len);
+      region_->HostRead(slot + 32, data);
+      image_[lba] = std::move(data);
+    } else if (op == static_cast<uint32_t>(BlockOp::kRead)) {
+      payload = image_[lba];
+      if (adversary_ != nullptr) {
+        // Corrupt the stored bytes (not the zero padding appended below).
+        adversary_->MaybeCorruptPayload(payload);
+      }
+      payload.resize(config_.block_size, 0);
+    } else if (op == static_cast<uint32_t>(BlockOp::kFlush)) {
+      // Nothing to do for an in-memory image.
+    } else {
+      status = 1;  // unknown op
+    }
+
+    uint64_t complete_slot = layout_.CompleteSlot(complete_produced_);
+    uint8_t complete_header[32] = {0};
+    uint32_t reported_len = static_cast<uint32_t>(payload.size());
+    if (adversary_ != nullptr) {
+      reported_len =
+          adversary_->MutateUsedLen(reported_len, config_.block_size);
+    }
+    ciobase::StoreLe32(complete_header, status);
+    ciobase::StoreLe32(complete_header + 4, reported_len);
+    region_->HostWrite(complete_slot, complete_header);
+    if (!payload.empty()) {
+      region_->HostWrite(complete_slot + 32, payload);
+    }
+    ++complete_produced_;
+    uint64_t published = complete_produced_;
+    if (adversary_ != nullptr) {
+      published = adversary_->MutatePublishedCounter(published);
+    }
+    region_->HostWriteLe64(layout_.CompleteProduced(), published);
+  }
+}
+
+}  // namespace cioblock

@@ -1,0 +1,145 @@
+// Hardened block I/O boundary: the paper's §3.3 ("the first boundary would
+// be at a low-level interface, e.g. disk driver or block layer") built with
+// the same principles as the L2 network transport:
+//
+//   * Stateless, strictly FIFO: submission i completes as completion i.
+//     There are no request ids, no completion reordering, and therefore no
+//     temporal state for the host to confuse.
+//   * Fixed geometry: block size and ring size are launch-time constants;
+//     counters are monotonic u64s; every index is masked.
+//   * Single-fetch completions: the guest reads a completion slot once into
+//     private memory; lengths are clamped to the fixed block size.
+//
+// The host block device stores whatever bytes the guest hands it — the
+// guest encrypts (crypt_client.h), so the device only ever holds
+// ciphertext. What the host *does* see is the access pattern (LBA, size,
+// timing), which is exactly the storage observability the paper points at
+// [3]; the device reports those to the observability log.
+
+#ifndef SRC_BLOCKIO_BLOCK_RING_H_
+#define SRC_BLOCKIO_BLOCK_RING_H_
+
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/hostsim/adversary.h"
+#include "src/hostsim/observability.h"
+#include "src/tee/shared_region.h"
+
+namespace cioblock {
+
+enum class BlockOp : uint32_t { kRead = 1, kWrite = 2, kFlush = 3 };
+
+struct BlockRingConfig {
+  uint32_t block_size = 4096;   // payload bytes per op (power of two)
+  uint32_t ring_slots = 64;     // power of two
+  uint64_t block_count = 4096;  // device capacity in blocks
+
+  bool Valid() const;
+  // Slot = 32-byte header + block payload.
+  uint64_t SlotSize() const { return 32 + block_size; }
+  uint64_t RegionSize() const;
+};
+
+struct BlockLayout {
+  explicit BlockLayout(const BlockRingConfig& config);
+  uint64_t SubmitProduced() const { return 0; }
+  uint64_t SubmitConsumed() const { return 64; }
+  uint64_t CompleteProduced() const { return 128; }
+  uint64_t CompleteConsumed() const { return 192; }
+  uint64_t SubmitSlot(uint64_t index) const;
+  uint64_t CompleteSlot(uint64_t index) const;
+
+  uint64_t slots;
+  uint64_t slot_size;
+  uint64_t submit_ring;
+  uint64_t complete_ring;
+  uint64_t total;
+};
+
+// --- Guest side ----------------------------------------------------------------
+
+class BlockClient {
+ public:
+  virtual ~BlockClient() = default;
+  virtual ciobase::Status WriteBlock(uint64_t lba, ciobase::ByteSpan data) = 0;
+  virtual ciobase::Result<ciobase::Buffer> ReadBlock(uint64_t lba) = 0;
+  virtual ciobase::Status Flush() = 0;
+  virtual uint32_t block_size() const = 0;
+  virtual uint64_t block_count() const = 0;
+};
+
+class HostBlockDevice;
+
+// Synchronous ring client: submit, let the host device run, reap.
+class RingBlockClient final : public BlockClient {
+ public:
+  RingBlockClient(ciotee::SharedRegion* region, BlockRingConfig config,
+                  HostBlockDevice* device, ciobase::CostModel* costs);
+
+  ciobase::Status WriteBlock(uint64_t lba, ciobase::ByteSpan data) override;
+  ciobase::Result<ciobase::Buffer> ReadBlock(uint64_t lba) override;
+  ciobase::Status Flush() override;
+  uint32_t block_size() const override { return config_.block_size; }
+  uint64_t block_count() const override { return config_.block_count; }
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t clamped_completions = 0;
+    uint64_t failed_completions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ciobase::Status Submit(BlockOp op, uint64_t lba, ciobase::ByteSpan data);
+  // Waits (by running the host device) for the next FIFO completion.
+  ciobase::Result<ciobase::Buffer> Reap(uint32_t expected_len);
+
+  ciotee::SharedRegion* region_;
+  BlockRingConfig config_;
+  BlockLayout layout_;
+  HostBlockDevice* device_;
+  ciobase::CostModel* costs_;
+  uint64_t submit_produced_ = 0;
+  uint64_t complete_consumed_ = 0;
+  Stats stats_;
+};
+
+// --- Host side -----------------------------------------------------------------
+
+class HostBlockDevice {
+ public:
+  HostBlockDevice(ciotee::SharedRegion* region, BlockRingConfig config,
+                  ciohost::Adversary* adversary,
+                  ciohost::ObservabilityLog* observability,
+                  ciobase::SimClock* clock);
+
+  // Executes pending submissions, pushes completions.
+  void Poll();
+
+  struct Stats {
+    uint64_t ops = 0;
+    uint64_t bad_lba = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Direct image access for tests: what the host actually stores.
+  ciobase::ByteSpan RawBlock(uint64_t lba) const;
+
+ private:
+  ciotee::SharedRegion* region_;
+  BlockRingConfig config_;
+  BlockLayout layout_;
+  ciohost::Adversary* adversary_;
+  ciohost::ObservabilityLog* observability_;
+  ciobase::SimClock* clock_;
+  std::vector<ciobase::Buffer> image_;
+  uint64_t submit_consumed_ = 0;
+  uint64_t complete_produced_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cioblock
+
+#endif  // SRC_BLOCKIO_BLOCK_RING_H_

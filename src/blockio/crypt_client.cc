@@ -1,0 +1,103 @@
+#include "src/blockio/crypt_client.h"
+
+#include <cstring>
+
+namespace cioblock {
+
+// Stored block layout: [generation u64][sealed_len u32][ciphertext || tag].
+// generation and sealed_len are bound into the AEAD associated data along
+// with the LBA, so the host cannot tamper with them undetected.
+
+EncryptedBlockClient::EncryptedBlockClient(BlockClient* inner,
+                                           ciobase::ByteSpan key,
+                                           ciobase::CostModel* costs)
+    : inner_(inner), key_(key.begin(), key.end()), costs_(costs) {}
+
+ciobase::Buffer EncryptedBlockClient::NonceFor(uint64_t lba,
+                                               uint64_t generation) const {
+  ciobase::Buffer nonce(ciocrypto::kAeadNonceSize, 0);
+  ciobase::StoreLe64(nonce.data(), lba ^ (generation << 1));
+  ciobase::StoreLe32(nonce.data() + 8, static_cast<uint32_t>(generation));
+  return nonce;
+}
+
+ciobase::Status EncryptedBlockClient::WriteBlock(uint64_t lba,
+                                                 ciobase::ByteSpan data) {
+  if (data.size() > block_size()) {
+    return ciobase::InvalidArgument("plaintext exceeds usable block size");
+  }
+  if (costs_ != nullptr) {
+    costs_->ChargeAead(data.size());
+  }
+  uint64_t generation = ++generations_[lba];
+  uint32_t sealed_len =
+      static_cast<uint32_t>(data.size() + ciocrypto::kAeadTagSize);
+  uint8_t aad[20];
+  ciobase::StoreLe64(aad, lba);
+  ciobase::StoreLe64(aad + 8, generation);
+  ciobase::StoreLe32(aad + 16, sealed_len);
+  ciobase::Buffer sealed =
+      ciocrypto::AeadSeal(key_, NonceFor(lba, generation), aad, data);
+  ciobase::Buffer stored(12);
+  ciobase::StoreLe64(stored.data(), generation);
+  ciobase::StoreLe32(stored.data() + 8, sealed_len);
+  ciobase::Append(stored, sealed);
+  return inner_->WriteBlock(lba, stored);
+}
+
+ciobase::Result<ciobase::Buffer> EncryptedBlockClient::ReadBlock(
+    uint64_t lba) {
+  auto stored = inner_->ReadBlock(lba);
+  if (!stored.ok()) {
+    return stored.status();
+  }
+  // Never-written blocks are all-zero images; report them as empty.
+  bool all_zero = true;
+  for (uint8_t b : *stored) {
+    if (b != 0) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) {
+    if (generations_.count(lba) != 0) {
+      return ciobase::Tampered("host erased a written block");
+    }
+    return ciobase::Buffer{};
+  }
+  if (stored->size() < kOverhead) {
+    return ciobase::Tampered("stored block truncated");
+  }
+  uint64_t generation = ciobase::LoadLe64(stored->data());
+  uint32_t sealed_len = ciobase::LoadLe32(stored->data() + 8);
+  auto it = generations_.find(lba);
+  if (it != generations_.end() && generation != it->second) {
+    return ciobase::Tampered("block rollback or replay detected");
+  }
+  if (sealed_len < ciocrypto::kAeadTagSize ||
+      12 + static_cast<size_t>(sealed_len) > stored->size()) {
+    return ciobase::Tampered("stored block length forged");
+  }
+  uint8_t aad[20];
+  ciobase::StoreLe64(aad, lba);
+  ciobase::StoreLe64(aad + 8, generation);
+  ciobase::StoreLe32(aad + 16, sealed_len);
+  if (costs_ != nullptr) {
+    costs_->ChargeAead(sealed_len);
+  }
+  auto opened = ciocrypto::AeadOpen(
+      key_, NonceFor(lba, generation), aad,
+      ciobase::ByteSpan(stored->data() + 12, sealed_len));
+  if (!opened.ok()) {
+    return ciobase::Tampered("block authentication failed");
+  }
+  generations_[lba] = generation;
+  return opened;
+}
+
+uint64_t EncryptedBlockClient::Generation(uint64_t lba) const {
+  auto it = generations_.find(lba);
+  return it == generations_.end() ? 0 : it->second;
+}
+
+}  // namespace cioblock

@@ -1,0 +1,56 @@
+// EncryptedBlockClient: AEAD encryption-at-rest above any BlockClient.
+//
+// The guest holds the disk key; the host block device only ever stores
+// sealed blocks. The AEAD nonce is derived from the LBA and a per-block
+// write generation (stored in the block header), and the LBA is bound into
+// the associated data — so a malicious host can neither forge block
+// contents nor swap blocks around (a relocated block fails authentication),
+// and replaying an *old* version of a block is detectable by callers that
+// track generations (the extent FS checks monotonicity for its metadata).
+
+#ifndef SRC_BLOCKIO_CRYPT_CLIENT_H_
+#define SRC_BLOCKIO_CRYPT_CLIENT_H_
+
+#include <map>
+
+#include "src/blockio/block_ring.h"
+#include "src/crypto/aead.h"
+
+namespace cioblock {
+
+class EncryptedBlockClient final : public BlockClient {
+ public:
+  // Stored block = [generation u64][sealed_len u32][ciphertext || tag].
+  // Usable plaintext per block = inner block_size - kOverhead.
+  static constexpr uint32_t kOverhead = 12 + ciocrypto::kAeadTagSize;
+
+  // `costs` may be null (AEAD work then goes unmodeled; tests only).
+  EncryptedBlockClient(BlockClient* inner, ciobase::ByteSpan key,
+                       ciobase::CostModel* costs = nullptr);
+
+  ciobase::Status WriteBlock(uint64_t lba, ciobase::ByteSpan data) override;
+  // Returns the decrypted plaintext; kTampered if the host corrupted,
+  // forged, or relocated the block. Never-written blocks read as empty.
+  ciobase::Result<ciobase::Buffer> ReadBlock(uint64_t lba) override;
+  ciobase::Status Flush() override { return inner_->Flush(); }
+  uint32_t block_size() const override {
+    return inner_->block_size() - kOverhead;
+  }
+  uint64_t block_count() const override { return inner_->block_count(); }
+
+  // Write generation last observed for `lba` (0 = never seen).
+  uint64_t Generation(uint64_t lba) const;
+
+ private:
+  ciobase::Buffer NonceFor(uint64_t lba, uint64_t generation) const;
+
+  BlockClient* inner_;
+  ciobase::Buffer key_;
+  ciobase::CostModel* costs_;
+  // Guest-private generation tracking (anti-rollback for reads we issue).
+  std::map<uint64_t, uint64_t> generations_;
+};
+
+}  // namespace cioblock
+
+#endif  // SRC_BLOCKIO_CRYPT_CLIENT_H_

@@ -1,0 +1,338 @@
+#include "src/blockio/extent_fs.h"
+
+#include <cstring>
+
+namespace cioblock {
+
+// Inode record (80 bytes):
+//   [used u8][name 31 bytes zero-padded][size u64]
+//   [extents: 4 x {start u32, count u32}]  (= 32 bytes)
+//   [reserved to 80]
+
+ciobase::Status ExtentFs::Format(uint32_t inode_count) {
+  inode_count_ = inode_count;
+  inode_blocks_ = static_cast<uint32_t>(
+      (inode_count + InodesPerBlock() - 1) / InodesPerBlock());
+  if (DataStart() + 8 > client_->block_count()) {
+    return ciobase::InvalidArgument("device too small");
+  }
+  // Superblock.
+  ciobase::Buffer super(16);
+  ciobase::StoreLe32(super.data(), kMagic);
+  ciobase::StoreLe32(super.data() + 4, inode_count_);
+  ciobase::StoreLe32(super.data() + 8, inode_blocks_);
+  CIO_RETURN_IF_ERROR(client_->WriteBlock(0, super));
+  // Empty inode table.
+  ciobase::Buffer zero_block(client_->block_size(), 0);
+  for (uint32_t b = 0; b < inode_blocks_; ++b) {
+    CIO_RETURN_IF_ERROR(client_->WriteBlock(1 + b, zero_block));
+  }
+  inodes_.assign(inode_count_, Inode{});
+  block_used_.assign(client_->block_count() - DataStart(), false);
+  mounted_ = true;
+  return ciobase::OkStatus();
+}
+
+ciobase::Status ExtentFs::Mount() {
+  auto super = client_->ReadBlock(0);
+  if (!super.ok()) {
+    return super.status();
+  }
+  if (super->size() < 16 || ciobase::LoadLe32(super->data()) != kMagic) {
+    return ciobase::FailedPrecondition("no filesystem (bad magic)");
+  }
+  inode_count_ = ciobase::LoadLe32(super->data() + 4);
+  inode_blocks_ = ciobase::LoadLe32(super->data() + 8);
+  if (inode_count_ == 0 || inode_count_ > 4096 ||
+      inode_blocks_ != (inode_count_ + InodesPerBlock() - 1) /
+                           InodesPerBlock()) {
+    return ciobase::Tampered("superblock geometry inconsistent");
+  }
+  CIO_RETURN_IF_ERROR(ReadInodeTable());
+  // Rebuild the allocation bitmap from the inodes.
+  block_used_.assign(client_->block_count() - DataStart(), false);
+  for (const Inode& inode : inodes_) {
+    if (!inode.used) {
+      continue;
+    }
+    for (const Extent& extent : inode.extents) {
+      for (uint32_t i = 0; i < extent.count; ++i) {
+        uint64_t block = extent.start + i;
+        if (block < DataStart() ||
+            block - DataStart() >= block_used_.size()) {
+          return ciobase::Tampered("inode extent outside data area");
+        }
+        block_used_[block - DataStart()] = true;
+      }
+    }
+  }
+  mounted_ = true;
+  return ciobase::OkStatus();
+}
+
+ciobase::Status ExtentFs::ReadInodeTable() {
+  inodes_.assign(inode_count_, Inode{});
+  for (uint32_t b = 0; b < inode_blocks_; ++b) {
+    auto block = client_->ReadBlock(1 + b);
+    if (!block.ok()) {
+      return block.status();
+    }
+    if (block->empty()) {
+      continue;  // never-written table block: all free
+    }
+    size_t per_block = InodesPerBlock();
+    for (size_t i = 0; i < per_block; ++i) {
+      size_t index = b * per_block + i;
+      if (index >= inode_count_) {
+        break;
+      }
+      size_t offset = i * kInodeRecordSize;
+      if (offset + kInodeRecordSize > block->size()) {
+        break;
+      }
+      const uint8_t* p = block->data() + offset;
+      Inode& inode = inodes_[index];
+      inode.used = p[0] != 0;
+      if (!inode.used) {
+        continue;
+      }
+      size_t name_len = 0;
+      while (name_len < kMaxName && p[1 + name_len] != 0) {
+        ++name_len;
+      }
+      inode.name.assign(reinterpret_cast<const char*>(p + 1), name_len);
+      inode.size = ciobase::LoadLe64(p + 32);
+      for (int e = 0; e < kMaxExtents; ++e) {
+        inode.extents[e].start = ciobase::LoadLe32(p + 40 + e * 8);
+        inode.extents[e].count = ciobase::LoadLe32(p + 44 + e * 8);
+      }
+    }
+  }
+  return ciobase::OkStatus();
+}
+
+ciobase::Status ExtentFs::FlushInode(int index) {
+  size_t per_block = InodesPerBlock();
+  uint32_t block_index = 1 + static_cast<uint32_t>(index / per_block);
+  auto block = client_->ReadBlock(block_index);
+  if (!block.ok()) {
+    return block.status();
+  }
+  ciobase::Buffer data = std::move(*block);
+  data.resize(client_->block_size(), 0);
+  size_t offset = (index % per_block) * kInodeRecordSize;
+  uint8_t* p = data.data() + offset;
+  std::memset(p, 0, kInodeRecordSize);
+  const Inode& inode = inodes_[index];
+  p[0] = inode.used ? 1 : 0;
+  std::memcpy(p + 1, inode.name.data(),
+              std::min(inode.name.size(), kMaxName));
+  ciobase::StoreLe64(p + 32, inode.size);
+  for (int e = 0; e < kMaxExtents; ++e) {
+    ciobase::StoreLe32(p + 40 + e * 8, inode.extents[e].start);
+    ciobase::StoreLe32(p + 44 + e * 8, inode.extents[e].count);
+  }
+  return client_->WriteBlock(block_index, data);
+}
+
+int ExtentFs::FindInode(std::string_view name) const {
+  for (size_t i = 0; i < inodes_.size(); ++i) {
+    if (inodes_[i].used && inodes_[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int ExtentFs::FindFreeInode() const {
+  for (size_t i = 0; i < inodes_.size(); ++i) {
+    if (!inodes_[i].used) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+size_t ExtentFs::FreeBlocks() const {
+  size_t free_count = 0;
+  for (bool used : block_used_) {
+    if (!used) {
+      ++free_count;
+    }
+  }
+  return free_count;
+}
+
+ciobase::Result<std::vector<ExtentFs::Extent>> ExtentFs::AllocateExtents(
+    size_t blocks) {
+  std::vector<Extent> extents;
+  size_t remaining = blocks;
+  size_t i = 0;
+  while (remaining > 0 && i < block_used_.size()) {
+    if (block_used_[i]) {
+      ++i;
+      continue;
+    }
+    // Grow a run from i.
+    size_t run = 0;
+    while (i + run < block_used_.size() && !block_used_[i + run] &&
+           run < remaining) {
+      ++run;
+    }
+    if (extents.size() == kMaxExtents) {
+      return ciobase::ResourceExhausted("file too fragmented");
+    }
+    extents.push_back(Extent{static_cast<uint32_t>(DataStart() + i),
+                             static_cast<uint32_t>(run)});
+    for (size_t j = 0; j < run; ++j) {
+      block_used_[i + j] = true;
+    }
+    remaining -= run;
+    i += run;
+  }
+  if (remaining > 0) {
+    // Roll back.
+    for (const Extent& extent : extents) {
+      for (uint32_t j = 0; j < extent.count; ++j) {
+        block_used_[extent.start - DataStart() + j] = false;
+      }
+    }
+    return ciobase::ResourceExhausted("out of space");
+  }
+  return extents;
+}
+
+void ExtentFs::ReleaseExtents(const Inode& inode) {
+  for (const Extent& extent : inode.extents) {
+    for (uint32_t j = 0; j < extent.count; ++j) {
+      uint64_t block = extent.start + j;
+      if (block >= DataStart() &&
+          block - DataStart() < block_used_.size()) {
+        block_used_[block - DataStart()] = false;
+      }
+    }
+  }
+}
+
+ciobase::Status ExtentFs::WriteFile(std::string_view name,
+                                    ciobase::ByteSpan data) {
+  if (!mounted_) {
+    return ciobase::FailedPrecondition("not mounted");
+  }
+  if (name.empty() || name.size() > kMaxName) {
+    return ciobase::InvalidArgument("bad file name");
+  }
+  int index = FindInode(name);
+  bool existed = index >= 0;
+  if (!existed) {
+    index = FindFreeInode();
+    if (index < 0) {
+      return ciobase::ResourceExhausted("out of inodes");
+    }
+  }
+  Inode old = inodes_[index];
+  size_t block_size = client_->block_size();
+  size_t blocks = (data.size() + block_size - 1) / block_size;
+
+  // Free old extents first so rewrites can reuse their own space.
+  if (existed) {
+    ReleaseExtents(old);
+  }
+  auto extents = AllocateExtents(blocks);
+  if (!extents.ok()) {
+    if (existed) {
+      // Restore the old allocation; content unchanged.
+      for (const Extent& extent : old.extents) {
+        for (uint32_t j = 0; j < extent.count; ++j) {
+          block_used_[extent.start - DataStart() + j] = true;
+        }
+      }
+    }
+    return extents.status();
+  }
+
+  Inode& inode = inodes_[index];
+  inode.used = true;
+  inode.name = std::string(name);
+  inode.size = data.size();
+  for (int e = 0; e < kMaxExtents; ++e) {
+    inode.extents[e] = e < static_cast<int>(extents->size())
+                           ? (*extents)[e]
+                           : Extent{};
+  }
+
+  // Data blocks.
+  size_t written = 0;
+  for (const Extent& extent : *extents) {
+    for (uint32_t j = 0; j < extent.count; ++j) {
+      size_t n = std::min(block_size, data.size() - written);
+      CIO_RETURN_IF_ERROR(client_->WriteBlock(
+          extent.start + j, data.subspan(written, n)));
+      written += n;
+    }
+  }
+  return FlushInode(index);
+}
+
+ciobase::Result<ciobase::Buffer> ExtentFs::ReadFile(std::string_view name) {
+  if (!mounted_) {
+    return ciobase::FailedPrecondition("not mounted");
+  }
+  int index = FindInode(name);
+  if (index < 0) {
+    return ciobase::NotFound("no such file");
+  }
+  const Inode& inode = inodes_[index];
+  ciobase::Buffer out;
+  out.reserve(inode.size);
+  for (const Extent& extent : inode.extents) {
+    for (uint32_t j = 0; j < extent.count && out.size() < inode.size; ++j) {
+      auto block = client_->ReadBlock(extent.start + j);
+      if (!block.ok()) {
+        return block.status();
+      }
+      size_t take = std::min<size_t>(client_->block_size(),
+                                     inode.size - out.size());
+      block->resize(std::max(block->size(), take), 0);
+      out.insert(out.end(), block->begin(),
+                 block->begin() + static_cast<long>(take));
+    }
+  }
+  if (out.size() != inode.size) {
+    return ciobase::Tampered("file shorter than inode size");
+  }
+  return out;
+}
+
+ciobase::Status ExtentFs::DeleteFile(std::string_view name) {
+  if (!mounted_) {
+    return ciobase::FailedPrecondition("not mounted");
+  }
+  int index = FindInode(name);
+  if (index < 0) {
+    return ciobase::NotFound("no such file");
+  }
+  ReleaseExtents(inodes_[index]);
+  inodes_[index] = Inode{};
+  return FlushInode(index);
+}
+
+std::vector<std::string> ExtentFs::ListFiles() const {
+  std::vector<std::string> names;
+  for (const Inode& inode : inodes_) {
+    if (inode.used) {
+      names.push_back(inode.name);
+    }
+  }
+  return names;
+}
+
+ciobase::Result<size_t> ExtentFs::FileSize(std::string_view name) const {
+  int index = FindInode(name);
+  if (index < 0) {
+    return ciobase::NotFound("no such file");
+  }
+  return static_cast<size_t>(inodes_[index].size);
+}
+
+}  // namespace cioblock

@@ -1,0 +1,86 @@
+// ExtentFs: a small extent-based filesystem over a BlockClient.
+//
+// This is the high-level half of the §3.3 storage story: it plays the role
+// of the filesystem that would live in the storage compartment, exposing
+// file operations at the upper boundary while the block ring below is the
+// hardened low-level boundary. Deliberately simple but complete: a flat
+// namespace, an inode table with up to four extents per file, a block
+// allocation bitmap, and create/write/read/delete/list operations.
+//
+// On-disk layout (logical blocks of the underlying client):
+//   block 0                  superblock
+//   blocks 1..inode_blocks   inode table (fixed-size inode records)
+//   the rest                 data blocks
+//
+// Write semantics are whole-file (write replaces content), which matches
+// the Put/Get object-store surface the examples build on.
+
+#ifndef SRC_BLOCKIO_EXTENT_FS_H_
+#define SRC_BLOCKIO_EXTENT_FS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/blockio/block_ring.h"
+
+namespace cioblock {
+
+class ExtentFs {
+ public:
+  static constexpr uint32_t kMagic = 0xC10F5AFE;
+  static constexpr size_t kMaxName = 31;
+  static constexpr int kMaxExtents = 4;
+
+  explicit ExtentFs(BlockClient* client) : client_(client) {}
+
+  // Initializes an empty filesystem (destroys existing content).
+  ciobase::Status Format(uint32_t inode_count = 64);
+  // Loads superblock and inode table; validates the magic.
+  ciobase::Status Mount();
+
+  ciobase::Status WriteFile(std::string_view name, ciobase::ByteSpan data);
+  ciobase::Result<ciobase::Buffer> ReadFile(std::string_view name);
+  ciobase::Status DeleteFile(std::string_view name);
+  std::vector<std::string> ListFiles() const;
+  ciobase::Result<size_t> FileSize(std::string_view name) const;
+
+  size_t FreeBlocks() const;
+  bool mounted() const { return mounted_; }
+
+ private:
+  struct Extent {
+    uint32_t start = 0;
+    uint32_t count = 0;
+  };
+  struct Inode {
+    bool used = false;
+    uint64_t size = 0;
+    std::string name;
+    Extent extents[kMaxExtents];
+  };
+
+  static constexpr size_t kInodeRecordSize = 80;
+
+  uint32_t DataStart() const { return 1 + inode_blocks_; }
+  int FindInode(std::string_view name) const;
+  int FindFreeInode() const;
+  ciobase::Status FlushInode(int index);
+  ciobase::Status ReadInodeTable();
+  // Allocates `blocks` data blocks into at most kMaxExtents extents.
+  ciobase::Result<std::vector<Extent>> AllocateExtents(size_t blocks);
+  void ReleaseExtents(const Inode& inode);
+  size_t InodesPerBlock() const {
+    return client_->block_size() / kInodeRecordSize;
+  }
+
+  BlockClient* client_;
+  bool mounted_ = false;
+  uint32_t inode_count_ = 0;
+  uint32_t inode_blocks_ = 0;
+  std::vector<Inode> inodes_;
+  std::vector<bool> block_used_;  // data-block allocation bitmap
+};
+
+}  // namespace cioblock
+
+#endif  // SRC_BLOCKIO_EXTENT_FS_H_

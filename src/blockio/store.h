@@ -1,0 +1,83 @@
+// ConfidentialStore: the full §3.3 dual-boundary storage stack.
+//
+//   app compartment          storage compartment            host
+//   ───────────────          ───────────────────            ────
+//   Put/Get/Delete   ──►     ExtentFs (untrusted      ──►   block device
+//   + AEAD of values  file   by the app)              ring  (ciphertext
+//     before crossing  ops                                   image only)
+//
+// Mirrors the network design one-to-one: the low boundary is the hardened
+// block ring (masked, stateless, FIFO); the high boundary is a
+// single-distrust compartment crossing where the app allocates and seals
+// values before handing them to the filesystem. A compromised filesystem
+// can drop or withhold objects (availability) and observe object names and
+// sizes (observability) but can neither read nor undetectably modify
+// values. Encryption-at-rest below the FS additionally blinds the host.
+
+#ifndef SRC_BLOCKIO_STORE_H_
+#define SRC_BLOCKIO_STORE_H_
+
+#include <memory>
+
+#include "src/blockio/crypt_client.h"
+#include "src/blockio/extent_fs.h"
+#include "src/tee/compartment.h"
+
+namespace cioblock {
+
+class ConfidentialStore {
+ public:
+  struct Options {
+    BlockRingConfig ring;
+    ciobase::Buffer disk_key;   // encryption at rest (below the FS)
+    ciobase::Buffer value_key;  // app-side sealing (above the FS)
+    uint32_t inode_count = 64;
+  };
+
+  // Builds the whole stack: shared region, host device, ring client,
+  // encrypted client, filesystem in the storage compartment.
+  ConfidentialStore(ciotee::TeeMemory* memory,
+                    ciotee::CompartmentManager* compartments,
+                    ciotee::CompartmentId app, ciotee::CompartmentId storage,
+                    ciobase::CostModel* costs,
+                    ciohost::Adversary* adversary,
+                    ciohost::ObservabilityLog* observability,
+                    ciobase::SimClock* clock, Options options);
+
+  ciobase::Status Format();
+
+  ciobase::Status Put(std::string_view name, ciobase::ByteSpan value);
+  // kTampered if the FS/host returned a forged or stale value.
+  ciobase::Result<ciobase::Buffer> Get(std::string_view name);
+  ciobase::Status Delete(std::string_view name);
+  std::vector<std::string> List();
+
+  HostBlockDevice* host_device() { return device_.get(); }
+  ExtentFs* fs() { return fs_.get(); }
+
+  struct Stats {
+    uint64_t puts = 0;
+    uint64_t gets = 0;
+    uint64_t seal_failures = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ciotee::CompartmentManager* compartments_;
+  ciotee::CompartmentId app_;
+  ciotee::CompartmentId storage_;
+  ciobase::CostModel* costs_;
+  Options options_;
+
+  std::unique_ptr<ciotee::SharedRegion> shared_;
+  std::unique_ptr<HostBlockDevice> device_;
+  std::unique_ptr<RingBlockClient> ring_client_;
+  std::unique_ptr<EncryptedBlockClient> crypt_client_;
+  std::unique_ptr<ExtentFs> fs_;
+  uint64_t value_counter_ = 0;  // nonce uniqueness across Puts
+  Stats stats_;
+};
+
+}  // namespace cioblock
+
+#endif  // SRC_BLOCKIO_STORE_H_

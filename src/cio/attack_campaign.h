@@ -1,0 +1,81 @@
+// Attack campaign: runs every adversary strategy against every stack
+// profile and classifies the outcome from ground truth (§2.2's two
+// vulnerability vectors, made measurable).
+//
+// For each (profile, strategy) cell the harness builds a two-node world,
+// arms the adversary against the victim's shared region and host device,
+// pushes application messages both ways, and then inspects:
+//
+//   * the TEE memory model's violation log (out-of-bounds / private-memory
+//     accesses the victim's transport performed under attack),
+//   * the compartment manager's violation log (isolation held or not),
+//   * delivered-vs-sent message payloads (end-to-end integrity),
+//   * TLS authentication failures and link liveness,
+//   * plaintext-payload observability events (confidentiality).
+//
+// Outcome order is worst-first; a cell is classified by the worst evidence
+// found. The paper's claim (§3.1) is that the dual-boundary design turns
+// every cell into kBlocked or, at worst, kDegradedService — attacks on the
+// I/O path can deny service (out of scope) but cannot break memory safety,
+// integrity, or confidentiality of the application.
+
+#ifndef SRC_CIO_ATTACK_CAMPAIGN_H_
+#define SRC_CIO_ATTACK_CAMPAIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cio/engine.h"
+#include "src/hostsim/adversary.h"
+
+namespace cio {
+
+enum class AttackOutcome {
+  kMemoryViolation = 0,     // victim performed unsafe shared-memory access
+  kConfidentialityLeak = 1, // plaintext reached the host
+  kIntegrityBreak = 2,      // app accepted data the peer never sent
+  kDegradedService = 3,     // messages lost / link killed (DoS — out of scope)
+  kBlocked = 4,             // everything delivered correctly
+};
+
+std::string_view AttackOutcomeName(AttackOutcome outcome);
+
+struct CampaignCell {
+  StackProfile profile;
+  ciohost::AttackStrategy strategy;
+  AttackOutcome outcome;
+  // Evidence.
+  uint64_t oob_accesses = 0;
+  uint64_t isolation_violations = 0;
+  uint64_t tls_auth_failures = 0;
+  uint64_t payload_observations = 0;
+  size_t messages_attempted = 0;
+  size_t messages_delivered = 0;
+  size_t messages_corrupted = 0;
+  std::string note;
+};
+
+struct CampaignOptions {
+  size_t messages_per_cell = 20;
+  size_t message_size = 512;
+  uint64_t seed = 1;
+  bool use_tls = true;
+  std::vector<StackProfile> profiles = AllStackProfiles();
+  std::vector<ciohost::AttackStrategy> strategies =
+      ciohost::AllAttackStrategies();
+};
+
+// Runs one cell.
+CampaignCell RunAttackCell(StackProfile profile,
+                           ciohost::AttackStrategy strategy,
+                           const CampaignOptions& options);
+
+// Runs the full matrix.
+std::vector<CampaignCell> RunCampaign(const CampaignOptions& options);
+
+// Formats the matrix as the table bench_attack_resilience prints.
+std::string CampaignTable(const std::vector<CampaignCell>& cells);
+
+}  // namespace cio
+
+#endif  // SRC_CIO_ATTACK_CAMPAIGN_H_

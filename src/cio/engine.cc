@@ -1,0 +1,642 @@
+#include "src/cio/engine.h"
+
+#include <cassert>
+
+#include "src/base/log.h"
+
+namespace cio {
+
+std::string_view StackProfileName(StackProfile profile) {
+  switch (profile) {
+    case StackProfile::kSyscallL5:
+      return "syscall-l5";
+    case StackProfile::kPassthroughL2:
+      return "passthrough-l2";
+    case StackProfile::kHardenedVirtio:
+      return "hardened-virtio";
+    case StackProfile::kDualBoundary:
+      return "dual-boundary";
+    case StackProfile::kDirectDevice:
+      return "direct-device";
+    case StackProfile::kTunneledL2:
+      return "tunneled-l2";
+  }
+  return "?";
+}
+
+std::vector<StackProfile> AllStackProfiles() {
+  return {StackProfile::kSyscallL5, StackProfile::kPassthroughL2,
+          StackProfile::kHardenedVirtio, StackProfile::kDualBoundary,
+          StackProfile::kDirectDevice, StackProfile::kTunneledL2};
+}
+
+ciotee::TrustModel ProfileTrustModel(StackProfile profile) {
+  switch (profile) {
+    case StackProfile::kSyscallL5:
+      // No in-guest stack; app relies on (but does not trust) the host's.
+      return ciotee::TrustModel::Binary();
+    case StackProfile::kPassthroughL2:
+    case StackProfile::kHardenedVirtio:
+      return ciotee::TrustModel::Binary();
+    case StackProfile::kDualBoundary:
+      return ciotee::TrustModel::Ternary();
+    case StackProfile::kDirectDevice:
+      return ciotee::TrustModel::BinaryWithAttestedDevice();
+    case StackProfile::kTunneledL2:
+      return ciotee::TrustModel::Binary();
+  }
+  return ciotee::TrustModel::Binary();
+}
+
+namespace {
+
+// Wraps the syscall profile's host-side port: the host kernel runs this TCP
+// stack itself, so on top of the syscall metadata it also sees every frame
+// (a syscall-level design leaks a superset of what a network observer gets).
+class ObservedPort final : public cionet::FramePort {
+ public:
+  ObservedPort(std::unique_ptr<cionet::DirectFabricPort> inner,
+               ciohost::ObservabilityLog* observability,
+               ciobase::SimClock* clock)
+      : inner_(std::move(inner)),
+        observability_(observability),
+        clock_(clock) {}
+
+  ciobase::Status SendFrame(ciobase::ByteSpan frame) override {
+    observability_->Record(ciohost::ObsCategory::kPacketLength, frame.size(),
+                           "host-stack tx");
+    observability_->Record(ciohost::ObsCategory::kPacketTiming,
+                           clock_->now_ns(), "host-stack tx");
+    return inner_->SendFrame(frame);
+  }
+  ciobase::Result<ciobase::Buffer> ReceiveFrame() override {
+    auto frame = inner_->ReceiveFrame();
+    if (frame.ok()) {
+      observability_->Record(ciohost::ObsCategory::kPacketLength,
+                             frame->size(), "host-stack rx");
+      observability_->Record(ciohost::ObsCategory::kPacketTiming,
+                             clock_->now_ns(), "host-stack rx");
+    }
+    return frame;
+  }
+  cionet::MacAddress mac() const override { return inner_->mac(); }
+  uint16_t mtu() const override { return inner_->mtu(); }
+
+ private:
+  std::unique_ptr<cionet::DirectFabricPort> inner_;
+  ciohost::ObservabilityLog* observability_;
+  ciobase::SimClock* clock_;
+};
+
+}  // namespace
+
+// --- Byte-stream plumbing ------------------------------------------------------
+
+struct ConfidentialNode::SocketOps {
+  virtual ~SocketOps() = default;
+  virtual ciobase::Result<cionet::SocketId> Connect(cionet::Ipv4Address ip,
+                                                    uint16_t port) = 0;
+  virtual ciobase::Result<cionet::SocketId> Listen(uint16_t port) = 0;
+  virtual ciobase::Result<cionet::SocketId> Accept(
+      cionet::SocketId listener) = 0;
+  virtual ciobase::Result<cionet::TcpState> State(cionet::SocketId id) = 0;
+  // Returns bytes accepted (possibly 0 under backpressure).
+  virtual ciobase::Result<size_t> SendBytes(cionet::SocketId id,
+                                            ciobase::ByteSpan data) = 0;
+  // Returns the next chunk; empty when nothing is pending.
+  virtual ciobase::Result<ciobase::Buffer> ReceiveBytes(cionet::SocketId id,
+                                                        size_t max) = 0;
+  virtual void Poll() = 0;
+};
+
+// Syscall-level I/O (Graphene/SCONE style): the socket lives in the HOST
+// network stack; every data-carrying operation is a host exit with a
+// boundary copy, and its type, arguments, and exact size are host-visible.
+struct ConfidentialNode::SyscallOps final : ConfidentialNode::SocketOps {
+  ConfidentialNode* node;
+  explicit SyscallOps(ConfidentialNode* n) : node(n) {}
+
+  void RecordCall(const char* name, uint64_t arg) {
+    node->observability_.Record(ciohost::ObsCategory::kCallType, 0, name);
+    node->observability_.Record(ciohost::ObsCategory::kCallArgs, arg, name);
+  }
+
+  ciobase::Result<cionet::SocketId> Connect(cionet::Ipv4Address ip,
+                                            uint16_t port) override {
+    node->costs_.ChargeHostExit();
+    RecordCall("connect", (static_cast<uint64_t>(ip.value) << 16) | port);
+    return node->host_stack_->TcpConnect(ip, port);
+  }
+  ciobase::Result<cionet::SocketId> Listen(uint16_t port) override {
+    node->costs_.ChargeHostExit();
+    RecordCall("listen", port);
+    return node->host_stack_->TcpListen(port);
+  }
+  ciobase::Result<cionet::SocketId> Accept(cionet::SocketId id) override {
+    auto result = node->host_stack_->TcpAccept(id);
+    if (result.ok()) {
+      // The accept timing itself is a host-visible event [3].
+      node->costs_.ChargeHostExit();
+      RecordCall("accept", node->clock_->now_ns());
+    }
+    return result;
+  }
+  ciobase::Result<cionet::TcpState> State(cionet::SocketId id) override {
+    return node->host_stack_->GetTcpState(id);
+  }
+  ciobase::Result<size_t> SendBytes(cionet::SocketId id,
+                                    ciobase::ByteSpan data) override {
+    node->costs_.ChargeHostExit();
+    node->costs_.ChargeCopy(data.size());  // guest -> host buffer
+    node->observability_.Record(ciohost::ObsCategory::kCallType, 1, "send");
+    node->observability_.Record(ciohost::ObsCategory::kMessageBoundary,
+                                data.size(), "send size");
+    if (!node->options_.use_tls && !data.empty()) {
+      node->observability_.Record(ciohost::ObsCategory::kPayload,
+                                  data.size(), "plaintext visible to host");
+    }
+    return node->host_stack_->TcpSend(id, data);
+  }
+  ciobase::Result<ciobase::Buffer> ReceiveBytes(cionet::SocketId id,
+                                                size_t max) override {
+    ciobase::Buffer buffer(max);
+    auto got = node->host_stack_->TcpReceive(id, buffer);
+    if (!got.ok()) {
+      if (got.status().code() == ciobase::StatusCode::kUnavailable) {
+        return ciobase::Buffer{};
+      }
+      return got.status();
+    }
+    if (*got > 0) {
+      node->costs_.ChargeHostExit();
+      node->costs_.ChargeCopy(*got);  // host buffer -> guest
+      node->observability_.Record(ciohost::ObsCategory::kCallType, 2, "recv");
+      node->observability_.Record(ciohost::ObsCategory::kMessageBoundary,
+                                  *got, "recv size");
+      if (!node->options_.use_tls) {
+        node->observability_.Record(ciohost::ObsCategory::kPayload, *got,
+                                    "plaintext visible to host");
+      }
+    }
+    buffer.resize(*got);
+    return buffer;
+  }
+  void Poll() override { node->host_stack_->Poll(); }
+};
+
+// Guest-owned stack over some FramePort (passthrough / hardened virtio):
+// a single trust domain containing app + TLS + stack + driver.
+struct ConfidentialNode::GuestStackOps final : ConfidentialNode::SocketOps {
+  ConfidentialNode* node;
+  explicit GuestStackOps(ConfidentialNode* n) : node(n) {}
+
+  ciobase::Result<cionet::SocketId> Connect(cionet::Ipv4Address ip,
+                                            uint16_t port) override {
+    return node->guest_stack_->TcpConnect(ip, port);
+  }
+  ciobase::Result<cionet::SocketId> Listen(uint16_t port) override {
+    return node->guest_stack_->TcpListen(port);
+  }
+  ciobase::Result<cionet::SocketId> Accept(cionet::SocketId id) override {
+    return node->guest_stack_->TcpAccept(id);
+  }
+  ciobase::Result<cionet::TcpState> State(cionet::SocketId id) override {
+    return node->guest_stack_->GetTcpState(id);
+  }
+  ciobase::Result<size_t> SendBytes(cionet::SocketId id,
+                                    ciobase::ByteSpan data) override {
+    return node->guest_stack_->TcpSend(id, data);
+  }
+  ciobase::Result<ciobase::Buffer> ReceiveBytes(cionet::SocketId id,
+                                                size_t max) override {
+    ciobase::Buffer buffer(max);
+    auto got = node->guest_stack_->TcpReceive(id, buffer);
+    if (!got.ok()) {
+      if (got.status().code() == ciobase::StatusCode::kUnavailable) {
+        return ciobase::Buffer{};
+      }
+      return got.status();
+    }
+    buffer.resize(*got);
+    return buffer;
+  }
+  void PollDevice() {
+    if (node->virtio_device_ != nullptr) {
+      node->virtio_device_->Poll();
+    }
+    if (node->dda_device_ != nullptr) {
+      node->dda_device_->Poll();
+    }
+  }
+  void Poll() override {
+    // Device before AND after the stack: the host backend runs concurrently
+    // with the guest in reality, so frames the stack emits this round must
+    // not be stranded in the ring until the next simulation round.
+    PollDevice();
+    node->guest_stack_->Poll();
+    PollDevice();
+  }
+};
+
+// Dual-boundary: the stack lives in the I/O compartment; all socket calls
+// cross the L5 channel.
+struct ConfidentialNode::DualBoundaryOps final : ConfidentialNode::SocketOps {
+  ConfidentialNode* node;
+  explicit DualBoundaryOps(ConfidentialNode* n) : node(n) {}
+
+  ciobase::Result<cionet::SocketId> Connect(cionet::Ipv4Address ip,
+                                            uint16_t port) override {
+    return node->l5_->Connect(ip, port);
+  }
+  ciobase::Result<cionet::SocketId> Listen(uint16_t port) override {
+    return node->l5_->Listen(port);
+  }
+  ciobase::Result<cionet::SocketId> Accept(cionet::SocketId id) override {
+    return node->l5_->Accept(id);
+  }
+  ciobase::Result<cionet::TcpState> State(cionet::SocketId id) override {
+    return node->l5_->State(id);
+  }
+  ciobase::Result<size_t> SendBytes(cionet::SocketId id,
+                                    ciobase::ByteSpan data) override {
+    return node->l5_->Send(id, data);
+  }
+  ciobase::Result<ciobase::Buffer> ReceiveBytes(cionet::SocketId id,
+                                                size_t max) override {
+    return node->l5_->Receive(id, max);
+  }
+  void Poll() override {
+    node->l2_device_->Poll();
+    node->l5_->Poll();
+    node->l2_device_->Poll();  // see GuestStackOps::Poll
+  }
+};
+
+// --- ConfidentialNode ------------------------------------------------------------
+
+ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
+                                   ciobase::SimClock* clock,
+                                   NodeOptions options)
+    : options_(std::move(options)),
+      ip_(cionet::Ipv4Address::FromOctets(
+          10, 0, 0, static_cast<uint8_t>(options_.node_id))),
+      clock_(clock),
+      costs_(clock),
+      adversary_(options_.seed ^ 0xadu) {
+  cionet::MacAddress mac = cionet::MacAddress::FromId(options_.node_id);
+  std::string name = "node-" + std::to_string(options_.node_id);
+  cionet::NetStack::Config stack_config;
+  stack_config.ip = ip_;
+  stack_config.seed = options_.seed;
+
+  switch (options_.profile) {
+    case StackProfile::kSyscallL5: {
+      host_port_ = std::make_unique<ObservedPort>(
+          std::make_unique<cionet::DirectFabricPort>(fabric, name, mac),
+          &observability_, clock);
+      host_stack_ = std::make_unique<cionet::NetStack>(host_port_.get(),
+                                                       clock, stack_config);
+      ops_ = std::make_unique<SyscallOps>(this);
+      break;
+    }
+    case StackProfile::kPassthroughL2:
+    case StackProfile::kHardenedVirtio:
+    case StackProfile::kTunneledL2: {
+      auto layout = ciovirtio::VirtioNetLayout::Make(128, 2048, 256);
+      shared_ = std::make_unique<ciotee::SharedRegion>(
+          &memory_, layout.TotalSize(), name + "-virtio");
+      virtio_device_ = std::make_unique<ciovirtio::VirtioNetDevice>(
+          shared_.get(), layout, fabric, name, mac, 1500,
+          ciovirtio::kFeatureMac | ciovirtio::kFeatureMtu |
+              ciovirtio::kFeatureCsum | ciovirtio::kFeatureVersion1 |
+              ciovirtio::kFeatureIndirectDesc,
+          &adversary_, &observability_, clock);
+      ciovirtio::HardeningOptions hardening =
+          options_.profile == StackProfile::kHardenedVirtio
+              ? ciovirtio::HardeningOptions::Full()
+              : ciovirtio::HardeningOptions::Passthrough();
+      virtio_driver_ = std::make_unique<ciovirtio::VirtioNetDriver>(
+          shared_.get(), layout, virtio_device_.get(), &costs_, hardening,
+          &observability_);
+      if (!virtio_driver_->Negotiate().ok()) {
+        failed_ = true;
+        break;
+      }
+      if (options_.profile == StackProfile::kTunneledL2) {
+        // LightBox-style: the tunnel wraps the raw port; one endpoint of a
+        // pair must be the initiator (odd node ids initiate).
+        tunnel_port_ = std::make_unique<TunnelPort>(
+            virtio_driver_.get(),
+            ciobase::BufferFromString("tunnel-gateway-psk-32-bytes....."),
+            options_.node_id % 2 == 1, &costs_);
+        guest_stack_ = std::make_unique<cionet::NetStack>(tunnel_port_.get(),
+                                                          clock,
+                                                          stack_config);
+      } else {
+        guest_stack_ = std::make_unique<cionet::NetStack>(
+            virtio_driver_.get(), clock, stack_config);
+      }
+      ops_ = std::make_unique<GuestStackOps>(this);
+      break;
+    }
+    case StackProfile::kDirectDevice: {
+      // §3.4: SPDM-attested device with an IDE-protected link. The
+      // provisioning secret stands in for the SPDM key exchange; it is
+      // bound to the expected device measurement by the verifier check.
+      static constexpr char kPlatformKey[] = "pcie-cert-chain-root";
+      static constexpr char kProvisioning[] = "spdm-session-secret";
+      DdaConfig config;
+      config.mac = mac;
+      DdaLayout layout(config);
+      shared_ = std::make_unique<ciotee::SharedRegion>(&memory_, layout.total,
+                                                       name + "-dda");
+      device_authority_ = std::make_unique<ciotee::AttestationAuthority>(
+          ciobase::BufferFromString(kPlatformKey));
+      dda_device_ = std::make_unique<DdaDevice>(
+          shared_.get(), config, fabric, name, device_authority_.get(),
+          ciobase::BufferFromString(kProvisioning), &adversary_,
+          &observability_, clock);
+      dda_transport_ = std::make_unique<DdaTransport>(
+          shared_.get(), config, dda_device_.get(), &costs_,
+          device_authority_.get(), options_.seed ^ 0x5bd);
+      if (!dda_transport_->Attest(ciobase::BufferFromString(kProvisioning))
+               .ok()) {
+        failed_ = true;
+        break;
+      }
+      guest_stack_ = std::make_unique<cionet::NetStack>(dda_transport_.get(),
+                                                        clock, stack_config);
+      ops_ = std::make_unique<GuestStackOps>(this);
+      break;
+    }
+    case StackProfile::kDualBoundary: {
+      L2Config config;
+      config.mac = mac;
+      config.mtu = 1500;
+      config.ring_slots = 256;
+      config.slot_size = 2048;
+      config.positioning = options_.l2_positioning;
+      config.rx_ownership = options_.l2_rx_ownership;
+      config.polling = options_.l2_polling;
+      L2Layout layout(config);
+      shared_ = std::make_unique<ciotee::SharedRegion>(&memory_, layout.total,
+                                                       name + "-l2");
+      l2_device_ = std::make_unique<L2HostDevice>(shared_.get(), config,
+                                                  fabric, name, &adversary_,
+                                                  &observability_, clock);
+      l2_transport_ = std::make_unique<L2Transport>(
+          shared_.get(), config, &costs_,
+          config.polling ? nullptr : l2_device_.get());
+      guest_stack_ = std::make_unique<cionet::NetStack>(l2_transport_.get(),
+                                                        clock, stack_config);
+      compartments_ = std::make_unique<ciotee::CompartmentManager>(&costs_);
+      app_compartment_ = compartments_->Create("app", 4 << 20);
+      io_compartment_ = compartments_->Create("io-stack", 4 << 20);
+      // Single distrust: the app may reach into the I/O heap; the I/O
+      // stack gets NO grant into app memory (ternary model, §3.1).
+      compartments_->GrantAccess(app_compartment_, io_compartment_);
+      l5_ = std::make_unique<L5Channel>(
+          compartments_.get(), app_compartment_, io_compartment_,
+          guest_stack_.get(), &costs_, options_.l5_receive,
+          options_.l5_boundary);
+      ops_ = std::make_unique<DualBoundaryOps>(this);
+      break;
+    }
+  }
+}
+
+ConfidentialNode::~ConfidentialNode() = default;
+
+ciobase::Status ConfidentialNode::Listen(uint16_t port) {
+  if (failed_ || ops_ == nullptr) {
+    return ciobase::FailedPrecondition("node failed to initialize");
+  }
+  auto listener = ops_->Listen(port);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = *listener;
+  listening_ = true;
+  listen_port_ = port;
+  return ciobase::OkStatus();
+}
+
+ciobase::Status ConfidentialNode::Connect(cionet::Ipv4Address peer,
+                                          uint16_t port) {
+  if (failed_ || ops_ == nullptr) {
+    return ciobase::FailedPrecondition("node failed to initialize");
+  }
+  auto socket = ops_->Connect(peer, port);
+  if (!socket.ok()) {
+    return socket.status();
+  }
+  socket_ = *socket;
+  have_socket_ = true;
+  if (options_.use_tls) {
+    tls_ = std::make_unique<ciotls::TlsSession>(
+        ciotls::TlsRole::kClient, options_.psk, "cio-link", options_.seed);
+    tls_->Start();
+  }
+  return ciobase::OkStatus();
+}
+
+bool ConfidentialNode::Ready() const {
+  if (failed_ || !have_socket_ || !connected_transport_) {
+    return false;
+  }
+  if (options_.use_tls) {
+    return tls_ != nullptr && tls_->established();
+  }
+  return true;
+}
+
+bool ConfidentialNode::Failed() const {
+  return failed_ || (tls_ != nullptr && tls_->failed());
+}
+
+void ConfidentialNode::PumpTls() {
+  if (tls_ == nullptr) {
+    return;
+  }
+  ciobase::Buffer out = tls_->TakeOutput();
+  ciobase::Append(tls_outbox_, out);
+}
+
+void ConfidentialNode::PumpBytes() {
+  if (!have_socket_) {
+    return;
+  }
+  // Flush pending protected bytes into the transport, as far as it allows.
+  while (!tls_outbox_.empty()) {
+    auto sent = ops_->SendBytes(socket_, tls_outbox_);
+    if (!sent.ok() || *sent == 0) {
+      break;
+    }
+    tls_outbox_.erase(tls_outbox_.begin(),
+                      tls_outbox_.begin() + static_cast<long>(*sent));
+  }
+  // Drain inbound bytes.
+  for (;;) {
+    auto chunk = ops_->ReceiveBytes(socket_, 16384);
+    if (!chunk.ok()) {
+      if (chunk.status().code() !=
+          ciobase::StatusCode::kFailedPrecondition) {
+        failed_ = true;
+      }
+      break;
+    }
+    if (chunk->empty()) {
+      break;
+    }
+    if (options_.use_tls) {
+      if (!tls_->Feed(*chunk).ok()) {
+        failed_ = true;
+        break;
+      }
+      PumpTls();  // the handshake may have produced a reply flight
+    } else {
+      ciobase::Append(plain_rx_, *chunk);
+    }
+  }
+  // TLS delivers record-sized chunks; drain them into the framing buffer.
+  if (options_.use_tls && tls_ != nullptr) {
+    for (;;) {
+      auto chunk = tls_->ReadMessage();
+      if (!chunk.ok()) {
+        break;
+      }
+      ciobase::Append(plain_rx_, *chunk);
+    }
+  }
+  // Reassemble length-framed application messages (both modes frame the
+  // stream identically; TLS just protects the framed bytes).
+  while (plain_rx_.size() >= 4) {
+    uint32_t len = ciobase::LoadLe32(plain_rx_.data());
+    if (len > (1u << 24)) {
+      failed_ = true;  // hostile framing
+      break;
+    }
+    if (plain_rx_.size() < 4 + len) {
+      break;
+    }
+    plain_inbox_.emplace_back(plain_rx_.begin() + 4,
+                              plain_rx_.begin() + 4 + len);
+    plain_rx_.erase(plain_rx_.begin(),
+                    plain_rx_.begin() + 4 + len);
+  }
+}
+
+void ConfidentialNode::Poll() {
+  if (ops_ == nullptr) {
+    return;
+  }
+  ops_->Poll();
+  // Server: adopt the first pending connection.
+  if (listening_ && !have_socket_) {
+    auto accepted = ops_->Accept(listener_);
+    if (accepted.ok()) {
+      socket_ = *accepted;
+      have_socket_ = true;
+      connected_transport_ = true;
+      if (options_.use_tls) {
+        tls_ = std::make_unique<ciotls::TlsSession>(
+            ciotls::TlsRole::kServer, options_.psk, "cio-link",
+            options_.seed + 1);
+        tls_->Start();
+      }
+    }
+  }
+  // Client: detect transport establishment.
+  if (have_socket_ && !connected_transport_) {
+    auto state = ops_->State(socket_);
+    if (state.ok() && *state == cionet::TcpState::kEstablished) {
+      connected_transport_ = true;
+    }
+    if (state.ok() && *state == cionet::TcpState::kClosed) {
+      failed_ = true;
+    }
+  }
+  PumpTls();
+  PumpBytes();
+  PumpTls();
+}
+
+ciobase::Status ConfidentialNode::SendMessage(ciobase::ByteSpan message) {
+  if (!Ready()) {
+    return ciobase::FailedPrecondition("link not ready");
+  }
+  ciobase::Buffer framed;
+  framed.resize(4);
+  ciobase::StoreLe32(framed.data(), static_cast<uint32_t>(message.size()));
+  ciobase::Append(framed, message);
+  if (options_.use_tls) {
+    CIO_RETURN_IF_ERROR(tls_->WriteMessage(framed));
+    PumpTls();
+  } else {
+    ciobase::Append(tls_outbox_, framed);
+  }
+  ++messages_sent_;
+  PumpBytes();
+  return ciobase::OkStatus();
+}
+
+ciobase::Result<ciobase::Buffer> ConfidentialNode::ReceiveMessage() {
+  if (options_.use_tls && tls_ == nullptr) {
+    return ciobase::FailedPrecondition("no session");
+  }
+  if (plain_inbox_.empty()) {
+    return ciobase::Unavailable("no message");
+  }
+  ciobase::Buffer message = std::move(plain_inbox_.front());
+  plain_inbox_.pop_front();
+  ++messages_received_;
+  return message;
+}
+
+// --- LinkedPair ------------------------------------------------------------------
+
+LinkedPair::LinkedPair(NodeOptions client_options, NodeOptions server_options,
+                       cionet::Fabric::Options fabric_options) {
+  fabric = std::make_unique<cionet::Fabric>(&clock, 4242, fabric_options);
+  if (client_options.psk.empty()) {
+    client_options.psk = ciobase::BufferFromString(
+        "attestation-derived-link-key-0001");
+  }
+  if (server_options.psk.empty()) {
+    server_options.psk = client_options.psk;
+  }
+  client = std::make_unique<ConfidentialNode>(fabric.get(), &clock,
+                                              client_options);
+  server = std::make_unique<ConfidentialNode>(fabric.get(), &clock,
+                                              server_options);
+}
+
+void LinkedPair::Pump(uint64_t step_ns) {
+  client->Poll();
+  server->Poll();
+  clock.Advance(step_ns);
+}
+
+bool LinkedPair::PumpUntil(const std::function<bool()>& done, int max_rounds,
+                           uint64_t step_ns) {
+  for (int i = 0; i < max_rounds; ++i) {
+    Pump(step_ns);
+    if (done()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LinkedPair::Establish(uint16_t port, int max_rounds) {
+  if (!server->Listen(port).ok()) {
+    return false;
+  }
+  if (!client->Connect(server->ip(), port).ok()) {
+    return false;
+  }
+  return PumpUntil([&] { return client->Ready() && server->Ready(); },
+                   max_rounds);
+}
+
+}  // namespace cio

@@ -1,0 +1,207 @@
+// Engine: assembles complete confidential-I/O stacks and exposes the public
+// application API (ConfidentialNode).
+//
+// A ConfidentialNode is one confidential unit (enclave or CVM) attached to
+// the simulated world. Its application-level API is message-oriented and
+// always TLS-protected; what varies is everything below, selected by
+// StackProfile — the four corners of the paper's design space (Figure 5):
+//
+//   kSyscallL5     Graphene/SCONE-style: I/O via host syscalls. Tiny guest
+//                  TCB, but every call, argument, and message boundary is
+//                  host-visible, and each operation pays a host exit.
+//   kPassthroughL2 rkt-io/ShieldBox-style: the guest runs its own TCP/IP
+//                  stack over an *unhardened* raw transport in a single
+//                  trust domain. Fast, network-level observability only,
+//                  but the whole stack (and its attack surface) sits in
+//                  the app's TCB.
+//   kHardenedVirtio Lift-and-shift CVM: guest stack over virtio with the
+//                  full retrofit hardening (checks + SWIOTLB bounces).
+//   kDualBoundary  This work (§3): guest stack in an isolated I/O
+//                  compartment behind the hardened L2 transport, with the
+//                  single-distrust L5 channel and mandatory TLS above.
+//
+// All profiles speak the same wire format end-to-end (Ethernet/IPv4/TCP +
+// TLS records), so any two profiles can interoperate across the fabric.
+
+#ifndef SRC_CIO_ENGINE_H_
+#define SRC_CIO_ENGINE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/base/clock.h"
+#include "src/cio/dda.h"
+#include "src/cio/l2_host_device.h"
+#include "src/cio/l2_transport.h"
+#include "src/cio/l5_channel.h"
+#include "src/cio/tunnel_port.h"
+#include "src/hostsim/adversary.h"
+#include "src/hostsim/observability.h"
+#include "src/net/fabric.h"
+#include "src/net/stack.h"
+#include "src/tee/compartment.h"
+#include "src/tee/memory.h"
+#include "src/tee/trust.h"
+#include "src/tls/session.h"
+#include "src/virtio/net_driver.h"
+
+namespace cio {
+
+enum class StackProfile {
+  kSyscallL5 = 0,
+  kPassthroughL2 = 1,
+  kHardenedVirtio = 2,
+  kDualBoundary = 3,
+  // §3.4: direct device assignment with SPDM attestation + IDE link
+  // protection; the stack stays in the app domain, the device joins the
+  // TCB, and no interface hardening is needed.
+  kDirectDevice = 4,
+  // §2.4's tunneled approach (LightBox-style): every L2 frame padded to a
+  // fixed size and sealed before the host sees it — minimal observability
+  // (even packet-length entropy collapses), maximal TCB.
+  kTunneledL2 = 5,
+};
+inline constexpr int kStackProfileCount = 6;
+
+std::string_view StackProfileName(StackProfile profile);
+std::vector<StackProfile> AllStackProfiles();
+
+// The trust model each profile instantiates (§2.1/§3.1).
+ciotee::TrustModel ProfileTrustModel(StackProfile profile);
+
+struct NodeOptions {
+  StackProfile profile = StackProfile::kDualBoundary;
+  uint32_t node_id = 1;  // derives MAC 02:00:…:id and IP 10.0.0.id
+  uint64_t seed = 1;
+  ciobase::Buffer psk;   // attestation-bound pre-shared key
+  bool use_tls = true;   // the design mandates TLS; ablations may disable
+
+  // Dual-boundary knobs.
+  L5ReceiveMode l5_receive = L5ReceiveMode::kCopy;
+  L5BoundaryKind l5_boundary = L5BoundaryKind::kCompartment;
+  DataPositioning l2_positioning = DataPositioning::kInline;
+  ReceiveOwnership l2_rx_ownership = ReceiveOwnership::kCopy;
+  bool l2_polling = true;
+};
+
+class ConfidentialNode {
+ public:
+  ConfidentialNode(cionet::Fabric* fabric, ciobase::SimClock* clock,
+                   NodeOptions options);
+  ~ConfidentialNode();
+
+  ConfidentialNode(const ConfidentialNode&) = delete;
+  ConfidentialNode& operator=(const ConfidentialNode&) = delete;
+
+  // --- Connection lifecycle ---------------------------------------------------
+
+  ciobase::Status Listen(uint16_t port);
+  ciobase::Status Connect(cionet::Ipv4Address peer, uint16_t port);
+  // Drives everything: host devices, guest stack, TLS pumping. Call in the
+  // simulation loop.
+  void Poll();
+  // True once the transport is connected and (if enabled) TLS established.
+  bool Ready() const;
+  bool Failed() const;
+
+  // --- Application data ---------------------------------------------------------
+
+  ciobase::Status SendMessage(ciobase::ByteSpan message);
+  ciobase::Result<ciobase::Buffer> ReceiveMessage();
+
+  // --- Introspection (benchmarks, campaign) -----------------------------------
+
+  cionet::Ipv4Address ip() const { return ip_; }
+  StackProfile profile() const { return options_.profile; }
+  ciobase::CostModel& costs() { return costs_; }
+  ciohost::ObservabilityLog& observability() { return observability_; }
+  ciohost::Adversary& adversary() { return adversary_; }
+  ciotee::TeeMemory& memory() { return memory_; }
+  ciotee::CompartmentManager* compartments() { return compartments_.get(); }
+  L2Transport* l2_transport() { return l2_transport_.get(); }
+  ciovirtio::VirtioNetDriver* virtio_driver() { return virtio_driver_.get(); }
+  DdaTransport* dda_transport() { return dda_transport_.get(); }
+  TunnelPort* tunnel_port() { return tunnel_port_.get(); }
+  ciotee::SharedRegion* shared_region() { return shared_.get(); }
+  const ciotls::TlsSession* tls() const { return tls_.get(); }
+  // Application-level operations completed (messages in + out): the
+  // denominator of the observability score.
+  uint64_t app_ops() const { return messages_sent_ + messages_received_; }
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_received() const { return messages_received_; }
+
+ private:
+  struct SocketOps;       // profile-specific byte-stream plumbing
+  struct SyscallOps;
+  struct GuestStackOps;
+  struct DualBoundaryOps;
+
+  void PumpTls();
+  void PumpBytes();
+
+  NodeOptions options_;
+  cionet::Ipv4Address ip_;
+  ciobase::SimClock* clock_;
+  ciobase::CostModel costs_;
+  ciohost::ObservabilityLog observability_;
+  ciohost::Adversary adversary_;
+  ciotee::TeeMemory memory_;
+
+  // Profile-dependent machinery (subset populated per profile).
+  std::unique_ptr<ciotee::SharedRegion> shared_;
+  std::unique_ptr<ciotee::CompartmentManager> compartments_;
+  ciotee::CompartmentId app_compartment_{};
+  ciotee::CompartmentId io_compartment_{};
+  std::unique_ptr<ciovirtio::VirtioNetDevice> virtio_device_;
+  std::unique_ptr<ciovirtio::VirtioNetDriver> virtio_driver_;
+  std::unique_ptr<L2HostDevice> l2_device_;
+  std::unique_ptr<L2Transport> l2_transport_;
+  std::unique_ptr<TunnelPort> tunnel_port_;
+  std::unique_ptr<ciotee::AttestationAuthority> device_authority_;
+  std::unique_ptr<DdaDevice> dda_device_;
+  std::unique_ptr<DdaTransport> dda_transport_;
+  std::unique_ptr<cionet::NetStack> guest_stack_;
+  std::unique_ptr<cionet::FramePort> host_port_;
+  std::unique_ptr<cionet::NetStack> host_stack_;  // syscall profile
+  std::unique_ptr<L5Channel> l5_;
+  std::unique_ptr<SocketOps> ops_;
+
+  std::unique_ptr<ciotls::TlsSession> tls_;
+  bool listening_ = false;
+  bool connected_transport_ = false;
+  uint16_t listen_port_ = 0;
+  cionet::SocketId listener_{};
+  cionet::SocketId socket_{};
+  bool have_socket_ = false;
+  ciobase::Buffer tls_outbox_;  // TLS bytes awaiting transport capacity
+  std::deque<ciobase::Buffer> plain_inbox_;   // no-TLS mode
+  ciobase::Buffer plain_rx_;                  // no-TLS length framing
+  bool failed_ = false;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_received_ = 0;
+};
+
+// Convenience for tests/benchmarks: two nodes on one fabric, pumped until
+// ready or a round budget expires.
+struct LinkedPair {
+  ciobase::SimClock clock;
+  std::unique_ptr<cionet::Fabric> fabric;
+  std::unique_ptr<ConfidentialNode> client;
+  std::unique_ptr<ConfidentialNode> server;
+
+  LinkedPair(NodeOptions client_options, NodeOptions server_options,
+             cionet::Fabric::Options fabric_options = {});
+
+  // Establishes server listen + client connect + TLS. Returns success.
+  bool Establish(uint16_t port = 443, int max_rounds = 20000);
+  // One pump round for both sides, advancing simulated time.
+  void Pump(uint64_t step_ns = 10'000);
+  bool PumpUntil(const std::function<bool()>& done, int max_rounds = 20000,
+                 uint64_t step_ns = 10'000);
+};
+
+}  // namespace cio
+
+#endif  // SRC_CIO_ENGINE_H_

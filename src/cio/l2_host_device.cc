@@ -1,0 +1,166 @@
+#include "src/cio/l2_host_device.h"
+
+namespace cio {
+
+L2HostDevice::L2HostDevice(ciotee::SharedRegion* region,
+                           const L2Config& config, cionet::Fabric* fabric,
+                           std::string name, ciohost::Adversary* adversary,
+                           ciohost::ObservabilityLog* observability,
+                           ciobase::SimClock* clock)
+    : region_(region),
+      config_(config),
+      layout_(config),
+      fabric_(fabric),
+      endpoint_(fabric->Attach(std::move(name), config.mac)),
+      adversary_(adversary),
+      observability_(observability),
+      clock_(clock) {}
+
+void L2HostDevice::Kick() {
+  ++stats_.kicks;
+  if (observability_ != nullptr) {
+    observability_->Record(ciohost::ObsCategory::kDoorbell, clock_->now_ns(),
+                           "l2 doorbell");
+  }
+  Poll();
+}
+
+void L2HostDevice::Poll() {
+  DrainTx();
+  FillRx();
+}
+
+ciobase::Buffer L2HostDevice::ReadTxFrame(uint64_t index) {
+  uint8_t header[kL2SlotHeaderSize];
+  region_->HostRead(layout_.TxSlot(index), header);
+  uint32_t len = ciobase::LoadLe32(header);
+  len = std::min<uint32_t>(len, static_cast<uint32_t>(config_.slot_size));
+  ciobase::Buffer frame(len);
+  switch (config_.positioning) {
+    case DataPositioning::kInline:
+      region_->HostRead(layout_.TxSlot(index) + kL2SlotHeaderSize, frame);
+      break;
+    case DataPositioning::kSharedPool: {
+      uint32_t offset = ciobase::LoadLe32(header + 4);
+      region_->HostRead(layout_.tx_pool + offset, frame);
+      break;
+    }
+    case DataPositioning::kIndirect: {
+      uint32_t count = ciobase::LoadLe32(header);
+      uint32_t table_offset = ciobase::LoadLe32(header + 4);
+      count = std::min(count, kL2MaxIndirectEntries);
+      frame.clear();
+      for (uint32_t i = 0; i < count; ++i) {
+        uint8_t entry[kL2IndirectEntrySize];
+        region_->HostRead(layout_.tx_indirect + table_offset + i * 8, entry);
+        uint32_t part_offset = ciobase::LoadLe32(entry);
+        uint32_t part_len = std::min<uint32_t>(
+            ciobase::LoadLe32(entry + 4),
+            static_cast<uint32_t>(config_.slot_size));
+        size_t old = frame.size();
+        frame.resize(old + part_len);
+        region_->HostRead(layout_.tx_pool + part_offset,
+                          ciobase::MutableByteSpan(frame.data() + old,
+                                                   part_len));
+      }
+      break;
+    }
+  }
+  return frame;
+}
+
+void L2HostDevice::DrainTx() {
+  for (;;) {
+    uint64_t produced = region_->HostReadLe64(layout_.TxProduced());
+    if (tx_consumed_ >= produced) {
+      break;
+    }
+    ciobase::Buffer frame = ReadTxFrame(tx_consumed_);
+    if (adversary_ != nullptr) {
+      adversary_->MaybeCorruptPayload(frame);
+    }
+    if (observability_ != nullptr) {
+      observability_->Record(ciohost::ObsCategory::kPacketLength,
+                             frame.size(), "l2 tx");
+      observability_->Record(ciohost::ObsCategory::kPacketTiming,
+                             clock_->now_ns(), "l2 tx");
+    }
+    ++stats_.frames_tx;
+    (void)fabric_->Inject(endpoint_, frame);
+    ++tx_consumed_;
+    region_->HostWriteLe64(layout_.TxConsumed(), tx_consumed_);
+  }
+}
+
+void L2HostDevice::WriteRxFrame(uint64_t index, ciobase::ByteSpan frame) {
+  uint32_t len = static_cast<uint32_t>(frame.size());
+  if (adversary_ != nullptr) {
+    len = adversary_->MutateUsedLen(len, static_cast<uint32_t>(
+                                             config_.SlotPayloadCapacity()));
+  }
+  uint8_t header[kL2SlotHeaderSize];
+  switch (config_.positioning) {
+    case DataPositioning::kInline:
+      ciobase::StoreLe32(header, len);
+      ciobase::StoreLe32(header + 4, 0);
+      region_->HostWrite(layout_.RxSlot(index), header);
+      region_->HostWrite(layout_.RxSlot(index) + kL2SlotHeaderSize, frame);
+      break;
+    case DataPositioning::kSharedPool: {
+      uint64_t chunk = layout_.RxChunk(index);
+      region_->HostWrite(chunk, frame);
+      ciobase::StoreLe32(header, len);
+      ciobase::StoreLe32(header + 4,
+                         static_cast<uint32_t>(chunk - layout_.rx_pool));
+      region_->HostWrite(layout_.RxSlot(index), header);
+      break;
+    }
+    case DataPositioning::kIndirect: {
+      uint64_t chunk = layout_.RxChunk(index);
+      uint64_t table = layout_.RxIndirectTable(index);
+      region_->HostWrite(chunk, frame);
+      uint8_t entry[kL2IndirectEntrySize];
+      ciobase::StoreLe32(entry, static_cast<uint32_t>(chunk - layout_.rx_pool));
+      ciobase::StoreLe32(entry + 4, len);
+      region_->HostWrite(table, entry);
+      ciobase::StoreLe32(header, 1);
+      ciobase::StoreLe32(header + 4,
+                         static_cast<uint32_t>(table - layout_.rx_indirect));
+      region_->HostWrite(layout_.RxSlot(index), header);
+      break;
+    }
+  }
+}
+
+void L2HostDevice::FillRx() {
+  for (;;) {
+    uint64_t consumed = region_->HostReadLe64(layout_.RxConsumed());
+    if (rx_produced_ - consumed >= layout_.slots) {
+      // Ring full: leave frames queued in the fabric until space opens.
+      break;
+    }
+    auto frame = fabric_->Poll(endpoint_);
+    if (!frame.ok()) {
+      break;
+    }
+    if (adversary_ != nullptr) {
+      adversary_->MaybeCorruptPayload(*frame);
+    }
+    if (observability_ != nullptr) {
+      observability_->Record(ciohost::ObsCategory::kPacketLength,
+                             frame->size(), "l2 rx");
+      observability_->Record(ciohost::ObsCategory::kPacketTiming,
+                             clock_->now_ns(), "l2 rx");
+    }
+    WriteRxFrame(rx_produced_, *frame);
+    ++rx_produced_;
+    uint64_t published = rx_produced_;
+    if (adversary_ != nullptr) {
+      published = adversary_->MutatePublishedCounter(rx_produced_);
+    }
+    region_->HostWriteLe64(layout_.RxProduced(), published);
+    ++stats_.frames_rx;
+  }
+}
+
+}  // namespace cio

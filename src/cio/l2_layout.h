@@ -1,0 +1,105 @@
+// Shared-memory geometry of the hardened L2 transport.
+//
+// Everything is sized and aligned at powers of two so that every index and
+// offset derived from host-written values can be made safe by masking alone
+// (§3.2 "safe ring buffer & shared data area"). The layout is a pure
+// function of L2Config — both sides compute it independently; nothing about
+// it is ever communicated at runtime.
+//
+//   region:
+//     [counters]        4 cache-line-separated monotonic u64 counters
+//     [tx ring]         ring_slots * slot_size
+//     [rx ring]         ring_slots * slot_size
+//     [tx pool]         ring_slots * slot_size   (pool/indirect modes)
+//     [rx pool]         ring_slots * slot_size
+//     [tx indirect]     ring_slots * 64
+//     [rx indirect]     ring_slots * 64
+//
+// Slot headers (8 bytes):
+//   inline:    [len u32][reserved u32][payload ...]
+//   pool:      [len u32][pool offset u32]
+//   indirect:  [entry count u32][table offset u32]
+// Indirect table entries: [pool offset u32][len u32], up to 4 per slot.
+//
+// Pool chunks are statically bound to slots (chunk i <-> slot i): there is
+// no shared allocator, no free list, and therefore no temporal state to
+// attack — the "stateless interface" principle applied to buffer
+// management.
+
+#ifndef SRC_CIO_L2_LAYOUT_H_
+#define SRC_CIO_L2_LAYOUT_H_
+
+#include "src/base/bits.h"
+#include "src/cio/l2_config.h"
+
+namespace cio {
+
+inline constexpr uint64_t kL2SlotHeaderSize = 8;
+inline constexpr uint64_t kL2IndirectEntrySize = 8;
+inline constexpr uint32_t kL2MaxIndirectEntries = 4;
+inline constexpr uint64_t kL2IndirectTableStride = 64;
+
+struct L2Layout {
+  explicit L2Layout(const L2Config& config)
+      : slots(config.ring_slots), slot_size(config.slot_size) {
+    tx_ring = 256;  // counters occupy [0, 256)
+    rx_ring = tx_ring + slots * slot_size;
+    tx_pool = rx_ring + slots * slot_size;
+    rx_pool = tx_pool + slots * slot_size;
+    tx_indirect = rx_pool + slots * slot_size;
+    rx_indirect = tx_indirect + slots * kL2IndirectTableStride;
+    total = rx_indirect + slots * kL2IndirectTableStride;
+  }
+
+  // Counter cells (separated to avoid any pretense of shared cache lines).
+  uint64_t TxProduced() const { return 0; }
+  uint64_t TxConsumed() const { return 64; }
+  uint64_t RxProduced() const { return 128; }
+  uint64_t RxConsumed() const { return 192; }
+
+  uint64_t TxSlot(uint64_t index) const {
+    return tx_ring + ciobase::MaskIndex(index, slots) * slot_size;
+  }
+  uint64_t RxSlot(uint64_t index) const {
+    return rx_ring + ciobase::MaskIndex(index, slots) * slot_size;
+  }
+  // Pool chunk statically paired with a slot index.
+  uint64_t TxChunk(uint64_t index) const {
+    return tx_pool + ciobase::MaskIndex(index, slots) * slot_size;
+  }
+  uint64_t RxChunk(uint64_t index) const {
+    return rx_pool + ciobase::MaskIndex(index, slots) * slot_size;
+  }
+  // Masks an untrusted pool offset into a valid chunk-aligned offset.
+  uint64_t MaskRxPoolOffset(uint64_t untrusted) const {
+    return rx_pool +
+           ciobase::MaskOffset(untrusted, slots * slot_size, slot_size);
+  }
+  uint64_t TxIndirectTable(uint64_t index) const {
+    return tx_indirect +
+           ciobase::MaskIndex(index, slots) * kL2IndirectTableStride;
+  }
+  uint64_t RxIndirectTable(uint64_t index) const {
+    return rx_indirect +
+           ciobase::MaskIndex(index, slots) * kL2IndirectTableStride;
+  }
+  uint64_t MaskRxIndirectOffset(uint64_t untrusted) const {
+    return rx_indirect + ciobase::MaskOffset(
+                             untrusted, slots * kL2IndirectTableStride,
+                             kL2IndirectTableStride);
+  }
+
+  uint64_t slots;
+  uint64_t slot_size;
+  uint64_t tx_ring;
+  uint64_t rx_ring;
+  uint64_t tx_pool;
+  uint64_t rx_pool;
+  uint64_t tx_indirect;
+  uint64_t rx_indirect;
+  uint64_t total;
+};
+
+}  // namespace cio
+
+#endif  // SRC_CIO_L2_LAYOUT_H_

@@ -1,0 +1,273 @@
+#include "src/cio/l2_transport.h"
+
+#include <cassert>
+
+namespace cio {
+
+// --- L2Config ----------------------------------------------------------------
+
+std::string_view DataPositioningName(DataPositioning positioning) {
+  switch (positioning) {
+    case DataPositioning::kInline:
+      return "inline";
+    case DataPositioning::kSharedPool:
+      return "shared-pool";
+    case DataPositioning::kIndirect:
+      return "indirect";
+  }
+  return "?";
+}
+
+ciobase::Buffer L2Config::Serialize() const {
+  ciobase::Buffer out;
+  ciobase::Append(out, mac.bytes);
+  out.resize(out.size() + 10);
+  uint8_t* p = out.data() + 6;
+  ciobase::StoreLe16(p, mtu);
+  ciobase::StoreLe16(p + 2, ring_slots);
+  ciobase::StoreLe32(p + 4, slot_size);
+  p[8] = static_cast<uint8_t>(positioning);
+  p[9] = static_cast<uint8_t>(rx_ownership) |
+         static_cast<uint8_t>(polling ? 0x80 : 0);
+  return out;
+}
+
+ciotee::Measurement L2Config::Measure() const {
+  return ciotee::Measure("cio-l2-transport-v1", Serialize());
+}
+
+bool L2Config::Valid() const {
+  return ciobase::IsPowerOfTwo(ring_slots) && ciobase::IsPowerOfTwo(slot_size) &&
+         slot_size > kL2SlotHeaderSize &&
+         mtu + cionet::kEthernetHeaderSize <= SlotPayloadCapacity() &&
+         mtu >= 68;
+}
+
+// --- L2Transport ---------------------------------------------------------------
+
+L2Transport::L2Transport(ciotee::SharedRegion* region, const L2Config& config,
+                         ciobase::CostModel* costs,
+                         ciovirtio::KickTarget* kick)
+    : region_(region),
+      config_(config),
+      layout_(config),
+      costs_(costs),
+      kick_(kick) {
+  assert(config.Valid());
+  assert(region->size() >= layout_.total);
+}
+
+ciobase::Status L2Transport::SendFrame(ciobase::ByteSpan frame) {
+  if (frame.size() > config_.SlotPayloadCapacity() ||
+      frame.size() > config_.mtu + cionet::kEthernetHeaderSize) {
+    return ciobase::InvalidArgument("frame exceeds fixed capacity");
+  }
+  // Flow control: the host's consumed counter is advisory only. Clamping it
+  // into [produced - slots, produced] keeps the arithmetic total; a lying
+  // host can only cause overwrites of frames it claimed to have consumed
+  // (loss of its own service, not of safety).
+  uint64_t consumed = region_->GuestReadLe64(layout_.TxConsumed());
+  uint64_t in_flight = tx_produced_ - std::min(consumed, tx_produced_);
+  if (in_flight >= layout_.slots) {
+    ++stats_.tx_ring_full;
+    return ciobase::ResourceExhausted("tx ring full");
+  }
+
+  uint64_t index = tx_produced_;
+  uint8_t header[kL2SlotHeaderSize];
+  switch (config_.positioning) {
+    case DataPositioning::kInline: {
+      ciobase::StoreLe32(header, static_cast<uint32_t>(frame.size()));
+      ciobase::StoreLe32(header + 4, 0);
+      costs_->ChargeCopy(frame.size());
+      region_->GuestWrite(layout_.TxSlot(index), header);
+      region_->GuestWrite(layout_.TxSlot(index) + kL2SlotHeaderSize, frame);
+      break;
+    }
+    case DataPositioning::kSharedPool: {
+      uint64_t chunk = layout_.TxChunk(index);
+      costs_->ChargeCopy(frame.size());
+      region_->GuestWrite(chunk, frame);
+      ciobase::StoreLe32(header, static_cast<uint32_t>(frame.size()));
+      ciobase::StoreLe32(header + 4,
+                         static_cast<uint32_t>(chunk - layout_.tx_pool));
+      region_->GuestWrite(layout_.TxSlot(index), header);
+      break;
+    }
+    case DataPositioning::kIndirect: {
+      uint64_t chunk = layout_.TxChunk(index);
+      uint64_t table = layout_.TxIndirectTable(index);
+      costs_->ChargeCopy(frame.size());
+      region_->GuestWrite(chunk, frame);
+      uint8_t entry[kL2IndirectEntrySize];
+      ciobase::StoreLe32(entry,
+                         static_cast<uint32_t>(chunk - layout_.tx_pool));
+      ciobase::StoreLe32(entry + 4, static_cast<uint32_t>(frame.size()));
+      region_->GuestWrite(table, entry);
+      ciobase::StoreLe32(header, 1);  // entry count
+      ciobase::StoreLe32(header + 4,
+                         static_cast<uint32_t>(table - layout_.tx_indirect));
+      region_->GuestWrite(layout_.TxSlot(index), header);
+      break;
+    }
+  }
+  ++tx_produced_;
+  region_->GuestWriteLe64(layout_.TxProduced(), tx_produced_);
+  ++stats_.frames_sent;
+  if (!config_.polling && kick_ != nullptr) {
+    costs_->ChargeNotify();
+    kick_->Kick();
+  }
+  return ciobase::OkStatus();
+}
+
+ciobase::Buffer L2Transport::TakePayload(uint64_t masked_offset,
+                                         uint32_t len) {
+  ciobase::Buffer payload(len);
+  if (config_.rx_ownership == ReceiveOwnership::kRevoke) {
+    // Un-share the chunk's pages: after this, the host cannot touch the
+    // bytes, so the read needs no copy discipline (and no copy charge).
+    size_t page = costs_->constants().page_size;
+    size_t pages = (len + page - 1) / page;
+    if (pages == 0) {
+      pages = 1;
+    }
+    costs_->ChargePageUnshare(pages);
+    stats_.pages_revoked += pages;
+    region_->GuestReadOwned(masked_offset, payload);
+    // Hand the pages back once the frame has been consumed (the buffer we
+    // return is private), so the host can recycle the chunk.
+    costs_->ChargePageReshare(pages);
+  } else {
+    costs_->ChargeCopy(len);
+    region_->GuestRead(masked_offset, payload);
+  }
+  return payload;
+}
+
+ciobase::Result<ciobase::Buffer> L2Transport::ReceiveInline(uint64_t index) {
+  // ONE fetch of the whole slot: header and payload land in private memory
+  // together; this read is simultaneously the validation source, the use
+  // source, and the mandatory copy.
+  ciobase::Buffer slot(config_.slot_size);
+  costs_->ChargeCopy(config_.slot_size);
+  region_->GuestRead(layout_.RxSlot(index), slot);
+  uint32_t len = ciobase::LoadLe32(slot.data());
+  uint32_t capacity = config_.SlotPayloadCapacity();
+  if (len > capacity) {
+    ++stats_.rx_clamped_len;
+    len = capacity;
+  }
+  return ciobase::Buffer(slot.begin() + kL2SlotHeaderSize,
+                         slot.begin() + kL2SlotHeaderSize + len);
+}
+
+ciobase::Result<ciobase::Buffer> L2Transport::ReceivePool(uint64_t index) {
+  uint8_t header[kL2SlotHeaderSize];
+  region_->GuestRead(layout_.RxSlot(index), header);  // single fetch
+  uint32_t len = ciobase::LoadLe32(header);
+  uint32_t offset = ciobase::LoadLe32(header + 4);
+  if (len > config_.slot_size) {
+    ++stats_.rx_clamped_len;
+    len = static_cast<uint32_t>(config_.slot_size);
+  }
+  // Masking, not checking: whatever `offset` says, the access lands inside
+  // the RX pool at a chunk boundary.
+  uint64_t masked = layout_.MaskRxPoolOffset(offset);
+  return TakePayload(masked, len);
+}
+
+ciobase::Result<ciobase::Buffer> L2Transport::ReceiveIndirect(uint64_t index) {
+  uint8_t header[kL2SlotHeaderSize];
+  region_->GuestRead(layout_.RxSlot(index), header);  // fetch 1: slot
+  uint32_t count = ciobase::LoadLe32(header);
+  uint32_t table_offset = ciobase::LoadLe32(header + 4);
+  if (count > kL2MaxIndirectEntries) {
+    count = kL2MaxIndirectEntries;
+  }
+  if (count == 0) {
+    ++stats_.rx_dropped_empty;
+    return ciobase::Buffer{};
+  }
+  uint64_t table = layout_.MaskRxIndirectOffset(table_offset);
+  ciobase::Buffer entries(count * kL2IndirectEntrySize);
+  region_->GuestRead(table, entries);  // fetch 2: whole table at once
+  ciobase::Buffer frame;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t offset = ciobase::LoadLe32(entries.data() + i * 8);
+    uint32_t len = ciobase::LoadLe32(entries.data() + i * 8 + 4);
+    if (len > config_.slot_size) {
+      ++stats_.rx_clamped_len;
+      len = static_cast<uint32_t>(config_.slot_size);
+    }
+    uint64_t masked = layout_.MaskRxPoolOffset(offset);
+    ciobase::Buffer part = TakePayload(masked, len);
+    ciobase::Append(frame, part);
+    if (frame.size() > config_.SlotPayloadCapacity()) {
+      frame.resize(config_.SlotPayloadCapacity());
+      ++stats_.rx_clamped_len;
+      break;
+    }
+  }
+  return frame;
+}
+
+ciobase::Result<ciobase::Buffer> L2Transport::ReceiveFrame() {
+  costs_->ChargeRingPoll();
+  uint64_t produced = region_->GuestReadLe64(layout_.RxProduced());
+  // Clamp the host's claim into the only coherent window: at most
+  // `slots` frames can genuinely be pending. A stormed counter shrinks to
+  // the ring size; a rewound counter reads as "nothing new".
+  uint64_t pending = produced - rx_consumed_;
+  if (pending == 0 || pending > (1ULL << 63)) {
+    return ciobase::Unavailable("no frame");
+  }
+  if (pending > layout_.slots) {
+    pending = layout_.slots;
+  }
+  (void)pending;
+
+  uint64_t index = rx_consumed_;
+  ciobase::Result<ciobase::Buffer> frame = ciobase::Buffer{};
+  switch (config_.positioning) {
+    case DataPositioning::kInline:
+      frame = ReceiveInline(index);
+      break;
+    case DataPositioning::kSharedPool:
+      frame = ReceivePool(index);
+      break;
+    case DataPositioning::kIndirect:
+      frame = ReceiveIndirect(index);
+      break;
+  }
+  ++rx_consumed_;
+  region_->GuestWriteLe64(layout_.RxConsumed(), rx_consumed_);
+  if (frame.ok()) {
+    if (frame->empty()) {
+      ++stats_.rx_dropped_empty;
+      return ciobase::Unavailable("empty slot dropped");
+    }
+    ++stats_.frames_received;
+  }
+  return frame;
+}
+
+std::vector<ciohost::SurfaceField> L2Transport::AttackSurface() const {
+  using ciohost::FieldKind;
+  using ciohost::SurfaceField;
+  std::vector<SurfaceField> surface;
+  surface.push_back({FieldKind::kIndex, layout_.RxProduced(), 8});
+  surface.push_back({FieldKind::kIndex, layout_.TxConsumed(), 8});
+  // First few RX slot headers: length + offset fields.
+  for (uint64_t i = 0; i < std::min<uint64_t>(layout_.slots, 4); ++i) {
+    surface.push_back({FieldKind::kLength, layout_.RxSlot(i), 4});
+    surface.push_back({FieldKind::kOffset, layout_.RxSlot(i) + 4, 4});
+  }
+  surface.push_back(
+      {FieldKind::kPayload, layout_.rx_pool,
+       static_cast<uint32_t>(std::min<uint64_t>(layout_.slots * layout_.slot_size,
+                                                0xffffffffu))});
+  return surface;
+}
+
+}  // namespace cio

@@ -1,0 +1,98 @@
+// L2Transport: the paper's hardened host/TEE network interface (§3.2),
+// guest side. Safe by construction, not by checks:
+//
+//  * Stateless interface — two monotonic counters per direction and a ring
+//    of self-contained slots. No descriptors, no completion ids, no free
+//    lists, no negotiation, no error paths: a slot that fails validation is
+//    dropped and counted, and the protocol position still advances.
+//  * Copy as a first-class citizen — the RX fetch of a slot is ONE read
+//    into private memory, early, and it doubles as the mandatory
+//    shared-to-private copy. Validation and use operate on the same private
+//    bytes, so double fetches are impossible by construction. On TX the
+//    copy into shared memory is required anyway (the host must read it);
+//    there is no second copy.
+//  * No notifications — polling by default. The optional doorbell is
+//    stateless and idempotent (it carries no payload; ringing it twice or
+//    never merely changes when the host polls).
+//  * Zero (re-)negotiation — all parameters come from the immutable
+//    L2Config, which is part of the attestation measurement.
+//  * Masked rings and pools — every index/offset derived from host-written
+//    bytes is masked into its power-of-two area (see l2_layout.h); lengths
+//    are clamped to the fixed chunk capacity. No host value can direct a
+//    guest access outside the shared region, no matter what it contains.
+//
+// Data positioning (inline / shared pool / indirect) and RX ownership
+// (copy / revoke) are the §3.2 performance explorations, selected in
+// L2Config and benchmarked in bench_data_positioning and
+// bench_copy_vs_revocation.
+
+#ifndef SRC_CIO_L2_TRANSPORT_H_
+#define SRC_CIO_L2_TRANSPORT_H_
+
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/cio/l2_layout.h"
+#include "src/hostsim/adversary.h"
+#include "src/net/port.h"
+#include "src/tee/shared_region.h"
+#include "src/virtio/net_device.h"  // for KickTarget
+
+namespace cio {
+
+class L2Transport final : public cionet::FramePort {
+ public:
+  // `kick` may be null in polling mode.
+  L2Transport(ciotee::SharedRegion* region, const L2Config& config,
+              ciobase::CostModel* costs, ciovirtio::KickTarget* kick);
+
+  // --- cionet::FramePort -----------------------------------------------------
+
+  ciobase::Status SendFrame(ciobase::ByteSpan frame) override;
+  ciobase::Result<ciobase::Buffer> ReceiveFrame() override;
+  cionet::MacAddress mac() const override { return config_.mac; }
+  uint16_t mtu() const override { return config_.mtu; }
+
+  const L2Config& config() const { return config_; }
+  const L2Layout& layout() const { return layout_; }
+
+  // Attestation measurement covering code identity + fixed config.
+  ciotee::Measurement Measure() const { return config_.Measure(); }
+
+  // Attack-surface registration for the adversary (header fields, counters,
+  // pool payload bytes).
+  std::vector<ciohost::SurfaceField> AttackSurface() const;
+
+  struct Stats {
+    uint64_t frames_sent = 0;
+    uint64_t frames_received = 0;
+    uint64_t tx_ring_full = 0;
+    uint64_t rx_clamped_len = 0;   // host lied about a length; clamped
+    uint64_t rx_dropped_empty = 0; // slot failed sanity (len 0 after clamp)
+    uint64_t pages_revoked = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ciobase::Result<ciobase::Buffer> ReceiveInline(uint64_t index);
+  ciobase::Result<ciobase::Buffer> ReceivePool(uint64_t index);
+  ciobase::Result<ciobase::Buffer> ReceiveIndirect(uint64_t index);
+  // Reads `len` payload bytes at a masked shared offset, honoring the
+  // configured ownership model (copy vs revoke).
+  ciobase::Buffer TakePayload(uint64_t masked_offset, uint32_t len);
+
+  ciotee::SharedRegion* region_;
+  L2Config config_;
+  L2Layout layout_;
+  ciobase::CostModel* costs_;
+  ciovirtio::KickTarget* kick_;
+
+  // Guest-private counter shadows; never read back from shared memory.
+  uint64_t tx_produced_ = 0;
+  uint64_t rx_consumed_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cio
+
+#endif  // SRC_CIO_L2_TRANSPORT_H_

@@ -1,0 +1,154 @@
+#include "src/cio/l5_channel.h"
+
+#include <cstring>
+
+namespace cio {
+
+L5Channel::L5Channel(ciotee::CompartmentManager* compartments,
+                     ciotee::CompartmentId app, ciotee::CompartmentId io,
+                     cionet::NetStack* stack, ciobase::CostModel* costs,
+                     L5ReceiveMode receive_mode,
+                     L5BoundaryKind boundary_kind)
+    : compartments_(compartments),
+      app_(app),
+      io_(io),
+      stack_(stack),
+      costs_(costs),
+      receive_mode_(receive_mode),
+      boundary_kind_(boundary_kind) {}
+
+void L5Channel::ChargeCrossing() {
+  ++stats_.crossings;
+  if (boundary_kind_ == L5BoundaryKind::kCompartment) {
+    // SwitchTo already charges the compartment switch; nothing extra.
+  } else {
+    // Dual-enclave alternative: a full TEE boundary round trip on top.
+    costs_->ChargeTeeSwitch();
+  }
+}
+
+L5Channel::Crossing::Crossing(L5Channel* channel) : channel_(channel) {
+  channel_->ChargeCrossing();
+  channel_->compartments_->SwitchTo(channel_->io_);
+}
+
+L5Channel::Crossing::~Crossing() {
+  channel_->compartments_->SwitchTo(channel_->app_);
+}
+
+ciobase::Result<cionet::SocketId> L5Channel::Connect(cionet::Ipv4Address ip,
+                                                     uint16_t port) {
+  Crossing crossing(this);
+  return stack_->TcpConnect(ip, port);
+}
+
+ciobase::Result<cionet::SocketId> L5Channel::Listen(uint16_t port) {
+  Crossing crossing(this);
+  return stack_->TcpListen(port);
+}
+
+ciobase::Result<cionet::SocketId> L5Channel::Accept(
+    cionet::SocketId listener) {
+  Crossing crossing(this);
+  return stack_->TcpAccept(listener);
+}
+
+ciobase::Result<cionet::TcpState> L5Channel::State(cionet::SocketId socket) {
+  Crossing crossing(this);
+  return stack_->GetTcpState(socket);
+}
+
+ciobase::Status L5Channel::Close(cionet::SocketId socket) {
+  Crossing crossing(this);
+  return stack_->TcpClose(socket);
+}
+
+ciobase::Result<size_t> L5Channel::Send(cionet::SocketId socket,
+                                        ciobase::ByteSpan data) {
+  // Trusted-component-allocates: the app creates the buffer in the I/O
+  // heap and fills it; the stack consumes it in place, verifying nothing.
+  auto handle = compartments_->Allocate(app_, io_, data.size());
+  if (!handle.ok()) {
+    return handle.status();
+  }
+  auto span = compartments_->Access(app_, *handle);
+  if (!span.ok()) {
+    return span.status();
+  }
+  std::memcpy(span->data(), data.data(), data.size());
+
+  ciobase::Result<size_t> sent = static_cast<size_t>(0);
+  {
+    Crossing crossing(this);
+    auto io_view = compartments_->Access(io_, *handle);
+    if (!io_view.ok()) {
+      sent = io_view.status();
+    } else {
+      sent = stack_->TcpSend(socket,
+                             ciobase::ByteSpan(io_view->data(), data.size()));
+    }
+  }
+  (void)compartments_->Free(app_, *handle);
+  if (sent.ok()) {
+    stats_.bytes_sent += *sent;
+  }
+  return sent;
+}
+
+ciobase::Result<ciobase::Buffer> L5Channel::Receive(cionet::SocketId socket,
+                                                    size_t max_bytes) {
+  auto handle = compartments_->Allocate(app_, io_, max_bytes);
+  if (!handle.ok()) {
+    return handle.status();
+  }
+  ciobase::Result<size_t> got = static_cast<size_t>(0);
+  {
+    Crossing crossing(this);
+    auto io_view = compartments_->Access(io_, *handle);
+    if (!io_view.ok()) {
+      got = io_view.status();
+    } else {
+      got = stack_->TcpReceive(socket, *io_view);
+    }
+  }
+  if (!got.ok()) {
+    (void)compartments_->Free(app_, *handle);
+    if (got.status().code() == ciobase::StatusCode::kUnavailable) {
+      return ciobase::Buffer{};  // nothing yet
+    }
+    return got.status();
+  }
+
+  ciobase::Buffer out(*got);
+  if (receive_mode_ == L5ReceiveMode::kCopy) {
+    // Copy before parse: the stack may keep mutating the I/O-domain buffer
+    // after returning, so the app snapshots it into private memory.
+    ++stats_.receive_copies;
+    costs_->ChargeCopy(*got);
+    auto span = compartments_->Access(app_, *handle);
+    if (span.ok()) {
+      std::memcpy(out.data(), span->data(), *got);
+    }
+  } else {
+    // Revoke-then-parse: ownership moves to the app; the stack's access is
+    // dead from here on, so in-place parsing is safe without a copy.
+    ++stats_.receive_revocations;
+    size_t page = costs_->constants().page_size;
+    costs_->ChargePageUnshare(std::max<size_t>(1, (*got + page - 1) / page));
+    CIO_RETURN_IF_ERROR(compartments_->Transfer(app_, *handle, app_));
+    auto span = compartments_->Access(app_, *handle);
+    if (span.ok()) {
+      std::memcpy(out.data(), span->data(), *got);  // materialize (uncharged)
+    }
+  }
+  (void)compartments_->Free(app_, *handle);
+  stats_.bytes_received += *got;
+  return out;
+}
+
+void L5Channel::Poll() {
+  Crossing crossing(this);
+  stack_->Poll();
+}
+
+}  // namespace cio

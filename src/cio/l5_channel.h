@@ -1,0 +1,99 @@
+// L5Channel: the lightweight single-distrust boundary between the
+// confidential application and the I/O-stack compartment (§3.1/§3.2).
+//
+// The ternary trust model makes this boundary asymmetric: the I/O stack
+// trusts the application, the application does not trust the I/O stack.
+// That single distrust is what the design exploits:
+//
+//  * "Avoid the need to verify pointers": the application allocates buffers
+//    directly in the I/O compartment's heap (trusted-component-allocates
+//    policy [34]). The stack only ever sees buffers the app created there,
+//    so it never validates an app pointer; the app never dereferences a
+//    stack pointer at all.
+//  * Zero-copy send: the app writes its (TLS-protected) bytes into the
+//    I/O-domain buffer once; the stack transmits from it in place.
+//  * Receive: the stack fills an app-allocated I/O-domain buffer. Because
+//    the stack is untrusted, the app must either copy the bytes out before
+//    parsing (kCopy) or revoke the buffer's ownership so the stack can no
+//    longer mutate it (kRevoke) — the L5 instance of the copy/revocation
+//    trade-off.
+//
+// The boundary crossing itself is either an intra-TEE compartment switch
+// (the paper's choice) or a full TEE-to-TEE switch (the rejected dual-
+// enclave alternative), selectable for the ablation benchmark.
+
+#ifndef SRC_CIO_L5_CHANNEL_H_
+#define SRC_CIO_L5_CHANNEL_H_
+
+#include "src/base/clock.h"
+#include "src/net/stack.h"
+#include "src/tee/compartment.h"
+
+namespace cio {
+
+enum class L5ReceiveMode { kCopy, kRevoke };
+enum class L5BoundaryKind { kCompartment, kDualTee };
+
+class L5Channel {
+ public:
+  L5Channel(ciotee::CompartmentManager* compartments,
+            ciotee::CompartmentId app, ciotee::CompartmentId io,
+            cionet::NetStack* stack, ciobase::CostModel* costs,
+            L5ReceiveMode receive_mode, L5BoundaryKind boundary_kind);
+
+  // Connection management: thin crossings into the I/O compartment.
+  ciobase::Result<cionet::SocketId> Connect(cionet::Ipv4Address ip,
+                                            uint16_t port);
+  ciobase::Result<cionet::SocketId> Listen(uint16_t port);
+  ciobase::Result<cionet::SocketId> Accept(cionet::SocketId listener);
+  ciobase::Result<cionet::TcpState> State(cionet::SocketId socket);
+  ciobase::Status Close(cionet::SocketId socket);
+
+  // Zero-copy send of app bytes (already TLS-protected by the caller —
+  // the channel never sees plaintext semantics, just bytes).
+  ciobase::Result<size_t> Send(cionet::SocketId socket,
+                               ciobase::ByteSpan data);
+
+  // Receives up to `max_bytes`; empty buffer = nothing available yet.
+  // EOF surfaces as kFailedPrecondition from the stack's socket layer.
+  ciobase::Result<ciobase::Buffer> Receive(cionet::SocketId socket,
+                                           size_t max_bytes);
+
+  // Drives the I/O compartment (stack poll), one crossing per call.
+  void Poll();
+
+  struct Stats {
+    uint64_t crossings = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+    uint64_t receive_copies = 0;
+    uint64_t receive_revocations = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // RAII crossing: enter the I/O compartment, return to the app.
+  class Crossing {
+   public:
+    explicit Crossing(L5Channel* channel);
+    ~Crossing();
+
+   private:
+    L5Channel* channel_;
+  };
+
+  void ChargeCrossing();
+
+  ciotee::CompartmentManager* compartments_;
+  ciotee::CompartmentId app_;
+  ciotee::CompartmentId io_;
+  cionet::NetStack* stack_;
+  ciobase::CostModel* costs_;
+  L5ReceiveMode receive_mode_;
+  L5BoundaryKind boundary_kind_;
+  Stats stats_;
+};
+
+}  // namespace cio
+
+#endif  // SRC_CIO_L5_CHANNEL_H_

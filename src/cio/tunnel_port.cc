@@ -1,0 +1,103 @@
+#include "src/cio/tunnel_port.h"
+
+#include <cstring>
+
+#include "src/crypto/hkdf.h"
+
+namespace cio {
+
+namespace {
+
+// Dedicated ethertype for tunnel frames on the outer segment.
+constexpr uint16_t kEtherTypeTunnel = 0x88c0;
+
+ciotls::SealingKey TunnelKey(ciobase::ByteSpan psk, std::string_view label) {
+  ciocrypto::Sha256Digest prk = ciocrypto::HkdfExtract({}, psk);
+  return ciotls::SealingKey(
+      ciocrypto::HkdfExpandLabel(prk, label, {}, 32),
+      ciocrypto::HkdfExpandLabel(prk, std::string(label) + " iv", {}, 12));
+}
+
+}  // namespace
+
+TunnelPort::TunnelPort(cionet::FramePort* inner, ciobase::ByteSpan psk,
+                       bool is_initiator, ciobase::CostModel* costs)
+    : inner_(inner),
+      costs_(costs),
+      send_key_(TunnelKey(psk, is_initiator ? "tun i2r" : "tun r2i")),
+      recv_key_(TunnelKey(psk, is_initiator ? "tun r2i" : "tun i2r")) {}
+
+uint16_t TunnelPort::mtu() const {
+  // Inner frame must fit [len u16][eth header][payload] in kTunnelPayload.
+  return static_cast<uint16_t>(kTunnelPayload - 2 -
+                               cionet::kEthernetHeaderSize);
+}
+
+ciobase::Status TunnelPort::SendFrame(ciobase::ByteSpan frame) {
+  if (frame.size() + 2 > kTunnelPayload) {
+    return ciobase::InvalidArgument("frame exceeds tunnel capacity");
+  }
+  auto header = cionet::EthernetHeader::Parse(frame);
+  if (!header.ok()) {
+    return header.status();
+  }
+  // Fixed-size plaintext: [inner_len u16][frame][zero padding].
+  ciobase::Buffer plaintext(kTunnelPayload, 0);
+  ciobase::StoreLe16(plaintext.data(), static_cast<uint16_t>(frame.size()));
+  std::memcpy(plaintext.data() + 2, frame.data(), frame.size());
+  stats_.padding_bytes += kTunnelPayload - 2 - frame.size();
+  costs_->ChargeAead(plaintext.size());
+  ciobase::Buffer sealed =
+      send_key_.Seal(ciotls::RecordType::kApplicationData, plaintext);
+
+  // Outer frame: same addressing (the tunnel peer owns the same MAC on the
+  // outer segment), dedicated ethertype, uniform size.
+  ciobase::Buffer outer;
+  cionet::EthernetHeader outer_header{header->dst, header->src,
+                                      kEtherTypeTunnel};
+  outer_header.Serialize(outer);
+  ciobase::Append(outer, sealed);
+  ++stats_.frames_sealed;
+  return inner_->SendFrame(outer);
+}
+
+ciobase::Result<ciobase::Buffer> TunnelPort::ReceiveFrame() {
+  for (;;) {
+    auto outer = inner_->ReceiveFrame();
+    if (!outer.ok()) {
+      return outer.status();
+    }
+    auto header = cionet::EthernetHeader::Parse(*outer);
+    if (!header.ok() || header->ether_type != kEtherTypeTunnel) {
+      continue;  // non-tunnel traffic on the outer segment: ignore
+    }
+    ciobase::ByteSpan sealed =
+        ciobase::ByteSpan(*outer).subspan(cionet::kEthernetHeaderSize);
+    if (sealed.size() <= ciotls::kRecordHeaderSize) {
+      ++stats_.auth_failures;
+      continue;
+    }
+    costs_->ChargeAead(sealed.size());
+    auto plaintext = recv_key_.Open(
+        ciotls::RecordType::kApplicationData,
+        sealed.subspan(ciotls::kRecordHeaderSize));
+    if (!plaintext.ok()) {
+      ++stats_.auth_failures;  // tampered/replayed tunnel frame: dropped
+      continue;
+    }
+    if (plaintext->size() < 2) {
+      ++stats_.auth_failures;
+      continue;
+    }
+    uint16_t inner_len = ciobase::LoadLe16(plaintext->data());
+    if (inner_len + 2u > plaintext->size()) {
+      ++stats_.auth_failures;
+      continue;
+    }
+    ++stats_.frames_opened;
+    return ciobase::Buffer(plaintext->begin() + 2,
+                           plaintext->begin() + 2 + inner_len);
+  }
+}
+
+}  // namespace cio

@@ -1,0 +1,65 @@
+// TunnelPort: a LightBox-style [17] L2-in-crypto tunnel (§2.4 "tunneled
+// approaches, encapsulating L2 packets into a TLS tunnel from a safe
+// network, to hide metadata from the confidential unit's untrusted host
+// and network").
+//
+// Every outgoing Ethernet frame is padded to one fixed tunnel size and
+// sealed (AEAD with per-direction sequence numbers) before it touches the
+// host-visible transport; incoming tunnel frames are opened and unpadded.
+// The host — and any network observer on the path to the tunnel gateway —
+// sees a stream of identical-size ciphertext frames: packet-length entropy
+// collapses to zero, buying the "Obs: S" corner of Figure 5 at the price
+// of bandwidth overhead (padding), AEAD per frame, and the full stack plus
+// tunnel living in the application's TCB.
+//
+// Framing inside the tunnel payload: [inner_len u16][frame][zero padding],
+// sealed as one TLS-style record. Tampering or replay on the tunnel path
+// fails authentication and drops the frame.
+
+#ifndef SRC_CIO_TUNNEL_PORT_H_
+#define SRC_CIO_TUNNEL_PORT_H_
+
+#include "src/base/clock.h"
+#include "src/net/port.h"
+#include "src/tls/record.h"
+
+namespace cio {
+
+class TunnelPort final : public cionet::FramePort {
+ public:
+  // `inner` carries the sealed tunnel frames (any FramePort). `psk` is the
+  // tunnel key, established with the safe-network gateway out of band
+  // (attestation-bound, like the L5 TLS key). Both tunnel endpoints must
+  // use mirrored roles (`is_initiator` true on exactly one side).
+  TunnelPort(cionet::FramePort* inner, ciobase::ByteSpan psk,
+             bool is_initiator, ciobase::CostModel* costs);
+
+  ciobase::Status SendFrame(ciobase::ByteSpan frame) override;
+  ciobase::Result<ciobase::Buffer> ReceiveFrame() override;
+  cionet::MacAddress mac() const override { return inner_->mac(); }
+  // The fixed padding eats into the usable MTU.
+  uint16_t mtu() const override;
+
+  struct Stats {
+    uint64_t frames_sealed = 0;
+    uint64_t frames_opened = 0;
+    uint64_t auth_failures = 0;
+    uint64_t padding_bytes = 0;  // pure overhead paid for uniformity
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Fixed on-the-wire tunnel payload size (before the Ethernet header the
+  // inner port adds). Every sealed frame has exactly this many bytes.
+  static constexpr size_t kTunnelPayload = 1400;
+
+ private:
+  cionet::FramePort* inner_;
+  ciobase::CostModel* costs_;
+  ciotls::SealingKey send_key_;
+  ciotls::SealingKey recv_key_;
+  Stats stats_;
+};
+
+}  // namespace cio
+
+#endif  // SRC_CIO_TUNNEL_PORT_H_

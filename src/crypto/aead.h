@@ -1,0 +1,33 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//
+// This is the mandatory encryption layer of the paper's L5 boundary ("a
+// mandatory TLS layer guarantees data integrity and confidentiality") and of
+// the blockio encryption-at-rest path.
+
+#ifndef SRC_CRYPTO_AEAD_H_
+#define SRC_CRYPTO_AEAD_H_
+
+#include "src/base/status.h"
+#include "src/crypto/chacha20.h"
+#include "src/crypto/poly1305.h"
+
+namespace ciocrypto {
+
+inline constexpr size_t kAeadKeySize = kChaCha20KeySize;    // 32
+inline constexpr size_t kAeadNonceSize = kChaCha20NonceSize;  // 12
+inline constexpr size_t kAeadTagSize = kPoly1305TagSize;    // 16
+
+// Encrypts `plaintext` with `aad` authenticated; output is
+// ciphertext || 16-byte tag.
+ciobase::Buffer AeadSeal(ciobase::ByteSpan key, ciobase::ByteSpan nonce,
+                         ciobase::ByteSpan aad, ciobase::ByteSpan plaintext);
+
+// Opens ciphertext || tag. Returns kTampered if authentication fails.
+ciobase::Result<ciobase::Buffer> AeadOpen(ciobase::ByteSpan key,
+                                          ciobase::ByteSpan nonce,
+                                          ciobase::ByteSpan aad,
+                                          ciobase::ByteSpan sealed);
+
+}  // namespace ciocrypto
+
+#endif  // SRC_CRYPTO_AEAD_H_

@@ -1,0 +1,79 @@
+#include "src/crypto/chacha20.h"
+
+#include <cstring>
+
+#include "src/base/bits.h"
+
+namespace ciocrypto {
+
+namespace {
+
+using ciobase::RotL32;
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = RotL32(d, 16);
+  c += d;
+  b ^= c;
+  b = RotL32(b, 12);
+  a += b;
+  d ^= a;
+  d = RotL32(d, 8);
+  c += d;
+  b ^= c;
+  b = RotL32(b, 7);
+}
+
+}  // namespace
+
+void ChaCha20Block(const uint8_t key[kChaCha20KeySize], uint32_t counter,
+                   const uint8_t nonce[kChaCha20NonceSize],
+                   uint8_t out[kChaCha20BlockSize]) {
+  uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = ciobase::LoadLe32(key + i * 4);
+  }
+  state[12] = counter;
+  state[13] = ciobase::LoadLe32(nonce);
+  state[14] = ciobase::LoadLe32(nonce + 4);
+  state[15] = ciobase::LoadLe32(nonce + 8);
+
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    ciobase::StoreLe32(out + i * 4, x[i] + state[i]);
+  }
+}
+
+void ChaCha20Xor(const uint8_t key[kChaCha20KeySize],
+                 const uint8_t nonce[kChaCha20NonceSize],
+                 uint32_t initial_counter, ciobase::ByteSpan in, uint8_t* out) {
+  uint8_t block[kChaCha20BlockSize];
+  uint32_t counter = initial_counter;
+  size_t i = 0;
+  while (i < in.size()) {
+    ChaCha20Block(key, counter++, nonce, block);
+    size_t n = std::min(in.size() - i, kChaCha20BlockSize);
+    for (size_t j = 0; j < n; ++j) {
+      out[i + j] = static_cast<uint8_t>(in[i + j] ^ block[j]);
+    }
+    i += n;
+  }
+}
+
+}  // namespace ciocrypto

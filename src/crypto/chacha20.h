@@ -1,0 +1,30 @@
+// ChaCha20 stream cipher (RFC 8439 §2.4), from scratch.
+
+#ifndef SRC_CRYPTO_CHACHA20_H_
+#define SRC_CRYPTO_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/base/bytes.h"
+
+namespace ciocrypto {
+
+inline constexpr size_t kChaCha20KeySize = 32;
+inline constexpr size_t kChaCha20NonceSize = 12;
+inline constexpr size_t kChaCha20BlockSize = 64;
+
+// Produces one 64-byte keystream block for (key, counter, nonce).
+void ChaCha20Block(const uint8_t key[kChaCha20KeySize], uint32_t counter,
+                   const uint8_t nonce[kChaCha20NonceSize],
+                   uint8_t out[kChaCha20BlockSize]);
+
+// XORs `in` with the keystream starting at block `initial_counter` into
+// `out`. in and out may alias (in-place encryption).
+void ChaCha20Xor(const uint8_t key[kChaCha20KeySize],
+                 const uint8_t nonce[kChaCha20NonceSize],
+                 uint32_t initial_counter, ciobase::ByteSpan in, uint8_t* out);
+
+}  // namespace ciocrypto
+
+#endif  // SRC_CRYPTO_CHACHA20_H_

@@ -1,0 +1,28 @@
+// HKDF with SHA-256 (RFC 5869), plus the TLS 1.3 style HKDF-Expand-Label
+// used by the ciotls key schedule.
+
+#ifndef SRC_CRYPTO_HKDF_H_
+#define SRC_CRYPTO_HKDF_H_
+
+#include <string_view>
+
+#include "src/crypto/hmac.h"
+
+namespace ciocrypto {
+
+// HKDF-Extract(salt, ikm) -> PRK.
+Sha256Digest HkdfExtract(ciobase::ByteSpan salt, ciobase::ByteSpan ikm);
+
+// HKDF-Expand(prk, info, length). length <= 255 * 32.
+ciobase::Buffer HkdfExpand(ciobase::ByteSpan prk, ciobase::ByteSpan info,
+                           size_t length);
+
+// TLS 1.3's HKDF-Expand-Label(secret, label, context, length) with the
+// "tls13 " label prefix (RFC 8446 §7.1).
+ciobase::Buffer HkdfExpandLabel(ciobase::ByteSpan secret,
+                                std::string_view label,
+                                ciobase::ByteSpan context, size_t length);
+
+}  // namespace ciocrypto
+
+#endif  // SRC_CRYPTO_HKDF_H_

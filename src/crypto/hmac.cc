@@ -1,0 +1,45 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace ciocrypto {
+
+HmacSha256::HmacSha256(ciobase::ByteSpan key) {
+  uint8_t block_key[kSha256BlockSize] = {0};
+  if (key.size() > kSha256BlockSize) {
+    Sha256Digest d = Sha256::Hash(key);
+    std::memcpy(block_key, d.data(), d.size());
+  } else {
+    std::memcpy(block_key, key.data(), key.size());
+  }
+  uint8_t ipad_key[kSha256BlockSize];
+  for (size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad_key[i] = static_cast<uint8_t>(block_key[i] ^ 0x36);
+    opad_key_[i] = static_cast<uint8_t>(block_key[i] ^ 0x5c);
+  }
+  inner_.Update(ciobase::ByteSpan(ipad_key, kSha256BlockSize));
+}
+
+void HmacSha256::Update(ciobase::ByteSpan data) { inner_.Update(data); }
+
+Sha256Digest HmacSha256::Finish() {
+  Sha256Digest inner_digest = inner_.Finish();
+  Sha256 outer;
+  outer.Update(ciobase::ByteSpan(opad_key_, kSha256BlockSize));
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+Sha256Digest HmacSha256::Mac(ciobase::ByteSpan key, ciobase::ByteSpan data) {
+  HmacSha256 h(key);
+  h.Update(data);
+  return h.Finish();
+}
+
+bool HmacSha256::Verify(ciobase::ByteSpan key, ciobase::ByteSpan data,
+                        ciobase::ByteSpan expected_mac) {
+  Sha256Digest mac = Mac(key, data);
+  return ciobase::ConstantTimeEqual(mac, expected_mac);
+}
+
+}  // namespace ciocrypto

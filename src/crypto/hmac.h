@@ -1,0 +1,30 @@
+// HMAC-SHA256 (RFC 2104). Used by the attestation report MAC and by HKDF.
+
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include "src/crypto/sha256.h"
+
+namespace ciocrypto {
+
+class HmacSha256 {
+ public:
+  explicit HmacSha256(ciobase::ByteSpan key);
+
+  void Update(ciobase::ByteSpan data);
+  Sha256Digest Finish();
+
+  static Sha256Digest Mac(ciobase::ByteSpan key, ciobase::ByteSpan data);
+
+  // Constant-time verification of a received MAC.
+  static bool Verify(ciobase::ByteSpan key, ciobase::ByteSpan data,
+                     ciobase::ByteSpan expected_mac);
+
+ private:
+  Sha256 inner_;
+  uint8_t opad_key_[kSha256BlockSize];
+};
+
+}  // namespace ciocrypto
+
+#endif  // SRC_CRYPTO_HMAC_H_

@@ -1,0 +1,184 @@
+#include "src/crypto/poly1305.h"
+
+#include <cstring>
+
+namespace ciocrypto {
+
+Poly1305::Poly1305(const uint8_t key[kPoly1305KeySize]) {
+  // r is clamped per the RFC.
+  uint32_t t0 = ciobase::LoadLe32(key + 0);
+  uint32_t t1 = ciobase::LoadLe32(key + 4);
+  uint32_t t2 = ciobase::LoadLe32(key + 8);
+  uint32_t t3 = ciobase::LoadLe32(key + 12);
+  r_[0] = t0 & 0x3ffffff;
+  r_[1] = ((t0 >> 26) | (t1 << 6)) & 0x3ffff03;
+  r_[2] = ((t1 >> 20) | (t2 << 12)) & 0x3ffc0ff;
+  r_[3] = ((t2 >> 14) | (t3 << 18)) & 0x3f03fff;
+  r_[4] = (t3 >> 8) & 0x00fffff;
+  std::memset(h_, 0, sizeof(h_));
+  for (int i = 0; i < 4; ++i) {
+    s_[i] = ciobase::LoadLe32(key + 16 + i * 4);
+  }
+}
+
+void Poly1305::Block(const uint8_t* block, uint8_t pad_bit) {
+  uint32_t t0 = ciobase::LoadLe32(block + 0);
+  uint32_t t1 = ciobase::LoadLe32(block + 4);
+  uint32_t t2 = ciobase::LoadLe32(block + 8);
+  uint32_t t3 = ciobase::LoadLe32(block + 12);
+
+  // h += message block (with the 2^128 pad bit).
+  h_[0] += t0 & 0x3ffffff;
+  h_[1] += ((t0 >> 26) | (t1 << 6)) & 0x3ffffff;
+  h_[2] += ((t1 >> 20) | (t2 << 12)) & 0x3ffffff;
+  h_[3] += ((t2 >> 14) | (t3 << 18)) & 0x3ffffff;
+  h_[4] += (t3 >> 8) | (static_cast<uint32_t>(pad_bit) << 24);
+
+  // h *= r mod 2^130 - 5.
+  uint64_t d0 = static_cast<uint64_t>(h_[0]) * r_[0] +
+                static_cast<uint64_t>(h_[1]) * (5 * r_[4]) +
+                static_cast<uint64_t>(h_[2]) * (5 * r_[3]) +
+                static_cast<uint64_t>(h_[3]) * (5 * r_[2]) +
+                static_cast<uint64_t>(h_[4]) * (5 * r_[1]);
+  uint64_t d1 = static_cast<uint64_t>(h_[0]) * r_[1] +
+                static_cast<uint64_t>(h_[1]) * r_[0] +
+                static_cast<uint64_t>(h_[2]) * (5 * r_[4]) +
+                static_cast<uint64_t>(h_[3]) * (5 * r_[3]) +
+                static_cast<uint64_t>(h_[4]) * (5 * r_[2]);
+  uint64_t d2 = static_cast<uint64_t>(h_[0]) * r_[2] +
+                static_cast<uint64_t>(h_[1]) * r_[1] +
+                static_cast<uint64_t>(h_[2]) * r_[0] +
+                static_cast<uint64_t>(h_[3]) * (5 * r_[4]) +
+                static_cast<uint64_t>(h_[4]) * (5 * r_[3]);
+  uint64_t d3 = static_cast<uint64_t>(h_[0]) * r_[3] +
+                static_cast<uint64_t>(h_[1]) * r_[2] +
+                static_cast<uint64_t>(h_[2]) * r_[1] +
+                static_cast<uint64_t>(h_[3]) * r_[0] +
+                static_cast<uint64_t>(h_[4]) * (5 * r_[4]);
+  uint64_t d4 = static_cast<uint64_t>(h_[0]) * r_[4] +
+                static_cast<uint64_t>(h_[1]) * r_[3] +
+                static_cast<uint64_t>(h_[2]) * r_[2] +
+                static_cast<uint64_t>(h_[3]) * r_[1] +
+                static_cast<uint64_t>(h_[4]) * r_[0];
+
+  // Carry propagation.
+  uint64_t c;
+  c = d0 >> 26;
+  h_[0] = static_cast<uint32_t>(d0) & 0x3ffffff;
+  d1 += c;
+  c = d1 >> 26;
+  h_[1] = static_cast<uint32_t>(d1) & 0x3ffffff;
+  d2 += c;
+  c = d2 >> 26;
+  h_[2] = static_cast<uint32_t>(d2) & 0x3ffffff;
+  d3 += c;
+  c = d3 >> 26;
+  h_[3] = static_cast<uint32_t>(d3) & 0x3ffffff;
+  d4 += c;
+  c = d4 >> 26;
+  h_[4] = static_cast<uint32_t>(d4) & 0x3ffffff;
+  h_[0] += static_cast<uint32_t>(c * 5);
+  c = h_[0] >> 26;
+  h_[0] &= 0x3ffffff;
+  h_[1] += static_cast<uint32_t>(c);
+}
+
+void Poly1305::Update(ciobase::ByteSpan data) {
+  size_t i = 0;
+  if (buffered_ > 0) {
+    size_t take = std::min(static_cast<size_t>(16) - buffered_, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    i += take;
+    if (buffered_ == 16) {
+      Block(buffer_, 1);
+      buffered_ = 0;
+    }
+  }
+  while (i + 16 <= data.size()) {
+    Block(data.data() + i, 1);
+    i += 16;
+  }
+  if (i < data.size()) {
+    std::memcpy(buffer_, data.data() + i, data.size() - i);
+    buffered_ = data.size() - i;
+  }
+}
+
+Poly1305Tag Poly1305::Finish() {
+  if (buffered_ > 0) {
+    // Final partial block: append 0x01 then zero-pad; no 2^128 bit.
+    uint8_t final_block[16] = {0};
+    std::memcpy(final_block, buffer_, buffered_);
+    final_block[buffered_] = 1;
+    Block(final_block, 0);
+    buffered_ = 0;
+  }
+
+  // Full carry.
+  uint32_t c;
+  c = h_[1] >> 26;
+  h_[1] &= 0x3ffffff;
+  h_[2] += c;
+  c = h_[2] >> 26;
+  h_[2] &= 0x3ffffff;
+  h_[3] += c;
+  c = h_[3] >> 26;
+  h_[3] &= 0x3ffffff;
+  h_[4] += c;
+  c = h_[4] >> 26;
+  h_[4] &= 0x3ffffff;
+  h_[0] += c * 5;
+  c = h_[0] >> 26;
+  h_[0] &= 0x3ffffff;
+  h_[1] += c;
+
+  // Compute h + -p and select it if h >= p (constant-time select).
+  uint32_t g0 = h_[0] + 5;
+  c = g0 >> 26;
+  g0 &= 0x3ffffff;
+  uint32_t g1 = h_[1] + c;
+  c = g1 >> 26;
+  g1 &= 0x3ffffff;
+  uint32_t g2 = h_[2] + c;
+  c = g2 >> 26;
+  g2 &= 0x3ffffff;
+  uint32_t g3 = h_[3] + c;
+  c = g3 >> 26;
+  g3 &= 0x3ffffff;
+  uint32_t g4 = h_[4] + c - (1u << 26);
+
+  uint32_t mask = (g4 >> 31) - 1;  // all-ones if g4 did not underflow
+  g0 = (g0 & mask) | (h_[0] & ~mask);
+  g1 = (g1 & mask) | (h_[1] & ~mask);
+  g2 = (g2 & mask) | (h_[2] & ~mask);
+  g3 = (g3 & mask) | (h_[3] & ~mask);
+  g4 = (g4 & mask) | (h_[4] & ~mask);
+
+  // Serialize to 128 bits and add s.
+  uint32_t w0 = g0 | (g1 << 26);
+  uint32_t w1 = (g1 >> 6) | (g2 << 20);
+  uint32_t w2 = (g2 >> 12) | (g3 << 14);
+  uint32_t w3 = (g3 >> 18) | (g4 << 8);
+
+  uint64_t f;
+  Poly1305Tag tag;
+  f = static_cast<uint64_t>(w0) + s_[0];
+  ciobase::StoreLe32(tag.data() + 0, static_cast<uint32_t>(f));
+  f = static_cast<uint64_t>(w1) + s_[1] + (f >> 32);
+  ciobase::StoreLe32(tag.data() + 4, static_cast<uint32_t>(f));
+  f = static_cast<uint64_t>(w2) + s_[2] + (f >> 32);
+  ciobase::StoreLe32(tag.data() + 8, static_cast<uint32_t>(f));
+  f = static_cast<uint64_t>(w3) + s_[3] + (f >> 32);
+  ciobase::StoreLe32(tag.data() + 12, static_cast<uint32_t>(f));
+  return tag;
+}
+
+Poly1305Tag Poly1305::Mac(const uint8_t key[kPoly1305KeySize],
+                          ciobase::ByteSpan data) {
+  Poly1305 p(key);
+  p.Update(data);
+  return p.Finish();
+}
+
+}  // namespace ciocrypto

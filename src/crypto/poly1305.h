@@ -1,0 +1,41 @@
+// Poly1305 one-time authenticator (RFC 8439 §2.5), from scratch.
+// Implemented with 26-bit limbs over 64-bit accumulators.
+
+#ifndef SRC_CRYPTO_POLY1305_H_
+#define SRC_CRYPTO_POLY1305_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/base/bytes.h"
+
+namespace ciocrypto {
+
+inline constexpr size_t kPoly1305KeySize = 32;
+inline constexpr size_t kPoly1305TagSize = 16;
+
+using Poly1305Tag = std::array<uint8_t, kPoly1305TagSize>;
+
+class Poly1305 {
+ public:
+  explicit Poly1305(const uint8_t key[kPoly1305KeySize]);
+
+  void Update(ciobase::ByteSpan data);
+  Poly1305Tag Finish();
+
+  static Poly1305Tag Mac(const uint8_t key[kPoly1305KeySize],
+                         ciobase::ByteSpan data);
+
+ private:
+  void Block(const uint8_t* block, uint8_t pad_bit);
+
+  uint32_t r_[5];
+  uint32_t h_[5];
+  uint32_t s_[4];  // the "s" half of the key, added at the end
+  uint8_t buffer_[16];
+  size_t buffered_ = 0;
+};
+
+}  // namespace ciocrypto
+
+#endif  // SRC_CRYPTO_POLY1305_H_

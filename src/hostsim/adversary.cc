@@ -1,0 +1,190 @@
+#include "src/hostsim/adversary.h"
+
+#include <cstring>
+
+namespace ciohost {
+
+std::string_view AttackStrategyName(AttackStrategy strategy) {
+  switch (strategy) {
+    case AttackStrategy::kNone:
+      return "none";
+    case AttackStrategy::kDoubleFetchLength:
+      return "double-fetch-length";
+    case AttackStrategy::kDoubleFetchOffset:
+      return "double-fetch-offset";
+    case AttackStrategy::kOobDescriptor:
+      return "oob-descriptor";
+    case AttackStrategy::kUsedLenInflation:
+      return "used-len-inflation";
+    case AttackStrategy::kReplayCompletion:
+      return "replay-completion";
+    case AttackStrategy::kIndexStorm:
+      return "index-storm";
+    case AttackStrategy::kCorruptPayload:
+      return "corrupt-payload";
+    case AttackStrategy::kMalformedChain:
+      return "malformed-chain";
+  }
+  return "?";
+}
+
+std::vector<AttackStrategy> AllAttackStrategies() {
+  return {AttackStrategy::kDoubleFetchLength,
+          AttackStrategy::kDoubleFetchOffset,
+          AttackStrategy::kOobDescriptor,
+          AttackStrategy::kUsedLenInflation,
+          AttackStrategy::kReplayCompletion,
+          AttackStrategy::kIndexStorm,
+          AttackStrategy::kCorruptPayload,
+          AttackStrategy::kMalformedChain};
+}
+
+void Adversary::Arm(ciotee::SharedRegion* region,
+                    std::vector<SurfaceField> surface) {
+  region_ = region;
+  surface_ = std::move(surface);
+  saved_.assign(surface_.size(), {});
+  window_ = 0;
+  region_->SetTamperHook(
+      [this](ciobase::MutableByteSpan shared) { TamperWindow(shared); });
+}
+
+void Adversary::Disarm() {
+  if (region_ != nullptr) {
+    region_->ClearTamperHook();
+    region_ = nullptr;
+  }
+  surface_.clear();
+  saved_.clear();
+}
+
+void Adversary::FlipField(ciobase::MutableByteSpan shared,
+                          const SurfaceField& field, bool hostile) {
+  if (field.offset + field.width > shared.size()) {
+    return;
+  }
+  size_t i = static_cast<size_t>(&field - surface_.data());
+  if (hostile) {
+    // Save the honest bytes, then write an out-of-range hostile value.
+    saved_[i].assign(shared.begin() + static_cast<long>(field.offset),
+                     shared.begin() + static_cast<long>(field.offset) +
+                         field.width);
+    std::memset(shared.data() + field.offset, 0xff, field.width);
+    ++tamper_count_;
+  } else if (saved_[i].size() == field.width) {
+    // Restore the honest value so the *next* fetch looks clean again.
+    std::memcpy(shared.data() + field.offset, saved_[i].data(), field.width);
+  }
+}
+
+void Adversary::TamperWindow(ciobase::MutableByteSpan shared) {
+  if (shared.empty()) {
+    return;
+  }
+  ++window_;
+  switch (strategy_) {
+    case AttackStrategy::kNone:
+    case AttackStrategy::kUsedLenInflation:
+    case AttackStrategy::kReplayCompletion:
+    case AttackStrategy::kMalformedChain:
+      // Behavioral-only strategies do not race on memory.
+      return;
+    case AttackStrategy::kDoubleFetchLength:
+      // Alternate hostile/honest so that a validate-fetch can see the honest
+      // value while the use-fetch sees the hostile one (or vice versa).
+      for (const auto& field : surface_) {
+        if (field.kind == FieldKind::kLength) {
+          FlipField(shared, field, window_ % 2 == 0);
+        }
+      }
+      return;
+    case AttackStrategy::kDoubleFetchOffset:
+      for (const auto& field : surface_) {
+        if (field.kind == FieldKind::kOffset) {
+          FlipField(shared, field, window_ % 2 == 0);
+        }
+      }
+      return;
+    case AttackStrategy::kOobDescriptor:
+      // Persistently hostile offsets and lengths: not a race, a bad post.
+      for (const auto& field : surface_) {
+        if (field.kind == FieldKind::kOffset ||
+            field.kind == FieldKind::kLength) {
+          FlipField(shared, field, /*hostile=*/true);
+        }
+      }
+      return;
+    case AttackStrategy::kIndexStorm:
+      for (const auto& field : surface_) {
+        if (field.kind == FieldKind::kIndex) {
+          FlipField(shared, field, /*hostile=*/true);
+        }
+      }
+      return;
+    case AttackStrategy::kCorruptPayload:
+      for (const auto& field : surface_) {
+        if (field.kind == FieldKind::kPayload &&
+            field.offset < shared.size()) {
+          // Flip one byte per window somewhere in the payload area.
+          uint64_t pos =
+              field.offset + rng_.NextBounded(std::min<uint64_t>(
+                                 field.width, shared.size() - field.offset));
+          shared[pos] ^= 0x5a;
+          ++tamper_count_;
+        }
+      }
+      return;
+  }
+}
+
+uint32_t Adversary::MutateUsedLen(uint32_t honest_len,
+                                  uint32_t buffer_capacity) {
+  if (strategy_ == AttackStrategy::kUsedLenInflation) {
+    ++behavior_count_;
+    // Claim vastly more than was written: far beyond the buffer, the pool,
+    // and the shared region itself.
+    return buffer_capacity + 0x40000000;
+  }
+  return honest_len;
+}
+
+bool Adversary::ShouldReplayCompletion() {
+  if (strategy_ == AttackStrategy::kReplayCompletion) {
+    ++behavior_count_;
+    return true;
+  }
+  return false;
+}
+
+uint16_t Adversary::MutatePublishedIndex(uint16_t honest_index) {
+  if (strategy_ == AttackStrategy::kIndexStorm) {
+    ++behavior_count_;
+    return static_cast<uint16_t>(honest_index + 0x7fff);
+  }
+  return honest_index;
+}
+
+uint64_t Adversary::MutatePublishedCounter(uint64_t honest_counter) {
+  if (strategy_ == AttackStrategy::kIndexStorm) {
+    ++behavior_count_;
+    return honest_counter + 0x7fff;
+  }
+  return honest_counter;
+}
+
+void Adversary::MaybeCorruptPayload(ciobase::MutableByteSpan payload) {
+  if (strategy_ == AttackStrategy::kCorruptPayload && !payload.empty()) {
+    ++behavior_count_;
+    payload[rng_.NextBounded(payload.size())] ^= 0xa5;
+  }
+}
+
+bool Adversary::ShouldMalformChain() {
+  if (strategy_ == AttackStrategy::kMalformedChain) {
+    ++behavior_count_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ciohost

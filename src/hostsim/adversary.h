@@ -1,0 +1,113 @@
+// Adversary: a malicious host attacking the confidential I/O interface.
+//
+// Two attack channels, matching how a hostile hypervisor really operates:
+//
+//  1. Memory tampering. The adversary installs a tamper hook on the shared
+//     region (ciotee::SharedRegion) which runs before *every* guest access —
+//     the TOCTOU window. Transports register their attack surface (where
+//     length/index/payload fields live in shared memory) and the adversary
+//     mutates those fields. For double-fetch strategies it alternates
+//     between the original and a hostile value across windows, so designs
+//     that read a field twice (validate in place, then use in place) get
+//     exploited while single-fetch designs ("copy as a first-class citizen")
+//     either proceed safely or reject cleanly.
+//
+//  2. Behavioral attacks. The host-side device model itself consults the
+//     adversary: inflate used-lengths, replay completions, post malformed
+//     descriptor chains, jump indices. These model a compromised device
+//     backend rather than a memory racer.
+//
+// The campaign harness (src/cio/attack_campaign.*) decides the outcome of
+// each attack from ground truth: TEE memory violations, compartment
+// violations, delivered-vs-sent payload comparison, and AEAD failures.
+
+#ifndef SRC_HOSTSIM_ADVERSARY_H_
+#define SRC_HOSTSIM_ADVERSARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/rng.h"
+#include "src/tee/shared_region.h"
+
+namespace ciohost {
+
+enum class AttackStrategy {
+  kNone = 0,
+  kDoubleFetchLength,  // flip a length field between validation and use
+  kDoubleFetchOffset,  // flip an offset/address field between fetches
+  kOobDescriptor,      // make descriptors point outside the legal pool
+  kUsedLenInflation,   // report completions longer than the posted buffer
+  kReplayCompletion,   // replay a stale completion (temporal violation)
+  kIndexStorm,         // advance ring indices far beyond the valid window
+  kCorruptPayload,     // flip payload bytes (integrity attack)
+  kMalformedChain,     // loop / overlong descriptor chains
+};
+inline constexpr int kAttackStrategyCount = 9;
+
+std::string_view AttackStrategyName(AttackStrategy strategy);
+std::vector<AttackStrategy> AllAttackStrategies();
+
+// Where interesting fields live in a shared region; registered by transports.
+enum class FieldKind { kLength, kOffset, kIndex, kPayload, kFlags };
+
+struct SurfaceField {
+  FieldKind kind;
+  uint64_t offset;  // byte offset in the shared region
+  uint32_t width;   // bytes: 1, 2, 4, or 8
+};
+
+class Adversary {
+ public:
+  explicit Adversary(uint64_t seed) : rng_(seed) {}
+
+  void set_strategy(AttackStrategy strategy) { strategy_ = strategy; }
+  AttackStrategy strategy() const { return strategy_; }
+
+  // Registers the transport's attack surface and installs the tamper hook.
+  void Arm(ciotee::SharedRegion* region, std::vector<SurfaceField> surface);
+  void Disarm();
+
+  // --- Behavioral attack queries (called by host-side device models) -------
+
+  // Possibly inflates a completion length the device is about to report.
+  uint32_t MutateUsedLen(uint32_t honest_len, uint32_t buffer_capacity);
+  // True if the device should replay the previous completion entry.
+  bool ShouldReplayCompletion();
+  // Possibly perturbs an index the device is about to publish.
+  uint16_t MutatePublishedIndex(uint16_t honest_index);
+  // 64-bit counter variant (the hardened L2 transport's monotonic counters).
+  uint64_t MutatePublishedCounter(uint64_t honest_counter);
+  // Possibly corrupts an outgoing/incoming payload in place.
+  void MaybeCorruptPayload(ciobase::MutableByteSpan payload);
+  // True if the device should emit a malformed (looping/overlong) chain.
+  bool ShouldMalformChain();
+
+  uint64_t tamper_count() const { return tamper_count_; }
+  uint64_t behavior_count() const { return behavior_count_; }
+  void ResetCounters() {
+    tamper_count_ = 0;
+    behavior_count_ = 0;
+  }
+
+ private:
+  void TamperWindow(ciobase::MutableByteSpan shared);
+  void FlipField(ciobase::MutableByteSpan shared, const SurfaceField& field,
+                 bool hostile);
+
+  ciobase::Rng rng_;
+  AttackStrategy strategy_ = AttackStrategy::kNone;
+  ciotee::SharedRegion* region_ = nullptr;
+  std::vector<SurfaceField> surface_;
+  // Saved original bytes for alternating double-fetch flips.
+  std::vector<ciobase::Buffer> saved_;
+  uint64_t window_ = 0;
+  uint64_t tamper_count_ = 0;
+  uint64_t behavior_count_ = 0;
+};
+
+}  // namespace ciohost
+
+#endif  // SRC_HOSTSIM_ADVERSARY_H_

@@ -1,0 +1,121 @@
+#include "src/net/ipv4.h"
+
+#include <cstring>
+
+namespace cionet {
+
+std::vector<ciobase::Buffer> FragmentIpv4(const Ipv4Header& header,
+                                          ciobase::ByteSpan payload,
+                                          uint16_t mtu) {
+  std::vector<ciobase::Buffer> packets;
+  size_t max_payload = mtu - kIpv4HeaderSize;
+  max_payload &= ~static_cast<size_t>(7);  // fragment payloads are 8B units
+  if (payload.size() + kIpv4HeaderSize <= mtu) {
+    ciobase::Buffer packet;
+    Ipv4Header h = header;
+    h.total_length = static_cast<uint16_t>(kIpv4HeaderSize + payload.size());
+    h.flags_fragment = 0;
+    h.Serialize(packet);
+    ciobase::Append(packet, payload);
+    packets.push_back(std::move(packet));
+    return packets;
+  }
+  size_t offset = 0;
+  while (offset < payload.size()) {
+    size_t chunk = std::min(max_payload, payload.size() - offset);
+    bool last = offset + chunk == payload.size();
+    ciobase::Buffer packet;
+    Ipv4Header h = header;
+    h.total_length = static_cast<uint16_t>(kIpv4HeaderSize + chunk);
+    h.flags_fragment =
+        static_cast<uint16_t>((offset / 8) & 0x1fff) |
+        (last ? 0 : kIpv4FlagMoreFragments);
+    h.Serialize(packet);
+    ciobase::Append(packet, payload.subspan(offset, chunk));
+    packets.push_back(std::move(packet));
+    offset += chunk;
+  }
+  return packets;
+}
+
+std::optional<ReassembledDatagram> Ipv4Reassembler::Add(
+    const Ipv4Header& header, ciobase::ByteSpan payload) {
+  if (header.flags_fragment == 0 ||
+      header.flags_fragment == kIpv4FlagDontFragment) {
+    // Unfragmented fast path.
+    return ReassembledDatagram{header,
+                               ciobase::Buffer(payload.begin(), payload.end())};
+  }
+  Key key{header.src.value, header.dst.value, header.identification,
+          header.protocol};
+  Pending& p = pending_[key];
+  if (p.fragments.empty()) {
+    p.started_ns = clock_->now_ns();
+  }
+  uint16_t offset = header.FragmentOffsetBytes();
+  if (offset == 0) {
+    p.first_header = header;
+  }
+  if (static_cast<size_t>(offset) + payload.size() > kMaxDatagram) {
+    pending_.erase(key);  // hostile geometry; drop the whole datagram
+    return std::nullopt;
+  }
+  if (!header.MoreFragments()) {
+    p.have_last = true;
+    p.total_size = offset + payload.size();
+  }
+  auto [it, inserted] = p.fragments.emplace(
+      offset, ciobase::Buffer(payload.begin(), payload.end()));
+  if (inserted) {
+    p.buffered += payload.size();
+    total_buffered_ += payload.size();
+    if (total_buffered_ > kMaxPendingBytes) {
+      // Global memory cap: shed this reassembly entirely.
+      total_buffered_ -= p.buffered;
+      pending_.erase(key);
+      return std::nullopt;
+    }
+  }
+
+  if (!p.have_last) {
+    return std::nullopt;
+  }
+  // Check contiguity from 0 to total_size.
+  size_t next = 0;
+  for (const auto& [frag_offset, bytes] : p.fragments) {
+    if (frag_offset > next) {
+      return std::nullopt;  // hole remains
+    }
+    next = std::max(next, frag_offset + bytes.size());
+  }
+  if (next < p.total_size) {
+    return std::nullopt;
+  }
+
+  ciobase::Buffer full(p.total_size);
+  for (const auto& [frag_offset, bytes] : p.fragments) {
+    size_t n = std::min(bytes.size(), full.size() - frag_offset);
+    std::memcpy(full.data() + frag_offset, bytes.data(), n);
+  }
+  ReassembledDatagram out{p.first_header, std::move(full)};
+  out.header.flags_fragment = 0;
+  out.header.total_length =
+      static_cast<uint16_t>(kIpv4HeaderSize + out.payload.size());
+  total_buffered_ -= p.buffered;
+  pending_.erase(key);
+  return out;
+}
+
+void Ipv4Reassembler::Expire() {
+  uint64_t now = clock_->now_ns();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.started_ns > kTimeoutNs) {
+      total_buffered_ -= it->second.buffered;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace cionet

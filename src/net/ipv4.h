@@ -1,0 +1,75 @@
+// IPv4 fragmentation and reassembly.
+//
+// The stack fragments datagrams larger than the port MTU and reassembles
+// incoming fragments keyed by (src, dst, protocol, identification), with a
+// timeout and hard caps on buffered bytes — reassembly is a classic
+// attacker-facing allocation amplifier, so the caps are part of the
+// interface-safety story.
+
+#ifndef SRC_NET_IPV4_H_
+#define SRC_NET_IPV4_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/net/wire.h"
+
+namespace cionet {
+
+// Splits `payload` into IPv4 packets (header + fragment payload) that each
+// fit in `mtu` bytes. `header` supplies src/dst/protocol/id; total_length
+// and flags_fragment are computed per fragment.
+std::vector<ciobase::Buffer> FragmentIpv4(const Ipv4Header& header,
+                                          ciobase::ByteSpan payload,
+                                          uint16_t mtu);
+
+struct ReassembledDatagram {
+  Ipv4Header header;
+  ciobase::Buffer payload;
+};
+
+class Ipv4Reassembler {
+ public:
+  explicit Ipv4Reassembler(ciobase::SimClock* clock) : clock_(clock) {}
+
+  // Feeds one fragment (or whole datagram); returns the complete datagram
+  // once every fragment has arrived.
+  std::optional<ReassembledDatagram> Add(const Ipv4Header& header,
+                                         ciobase::ByteSpan payload);
+
+  // Drops reassembly state older than the timeout.
+  void Expire();
+
+  size_t pending() const { return pending_.size(); }
+
+  static constexpr uint64_t kTimeoutNs = 5ULL * 1'000'000'000;  // 5 s
+  static constexpr size_t kMaxDatagram = 65535;
+  static constexpr size_t kMaxPendingBytes = 1 << 20;  // global cap
+
+ private:
+  struct Key {
+    uint32_t src;
+    uint32_t dst;
+    uint16_t id;
+    uint8_t protocol;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Pending {
+    Ipv4Header first_header;
+    bool have_last = false;
+    size_t total_size = 0;  // known once the last fragment arrives
+    std::map<uint16_t, ciobase::Buffer> fragments;  // offset -> bytes
+    size_t buffered = 0;
+    uint64_t started_ns = 0;
+  };
+
+  size_t total_buffered_ = 0;
+  ciobase::SimClock* clock_;
+  std::map<Key, Pending> pending_;
+};
+
+}  // namespace cionet
+
+#endif  // SRC_NET_IPV4_H_

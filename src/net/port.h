@@ -1,0 +1,34 @@
+// FramePort: the L2 interface the TEE's network stack drives.
+//
+// Implementations are the different confidential I/O transports this
+// repository compares: the virtio-net guest driver (baseline), the paper's
+// hardened L2 transport (cio::L2Transport), and a trusted DirectFabricPort
+// used for unit-testing the stack without any host in the way.
+
+#ifndef SRC_NET_PORT_H_
+#define SRC_NET_PORT_H_
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+#include "src/net/wire.h"
+
+namespace cionet {
+
+class FramePort {
+ public:
+  virtual ~FramePort() = default;
+
+  // Queues one Ethernet frame for transmission. Frames larger than the MTU
+  // plus the Ethernet header are rejected.
+  virtual ciobase::Status SendFrame(ciobase::ByteSpan frame) = 0;
+
+  // Returns the next received frame, or kUnavailable when none is pending.
+  virtual ciobase::Result<ciobase::Buffer> ReceiveFrame() = 0;
+
+  virtual MacAddress mac() const = 0;
+  virtual uint16_t mtu() const = 0;
+};
+
+}  // namespace cionet
+
+#endif  // SRC_NET_PORT_H_

@@ -1,0 +1,44 @@
+#include "src/net/udp.h"
+
+namespace cionet {
+
+ciobase::Buffer BuildUdpDatagram(Ipv4Address src_ip, Ipv4Address dst_ip,
+                                 uint16_t src_port, uint16_t dst_port,
+                                 ciobase::ByteSpan payload) {
+  ciobase::Buffer out;
+  UdpHeader header;
+  header.src_port = src_port;
+  header.dst_port = dst_port;
+  header.length = static_cast<uint16_t>(kUdpHeaderSize + payload.size());
+  header.Serialize(out);
+  ciobase::Append(out, payload);
+  uint16_t checksum = TransportChecksum(src_ip, dst_ip, kIpProtoUdp, out);
+  if (checksum == 0) {
+    checksum = 0xffff;  // RFC 768: transmitted zero means "no checksum"
+  }
+  ciobase::StoreBe16(out.data() + 6, checksum);
+  return out;
+}
+
+ciobase::Result<ParsedUdp> ParseUdpDatagram(Ipv4Address src_ip,
+                                            Ipv4Address dst_ip,
+                                            ciobase::ByteSpan datagram) {
+  auto header = UdpHeader::Parse(datagram);
+  if (!header.ok()) {
+    return header.status();
+  }
+  uint16_t wire_checksum = ciobase::LoadBe16(datagram.data() + 6);
+  if (wire_checksum != 0) {
+    if (TransportChecksum(src_ip, dst_ip, kIpProtoUdp,
+                          datagram.first(header->length)) != 0) {
+      return ciobase::Tampered("UDP checksum mismatch");
+    }
+  }
+  ParsedUdp parsed;
+  parsed.header = *header;
+  parsed.payload.assign(datagram.begin() + kUdpHeaderSize,
+                        datagram.begin() + header->length);
+  return parsed;
+}
+
+}  // namespace cionet

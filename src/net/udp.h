@@ -1,0 +1,28 @@
+// UDP datagram building and parsing with pseudo-header checksums.
+
+#ifndef SRC_NET_UDP_H_
+#define SRC_NET_UDP_H_
+
+#include "src/base/status.h"
+#include "src/net/wire.h"
+
+namespace cionet {
+
+// Builds header+payload with a correct checksum.
+ciobase::Buffer BuildUdpDatagram(Ipv4Address src_ip, Ipv4Address dst_ip,
+                                 uint16_t src_port, uint16_t dst_port,
+                                 ciobase::ByteSpan payload);
+
+struct ParsedUdp {
+  UdpHeader header;
+  ciobase::Buffer payload;
+};
+
+// Parses and checksum-verifies a UDP datagram carried in an IPv4 payload.
+ciobase::Result<ParsedUdp> ParseUdpDatagram(Ipv4Address src_ip,
+                                            Ipv4Address dst_ip,
+                                            ciobase::ByteSpan datagram);
+
+}  // namespace cionet
+
+#endif  // SRC_NET_UDP_H_

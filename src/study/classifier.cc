@@ -1,0 +1,148 @@
+#include "src/study/classifier.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace ciostudy {
+
+namespace {
+
+std::string Lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool ContainsAny(const std::string& haystack,
+                 std::initializer_list<const char*> needles) {
+  for (const char* needle : needles) {
+    if (haystack.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+HardeningCategory ClassifySubject(std::string_view subject) {
+  std::string s = Lower(subject);
+  // Amendments first: a revert of a validation commit is an amendment.
+  if (ContainsAny(s, {"revert", "fix up", "again)", "regression",
+                      "false positive", "relax"})) {
+    return HardeningCategory::kAmendPrevious;
+  }
+  if (ContainsAny(s, {"race", "barrier", "concurrent", "lock"})) {
+    return HardeningCategory::kRaceProtection;
+  }
+  if (ContainsAny(s, {"copy", "bounce", "swiotlb", "snapshot"})) {
+    return HardeningCategory::kAddCopies;
+  }
+  if (ContainsAny(s, {"zero", "initial", "uninitialized", "clear "})) {
+    return HardeningCategory::kAddInit;
+  }
+  if (ContainsAny(s, {"disable", "restrict", "refuse", "forbid"})) {
+    return HardeningCategory::kRestrictFeatures;
+  }
+  if (ContainsAny(s, {"rework", "redesign", "refactor", "rewrite"})) {
+    return HardeningCategory::kDesignChange;
+  }
+  if (ContainsAny(s, {"validat", "check", "sanity", "bounds", "detect",
+                      "reject"})) {
+    return HardeningCategory::kAddChecks;
+  }
+  // Default bucket: checks are the most common hardening change.
+  return HardeningCategory::kAddChecks;
+}
+
+Distribution DistributionByLabel(const std::vector<HardeningCommit>& commits) {
+  Distribution distribution;
+  for (const auto& commit : commits) {
+    ++distribution.counts[static_cast<int>(commit.label)];
+    ++distribution.total;
+  }
+  return distribution;
+}
+
+Distribution DistributionByClassifier(
+    const std::vector<HardeningCommit>& commits) {
+  Distribution distribution;
+  for (const auto& commit : commits) {
+    ++distribution.counts[static_cast<int>(ClassifySubject(commit.subject))];
+    ++distribution.total;
+  }
+  return distribution;
+}
+
+double ClassifierAccuracy(const std::vector<HardeningCommit>& commits) {
+  if (commits.empty()) {
+    return 1.0;
+  }
+  int agree = 0;
+  for (const auto& commit : commits) {
+    if (ClassifySubject(commit.subject) == commit.label) {
+      ++agree;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(commits.size());
+}
+
+std::string DistributionTable(const std::string& title,
+                              const Distribution& distribution) {
+  std::string out = title + " (" + std::to_string(distribution.total) +
+                    " commits; %: proportionally to all changes)\n";
+  char line[160];
+  // Sort categories by count, descending, like the figures.
+  std::array<int, kHardeningCategoryCount> order;
+  for (int i = 0; i < kHardeningCategoryCount; ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return distribution.counts[a] > distribution.counts[b];
+  });
+  for (int index : order) {
+    auto category = static_cast<HardeningCategory>(index);
+    double percent = distribution.Percent(category);
+    int bar = static_cast<int>(percent / 2.0 + 0.5);
+    std::snprintf(line, sizeof(line), "  %-18s %3d  %5.1f%%  |%s\n",
+                  std::string(HardeningCategoryName(category)).c_str(),
+                  distribution.counts[index], percent,
+                  std::string(static_cast<size_t>(bar), '#').c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string CveTable() {
+  std::string out =
+      "Remotely-exploitable CVEs in the Linux /net subsystem per year\n"
+      "(reconstructed series; see DESIGN.md substitutions)\n";
+  char line[160];
+  for (const auto& [year, count] : NetRemoteCves()) {
+    std::snprintf(line, sizeof(line), "  %d  %3d  |%s\n", year, count,
+                  std::string(static_cast<size_t>(count), '#').c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string GrowthTable() {
+  std::string out = "/net subsystem size by kernel version (KLoC)\n";
+  char line[160];
+  const auto& growth = NetSubsystemGrowth();
+  for (size_t i = 0; i < growth.size(); ++i) {
+    double delta =
+        i == 0 ? 0.0
+               : 100.0 * (growth[i].kloc - growth[i - 1].kloc) /
+                     growth[i - 1].kloc;
+    std::snprintf(line, sizeof(line), "  %-8s %5d KLoC  %+5.1f%%\n",
+                  growth[i].version, growth[i].kloc, delta);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ciostudy

@@ -1,0 +1,214 @@
+#include "src/study/dataset.h"
+
+namespace ciostudy {
+
+std::string_view HardeningCategoryName(HardeningCategory category) {
+  switch (category) {
+    case HardeningCategory::kAddChecks:
+      return "add-checks";
+    case HardeningCategory::kAddInit:
+      return "add-init";
+    case HardeningCategory::kAddCopies:
+      return "add-copies";
+    case HardeningCategory::kRaceProtection:
+      return "race-protection";
+    case HardeningCategory::kRestrictFeatures:
+      return "restrict-features";
+    case HardeningCategory::kDesignChange:
+      return "design-change";
+    case HardeningCategory::kAmendPrevious:
+      return "amend-previous";
+  }
+  return "?";
+}
+
+namespace {
+using HC = HardeningCategory;
+}  // namespace
+
+const std::vector<HardeningCommit>& NetvscCommits() {
+  static const std::vector<HardeningCommit> commits = {
+      // add-checks: 6 (21%)
+      {"netvsc", "hv_netvsc: Add validation for untrusted Hyper-V values",
+       HC::kAddChecks},
+      {"netvsc", "hv_netvsc: validate packet offset and length on receive",
+       HC::kAddChecks},
+      {"netvsc", "hv_netvsc: check rndis message size before use",
+       HC::kAddChecks},
+      {"netvsc", "hv_netvsc: add bounds check on send indirection table",
+       HC::kAddChecks},
+      {"netvsc", "hv_netvsc: validate channel count from host",
+       HC::kAddChecks},
+      {"netvsc", "hv_netvsc: check vmbus packet type against expected set",
+       HC::kAddChecks},
+      // add-init: 5 (18%)
+      {"netvsc", "hv_netvsc: zero-initialize receive completion data",
+       HC::kAddInit},
+      {"netvsc", "hv_netvsc: initialize all rndis request fields",
+       HC::kAddInit},
+      {"netvsc", "hv_netvsc: clear uninitialized padding before sending",
+       HC::kAddInit},
+      {"netvsc", "hv_netvsc: zero the vmbus ring buffer at setup",
+       HC::kAddInit},
+      {"netvsc", "hv_netvsc: initialize per-channel state before offering",
+       HC::kAddInit},
+      // add-copies: 4 (14%)
+      {"netvsc", "hv_netvsc: copy rndis header out of ring before parsing",
+       HC::kAddCopies},
+      {"netvsc", "hv_netvsc: use bounce buffer for control messages",
+       HC::kAddCopies},
+      {"netvsc", "hv_netvsc: copy completion status to private memory",
+       HC::kAddCopies},
+      {"netvsc", "hv_netvsc: snapshot indirection table via local copy",
+       HC::kAddCopies},
+      // race-protection: 4 (14%)
+      {"netvsc", "hv_netvsc: fix race between channel open and receive",
+       HC::kRaceProtection},
+      {"netvsc", "hv_netvsc: add memory barrier before reading ring index",
+       HC::kRaceProtection},
+      {"netvsc", "hv_netvsc: protect subchannel teardown with lock",
+       HC::kRaceProtection},
+      {"netvsc", "hv_netvsc: avoid concurrent access to completion ring",
+       HC::kRaceProtection},
+      // restrict-features: 4 (14%)
+      {"netvsc", "hv_netvsc: disable NVSP protocol versions below 5",
+       HC::kRestrictFeatures},
+      {"netvsc", "hv_netvsc: restrict RSS configuration from the host",
+       HC::kRestrictFeatures},
+      {"netvsc", "hv_netvsc: refuse oversized host-offered MTU",
+       HC::kRestrictFeatures},
+      {"netvsc", "hv_netvsc: disable TCP offloads under confidential VM",
+       HC::kRestrictFeatures},
+      // design-change: 3 (11%)
+      {"netvsc", "hv_netvsc: rework receive path to parse private copies",
+       HC::kDesignChange},
+      {"netvsc", "hv_netvsc: redesign completion handling state machine",
+       HC::kDesignChange},
+      {"netvsc", "hv_netvsc: refactor ring accessors behind safe helpers",
+       HC::kDesignChange},
+      // amend-previous: 2 (7%)
+      {"netvsc", "Revert \"hv_netvsc: validate channel count from host\"",
+       HC::kAmendPrevious},
+      {"netvsc", "hv_netvsc: fix up earlier offset validation (again)",
+       HC::kAmendPrevious},
+  };
+  return commits;
+}
+
+const std::vector<HardeningCommit>& VirtioCommits() {
+  static const std::vector<HardeningCommit> commits = {
+      // add-checks: 15 (35%)
+      {"virtio", "virtio_ring: validate used buffer length", HC::kAddChecks},
+      {"virtio", "virtio_net: check descriptor chain length against queue",
+       HC::kAddChecks},
+      {"virtio", "virtio_ring: check next index before chaining",
+       HC::kAddChecks},
+      {"virtio", "virtio: sanity check device config space accesses",
+       HC::kAddChecks},
+      {"virtio_net", "virtio_net: validate header gso_size from device",
+       HC::kAddChecks},
+      {"virtio", "virtio_ring: bounds check indirect descriptor table",
+       HC::kAddChecks},
+      {"virtio", "virtio_ring: validate id in used ring against inflight",
+       HC::kAddChecks},
+      {"virtio", "virtio_net: check mergeable buffer count before use",
+       HC::kAddChecks},
+      {"virtio", "virtio_blk: validate status byte offset in completion",
+       HC::kAddChecks},
+      {"virtio", "virtio: check feature bits fit the negotiated set",
+       HC::kAddChecks},
+      {"virtio", "virtio_ring: detect and reject looping descriptor chains",
+       HC::kAddChecks},
+      {"virtio", "virtio_net: validate MTU offered by the device",
+       HC::kAddChecks},
+      {"virtio", "virtio_console: check port id before dereference",
+       HC::kAddChecks},
+      {"virtio", "virtio_ring: validate avail index progression",
+       HC::kAddChecks},
+      {"virtio", "virtio_9p: sanity check response tag from device",
+       HC::kAddChecks},
+      // amend-previous: 12 (28%)
+      {"virtio", "Revert \"virtio_ring: validate used buffer length\"",
+       HC::kAmendPrevious},
+      {"virtio", "Revert \"virtio_net: validate header gso_size from device\"",
+       HC::kAmendPrevious},
+      {"virtio", "virtio_ring: fix up used length validation (again)",
+       HC::kAmendPrevious},
+      {"virtio", "virtio_net: fix regression from chain length check",
+       HC::kAmendPrevious},
+      {"virtio", "Revert \"virtio_ring: detect and reject looping chains\"",
+       HC::kAmendPrevious},
+      {"virtio", "virtio: fix up config space access checking for legacy",
+       HC::kAmendPrevious},
+      {"virtio", "virtio_ring: relax id validation broken for ballooning",
+       HC::kAmendPrevious},
+      {"virtio", "virtio_blk: fix up completion status offset check",
+       HC::kAmendPrevious},
+      {"virtio", "Revert \"virtio: check feature bits fit negotiated set\"",
+       HC::kAmendPrevious},
+      {"virtio", "virtio_net: fix up MTU validation for legacy devices",
+       HC::kAmendPrevious},
+      {"virtio", "virtio_ring: fix avail index validation false positives",
+       HC::kAmendPrevious},
+      {"virtio", "virtio: fix up harden-config regression on s390",
+       HC::kAmendPrevious},
+      // design-change: 6 (14%)
+      {"virtio", "virtio_ring: rework descriptor handling around local state",
+       HC::kDesignChange},
+      {"virtio", "virtio_net: redesign receive buffer management",
+       HC::kDesignChange},
+      {"virtio", "virtio: refactor transport hardening into core helpers",
+       HC::kDesignChange},
+      {"virtio", "virtio_ring: rework packed ring reuse of inflight state",
+       HC::kDesignChange},
+      {"virtio", "virtio: rewrite feature negotiation around a fixed order",
+       HC::kDesignChange},
+      {"virtio", "virtio_ring: refactor used-ring processing loop",
+       HC::kDesignChange},
+      // race-protection: 4 (9%)
+      {"virtio", "virtio_ring: fix race on device writable flags",
+       HC::kRaceProtection},
+      {"virtio", "virtio_net: add barrier between avail write and kick",
+       HC::kRaceProtection},
+      {"virtio", "virtio: protect config generation read with retry lock",
+       HC::kRaceProtection},
+      {"virtio", "virtio_console: fix concurrent port add/remove race",
+       HC::kRaceProtection},
+      // restrict-features: 3 (7%)
+      {"virtio", "virtio: disable indirect descriptors for untrusted devices",
+       HC::kRestrictFeatures},
+      {"virtio", "virtio_net: restrict offloads under confidential guest",
+       HC::kRestrictFeatures},
+      {"virtio", "virtio: refuse legacy (pre-1.0) devices when hardened",
+       HC::kRestrictFeatures},
+      // add-copies: 2 (5%)
+      {"virtio", "virtio_ring: copy descriptors to cache before validation",
+       HC::kAddCopies},
+      {"virtio", "virtio_net: use swiotlb bounce for control virtqueue",
+       HC::kAddCopies},
+      // add-init: 1 (2%)
+      {"virtio", "virtio_ring: zero-initialize extra state on allocation",
+       HC::kAddInit},
+  };
+  return commits;
+}
+
+const std::vector<CveYear>& NetRemoteCves() {
+  static const std::vector<CveYear> series = {
+      {2002, 2},  {2003, 1}, {2004, 3},  {2005, 4},  {2006, 3},  {2007, 2},
+      {2008, 3},  {2009, 5}, {2010, 6},  {2011, 4},  {2012, 3},  {2013, 5},
+      {2014, 6},  {2015, 5}, {2016, 8},  {2017, 11}, {2018, 7},  {2019, 9},
+      {2020, 8},  {2021, 12}, {2022, 14},
+  };
+  return series;
+}
+
+const std::vector<NetLocVersion>& NetSubsystemGrowth() {
+  static const std::vector<NetLocVersion> growth = {
+      {"v4.0", 680}, {"v4.10", 790}, {"v4.20", 910}, {"v5.0, ", 940},
+      {"v5.10", 1080}, {"v5.19", 1210}, {"v6.0", 1260},
+  };
+  return growth;
+}
+
+}  // namespace ciostudy

@@ -1,0 +1,83 @@
+#include "src/tee/attestation.h"
+
+#include <cstring>
+
+#include "src/crypto/hmac.h"
+
+namespace ciotee {
+
+Measurement Measure(std::string_view code_identity, ciobase::ByteSpan config) {
+  ciocrypto::Sha256 h;
+  h.Update(ciobase::ByteSpan(
+      reinterpret_cast<const uint8_t*>(code_identity.data()),
+      code_identity.size()));
+  uint8_t sep = 0;
+  h.Update(ciobase::ByteSpan(&sep, 1));
+  h.Update(config);
+  return h.Finish();
+}
+
+ciobase::Buffer AttestationReport::Serialize() const {
+  ciobase::Buffer out;
+  ciobase::Append(out, measurement);
+  out.push_back(static_cast<uint8_t>(nonce.size()));
+  ciobase::Append(out, nonce);
+  ciobase::Append(out, mac);
+  return out;
+}
+
+ciobase::Result<AttestationReport> AttestationReport::Parse(
+    ciobase::ByteSpan data) {
+  constexpr size_t kFixed = ciocrypto::kSha256DigestSize + 1 +
+                            ciocrypto::kSha256DigestSize;
+  if (data.size() < kFixed) {
+    return ciobase::InvalidArgument("attestation report truncated");
+  }
+  AttestationReport report;
+  std::memcpy(report.measurement.data(), data.data(),
+              report.measurement.size());
+  size_t nonce_len = data[report.measurement.size()];
+  size_t expected = kFixed + nonce_len;
+  if (data.size() != expected) {
+    return ciobase::InvalidArgument("attestation report length mismatch");
+  }
+  const uint8_t* nonce_start = data.data() + report.measurement.size() + 1;
+  report.nonce.assign(nonce_start, nonce_start + nonce_len);
+  std::memcpy(report.mac.data(), nonce_start + nonce_len, report.mac.size());
+  return report;
+}
+
+ciocrypto::Sha256Digest AttestationAuthority::ReportMac(
+    const Measurement& measurement, ciobase::ByteSpan nonce) const {
+  ciocrypto::HmacSha256 mac(platform_key_);
+  mac.Update(measurement);
+  mac.Update(nonce);
+  return mac.Finish();
+}
+
+AttestationReport AttestationAuthority::Issue(const Measurement& measurement,
+                                              ciobase::ByteSpan nonce) const {
+  AttestationReport report;
+  report.measurement = measurement;
+  report.nonce.assign(nonce.begin(), nonce.end());
+  report.mac = ReportMac(measurement, nonce);
+  return report;
+}
+
+ciobase::Status AttestationAuthority::Verify(
+    const AttestationReport& report, const Measurement& expected,
+    ciobase::ByteSpan expected_nonce) const {
+  ciocrypto::Sha256Digest mac = ReportMac(report.measurement, report.nonce);
+  if (!ciobase::ConstantTimeEqual(mac, report.mac)) {
+    return ciobase::Tampered("attestation MAC invalid");
+  }
+  if (!ciobase::ConstantTimeEqual(report.nonce, expected_nonce)) {
+    return ciobase::Tampered("attestation nonce stale (replay)");
+  }
+  if (!ciobase::ConstantTimeEqual(report.measurement, expected)) {
+    return ciobase::Tampered("unexpected measurement");
+  }
+  return ciobase::OkStatus();
+}
+
+}  // namespace ciotee

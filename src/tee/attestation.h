@@ -1,0 +1,59 @@
+// Attestation: measurement of a confidential unit and signed reports.
+//
+// Models the measure-then-attest flow of SEV-SNP/TDX/SGX (and, for directly
+// attached devices, the SPDM flow of §3.4): a platform key known only to the
+// simulated hardware MACs a report binding {measurement, config, nonce}. A
+// verifier holding the platform key (standing in for the certificate chain)
+// checks freshness and expected measurement before releasing secrets — in
+// this codebase, before handing the TLS pre-shared key to a peer.
+
+#ifndef SRC_TEE_ATTESTATION_H_
+#define SRC_TEE_ATTESTATION_H_
+
+#include <string>
+
+#include "src/base/status.h"
+#include "src/crypto/sha256.h"
+
+namespace ciotee {
+
+using Measurement = ciocrypto::Sha256Digest;
+
+// Measures a confidential unit: hash over its code identity and launch-time
+// configuration (the fixed L2 parameters of §3.2 are part of this, which is
+// what makes "zero re-negotiation" attestable).
+Measurement Measure(std::string_view code_identity, ciobase::ByteSpan config);
+
+struct AttestationReport {
+  Measurement measurement;
+  ciobase::Buffer nonce;
+  ciocrypto::Sha256Digest mac;
+
+  ciobase::Buffer Serialize() const;
+  static ciobase::Result<AttestationReport> Parse(ciobase::ByteSpan data);
+};
+
+// The simulated hardware root of trust.
+class AttestationAuthority {
+ public:
+  explicit AttestationAuthority(ciobase::ByteSpan platform_key)
+      : platform_key_(platform_key.begin(), platform_key.end()) {}
+
+  AttestationReport Issue(const Measurement& measurement,
+                          ciobase::ByteSpan nonce) const;
+
+  // Checks MAC, nonce freshness, and expected measurement.
+  ciobase::Status Verify(const AttestationReport& report,
+                         const Measurement& expected,
+                         ciobase::ByteSpan expected_nonce) const;
+
+ private:
+  ciocrypto::Sha256Digest ReportMac(const Measurement& measurement,
+                                    ciobase::ByteSpan nonce) const;
+
+  ciobase::Buffer platform_key_;
+};
+
+}  // namespace ciotee
+
+#endif  // SRC_TEE_ATTESTATION_H_

@@ -1,0 +1,5 @@
+#include "src/tee/shared_region.h"
+
+// SharedRegion is header-only today; see shared_region.h.
+
+namespace ciotee {}  // namespace ciotee

@@ -1,0 +1,176 @@
+// SharedRegion: the host/TEE shared-memory window, with an explicit TOCTOU
+// surface.
+//
+// Both virtqueue-style transports and the paper's hardened ring live inside a
+// SharedRegion. The crucial property of real shared memory is that the host
+// can mutate it *between any two guest accesses* — this is what makes double
+// fetches exploitable. We model that exactly: a tamper hook (installed by the
+// hostsim adversary) runs before every guest-side access, so a guest that
+// reads the same field twice can legitimately observe two different values,
+// while a guest that copies the field once into private memory (the paper's
+// "copy as a first-class citizen" principle) cannot be flipped after
+// validation.
+
+#ifndef SRC_TEE_SHARED_REGION_H_
+#define SRC_TEE_SHARED_REGION_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+#include "src/tee/memory.h"
+
+namespace ciotee {
+
+class SharedRegion {
+ public:
+  // The hook receives the raw shared bytes and may mutate them arbitrarily,
+  // exactly like a concurrently running hostile hypervisor core.
+  using TamperHook = std::function<void(ciobase::MutableByteSpan)>;
+
+  SharedRegion(TeeMemory* memory, size_t size, std::string name)
+      : memory_(memory),
+        id_(memory->AddRegion(RegionKind::kShared, size, std::move(name))) {}
+
+  RegionId id() const { return id_; }
+  size_t size() const { return memory_->RegionSize(id_); }
+  TeeMemory* memory() const { return memory_; }
+
+  void SetTamperHook(TamperHook hook) { tamper_hook_ = std::move(hook); }
+  void ClearTamperHook() { tamper_hook_ = nullptr; }
+
+  // --- Guest-side access (every call opens a TOCTOU window first) ---------
+
+  ciobase::Status GuestRead(uint64_t offset, ciobase::MutableByteSpan out) {
+    RunTamperHook();
+    return memory_->Read(Domain::kGuest, id_, offset, out);
+  }
+  ciobase::Status GuestWrite(uint64_t offset, ciobase::ByteSpan data) {
+    RunTamperHook();
+    return memory_->Write(Domain::kGuest, id_, offset, data);
+  }
+  uint8_t GuestReadU8(uint64_t offset) {
+    uint8_t v = 0;
+    GuestRead(offset, ciobase::MutableByteSpan(&v, 1));
+    return v;
+  }
+  uint16_t GuestReadLe16(uint64_t offset) {
+    uint8_t raw[2] = {0, 0};
+    GuestRead(offset, raw);
+    return ciobase::LoadLe16(raw);
+  }
+  uint32_t GuestReadLe32(uint64_t offset) {
+    uint8_t raw[4] = {0, 0, 0, 0};
+    GuestRead(offset, raw);
+    return ciobase::LoadLe32(raw);
+  }
+  uint64_t GuestReadLe64(uint64_t offset) {
+    uint8_t raw[8] = {0};
+    GuestRead(offset, raw);
+    return ciobase::LoadLe64(raw);
+  }
+  void GuestWriteU8(uint64_t offset, uint8_t v) {
+    GuestWrite(offset, ciobase::ByteSpan(&v, 1));
+  }
+  void GuestWriteLe16(uint64_t offset, uint16_t v) {
+    uint8_t raw[2];
+    ciobase::StoreLe16(raw, v);
+    GuestWrite(offset, raw);
+  }
+  void GuestWriteLe32(uint64_t offset, uint32_t v) {
+    uint8_t raw[4];
+    ciobase::StoreLe32(raw, v);
+    GuestWrite(offset, raw);
+  }
+  void GuestWriteLe64(uint64_t offset, uint64_t v) {
+    uint8_t raw[8];
+    ciobase::StoreLe64(raw, v);
+    GuestWrite(offset, raw);
+  }
+
+  // Read after revocation: models a page whose ownership was flipped to the
+  // guest on the fly (RMP un-share, §3.2 "explore revocation") — the host
+  // can no longer race on it, so no TOCTOU window opens. Only revocation
+  // receive paths may use this, and only after charging the un-share cost.
+  ciobase::Status GuestReadOwned(uint64_t offset,
+                                 ciobase::MutableByteSpan out) {
+    return memory_->Read(Domain::kGuest, id_, offset, out);
+  }
+
+  // UNSAFE: a live pointer into shared memory, as used by unhardened designs
+  // that parse descriptors in place. Everything read through this span is
+  // re-readable by definition (double fetch) and the adversary's hook does
+  // not even need to win a race. The hardened transports never use this.
+  ciobase::MutableByteSpan UnsafeGuestWindow(uint64_t offset, uint64_t length) {
+    RunTamperHook();
+    return memory_->RawWindow(Domain::kGuest, id_, offset, length);
+  }
+
+  // --- Host-side access (the device model / adversary) --------------------
+
+  ciobase::Status HostRead(uint64_t offset, ciobase::MutableByteSpan out) {
+    return memory_->Read(Domain::kHost, id_, offset, out);
+  }
+  ciobase::Status HostWrite(uint64_t offset, ciobase::ByteSpan data) {
+    return memory_->Write(Domain::kHost, id_, offset, data);
+  }
+  uint16_t HostReadLe16(uint64_t offset) {
+    uint8_t raw[2] = {0, 0};
+    HostRead(offset, raw);
+    return ciobase::LoadLe16(raw);
+  }
+  uint32_t HostReadLe32(uint64_t offset) {
+    uint8_t raw[4] = {0, 0, 0, 0};
+    HostRead(offset, raw);
+    return ciobase::LoadLe32(raw);
+  }
+  uint64_t HostReadLe64(uint64_t offset) {
+    uint8_t raw[8] = {0};
+    HostRead(offset, raw);
+    return ciobase::LoadLe64(raw);
+  }
+  void HostWriteU8(uint64_t offset, uint8_t v) {
+    HostWrite(offset, ciobase::ByteSpan(&v, 1));
+  }
+  void HostWriteLe16(uint64_t offset, uint16_t v) {
+    uint8_t raw[2];
+    ciobase::StoreLe16(raw, v);
+    HostWrite(offset, raw);
+  }
+  void HostWriteLe32(uint64_t offset, uint32_t v) {
+    uint8_t raw[4];
+    ciobase::StoreLe32(raw, v);
+    HostWrite(offset, raw);
+  }
+  void HostWriteLe64(uint64_t offset, uint64_t v) {
+    uint8_t raw[8];
+    ciobase::StoreLe64(raw, v);
+    HostWrite(offset, raw);
+  }
+  ciobase::MutableByteSpan HostWindow(uint64_t offset, uint64_t length) {
+    return memory_->RawWindow(Domain::kHost, id_, offset, length);
+  }
+
+  // Number of TOCTOU windows opened so far (guest-side accesses).
+  uint64_t toctou_windows() const { return toctou_windows_; }
+
+ private:
+  void RunTamperHook() {
+    ++toctou_windows_;
+    if (tamper_hook_) {
+      ciobase::MutableByteSpan all =
+          memory_->RawWindow(Domain::kHost, id_, 0, size());
+      tamper_hook_(all);
+    }
+  }
+
+  TeeMemory* memory_;
+  RegionId id_;
+  TamperHook tamper_hook_;
+  uint64_t toctou_windows_ = 0;
+};
+
+}  // namespace ciotee
+
+#endif  // SRC_TEE_SHARED_REGION_H_

@@ -1,0 +1,79 @@
+#include "src/tee/trust.h"
+
+namespace ciotee {
+
+std::string_view ActorName(Actor actor) {
+  switch (actor) {
+    case Actor::kApp:
+      return "app";
+    case Actor::kIoStack:
+      return "io-stack";
+    case Actor::kHostSw:
+      return "host-sw";
+    case Actor::kDevice:
+      return "device";
+  }
+  return "?";
+}
+
+TrustModel::TrustModel() {
+  for (int s = 0; s < kActorCount; ++s) {
+    for (int o = 0; o < kActorCount; ++o) {
+      matrix_[s][o] = (s == o);
+    }
+  }
+}
+
+void TrustModel::SetTrusts(Actor subject, Actor object, bool trusts) {
+  matrix_[static_cast<int>(subject)][static_cast<int>(object)] = trusts;
+}
+
+bool TrustModel::Trusts(Actor subject, Actor object) const {
+  return matrix_[static_cast<int>(subject)][static_cast<int>(object)];
+}
+
+std::string TrustModel::Describe() const {
+  std::string out;
+  for (int s = 0; s < kActorCount; ++s) {
+    for (int o = 0; o < kActorCount; ++o) {
+      if (s == o || !matrix_[s][o]) {
+        continue;
+      }
+      out += ActorName(static_cast<Actor>(s));
+      out += " trusts ";
+      out += ActorName(static_cast<Actor>(o));
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+TrustModel TrustModel::Binary() {
+  TrustModel m;
+  m.SetTrusts(Actor::kApp, Actor::kIoStack, true);
+  m.SetTrusts(Actor::kIoStack, Actor::kApp, true);
+  return m;
+}
+
+TrustModel TrustModel::Ternary() {
+  TrustModel m;
+  // Single distrust at L5: the I/O stack trusts the app, not vice versa.
+  m.SetTrusts(Actor::kIoStack, Actor::kApp, true);
+  return m;
+}
+
+TrustModel TrustModel::TernaryWithAttestedDevice() {
+  TrustModel m = Ternary();
+  m.SetTrusts(Actor::kApp, Actor::kDevice, true);
+  m.SetTrusts(Actor::kIoStack, Actor::kDevice, true);
+  return m;
+}
+
+TrustModel TrustModel::BinaryWithAttestedDevice() {
+  TrustModel m = Binary();
+  m.SetTrusts(Actor::kApp, Actor::kDevice, true);
+  m.SetTrusts(Actor::kIoStack, Actor::kDevice, true);
+  return m;
+}
+
+}  // namespace ciotee

@@ -1,0 +1,76 @@
+// The trust models of §2.1 and §3.1.
+//
+// Actors: the confidential application, the I/O stack, the host software
+// (hypervisor/OS), and the device. A TrustModel is a directed "A trusts B"
+// relation. The paper contrasts:
+//
+//   Binary (classic confidential computing): {app, I/O stack} form one
+//   trusted unit that distrusts {host, device}. Compromise of the I/O stack
+//   IS compromise of the application.
+//
+//   Ternary (this work, §3.1): the app additionally distrusts the I/O stack,
+//   while the I/O stack still trusts the app (single distrust at L5).
+//   Compromising the I/O stack only increases observability; reaching the
+//   app requires a multi-stage attack across the L5 boundary.
+//
+//   DDA (§3.4): after SPDM attestation, the device joins the trusted set.
+
+#ifndef SRC_TEE_TRUST_H_
+#define SRC_TEE_TRUST_H_
+
+#include <array>
+#include <string>
+
+namespace ciotee {
+
+enum class Actor : uint8_t {
+  kApp = 0,      // confidential application (+ framework core)
+  kIoStack = 1,  // TCP/IP stack and L2 driver
+  kHostSw = 2,   // hypervisor / host OS
+  kDevice = 3,   // NIC / disk hardware
+};
+inline constexpr int kActorCount = 4;
+
+std::string_view ActorName(Actor actor);
+
+class TrustModel {
+ public:
+  // No one trusts anyone by default; every actor trusts itself.
+  TrustModel();
+
+  void SetTrusts(Actor subject, Actor object, bool trusts);
+  bool Trusts(Actor subject, Actor object) const;
+
+  // True if data from `from` must be treated as adversarial by `to` — i.e. a
+  // distrust boundary is crossed and the interface needs hardening.
+  bool BoundaryRequired(Actor from, Actor to) const {
+    return !Trusts(to, from);
+  }
+
+  // True if the pair needs *mutual* distrust handling (both directions
+  // hardened), e.g. guest/host; false for the paper's single-distrust L5
+  // boundary where the I/O stack trusts the app.
+  bool MutualDistrust(Actor a, Actor b) const {
+    return !Trusts(a, b) && !Trusts(b, a);
+  }
+
+  std::string Describe() const;
+
+  // Classic confidential computing: app and I/O stack are one trusted unit.
+  static TrustModel Binary();
+  // The paper's ternary/nested model (§3.1).
+  static TrustModel Ternary();
+  // Ternary plus an SPDM-attested device added to the TCB (§3.4).
+  static TrustModel TernaryWithAttestedDevice();
+  // Classic binary model plus an SPDM-attested device (DDA without
+  // compartmentalization: the stack stays in the app's domain).
+  static TrustModel BinaryWithAttestedDevice();
+
+ private:
+  // matrix_[subject][object]
+  std::array<std::array<bool, kActorCount>, kActorCount> matrix_;
+};
+
+}  // namespace ciotee
+
+#endif  // SRC_TEE_TRUST_H_

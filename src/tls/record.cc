@@ -1,0 +1,101 @@
+#include "src/tls/record.h"
+
+#include <algorithm>
+
+namespace ciotls {
+
+ciobase::Buffer FramePlaintextRecord(RecordType type,
+                                     ciobase::ByteSpan payload) {
+  ciobase::Buffer out;
+  out.push_back(static_cast<uint8_t>(type));
+  out.resize(kRecordHeaderSize);
+  ciobase::StoreBe16(out.data() + 1, kRecordVersion);
+  ciobase::StoreBe16(out.data() + 3, static_cast<uint16_t>(payload.size()));
+  ciobase::Append(out, payload);
+  return out;
+}
+
+SealingKey::SealingKey(ciobase::ByteSpan key, ciobase::ByteSpan iv)
+    : valid_(true),
+      key_(key.begin(), key.end()),
+      iv_(iv.begin(), iv.end()) {}
+
+ciobase::Buffer SealingKey::NonceForSeq(uint64_t seq) const {
+  ciobase::Buffer nonce = iv_;
+  uint8_t seq_be[8];
+  ciobase::StoreBe64(seq_be, seq);
+  for (int i = 0; i < 8; ++i) {
+    nonce[nonce.size() - 8 + i] ^= seq_be[i];
+  }
+  return nonce;
+}
+
+ciobase::Buffer SealingKey::Seal(RecordType type, ciobase::ByteSpan plaintext) {
+  uint8_t header[kRecordHeaderSize];
+  header[0] = static_cast<uint8_t>(type);
+  ciobase::StoreBe16(header + 1, kRecordVersion);
+  ciobase::StoreBe16(header + 3, static_cast<uint16_t>(
+                                     plaintext.size() +
+                                     ciocrypto::kAeadTagSize));
+  ciobase::Buffer nonce = NonceForSeq(seq_++);
+  ciobase::Buffer sealed = ciocrypto::AeadSeal(
+      key_, nonce, ciobase::ByteSpan(header, kRecordHeaderSize), plaintext);
+  ciobase::Buffer out(header, header + kRecordHeaderSize);
+  ciobase::Append(out, sealed);
+  return out;
+}
+
+ciobase::Result<ciobase::Buffer> SealingKey::Open(RecordType type,
+                                                  ciobase::ByteSpan body) {
+  uint8_t header[kRecordHeaderSize];
+  header[0] = static_cast<uint8_t>(type);
+  ciobase::StoreBe16(header + 1, kRecordVersion);
+  ciobase::StoreBe16(header + 3, static_cast<uint16_t>(body.size()));
+  ciobase::Buffer nonce = NonceForSeq(seq_);
+  auto opened = ciocrypto::AeadOpen(
+      key_, nonce, ciobase::ByteSpan(header, kRecordHeaderSize), body);
+  if (!opened.ok()) {
+    // Sequence stays put: a replayed/reordered/corrupted record must not
+    // desynchronize the direction; the session treats this as fatal anyway.
+    return opened.status();
+  }
+  ++seq_;
+  return opened;
+}
+
+void RecordReader::Feed(ciobase::ByteSpan bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+ciobase::Result<Record> RecordReader::Next() {
+  if (buffer_.size() < kRecordHeaderSize) {
+    return ciobase::Unavailable("incomplete header");
+  }
+  uint8_t type = buffer_[0];
+  uint16_t version = static_cast<uint16_t>(
+      static_cast<uint16_t>(buffer_[1]) << 8 | buffer_[2]);
+  uint16_t length = static_cast<uint16_t>(
+      static_cast<uint16_t>(buffer_[3]) << 8 | buffer_[4]);
+  if (version != kRecordVersion) {
+    return ciobase::Tampered("bad record version");
+  }
+  if (type < static_cast<uint8_t>(RecordType::kAlert) ||
+      type > static_cast<uint8_t>(RecordType::kKeyUpdate)) {
+    return ciobase::Tampered("unknown record type");
+  }
+  if (length > kMaxRecordPayload + ciocrypto::kAeadTagSize) {
+    return ciobase::Tampered("record too large");
+  }
+  if (buffer_.size() < kRecordHeaderSize + length) {
+    return ciobase::Unavailable("incomplete record");
+  }
+  Record record;
+  record.type = static_cast<RecordType>(type);
+  record.payload.assign(buffer_.begin() + kRecordHeaderSize,
+                        buffer_.begin() + kRecordHeaderSize + length);
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + kRecordHeaderSize + length);
+  return record;
+}
+
+}  // namespace ciotls

@@ -1,0 +1,105 @@
+#include "src/virtio/negotiation.h"
+
+namespace ciovirtio {
+
+void DeviceInitConfig(ciotee::SharedRegion* region, const ConfigLayout& layout,
+                      uint64_t offered_features, cionet::MacAddress mac,
+                      uint16_t mtu) {
+  region->HostWriteU8(layout.StatusOffset(), 0);
+  region->HostWriteLe64(layout.DeviceFeaturesOffset(), offered_features);
+  region->HostWrite(layout.MacOffset(), mac.bytes);
+  region->HostWriteLe16(layout.MtuOffset(), mtu);
+}
+
+uint8_t DeviceProcessStatus(ciotee::SharedRegion* region,
+                            const ConfigLayout& layout,
+                            uint64_t offered_features) {
+  uint8_t status = 0;
+  region->HostRead(layout.StatusOffset(), ciobase::MutableByteSpan(&status, 1));
+  if ((status & kStatusFeaturesOk) != 0) {
+    uint64_t driver_features =
+        region->HostReadLe64(layout.DriverFeaturesOffset());
+    if ((driver_features & ~offered_features) != 0) {
+      // Driver asked for features we did not offer: clear FEATURES_OK.
+      status = static_cast<uint8_t>(status & ~kStatusFeaturesOk);
+      region->HostWriteU8(layout.StatusOffset(), status);
+    }
+  }
+  return status;
+}
+
+ciobase::Result<NegotiatedConfig> DriverNegotiate(
+    ciotee::SharedRegion* region, const ConfigLayout& layout,
+    uint64_t wanted_features, bool restrict_features,
+    ciohost::ObservabilityLog* observability) {
+  auto observe = [&](const char* what, uint64_t value) {
+    if (observability != nullptr) {
+      observability->Record(ciohost::ObsCategory::kConfigField, value, what);
+    }
+  };
+
+  // Step 1-3: RESET, ACKNOWLEDGE, DRIVER. Each is a separate, stateful,
+  // host-visible transition.
+  region->GuestWriteU8(layout.StatusOffset(), 0);
+  observe("status=RESET", 0);
+  region->GuestWriteU8(layout.StatusOffset(), kStatusAcknowledge);
+  observe("status=ACK", kStatusAcknowledge);
+  region->GuestWriteU8(layout.StatusOffset(),
+                       kStatusAcknowledge | kStatusDriver);
+  observe("status=DRIVER", kStatusAcknowledge | kStatusDriver);
+
+  // Step 4: read device features (host-controlled; this is a fetch of
+  // attacker data) and write back the subset we accept.
+  uint64_t device_features =
+      region->GuestReadLe64(layout.DeviceFeaturesOffset());
+  observe("read device_features", device_features);
+  uint64_t accept = device_features & wanted_features;
+  if (restrict_features) {
+    // Hardening guidance: refuse the complex transport variants.
+    accept &= ~(kFeatureIndirectDesc | kFeatureEventIdx | kFeatureMrgRxbuf);
+  }
+  region->GuestWriteLe64(layout.DriverFeaturesOffset(), accept);
+  observe("write driver_features", accept);
+
+  // Step 5: FEATURES_OK, then re-read to check the device kept it. This
+  // read-back is itself a second fetch of host-controlled state: the window
+  // between it and every later use of `accept` is exactly the ordering
+  // vulnerability the paper describes. We snapshot everything we will rely
+  // on *now*, in private memory, and never re-read it.
+  region->GuestWriteU8(layout.StatusOffset(),
+                       kStatusAcknowledge | kStatusDriver | kStatusFeaturesOk);
+  observe("status=FEATURES_OK",
+          kStatusAcknowledge | kStatusDriver | kStatusFeaturesOk);
+  uint8_t status = region->GuestReadU8(layout.StatusOffset());
+  if ((status & kStatusFeaturesOk) == 0) {
+    region->GuestWriteU8(layout.StatusOffset(),
+                         static_cast<uint8_t>(status | kStatusFailed));
+    return ciobase::HostViolation("device rejected features");
+  }
+
+  NegotiatedConfig config;
+  config.features = accept;
+  if ((accept & kFeatureMac) != 0) {
+    region->GuestRead(layout.MacOffset(),
+                      ciobase::MutableByteSpan(config.mac.bytes.data(), 6));
+    observe("read mac", 0);
+  }
+  if ((accept & kFeatureMtu) != 0) {
+    uint16_t mtu = region->GuestReadLe16(layout.MtuOffset());
+    observe("read mtu", mtu);
+    // Validate host-supplied MTU against sane bounds ("add checks").
+    if (mtu < 68 || mtu > 9000) {
+      return ciobase::HostViolation("hostile MTU");
+    }
+    config.mtu = mtu;
+  }
+
+  // Step 6: DRIVER_OK.
+  region->GuestWriteU8(layout.StatusOffset(),
+                       kStatusAcknowledge | kStatusDriver | kStatusFeaturesOk |
+                           kStatusDriverOk);
+  observe("status=DRIVER_OK", 0);
+  return config;
+}
+
+}  // namespace ciovirtio

@@ -1,0 +1,80 @@
+// VirtIO device status / feature negotiation state machine and config space.
+//
+// The paper (§2.5) blames much of virtio's hardening complexity on its
+// "extensive, stateful configuration protocols that open for non-trivial
+// timing and ordering vulnerabilities". This module implements that control
+// plane faithfully enough to measure it: a multi-step status dance
+// (RESET → ACKNOWLEDGE → DRIVER → feature exchange → FEATURES_OK →
+// DRIVER_OK), a config space the device can mutate at any time (MAC, MTU),
+// and feature bits whose value the host controls. Every config-space access
+// is a host-observable event, and every field read is a fresh fetch of
+// host-controlled state — compare cio::L2Config, which fixes everything at
+// construction and has no control plane at all ("zero (re-)negotiation").
+
+#ifndef SRC_VIRTIO_NEGOTIATION_H_
+#define SRC_VIRTIO_NEGOTIATION_H_
+
+#include "src/base/status.h"
+#include "src/hostsim/observability.h"
+#include "src/net/wire.h"
+#include "src/tee/shared_region.h"
+
+namespace ciovirtio {
+
+// Device status bits (VirtIO 1.2 §2.1).
+inline constexpr uint8_t kStatusAcknowledge = 1;
+inline constexpr uint8_t kStatusDriver = 2;
+inline constexpr uint8_t kStatusDriverOk = 4;
+inline constexpr uint8_t kStatusFeaturesOk = 8;
+inline constexpr uint8_t kStatusNeedsReset = 64;
+inline constexpr uint8_t kStatusFailed = 128;
+
+// Feature bits (a representative subset).
+inline constexpr uint64_t kFeatureCsum = 1ULL << 0;
+inline constexpr uint64_t kFeatureMac = 1ULL << 5;
+inline constexpr uint64_t kFeatureMtu = 1ULL << 3;
+inline constexpr uint64_t kFeatureMrgRxbuf = 1ULL << 15;
+inline constexpr uint64_t kFeatureIndirectDesc = 1ULL << 28;
+inline constexpr uint64_t kFeatureEventIdx = 1ULL << 29;
+inline constexpr uint64_t kFeatureVersion1 = 1ULL << 32;
+
+// Config-space byte layout at the start of the shared region.
+struct ConfigLayout {
+  uint64_t base = 0;
+  uint64_t StatusOffset() const { return base + 0; }
+  uint64_t DeviceFeaturesOffset() const { return base + 8; }
+  uint64_t DriverFeaturesOffset() const { return base + 16; }
+  uint64_t MacOffset() const { return base + 24; }
+  uint64_t MtuOffset() const { return base + 30; }
+  static constexpr uint64_t kSize = 64;
+};
+
+// Result of a completed negotiation, snapshotted guest-side.
+struct NegotiatedConfig {
+  uint64_t features = 0;
+  cionet::MacAddress mac;
+  uint16_t mtu = 1500;
+};
+
+// Guest-side negotiation. `restrict_features` masks off the feature bits the
+// hardening guidance says to refuse (indirect descriptors, event idx) — the
+// "restrict features" commit category of Figure 3/4.
+ciobase::Result<NegotiatedConfig> DriverNegotiate(
+    ciotee::SharedRegion* region, const ConfigLayout& layout,
+    uint64_t wanted_features, bool restrict_features,
+    ciohost::ObservabilityLog* observability);
+
+// Host-side: initializes the device's half of config space.
+void DeviceInitConfig(ciotee::SharedRegion* region, const ConfigLayout& layout,
+                      uint64_t offered_features, cionet::MacAddress mac,
+                      uint16_t mtu);
+
+// Host-side: reacts to driver status writes (accepts/rejects FEATURES_OK).
+// Returns the final status byte after the device's reaction.
+uint8_t DeviceProcessStatus(ciotee::SharedRegion* region,
+                            const ConfigLayout& layout,
+                            uint64_t offered_features);
+
+}  // namespace ciovirtio
+
+#endif  // SRC_VIRTIO_NEGOTIATION_H_

@@ -1,0 +1,122 @@
+#include "src/virtio/net_device.h"
+
+#include "src/base/bits.h"
+
+namespace ciovirtio {
+
+VirtioNetLayout VirtioNetLayout::Make(uint16_t queue_size,
+                                      size_t pool_slot_size,
+                                      size_t pool_slot_count) {
+  VirtioNetLayout layout;
+  layout.config.base = 0;
+  layout.tx.base = ConfigLayout::kSize;
+  layout.tx.queue_size = queue_size;
+  layout.rx.base = ciobase::AlignUp(layout.tx.base + layout.tx.TotalSize(), 64);
+  layout.rx.queue_size = queue_size;
+  layout.pool_offset =
+      ciobase::AlignUp(layout.rx.base + layout.rx.TotalSize(), 4096);
+  layout.pool_slot_size = pool_slot_size;
+  layout.pool_slot_count = pool_slot_count;
+  return layout;
+}
+
+VirtioNetDevice::VirtioNetDevice(ciotee::SharedRegion* region,
+                                 VirtioNetLayout layout,
+                                 cionet::Fabric* fabric, std::string name,
+                                 cionet::MacAddress mac, uint16_t mtu,
+                                 uint64_t offered_features,
+                                 ciohost::Adversary* adversary,
+                                 ciohost::ObservabilityLog* observability,
+                                 ciobase::SimClock* clock)
+    : region_(region),
+      layout_(layout),
+      tx_(region, layout.tx, adversary),
+      rx_(region, layout.rx, adversary),
+      fabric_(fabric),
+      endpoint_(fabric->Attach(std::move(name), mac)),
+      mac_(mac),
+      offered_features_(offered_features),
+      adversary_(adversary),
+      observability_(observability),
+      clock_(clock) {
+  DeviceInitConfig(region, layout.config, offered_features, mac, mtu);
+}
+
+void VirtioNetDevice::Kick() {
+  ++stats_.kicks;
+  if (observability_ != nullptr) {
+    observability_->Record(ciohost::ObsCategory::kDoorbell, clock_->now_ns(),
+                           "virtqueue kick");
+  }
+  Poll();
+}
+
+void VirtioNetDevice::Poll() {
+  DeviceProcessStatus(region_, layout_.config, offered_features_);
+  DrainTx();
+  FillRx();
+}
+
+void VirtioNetDevice::DrainTx() {
+  for (;;) {
+    std::optional<uint16_t> head = tx_.PopAvail();
+    if (!head.has_value()) {
+      break;
+    }
+    std::vector<VirtqDesc> chain = tx_.ReadChain(*head);
+    ciobase::Buffer frame;
+    for (const VirtqDesc& desc : chain) {
+      if ((desc.flags & kDescFlagWrite) != 0) {
+        continue;  // device-writable descriptors carry no TX payload
+      }
+      size_t old_size = frame.size();
+      frame.resize(old_size + desc.len);
+      region_->HostRead(desc.addr, ciobase::MutableByteSpan(
+                                       frame.data() + old_size, desc.len));
+    }
+    if (adversary_ != nullptr) {
+      adversary_->MaybeCorruptPayload(frame);
+    }
+    if (observability_ != nullptr) {
+      observability_->Record(ciohost::ObsCategory::kPacketLength,
+                             frame.size(), "tx frame");
+      observability_->Record(ciohost::ObsCategory::kPacketTiming,
+                             clock_->now_ns(), "tx frame");
+    }
+    ++stats_.frames_tx;
+    (void)fabric_->Inject(endpoint_, frame);
+    tx_.PushUsed(*head, static_cast<uint32_t>(frame.size()),
+                 static_cast<uint32_t>(frame.size()));
+  }
+}
+
+void VirtioNetDevice::FillRx() {
+  for (;;) {
+    auto frame = fabric_->Poll(endpoint_);
+    if (!frame.ok()) {
+      break;
+    }
+    std::optional<uint16_t> head = rx_.PopAvail();
+    if (!head.has_value()) {
+      ++stats_.rx_dropped_no_buffer;
+      continue;
+    }
+    VirtqDesc desc = rx_.ReadDesc(*head);
+    if (adversary_ != nullptr) {
+      adversary_->MaybeCorruptPayload(*frame);
+    }
+    uint32_t n = std::min<uint32_t>(static_cast<uint32_t>(frame->size()),
+                                    desc.len);
+    region_->HostWrite(desc.addr, ciobase::ByteSpan(frame->data(), n));
+    if (observability_ != nullptr) {
+      observability_->Record(ciohost::ObsCategory::kPacketLength,
+                             frame->size(), "rx frame");
+      observability_->Record(ciohost::ObsCategory::kPacketTiming,
+                             clock_->now_ns(), "rx frame");
+    }
+    ++stats_.frames_rx;
+    rx_.PushUsed(*head, n, desc.len);
+  }
+}
+
+}  // namespace ciovirtio

@@ -1,0 +1,249 @@
+#include "src/virtio/net_driver.h"
+
+#include "src/base/log.h"
+
+namespace ciovirtio {
+
+namespace {
+
+// Keep runaway host-claimed lengths from allocating unbounded memory in the
+// unhardened path; real exploited drivers would fault or corrupt instead.
+constexpr size_t kUnhardenedLenCap = 1 << 20;
+
+constexpr uint64_t kWantedFeatures = kFeatureMac | kFeatureMtu |
+                                     kFeatureCsum | kFeatureIndirectDesc |
+                                     kFeatureEventIdx | kFeatureVersion1;
+
+}  // namespace
+
+VirtioNetDriver::VirtioNetDriver(ciotee::SharedRegion* region,
+                                 VirtioNetLayout layout, KickTarget* device,
+                                 ciobase::CostModel* costs,
+                                 HardeningOptions hardening,
+                                 ciohost::ObservabilityLog* observability)
+    : region_(region),
+      layout_(layout),
+      tx_(region, layout.tx, costs),
+      rx_(region, layout.rx, costs),
+      pool_(region, layout.pool_offset, layout.pool_slot_size,
+            layout.pool_slot_count, costs),
+      device_(device),
+      costs_(costs),
+      hardening_(hardening),
+      observability_(observability) {}
+
+ciobase::Status VirtioNetDriver::Negotiate() {
+  auto config = DriverNegotiate(region_, layout_.config, kWantedFeatures,
+                                hardening_.restrict_features, observability_);
+  if (!config.ok()) {
+    return config.status();
+  }
+  config_ = *config;
+  negotiated_ = true;
+  // Pre-post RX buffers: half the ring (so freed descriptor ids sit in the
+  // FIFO free list a while before reuse — see virtqueue.h on ABA), bounded
+  // by half the pool (the rest is for TX).
+  size_t rx_buffers = std::min<size_t>(layout_.pool_slot_count / 2,
+                                       layout_.rx.queue_size / 2);
+  for (size_t i = 0; i < rx_buffers; ++i) {
+    PostRxBuffer();
+  }
+  if (!hardening_.polling) {
+    costs_->ChargeNotify();
+    device_->Kick();
+  }
+  return ciobase::OkStatus();
+}
+
+void VirtioNetDriver::PostRxBuffer() {
+  auto desc_id = rx_.AllocDesc();
+  if (!desc_id.has_value()) {
+    return;
+  }
+  auto slot = pool_.AllocSlot();
+  if (!slot.ok()) {
+    rx_.FreeDesc(*desc_id);
+    return;
+  }
+  VirtqDesc desc;
+  desc.addr = *slot;
+  desc.len = static_cast<uint32_t>(pool_.slot_size());
+  desc.flags = kDescFlagWrite;
+  rx_.WriteDesc(*desc_id, desc);
+  rx_.PostAvail(*desc_id);
+  rx_outstanding_[*desc_id] = *slot;
+  ++stats_.rx_reposts;
+}
+
+ciobase::Status VirtioNetDriver::SendFrame(ciobase::ByteSpan frame) {
+  if (!negotiated_) {
+    return ciobase::FailedPrecondition("driver not negotiated");
+  }
+  if (frame.size() > config_.mtu + cionet::kEthernetHeaderSize) {
+    return ciobase::InvalidArgument("frame exceeds MTU");
+  }
+  if (frame.size() > pool_.slot_size()) {
+    return ciobase::InvalidArgument("frame exceeds pool slot");
+  }
+  ReapTxCompletions();
+  auto desc_id = tx_.AllocDesc();
+  if (!desc_id.has_value()) {
+    return ciobase::ResourceExhausted("tx ring full");
+  }
+  auto slot = pool_.AllocSlot();
+  if (!slot.ok()) {
+    tx_.FreeDesc(*desc_id);
+    return ciobase::ResourceExhausted("tx pool exhausted");
+  }
+  // The bounce-out copy into shared memory. In a CVM this is mandatory
+  // (the device cannot read encrypted memory); SWIOTLB merely makes it
+  // implicit. Here it is explicit and charged.
+  CIO_RETURN_IF_ERROR(pool_.CopyOut(*slot, frame));
+  VirtqDesc desc;
+  desc.addr = *slot;
+  desc.len = static_cast<uint32_t>(frame.size());
+  tx_.WriteDesc(*desc_id, desc);
+  tx_.PostAvail(*desc_id);
+  tx_outstanding_[*desc_id] = *slot;
+  ++stats_.frames_sent;
+  if (!hardening_.polling) {
+    costs_->ChargeNotify();
+    device_->Kick();
+  }
+  return ciobase::OkStatus();
+}
+
+void VirtioNetDriver::ReapTxCompletions() {
+  // Bound the loop: an index-storming host can claim absurd pending counts.
+  for (uint16_t i = 0; i < layout_.tx.queue_size; ++i) {
+    std::optional<UsedElem> elem = tx_.PopUsed(hardening_.single_fetch);
+    if (!elem.has_value()) {
+      break;
+    }
+    uint16_t id = static_cast<uint16_t>(elem->id);
+    auto it = tx_outstanding_.find(id);
+    if (it == tx_outstanding_.end()) {
+      if (hardening_.validate_completion_id) {
+        ++stats_.completions_rejected;
+        continue;  // replayed or forged completion: refuse
+      }
+      // Unhardened: free whatever the id aliases to. Freeing a random
+      // descriptor is exactly the temporal corruption the checks prevent;
+      // the damage shows up later as pool/descriptor aliasing.
+      tx_.FreeDesc(static_cast<uint16_t>(
+          elem->id % layout_.tx.queue_size));
+      continue;
+    }
+    (void)pool_.FreeSlot(it->second);
+    tx_.FreeDesc(id);
+    tx_outstanding_.erase(it);
+  }
+}
+
+ciobase::Result<ciobase::Buffer> VirtioNetDriver::ReceiveHardened(
+    const UsedElem& elem) {
+  // 1. Validate the completion id against our own bookkeeping (private
+  //    memory, host cannot touch it).
+  uint16_t id = static_cast<uint16_t>(elem.id);
+  auto it = rx_outstanding_.find(id);
+  if (elem.id >= layout_.rx.queue_size || it == rx_outstanding_.end()) {
+    ++stats_.completions_rejected;
+    return ciobase::HostViolation("forged rx completion id");
+  }
+  uint64_t slot = it->second;
+  rx_outstanding_.erase(it);
+  rx_.FreeDesc(id);
+
+  // 2. Clamp the host-claimed length to what we actually posted. We use our
+  //    private record (slot size), never a re-read of the descriptor.
+  uint32_t len = elem.len;
+  uint32_t cap = static_cast<uint32_t>(
+      std::min<size_t>(pool_.slot_size(),
+                       config_.mtu + cionet::kEthernetHeaderSize));
+  if (len > cap) {
+    if (!hardening_.clamp_used_len) {
+      // Even "full" hardening configs keep this knob on; callers can turn
+      // it off to measure the isolated effect of the other checks.
+      len = elem.len;
+    } else {
+      len = cap;
+    }
+  }
+
+  // 3. Bounce the payload into private memory before anything parses it.
+  ciobase::Result<ciobase::Buffer> frame =
+      hardening_.bounce_rx
+          ? pool_.CopyIn(slot, len)
+          : [&]() -> ciobase::Result<ciobase::Buffer> {
+              // No bounce: hand out bytes read straight from shared memory.
+              ciobase::Buffer out(std::min<size_t>(len, pool_.slot_size()));
+              region_->GuestRead(slot, out);
+              return out;
+            }();
+
+  (void)pool_.FreeSlot(slot);
+  PostRxBuffer();  // recycle a buffer for the device
+  if (frame.ok()) {
+    ++stats_.frames_received;
+  }
+  return frame;
+}
+
+ciobase::Result<ciobase::Buffer> VirtioNetDriver::ReceiveUnhardened(
+    const UsedElem& elem) {
+  // The historical pattern: trust the completion id, re-read the descriptor
+  // from shared memory (double fetch), and trust the host-reported length.
+  VirtqDesc desc = rx_.ReadDescUnsafe(static_cast<uint16_t>(elem.id));
+  size_t len = std::min<size_t>(elem.len, kUnhardenedLenCap);
+  ciobase::Buffer frame(len);
+  // Whatever desc.addr now says — possibly flipped since the device filled
+  // the buffer — is where we read from. Out-of-pool addresses become
+  // recorded OOB accesses with scrambled data.
+  region_->GuestRead(desc.addr, frame);
+
+  // Free bookkeeping by trusted-id; stale entries corrupt the free lists.
+  auto it = rx_outstanding_.find(static_cast<uint16_t>(elem.id));
+  if (it != rx_outstanding_.end()) {
+    (void)pool_.FreeSlot(it->second);
+    rx_.FreeDesc(it->first);
+    rx_outstanding_.erase(it);
+  }
+  PostRxBuffer();
+  ++stats_.frames_received;
+  return frame;
+}
+
+ciobase::Result<ciobase::Buffer> VirtioNetDriver::ReceiveFrame() {
+  if (!negotiated_) {
+    return ciobase::FailedPrecondition("driver not negotiated");
+  }
+  std::optional<UsedElem> elem = rx_.PopUsed(hardening_.single_fetch);
+  if (!elem.has_value()) {
+    return ciobase::Unavailable("no frame");
+  }
+  if (hardening_.validate_completion_id) {
+    return ReceiveHardened(*elem);
+  }
+  return ReceiveUnhardened(*elem);
+}
+
+std::vector<ciohost::SurfaceField> VirtioNetDriver::AttackSurface() const {
+  using ciohost::FieldKind;
+  using ciohost::SurfaceField;
+  std::vector<SurfaceField> surface;
+  // RX descriptor 0: the fields an in-place parser re-reads.
+  surface.push_back({FieldKind::kOffset, layout_.rx.DescOffset(0), 8});
+  surface.push_back({FieldKind::kLength, layout_.rx.DescOffset(0) + 8, 4});
+  // Used-ring entry 0 length field.
+  surface.push_back({FieldKind::kLength, layout_.rx.UsedRing(0) + 4, 4});
+  // Used idx (index-storm target).
+  surface.push_back({FieldKind::kIndex, layout_.rx.UsedIdx(), 2});
+  // Payload area: the whole pool.
+  surface.push_back({FieldKind::kPayload, layout_.pool_offset,
+                     static_cast<uint32_t>(std::min<uint64_t>(
+                         layout_.pool_slot_size * layout_.pool_slot_count,
+                         0xffffffffu))});
+  return surface;
+}
+
+}  // namespace ciovirtio

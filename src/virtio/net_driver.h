@@ -1,0 +1,111 @@
+// VirtioNetDriver: the guest-side virtio-net driver, with switchable
+// retrofit hardening.
+//
+// This is the experimental subject for §2.5: the same driver codebase can
+// run unhardened (the historical Linux situation: in-place parsing of shared
+// structures, completion ids and lengths trusted) or with the retrofit
+// mitigations that hardening commits added one by one — validate completion
+// ids against outstanding buffers, clamp used lengths, single-fetch
+// snapshots, SWIOTLB bouncing, feature restriction. The HardeningOptions
+// knobs map 1:1 to the commit categories of Figures 3 and 4, so the attack
+// campaign and the overhead benchmarks can turn each class of fix on and
+// off independently.
+
+#ifndef SRC_VIRTIO_NET_DRIVER_H_
+#define SRC_VIRTIO_NET_DRIVER_H_
+
+#include <map>
+
+#include "src/base/clock.h"
+#include "src/hostsim/adversary.h"
+#include "src/hostsim/observability.h"
+#include "src/net/port.h"
+#include "src/virtio/net_device.h"
+#include "src/virtio/swiotlb.h"
+#include "src/virtio/virtqueue.h"
+
+namespace ciovirtio {
+
+struct HardeningOptions {
+  bool validate_completion_id = false;  // "add checks"
+  bool clamp_used_len = false;          // "add checks"
+  bool single_fetch = false;            // "add copies" (snapshot fields)
+  bool bounce_rx = false;               // SWIOTLB-style payload copy-in
+  bool restrict_features = false;       // "restrict features"
+  // DPDK-style busy polling: skip the per-frame doorbell (the device is
+  // polled externally). Used by the passthrough profile.
+  bool polling = false;
+
+  static HardeningOptions None() { return {}; }
+  static HardeningOptions Full() {
+    return {true, true, true, true, true, false};
+  }
+  // Checks without the copies: the cheap half of the retrofit.
+  static HardeningOptions ChecksOnly() {
+    return {true, true, false, false, true, false};
+  }
+  // Unhardened + polled: the rkt-io/ShieldBox DPDK configuration.
+  static HardeningOptions Passthrough() {
+    return {false, false, false, false, false, true};
+  }
+};
+
+class VirtioNetDriver final : public cionet::FramePort {
+ public:
+  VirtioNetDriver(ciotee::SharedRegion* region, VirtioNetLayout layout,
+                  KickTarget* device, ciobase::CostModel* costs,
+                  HardeningOptions hardening,
+                  ciohost::ObservabilityLog* observability);
+
+  // Runs feature negotiation and posts the initial RX buffers. Must be
+  // called (and succeed) before Send/Receive.
+  ciobase::Status Negotiate();
+
+  // --- cionet::FramePort -----------------------------------------------------
+
+  ciobase::Status SendFrame(ciobase::ByteSpan frame) override;
+  ciobase::Result<ciobase::Buffer> ReceiveFrame() override;
+  cionet::MacAddress mac() const override { return config_.mac; }
+  uint16_t mtu() const override { return config_.mtu; }
+
+  // Returns the attack surface of this transport for the adversary: the
+  // shared-memory locations of descriptor fields, ring indices and payload
+  // areas.
+  std::vector<ciohost::SurfaceField> AttackSurface() const;
+
+  struct Stats {
+    uint64_t frames_sent = 0;
+    uint64_t frames_received = 0;
+    uint64_t completions_rejected = 0;  // hardened path refusals
+    uint64_t rx_reposts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const NegotiatedConfig& config() const { return config_; }
+
+ private:
+  void ReapTxCompletions();
+  void PostRxBuffer();
+  ciobase::Result<ciobase::Buffer> ReceiveHardened(const UsedElem& elem);
+  ciobase::Result<ciobase::Buffer> ReceiveUnhardened(const UsedElem& elem);
+
+  ciotee::SharedRegion* region_;
+  VirtioNetLayout layout_;
+  VirtqueueDriver tx_;
+  VirtqueueDriver rx_;
+  Swiotlb pool_;
+  KickTarget* device_;
+  ciobase::CostModel* costs_;
+  HardeningOptions hardening_;
+  ciohost::ObservabilityLog* observability_;
+  NegotiatedConfig config_;
+  bool negotiated_ = false;
+
+  // Guest-private bookkeeping: descriptor id -> pool slot it points at.
+  std::map<uint16_t, uint64_t> tx_outstanding_;
+  std::map<uint16_t, uint64_t> rx_outstanding_;
+  Stats stats_;
+};
+
+}  // namespace ciovirtio
+
+#endif  // SRC_VIRTIO_NET_DRIVER_H_

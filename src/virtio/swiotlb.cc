@@ -1,0 +1,65 @@
+#include "src/virtio/swiotlb.h"
+
+#include <cassert>
+
+#include "src/base/bits.h"
+
+namespace ciovirtio {
+
+Swiotlb::Swiotlb(ciotee::SharedRegion* region, uint64_t pool_offset,
+                 size_t slot_size, size_t slot_count,
+                 ciobase::CostModel* costs)
+    : region_(region),
+      pool_offset_(pool_offset),
+      slot_size_(slot_size),
+      slot_count_(slot_count),
+      costs_(costs) {
+  assert(ciobase::IsPowerOfTwo(slot_size));
+  assert(pool_offset + slot_size * slot_count <= region->size());
+  for (size_t i = 0; i < slot_count; ++i) {
+    free_.push_back(pool_offset + i * slot_size);
+  }
+}
+
+ciobase::Result<uint64_t> Swiotlb::AllocSlot() {
+  if (free_.empty()) {
+    return ciobase::ResourceExhausted("swiotlb pool empty");
+  }
+  uint64_t offset = free_.front();
+  free_.pop_front();
+  return offset;
+}
+
+ciobase::Status Swiotlb::FreeSlot(uint64_t offset) {
+  if (!ValidSlotOffset(offset)) {
+    return ciobase::InvalidArgument("not a slot offset");
+  }
+  free_.push_back(offset);
+  return ciobase::OkStatus();
+}
+
+bool Swiotlb::ValidSlotOffset(uint64_t offset) const {
+  return offset >= pool_offset_ && offset < pool_offset_ + pool_size() &&
+         ciobase::IsAligned(offset - pool_offset_, slot_size_);
+}
+
+ciobase::Status Swiotlb::CopyOut(uint64_t offset, ciobase::ByteSpan data) {
+  if (!ValidSlotOffset(offset) || data.size() > slot_size_) {
+    return ciobase::InvalidArgument("bad bounce-out");
+  }
+  costs_->ChargeCopy(data.size());
+  return region_->GuestWrite(offset, data);
+}
+
+ciobase::Result<ciobase::Buffer> Swiotlb::CopyIn(uint64_t offset, size_t len) {
+  if (!ValidSlotOffset(offset)) {
+    return ciobase::InvalidArgument("bad bounce-in");
+  }
+  len = std::min(len, slot_size_);
+  ciobase::Buffer out(len);
+  costs_->ChargeCopy(len);
+  CIO_RETURN_IF_ERROR(region_->GuestRead(offset, out));
+  return out;
+}
+
+}  // namespace ciovirtio

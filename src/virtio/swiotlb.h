@@ -1,0 +1,63 @@
+// Swiotlb: a bounce-buffer pool in host-visible shared memory, modeled on
+// Linux's SWIOTLB as used under SEV/TDX [36].
+//
+// Confidential VMs cannot DMA from private (encrypted) memory, so every
+// buffer a paravirtual device touches must live in a shared pool; data is
+// *bounced* (copied) between private memory and pool slots. The paper's
+// critique (§2.5): retrofitted onto virtio, SWIOTLB "copies systematically
+// even in cases where double fetch is impossible" — the copy is not part of
+// the protocol design, so it cannot be elided when it is provably
+// unnecessary. The hardened cio L2 transport instead makes the copy a
+// first-class protocol element, performed early and only when needed.
+//
+// Slots are fixed-size and power-of-two aligned so offsets can be masked.
+
+#ifndef SRC_VIRTIO_SWIOTLB_H_
+#define SRC_VIRTIO_SWIOTLB_H_
+
+#include <deque>
+
+#include "src/base/clock.h"
+#include "src/base/status.h"
+#include "src/tee/shared_region.h"
+
+namespace ciovirtio {
+
+class Swiotlb {
+ public:
+  // Manages [pool_offset, pool_offset + slot_size * slot_count) inside
+  // `region`. slot_size must be a power of two.
+  Swiotlb(ciotee::SharedRegion* region, uint64_t pool_offset,
+          size_t slot_size, size_t slot_count, ciobase::CostModel* costs);
+
+  size_t slot_size() const { return slot_size_; }
+  size_t slot_count() const { return slot_count_; }
+  size_t free_slots() const { return free_.size(); }
+
+  // Allocates a slot; returns its byte offset within the shared region.
+  ciobase::Result<uint64_t> AllocSlot();
+  ciobase::Status FreeSlot(uint64_t offset);
+
+  // Bounce out: copies `data` into the slot at `offset` (charged).
+  ciobase::Status CopyOut(uint64_t offset, ciobase::ByteSpan data);
+  // Bounce in: copies `len` bytes from the slot into private memory
+  // (charged). `len` is clamped to the slot size.
+  ciobase::Result<ciobase::Buffer> CopyIn(uint64_t offset, size_t len);
+
+  // True if `offset` is a valid slot start inside the pool.
+  bool ValidSlotOffset(uint64_t offset) const;
+  uint64_t pool_offset() const { return pool_offset_; }
+  uint64_t pool_size() const { return slot_size_ * slot_count_; }
+
+ private:
+  ciotee::SharedRegion* region_;
+  uint64_t pool_offset_;
+  size_t slot_size_;
+  size_t slot_count_;
+  ciobase::CostModel* costs_;
+  std::deque<uint64_t> free_;  // FIFO: delays slot reuse (see virtqueue.h)
+};
+
+}  // namespace ciovirtio
+
+#endif  // SRC_VIRTIO_SWIOTLB_H_

@@ -1,0 +1,173 @@
+#include "src/virtio/virtqueue.h"
+
+#include <cassert>
+
+#include "src/base/bits.h"
+
+namespace ciovirtio {
+
+// --- Driver half --------------------------------------------------------------
+
+VirtqueueDriver::VirtqueueDriver(ciotee::SharedRegion* region,
+                                 VirtqLayout layout, ciobase::CostModel* costs)
+    : region_(region), layout_(layout), costs_(costs) {
+  assert(ciobase::IsPowerOfTwo(layout.queue_size));
+  for (uint16_t i = 0; i < layout.queue_size; ++i) {
+    free_.push_back(i);
+  }
+}
+
+void VirtqueueDriver::WriteDesc(uint16_t i, const VirtqDesc& desc) {
+  // `i` comes from the guest's own allocator and is always in range.
+  uint64_t off = layout_.DescOffset(i);
+  region_->GuestWriteLe64(off, desc.addr);
+  region_->GuestWriteLe32(off + 8, desc.len);
+  region_->GuestWriteLe16(off + 12, desc.flags);
+  region_->GuestWriteLe16(off + 14, desc.next);
+}
+
+VirtqDesc VirtqueueDriver::ReadDescOnce(uint16_t i) {
+  // NOTE: `i` is NOT masked here — callers decide whether to validate it
+  // (hardened) or pass a host-controlled completion id through raw
+  // (unhardened baseline). An out-of-range id turns into an out-of-bounds
+  // shared-memory access recorded by the TEE memory model.
+  uint64_t off = layout_.DescOffset(i);
+  uint8_t raw[16];
+  region_->GuestRead(off, raw);  // ONE fetch: one TOCTOU window
+  VirtqDesc desc;
+  desc.addr = ciobase::LoadLe64(raw);
+  desc.len = ciobase::LoadLe32(raw + 8);
+  desc.flags = ciobase::LoadLe16(raw + 12);
+  desc.next = ciobase::LoadLe16(raw + 14);
+  return desc;
+}
+
+VirtqDesc VirtqueueDriver::ReadDescUnsafe(uint16_t i) {
+  uint64_t off = layout_.DescOffset(i);  // unvalidated, like the hardened
+                                         // variant above — see its NOTE
+  // Four separate fetches — each one is a fresh TOCTOU window, like parsing
+  // a struct in place through a pointer into shared memory.
+  VirtqDesc desc;
+  desc.addr = region_->GuestReadLe64(off);
+  desc.len = region_->GuestReadLe32(off + 8);
+  desc.flags = region_->GuestReadLe16(off + 12);
+  desc.next = region_->GuestReadLe16(off + 14);
+  return desc;
+}
+
+void VirtqueueDriver::PostAvail(uint16_t head) {
+  region_->GuestWriteLe16(
+      layout_.AvailRing(static_cast<uint16_t>(
+          avail_idx_ & (layout_.queue_size - 1))),
+      head);
+  ++avail_idx_;
+  region_->GuestWriteLe16(layout_.AvailIdx(), avail_idx_);
+}
+
+uint16_t VirtqueueDriver::UsedPending() {
+  costs_->ChargeRingPoll();
+  uint16_t used_idx = region_->GuestReadLe16(layout_.UsedIdx());
+  return static_cast<uint16_t>(used_idx - last_used_idx_);
+}
+
+std::optional<UsedElem> VirtqueueDriver::PopUsed(bool single_fetch) {
+  if (UsedPending() == 0) {
+    return std::nullopt;
+  }
+  uint64_t off = layout_.UsedRing(static_cast<uint16_t>(
+      last_used_idx_ & (layout_.queue_size - 1)));
+  UsedElem elem;
+  if (single_fetch) {
+    uint8_t raw[8];
+    region_->GuestRead(off, raw);
+    elem.id = ciobase::LoadLe32(raw);
+    elem.len = ciobase::LoadLe32(raw + 4);
+  } else {
+    elem.id = region_->GuestReadLe32(off);
+    elem.len = region_->GuestReadLe32(off + 4);
+  }
+  ++last_used_idx_;
+  return elem;
+}
+
+std::optional<uint16_t> VirtqueueDriver::AllocDesc() {
+  if (free_.empty()) {
+    return std::nullopt;
+  }
+  uint16_t i = free_.front();
+  free_.pop_front();
+  return i;
+}
+
+void VirtqueueDriver::FreeDesc(uint16_t i) { free_.push_back(i); }
+
+// --- Device half ---------------------------------------------------------------
+
+VirtqueueDevice::VirtqueueDevice(ciotee::SharedRegion* region,
+                                 VirtqLayout layout,
+                                 ciohost::Adversary* adversary)
+    : region_(region), layout_(layout), adversary_(adversary) {}
+
+VirtqDesc VirtqueueDevice::ReadDesc(uint16_t i) {
+  uint64_t off = layout_.DescOffset(static_cast<uint16_t>(
+      i & (layout_.queue_size - 1)));
+  uint8_t raw[16];
+  region_->HostRead(off, raw);
+  VirtqDesc desc;
+  desc.addr = ciobase::LoadLe64(raw);
+  desc.len = ciobase::LoadLe32(raw + 8);
+  desc.flags = ciobase::LoadLe16(raw + 12);
+  desc.next = ciobase::LoadLe16(raw + 14);
+  return desc;
+}
+
+std::optional<uint16_t> VirtqueueDevice::PopAvail() {
+  uint16_t avail_idx = region_->HostReadLe16(layout_.AvailIdx());
+  if (avail_idx == last_avail_idx_) {
+    return std::nullopt;
+  }
+  uint16_t head = region_->HostReadLe16(layout_.AvailRing(
+      static_cast<uint16_t>(last_avail_idx_ & (layout_.queue_size - 1))));
+  ++last_avail_idx_;
+  return head;
+}
+
+std::vector<VirtqDesc> VirtqueueDevice::ReadChain(uint16_t head) {
+  std::vector<VirtqDesc> chain;
+  uint16_t i = head;
+  // Bound chain walks to the queue size; a real device must too, or a
+  // malicious *driver* could loop it (mutual distrust cuts both ways).
+  for (uint16_t hops = 0; hops < layout_.queue_size; ++hops) {
+    VirtqDesc desc = ReadDesc(i);
+    chain.push_back(desc);
+    if ((desc.flags & kDescFlagNext) == 0) {
+      break;
+    }
+    i = desc.next;
+  }
+  return chain;
+}
+
+void VirtqueueDevice::PushUsed(uint32_t id, uint32_t len,
+                               uint32_t buffer_capacity) {
+  UsedElem elem{id, len};
+  if (adversary_ != nullptr) {
+    elem.len = adversary_->MutateUsedLen(len, buffer_capacity);
+    if (adversary_->ShouldReplayCompletion() && last_pushed_.has_value()) {
+      elem = *last_pushed_;  // temporal violation: stale completion again
+    }
+  }
+  uint64_t off = layout_.UsedRing(static_cast<uint16_t>(
+      used_idx_ & (layout_.queue_size - 1)));
+  region_->HostWriteLe32(off, elem.id);
+  region_->HostWriteLe32(off + 4, elem.len);
+  ++used_idx_;
+  uint16_t published = used_idx_;
+  if (adversary_ != nullptr) {
+    published = adversary_->MutatePublishedIndex(used_idx_);
+  }
+  region_->HostWriteLe16(layout_.UsedIdx(), published);
+  last_pushed_ = elem;
+}
+
+}  // namespace ciovirtio

@@ -1,0 +1,274 @@
+// Crypto tests against published test vectors: SHA-256 (FIPS 180-4 / NIST),
+// HMAC-SHA256 (RFC 4231), HKDF (RFC 5869), ChaCha20 (RFC 8439 §2.4.2),
+// Poly1305 (RFC 8439 §2.5.2), ChaCha20-Poly1305 AEAD (RFC 8439 §2.8.2),
+// plus property tests (incremental == one-shot, tamper detection).
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/crypto/aead.h"
+#include "src/crypto/hkdf.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/sha256.h"
+
+namespace {
+
+using ciobase::Buffer;
+using ciobase::BufferFromString;
+using ciobase::ByteSpan;
+using ciobase::HexDecode;
+using ciobase::HexEncode;
+using namespace ciocrypto;  // NOLINT: test file
+
+std::string HashHex(ByteSpan data) {
+  return HexEncode(Sha256::Hash(data));
+}
+
+TEST(Sha256, NistVectors) {
+  EXPECT_EQ(HashHex({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  Buffer abc = BufferFromString("abc");
+  EXPECT_EQ(HashHex(abc),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  Buffer two_blocks = BufferFromString(
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(HashHex(two_blocks),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  Buffer chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk);
+  }
+  EXPECT_EQ(HexEncode(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  ciobase::Rng rng(3);
+  for (size_t size : {1, 63, 64, 65, 127, 128, 1000}) {
+    Buffer data = rng.Bytes(size);
+    Sha256 h;
+    // Feed in awkward pieces.
+    size_t i = 0;
+    size_t step = 1;
+    while (i < data.size()) {
+      size_t n = std::min(step, data.size() - i);
+      h.Update(ByteSpan(data.data() + i, n));
+      i += n;
+      step = step * 2 + 1;
+    }
+    EXPECT_EQ(h.Finish(), Sha256::Hash(data)) << "size " << size;
+  }
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  Buffer key(20, 0x0b);
+  Buffer data = BufferFromString("Hi There");
+  EXPECT_EQ(HexEncode(HmacSha256::Mac(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  Buffer key = BufferFromString("Jefe");
+  Buffer data = BufferFromString("what do ya want for nothing?");
+  EXPECT_EQ(HexEncode(HmacSha256::Mac(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  Buffer key(131, 0xaa);
+  Buffer data = BufferFromString(
+      "Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(HexEncode(HmacSha256::Mac(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, Rfc4231Case3BinaryData) {
+  Buffer key(20, 0xaa);
+  Buffer data(50, 0xdd);
+  EXPECT_EQ(HexEncode(HmacSha256::Mac(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case4) {
+  Buffer key = HexDecode("0102030405060708090a0b0c0d0e0f10111213141516171819");
+  Buffer data(50, 0xcd);
+  EXPECT_EQ(HexEncode(HmacSha256::Mac(key, data)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256, Rfc4231Case7LongKeyAndData) {
+  Buffer key(131, 0xaa);
+  Buffer data = BufferFromString(
+      "This is a test using a larger than block-size key and a larger than "
+      "block-size data. The key needs to be hashed before being used by the "
+      "HMAC algorithm.");
+  EXPECT_EQ(HexEncode(HmacSha256::Mac(key, data)),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(Hkdf, Rfc5869Case2LongInputs) {
+  Buffer ikm = HexDecode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+      "202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f"
+      "404142434445464748494a4b4c4d4e4f");
+  Buffer salt = HexDecode(
+      "606162636465666768696a6b6c6d6e6f707172737475767778797a7b7c7d7e7f"
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f"
+      "a0a1a2a3a4a5a6a7a8a9aaabacadaeaf");
+  Buffer info = HexDecode(
+      "b0b1b2b3b4b5b6b7b8b9babbbcbdbebfc0c1c2c3c4c5c6c7c8c9cacbcccdcecf"
+      "d0d1d2d3d4d5d6d7d8d9dadbdcdddedfe0e1e2e3e4e5e6e7e8e9eaebecedeeef"
+      "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+  Sha256Digest prk = HkdfExtract(salt, ikm);
+  Buffer okm = HkdfExpand(prk, info, 82);
+  EXPECT_EQ(HexEncode(okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87");
+}
+
+TEST(HmacSha256, VerifyAcceptsAndRejects) {
+  Buffer key = BufferFromString("k");
+  Buffer data = BufferFromString("d");
+  Sha256Digest mac = HmacSha256::Mac(key, data);
+  EXPECT_TRUE(HmacSha256::Verify(key, data, mac));
+  mac[0] ^= 1;
+  EXPECT_FALSE(HmacSha256::Verify(key, data, mac));
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  Buffer ikm(22, 0x0b);
+  Buffer salt = HexDecode("000102030405060708090a0b0c");
+  Buffer info = HexDecode("f0f1f2f3f4f5f6f7f8f9");
+  Sha256Digest prk = HkdfExtract(salt, ikm);
+  EXPECT_EQ(HexEncode(prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  Buffer okm = HkdfExpand(prk, info, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  Buffer ikm(22, 0x0b);
+  Sha256Digest prk = HkdfExtract({}, ikm);
+  Buffer okm = HkdfExpand(prk, {}, 42);
+  EXPECT_EQ(HexEncode(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(ChaCha20, Rfc8439KeystreamVector) {
+  // RFC 8439 §2.4.2.
+  Buffer key = HexDecode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Buffer nonce = HexDecode("000000000000004a00000000");
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  Buffer in = BufferFromString(plaintext);
+  Buffer out(in.size());
+  ChaCha20Xor(key.data(), nonce.data(), 1, in, out.data());
+  EXPECT_EQ(HexEncode(ByteSpan(out.data(), 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+}
+
+TEST(Poly1305, Rfc8439Vector) {
+  // RFC 8439 §2.5.2.
+  Buffer key = HexDecode(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  Buffer msg = BufferFromString("Cryptographic Forum Research Group");
+  Poly1305Tag tag = Poly1305::Mac(key.data(), msg);
+  EXPECT_EQ(HexEncode(tag), "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Aead, Rfc8439SealVector) {
+  // RFC 8439 §2.8.2.
+  Buffer key = HexDecode(
+      "808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+  Buffer nonce = HexDecode("070000004041424344454647");
+  Buffer aad = HexDecode("50515253c0c1c2c3c4c5c6c7");
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  Buffer sealed = AeadSeal(key, nonce, aad, BufferFromString(plaintext));
+  ASSERT_EQ(sealed.size(), plaintext.size() + kAeadTagSize);
+  EXPECT_EQ(HexEncode(ByteSpan(sealed.data() + plaintext.size(),
+                               kAeadTagSize)),
+            "1ae10b594f09e26a7e902ecbd0600691");
+  auto opened = AeadOpen(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(ciobase::StringFromBytes(*opened), plaintext);
+}
+
+TEST(Aead, RejectsTamperedCiphertext) {
+  ciobase::Rng rng(4);
+  Buffer key = rng.Bytes(kAeadKeySize);
+  Buffer nonce = rng.Bytes(kAeadNonceSize);
+  Buffer aad = rng.Bytes(16);
+  Buffer plaintext = rng.Bytes(100);
+  Buffer sealed = AeadSeal(key, nonce, aad, plaintext);
+  for (size_t i = 0; i < sealed.size(); i += 7) {
+    Buffer corrupted = sealed;
+    corrupted[i] ^= 0x01;
+    auto opened = AeadOpen(key, nonce, aad, corrupted);
+    EXPECT_FALSE(opened.ok()) << "byte " << i;
+    EXPECT_EQ(opened.status().code(), ciobase::StatusCode::kTampered);
+  }
+}
+
+TEST(Aead, RejectsWrongAadNonceKey) {
+  ciobase::Rng rng(5);
+  Buffer key = rng.Bytes(kAeadKeySize);
+  Buffer nonce = rng.Bytes(kAeadNonceSize);
+  Buffer aad = rng.Bytes(8);
+  Buffer plaintext = rng.Bytes(64);
+  Buffer sealed = AeadSeal(key, nonce, aad, plaintext);
+
+  Buffer bad_aad = aad;
+  bad_aad[0] ^= 1;
+  EXPECT_FALSE(AeadOpen(key, nonce, bad_aad, sealed).ok());
+
+  Buffer bad_nonce = nonce;
+  bad_nonce[0] ^= 1;
+  EXPECT_FALSE(AeadOpen(key, bad_nonce, aad, sealed).ok());
+
+  Buffer bad_key = key;
+  bad_key[0] ^= 1;
+  EXPECT_FALSE(AeadOpen(bad_key, nonce, aad, sealed).ok());
+}
+
+TEST(Aead, RejectsTruncated) {
+  ciobase::Rng rng(6);
+  Buffer key = rng.Bytes(kAeadKeySize);
+  Buffer nonce = rng.Bytes(kAeadNonceSize);
+  Buffer sealed = AeadSeal(key, nonce, {}, rng.Bytes(32));
+  EXPECT_FALSE(AeadOpen(key, nonce, {}, ByteSpan(sealed.data(), 15)).ok());
+  EXPECT_FALSE(
+      AeadOpen(key, nonce, {}, ByteSpan(sealed.data(), sealed.size() - 1))
+          .ok());
+}
+
+class AeadRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AeadRoundTripTest, SealOpenRoundTrip) {
+  ciobase::Rng rng(GetParam() + 1);
+  Buffer key = rng.Bytes(kAeadKeySize);
+  Buffer nonce = rng.Bytes(kAeadNonceSize);
+  Buffer aad = rng.Bytes(GetParam() % 32);
+  Buffer plaintext = rng.Bytes(GetParam());
+  Buffer sealed = AeadSeal(key, nonce, aad, plaintext);
+  auto opened = AeadOpen(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AeadRoundTripTest,
+                         ::testing::Values(0, 1, 15, 16, 17, 63, 64, 65, 255,
+                                           1024, 16384));
+
+}  // namespace

@@ -1,0 +1,199 @@
+// Tests for the L5 single-distrust channel: trusted-component-allocates
+// semantics, zero-copy send, copy vs revoke receive, ownership transfer
+// (compartment revocation), boundary-kind cost accounting, and the
+// grant-matrix direction (app may touch I/O memory, never vice versa).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/cio/l5_channel.h"
+#include "src/net/fabric.h"
+
+namespace {
+
+using ciobase::Buffer;
+using ciobase::BufferFromString;
+using namespace cio;  // NOLINT: test file
+
+// An L5 world: a NetStack in the "io" compartment talking over a direct
+// fabric to a plain peer stack.
+struct L5World {
+  ciobase::SimClock clock;
+  ciobase::CostModel costs{&clock};
+  cionet::Fabric fabric{&clock, 31};
+  cionet::DirectFabricPort port_io{&fabric, "io",
+                                   cionet::MacAddress::FromId(1)};
+  cionet::DirectFabricPort port_peer{&fabric, "peer",
+                                     cionet::MacAddress::FromId(2)};
+  std::unique_ptr<cionet::NetStack> io_stack;
+  std::unique_ptr<cionet::NetStack> peer_stack;
+  ciotee::CompartmentManager compartments{&costs};
+  ciotee::CompartmentId app = compartments.Create("app", 1 << 20);
+  ciotee::CompartmentId io = compartments.Create("io", 1 << 20);
+  std::unique_ptr<L5Channel> l5;
+
+  explicit L5World(L5ReceiveMode mode = L5ReceiveMode::kCopy,
+                   L5BoundaryKind kind = L5BoundaryKind::kCompartment) {
+    cionet::NetStack::Config config_io;
+    config_io.ip = cionet::Ipv4Address::FromOctets(10, 0, 0, 1);
+    cionet::NetStack::Config config_peer;
+    config_peer.ip = cionet::Ipv4Address::FromOctets(10, 0, 0, 2);
+    config_peer.seed = 5;
+    io_stack = std::make_unique<cionet::NetStack>(&port_io, &clock,
+                                                  config_io);
+    peer_stack = std::make_unique<cionet::NetStack>(&port_peer, &clock,
+                                                    config_peer);
+    compartments.GrantAccess(app, io);
+    l5 = std::make_unique<L5Channel>(&compartments, app, io,
+                                     io_stack.get(), &costs, mode, kind);
+  }
+
+  // Establishes l5-listener <- peer-connect; returns (l5 server socket,
+  // peer client socket).
+  std::pair<cionet::SocketId, cionet::SocketId> Establish() {
+    auto listener = l5->Listen(80);
+    EXPECT_TRUE(listener.ok());
+    auto client = peer_stack->TcpConnect(
+        cionet::Ipv4Address::FromOctets(10, 0, 0, 1), 80);
+    EXPECT_TRUE(client.ok());
+    cionet::SocketId server{};
+    for (int i = 0; i < 1000; ++i) {
+      peer_stack->Poll();
+      l5->Poll();
+      clock.Advance(5'000);
+      auto accepted = l5->Accept(*listener);
+      if (accepted.ok()) {
+        server = *accepted;
+        break;
+      }
+    }
+    return {server, *client};
+  }
+
+  void Pump(int rounds = 50) {
+    for (int i = 0; i < rounds; ++i) {
+      peer_stack->Poll();
+      l5->Poll();
+      clock.Advance(5'000);
+    }
+  }
+};
+
+TEST(L5Channel, SendIsZeroCopyThroughIoHeap) {
+  L5World world;
+  auto [server, client] = world.Establish();
+  Buffer data = BufferFromString("through the io heap");
+  uint64_t copies_before = world.costs.counter("bytes_copied");
+  auto sent = world.l5->Send(server, data);
+  ASSERT_TRUE(sent.ok());
+  EXPECT_EQ(*sent, data.size());
+  // No boundary copy was charged on send (the stack consumed the app's
+  // io-heap buffer in place).
+  EXPECT_EQ(world.costs.counter("bytes_copied"), copies_before);
+  world.Pump();
+  uint8_t buf[64];
+  auto got = world.peer_stack->TcpReceive(client, buf);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ciobase::StringFromBytes(ciobase::ByteSpan(buf, *got)),
+            "through the io heap");
+}
+
+TEST(L5Channel, CopyReceiveChargesCopy) {
+  L5World world(L5ReceiveMode::kCopy);
+  auto [server, client] = world.Establish();
+  ASSERT_TRUE(
+      world.peer_stack->TcpSend(client, BufferFromString("payload")).ok());
+  world.Pump();
+  uint64_t copies_before = world.costs.counter("bytes_copied");
+  auto received = world.l5->Receive(server, 64);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(ciobase::StringFromBytes(*received), "payload");
+  EXPECT_GT(world.costs.counter("bytes_copied"), copies_before);
+  EXPECT_EQ(world.l5->stats().receive_copies, 1u);
+}
+
+TEST(L5Channel, RevokeReceiveChargesPagesAndTransfersOwnership) {
+  L5World world(L5ReceiveMode::kRevoke);
+  auto [server, client] = world.Establish();
+  ASSERT_TRUE(
+      world.peer_stack->TcpSend(client, BufferFromString("payload")).ok());
+  world.Pump();
+  auto received = world.l5->Receive(server, 64);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(ciobase::StringFromBytes(*received), "payload");
+  EXPECT_GT(world.costs.counter("pages_unshared"), 0u);
+  EXPECT_EQ(world.l5->stats().receive_revocations, 1u);
+}
+
+TEST(L5Channel, EmptyReceiveReturnsEmptyBuffer) {
+  L5World world;
+  auto [server, client] = world.Establish();
+  (void)client;
+  auto received = world.l5->Receive(server, 64);
+  ASSERT_TRUE(received.ok());
+  EXPECT_TRUE(received->empty());
+}
+
+TEST(L5Channel, CrossingsAreCountedAndCharged) {
+  L5World world;
+  auto [server, client] = world.Establish();
+  (void)client;
+  uint64_t before = world.l5->stats().crossings;
+  (void)world.l5->Send(server, BufferFromString("x"));
+  (void)world.l5->Receive(server, 16);
+  world.l5->Poll();
+  EXPECT_GE(world.l5->stats().crossings, before + 3);
+  EXPECT_GT(world.costs.counter("compartment_switches"), 0u);
+  EXPECT_EQ(world.costs.counter("tee_switches"), 0u);
+}
+
+TEST(L5Channel, DualTeeBoundaryChargesTeeSwitches) {
+  L5World world(L5ReceiveMode::kCopy, L5BoundaryKind::kDualTee);
+  auto [server, client] = world.Establish();
+  (void)client;
+  (void)world.l5->Send(server, BufferFromString("x"));
+  EXPECT_GT(world.costs.counter("tee_switches"), 0u);
+}
+
+TEST(L5Channel, IoCompartmentCannotTouchAppAllocations) {
+  // The direction of the grant matrix: app -> io yes, io -> app never.
+  L5World world;
+  auto secret = world.compartments.Allocate(world.app, world.app, 32);
+  ASSERT_TRUE(secret.ok());
+  EXPECT_FALSE(world.compartments.Access(world.io, *secret).ok());
+  // And the io compartment cannot even allocate in the app's heap.
+  EXPECT_FALSE(world.compartments.Allocate(world.io, world.app, 32).ok());
+}
+
+TEST(L5Channel, OwnershipTransferRevokesOldOwner) {
+  L5World world;
+  auto handle = world.compartments.Allocate(world.app, world.io, 64);
+  ASSERT_TRUE(handle.ok());
+  // Initially the io compartment (owner) can access its own buffer.
+  EXPECT_TRUE(world.compartments.Access(world.io, *handle).ok());
+  // The app revokes it (L5 revocation): io's access dies, app's remains.
+  ASSERT_TRUE(
+      world.compartments.Transfer(world.app, *handle, world.app).ok());
+  EXPECT_FALSE(world.compartments.Access(world.io, *handle).ok());
+  EXPECT_TRUE(world.compartments.Access(world.app, *handle).ok());
+}
+
+TEST(L5Channel, ManyTransfersDoNotExhaustHeaps) {
+  // Regression test for the bump-allocator reclamation: sustained traffic
+  // must not run the io heap out of memory.
+  L5World world;
+  auto [server, client] = world.Establish();
+  ciobase::Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    Buffer chunk = rng.Bytes(8192);
+    (void)world.peer_stack->TcpSend(client, chunk);
+    world.Pump(3);
+    auto received = world.l5->Receive(server, 16384);
+    ASSERT_TRUE(received.ok()) << "iteration " << i << ": "
+                               << received.status().ToString();
+  }
+}
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Shared helpers for network tests: a two-host world over a Fabric with
+// DirectFabricPorts, and a pump loop that advances simulated time.
+
+#ifndef TESTS_NET_TESTING_H_
+#define TESTS_NET_TESTING_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/base/clock.h"
+#include "src/net/fabric.h"
+#include "src/net/stack.h"
+
+namespace ciotest {
+
+struct TwoHostWorld {
+  ciobase::SimClock clock;
+  std::unique_ptr<cionet::Fabric> fabric;
+  std::unique_ptr<cionet::DirectFabricPort> port_a;
+  std::unique_ptr<cionet::DirectFabricPort> port_b;
+  std::unique_ptr<cionet::NetStack> stack_a;
+  std::unique_ptr<cionet::NetStack> stack_b;
+
+  explicit TwoHostWorld(cionet::Fabric::Options options = {}) {
+    fabric = std::make_unique<cionet::Fabric>(&clock, 42, options);
+    auto mac_a = cionet::MacAddress::FromId(1);
+    auto mac_b = cionet::MacAddress::FromId(2);
+    port_a = std::make_unique<cionet::DirectFabricPort>(fabric.get(), "a",
+                                                        mac_a);
+    port_b = std::make_unique<cionet::DirectFabricPort>(fabric.get(), "b",
+                                                        mac_b);
+    cionet::NetStack::Config config_a;
+    config_a.ip = cionet::Ipv4Address::FromOctets(10, 0, 0, 1);
+    config_a.seed = 101;
+    cionet::NetStack::Config config_b;
+    config_b.ip = cionet::Ipv4Address::FromOctets(10, 0, 0, 2);
+    config_b.seed = 202;
+    stack_a = std::make_unique<cionet::NetStack>(port_a.get(), &clock,
+                                                 config_a);
+    stack_b = std::make_unique<cionet::NetStack>(port_b.get(), &clock,
+                                                 config_b);
+  }
+
+  // Polls both stacks, advancing simulated time by `step_ns` per round,
+  // until `done` returns true or `max_rounds` elapse. Returns true if the
+  // predicate fired.
+  bool PumpUntil(const std::function<bool()>& done, int max_rounds = 20000,
+                 uint64_t step_ns = 10'000) {
+    for (int i = 0; i < max_rounds; ++i) {
+      stack_a->Poll();
+      stack_b->Poll();
+      if (done()) {
+        return true;
+      }
+      clock.Advance(step_ns);
+    }
+    return false;
+  }
+
+  void Pump(int rounds = 100, uint64_t step_ns = 10'000) {
+    PumpUntil([] { return false; }, rounds, step_ns);
+  }
+};
+
+}  // namespace ciotest
+
+#endif  // TESTS_NET_TESTING_H_

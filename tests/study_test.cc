@@ -1,0 +1,120 @@
+// Tests for the hardening-commit study: dataset invariants match every
+// number the paper prints, the classifier agrees with the manual labels,
+// and the distribution tables carry the paper's key claims.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/study/classifier.h"
+#include "src/study/dataset.h"
+
+namespace {
+
+using namespace ciostudy;  // NOLINT: test file
+
+TEST(Dataset, NetvscMatchesFigure3) {
+  const auto& commits = NetvscCommits();
+  EXPECT_EQ(commits.size(), 28u);
+  Distribution d = DistributionByLabel(commits);
+  // Figure 3: checks 21%, init 18%, copies/races/restrict 14%, design 11%,
+  // amend 7% (within rounding of the integer reconstruction).
+  EXPECT_NEAR(d.Percent(HardeningCategory::kAddChecks), 21.0, 1.5);
+  EXPECT_NEAR(d.Percent(HardeningCategory::kAddInit), 18.0, 1.0);
+  EXPECT_NEAR(d.Percent(HardeningCategory::kAddCopies), 14.0, 1.0);
+  EXPECT_NEAR(d.Percent(HardeningCategory::kRaceProtection), 14.0, 1.0);
+  EXPECT_NEAR(d.Percent(HardeningCategory::kRestrictFeatures), 14.0, 1.0);
+  EXPECT_NEAR(d.Percent(HardeningCategory::kDesignChange), 11.0, 1.0);
+  EXPECT_NEAR(d.Percent(HardeningCategory::kAmendPrevious), 7.0, 1.0);
+}
+
+TEST(Dataset, VirtioMatchesFigure4) {
+  const auto& commits = VirtioCommits();
+  EXPECT_GT(commits.size(), 40u);  // "over 40 commits"
+  Distribution d = DistributionByLabel(commits);
+  EXPECT_NEAR(d.Percent(HardeningCategory::kAddChecks), 35.0, 1.0);
+  EXPECT_NEAR(d.Percent(HardeningCategory::kAmendPrevious), 28.0, 1.0);
+  // "...12 either revert or amend previous hardening changes."
+  EXPECT_EQ(d.counts[static_cast<int>(HardeningCategory::kAmendPrevious)],
+            12);
+}
+
+TEST(Dataset, KeyClaimHardeningIsErrorProne) {
+  // The paper's first key observation: hardening is extremely error-prone —
+  // the amend/revert share in virtio dwarfs netvsc's.
+  Distribution virtio = DistributionByLabel(VirtioCommits());
+  Distribution netvsc = DistributionByLabel(NetvscCommits());
+  EXPECT_GT(virtio.Percent(HardeningCategory::kAmendPrevious),
+            3 * netvsc.Percent(HardeningCategory::kAmendPrevious));
+}
+
+TEST(Dataset, CveSeriesCoversEveryYear) {
+  const auto& series = NetRemoteCves();
+  ASSERT_EQ(series.size(), 21u);  // 2002..2022
+  EXPECT_EQ(series.front().year, 2002);
+  EXPECT_EQ(series.back().year, 2022);
+  for (size_t i = 1; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].year, series[i - 1].year + 1);
+    EXPECT_GT(series[i].remote_cves, 0);  // "year not present = no CVEs"
+  }
+  // The recent half outweighs the early half (ever-growing attack surface).
+  int early = 0;
+  int late = 0;
+  for (const auto& [year, count] : series) {
+    (year <= 2012 ? early : late) += count;
+  }
+  EXPECT_GT(late, early);
+}
+
+TEST(Dataset, NetGrowthAveragesTwentyPercentPerMajor) {
+  const auto& growth = NetSubsystemGrowth();
+  ASSERT_GE(growth.size(), 3u);
+  double first = growth.front().kloc;
+  double last = growth.back().kloc;
+  double steps = static_cast<double>(growth.size() - 1);
+  double per_step = std::pow(last / first, 1.0 / steps) - 1.0;
+  // ~+10% per listed step, ~+20% per major version (two steps/major here).
+  EXPECT_GT(per_step, 0.05);
+  EXPECT_LT(per_step, 0.30);
+}
+
+TEST(Classifier, AgreesWithManualLabels) {
+  EXPECT_GE(ClassifierAccuracy(NetvscCommits()), 0.9);
+  EXPECT_GE(ClassifierAccuracy(VirtioCommits()), 0.9);
+}
+
+TEST(Classifier, RevertOfCheckIsAmendment) {
+  EXPECT_EQ(ClassifySubject("Revert \"virtio_ring: validate used length\""),
+            HardeningCategory::kAmendPrevious);
+  EXPECT_EQ(ClassifySubject("virtio_ring: validate used length"),
+            HardeningCategory::kAddChecks);
+}
+
+TEST(Classifier, CategoryKeywordsResolve) {
+  EXPECT_EQ(ClassifySubject("driver: zero-initialize completion data"),
+            HardeningCategory::kAddInit);
+  EXPECT_EQ(ClassifySubject("driver: copy header before parsing"),
+            HardeningCategory::kAddCopies);
+  EXPECT_EQ(ClassifySubject("driver: fix race on shared flags"),
+            HardeningCategory::kRaceProtection);
+  EXPECT_EQ(ClassifySubject("driver: disable legacy mode"),
+            HardeningCategory::kRestrictFeatures);
+  EXPECT_EQ(ClassifySubject("driver: rework rx path"),
+            HardeningCategory::kDesignChange);
+}
+
+TEST(Tables, DistributionTableShowsSortedPercentages) {
+  std::string table = DistributionTable(
+      "virtio", DistributionByLabel(VirtioCommits()));
+  EXPECT_NE(table.find("add-checks"), std::string::npos);
+  EXPECT_NE(table.find("34.9%"), std::string::npos);
+  // Sorted: checks line appears before the single add-init line.
+  EXPECT_LT(table.find("add-checks"), table.find("add-init"));
+}
+
+TEST(Tables, CveAndGrowthTablesRender) {
+  EXPECT_NE(CveTable().find("2022"), std::string::npos);
+  EXPECT_NE(GrowthTable().find("KLoC"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,283 @@
+// Direct unit tests of the TcpConnection state machine — no stacks, no
+// fabric: segments are hand-built and fed in, outputs inspected. Covers
+// the handshake transitions, simultaneous close, RST behavior per state,
+// zero-window probing, retransmission timeout and backoff, SYN-ACK
+// retransmission, and MSS negotiation.
+
+#include <gtest/gtest.h>
+
+#include "src/base/clock.h"
+#include "src/net/tcp.h"
+
+namespace {
+
+using ciobase::Buffer;
+using ciobase::ByteSpan;
+using namespace cionet;  // NOLINT: test file
+
+TcpEndpointId Endpoints() {
+  return TcpEndpointId{Ipv4Address::FromOctets(10, 0, 0, 1), 1000,
+                       Ipv4Address::FromOctets(10, 0, 0, 2), 2000};
+}
+
+// Parses the first segment in a connection's output queue.
+struct OutSegment {
+  TcpHeader header;
+  Buffer payload;
+};
+std::vector<OutSegment> Drain(TcpConnection& conn) {
+  std::vector<OutSegment> out;
+  for (Buffer& raw : conn.TakeOutput()) {
+    auto header = TcpHeader::Parse(raw);
+    EXPECT_TRUE(header.ok());
+    OutSegment segment;
+    segment.header = *header;
+    segment.payload.assign(raw.begin() + header->HeaderBytes(), raw.end());
+    out.push_back(std::move(segment));
+  }
+  return out;
+}
+
+TcpHeader MakeSegment(uint32_t seq, uint32_t ack, uint8_t flags,
+                      uint16_t window = 65535) {
+  TcpHeader header;
+  header.src_port = 2000;
+  header.dst_port = 1000;
+  header.seq = seq;
+  header.ack = ack;
+  header.flags = flags;
+  header.window = window;
+  return header;
+}
+
+// Drives an active open to ESTABLISHED against a scripted peer with
+// ISS 5000. Returns the connection.
+TcpConnection EstablishedClient(ciobase::SimClock* clock) {
+  TcpConnection conn =
+      TcpConnection::ActiveOpen(clock, Endpoints(), 1460, /*iss=*/100);
+  auto flight = Drain(conn);
+  EXPECT_EQ(flight.size(), 1u);
+  EXPECT_EQ(flight[0].header.flags, kTcpFlagSyn);
+  conn.OnSegment(MakeSegment(5000, 101, kTcpFlagSyn | kTcpFlagAck), {});
+  EXPECT_EQ(conn.state(), TcpState::kEstablished);
+  Drain(conn);  // the final ACK
+  return conn;
+}
+
+TEST(TcpUnit, ActiveOpenHandshake) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  EXPECT_FALSE(conn.failed());
+}
+
+TEST(TcpUnit, BadSynAckAcknowledgmentIsFatal) {
+  ciobase::SimClock clock;
+  TcpConnection conn =
+      TcpConnection::ActiveOpen(&clock, Endpoints(), 1460, 100);
+  Drain(conn);
+  // Peer acks the wrong sequence number (Iago-style confusion).
+  conn.OnSegment(MakeSegment(5000, 999, kTcpFlagSyn | kTcpFlagAck), {});
+  EXPECT_TRUE(conn.failed());
+  auto out = Drain(conn);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].header.flags & kTcpFlagRst);
+}
+
+TEST(TcpUnit, PassiveOpenRetransmittedSynGetsSynAckAgain) {
+  ciobase::SimClock clock;
+  TcpHeader syn = MakeSegment(5000, 0, kTcpFlagSyn);
+  syn.mss_option = 1200;
+  TcpConnection conn =
+      TcpConnection::PassiveOpen(&clock, Endpoints(), 1460, 100, syn);
+  auto first = Drain(conn);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].header.flags, kTcpFlagSyn | kTcpFlagAck);
+  EXPECT_EQ(first[0].header.mss_option, 1200);  // negotiated down
+  // The client's SYN again (our SYN-ACK was lost).
+  conn.OnSegment(syn, {});
+  auto second = Drain(conn);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].header.flags, kTcpFlagSyn | kTcpFlagAck);
+}
+
+TEST(TcpUnit, DataSendAndAck) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  Buffer data = ciobase::BufferFromString("hello");
+  ASSERT_TRUE(conn.Send(data).ok());
+  auto out = Drain(conn);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].payload, data);
+  EXPECT_EQ(out[0].header.seq, 101u);
+  conn.OnSegment(MakeSegment(5001, 106, kTcpFlagAck), {});
+  EXPECT_FALSE(conn.failed());
+}
+
+TEST(TcpUnit, RetransmissionOnTimeoutWithBackoff) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  ASSERT_TRUE(conn.Send(ciobase::BufferFromString("lost")).ok());
+  Drain(conn);
+  uint64_t rto1 = conn.current_rto_ns();
+  clock.Advance(rto1 + 1);
+  conn.PollTimers();
+  auto retrans = Drain(conn);
+  ASSERT_EQ(retrans.size(), 1u);
+  EXPECT_EQ(retrans[0].header.seq, 101u);  // same data again
+  EXPECT_EQ(conn.stats().timeouts, 1u);
+  EXPECT_GE(conn.current_rto_ns(), 2 * rto1);  // exponential backoff
+}
+
+TEST(TcpUnit, RetryExhaustionFailsConnection) {
+  ciobase::SimClock clock;
+  TcpConnection::Tuning tuning;
+  tuning.max_retries = 2;
+  TcpConnection conn = TcpConnection::ActiveOpen(&clock, Endpoints(), 1460,
+                                                 100, tuning);
+  for (int i = 0; i < 4; ++i) {
+    clock.Advance(conn.current_rto_ns() + 1);
+    conn.PollTimers();
+  }
+  EXPECT_TRUE(conn.failed());
+  EXPECT_EQ(conn.state(), TcpState::kClosed);
+}
+
+TEST(TcpUnit, FastRetransmitOnTripleDupAck) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  ASSERT_TRUE(conn.Send(Buffer(3000, 'x')).ok());  // > 2 segments
+  Drain(conn);
+  for (int i = 0; i < 3; ++i) {
+    conn.OnSegment(MakeSegment(5001, 101, kTcpFlagAck), {});
+  }
+  EXPECT_EQ(conn.stats().fast_retransmits, 1u);
+  auto out = Drain(conn);
+  ASSERT_GE(out.size(), 1u);
+  EXPECT_EQ(out[0].header.seq, 101u);
+}
+
+TEST(TcpUnit, RstInEstablishedKillsConnection) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  conn.OnSegment(MakeSegment(5001, 101, kTcpFlagRst), {});
+  EXPECT_TRUE(conn.failed());
+  EXPECT_EQ(conn.state(), TcpState::kClosed);
+}
+
+TEST(TcpUnit, OutOfWindowRstIgnored) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  // Blind RST with a wrong sequence number: ignored.
+  conn.OnSegment(MakeSegment(123456, 101, kTcpFlagRst), {});
+  EXPECT_FALSE(conn.failed());
+  EXPECT_EQ(conn.state(), TcpState::kEstablished);
+}
+
+TEST(TcpUnit, GracefulCloseStateWalk) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  conn.Close();
+  auto fin = Drain(conn);
+  ASSERT_EQ(fin.size(), 1u);
+  EXPECT_TRUE(fin[0].header.flags & kTcpFlagFin);
+  EXPECT_EQ(conn.state(), TcpState::kFinWait1);
+  conn.OnSegment(MakeSegment(5001, 102, kTcpFlagAck), {});
+  EXPECT_EQ(conn.state(), TcpState::kFinWait2);
+  conn.OnSegment(MakeSegment(5001, 102, kTcpFlagFin | kTcpFlagAck), {});
+  EXPECT_EQ(conn.state(), TcpState::kTimeWait);
+  clock.Advance(TcpConnection::Tuning{}.time_wait_ns + 1);
+  conn.PollTimers();
+  EXPECT_EQ(conn.state(), TcpState::kClosed);
+}
+
+TEST(TcpUnit, SimultaneousClose) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  conn.Close();
+  Drain(conn);
+  // Peer's FIN arrives before its ACK of ours: CLOSING.
+  conn.OnSegment(MakeSegment(5001, 101, kTcpFlagFin | kTcpFlagAck), {});
+  EXPECT_EQ(conn.state(), TcpState::kClosing);
+  // Now its ACK of our FIN: TIME_WAIT.
+  conn.OnSegment(MakeSegment(5002, 102, kTcpFlagAck), {});
+  EXPECT_EQ(conn.state(), TcpState::kTimeWait);
+}
+
+TEST(TcpUnit, PeerCloseThenLocalClose) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  conn.OnSegment(MakeSegment(5001, 101, kTcpFlagFin | kTcpFlagAck), {});
+  EXPECT_EQ(conn.state(), TcpState::kCloseWait);
+  uint8_t buf[4];
+  auto eof = conn.Receive(buf);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_EQ(*eof, 0u);  // orderly EOF
+  conn.Close();
+  EXPECT_EQ(conn.state(), TcpState::kLastAck);
+  Drain(conn);
+  conn.OnSegment(MakeSegment(5002, 102, kTcpFlagAck), {});
+  EXPECT_EQ(conn.state(), TcpState::kClosed);
+}
+
+TEST(TcpUnit, ZeroWindowProbeAfterStall) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  // Peer advertises a zero window.
+  conn.OnSegment(MakeSegment(5001, 101, kTcpFlagAck, /*window=*/0), {});
+  ASSERT_TRUE(conn.Send(ciobase::BufferFromString("stalled data")).ok());
+  EXPECT_TRUE(Drain(conn).empty());  // nothing may be sent into window 0
+  conn.PollTimers();                 // probe path arms/sends
+  auto probes = Drain(conn);
+  ASSERT_EQ(probes.size(), 1u);
+  EXPECT_EQ(probes[0].payload.size(), 1u);  // one-byte window probe
+}
+
+TEST(TcpUnit, OutOfOrderSegmentsReassemble) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  Buffer part2 = ciobase::BufferFromString("world");
+  Buffer part1 = ciobase::BufferFromString("hello ");
+  conn.OnSegment(MakeSegment(5001 + 6, 101, kTcpFlagAck), part2);
+  uint8_t buf[32];
+  EXPECT_FALSE(conn.Receive(buf).ok());  // hole: nothing readable
+  conn.OnSegment(MakeSegment(5001, 101, kTcpFlagAck), part1);
+  auto got = conn.Receive(buf);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), *got), "hello world");
+  EXPECT_EQ(conn.stats().ooo_segments, 1u);
+}
+
+TEST(TcpUnit, DuplicateDataReAckedNotDoubleDelivered) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  Buffer data = ciobase::BufferFromString("once");
+  conn.OnSegment(MakeSegment(5001, 101, kTcpFlagAck), data);
+  conn.OnSegment(MakeSegment(5001, 101, kTcpFlagAck), data);  // dup
+  uint8_t buf[32];
+  auto got = conn.Receive(buf);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 4u);
+  EXPECT_FALSE(conn.Receive(buf).ok());  // no second copy
+}
+
+TEST(TcpUnit, AbortEmitsRst) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  conn.Abort();
+  auto out = Drain(conn);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].header.flags & kTcpFlagRst);
+  EXPECT_EQ(conn.state(), TcpState::kClosed);
+}
+
+TEST(TcpUnit, CwndGrowsInSlowStart) {
+  ciobase::SimClock clock;
+  TcpConnection conn = EstablishedClient(&clock);
+  uint32_t cwnd0 = conn.cwnd();
+  ASSERT_TRUE(conn.Send(Buffer(1460, 'x')).ok());
+  Drain(conn);
+  conn.OnSegment(MakeSegment(5001, 101 + 1460, kTcpFlagAck), {});
+  EXPECT_GT(conn.cwnd(), cwnd0);
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+// Tests for the simulated TEE: memory-domain policing, TOCTOU tamper hooks,
+// compartment isolation (grants, stale handles), attestation, and the
+// ternary trust model.
+
+#include <gtest/gtest.h>
+
+#include "src/base/clock.h"
+#include "src/tee/attestation.h"
+#include "src/tee/compartment.h"
+#include "src/tee/memory.h"
+#include "src/tee/shared_region.h"
+#include "src/tee/trust.h"
+
+namespace {
+
+using ciobase::Buffer;
+using ciobase::ByteSpan;
+using ciobase::MutableByteSpan;
+using namespace ciotee;  // NOLINT: test file
+
+TEST(TeeMemory, GuestReadsOwnPrivatePlaintext) {
+  TeeMemory memory;
+  RegionId region = memory.AddRegion(RegionKind::kGuestPrivate, 64, "priv");
+  Buffer data = {1, 2, 3, 4};
+  ASSERT_TRUE(memory.Write(Domain::kGuest, region, 0, data).ok());
+  Buffer out(4);
+  ASSERT_TRUE(memory.Read(Domain::kGuest, region, 0, out).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_TRUE(memory.violations().empty());
+}
+
+TEST(TeeMemory, HostReadOfPrivateSeesCiphertext) {
+  TeeMemory memory;
+  RegionId region = memory.AddRegion(RegionKind::kGuestPrivate, 64, "priv");
+  Buffer secret = {'s', 'e', 'c', 'r', 'e', 't'};
+  ASSERT_TRUE(memory.Write(Domain::kGuest, region, 0, secret).ok());
+  Buffer leaked(6);
+  auto status = memory.Read(Domain::kHost, region, 0, leaked);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(leaked, secret);  // scrambled, not plaintext
+  EXPECT_EQ(memory.ViolationCount(ViolationKind::kPrivateRead), 1u);
+}
+
+TEST(TeeMemory, HostWriteToPrivateBlocked) {
+  TeeMemory memory;
+  RegionId region = memory.AddRegion(RegionKind::kGuestPrivate, 64, "priv");
+  Buffer evil = {0xff};
+  EXPECT_FALSE(memory.Write(Domain::kHost, region, 0, evil).ok());
+  EXPECT_EQ(memory.ViolationCount(ViolationKind::kPrivateWrite), 1u);
+  Buffer out(1);
+  ASSERT_TRUE(memory.Read(Domain::kGuest, region, 0, out).ok());
+  EXPECT_EQ(out[0], 0);  // untouched
+}
+
+TEST(TeeMemory, SharedIsReadWriteBothSides) {
+  TeeMemory memory;
+  RegionId region = memory.AddRegion(RegionKind::kShared, 64, "shared");
+  Buffer data = {9, 9};
+  ASSERT_TRUE(memory.Write(Domain::kHost, region, 0, data).ok());
+  Buffer out(2);
+  ASSERT_TRUE(memory.Read(Domain::kGuest, region, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(TeeMemory, OobAccessClampedAndRecorded) {
+  TeeMemory memory;
+  RegionId region = memory.AddRegion(RegionKind::kShared, 16, "shared");
+  Buffer out(32);
+  auto status = memory.Read(Domain::kGuest, region, 8, out);
+  EXPECT_EQ(status.code(), ciobase::StatusCode::kOutOfRange);
+  EXPECT_EQ(memory.ViolationCount(ViolationKind::kOobRead), 1u);
+  Buffer big(32, 1);
+  EXPECT_FALSE(memory.Write(Domain::kGuest, region, 8, big).ok());
+  EXPECT_EQ(memory.ViolationCount(ViolationKind::kOobWrite), 1u);
+}
+
+TEST(TeeMemory, RawWindowRespectsBounds) {
+  TeeMemory memory;
+  RegionId region = memory.AddRegion(RegionKind::kShared, 64, "shared");
+  EXPECT_EQ(memory.RawWindow(Domain::kGuest, region, 0, 64).size(), 64u);
+  EXPECT_TRUE(memory.RawWindow(Domain::kGuest, region, 32, 64).empty());
+  EXPECT_TRUE(
+      memory.RawWindow(Domain::kHost, region, ~0ULL - 3, 8).empty());
+}
+
+TEST(SharedRegion, TamperHookRunsOnEveryGuestAccess) {
+  TeeMemory memory;
+  SharedRegion shared(&memory, 64, "ring");
+  int fires = 0;
+  shared.SetTamperHook([&](MutableByteSpan bytes) {
+    ++fires;
+    bytes[0] = static_cast<uint8_t>(fires);
+  });
+  EXPECT_EQ(shared.GuestReadU8(0), 1);
+  EXPECT_EQ(shared.GuestReadU8(0), 2);  // double fetch sees a new value
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(SharedRegion, SingleFetchDefeatsDoubleFetchFlip) {
+  // The paper's "copy as a first-class citizen": one fetch into private
+  // memory means validation and use see the same bytes even under attack.
+  TeeMemory memory;
+  SharedRegion shared(&memory, 64, "ring");
+  shared.GuestWriteLe32(0, 100);  // honest length
+  bool flip = false;
+  shared.SetTamperHook([&](MutableByteSpan bytes) {
+    flip = !flip;
+    ciobase::StoreLe32(bytes.data(), flip ? 100 : 0xffffffff);
+  });
+  uint32_t snapshot = shared.GuestReadLe32(0);  // single fetch
+  // Whatever value it got, validating and using `snapshot` is consistent.
+  uint32_t validated = snapshot;
+  uint32_t used = snapshot;
+  EXPECT_EQ(validated, used);
+  // In-place re-read (the unhardened pattern) diverges:
+  uint32_t second = shared.GuestReadLe32(0);
+  EXPECT_NE(snapshot, second);
+}
+
+TEST(Compartment, GrantedAccessWorks) {
+  ciobase::SimClock clock;
+  ciobase::CostModel costs(&clock);
+  CompartmentManager mgr(&costs);
+  CompartmentId app = mgr.Create("app", 4096);
+  CompartmentId io = mgr.Create("io", 4096);
+  mgr.GrantAccess(app, io);  // app may touch io's buffers
+
+  auto handle = mgr.Allocate(app, io, 128);
+  ASSERT_TRUE(handle.ok());
+  auto span = mgr.Access(app, *handle);
+  ASSERT_TRUE(span.ok());
+  EXPECT_EQ(span->size(), 128u);
+  (*span)[0] = 42;
+  auto io_view = mgr.Access(io, *handle);  // owner always has access
+  ASSERT_TRUE(io_view.ok());
+  EXPECT_EQ((*io_view)[0], 42);
+}
+
+TEST(Compartment, UngrantedAccessDeniedAndRecorded) {
+  ciobase::SimClock clock;
+  ciobase::CostModel costs(&clock);
+  CompartmentManager mgr(&costs);
+  CompartmentId app = mgr.Create("app", 4096);
+  CompartmentId io = mgr.Create("io", 4096);
+  // The ternary model: io (untrusted by app) gets NO grant to app memory.
+  auto secret = mgr.Allocate(app, app, 64);
+  ASSERT_TRUE(secret.ok());
+  auto attempt = mgr.Access(io, *secret);
+  EXPECT_FALSE(attempt.ok());
+  EXPECT_EQ(attempt.status().code(), ciobase::StatusCode::kPermissionDenied);
+  ASSERT_EQ(mgr.violations().size(), 1u);
+  EXPECT_EQ(mgr.violations()[0].accessor, io);
+}
+
+TEST(Compartment, StaleHandleRejected) {
+  ciobase::SimClock clock;
+  ciobase::CostModel costs(&clock);
+  CompartmentManager mgr(&costs);
+  CompartmentId io = mgr.Create("io", 4096);
+  auto handle = mgr.Allocate(io, io, 64);
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(mgr.Free(io, *handle).ok());
+  auto use_after_free = mgr.Access(io, *handle);
+  EXPECT_FALSE(use_after_free.ok());
+  EXPECT_FALSE(mgr.Free(io, *handle).ok());  // double free rejected
+}
+
+TEST(Compartment, SwitchChargesCost) {
+  ciobase::SimClock clock;
+  ciobase::CostModel costs(&clock);
+  CompartmentManager mgr(&costs);
+  CompartmentId a = mgr.Create("a", 64);
+  CompartmentId b = mgr.Create("b", 64);
+  mgr.SwitchTo(b);
+  mgr.SwitchTo(a);
+  mgr.SwitchTo(a);  // no-op
+  EXPECT_EQ(mgr.switch_count(), 2u);
+  EXPECT_EQ(costs.counter("compartment_switches"), 2u);
+}
+
+TEST(Attestation, IssueVerifyRoundTrip) {
+  Buffer platform_key = {1, 2, 3, 4};
+  AttestationAuthority authority(platform_key);
+  Buffer config = {0x10, 0x20};
+  Measurement m = Measure("cio-l2-transport-v1", config);
+  Buffer nonce = {9, 9, 9, 9, 9, 9, 9, 9};
+  AttestationReport report = authority.Issue(m, nonce);
+  EXPECT_TRUE(authority.Verify(report, m, nonce).ok());
+}
+
+TEST(Attestation, DetectsWrongMeasurementNonceAndForgery) {
+  Buffer platform_key = {1, 2, 3, 4};
+  AttestationAuthority authority(platform_key);
+  Measurement m = Measure("code", {});
+  Buffer nonce = {1, 2, 3};
+  AttestationReport report = authority.Issue(m, nonce);
+
+  Measurement other = Measure("evil code", {});
+  EXPECT_FALSE(authority.Verify(report, other, nonce).ok());
+
+  Buffer stale_nonce = {3, 2, 1};
+  EXPECT_FALSE(authority.Verify(report, m, stale_nonce).ok());
+
+  AttestationReport forged = report;
+  forged.measurement = other;  // MAC no longer matches
+  EXPECT_FALSE(authority.Verify(forged, other, nonce).ok());
+
+  AttestationAuthority wrong_key(Buffer{9, 9});
+  EXPECT_FALSE(wrong_key.Verify(report, m, nonce).ok());
+}
+
+TEST(Attestation, SerializeParseRoundTrip) {
+  AttestationAuthority authority(Buffer{5});
+  Measurement m = Measure("x", {});
+  Buffer nonce = {7, 7};
+  AttestationReport report = authority.Issue(m, nonce);
+  Buffer wire = report.Serialize();
+  auto parsed = AttestationReport::Parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(authority.Verify(*parsed, m, nonce).ok());
+  // Truncation rejected.
+  EXPECT_FALSE(
+      AttestationReport::Parse(ByteSpan(wire.data(), wire.size() - 1)).ok());
+}
+
+TEST(TrustModel, ConfigDifferenceCHangesMeasurement) {
+  Buffer config_a = {1};
+  Buffer config_b = {2};
+  EXPECT_NE(Measure("same-code", config_a), Measure("same-code", config_b));
+}
+
+TEST(TrustModel, BinaryModelTrustsStack) {
+  TrustModel binary = TrustModel::Binary();
+  EXPECT_TRUE(binary.Trusts(Actor::kApp, Actor::kIoStack));
+  EXPECT_FALSE(binary.Trusts(Actor::kApp, Actor::kHostSw));
+  EXPECT_TRUE(binary.MutualDistrust(Actor::kIoStack, Actor::kHostSw));
+  // No boundary needed between app and stack: single trusted unit.
+  EXPECT_FALSE(binary.BoundaryRequired(Actor::kIoStack, Actor::kApp));
+}
+
+TEST(TrustModel, TernaryModelIsSingleDistrustAtL5) {
+  TrustModel ternary = TrustModel::Ternary();
+  // The app must treat stack data as adversarial...
+  EXPECT_TRUE(ternary.BoundaryRequired(Actor::kIoStack, Actor::kApp));
+  // ...but the stack trusts the app (single distrust, not mutual).
+  EXPECT_FALSE(ternary.MutualDistrust(Actor::kApp, Actor::kIoStack));
+  EXPECT_TRUE(ternary.Trusts(Actor::kIoStack, Actor::kApp));
+  // Host remains mutually distrusted by everyone inside.
+  EXPECT_TRUE(ternary.MutualDistrust(Actor::kApp, Actor::kHostSw));
+  EXPECT_TRUE(ternary.MutualDistrust(Actor::kIoStack, Actor::kHostSw));
+}
+
+TEST(TrustModel, AttestedDeviceJoinsTcb) {
+  TrustModel dda = TrustModel::TernaryWithAttestedDevice();
+  EXPECT_TRUE(dda.Trusts(Actor::kApp, Actor::kDevice));
+  EXPECT_FALSE(dda.Trusts(Actor::kApp, Actor::kHostSw));
+}
+
+}  // namespace

@@ -1,0 +1,249 @@
+// Tests for the TLS-like session: handshake, application data, fragmenting,
+// key updates, and the adversarial properties the paper's L5 boundary relies
+// on — replay, reordering, corruption and truncation are all fatal,
+// wrong-PSK peers never establish.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/tls/session.h"
+
+namespace {
+
+using ciobase::Buffer;
+using ciobase::BufferFromString;
+using ciobase::ByteSpan;
+using namespace ciotls;  // NOLINT: test file
+
+Buffer Psk() { return BufferFromString("attestation-bound-psk-32-bytes!!"); }
+
+struct Pair {
+  TlsSession client{TlsRole::kClient, Psk(), "unit-a", 11};
+  TlsSession server{TlsRole::kServer, Psk(), "unit-a", 22};
+
+  // Shuttles handshake bytes until both established or someone failed.
+  bool Handshake() {
+    client.Start();
+    server.Start();
+    for (int i = 0; i < 10 && !(client.established() &&
+                                server.established()); ++i) {
+      Buffer c2s = client.TakeOutput();
+      if (!c2s.empty() && !server.Feed(c2s).ok()) {
+        return false;
+      }
+      Buffer s2c = server.TakeOutput();
+      if (!s2c.empty() && !client.Feed(s2c).ok()) {
+        return false;
+      }
+      if (client.failed() || server.failed()) {
+        return false;
+      }
+    }
+    return client.established() && server.established();
+  }
+
+  // Delivers all pending bytes in both directions.
+  void Flush() {
+    Buffer c2s = client.TakeOutput();
+    if (!c2s.empty()) {
+      (void)server.Feed(c2s);
+    }
+    Buffer s2c = server.TakeOutput();
+    if (!s2c.empty()) {
+      (void)client.Feed(s2c);
+    }
+  }
+};
+
+TEST(TlsHandshake, EstablishesWithSharedPsk) {
+  Pair pair;
+  EXPECT_TRUE(pair.Handshake());
+}
+
+TEST(TlsHandshake, WrongPskNeverEstablishes) {
+  Pair pair;
+  pair.server = TlsSession(TlsRole::kServer,
+                           BufferFromString("a-different-psk-entirely!!!!!!"),
+                           "unit-a", 22);
+  EXPECT_FALSE(pair.Handshake());
+  EXPECT_TRUE(pair.client.failed() || pair.server.failed());
+}
+
+TEST(TlsHandshake, WrongPskIdRejected) {
+  Pair pair;
+  pair.server = TlsSession(TlsRole::kServer, Psk(), "unit-B", 22);
+  EXPECT_FALSE(pair.Handshake());
+  EXPECT_TRUE(pair.server.failed());
+}
+
+TEST(TlsHandshake, AppDataBeforeEstablishmentRefused) {
+  Pair pair;
+  EXPECT_FALSE(pair.client.WriteMessage(BufferFromString("early")).ok());
+}
+
+TEST(TlsData, RoundTripBothDirections) {
+  Pair pair;
+  ASSERT_TRUE(pair.Handshake());
+  ASSERT_TRUE(pair.client.WriteMessage(BufferFromString("hello server")).ok());
+  pair.Flush();
+  auto at_server = pair.server.ReadMessage();
+  ASSERT_TRUE(at_server.ok());
+  EXPECT_EQ(ciobase::StringFromBytes(*at_server), "hello server");
+
+  ASSERT_TRUE(pair.server.WriteMessage(BufferFromString("hello client")).ok());
+  pair.Flush();
+  auto at_client = pair.client.ReadMessage();
+  ASSERT_TRUE(at_client.ok());
+  EXPECT_EQ(ciobase::StringFromBytes(*at_client), "hello client");
+}
+
+TEST(TlsData, LargeMessageFragmentsAcrossRecords) {
+  Pair pair;
+  ASSERT_TRUE(pair.Handshake());
+  ciobase::Rng rng(3);
+  Buffer big = rng.Bytes(100'000);
+  ASSERT_TRUE(pair.client.WriteMessage(big).ok());
+  pair.Flush();
+  Buffer reassembled;
+  for (;;) {
+    auto part = pair.server.ReadMessage();
+    if (!part.ok()) {
+      break;
+    }
+    ciobase::Append(reassembled, *part);
+  }
+  EXPECT_EQ(reassembled, big);
+  EXPECT_GT(pair.client.stats().records_sealed, 6u);  // 100k / 16k
+}
+
+TEST(TlsData, ManyMessagesKeepSequence) {
+  Pair pair;
+  ASSERT_TRUE(pair.Handshake());
+  for (int i = 0; i < 200; ++i) {
+    std::string message = "message " + std::to_string(i);
+    ASSERT_TRUE(pair.client.WriteMessage(BufferFromString(message)).ok());
+    pair.Flush();
+    auto received = pair.server.ReadMessage();
+    ASSERT_TRUE(received.ok()) << i;
+    EXPECT_EQ(ciobase::StringFromBytes(*received), message);
+  }
+}
+
+TEST(TlsKeyUpdate, TrafficContinuesAfterRotation) {
+  Pair pair;
+  ASSERT_TRUE(pair.Handshake());
+  ASSERT_TRUE(pair.client.WriteMessage(BufferFromString("before")).ok());
+  ASSERT_TRUE(pair.client.RequestKeyUpdate().ok());
+  ASSERT_TRUE(pair.client.WriteMessage(BufferFromString("after")).ok());
+  pair.Flush();
+  auto first = pair.server.ReadMessage();
+  auto second = pair.server.ReadMessage();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(ciobase::StringFromBytes(*first), "before");
+  EXPECT_EQ(ciobase::StringFromBytes(*second), "after");
+  EXPECT_GE(pair.server.stats().key_updates, 1u);
+}
+
+// --- Adversarial stream manipulation (the L5 threat model) -------------------
+
+TEST(TlsData, ByteAtATimeDeliveryStillParses) {
+  // TCP may deliver the protected stream in arbitrary chunks; the record
+  // reader must reassemble across any segmentation.
+  Pair pair;
+  ASSERT_TRUE(pair.Handshake());
+  ASSERT_TRUE(
+      pair.client.WriteMessage(BufferFromString("dribbled message")).ok());
+  Buffer wire = pair.client.TakeOutput();
+  for (uint8_t byte : wire) {
+    ASSERT_TRUE(pair.server.Feed(ByteSpan(&byte, 1)).ok());
+  }
+  auto received = pair.server.ReadMessage();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(ciobase::StringFromBytes(*received), "dribbled message");
+}
+
+TEST(TlsData, EmptyMessageRoundTrips) {
+  Pair pair;
+  ASSERT_TRUE(pair.Handshake());
+  ASSERT_TRUE(pair.client.WriteMessage({}).ok());
+  pair.Flush();
+  auto received = pair.server.ReadMessage();
+  ASSERT_TRUE(received.ok());
+  EXPECT_TRUE(received->empty());
+}
+
+TEST(TlsAttack, CorruptedRecordIsFatal) {
+  Pair pair;
+  ASSERT_TRUE(pair.Handshake());
+  ASSERT_TRUE(pair.client.WriteMessage(BufferFromString("sensitive")).ok());
+  Buffer wire = pair.client.TakeOutput();
+  wire[wire.size() / 2] ^= 0x01;
+  auto status = pair.server.Feed(wire);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(pair.server.failed());
+  EXPECT_GT(pair.server.stats().auth_failures, 0u);
+}
+
+TEST(TlsAttack, ReplayedRecordIsFatal) {
+  Pair pair;
+  ASSERT_TRUE(pair.Handshake());
+  ASSERT_TRUE(pair.client.WriteMessage(BufferFromString("pay $100")).ok());
+  Buffer wire = pair.client.TakeOutput();
+  ASSERT_TRUE(pair.server.Feed(wire).ok());
+  ASSERT_TRUE(pair.server.ReadMessage().ok());
+  // Host replays the same TCP bytes (e.g. via a compromised I/O stack).
+  auto status = pair.server.Feed(wire);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(pair.server.failed());
+}
+
+TEST(TlsAttack, ReorderedRecordsAreFatal) {
+  Pair pair;
+  ASSERT_TRUE(pair.Handshake());
+  ASSERT_TRUE(pair.client.WriteMessage(BufferFromString("first")).ok());
+  Buffer first = pair.client.TakeOutput();
+  ASSERT_TRUE(pair.client.WriteMessage(BufferFromString("second")).ok());
+  Buffer second = pair.client.TakeOutput();
+  // Deliver out of order: sequence numbers no longer match.
+  auto status = pair.server.Feed(second);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(pair.server.failed());
+}
+
+TEST(TlsAttack, TruncatedStreamDeliversNothing) {
+  Pair pair;
+  ASSERT_TRUE(pair.Handshake());
+  ASSERT_TRUE(pair.client.WriteMessage(BufferFromString("whole")).ok());
+  Buffer wire = pair.client.TakeOutput();
+  ASSERT_TRUE(
+      pair.server.Feed(ByteSpan(wire.data(), wire.size() - 1)).ok());
+  EXPECT_FALSE(pair.server.ReadMessage().ok());  // nothing surfaced
+}
+
+TEST(TlsAttack, ForgedRecordHeaderRejected) {
+  Pair pair;
+  ASSERT_TRUE(pair.Handshake());
+  Buffer forged = {0x17, 0x99, 0x99, 0x00, 0x01, 0x00};  // bad version
+  auto status = pair.server.Feed(forged);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(TlsAttack, HandshakeTamperingDetected) {
+  // Flip a byte of the ServerHello in flight: transcripts diverge and the
+  // Finished MACs can never match.
+  TlsSession client(TlsRole::kClient, Psk(), "unit-a", 1);
+  TlsSession server(TlsRole::kServer, Psk(), "unit-a", 2);
+  client.Start();
+  server.Start();
+  ASSERT_TRUE(server.Feed(client.TakeOutput()).ok());
+  Buffer sh = server.TakeOutput();
+  sh[10] ^= 0x40;
+  ASSERT_TRUE(client.Feed(sh).ok());  // plaintext flight accepted so far...
+  Buffer finished = client.TakeOutput();
+  auto status = server.Feed(finished);  // ...but the MAC gives it away
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(server.failed());
+}
+
+}  // namespace

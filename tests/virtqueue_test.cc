@@ -1,0 +1,137 @@
+// Virtqueue-level tests: descriptor chains (the NEXT flag), the device's
+// bounded chain walk (a looping chain from a hostile peer terminates), the
+// single-fetch vs multi-fetch descriptor reads, and ring index arithmetic
+// across wraps — the transport mechanics under the virtio-net driver.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/tee/memory.h"
+#include "src/tee/shared_region.h"
+#include "src/virtio/virtqueue.h"
+
+namespace {
+
+using ciobase::Buffer;
+using namespace ciovirtio;  // NOLINT: test file
+
+struct QueueWorld {
+  ciobase::SimClock clock;
+  ciobase::CostModel costs{&clock};
+  ciotee::TeeMemory memory;
+  VirtqLayout layout;
+  std::unique_ptr<ciotee::SharedRegion> shared;
+  std::unique_ptr<VirtqueueDriver> driver;
+  std::unique_ptr<VirtqueueDevice> device;
+
+  explicit QueueWorld(uint16_t queue_size = 16) {
+    layout.base = 0;
+    layout.queue_size = queue_size;
+    shared = std::make_unique<ciotee::SharedRegion>(
+        &memory, layout.TotalSize() + 4096, "vq");
+    driver = std::make_unique<VirtqueueDriver>(shared.get(), layout,
+                                               &costs);
+    device = std::make_unique<VirtqueueDevice>(shared.get(), layout,
+                                               nullptr);
+  }
+};
+
+TEST(Virtqueue, DescriptorRoundTrip) {
+  QueueWorld world;
+  VirtqDesc desc;
+  desc.addr = 0x1234;
+  desc.len = 99;
+  desc.flags = kDescFlagWrite;
+  desc.next = 7;
+  world.driver->WriteDesc(3, desc);
+  VirtqDesc read = world.driver->ReadDescOnce(3);
+  EXPECT_EQ(read.addr, desc.addr);
+  EXPECT_EQ(read.len, desc.len);
+  EXPECT_EQ(read.flags, desc.flags);
+  EXPECT_EQ(read.next, desc.next);
+  // The device sees the same bytes.
+  VirtqDesc dev = world.device->ReadDesc(3);
+  EXPECT_EQ(dev.addr, desc.addr);
+}
+
+TEST(Virtqueue, ChainFollowedInOrder) {
+  QueueWorld world;
+  // 0 -> 5 -> 2, lengths 10/20/30.
+  world.driver->WriteDesc(0, {100, 10, kDescFlagNext, 5});
+  world.driver->WriteDesc(5, {200, 20, kDescFlagNext, 2});
+  world.driver->WriteDesc(2, {300, 30, 0, 0});
+  world.driver->PostAvail(0);
+  auto head = world.device->PopAvail();
+  ASSERT_TRUE(head.has_value());
+  auto chain = world.device->ReadChain(*head);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0].len, 10u);
+  EXPECT_EQ(chain[1].len, 20u);
+  EXPECT_EQ(chain[2].len, 30u);
+}
+
+TEST(Virtqueue, LoopingChainIsBounded) {
+  QueueWorld world;
+  // 0 -> 1 -> 0 -> ... : a loop. The device must terminate its walk.
+  world.driver->WriteDesc(0, {0, 1, kDescFlagNext, 1});
+  world.driver->WriteDesc(1, {0, 1, kDescFlagNext, 0});
+  world.driver->PostAvail(0);
+  auto head = world.device->PopAvail();
+  ASSERT_TRUE(head.has_value());
+  auto chain = world.device->ReadChain(*head);
+  EXPECT_LE(chain.size(), world.layout.queue_size);
+}
+
+TEST(Virtqueue, UsedRingFifoAcrossWrap) {
+  QueueWorld world(4);  // tiny queue: wraps fast
+  for (uint32_t i = 0; i < 20; ++i) {
+    world.device->PushUsed(i, i * 10, 4096);
+    auto elem = world.driver->PopUsed(/*single_fetch=*/true);
+    ASSERT_TRUE(elem.has_value()) << i;
+    EXPECT_EQ(elem->id, i);
+    EXPECT_EQ(elem->len, i * 10);
+  }
+  EXPECT_FALSE(world.driver->PopUsed(true).has_value());
+}
+
+TEST(Virtqueue, SingleFetchVsDoubleFetchUnderTamper) {
+  QueueWorld world;
+  world.device->PushUsed(3, 100, 4096);
+  // Adversarial hook: alternate the length field between honest and bogus.
+  uint64_t used0 = world.layout.UsedRing(0);
+  bool flip = false;
+  world.shared->SetTamperHook([&](ciobase::MutableByteSpan bytes) {
+    flip = !flip;
+    ciobase::StoreLe32(bytes.data() + used0 + 4, flip ? 100 : 0xffffffff);
+  });
+  auto elem = world.driver->PopUsed(/*single_fetch=*/true);
+  ASSERT_TRUE(elem.has_value());
+  // Single fetch: id and len came from the SAME window, so they are a
+  // coherent pair (either both honest or both from the same tampered
+  // image) — validating one validates the bytes actually used.
+  EXPECT_EQ(elem->id, 3u);
+  world.shared->ClearTamperHook();
+}
+
+TEST(Virtqueue, FreeListDelaysReuse) {
+  QueueWorld world(8);
+  auto a = world.driver->AllocDesc();
+  auto b = world.driver->AllocDesc();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  world.driver->FreeDesc(*a);
+  // FIFO: the freed id goes to the back; the next alloc is NOT `a`.
+  auto c = world.driver->AllocDesc();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NE(*c, *a);
+}
+
+TEST(Virtqueue, ExhaustionReturnsNothing) {
+  QueueWorld world(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(world.driver->AllocDesc().has_value());
+  }
+  EXPECT_FALSE(world.driver->AllocDesc().has_value());
+}
+
+}  // namespace
