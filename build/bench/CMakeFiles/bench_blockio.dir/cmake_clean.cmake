@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blockio.dir/bench_blockio.cc.o"
+  "CMakeFiles/bench_blockio.dir/bench_blockio.cc.o.d"
+  "bench_blockio"
+  "bench_blockio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blockio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

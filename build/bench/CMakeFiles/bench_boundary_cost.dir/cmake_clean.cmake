@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_boundary_cost.dir/bench_boundary_cost.cc.o"
+  "CMakeFiles/bench_boundary_cost.dir/bench_boundary_cost.cc.o.d"
+  "bench_boundary_cost"
+  "bench_boundary_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boundary_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

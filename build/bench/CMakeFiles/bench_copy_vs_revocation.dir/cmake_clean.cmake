@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_copy_vs_revocation.dir/bench_copy_vs_revocation.cc.o"
+  "CMakeFiles/bench_copy_vs_revocation.dir/bench_copy_vs_revocation.cc.o.d"
+  "bench_copy_vs_revocation"
+  "bench_copy_vs_revocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_copy_vs_revocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

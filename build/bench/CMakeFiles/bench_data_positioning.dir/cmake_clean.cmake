@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_positioning.dir/bench_data_positioning.cc.o"
+  "CMakeFiles/bench_data_positioning.dir/bench_data_positioning.cc.o.d"
+  "bench_data_positioning"
+  "bench_data_positioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_positioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

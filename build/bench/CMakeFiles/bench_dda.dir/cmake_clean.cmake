@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dda.dir/bench_dda.cc.o"
+  "CMakeFiles/bench_dda.dir/bench_dda.cc.o.d"
+  "bench_dda"
+  "bench_dda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_virtio_baseline.dir/bench_virtio_baseline.cc.o"
+  "CMakeFiles/bench_virtio_baseline.dir/bench_virtio_baseline.cc.o.d"
+  "bench_virtio_baseline"
+  "bench_virtio_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_virtio_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

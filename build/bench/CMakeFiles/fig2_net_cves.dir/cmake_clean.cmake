@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_net_cves.dir/fig2_net_cves.cc.o"
+  "CMakeFiles/fig2_net_cves.dir/fig2_net_cves.cc.o.d"
+  "fig2_net_cves"
+  "fig2_net_cves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_net_cves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

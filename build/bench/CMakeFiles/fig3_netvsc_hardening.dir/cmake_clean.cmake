@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_netvsc_hardening.dir/fig3_netvsc_hardening.cc.o"
+  "CMakeFiles/fig3_netvsc_hardening.dir/fig3_netvsc_hardening.cc.o.d"
+  "fig3_netvsc_hardening"
+  "fig3_netvsc_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_netvsc_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

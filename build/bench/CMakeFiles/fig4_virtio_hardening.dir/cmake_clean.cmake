@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_virtio_hardening.dir/fig4_virtio_hardening.cc.o"
+  "CMakeFiles/fig4_virtio_hardening.dir/fig4_virtio_hardening.cc.o.d"
+  "fig4_virtio_hardening"
+  "fig4_virtio_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_virtio_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_design_space.dir/fig5_design_space.cc.o"
+  "CMakeFiles/fig5_design_space.dir/fig5_design_space.cc.o.d"
+  "fig5_design_space"
+  "fig5_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

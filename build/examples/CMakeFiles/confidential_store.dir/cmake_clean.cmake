@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidential_store.dir/confidential_store.cpp.o"
+  "CMakeFiles/confidential_store.dir/confidential_store.cpp.o.d"
+  "confidential_store"
+  "confidential_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidential_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

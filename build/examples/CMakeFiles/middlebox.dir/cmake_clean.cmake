@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middlebox.dir/middlebox.cpp.o"
+  "CMakeFiles/middlebox.dir/middlebox.cpp.o.d"
+  "middlebox"
+  "middlebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middlebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

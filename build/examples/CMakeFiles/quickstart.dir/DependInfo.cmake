@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cio/CMakeFiles/cio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockio/CMakeFiles/cio_blockio.dir/DependInfo.cmake"
+  "/root/repo/build/src/study/CMakeFiles/cio_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/cio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cio_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostsim/CMakeFiles/cio_hostsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/cio_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/cio_virtio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

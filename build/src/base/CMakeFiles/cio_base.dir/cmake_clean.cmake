@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cio_base.dir/bytes.cc.o"
+  "CMakeFiles/cio_base.dir/bytes.cc.o.d"
+  "CMakeFiles/cio_base.dir/clock.cc.o"
+  "CMakeFiles/cio_base.dir/clock.cc.o.d"
+  "CMakeFiles/cio_base.dir/log.cc.o"
+  "CMakeFiles/cio_base.dir/log.cc.o.d"
+  "CMakeFiles/cio_base.dir/rng.cc.o"
+  "CMakeFiles/cio_base.dir/rng.cc.o.d"
+  "CMakeFiles/cio_base.dir/status.cc.o"
+  "CMakeFiles/cio_base.dir/status.cc.o.d"
+  "libcio_base.a"
+  "libcio_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cio_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcio_base.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blockio/block_ring.cc" "src/blockio/CMakeFiles/cio_blockio.dir/block_ring.cc.o" "gcc" "src/blockio/CMakeFiles/cio_blockio.dir/block_ring.cc.o.d"
+  "/root/repo/src/blockio/crypt_client.cc" "src/blockio/CMakeFiles/cio_blockio.dir/crypt_client.cc.o" "gcc" "src/blockio/CMakeFiles/cio_blockio.dir/crypt_client.cc.o.d"
+  "/root/repo/src/blockio/extent_fs.cc" "src/blockio/CMakeFiles/cio_blockio.dir/extent_fs.cc.o" "gcc" "src/blockio/CMakeFiles/cio_blockio.dir/extent_fs.cc.o.d"
+  "/root/repo/src/blockio/store.cc" "src/blockio/CMakeFiles/cio_blockio.dir/store.cc.o" "gcc" "src/blockio/CMakeFiles/cio_blockio.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cio_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostsim/CMakeFiles/cio_hostsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cio_blockio.dir/block_ring.cc.o"
+  "CMakeFiles/cio_blockio.dir/block_ring.cc.o.d"
+  "CMakeFiles/cio_blockio.dir/crypt_client.cc.o"
+  "CMakeFiles/cio_blockio.dir/crypt_client.cc.o.d"
+  "CMakeFiles/cio_blockio.dir/extent_fs.cc.o"
+  "CMakeFiles/cio_blockio.dir/extent_fs.cc.o.d"
+  "CMakeFiles/cio_blockio.dir/store.cc.o"
+  "CMakeFiles/cio_blockio.dir/store.cc.o.d"
+  "libcio_blockio.a"
+  "libcio_blockio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cio_blockio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

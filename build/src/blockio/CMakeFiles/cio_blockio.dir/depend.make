@@ -1,0 +1,2 @@
+# Empty dependencies file for cio_blockio.
+# This may be replaced when dependencies are built.

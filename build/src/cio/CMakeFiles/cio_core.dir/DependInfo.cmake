@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cio/attack_campaign.cc" "src/cio/CMakeFiles/cio_core.dir/attack_campaign.cc.o" "gcc" "src/cio/CMakeFiles/cio_core.dir/attack_campaign.cc.o.d"
+  "/root/repo/src/cio/dda.cc" "src/cio/CMakeFiles/cio_core.dir/dda.cc.o" "gcc" "src/cio/CMakeFiles/cio_core.dir/dda.cc.o.d"
+  "/root/repo/src/cio/engine.cc" "src/cio/CMakeFiles/cio_core.dir/engine.cc.o" "gcc" "src/cio/CMakeFiles/cio_core.dir/engine.cc.o.d"
+  "/root/repo/src/cio/l2_host_device.cc" "src/cio/CMakeFiles/cio_core.dir/l2_host_device.cc.o" "gcc" "src/cio/CMakeFiles/cio_core.dir/l2_host_device.cc.o.d"
+  "/root/repo/src/cio/l2_transport.cc" "src/cio/CMakeFiles/cio_core.dir/l2_transport.cc.o" "gcc" "src/cio/CMakeFiles/cio_core.dir/l2_transport.cc.o.d"
+  "/root/repo/src/cio/l5_channel.cc" "src/cio/CMakeFiles/cio_core.dir/l5_channel.cc.o" "gcc" "src/cio/CMakeFiles/cio_core.dir/l5_channel.cc.o.d"
+  "/root/repo/src/cio/tcb.cc" "src/cio/CMakeFiles/cio_core.dir/tcb.cc.o" "gcc" "src/cio/CMakeFiles/cio_core.dir/tcb.cc.o.d"
+  "/root/repo/src/cio/tunnel_port.cc" "src/cio/CMakeFiles/cio_core.dir/tunnel_port.cc.o" "gcc" "src/cio/CMakeFiles/cio_core.dir/tunnel_port.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cio_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cio_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostsim/CMakeFiles/cio_hostsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tls/CMakeFiles/cio_tls.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/cio_virtio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cio_core.dir/attack_campaign.cc.o"
+  "CMakeFiles/cio_core.dir/attack_campaign.cc.o.d"
+  "CMakeFiles/cio_core.dir/dda.cc.o"
+  "CMakeFiles/cio_core.dir/dda.cc.o.d"
+  "CMakeFiles/cio_core.dir/engine.cc.o"
+  "CMakeFiles/cio_core.dir/engine.cc.o.d"
+  "CMakeFiles/cio_core.dir/l2_host_device.cc.o"
+  "CMakeFiles/cio_core.dir/l2_host_device.cc.o.d"
+  "CMakeFiles/cio_core.dir/l2_transport.cc.o"
+  "CMakeFiles/cio_core.dir/l2_transport.cc.o.d"
+  "CMakeFiles/cio_core.dir/l5_channel.cc.o"
+  "CMakeFiles/cio_core.dir/l5_channel.cc.o.d"
+  "CMakeFiles/cio_core.dir/tcb.cc.o"
+  "CMakeFiles/cio_core.dir/tcb.cc.o.d"
+  "CMakeFiles/cio_core.dir/tunnel_port.cc.o"
+  "CMakeFiles/cio_core.dir/tunnel_port.cc.o.d"
+  "libcio_core.a"
+  "libcio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cio_crypto.dir/aead.cc.o"
+  "CMakeFiles/cio_crypto.dir/aead.cc.o.d"
+  "CMakeFiles/cio_crypto.dir/chacha20.cc.o"
+  "CMakeFiles/cio_crypto.dir/chacha20.cc.o.d"
+  "CMakeFiles/cio_crypto.dir/hkdf.cc.o"
+  "CMakeFiles/cio_crypto.dir/hkdf.cc.o.d"
+  "CMakeFiles/cio_crypto.dir/hmac.cc.o"
+  "CMakeFiles/cio_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/cio_crypto.dir/poly1305.cc.o"
+  "CMakeFiles/cio_crypto.dir/poly1305.cc.o.d"
+  "CMakeFiles/cio_crypto.dir/sha256.cc.o"
+  "CMakeFiles/cio_crypto.dir/sha256.cc.o.d"
+  "libcio_crypto.a"
+  "libcio_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cio_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hostsim/adversary.cc" "src/hostsim/CMakeFiles/cio_hostsim.dir/adversary.cc.o" "gcc" "src/hostsim/CMakeFiles/cio_hostsim.dir/adversary.cc.o.d"
+  "/root/repo/src/hostsim/observability.cc" "src/hostsim/CMakeFiles/cio_hostsim.dir/observability.cc.o" "gcc" "src/hostsim/CMakeFiles/cio_hostsim.dir/observability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cio_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cio_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cio_hostsim.dir/adversary.cc.o"
+  "CMakeFiles/cio_hostsim.dir/adversary.cc.o.d"
+  "CMakeFiles/cio_hostsim.dir/observability.cc.o"
+  "CMakeFiles/cio_hostsim.dir/observability.cc.o.d"
+  "libcio_hostsim.a"
+  "libcio_hostsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cio_hostsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

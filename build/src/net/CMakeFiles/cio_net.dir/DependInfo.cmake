@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/arp.cc" "src/net/CMakeFiles/cio_net.dir/arp.cc.o" "gcc" "src/net/CMakeFiles/cio_net.dir/arp.cc.o.d"
+  "/root/repo/src/net/fabric.cc" "src/net/CMakeFiles/cio_net.dir/fabric.cc.o" "gcc" "src/net/CMakeFiles/cio_net.dir/fabric.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/cio_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/cio_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/stack.cc" "src/net/CMakeFiles/cio_net.dir/stack.cc.o" "gcc" "src/net/CMakeFiles/cio_net.dir/stack.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/cio_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/cio_net.dir/tcp.cc.o.d"
+  "/root/repo/src/net/udp.cc" "src/net/CMakeFiles/cio_net.dir/udp.cc.o" "gcc" "src/net/CMakeFiles/cio_net.dir/udp.cc.o.d"
+  "/root/repo/src/net/wire.cc" "src/net/CMakeFiles/cio_net.dir/wire.cc.o" "gcc" "src/net/CMakeFiles/cio_net.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cio_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cio_net.dir/arp.cc.o"
+  "CMakeFiles/cio_net.dir/arp.cc.o.d"
+  "CMakeFiles/cio_net.dir/fabric.cc.o"
+  "CMakeFiles/cio_net.dir/fabric.cc.o.d"
+  "CMakeFiles/cio_net.dir/ipv4.cc.o"
+  "CMakeFiles/cio_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/cio_net.dir/stack.cc.o"
+  "CMakeFiles/cio_net.dir/stack.cc.o.d"
+  "CMakeFiles/cio_net.dir/tcp.cc.o"
+  "CMakeFiles/cio_net.dir/tcp.cc.o.d"
+  "CMakeFiles/cio_net.dir/udp.cc.o"
+  "CMakeFiles/cio_net.dir/udp.cc.o.d"
+  "CMakeFiles/cio_net.dir/wire.cc.o"
+  "CMakeFiles/cio_net.dir/wire.cc.o.d"
+  "libcio_net.a"
+  "libcio_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cio_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

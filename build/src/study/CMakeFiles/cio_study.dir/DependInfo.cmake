@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/study/classifier.cc" "src/study/CMakeFiles/cio_study.dir/classifier.cc.o" "gcc" "src/study/CMakeFiles/cio_study.dir/classifier.cc.o.d"
+  "/root/repo/src/study/dataset.cc" "src/study/CMakeFiles/cio_study.dir/dataset.cc.o" "gcc" "src/study/CMakeFiles/cio_study.dir/dataset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cio_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

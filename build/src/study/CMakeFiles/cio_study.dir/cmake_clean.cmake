@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cio_study.dir/classifier.cc.o"
+  "CMakeFiles/cio_study.dir/classifier.cc.o.d"
+  "CMakeFiles/cio_study.dir/dataset.cc.o"
+  "CMakeFiles/cio_study.dir/dataset.cc.o.d"
+  "libcio_study.a"
+  "libcio_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cio_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

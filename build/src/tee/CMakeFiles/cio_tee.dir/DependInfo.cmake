@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tee/attestation.cc" "src/tee/CMakeFiles/cio_tee.dir/attestation.cc.o" "gcc" "src/tee/CMakeFiles/cio_tee.dir/attestation.cc.o.d"
+  "/root/repo/src/tee/compartment.cc" "src/tee/CMakeFiles/cio_tee.dir/compartment.cc.o" "gcc" "src/tee/CMakeFiles/cio_tee.dir/compartment.cc.o.d"
+  "/root/repo/src/tee/memory.cc" "src/tee/CMakeFiles/cio_tee.dir/memory.cc.o" "gcc" "src/tee/CMakeFiles/cio_tee.dir/memory.cc.o.d"
+  "/root/repo/src/tee/shared_region.cc" "src/tee/CMakeFiles/cio_tee.dir/shared_region.cc.o" "gcc" "src/tee/CMakeFiles/cio_tee.dir/shared_region.cc.o.d"
+  "/root/repo/src/tee/trust.cc" "src/tee/CMakeFiles/cio_tee.dir/trust.cc.o" "gcc" "src/tee/CMakeFiles/cio_tee.dir/trust.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cio_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cio_tee.dir/attestation.cc.o"
+  "CMakeFiles/cio_tee.dir/attestation.cc.o.d"
+  "CMakeFiles/cio_tee.dir/compartment.cc.o"
+  "CMakeFiles/cio_tee.dir/compartment.cc.o.d"
+  "CMakeFiles/cio_tee.dir/memory.cc.o"
+  "CMakeFiles/cio_tee.dir/memory.cc.o.d"
+  "CMakeFiles/cio_tee.dir/shared_region.cc.o"
+  "CMakeFiles/cio_tee.dir/shared_region.cc.o.d"
+  "CMakeFiles/cio_tee.dir/trust.cc.o"
+  "CMakeFiles/cio_tee.dir/trust.cc.o.d"
+  "libcio_tee.a"
+  "libcio_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cio_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

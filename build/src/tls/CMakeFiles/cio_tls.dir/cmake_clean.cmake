@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cio_tls.dir/record.cc.o"
+  "CMakeFiles/cio_tls.dir/record.cc.o.d"
+  "CMakeFiles/cio_tls.dir/session.cc.o"
+  "CMakeFiles/cio_tls.dir/session.cc.o.d"
+  "libcio_tls.a"
+  "libcio_tls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cio_tls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

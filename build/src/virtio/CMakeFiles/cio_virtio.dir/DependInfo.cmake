@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/virtio/negotiation.cc" "src/virtio/CMakeFiles/cio_virtio.dir/negotiation.cc.o" "gcc" "src/virtio/CMakeFiles/cio_virtio.dir/negotiation.cc.o.d"
+  "/root/repo/src/virtio/net_device.cc" "src/virtio/CMakeFiles/cio_virtio.dir/net_device.cc.o" "gcc" "src/virtio/CMakeFiles/cio_virtio.dir/net_device.cc.o.d"
+  "/root/repo/src/virtio/net_driver.cc" "src/virtio/CMakeFiles/cio_virtio.dir/net_driver.cc.o" "gcc" "src/virtio/CMakeFiles/cio_virtio.dir/net_driver.cc.o.d"
+  "/root/repo/src/virtio/swiotlb.cc" "src/virtio/CMakeFiles/cio_virtio.dir/swiotlb.cc.o" "gcc" "src/virtio/CMakeFiles/cio_virtio.dir/swiotlb.cc.o.d"
+  "/root/repo/src/virtio/virtqueue.cc" "src/virtio/CMakeFiles/cio_virtio.dir/virtqueue.cc.o" "gcc" "src/virtio/CMakeFiles/cio_virtio.dir/virtqueue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/cio_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cio_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/hostsim/CMakeFiles/cio_hostsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cio_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cio_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cio_virtio.dir/negotiation.cc.o"
+  "CMakeFiles/cio_virtio.dir/negotiation.cc.o.d"
+  "CMakeFiles/cio_virtio.dir/net_device.cc.o"
+  "CMakeFiles/cio_virtio.dir/net_device.cc.o.d"
+  "CMakeFiles/cio_virtio.dir/net_driver.cc.o"
+  "CMakeFiles/cio_virtio.dir/net_driver.cc.o.d"
+  "CMakeFiles/cio_virtio.dir/swiotlb.cc.o"
+  "CMakeFiles/cio_virtio.dir/swiotlb.cc.o.d"
+  "CMakeFiles/cio_virtio.dir/virtqueue.cc.o"
+  "CMakeFiles/cio_virtio.dir/virtqueue.cc.o.d"
+  "libcio_virtio.a"
+  "libcio_virtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cio_virtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

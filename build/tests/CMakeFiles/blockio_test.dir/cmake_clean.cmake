@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockio_test.dir/blockio_test.cc.o"
+  "CMakeFiles/blockio_test.dir/blockio_test.cc.o.d"
+  "blockio_test"
+  "blockio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dda_test.dir/dda_test.cc.o"
+  "CMakeFiles/dda_test.dir/dda_test.cc.o.d"
+  "dda_test"
+  "dda_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

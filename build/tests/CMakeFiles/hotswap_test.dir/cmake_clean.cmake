@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotswap_test.dir/hotswap_test.cc.o"
+  "CMakeFiles/hotswap_test.dir/hotswap_test.cc.o.d"
+  "hotswap_test"
+  "hotswap_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotswap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l2_transport_test.dir/l2_transport_test.cc.o"
+  "CMakeFiles/l2_transport_test.dir/l2_transport_test.cc.o.d"
+  "l2_transport_test"
+  "l2_transport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l2_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

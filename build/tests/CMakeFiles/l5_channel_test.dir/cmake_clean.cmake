@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/l5_channel_test.dir/l5_channel_test.cc.o"
+  "CMakeFiles/l5_channel_test.dir/l5_channel_test.cc.o.d"
+  "l5_channel_test"
+  "l5_channel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/l5_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_stack_test.dir/net_stack_test.cc.o"
+  "CMakeFiles/net_stack_test.dir/net_stack_test.cc.o.d"
+  "net_stack_test"
+  "net_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

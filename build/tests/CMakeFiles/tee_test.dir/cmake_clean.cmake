@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tee_test.dir/tee_test.cc.o"
+  "CMakeFiles/tee_test.dir/tee_test.cc.o.d"
+  "tee_test"
+  "tee_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtqueue_test.dir/virtqueue_test.cc.o"
+  "CMakeFiles/virtqueue_test.dir/virtqueue_test.cc.o.d"
+  "virtqueue_test"
+  "virtqueue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtqueue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
