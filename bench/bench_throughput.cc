@@ -1,14 +1,61 @@
 // End-to-end throughput across stack profiles and message sizes
 // (TCP + TLS, modeled clock). Complements fig5_design_space with the
 // size sweep.
+//
+// `--json <path>` additionally writes the table as a JSON array, one object
+// per (profile, size) cell — the bench-trajectory format consumed by
+// tools/run_bench.sh to track datapath performance across revisions.
 
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench/bench_util.h"
 
-int main() {
+namespace {
+
+struct Row {
+  std::string profile;
+  size_t size = 0;
+  bool ok = false;
+  double msgs_per_sec = 0.0;
+  double gbit_per_sec = 0.0;
+};
+
+void WriteJson(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "  {\"profile\": \"%s\", \"msg_size\": %zu, \"ok\": %s, "
+                 "\"msgs_per_sec\": %.1f, \"gbit_per_sec\": %.4f}%s\n",
+                 r.profile.c_str(), r.size, r.ok ? "true" : "false",
+                 r.msgs_per_sec, r.gbit_per_sec,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace cio;  // NOLINT
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   const size_t kSizes[] = {256, 1400, 4096, 16384};
+  std::vector<Row> rows;
   std::printf("== throughput (modeled) ==\n");
   std::printf("%-18s %8s %12s %12s\n", "profile", "msg size", "msgs/s",
               "Gbit/s");
@@ -20,6 +67,8 @@ int main() {
       if (!pair.Establish()) {
         std::printf("%-18s %8zu  establish failed\n",
                     std::string(StackProfileName(profile)).c_str(), size);
+        rows.push_back({std::string(StackProfileName(profile)), size, false,
+                        0.0, 0.0});
         continue;
       }
       size_t count = size >= 16384 ? 100 : 200;
@@ -28,7 +77,12 @@ int main() {
                   std::string(StackProfileName(profile)).c_str(), size,
                   result.MsgPerSec(), result.GbitPerSec(),
                   result.ok ? "" : "  (incomplete)");
+      rows.push_back({std::string(StackProfileName(profile)), size, result.ok,
+                      result.MsgPerSec(), result.GbitPerSec()});
     }
+  }
+  if (json_path != nullptr) {
+    WriteJson(json_path, rows);
   }
   return 0;
 }

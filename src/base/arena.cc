@@ -1,0 +1,27 @@
+#include "src/base/arena.h"
+
+#include <utility>
+
+namespace ciobase {
+
+Buffer FrameArena::Acquire(size_t size) {
+  ++acquires_;
+  if (!pool_.empty()) {
+    Buffer buffer = std::move(pool_.back());
+    pool_.pop_back();
+    ++reuses_;
+    buffer.resize(size);
+    return buffer;
+  }
+  return Buffer(size);
+}
+
+void FrameArena::Release(Buffer buffer) {
+  if (pool_.size() >= max_pooled_) {
+    return;  // drop: bounds pooled memory under bursts
+  }
+  buffer.clear();
+  pool_.push_back(std::move(buffer));
+}
+
+}  // namespace ciobase

@@ -1,0 +1,58 @@
+// FrameArena: a small pool of reusable byte buffers for the datapath.
+//
+// The hot path (L2 receive scratch, the network stack's staged TX frames, the
+// TLS record layer) churns through short-lived Buffers of a few sizes. A
+// per-frame heap allocation is pure constant-factor overhead, so instead the
+// datapath acquires buffers from an arena and releases them back when done:
+// after warm-up, steady-state traffic performs no heap allocations. This is
+// wall-clock-only machinery — it never touches the modeled cost clock, and it
+// deliberately does NOT change the safety discipline: a buffer acquired from
+// the arena is still guest-private memory, and every host byte still goes
+// through the single-fetch copy before validation or use.
+
+#ifndef SRC_BASE_ARENA_H_
+#define SRC_BASE_ARENA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/bytes.h"
+
+namespace ciobase {
+
+class FrameArena {
+ public:
+  FrameArena() = default;
+  explicit FrameArena(size_t max_pooled) : max_pooled_(max_pooled) {}
+
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  // Returns a buffer of exactly `size` bytes, reusing pooled capacity when
+  // available. Contents are unspecified (callers overwrite before reading —
+  // the mandatory copy-in fills every byte they consume).
+  Buffer Acquire(size_t size);
+
+  // Returns a buffer's capacity to the pool. Beyond `max_pooled` buffers the
+  // capacity is simply dropped (frees memory under bursts).
+  void Release(Buffer buffer);
+
+  struct Stats {
+    uint64_t acquires = 0;  // total Acquire() calls
+    uint64_t reuses = 0;    // Acquire() calls served from the pool
+    uint64_t pooled = 0;    // buffers currently in the pool
+  };
+  Stats stats() const {
+    return {acquires_, reuses_, static_cast<uint64_t>(pool_.size())};
+  }
+
+ private:
+  std::vector<Buffer> pool_;
+  size_t max_pooled_ = 64;
+  uint64_t acquires_ = 0;
+  uint64_t reuses_ = 0;
+};
+
+}  // namespace ciobase
+
+#endif  // SRC_BASE_ARENA_H_

@@ -11,7 +11,7 @@ namespace cioblock {
 EncryptedBlockClient::EncryptedBlockClient(BlockClient* inner,
                                            ciobase::ByteSpan key,
                                            ciobase::CostModel* costs)
-    : inner_(inner), key_(key.begin(), key.end()), costs_(costs) {}
+    : inner_(inner), key_(ciocrypto::DeriveAeadKey(key)), costs_(costs) {}
 
 ciobase::Buffer EncryptedBlockClient::NonceFor(uint64_t lba,
                                                uint64_t generation) const {

@@ -15,6 +15,9 @@ ConfidentialStore::ConfidentialStore(
       storage_(storage),
       costs_(costs),
       options_(std::move(options)) {
+  // Caller-provided secrets may be any length; the AEAD needs exactly
+  // kAeadKeySize bytes (disk_key is normalized by EncryptedBlockClient).
+  options_.value_key = ciocrypto::DeriveAeadKey(options_.value_key);
   shared_ = std::make_unique<ciotee::SharedRegion>(
       memory, options_.ring.RegionSize(), "block-ring");
   device_ = std::make_unique<HostBlockDevice>(shared_.get(), options_.ring,

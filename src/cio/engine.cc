@@ -103,9 +103,10 @@ struct ConfidentialNode::SocketOps {
   // Returns bytes accepted (possibly 0 under backpressure).
   virtual ciobase::Result<size_t> SendBytes(cionet::SocketId id,
                                             ciobase::ByteSpan data) = 0;
-  // Returns the next chunk; empty when nothing is pending.
-  virtual ciobase::Result<ciobase::Buffer> ReceiveBytes(cionet::SocketId id,
-                                                        size_t max) = 0;
+  // Fills `out` with the next chunk (capacity reused across calls); returns
+  // the byte count, 0 when nothing is pending.
+  virtual ciobase::Result<size_t> ReceiveBytes(cionet::SocketId id, size_t max,
+                                               ciobase::Buffer& out) = 0;
   virtual void Poll() = 0;
 };
 
@@ -157,13 +158,14 @@ struct ConfidentialNode::SyscallOps final : ConfidentialNode::SocketOps {
     }
     return node->host_stack_->TcpSend(id, data);
   }
-  ciobase::Result<ciobase::Buffer> ReceiveBytes(cionet::SocketId id,
-                                                size_t max) override {
-    ciobase::Buffer buffer(max);
-    auto got = node->host_stack_->TcpReceive(id, buffer);
+  ciobase::Result<size_t> ReceiveBytes(cionet::SocketId id, size_t max,
+                                       ciobase::Buffer& out) override {
+    out.resize(max);
+    auto got = node->host_stack_->TcpReceive(id, out);
     if (!got.ok()) {
+      out.clear();
       if (got.status().code() == ciobase::StatusCode::kUnavailable) {
-        return ciobase::Buffer{};
+        return static_cast<size_t>(0);
       }
       return got.status();
     }
@@ -178,8 +180,8 @@ struct ConfidentialNode::SyscallOps final : ConfidentialNode::SocketOps {
                                     "plaintext visible to host");
       }
     }
-    buffer.resize(*got);
-    return buffer;
+    out.resize(*got);
+    return *got;
   }
   void Poll() override { node->host_stack_->Poll(); }
 };
@@ -207,18 +209,19 @@ struct ConfidentialNode::GuestStackOps final : ConfidentialNode::SocketOps {
                                     ciobase::ByteSpan data) override {
     return node->guest_stack_->TcpSend(id, data);
   }
-  ciobase::Result<ciobase::Buffer> ReceiveBytes(cionet::SocketId id,
-                                                size_t max) override {
-    ciobase::Buffer buffer(max);
-    auto got = node->guest_stack_->TcpReceive(id, buffer);
+  ciobase::Result<size_t> ReceiveBytes(cionet::SocketId id, size_t max,
+                                       ciobase::Buffer& out) override {
+    out.resize(max);
+    auto got = node->guest_stack_->TcpReceive(id, out);
     if (!got.ok()) {
+      out.clear();
       if (got.status().code() == ciobase::StatusCode::kUnavailable) {
-        return ciobase::Buffer{};
+        return static_cast<size_t>(0);
       }
       return got.status();
     }
-    buffer.resize(*got);
-    return buffer;
+    out.resize(*got);
+    return *got;
   }
   void PollDevice() {
     if (node->virtio_device_ != nullptr) {
@@ -261,9 +264,9 @@ struct ConfidentialNode::DualBoundaryOps final : ConfidentialNode::SocketOps {
                                     ciobase::ByteSpan data) override {
     return node->l5_->Send(id, data);
   }
-  ciobase::Result<ciobase::Buffer> ReceiveBytes(cionet::SocketId id,
-                                                size_t max) override {
-    return node->l5_->Receive(id, max);
+  ciobase::Result<size_t> ReceiveBytes(cionet::SocketId id, size_t max,
+                                       ciobase::Buffer& out) override {
+    return node->l5_->ReceiveInto(id, max, out);
   }
   void Poll() override {
     node->l2_device_->Poll();
@@ -475,27 +478,28 @@ void ConfidentialNode::PumpBytes() {
     tls_outbox_.erase(tls_outbox_.begin(),
                       tls_outbox_.begin() + static_cast<long>(*sent));
   }
-  // Drain inbound bytes.
+  // Drain inbound bytes into the reusable scratch chunk: the steady-state
+  // receive path allocates nothing per round.
   for (;;) {
-    auto chunk = ops_->ReceiveBytes(socket_, 16384);
-    if (!chunk.ok()) {
-      if (chunk.status().code() !=
+    auto got = ops_->ReceiveBytes(socket_, 16384, rx_scratch_);
+    if (!got.ok()) {
+      if (got.status().code() !=
           ciobase::StatusCode::kFailedPrecondition) {
         failed_ = true;
       }
       break;
     }
-    if (chunk->empty()) {
+    if (*got == 0) {
       break;
     }
     if (options_.use_tls) {
-      if (!tls_->Feed(*chunk).ok()) {
+      if (!tls_->Feed(rx_scratch_).ok()) {
         failed_ = true;
         break;
       }
       PumpTls();  // the handshake may have produced a reply flight
     } else {
-      ciobase::Append(plain_rx_, *chunk);
+      ciobase::Append(plain_rx_, rx_scratch_);
     }
   }
   // TLS delivers record-sized chunks; drain them into the framing buffer.

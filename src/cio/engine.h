@@ -176,6 +176,7 @@ class ConfidentialNode {
   cionet::SocketId socket_{};
   bool have_socket_ = false;
   ciobase::Buffer tls_outbox_;  // TLS bytes awaiting transport capacity
+  ciobase::Buffer rx_scratch_;  // reusable inbound chunk staging (PumpBytes)
   std::deque<ciobase::Buffer> plain_inbox_;   // no-TLS mode
   ciobase::Buffer plain_rx_;                  // no-TLS length framing
   bool failed_ = false;

@@ -1,6 +1,8 @@
 #include "src/cio/l2_transport.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace cio {
 
@@ -73,7 +75,18 @@ ciobase::Status L2Transport::SendFrame(ciobase::ByteSpan frame) {
     return ciobase::ResourceExhausted("tx ring full");
   }
 
-  uint64_t index = tx_produced_;
+  WriteTxSlot(tx_produced_, frame);
+  ++tx_produced_;
+  region_->GuestWriteLe64(layout_.TxProduced(), tx_produced_);
+  ++stats_.frames_sent;
+  if (!config_.polling && kick_ != nullptr) {
+    costs_->ChargeNotify();
+    kick_->Kick();
+  }
+  return ciobase::OkStatus();
+}
+
+void L2Transport::WriteTxSlot(uint64_t index, ciobase::ByteSpan frame) {
   uint8_t header[kL2SlotHeaderSize];
   switch (config_.positioning) {
     case DataPositioning::kInline: {
@@ -111,19 +124,46 @@ ciobase::Status L2Transport::SendFrame(ciobase::ByteSpan frame) {
       break;
     }
   }
-  ++tx_produced_;
-  region_->GuestWriteLe64(layout_.TxProduced(), tx_produced_);
-  ++stats_.frames_sent;
-  if (!config_.polling && kick_ != nullptr) {
-    costs_->ChargeNotify();
-    kick_->Kick();
-  }
-  return ciobase::OkStatus();
 }
 
-ciobase::Buffer L2Transport::TakePayload(uint64_t masked_offset,
-                                         uint32_t len) {
-  ciobase::Buffer payload(len);
+size_t L2Transport::SendFrames(std::span<const ciobase::ByteSpan> frames) {
+  if (frames.empty()) {
+    return 0;
+  }
+  // One advisory read of the host's consumed counter covers the whole batch
+  // (same clamping as SendFrame: a lying host only loses its own service).
+  uint64_t consumed = region_->GuestReadLe64(layout_.TxConsumed());
+  uint64_t in_flight = tx_produced_ - std::min(consumed, tx_produced_);
+  size_t sent = 0;
+  for (ciobase::ByteSpan frame : frames) {
+    if (frame.size() > config_.SlotPayloadCapacity() ||
+        frame.size() > config_.mtu + cionet::kEthernetHeaderSize) {
+      break;  // same rejection as SendFrame; callers see the short count
+    }
+    if (in_flight + sent >= layout_.slots) {
+      ++stats_.tx_ring_full;
+      break;
+    }
+    WriteTxSlot(tx_produced_, frame);
+    ++tx_produced_;
+    ++stats_.frames_sent;
+    ++sent;
+  }
+  if (sent > 0) {
+    // Publish the produced counter once for the whole batch, and coalesce
+    // the doorbell into a single kick (virtio-style event suppression).
+    region_->GuestWriteLe64(layout_.TxProduced(), tx_produced_);
+    if (!config_.polling && kick_ != nullptr) {
+      costs_->ChargeNotify();
+      kick_->Kick();
+    }
+  }
+  return sent;
+}
+
+void L2Transport::TakePayloadInto(uint64_t masked_offset, uint32_t len,
+                                  ciobase::Buffer& out) {
+  out.resize(len);
   if (config_.rx_ownership == ReceiveOwnership::kRevoke) {
     // Un-share the chunk's pages: after this, the host cannot touch the
     // bytes, so the read needs no copy discipline (and no copy charge).
@@ -134,22 +174,21 @@ ciobase::Buffer L2Transport::TakePayload(uint64_t masked_offset,
     }
     costs_->ChargePageUnshare(pages);
     stats_.pages_revoked += pages;
-    region_->GuestReadOwned(masked_offset, payload);
+    region_->GuestReadOwned(masked_offset, out);
     // Hand the pages back once the frame has been consumed (the buffer we
-    // return is private), so the host can recycle the chunk.
+    // fill is private), so the host can recycle the chunk.
     costs_->ChargePageReshare(pages);
   } else {
     costs_->ChargeCopy(len);
-    region_->GuestRead(masked_offset, payload);
+    region_->GuestRead(masked_offset, out);
   }
-  return payload;
 }
 
-ciobase::Result<ciobase::Buffer> L2Transport::ReceiveInline(uint64_t index) {
+void L2Transport::ReceiveInlineInto(uint64_t index, ciobase::Buffer& out) {
   // ONE fetch of the whole slot: header and payload land in private memory
   // together; this read is simultaneously the validation source, the use
   // source, and the mandatory copy.
-  ciobase::Buffer slot(config_.slot_size);
+  ciobase::Buffer slot = arena_.Acquire(config_.slot_size);
   costs_->ChargeCopy(config_.slot_size);
   region_->GuestRead(layout_.RxSlot(index), slot);
   uint32_t len = ciobase::LoadLe32(slot.data());
@@ -158,11 +197,12 @@ ciobase::Result<ciobase::Buffer> L2Transport::ReceiveInline(uint64_t index) {
     ++stats_.rx_clamped_len;
     len = capacity;
   }
-  return ciobase::Buffer(slot.begin() + kL2SlotHeaderSize,
-                         slot.begin() + kL2SlotHeaderSize + len);
+  out.assign(slot.begin() + kL2SlotHeaderSize,
+             slot.begin() + kL2SlotHeaderSize + len);
+  arena_.Release(std::move(slot));
 }
 
-ciobase::Result<ciobase::Buffer> L2Transport::ReceivePool(uint64_t index) {
+void L2Transport::ReceivePoolInto(uint64_t index, ciobase::Buffer& out) {
   uint8_t header[kL2SlotHeaderSize];
   region_->GuestRead(layout_.RxSlot(index), header);  // single fetch
   uint32_t len = ciobase::LoadLe32(header);
@@ -174,10 +214,10 @@ ciobase::Result<ciobase::Buffer> L2Transport::ReceivePool(uint64_t index) {
   // Masking, not checking: whatever `offset` says, the access lands inside
   // the RX pool at a chunk boundary.
   uint64_t masked = layout_.MaskRxPoolOffset(offset);
-  return TakePayload(masked, len);
+  TakePayloadInto(masked, len, out);
 }
 
-ciobase::Result<ciobase::Buffer> L2Transport::ReceiveIndirect(uint64_t index) {
+void L2Transport::ReceiveIndirectInto(uint64_t index, ciobase::Buffer& out) {
   uint8_t header[kL2SlotHeaderSize];
   region_->GuestRead(layout_.RxSlot(index), header);  // fetch 1: slot
   uint32_t count = ciobase::LoadLe32(header);
@@ -187,69 +227,103 @@ ciobase::Result<ciobase::Buffer> L2Transport::ReceiveIndirect(uint64_t index) {
   }
   if (count == 0) {
     ++stats_.rx_dropped_empty;
-    return ciobase::Buffer{};
+    return;
   }
   uint64_t table = layout_.MaskRxIndirectOffset(table_offset);
-  ciobase::Buffer entries(count * kL2IndirectEntrySize);
-  region_->GuestRead(table, entries);  // fetch 2: whole table at once
-  ciobase::Buffer frame;
+  uint8_t entries[kL2MaxIndirectEntries * kL2IndirectEntrySize];
+  ciobase::MutableByteSpan entry_span(entries, count * kL2IndirectEntrySize);
+  region_->GuestRead(table, entry_span);  // fetch 2: whole table at once
+  ciobase::Buffer part = arena_.Acquire(0);
   for (uint32_t i = 0; i < count; ++i) {
-    uint32_t offset = ciobase::LoadLe32(entries.data() + i * 8);
-    uint32_t len = ciobase::LoadLe32(entries.data() + i * 8 + 4);
+    uint32_t offset = ciobase::LoadLe32(entries + i * 8);
+    uint32_t len = ciobase::LoadLe32(entries + i * 8 + 4);
     if (len > config_.slot_size) {
       ++stats_.rx_clamped_len;
       len = static_cast<uint32_t>(config_.slot_size);
     }
     uint64_t masked = layout_.MaskRxPoolOffset(offset);
-    ciobase::Buffer part = TakePayload(masked, len);
-    ciobase::Append(frame, part);
-    if (frame.size() > config_.SlotPayloadCapacity()) {
-      frame.resize(config_.SlotPayloadCapacity());
+    TakePayloadInto(masked, len, part);
+    ciobase::Append(out, part);
+    if (out.size() > config_.SlotPayloadCapacity()) {
+      out.resize(config_.SlotPayloadCapacity());
       ++stats_.rx_clamped_len;
       break;
     }
   }
-  return frame;
+  arena_.Release(std::move(part));
+}
+
+void L2Transport::ReceiveSlotInto(uint64_t index, ciobase::Buffer& out) {
+  out.clear();
+  switch (config_.positioning) {
+    case DataPositioning::kInline:
+      ReceiveInlineInto(index, out);
+      break;
+    case DataPositioning::kSharedPool:
+      ReceivePoolInto(index, out);
+      break;
+    case DataPositioning::kIndirect:
+      ReceiveIndirectInto(index, out);
+      break;
+  }
 }
 
 ciobase::Result<ciobase::Buffer> L2Transport::ReceiveFrame() {
   costs_->ChargeRingPoll();
   uint64_t produced = region_->GuestReadLe64(layout_.RxProduced());
-  // Clamp the host's claim into the only coherent window: at most
-  // `slots` frames can genuinely be pending. A stormed counter shrinks to
-  // the ring size; a rewound counter reads as "nothing new".
+  // A rewound counter (pending > 2^63) reads as "nothing new". The storm
+  // clamp (pending > slots) lives in ReceiveFrames, which is the only path
+  // that drains more than one slot per counter read.
   uint64_t pending = produced - rx_consumed_;
   if (pending == 0 || pending > (1ULL << 63)) {
     return ciobase::Unavailable("no frame");
   }
+
+  ciobase::Buffer frame;
+  ReceiveSlotInto(rx_consumed_, frame);
+  ++rx_consumed_;
+  region_->GuestWriteLe64(layout_.RxConsumed(), rx_consumed_);
+  if (frame.empty()) {
+    ++stats_.rx_dropped_empty;
+    return ciobase::Unavailable("empty slot dropped");
+  }
+  ++stats_.frames_received;
+  return frame;
+}
+
+size_t L2Transport::ReceiveFrames(cionet::FrameBatch& batch,
+                                  size_t max_frames) {
+  batch.Clear();
+  if (max_frames == 0) {
+    return 0;
+  }
+  costs_->ChargeRingPoll();
+  uint64_t produced = region_->GuestReadLe64(layout_.RxProduced());
+  // Clamp the host's claim into the only coherent window: at most `slots`
+  // frames can genuinely be pending. A stormed counter shrinks to the ring
+  // size; a rewound counter reads as "nothing new".
+  uint64_t pending = produced - rx_consumed_;
+  if (pending == 0 || pending > (1ULL << 63)) {
+    return 0;
+  }
   if (pending > layout_.slots) {
     pending = layout_.slots;
   }
-  (void)pending;
-
-  uint64_t index = rx_consumed_;
-  ciobase::Result<ciobase::Buffer> frame = ciobase::Buffer{};
-  switch (config_.positioning) {
-    case DataPositioning::kInline:
-      frame = ReceiveInline(index);
-      break;
-    case DataPositioning::kSharedPool:
-      frame = ReceivePool(index);
-      break;
-    case DataPositioning::kIndirect:
-      frame = ReceiveIndirect(index);
-      break;
-  }
-  ++rx_consumed_;
-  region_->GuestWriteLe64(layout_.RxConsumed(), rx_consumed_);
-  if (frame.ok()) {
-    if (frame->empty()) {
+  uint64_t take = std::min<uint64_t>(pending, max_frames);
+  for (uint64_t k = 0; k < take; ++k) {
+    ciobase::Buffer& out = batch.Append();
+    ReceiveSlotInto(rx_consumed_, out);
+    ++rx_consumed_;
+    if (out.empty()) {
       ++stats_.rx_dropped_empty;
-      return ciobase::Unavailable("empty slot dropped");
+      batch.DropLast();
+    } else {
+      ++stats_.frames_received;
     }
-    ++stats_.frames_received;
   }
-  return frame;
+  // Publish the consumed counter once for the whole batch.
+  region_->GuestWriteLe64(layout_.RxConsumed(), rx_consumed_);
+  return batch.size();
 }
 
 std::vector<ciohost::SurfaceField> L2Transport::AttackSurface() const {

@@ -29,8 +29,10 @@
 #ifndef SRC_CIO_L2_TRANSPORT_H_
 #define SRC_CIO_L2_TRANSPORT_H_
 
+#include <span>
 #include <vector>
 
+#include "src/base/arena.h"
 #include "src/base/clock.h"
 #include "src/cio/l2_layout.h"
 #include "src/hostsim/adversary.h"
@@ -50,6 +52,16 @@ class L2Transport final : public cionet::FramePort {
 
   ciobase::Status SendFrame(ciobase::ByteSpan frame) override;
   ciobase::Result<ciobase::Buffer> ReceiveFrame() override;
+
+  // Batched ring ops: the host counters are read once per batch, the
+  // produced/consumed pointers are published once per batch, and the
+  // doorbell (notify mode) is coalesced into a single kick. Every slot still
+  // goes through exactly the same single-fetch validation as the per-frame
+  // path — batching changes how often the ring is touched, not what is
+  // trusted.
+  size_t SendFrames(std::span<const ciobase::ByteSpan> frames) override;
+  size_t ReceiveFrames(cionet::FrameBatch& batch, size_t max_frames) override;
+
   cionet::MacAddress mac() const override { return config_.mac; }
   uint16_t mtu() const override { return config_.mtu; }
 
@@ -74,18 +86,31 @@ class L2Transport final : public cionet::FramePort {
   const Stats& stats() const { return stats_; }
 
  private:
-  ciobase::Result<ciobase::Buffer> ReceiveInline(uint64_t index);
-  ciobase::Result<ciobase::Buffer> ReceivePool(uint64_t index);
-  ciobase::Result<ciobase::Buffer> ReceiveIndirect(uint64_t index);
-  // Reads `len` payload bytes at a masked shared offset, honoring the
-  // configured ownership model (copy vs revoke).
-  ciobase::Buffer TakePayload(uint64_t masked_offset, uint32_t len);
+  // Writes one frame into TX slot `index` per the configured positioning.
+  // Counter publication and the doorbell are the caller's job, so the
+  // per-frame and batched send paths share this verbatim.
+  void WriteTxSlot(uint64_t index, ciobase::ByteSpan frame);
+
+  // Fetches RX slot `index` into `out` (cleared first), applying the full
+  // validation discipline. An `out` left empty means the slot was dropped.
+  // Shared by ReceiveFrame and ReceiveFrames so the single-fetch path exists
+  // exactly once. Scratch space comes from arena_, so steady-state receive
+  // does no heap allocation.
+  void ReceiveSlotInto(uint64_t index, ciobase::Buffer& out);
+  void ReceiveInlineInto(uint64_t index, ciobase::Buffer& out);
+  void ReceivePoolInto(uint64_t index, ciobase::Buffer& out);
+  void ReceiveIndirectInto(uint64_t index, ciobase::Buffer& out);
+  // Reads `len` payload bytes at a masked shared offset into `out`, honoring
+  // the configured ownership model (copy vs revoke).
+  void TakePayloadInto(uint64_t masked_offset, uint32_t len,
+                       ciobase::Buffer& out);
 
   ciotee::SharedRegion* region_;
   L2Config config_;
   L2Layout layout_;
   ciobase::CostModel* costs_;
   ciovirtio::KickTarget* kick_;
+  ciobase::FrameArena arena_;
 
   // Guest-private counter shadows; never read back from shared memory.
   uint64_t tx_produced_ = 0;

@@ -97,6 +97,22 @@ ciobase::Result<size_t> L5Channel::Send(cionet::SocketId socket,
 
 ciobase::Result<ciobase::Buffer> L5Channel::Receive(cionet::SocketId socket,
                                                     size_t max_bytes) {
+  ciobase::Buffer out;
+  auto got = ReceiveInto(socket, max_bytes, out);
+  if (!got.ok()) {
+    return got.status();
+  }
+  return out;
+}
+
+ciobase::Result<size_t> L5Channel::ReceiveInto(cionet::SocketId socket,
+                                               size_t max_bytes,
+                                               ciobase::Buffer& out) {
+  out.clear();
+  // The I/O-domain staging buffer is still allocated (and freed) per call:
+  // the compartment heap is a bump allocator that can only rewind when no
+  // allocation is live, so a persistent staging handle would leak the heap.
+  // Reuse happens on the app-private side: `out` keeps its capacity.
   auto handle = compartments_->Allocate(app_, io_, max_bytes);
   if (!handle.ok()) {
     return handle.status();
@@ -114,12 +130,12 @@ ciobase::Result<ciobase::Buffer> L5Channel::Receive(cionet::SocketId socket,
   if (!got.ok()) {
     (void)compartments_->Free(app_, *handle);
     if (got.status().code() == ciobase::StatusCode::kUnavailable) {
-      return ciobase::Buffer{};  // nothing yet
+      return static_cast<size_t>(0);  // nothing yet
     }
     return got.status();
   }
 
-  ciobase::Buffer out(*got);
+  out.resize(*got);
   if (receive_mode_ == L5ReceiveMode::kCopy) {
     // Copy before parse: the stack may keep mutating the I/O-domain buffer
     // after returning, so the app snapshots it into private memory.
@@ -143,7 +159,7 @@ ciobase::Result<ciobase::Buffer> L5Channel::Receive(cionet::SocketId socket,
   }
   (void)compartments_->Free(app_, *handle);
   stats_.bytes_received += *got;
-  return out;
+  return *got;
 }
 
 void L5Channel::Poll() {

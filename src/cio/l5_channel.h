@@ -59,6 +59,13 @@ class L5Channel {
   ciobase::Result<ciobase::Buffer> Receive(cionet::SocketId socket,
                                            size_t max_bytes);
 
+  // Bulk-transfer variant: fills caller-provided `out` (cleared, capacity
+  // reused) instead of allocating a fresh private buffer per call. Returns
+  // the byte count; 0 = nothing available yet. The crossing structure, copy
+  // vs revoke discipline, and modeled charges are identical to Receive().
+  ciobase::Result<size_t> ReceiveInto(cionet::SocketId socket,
+                                      size_t max_bytes, ciobase::Buffer& out);
+
   // Drives the I/O compartment (stack poll), one crossing per call.
   void Poll();
 

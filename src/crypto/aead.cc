@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/crypto/sha256.h"
+
 namespace ciocrypto {
 
 namespace {
@@ -35,6 +37,14 @@ Poly1305Tag ComputeTag(const uint8_t key[kAeadKeySize],
 
 }  // namespace
 
+ciobase::Buffer DeriveAeadKey(ciobase::ByteSpan secret) {
+  if (secret.size() == kAeadKeySize) {
+    return ciobase::Buffer(secret.begin(), secret.end());
+  }
+  Sha256Digest digest = Sha256::Hash(secret);
+  return ciobase::Buffer(digest.begin(), digest.end());
+}
+
 ciobase::Buffer AeadSeal(ciobase::ByteSpan key, ciobase::ByteSpan nonce,
                          ciobase::ByteSpan aad, ciobase::ByteSpan plaintext) {
   assert(key.size() == kAeadKeySize);
@@ -46,6 +56,21 @@ ciobase::Buffer AeadSeal(ciobase::ByteSpan key, ciobase::ByteSpan nonce,
                  ciobase::ByteSpan(out.data(), plaintext.size()));
   std::memcpy(out.data() + plaintext.size(), tag.data(), kAeadTagSize);
   return out;
+}
+
+size_t AeadSealInto(ciobase::ByteSpan key, ciobase::ByteSpan nonce,
+                    ciobase::ByteSpan aad, ciobase::ByteSpan plaintext,
+                    ciobase::Buffer& out) {
+  assert(key.size() == kAeadKeySize);
+  assert(nonce.size() == kAeadNonceSize);
+  size_t base = out.size();
+  out.resize(base + plaintext.size() + kAeadTagSize);
+  ChaCha20Xor(key.data(), nonce.data(), 1, plaintext, out.data() + base);
+  Poly1305Tag tag =
+      ComputeTag(key.data(), nonce.data(), aad,
+                 ciobase::ByteSpan(out.data() + base, plaintext.size()));
+  std::memcpy(out.data() + base + plaintext.size(), tag.data(), kAeadTagSize);
+  return plaintext.size() + kAeadTagSize;
 }
 
 ciobase::Result<ciobase::Buffer> AeadOpen(ciobase::ByteSpan key,
@@ -66,6 +91,28 @@ ciobase::Result<ciobase::Buffer> AeadOpen(ciobase::ByteSpan key,
   ciobase::Buffer plaintext(ciphertext.size());
   ChaCha20Xor(key.data(), nonce.data(), 1, ciphertext, plaintext.data());
   return plaintext;
+}
+
+ciobase::Result<size_t> AeadOpenInto(ciobase::ByteSpan key,
+                                     ciobase::ByteSpan nonce,
+                                     ciobase::ByteSpan aad,
+                                     ciobase::ByteSpan sealed,
+                                     ciobase::Buffer& out) {
+  assert(key.size() == kAeadKeySize);
+  assert(nonce.size() == kAeadNonceSize);
+  if (sealed.size() < kAeadTagSize) {
+    return ciobase::Tampered("AEAD input shorter than tag");
+  }
+  ciobase::ByteSpan ciphertext = sealed.first(sealed.size() - kAeadTagSize);
+  ciobase::ByteSpan received_tag = sealed.last(kAeadTagSize);
+  Poly1305Tag tag = ComputeTag(key.data(), nonce.data(), aad, ciphertext);
+  if (!ciobase::ConstantTimeEqual(tag, received_tag)) {
+    return ciobase::Tampered("AEAD tag mismatch");
+  }
+  size_t base = out.size();
+  out.resize(base + ciphertext.size());
+  ChaCha20Xor(key.data(), nonce.data(), 1, ciphertext, out.data() + base);
+  return ciphertext.size();
 }
 
 }  // namespace ciocrypto

@@ -25,12 +25,11 @@ inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
   b = RotL32(b, 7);
 }
 
-}  // namespace
-
-void ChaCha20Block(const uint8_t key[kChaCha20KeySize], uint32_t counter,
-                   const uint8_t nonce[kChaCha20NonceSize],
-                   uint8_t out[kChaCha20BlockSize]) {
-  uint32_t state[16];
+// Fills the 16-word ChaCha20 state for (key, counter, nonce). Done once per
+// ChaCha20Xor call; only state[12] (the block counter) changes between blocks.
+inline void InitState(uint32_t state[16], const uint8_t key[kChaCha20KeySize],
+                      uint32_t counter,
+                      const uint8_t nonce[kChaCha20NonceSize]) {
   state[0] = 0x61707865;
   state[1] = 0x3320646e;
   state[2] = 0x79622d32;
@@ -42,9 +41,13 @@ void ChaCha20Block(const uint8_t key[kChaCha20KeySize], uint32_t counter,
   state[13] = ciobase::LoadLe32(nonce);
   state[14] = ciobase::LoadLe32(nonce + 4);
   state[15] = ciobase::LoadLe32(nonce + 8);
+}
 
+// One keystream block from an already-initialized state (state[12] = counter).
+inline void BlockFromState(const uint32_t state[16],
+                           uint8_t out[kChaCha20BlockSize]) {
   uint32_t x[16];
-  std::memcpy(x, state, sizeof(x));
+  std::memcpy(x, state, 16 * sizeof(uint32_t));
   for (int round = 0; round < 10; ++round) {
     QuarterRound(x[0], x[4], x[8], x[12]);
     QuarterRound(x[1], x[5], x[9], x[13]);
@@ -60,18 +63,111 @@ void ChaCha20Block(const uint8_t key[kChaCha20KeySize], uint32_t counter,
   }
 }
 
+inline constexpr int kLanes = 4;
+
+// One quarter-round across 4 independent blocks (SIMD-within-registers: each
+// statement is a 4-wide lane loop the compiler can vectorize).
+inline void QuarterRound4(uint32_t a[kLanes], uint32_t b[kLanes],
+                          uint32_t c[kLanes], uint32_t d[kLanes]) {
+  for (int l = 0; l < kLanes; ++l) {
+    a[l] += b[l];
+    d[l] = RotL32(d[l] ^ a[l], 16);
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    c[l] += d[l];
+    b[l] = RotL32(b[l] ^ c[l], 12);
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    a[l] += b[l];
+    d[l] = RotL32(d[l] ^ a[l], 8);
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    c[l] += d[l];
+    b[l] = RotL32(b[l] ^ c[l], 7);
+  }
+}
+
+// Generates 4 consecutive keystream blocks (counters counter..counter+3, each
+// wrapping mod 2^32 independently, per RFC 8439's 32-bit block counter) into
+// out[0..255]. Lane-major layout: v[word][lane].
+inline void Blocks4(const uint32_t state[16], uint32_t counter,
+                    uint8_t out[kLanes * kChaCha20BlockSize]) {
+  uint32_t v[16][kLanes];
+  for (int i = 0; i < 16; ++i) {
+    for (int l = 0; l < kLanes; ++l) {
+      v[i][l] = state[i];
+    }
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    v[12][l] = counter + static_cast<uint32_t>(l);
+  }
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound4(v[0], v[4], v[8], v[12]);
+    QuarterRound4(v[1], v[5], v[9], v[13]);
+    QuarterRound4(v[2], v[6], v[10], v[14]);
+    QuarterRound4(v[3], v[7], v[11], v[15]);
+    QuarterRound4(v[0], v[5], v[10], v[15]);
+    QuarterRound4(v[1], v[6], v[11], v[12]);
+    QuarterRound4(v[2], v[7], v[8], v[13]);
+    QuarterRound4(v[3], v[4], v[9], v[14]);
+  }
+  for (int l = 0; l < kLanes; ++l) {
+    uint8_t* block = out + static_cast<size_t>(l) * kChaCha20BlockSize;
+    for (int i = 0; i < 16; ++i) {
+      uint32_t init = i == 12 ? counter + static_cast<uint32_t>(l) : state[i];
+      ciobase::StoreLe32(block + i * 4, v[i][l] + init);
+    }
+  }
+}
+
+// XORs n bytes of keystream into out, 8 bytes at a time (memcpy keeps the
+// word loads/stores alignment-safe; in and out may alias exactly).
+inline void XorWords(const uint8_t* in, const uint8_t* keystream, uint8_t* out,
+                     size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t word;
+    uint64_t ks;
+    std::memcpy(&word, in + i, 8);
+    std::memcpy(&ks, keystream + i, 8);
+    word ^= ks;
+    std::memcpy(out + i, &word, 8);
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(in[i] ^ keystream[i]);
+  }
+}
+
+}  // namespace
+
+void ChaCha20Block(const uint8_t key[kChaCha20KeySize], uint32_t counter,
+                   const uint8_t nonce[kChaCha20NonceSize],
+                   uint8_t out[kChaCha20BlockSize]) {
+  uint32_t state[16];
+  InitState(state, key, counter, nonce);
+  BlockFromState(state, out);
+}
+
 void ChaCha20Xor(const uint8_t key[kChaCha20KeySize],
                  const uint8_t nonce[kChaCha20NonceSize],
                  uint32_t initial_counter, ciobase::ByteSpan in, uint8_t* out) {
-  uint8_t block[kChaCha20BlockSize];
+  constexpr size_t kStride = kLanes * kChaCha20BlockSize;  // 256
+  uint32_t state[16];
+  InitState(state, key, initial_counter, nonce);
   uint32_t counter = initial_counter;
+  uint8_t keystream[kStride];
   size_t i = 0;
+  while (in.size() - i >= kStride) {
+    Blocks4(state, counter, keystream);
+    XorWords(in.data() + i, keystream, out + i, kStride);
+    counter += kLanes;  // wraps mod 2^32 like the per-block counter
+    i += kStride;
+  }
   while (i < in.size()) {
-    ChaCha20Block(key, counter++, nonce, block);
+    state[12] = counter++;
+    BlockFromState(state, keystream);
     size_t n = std::min(in.size() - i, kChaCha20BlockSize);
-    for (size_t j = 0; j < n; ++j) {
-      out[i + j] = static_cast<uint8_t>(in[i + j] ^ block[j]);
-    }
+    XorWords(in.data() + i, keystream, out + i, n);
     i += n;
   }
 }

@@ -14,13 +14,17 @@ inline constexpr size_t kChaCha20KeySize = 32;
 inline constexpr size_t kChaCha20NonceSize = 12;
 inline constexpr size_t kChaCha20BlockSize = 64;
 
-// Produces one 64-byte keystream block for (key, counter, nonce).
+// Produces one 64-byte keystream block for (key, counter, nonce). This is the
+// straightforward reference implementation; ChaCha20Xor uses a 4-block-wide
+// fast path that must stay bit-identical to a per-block loop over this.
 void ChaCha20Block(const uint8_t key[kChaCha20KeySize], uint32_t counter,
                    const uint8_t nonce[kChaCha20NonceSize],
                    uint8_t out[kChaCha20BlockSize]);
 
 // XORs `in` with the keystream starting at block `initial_counter` into
-// `out`. in and out may alias (in-place encryption).
+// `out`. in and out may alias (in-place encryption). The state is initialized
+// once per call; 4 keystream blocks are generated per inner-loop iteration
+// and XORed word-wise, so bulk records never touch a byte-at-a-time loop.
 void ChaCha20Xor(const uint8_t key[kChaCha20KeySize],
                  const uint8_t nonce[kChaCha20NonceSize],
                  uint32_t initial_counter, ciobase::ByteSpan in, uint8_t* out);

@@ -4,15 +4,74 @@
 // repository compares: the virtio-net guest driver (baseline), the paper's
 // hardened L2 transport (cio::L2Transport), and a trusted DirectFabricPort
 // used for unit-testing the stack without any host in the way.
+//
+// Besides the per-frame SendFrame/ReceiveFrame pair, ports expose batched
+// SendFrames/ReceiveFrames entry points. The defaults are plain per-frame
+// loops, so every port is batch-correct by construction; transports that talk
+// to a host ring override them to read the host counters once per batch,
+// publish produced/consumed pointers once, and coalesce the doorbell into a
+// single kick (virtio-style event suppression). Batching must never change
+// what bytes arrive — only how often the shared ring is touched.
 
 #ifndef SRC_NET_PORT_H_
 #define SRC_NET_PORT_H_
+
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "src/base/bytes.h"
 #include "src/base/status.h"
 #include "src/net/wire.h"
 
 namespace cionet {
+
+// A reusable batch of received frames. Clear() resets the count but keeps
+// every Buffer's capacity, so a FrameBatch that lives across poll rounds
+// reaches a zero-allocation steady state.
+class FrameBatch {
+ public:
+  void Clear() { count_ = 0; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  ciobase::ByteSpan operator[](size_t i) const {
+    return ciobase::ByteSpan(frames_[i].data(), frames_[i].size());
+  }
+
+  // Opens a new slot and returns its reusable Buffer (cleared, capacity
+  // retained). The caller fills it with exactly one frame.
+  ciobase::Buffer& Append() {
+    if (count_ == frames_.size()) {
+      frames_.emplace_back();
+    }
+    ciobase::Buffer& slot = frames_[count_++];
+    slot.clear();
+    return slot;
+  }
+
+  // Discards the most recently appended slot (its capacity stays pooled).
+  // Used when a slot turns out to hold a dropped frame.
+  void DropLast() {
+    if (count_ > 0) {
+      --count_;
+    }
+  }
+
+  // Moves a ready frame into the batch (per-frame fallback path).
+  void Push(ciobase::Buffer frame) {
+    if (count_ == frames_.size()) {
+      frames_.push_back(std::move(frame));
+      ++count_;
+    } else {
+      frames_[count_++] = std::move(frame);
+    }
+  }
+
+ private:
+  std::vector<ciobase::Buffer> frames_;
+  size_t count_ = 0;
+};
 
 class FramePort {
  public:
@@ -24,6 +83,35 @@ class FramePort {
 
   // Returns the next received frame, or kUnavailable when none is pending.
   virtual ciobase::Result<ciobase::Buffer> ReceiveFrame() = 0;
+
+  // Sends frames in order, stopping at the first one the port rejects
+  // (ring full, oversized). Returns how many were accepted. The default is a
+  // per-frame loop; ring-backed ports override it to touch the shared ring
+  // once per batch and fire at most one doorbell.
+  virtual size_t SendFrames(std::span<const ciobase::ByteSpan> frames) {
+    size_t sent = 0;
+    for (ciobase::ByteSpan frame : frames) {
+      if (!SendFrame(frame).ok()) {
+        break;
+      }
+      ++sent;
+    }
+    return sent;
+  }
+
+  // Clears `batch` and fills it with up to `max_frames` pending frames.
+  // Returns the number received (0 when none are pending).
+  virtual size_t ReceiveFrames(FrameBatch& batch, size_t max_frames) {
+    batch.Clear();
+    while (batch.size() < max_frames) {
+      ciobase::Result<ciobase::Buffer> frame = ReceiveFrame();
+      if (!frame.ok()) {
+        break;
+      }
+      batch.Push(std::move(*frame));
+    }
+    return batch.size();
+  }
 
   virtual MacAddress mac() const = 0;
   virtual uint16_t mtu() const = 0;

@@ -65,15 +65,49 @@ Ipv4Address NetStack::NextHop(Ipv4Address dst) const {
 
 void NetStack::SendFrameTo(MacAddress dst, uint16_t ether_type,
                            ciobase::ByteSpan payload) {
-  ciobase::Buffer frame;
+  ciobase::Buffer frame = tx_arena_.Acquire(0);
   EthernetHeader eth{dst, port_->mac(), ether_type};
   eth.Serialize(frame);
   ciobase::Append(frame, payload);
   ++stats_.frames_tx;
+  if (tx_batch_depth_ > 0) {
+    // A batch is open: stage the frame; FlushTxBatch hands the whole run to
+    // the port in one SendFrames call.
+    tx_staged_.push_back(std::move(frame));
+    return;
+  }
   ciobase::Status status = port_->SendFrame(frame);
   if (!status.ok()) {
     CIO_LOG(kDebug) << "SendFrame failed: " << status.ToString();
   }
+  tx_arena_.Release(std::move(frame));
+}
+
+void NetStack::FlushTxBatch() {
+  if (tx_staged_.empty()) {
+    return;
+  }
+  tx_spans_.clear();
+  for (const ciobase::Buffer& frame : tx_staged_) {
+    tx_spans_.emplace_back(frame.data(), frame.size());
+  }
+  size_t offset = 0;
+  while (offset < tx_spans_.size()) {
+    size_t sent = port_->SendFrames(
+        std::span<const ciobase::ByteSpan>(tx_spans_).subspan(offset));
+    if (sent == 0) {
+      // The port rejected the next frame without progress (ring full and
+      // nothing draining): drop the remainder, like per-frame sends failing.
+      CIO_LOG(kDebug) << "SendFrames dropped "
+                      << (tx_spans_.size() - offset) << " staged frames";
+      break;
+    }
+    offset += sent;
+  }
+  for (ciobase::Buffer& frame : tx_staged_) {
+    tx_arena_.Release(std::move(frame));
+  }
+  tx_staged_.clear();
 }
 
 void NetStack::SendIpv4(Ipv4Address dst, uint8_t protocol,
@@ -295,19 +329,32 @@ void NetStack::FlushTcpOutput(Socket& socket) {
   if (socket.conn == nullptr) {
     return;
   }
+  // Batch all segments this connection emits (data run, ACK + data, FIN
+  // piggybacks) into one port SendFrames call — unless an outer batch (from
+  // Poll) is already open, in which case they join it.
+  ++tx_batch_depth_;
   for (ciobase::Buffer& segment : socket.conn->TakeOutput()) {
     SendIpv4(socket.conn->endpoints().remote_ip, kIpProtoTcp, segment);
+  }
+  if (--tx_batch_depth_ == 0) {
+    FlushTxBatch();
   }
 }
 
 void NetStack::Poll() {
-  // Drain the port.
+  // Everything one poll round emits — ACKs for a burst of received frames,
+  // retransmits, window updates across sockets — leaves as one TX batch.
+  ++tx_batch_depth_;
+  // Drain the port in batches; each ReceiveFrames call touches the shared
+  // ring once however many frames it returns.
   for (;;) {
-    auto frame = port_->ReceiveFrame();
-    if (!frame.ok()) {
+    size_t n = port_->ReceiveFrames(rx_batch_, kRxBatchFrames);
+    for (size_t i = 0; i < n; ++i) {
+      HandleFrame(rx_batch_[i]);
+    }
+    if (n < kRxBatchFrames) {
       break;
     }
-    HandleFrame(*frame);
   }
   // Timers & output.
   std::vector<uint32_t> defunct;
@@ -328,6 +375,9 @@ void NetStack::Poll() {
     sockets_.erase(id);
   }
   reassembler_.Expire();
+  if (--tx_batch_depth_ == 0) {
+    FlushTxBatch();
+  }
 }
 
 // --- UDP API -------------------------------------------------------------------

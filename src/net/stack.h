@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/base/arena.h"
 #include "src/base/clock.h"
 #include "src/base/rng.h"
 #include "src/net/arp.h"
@@ -126,6 +127,13 @@ class NetStack {
                size_t payload_size);
   void FlushTcpOutput(Socket& socket);
 
+  // TX batching: while a batch is open (depth > 0), SendFrameTo stages
+  // frames instead of sending them; closing the outermost batch hands the
+  // whole run to port_->SendFrames() — one host-counter read and one
+  // doorbell per batch on ring-backed ports. Poll() and FlushTcpOutput()
+  // open batches; nesting collapses to the outermost scope.
+  void FlushTxBatch();
+
   FramePort* port_;
   ciobase::SimClock* clock_;
   Config config_;
@@ -146,6 +154,16 @@ class NetStack {
   };
   std::vector<PendingPacket> arp_pending_;
   static constexpr size_t kMaxArpPending = 64;
+
+  // Batched datapath state (capacity reused across rounds; see FlushTxBatch
+  // and Poll). kRxBatchFrames bounds how many frames one ReceiveFrames call
+  // may hand us before we dispatch them.
+  static constexpr size_t kRxBatchFrames = 32;
+  FrameBatch rx_batch_;
+  ciobase::FrameArena tx_arena_;
+  std::vector<ciobase::Buffer> tx_staged_;
+  std::vector<ciobase::ByteSpan> tx_spans_;
+  int tx_batch_depth_ = 0;
 
   Stats stats_;
 };

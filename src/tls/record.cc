@@ -1,6 +1,7 @@
 #include "src/tls/record.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace ciotls {
 
@@ -20,28 +21,35 @@ SealingKey::SealingKey(ciobase::ByteSpan key, ciobase::ByteSpan iv)
       key_(key.begin(), key.end()),
       iv_(iv.begin(), iv.end()) {}
 
-ciobase::Buffer SealingKey::NonceForSeq(uint64_t seq) const {
-  ciobase::Buffer nonce = iv_;
+void SealingKey::NonceForSeq(uint64_t seq,
+                             uint8_t out[ciocrypto::kAeadNonceSize]) const {
+  std::memcpy(out, iv_.data(), ciocrypto::kAeadNonceSize);
   uint8_t seq_be[8];
   ciobase::StoreBe64(seq_be, seq);
   for (int i = 0; i < 8; ++i) {
-    nonce[nonce.size() - 8 + i] ^= seq_be[i];
+    out[ciocrypto::kAeadNonceSize - 8 + i] ^= seq_be[i];
   }
-  return nonce;
 }
 
-ciobase::Buffer SealingKey::Seal(RecordType type, ciobase::ByteSpan plaintext) {
+void SealingKey::SealInto(RecordType type, ciobase::ByteSpan plaintext,
+                          ciobase::Buffer& out) {
   uint8_t header[kRecordHeaderSize];
   header[0] = static_cast<uint8_t>(type);
   ciobase::StoreBe16(header + 1, kRecordVersion);
   ciobase::StoreBe16(header + 3, static_cast<uint16_t>(
                                      plaintext.size() +
                                      ciocrypto::kAeadTagSize));
-  ciobase::Buffer nonce = NonceForSeq(seq_++);
-  ciobase::Buffer sealed = ciocrypto::AeadSeal(
-      key_, nonce, ciobase::ByteSpan(header, kRecordHeaderSize), plaintext);
-  ciobase::Buffer out(header, header + kRecordHeaderSize);
-  ciobase::Append(out, sealed);
+  uint8_t nonce[ciocrypto::kAeadNonceSize];
+  NonceForSeq(seq_++, nonce);
+  ciobase::Append(out, ciobase::ByteSpan(header, kRecordHeaderSize));
+  ciocrypto::AeadSealInto(key_, ciobase::ByteSpan(nonce, sizeof(nonce)),
+                          ciobase::ByteSpan(header, kRecordHeaderSize),
+                          plaintext, out);
+}
+
+ciobase::Buffer SealingKey::Seal(RecordType type, ciobase::ByteSpan plaintext) {
+  ciobase::Buffer out;
+  SealInto(type, plaintext, out);
   return out;
 }
 
@@ -51,9 +59,11 @@ ciobase::Result<ciobase::Buffer> SealingKey::Open(RecordType type,
   header[0] = static_cast<uint8_t>(type);
   ciobase::StoreBe16(header + 1, kRecordVersion);
   ciobase::StoreBe16(header + 3, static_cast<uint16_t>(body.size()));
-  ciobase::Buffer nonce = NonceForSeq(seq_);
+  uint8_t nonce[ciocrypto::kAeadNonceSize];
+  NonceForSeq(seq_, nonce);
   auto opened = ciocrypto::AeadOpen(
-      key_, nonce, ciobase::ByteSpan(header, kRecordHeaderSize), body);
+      key_, ciobase::ByteSpan(nonce, sizeof(nonce)),
+      ciobase::ByteSpan(header, kRecordHeaderSize), body);
   if (!opened.ok()) {
     // Sequence stays put: a replayed/reordered/corrupted record must not
     // desynchronize the direction; the session treats this as fatal anyway.
@@ -64,18 +74,28 @@ ciobase::Result<ciobase::Buffer> SealingKey::Open(RecordType type,
 }
 
 void RecordReader::Feed(ciobase::ByteSpan bytes) {
+  if (head_ == buffer_.size()) {
+    // Everything consumed: restart at the front, keeping the capacity.
+    buffer_.clear();
+    head_ = 0;
+  } else if (head_ >= kMaxRecordPayload) {
+    // Large consumed prefix: compact so the buffer stays bounded by the
+    // unconsumed bytes plus one record's worth of slack.
+    buffer_.erase(buffer_.begin(), buffer_.begin() + head_);
+    head_ = 0;
+  }
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
 }
 
 ciobase::Result<Record> RecordReader::Next() {
-  if (buffer_.size() < kRecordHeaderSize) {
+  size_t available = buffer_.size() - head_;
+  if (available < kRecordHeaderSize) {
     return ciobase::Unavailable("incomplete header");
   }
-  uint8_t type = buffer_[0];
-  uint16_t version = static_cast<uint16_t>(
-      static_cast<uint16_t>(buffer_[1]) << 8 | buffer_[2]);
-  uint16_t length = static_cast<uint16_t>(
-      static_cast<uint16_t>(buffer_[3]) << 8 | buffer_[4]);
+  const uint8_t* p = buffer_.data() + head_;
+  uint8_t type = p[0];
+  uint16_t version = ciobase::LoadBe16(p + 1);
+  uint16_t length = ciobase::LoadBe16(p + 3);
   if (version != kRecordVersion) {
     return ciobase::Tampered("bad record version");
   }
@@ -86,15 +106,14 @@ ciobase::Result<Record> RecordReader::Next() {
   if (length > kMaxRecordPayload + ciocrypto::kAeadTagSize) {
     return ciobase::Tampered("record too large");
   }
-  if (buffer_.size() < kRecordHeaderSize + length) {
+  if (available < kRecordHeaderSize + length) {
     return ciobase::Unavailable("incomplete record");
   }
   Record record;
   record.type = static_cast<RecordType>(type);
-  record.payload.assign(buffer_.begin() + kRecordHeaderSize,
-                        buffer_.begin() + kRecordHeaderSize + length);
-  buffer_.erase(buffer_.begin(),
-                buffer_.begin() + kRecordHeaderSize + length);
+  record.payload.assign(p + kRecordHeaderSize,
+                        p + kRecordHeaderSize + length);
+  head_ += kRecordHeaderSize + length;
   return record;
 }
 

@@ -12,7 +12,6 @@
 #ifndef SRC_TLS_RECORD_H_
 #define SRC_TLS_RECORD_H_
 
-#include <deque>
 #include <optional>
 
 #include "src/base/status.h"
@@ -53,12 +52,17 @@ class SealingKey {
 
   // Produces a full protected record (header || ciphertext || tag).
   ciobase::Buffer Seal(RecordType type, ciobase::ByteSpan plaintext);
+  // Appends a full protected record to `out`, reusing its capacity — the
+  // zero-allocation send path (plaintext must not alias out).
+  void SealInto(RecordType type, ciobase::ByteSpan plaintext,
+                ciobase::Buffer& out);
   // Opens `body` (ciphertext||tag) for a record with the given header.
   ciobase::Result<ciobase::Buffer> Open(RecordType type,
                                         ciobase::ByteSpan body);
 
  private:
-  ciobase::Buffer NonceForSeq(uint64_t seq) const;
+  void NonceForSeq(uint64_t seq,
+                   uint8_t out[ciocrypto::kAeadNonceSize]) const;
 
   bool valid_ = false;
   ciobase::Buffer key_;
@@ -67,6 +71,9 @@ class SealingKey {
 };
 
 // Incremental record parser over a TCP byte stream: feed bytes, pop records.
+// Backed by a contiguous buffer with a consumed-prefix offset: popping a
+// record is O(record) and feeding compacts lazily, so steady-state streaming
+// reuses one allocation instead of shifting a deque byte by byte.
 class RecordReader {
  public:
   void Feed(ciobase::ByteSpan bytes);
@@ -76,10 +83,11 @@ class RecordReader {
   // error on malformed framing.
   ciobase::Result<Record> Next();
 
-  size_t buffered() const { return buffer_.size(); }
+  size_t buffered() const { return buffer_.size() - head_; }
 
  private:
-  std::deque<uint8_t> buffer_;
+  ciobase::Buffer buffer_;
+  size_t head_ = 0;  // bytes of buffer_ already consumed
 };
 
 }  // namespace ciotls

@@ -248,8 +248,9 @@ ciobase::Status TlsSession::WriteMessage(ciobase::ByteSpan plaintext) {
   size_t offset = 0;
   do {
     size_t n = std::min(kMaxRecordPayload, plaintext.size() - offset);
-    QueueRecord(send_key_.Seal(RecordType::kApplicationData,
-                               plaintext.subspan(offset, n)));
+    // Seal straight into the output queue: no per-record temporaries.
+    send_key_.SealInto(RecordType::kApplicationData,
+                       plaintext.subspan(offset, n), output_);
     ++stats_.records_sealed;
     stats_.bytes_protected += n;
     offset += n;

@@ -113,6 +113,76 @@ ciobase::Status VirtioNetDriver::SendFrame(ciobase::ByteSpan frame) {
   return ciobase::OkStatus();
 }
 
+size_t VirtioNetDriver::SendFrames(std::span<const ciobase::ByteSpan> frames) {
+  if (!negotiated_ || frames.empty()) {
+    return 0;
+  }
+  // Reap once up front for the whole batch instead of once per frame. The
+  // device cannot produce new completions mid-batch (it runs on kicks or
+  // external polls), so one reap sees everything a per-frame loop would.
+  ReapTxCompletions();
+  size_t sent = 0;
+  for (ciobase::ByteSpan frame : frames) {
+    if (frame.size() > config_.mtu + cionet::kEthernetHeaderSize ||
+        frame.size() > pool_.slot_size()) {
+      break;  // same rejection as SendFrame; callers see the short count
+    }
+    auto desc_id = tx_.AllocDesc();
+    if (!desc_id.has_value()) {
+      break;
+    }
+    auto slot = pool_.AllocSlot();
+    if (!slot.ok()) {
+      tx_.FreeDesc(*desc_id);
+      break;
+    }
+    if (!pool_.CopyOut(*slot, frame).ok()) {
+      tx_.FreeDesc(*desc_id);
+      break;
+    }
+    VirtqDesc desc;
+    desc.addr = *slot;
+    desc.len = static_cast<uint32_t>(frame.size());
+    tx_.WriteDesc(*desc_id, desc);
+    tx_.PostAvail(*desc_id);
+    tx_outstanding_[*desc_id] = *slot;
+    ++stats_.frames_sent;
+    ++sent;
+  }
+  // One doorbell covers every frame posted above.
+  if (sent > 0 && !hardening_.polling) {
+    costs_->ChargeNotify();
+    device_->Kick();
+  }
+  return sent;
+}
+
+size_t VirtioNetDriver::ReceiveFrames(cionet::FrameBatch& batch,
+                                      size_t max_frames) {
+  batch.Clear();
+  if (!negotiated_) {
+    return 0;
+  }
+  // One read of the shared used index covers the whole batch; each entry and
+  // each payload still goes through the per-frame validation path verbatim.
+  used_scratch_.clear();
+  size_t popped =
+      rx_.PopUsedMany(hardening_.single_fetch, max_frames, used_scratch_);
+  for (size_t k = 0; k < popped; ++k) {
+    ciobase::Result<ciobase::Buffer> frame =
+        hardening_.validate_completion_id ? ReceiveHardened(used_scratch_[k])
+                                          : ReceiveUnhardened(used_scratch_[k]);
+    if (!frame.ok()) {
+      // A rejected completion is counted and skipped. The entries after it
+      // were already popped from the used ring, so they must be handled in
+      // this batch — a per-frame loop would reach them on its next round.
+      continue;
+    }
+    batch.Push(std::move(*frame));
+  }
+  return batch.size();
+}
+
 void VirtioNetDriver::ReapTxCompletions() {
   // Bound the loop: an index-storming host can claim absurd pending counts.
   for (uint16_t i = 0; i < layout_.tx.queue_size; ++i) {

@@ -1,5 +1,6 @@
 #include "src/virtio/virtqueue.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/base/bits.h"
@@ -88,6 +89,31 @@ std::optional<UsedElem> VirtqueueDriver::PopUsed(bool single_fetch) {
   }
   ++last_used_idx_;
   return elem;
+}
+
+size_t VirtqueueDriver::PopUsedMany(bool single_fetch, size_t max,
+                                    std::vector<UsedElem>& out) {
+  uint16_t pending = UsedPending();  // one ring poll per batch
+  size_t take = std::min<size_t>(
+      {static_cast<size_t>(pending), max,
+       static_cast<size_t>(layout_.queue_size)});
+  for (size_t k = 0; k < take; ++k) {
+    uint64_t off = layout_.UsedRing(static_cast<uint16_t>(
+        last_used_idx_ & (layout_.queue_size - 1)));
+    UsedElem elem;
+    if (single_fetch) {
+      uint8_t raw[8];
+      region_->GuestRead(off, raw);
+      elem.id = ciobase::LoadLe32(raw);
+      elem.len = ciobase::LoadLe32(raw + 4);
+    } else {
+      elem.id = region_->GuestReadLe32(off);
+      elem.len = region_->GuestReadLe32(off + 4);
+    }
+    ++last_used_idx_;
+    out.push_back(elem);
+  }
+  return take;
 }
 
 std::optional<uint16_t> VirtqueueDriver::AllocDesc() {

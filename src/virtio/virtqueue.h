@@ -92,6 +92,13 @@ class VirtqueueDriver {
   // otherwise the fields are re-read (double fetch).
   std::optional<UsedElem> PopUsed(bool single_fetch);
 
+  // Pops up to `max` used entries with ONE poll/read of the shared used
+  // index for the whole batch (the per-entry ring reads are unchanged, so
+  // each entry still gets its own single-fetch snapshot). Appends to `out`
+  // and returns the number popped. Bounded by queue_size per call, so an
+  // index-storming host cannot force an unbounded loop.
+  size_t PopUsedMany(bool single_fetch, size_t max, std::vector<UsedElem>& out);
+
   // Free-descriptor bookkeeping (guest-private).
   std::optional<uint16_t> AllocDesc();
   void FreeDesc(uint16_t i);

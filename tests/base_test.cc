@@ -5,6 +5,7 @@
 
 #include <set>
 
+#include "src/base/arena.h"
 #include "src/base/bits.h"
 #include "src/base/bytes.h"
 #include "src/base/clock.h"
@@ -181,6 +182,41 @@ TEST(CostModel, RevocationCheaperThanCopyForLargeBuffers) {
   double copy_256 = c.copy_ns_per_byte * 256;
   double unshare_256 = c.page_unshare_ns * 1;  // still a whole page
   EXPECT_LT(copy_256, unshare_256);
+}
+
+
+TEST(FrameArena, ReusesReleasedCapacity) {
+  FrameArena arena;
+  Buffer first = arena.Acquire(2048);
+  EXPECT_EQ(first.size(), 2048u);
+  const uint8_t* data = first.data();
+  arena.Release(std::move(first));
+  EXPECT_EQ(arena.stats().pooled, 1u);
+
+  Buffer second = arena.Acquire(1000);
+  EXPECT_EQ(second.size(), 1000u);
+  // Served from the pool: same backing storage, no fresh allocation.
+  EXPECT_EQ(second.data(), data);
+  EXPECT_EQ(arena.stats().reuses, 1u);
+  EXPECT_EQ(arena.stats().acquires, 2u);
+  EXPECT_EQ(arena.stats().pooled, 0u);
+}
+
+TEST(FrameArena, DropsBeyondPoolCap) {
+  FrameArena arena(2);
+  arena.Release(Buffer(64));
+  arena.Release(Buffer(64));
+  arena.Release(Buffer(64));  // beyond the cap: dropped, not pooled
+  EXPECT_EQ(arena.stats().pooled, 2u);
+}
+
+TEST(FrameArena, AcquireWithEmptyPoolAllocates) {
+  FrameArena arena;
+  Buffer a = arena.Acquire(16);
+  Buffer b = arena.Acquire(16);
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(arena.stats().reuses, 0u);
+  EXPECT_EQ(arena.stats().acquires, 2u);
 }
 
 }  // namespace

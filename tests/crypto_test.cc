@@ -177,6 +177,92 @@ TEST(ChaCha20, Rfc8439KeystreamVector) {
             "6e2e359a2568f98041ba0728dd0d6981");
 }
 
+TEST(ChaCha20, Rfc8439FullCiphertext) {
+  // RFC 8439 §2.4.2, full 114-byte ciphertext — exercises one 4-block
+  // stride plus a partial tail block in the multi-block fast path.
+  Buffer key = HexDecode(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  Buffer nonce = HexDecode("000000000000004a00000000");
+  std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  Buffer in = BufferFromString(plaintext);
+  Buffer out(in.size());
+  ChaCha20Xor(key.data(), nonce.data(), 1, in, out.data());
+  EXPECT_EQ(HexEncode(out),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, Rfc8439BlockFunctionVectors) {
+  // RFC 8439 appendix A.1 test vectors 1 and 2: zero key, zero nonce.
+  uint8_t key[kChaCha20KeySize] = {};
+  uint8_t nonce[kChaCha20NonceSize] = {};
+  uint8_t block[kChaCha20BlockSize];
+  ChaCha20Block(key, 0, nonce, block);
+  EXPECT_EQ(HexEncode(ByteSpan(block, sizeof(block))),
+            "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7"
+            "da41597c5157488d7724e03fb8d84a376a43b8f41518a11cc387b669b2ee6586");
+  ChaCha20Block(key, 1, nonce, block);
+  EXPECT_EQ(HexEncode(ByteSpan(block, sizeof(block))),
+            "9f07e7be5551387a98ba977c732d080dcb0f29a048e3656912c6533e32ee7aed"
+            "29b721769ce64e43d57133b074d839d531ed1f28510afb45ace10a1f4b794d6f");
+}
+
+// Per-block reference: ChaCha20Xor must stay bit-identical to this loop.
+void ReferenceXor(const uint8_t key[kChaCha20KeySize],
+                  const uint8_t nonce[kChaCha20NonceSize], uint32_t counter,
+                  ByteSpan in, uint8_t* out) {
+  uint8_t block[kChaCha20BlockSize];
+  size_t offset = 0;
+  while (offset < in.size()) {
+    ChaCha20Block(key, counter++, nonce, block);  // counter wraps mod 2^32
+    size_t n = std::min(in.size() - offset, kChaCha20BlockSize);
+    for (size_t i = 0; i < n; ++i) {
+      out[offset + i] = in[offset + i] ^ block[i];
+    }
+    offset += n;
+  }
+}
+
+TEST(ChaCha20, MultiBlockMatchesPerBlockReference) {
+  ciobase::Rng rng(7);
+  Buffer key = rng.Bytes(kChaCha20KeySize);
+  Buffer nonce = rng.Bytes(kChaCha20NonceSize);
+  // 0xfffffffe/0xffffffff make the 32-bit counter wrap inside a 4-block
+  // stride — each lane must wrap independently, like the reference loop.
+  const uint32_t kCounters[] = {0, 1, 7, 0x7fffffff, 0xfffffffe, 0xffffffff};
+  const size_t kSizes[] = {0,   1,   63,  64,   65,   255,  256,
+                           257, 511, 960, 1024, 4097, 16384};
+  for (uint32_t counter : kCounters) {
+    for (size_t size : kSizes) {
+      Buffer in = rng.Bytes(size);
+      Buffer expected(size);
+      Buffer actual(size);
+      ReferenceXor(key.data(), nonce.data(), counter, in, expected.data());
+      ChaCha20Xor(key.data(), nonce.data(), counter, in, actual.data());
+      EXPECT_EQ(expected, actual) << "counter=" << counter
+                                  << " size=" << size;
+    }
+  }
+}
+
+TEST(ChaCha20, InPlaceMatchesOutOfPlace) {
+  ciobase::Rng rng(8);
+  Buffer key = rng.Bytes(kChaCha20KeySize);
+  Buffer nonce = rng.Bytes(kChaCha20NonceSize);
+  for (size_t size : {1, 64, 257, 4096, 16385}) {
+    Buffer in = rng.Bytes(size);
+    Buffer out(size);
+    ChaCha20Xor(key.data(), nonce.data(), 42, in, out.data());
+    Buffer in_place = in;
+    ChaCha20Xor(key.data(), nonce.data(), 42, in_place, in_place.data());
+    EXPECT_EQ(out, in_place) << "size=" << size;
+  }
+}
+
 TEST(Poly1305, Rfc8439Vector) {
   // RFC 8439 §2.5.2.
   Buffer key = HexDecode(
@@ -203,6 +289,46 @@ TEST(Aead, Rfc8439SealVector) {
   auto opened = AeadOpen(key, nonce, aad, sealed);
   ASSERT_TRUE(opened.ok());
   EXPECT_EQ(ciobase::StringFromBytes(*opened), plaintext);
+}
+
+TEST(Aead, SealIntoMatchesSealAndReusesBuffer) {
+  ciobase::Rng rng(9);
+  Buffer key = rng.Bytes(kAeadKeySize);
+  Buffer nonce = rng.Bytes(kAeadNonceSize);
+  Buffer aad = rng.Bytes(13);
+  Buffer out = BufferFromString("prefix-");
+  for (size_t size : {0, 1, 64, 1000, 16384}) {
+    Buffer plaintext = rng.Bytes(size);
+    Buffer expected = AeadSeal(key, nonce, aad, plaintext);
+    out.resize(7);  // keep the prefix, reuse capacity across iterations
+    size_t appended = AeadSealInto(key, nonce, aad, plaintext, out);
+    ASSERT_EQ(appended, expected.size());
+    ASSERT_EQ(out.size(), 7 + expected.size());
+    EXPECT_EQ(Buffer(out.begin() + 7, out.end()), expected) << size;
+  }
+}
+
+TEST(Aead, OpenIntoAppendsAndRejectsUntouched) {
+  ciobase::Rng rng(10);
+  Buffer key = rng.Bytes(kAeadKeySize);
+  Buffer nonce = rng.Bytes(kAeadNonceSize);
+  Buffer plaintext = rng.Bytes(500);
+  Buffer sealed = AeadSeal(key, nonce, {}, plaintext);
+
+  Buffer out = BufferFromString("keep-");
+  auto got = AeadOpenInto(key, nonce, {}, sealed, out);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, plaintext.size());
+  ASSERT_EQ(out.size(), 5 + plaintext.size());
+  EXPECT_EQ(Buffer(out.begin() + 5, out.end()), plaintext);
+
+  Buffer tampered = sealed;
+  tampered[3] ^= 1;
+  Buffer untouched = BufferFromString("keep-");
+  auto bad = AeadOpenInto(key, nonce, {}, tampered, untouched);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), ciobase::StatusCode::kTampered);
+  EXPECT_EQ(ciobase::StringFromBytes(untouched), "keep-");
 }
 
 TEST(Aead, RejectsTamperedCiphertext) {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the benchmarks and records the throughput trajectory for this
+# revision: bench_throughput's table goes to stdout and its JSON form is
+# written to BENCH_throughput.json at the repo root, so successive revisions
+# can be diffed cell by cell.
+#
+# Usage: tools/run_bench.sh [build-dir]   (default: build)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" --target bench_throughput bench_crypto -j >/dev/null
+
+"$build_dir/bench/bench_throughput" --json "$repo_root/BENCH_throughput.json"
+echo
+"$build_dir/bench/bench_crypto"
