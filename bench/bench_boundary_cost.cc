@@ -28,8 +28,8 @@ int main() {
               "crossings");
   for (L5BoundaryKind kind :
        {L5BoundaryKind::kCompartment, L5BoundaryKind::kDualTee}) {
-    NodeOptions client = ciobench::MakeNode(StackProfile::kDualBoundary, 1);
-    NodeOptions server = ciobench::MakeNode(StackProfile::kDualBoundary, 2);
+    StackConfig client = ciobench::MakeNode(StackProfile::kDualBoundary, 1);
+    StackConfig server = ciobench::MakeNode(StackProfile::kDualBoundary, 2);
     client.l5_boundary = kind;
     server.l5_boundary = kind;
     LinkedPair pair(client, server);

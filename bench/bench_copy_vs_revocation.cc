@@ -89,6 +89,7 @@ void BatchedL5Table() {
       bool accepted = false;
       ciobase::Rng rng(1);
       ciobase::Buffer chunk = rng.Bytes(4096);
+      ciobase::Buffer receive_buffer;
       uint64_t in_receive_ns = 0;
       int receives = 0;
       for (int round = 0; round < 200000 && receives < 50; ++round) {
@@ -107,9 +108,9 @@ void BatchedL5Table() {
         // Let data pile up; batch-receive every 32 rounds.
         if (round % 32 == 0) {
           uint64_t before = clock.now_ns();
-          auto received = l5.Receive(server, batch);
+          auto received = l5.ReceiveInto(server, batch, receive_buffer);
           uint64_t after = clock.now_ns();
-          if (received.ok() && received->size() >= batch / 2) {
+          if (received.ok() && *received >= batch / 2) {
             in_receive_ns += after - before;
             ++receives;
           }
@@ -135,8 +136,8 @@ void MeasuredL5Table() {
     double gbps[2] = {0, 0};
     int i = 0;
     for (L5ReceiveMode mode : {L5ReceiveMode::kCopy, L5ReceiveMode::kRevoke}) {
-      NodeOptions client = ciobench::MakeNode(StackProfile::kDualBoundary, 1);
-      NodeOptions server = ciobench::MakeNode(StackProfile::kDualBoundary, 2);
+      StackConfig client = ciobench::MakeNode(StackProfile::kDualBoundary, 1);
+      StackConfig server = ciobench::MakeNode(StackProfile::kDualBoundary, 2);
       client.l5_receive = mode;
       server.l5_receive = mode;
       LinkedPair pair(client, server);
@@ -161,8 +162,8 @@ void MeasuredL2Table() {
     int i = 0;
     for (ReceiveOwnership ownership :
          {ReceiveOwnership::kCopy, ReceiveOwnership::kRevoke}) {
-      NodeOptions client = ciobench::MakeNode(StackProfile::kDualBoundary, 1);
-      NodeOptions server = ciobench::MakeNode(StackProfile::kDualBoundary, 2);
+      StackConfig client = ciobench::MakeNode(StackProfile::kDualBoundary, 1);
+      StackConfig server = ciobench::MakeNode(StackProfile::kDualBoundary, 2);
       client.l2_positioning = DataPositioning::kSharedPool;
       server.l2_positioning = DataPositioning::kSharedPool;
       client.l2_rx_ownership = ownership;

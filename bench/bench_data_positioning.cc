@@ -56,16 +56,17 @@ void RunEcho(benchmark::State& state, cio::DataPositioning positioning,
 
   uint64_t frames = 0;
   uint64_t sim_start = world.clock.now_ns();
+  cionet::FrameBatch rx_batch;
   for (auto _ : state) {
     // Peer injects toward the guest; host device fills the RX ring.
-    benchmark::DoNotOptimize(world.peer->SendFrame(frame));
+    benchmark::DoNotOptimize(cionet::SendOne(*world.peer, frame));
     world.device->Poll();
-    auto received = world.transport->ReceiveFrame();
+    auto received = world.transport->ReceiveFrames(rx_batch, 1);
     benchmark::DoNotOptimize(received);
     // Guest sends it back out.
-    benchmark::DoNotOptimize(world.transport->SendFrame(frame));
+    benchmark::DoNotOptimize(cionet::SendOne(*world.transport, frame));
     world.device->Poll();
-    benchmark::DoNotOptimize(world.peer->ReceiveFrame());
+    benchmark::DoNotOptimize(world.peer->ReceiveFrames(rx_batch, 1));
     ++frames;
   }
   state.SetBytesProcessed(static_cast<int64_t>(frames * frame.size() * 2));

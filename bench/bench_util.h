@@ -11,12 +11,10 @@
 
 namespace ciobench {
 
-inline cio::NodeOptions MakeNode(cio::StackProfile profile, uint32_t id) {
-  cio::NodeOptions options;
-  options.profile = profile;
-  options.node_id = id;
-  options.seed = 500 + id;
-  return options;
+inline cio::StackConfig MakeNode(cio::StackProfile profile, uint32_t id) {
+  cio::StackConfig config = cio::StackConfig::DefaultsFor(profile, id);
+  config.seed = 500 + id;
+  return config;
 }
 
 struct TransferResult {

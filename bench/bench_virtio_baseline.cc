@@ -55,19 +55,20 @@ FrameEchoResult RunVirtio(ciovirtio::HardeningOptions hardening, int count,
   ciobase::Append(frame, rng.Bytes(frame_size - frame.size()));
 
   uint64_t start_ns = clock.now_ns();
+  cionet::FrameBatch rx_batch;
   costs.ResetCounters();
   for (int i = 0; i < count; ++i) {
     // Peer -> guest.
     ciobase::Buffer to_guest = frame;
-    (void)peer.SendFrame(to_guest);
+    (void)cionet::SendOne(peer, to_guest);
     clock.Advance(25'000);
     device.Poll();
-    (void)driver.ReceiveFrame();
+    (void)driver.ReceiveFrames(rx_batch, 1);
     // Guest -> peer.
-    (void)driver.SendFrame(frame);
+    (void)cionet::SendOne(driver, frame);
     clock.Advance(25'000);
     device.Poll();
-    (void)peer.ReceiveFrame();
+    (void)peer.ReceiveFrames(rx_batch, 1);
   }
   FrameEchoResult result;
   result.modeled_ns = clock.now_ns() - start_ns;
@@ -100,17 +101,18 @@ FrameEchoResult RunHardenedL2(int count, size_t frame_size) {
   ciobase::Append(frame, rng.Bytes(frame_size - frame.size()));
 
   uint64_t start_ns = clock.now_ns();
+  cionet::FrameBatch rx_batch;
   costs.ResetCounters();
   for (int i = 0; i < count; ++i) {
     ciobase::Buffer to_guest = frame;
-    (void)peer.SendFrame(to_guest);
+    (void)cionet::SendOne(peer, to_guest);
     clock.Advance(25'000);
     device.Poll();
-    (void)transport.ReceiveFrame();
-    (void)transport.SendFrame(frame);
+    (void)transport.ReceiveFrames(rx_batch, 1);
+    (void)cionet::SendOne(transport, frame);
     clock.Advance(25'000);
     device.Poll();
-    (void)peer.ReceiveFrame();
+    (void)peer.ReceiveFrames(rx_batch, 1);
   }
   FrameEchoResult result;
   result.modeled_ns = clock.now_ns() - start_ns;

@@ -19,7 +19,7 @@
 namespace {
 
 using cio::LinkedPair;
-using cio::NodeOptions;
+using cio::StackConfig;
 using cio::StackProfile;
 
 ciobase::Buffer PutRequest(const std::string& key, const std::string& value) {
@@ -75,11 +75,10 @@ ciobase::Buffer Serve(std::map<std::string, std::string>& store,
 }  // namespace
 
 int main() {
-  NodeOptions client_options;
-  client_options.profile = StackProfile::kDualBoundary;
-  client_options.node_id = 1;
+  StackConfig client_options =
+      StackConfig::DefaultsFor(StackProfile::kDualBoundary, 1);
   client_options.seed = 11;
-  NodeOptions server_options = client_options;
+  StackConfig server_options = client_options;
   server_options.node_id = 2;
 
   LinkedPair pair(client_options, server_options);

@@ -104,7 +104,7 @@ int main() {
                                         : "payload benign traffic");
     ciobase::Buffer padding = rng.Bytes(rng.NextBounded(200));
     ciobase::Append(frame, padding);
-    if (!sender.SendFrame(frame).ok()) {
+    if (!cionet::SendOne(sender, frame).ok()) {
       continue;
     }
     ++sent;
@@ -113,7 +113,7 @@ int main() {
 
     // Middlebox: drain, filter, re-emit toward the receiver.
     for (;;) {
-      auto received = mb_in.transport->ReceiveFrame();
+      auto received = cionet::ReceiveOne(*mb_in.transport);
       if (!received.ok()) {
         break;
       }
@@ -128,7 +128,7 @@ int main() {
       out_eth.Serialize(out);
       ciobase::Append(out, ciobase::ByteSpan(*received).subspan(
                                cionet::kEthernetHeaderSize));
-      if (out.size() <= 1514 && mb_out.transport->SendFrame(out).ok()) {
+      if (out.size() <= 1514 && cionet::SendOne(*mb_out.transport, out).ok()) {
         ++forwarded;
       }
       mb_out.device->Poll();
@@ -138,7 +138,7 @@ int main() {
   // Drain receiver.
   int delivered = 0;
   for (;;) {
-    auto frame = receiver.ReceiveFrame();
+    auto frame = cionet::ReceiveOne(receiver);
     if (!frame.ok()) {
       break;
     }

@@ -16,15 +16,13 @@ namespace {
 
 using cio::ConfidentialNode;
 using cio::LinkedPair;
-using cio::NodeOptions;
+using cio::StackConfig;
 using cio::StackProfile;
 
-NodeOptions Node(StackProfile profile, uint32_t id) {
-  NodeOptions options;
-  options.profile = profile;
-  options.node_id = id;
-  options.seed = 100 + id;
-  return options;
+StackConfig Node(StackProfile profile, uint32_t id) {
+  StackConfig config = StackConfig::DefaultsFor(profile, id);
+  config.seed = 100 + id;
+  return config;
 }
 
 void RunExchange(StackProfile profile) {

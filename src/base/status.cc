@@ -20,6 +20,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ALREADY_EXISTS";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kTimedOut:
+      return "TIMED_OUT";
+    case StatusCode::kLinkReset:
+      return "LINK_RESET";
     case StatusCode::kTampered:
       return "TAMPERED";
     case StatusCode::kHostViolation:
@@ -66,6 +70,12 @@ Status AlreadyExists(std::string message) {
 }
 Status Unavailable(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
+}
+Status TimedOut(std::string message) {
+  return Status(StatusCode::kTimedOut, std::move(message));
+}
+Status LinkReset(std::string message) {
+  return Status(StatusCode::kLinkReset, std::move(message));
 }
 Status Tampered(std::string message) {
   return Status(StatusCode::kTampered, std::move(message));

@@ -28,6 +28,9 @@ enum class StatusCode {
   kNotFound,
   kAlreadyExists,
   kUnavailable,        // transient: nothing to poll, retry later
+  kTimedOut,           // watchdog expired: the host stopped making progress
+  kLinkReset,          // the link was reset and reattached; in-flight frames
+                       // on the old ring are gone and must be re-sent
   kTampered,           // cryptographic or structural integrity check failed
   kHostViolation,      // the untrusted host broke the interface contract
   kPermissionDenied,   // trust-domain policy forbids the access
@@ -68,6 +71,8 @@ Status FailedPrecondition(std::string message);
 Status NotFound(std::string message);
 Status AlreadyExists(std::string message);
 Status Unavailable(std::string message);
+Status TimedOut(std::string message);
+Status LinkReset(std::string message);
 Status Tampered(std::string message);
 Status HostViolation(std::string message);
 Status PermissionDenied(std::string message);

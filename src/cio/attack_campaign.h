@@ -18,6 +18,17 @@
 // every cell into kBlocked or, at worst, kDegradedService — attacks on the
 // I/O path can deny service (out of scope) but cannot break memory safety,
 // integrity, or confidentiality of the application.
+//
+// The RECOVERY campaign is the second dimension: transient host faults
+// (ciohost::FaultStrategy) opened for a bounded window mid-transfer. Here
+// the question is not "does the guest stay uncorrupted" but "does the guest
+// come back": each cell records whether the link re-established, the time
+// from fault injection to full catch-up, and how many in-flight messages
+// were lost or duplicated. The dual-boundary profile (watchdog + ring
+// reset + TLS re-establishment + resend window, all enabled by
+// StackConfig::DefaultsFor) is expected to recover from every transient
+// fault with zero losses; the baselines ship without recovery and wedge
+// wherever TCP retransmission alone cannot save them.
 
 #ifndef SRC_CIO_ATTACK_CAMPAIGN_H_
 #define SRC_CIO_ATTACK_CAMPAIGN_H_
@@ -75,6 +86,73 @@ std::vector<CampaignCell> RunCampaign(const CampaignOptions& options);
 
 // Formats the matrix as the table bench_attack_resilience prints.
 std::string CampaignTable(const std::vector<CampaignCell>& cells);
+
+// --- Recovery dimension ------------------------------------------------------
+
+struct RecoveryCell {
+  StackProfile profile;
+  ciohost::FaultStrategy fault;
+  // Did the node come back: link re-ready, nobody terminally failed, and
+  // every accepted message accounted for (delivered or counted lost) within
+  // the round budget after the fault window closed.
+  bool recovered = false;
+  uint64_t time_to_recovery_ns = 0;  // fault injection -> full catch-up
+  // Message accounting, both directions summed. "Lost" is the engines'
+  // receive-side sequence-gap count (messages that fell out of the peer's
+  // resend window across a reconnect); exactly-once delivery means
+  // delivered + lost == attempted and duplicates were dropped, not re-read.
+  size_t messages_attempted = 0;
+  size_t messages_delivered = 0;
+  uint64_t messages_lost = 0;
+  uint64_t messages_duplicate_dropped = 0;
+  // Recovery machinery engaged (victim side).
+  uint64_t ring_resets = 0;
+  uint64_t watchdog_fires = 0;
+  uint64_t reconnects = 0;
+  uint64_t tls_restarts = 0;
+  uint64_t fault_events = 0;  // host-side fault hits (0 = fault never bit)
+  // Safety must hold even mid-fault.
+  uint64_t oob_accesses = 0;
+  uint64_t payload_observations = 0;
+  size_t messages_corrupted = 0;
+  std::string note;
+};
+
+struct RecoveryOptions {
+  size_t messages_before = 6;  // steady traffic pre-fault
+  size_t messages_during = 6;  // offered while the fault window is open
+  size_t messages_after = 6;   // offered after the host resumes honesty
+  size_t message_size = 256;
+  uint64_t seed = 1;
+  // The hostile window outlives the campaign's TCP retry budget (~7.5 ms
+  // under TuneTcpForCampaign), so faults that starve the link kill the TCP
+  // connection: profiles without recovery wedge, the dual-boundary profile
+  // reconnects, re-runs TLS, and replays from its resend window.
+  uint64_t fault_duration_ns = 12'000'000;  // 12 ms
+  // Pump budget (rounds of LinkedPair::Pump, 10 µs each) for each send
+  // retry and for the final catch-up phase.
+  int send_retry_rounds = 2000;
+  int catchup_rounds = 30000;
+  // Only profiles whose datapath traverses an adversary-mediated host
+  // device are faultable: the syscall profile calls straight into the host
+  // and the attested DDA device sits inside the TCB, so transient host
+  // faults have nowhere to bite.
+  std::vector<StackProfile> profiles = {
+      StackProfile::kPassthroughL2, StackProfile::kHardenedVirtio,
+      StackProfile::kDualBoundary, StackProfile::kTunneledL2};
+  std::vector<ciohost::FaultStrategy> faults = ciohost::AllFaultStrategies();
+};
+
+// Runs one (profile, transient-fault) recovery cell.
+RecoveryCell RunRecoveryCell(StackProfile profile,
+                             ciohost::FaultStrategy fault,
+                             const RecoveryOptions& options);
+
+// Runs the full recovery matrix.
+std::vector<RecoveryCell> RunRecoveryCampaign(const RecoveryOptions& options);
+
+// Formats the recovery matrix as the table bench_attack_resilience prints.
+std::string RecoveryTable(const std::vector<RecoveryCell>& cells);
 
 }  // namespace cio
 

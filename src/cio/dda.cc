@@ -220,73 +220,101 @@ ciobase::Status DdaTransport::Attest(
   return ciobase::OkStatus();
 }
 
-ciobase::Status DdaTransport::SendFrame(ciobase::ByteSpan frame) {
+ciobase::Result<size_t> DdaTransport::SendFrames(
+    std::span<const ciobase::ByteSpan> frames) {
   if (!keys_.has_value()) {
     return ciobase::FailedPrecondition("device not attested");
   }
-  if (frame.size() > config_.mtu + cionet::kEthernetHeaderSize) {
-    return ciobase::InvalidArgument("frame exceeds MTU");
+  if (frames.empty()) {
+    return static_cast<size_t>(0);
   }
+  // Single fetch of the device's consumed pointer for the whole batch.
   uint64_t consumed = region_->GuestReadLe64(layout_.TxConsumed());
-  if (tx_produced_ - std::min(consumed, tx_produced_) >= layout_.slots) {
-    ++stats_.ring_full;
-    return ciobase::ResourceExhausted("tx ring full");
+  uint64_t in_flight = tx_produced_ - std::min(consumed, tx_produced_);
+  size_t sent = 0;
+  ciobase::Status reject = ciobase::OkStatus();
+  for (ciobase::ByteSpan frame : frames) {
+    if (frame.size() > config_.mtu + cionet::kEthernetHeaderSize) {
+      reject = ciobase::InvalidArgument("frame exceeds MTU");
+      break;
+    }
+    if (in_flight >= layout_.slots) {
+      ++stats_.ring_full;
+      reject = ciobase::ResourceExhausted("tx ring full");
+      break;
+    }
+    costs_->ChargeAead(frame.size());
+    ciobase::Buffer sealed = keys_->guest_to_device.Seal(
+        ciotls::RecordType::kApplicationData, frame);
+    if (sealed.size() > config_.slot_size - 8) {
+      reject = ciobase::InvalidArgument("sealed frame exceeds slot");
+      break;
+    }
+    uint64_t slot = layout_.TxSlot(tx_produced_);
+    uint8_t header[8] = {0};
+    ciobase::StoreLe32(header, static_cast<uint32_t>(sealed.size()));
+    region_->GuestWrite(slot, header);
+    costs_->ChargeCopy(sealed.size());
+    region_->GuestWrite(slot + 8, sealed);
+    ++tx_produced_;
+    ++in_flight;
+    ++stats_.frames_sent;
+    ++sent;
   }
-  costs_->ChargeAead(frame.size());
-  ciobase::Buffer sealed =
-      keys_->guest_to_device.Seal(ciotls::RecordType::kApplicationData,
-                                  frame);
-  if (sealed.size() > config_.slot_size - 8) {
-    return ciobase::InvalidArgument("sealed frame exceeds slot");
+  if (sent > 0) {
+    // One producer publish for the whole accepted run.
+    region_->GuestWriteLe64(layout_.TxProduced(), tx_produced_);
   }
-  uint64_t slot = layout_.TxSlot(tx_produced_);
-  uint8_t header[8] = {0};
-  ciobase::StoreLe32(header, static_cast<uint32_t>(sealed.size()));
-  region_->GuestWrite(slot, header);
-  costs_->ChargeCopy(sealed.size());
-  region_->GuestWrite(slot + 8, sealed);
-  ++tx_produced_;
-  region_->GuestWriteLe64(layout_.TxProduced(), tx_produced_);
-  ++stats_.frames_sent;
-  return ciobase::OkStatus();
+  if (sent == 0 && !reject.ok()) {
+    return reject;
+  }
+  return sent;
 }
 
-ciobase::Result<ciobase::Buffer> DdaTransport::ReceiveFrame() {
+ciobase::Result<size_t> DdaTransport::ReceiveFrames(cionet::FrameBatch& batch,
+                                                    size_t max_frames) {
+  batch.Clear();
   if (!keys_.has_value()) {
     return ciobase::FailedPrecondition("device not attested");
   }
   costs_->ChargeRingPoll();
+  // Single fetch of the device's produced pointer for the whole batch.
   uint64_t produced = region_->GuestReadLe64(layout_.RxProduced());
   uint64_t pending = produced - rx_consumed_;
   if (pending == 0 || pending > (1ULL << 63)) {
-    return ciobase::Unavailable("no frame");
+    return static_cast<size_t>(0);
   }
-  uint64_t slot = layout_.RxSlot(rx_consumed_);
-  // Single fetch of the slot; the length is clamped by the framing.
-  uint32_t len = region_->GuestReadLe32(slot);
-  len = std::min<uint32_t>(len, static_cast<uint32_t>(
-                                    config_.slot_size - 8));
-  ciobase::Buffer sealed(len);
-  costs_->ChargeCopy(len);
-  region_->GuestRead(slot + 8, sealed);
-  ++rx_consumed_;
-  region_->GuestWriteLe64(layout_.RxConsumed(), rx_consumed_);
+  uint64_t take = std::min<uint64_t>(pending, max_frames);
+  for (uint64_t i = 0; i < take; ++i) {
+    uint64_t slot = layout_.RxSlot(rx_consumed_);
+    // Single fetch of the slot; the length is clamped by the framing.
+    uint32_t len = region_->GuestReadLe32(slot);
+    len = std::min<uint32_t>(len,
+                             static_cast<uint32_t>(config_.slot_size - 8));
+    ciobase::Buffer sealed(len);
+    costs_->ChargeCopy(len);
+    region_->GuestRead(slot + 8, sealed);
+    ++rx_consumed_;
 
-  if (sealed.size() <= ciotls::kRecordHeaderSize) {
-    ++stats_.auth_failures;
-    return ciobase::Unavailable("runt TLP dropped");
+    if (sealed.size() <= ciotls::kRecordHeaderSize) {
+      ++stats_.auth_failures;  // runt TLP dropped
+      continue;
+    }
+    costs_->ChargeAead(sealed.size());
+    auto frame = keys_->device_to_guest.Open(
+        ciotls::RecordType::kApplicationData,
+        ciobase::ByteSpan(sealed).subspan(ciotls::kRecordHeaderSize));
+    if (!frame.ok()) {
+      // IDE does the driver's defensive work: tampering becomes a drop.
+      ++stats_.auth_failures;
+      continue;
+    }
+    ++stats_.frames_received;
+    batch.Push(*std::move(frame));
   }
-  costs_->ChargeAead(sealed.size());
-  auto frame = keys_->device_to_guest.Open(
-      ciotls::RecordType::kApplicationData,
-      ciobase::ByteSpan(sealed).subspan(ciotls::kRecordHeaderSize));
-  if (!frame.ok()) {
-    // IDE does the driver's defensive work: tampering becomes a drop.
-    ++stats_.auth_failures;
-    return ciobase::Unavailable("IDE authentication failed; TLP dropped");
-  }
-  ++stats_.frames_received;
-  return frame;
+  // One consumer publish for the whole drained run.
+  region_->GuestWriteLe64(layout_.RxConsumed(), rx_consumed_);
+  return batch.size();
 }
 
 std::vector<ciohost::SurfaceField> DdaTransport::AttackSurface() const {

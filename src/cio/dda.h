@@ -145,8 +145,14 @@ class DdaTransport final : public cionet::FramePort {
   // derive the IDE keys. Must succeed before frames flow.
   ciobase::Status Attest(ciobase::ByteSpan provisioning_secret);
 
-  ciobase::Status SendFrame(ciobase::ByteSpan frame) override;
-  ciobase::Result<ciobase::Buffer> ReceiveFrame() override;
+  // Batched IDE datapath: one TxConsumed read and one TxProduced publish
+  // per send batch, one RxProduced read and one RxConsumed publish per
+  // receive batch. Tampered TLPs fail IDE authentication and are silently
+  // skipped inside the batch (counted in stats().auth_failures).
+  ciobase::Result<size_t> SendFrames(
+      std::span<const ciobase::ByteSpan> frames) override;
+  ciobase::Result<size_t> ReceiveFrames(cionet::FrameBatch& batch,
+                                        size_t max_frames) override;
   cionet::MacAddress mac() const override { return config_.mac; }
   uint16_t mtu() const override { return config_.mtu; }
 

@@ -1,52 +1,11 @@
 #include "src/cio/engine.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/base/log.h"
 
 namespace cio {
-
-std::string_view StackProfileName(StackProfile profile) {
-  switch (profile) {
-    case StackProfile::kSyscallL5:
-      return "syscall-l5";
-    case StackProfile::kPassthroughL2:
-      return "passthrough-l2";
-    case StackProfile::kHardenedVirtio:
-      return "hardened-virtio";
-    case StackProfile::kDualBoundary:
-      return "dual-boundary";
-    case StackProfile::kDirectDevice:
-      return "direct-device";
-    case StackProfile::kTunneledL2:
-      return "tunneled-l2";
-  }
-  return "?";
-}
-
-std::vector<StackProfile> AllStackProfiles() {
-  return {StackProfile::kSyscallL5, StackProfile::kPassthroughL2,
-          StackProfile::kHardenedVirtio, StackProfile::kDualBoundary,
-          StackProfile::kDirectDevice, StackProfile::kTunneledL2};
-}
-
-ciotee::TrustModel ProfileTrustModel(StackProfile profile) {
-  switch (profile) {
-    case StackProfile::kSyscallL5:
-      // No in-guest stack; app relies on (but does not trust) the host's.
-      return ciotee::TrustModel::Binary();
-    case StackProfile::kPassthroughL2:
-    case StackProfile::kHardenedVirtio:
-      return ciotee::TrustModel::Binary();
-    case StackProfile::kDualBoundary:
-      return ciotee::TrustModel::Ternary();
-    case StackProfile::kDirectDevice:
-      return ciotee::TrustModel::BinaryWithAttestedDevice();
-    case StackProfile::kTunneledL2:
-      return ciotee::TrustModel::Binary();
-  }
-  return ciotee::TrustModel::Binary();
-}
 
 namespace {
 
@@ -62,22 +21,31 @@ class ObservedPort final : public cionet::FramePort {
         observability_(observability),
         clock_(clock) {}
 
-  ciobase::Status SendFrame(ciobase::ByteSpan frame) override {
-    observability_->Record(ciohost::ObsCategory::kPacketLength, frame.size(),
-                           "host-stack tx");
-    observability_->Record(ciohost::ObsCategory::kPacketTiming,
-                           clock_->now_ns(), "host-stack tx");
-    return inner_->SendFrame(frame);
-  }
-  ciobase::Result<ciobase::Buffer> ReceiveFrame() override {
-    auto frame = inner_->ReceiveFrame();
-    if (frame.ok()) {
-      observability_->Record(ciohost::ObsCategory::kPacketLength,
-                             frame->size(), "host-stack rx");
-      observability_->Record(ciohost::ObsCategory::kPacketTiming,
-                             clock_->now_ns(), "host-stack rx");
+  ciobase::Result<size_t> SendFrames(
+      std::span<const ciobase::ByteSpan> frames) override {
+    auto sent = inner_->SendFrames(frames);
+    if (sent.ok()) {
+      for (size_t i = 0; i < *sent; ++i) {
+        observability_->Record(ciohost::ObsCategory::kPacketLength,
+                               frames[i].size(), "host-stack tx");
+        observability_->Record(ciohost::ObsCategory::kPacketTiming,
+                               clock_->now_ns(), "host-stack tx");
+      }
     }
-    return frame;
+    return sent;
+  }
+  ciobase::Result<size_t> ReceiveFrames(cionet::FrameBatch& batch,
+                                        size_t max_frames) override {
+    auto got = inner_->ReceiveFrames(batch, max_frames);
+    if (got.ok()) {
+      for (size_t i = 0; i < *got; ++i) {
+        observability_->Record(ciohost::ObsCategory::kPacketLength,
+                               batch[i].size(), "host-stack rx");
+        observability_->Record(ciohost::ObsCategory::kPacketTiming,
+                               clock_->now_ns(), "host-stack rx");
+      }
+    }
+    return got;
   }
   cionet::MacAddress mac() const override { return inner_->mac(); }
   uint16_t mtu() const override { return inner_->mtu(); }
@@ -100,14 +68,20 @@ struct ConfidentialNode::SocketOps {
   virtual ciobase::Result<cionet::SocketId> Accept(
       cionet::SocketId listener) = 0;
   virtual ciobase::Result<cionet::TcpState> State(cionet::SocketId id) = 0;
+  // Abortive close (RST now); the recovery path uses it to kill a dead
+  // connection before re-establishing.
+  virtual ciobase::Status Abort(cionet::SocketId id) = 0;
   // Returns bytes accepted (possibly 0 under backpressure).
   virtual ciobase::Result<size_t> SendBytes(cionet::SocketId id,
                                             ciobase::ByteSpan data) = 0;
   // Fills `out` with the next chunk (capacity reused across calls); returns
-  // the byte count, 0 when nothing is pending.
+  // the byte count — 0 when nothing is pending — kFailedPrecondition at
+  // orderly EOF, kLinkReset when the connection died underneath us.
   virtual ciobase::Result<size_t> ReceiveBytes(cionet::SocketId id, size_t max,
                                                ciobase::Buffer& out) = 0;
-  virtual void Poll() = 0;
+  // Drives the stack; surfaces the link status (kTimedOut = transport
+  // watchdog exhausted its reset budget, kLinkReset = ring reset this round).
+  virtual ciobase::Status Poll() = 0;
 };
 
 // Syscall-level I/O (Graphene/SCONE style): the socket lives in the HOST
@@ -145,6 +119,11 @@ struct ConfidentialNode::SyscallOps final : ConfidentialNode::SocketOps {
   ciobase::Result<cionet::TcpState> State(cionet::SocketId id) override {
     return node->host_stack_->GetTcpState(id);
   }
+  ciobase::Status Abort(cionet::SocketId id) override {
+    node->costs_.ChargeHostExit();
+    RecordCall("abort", id.value);
+    return node->host_stack_->TcpAbort(id);
+  }
   ciobase::Result<size_t> SendBytes(cionet::SocketId id,
                                     ciobase::ByteSpan data) override {
     node->costs_.ChargeHostExit();
@@ -152,7 +131,7 @@ struct ConfidentialNode::SyscallOps final : ConfidentialNode::SocketOps {
     node->observability_.Record(ciohost::ObsCategory::kCallType, 1, "send");
     node->observability_.Record(ciohost::ObsCategory::kMessageBoundary,
                                 data.size(), "send size");
-    if (!node->options_.use_tls && !data.empty()) {
+    if (!node->config_.use_tls && !data.empty()) {
       node->observability_.Record(ciohost::ObsCategory::kPayload,
                                   data.size(), "plaintext visible to host");
     }
@@ -164,9 +143,6 @@ struct ConfidentialNode::SyscallOps final : ConfidentialNode::SocketOps {
     auto got = node->host_stack_->TcpReceive(id, out);
     if (!got.ok()) {
       out.clear();
-      if (got.status().code() == ciobase::StatusCode::kUnavailable) {
-        return static_cast<size_t>(0);
-      }
       return got.status();
     }
     if (*got > 0) {
@@ -175,7 +151,7 @@ struct ConfidentialNode::SyscallOps final : ConfidentialNode::SocketOps {
       node->observability_.Record(ciohost::ObsCategory::kCallType, 2, "recv");
       node->observability_.Record(ciohost::ObsCategory::kMessageBoundary,
                                   *got, "recv size");
-      if (!node->options_.use_tls) {
+      if (!node->config_.use_tls) {
         node->observability_.Record(ciohost::ObsCategory::kPayload, *got,
                                     "plaintext visible to host");
       }
@@ -183,7 +159,7 @@ struct ConfidentialNode::SyscallOps final : ConfidentialNode::SocketOps {
     out.resize(*got);
     return *got;
   }
-  void Poll() override { node->host_stack_->Poll(); }
+  ciobase::Status Poll() override { return node->host_stack_->Poll(); }
 };
 
 // Guest-owned stack over some FramePort (passthrough / hardened virtio):
@@ -205,6 +181,9 @@ struct ConfidentialNode::GuestStackOps final : ConfidentialNode::SocketOps {
   ciobase::Result<cionet::TcpState> State(cionet::SocketId id) override {
     return node->guest_stack_->GetTcpState(id);
   }
+  ciobase::Status Abort(cionet::SocketId id) override {
+    return node->guest_stack_->TcpAbort(id);
+  }
   ciobase::Result<size_t> SendBytes(cionet::SocketId id,
                                     ciobase::ByteSpan data) override {
     return node->guest_stack_->TcpSend(id, data);
@@ -215,9 +194,6 @@ struct ConfidentialNode::GuestStackOps final : ConfidentialNode::SocketOps {
     auto got = node->guest_stack_->TcpReceive(id, out);
     if (!got.ok()) {
       out.clear();
-      if (got.status().code() == ciobase::StatusCode::kUnavailable) {
-        return static_cast<size_t>(0);
-      }
       return got.status();
     }
     out.resize(*got);
@@ -231,13 +207,14 @@ struct ConfidentialNode::GuestStackOps final : ConfidentialNode::SocketOps {
       node->dda_device_->Poll();
     }
   }
-  void Poll() override {
+  ciobase::Status Poll() override {
     // Device before AND after the stack: the host backend runs concurrently
     // with the guest in reality, so frames the stack emits this round must
     // not be stranded in the ring until the next simulation round.
     PollDevice();
-    node->guest_stack_->Poll();
+    ciobase::Status link = node->guest_stack_->Poll();
     PollDevice();
+    return link;
   }
 };
 
@@ -260,6 +237,9 @@ struct ConfidentialNode::DualBoundaryOps final : ConfidentialNode::SocketOps {
   ciobase::Result<cionet::TcpState> State(cionet::SocketId id) override {
     return node->l5_->State(id);
   }
+  ciobase::Status Abort(cionet::SocketId id) override {
+    return node->l5_->Abort(id);
+  }
   ciobase::Result<size_t> SendBytes(cionet::SocketId id,
                                     ciobase::ByteSpan data) override {
     return node->l5_->Send(id, data);
@@ -268,10 +248,11 @@ struct ConfidentialNode::DualBoundaryOps final : ConfidentialNode::SocketOps {
                                        ciobase::Buffer& out) override {
     return node->l5_->ReceiveInto(id, max, out);
   }
-  void Poll() override {
+  ciobase::Status Poll() override {
     node->l2_device_->Poll();
-    node->l5_->Poll();
+    ciobase::Status link = node->l5_->Poll();
     node->l2_device_->Poll();  // see GuestStackOps::Poll
+    return link;
   }
 };
 
@@ -279,20 +260,25 @@ struct ConfidentialNode::DualBoundaryOps final : ConfidentialNode::SocketOps {
 
 ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
                                    ciobase::SimClock* clock,
-                                   NodeOptions options)
-    : options_(std::move(options)),
+                                   StackConfig config)
+    : config_(std::move(config)),
       ip_(cionet::Ipv4Address::FromOctets(
-          10, 0, 0, static_cast<uint8_t>(options_.node_id))),
+          10, 0, 0, static_cast<uint8_t>(config_.node_id))),
       clock_(clock),
       costs_(clock),
-      adversary_(options_.seed ^ 0xadu) {
-  cionet::MacAddress mac = cionet::MacAddress::FromId(options_.node_id);
-  std::string name = "node-" + std::to_string(options_.node_id);
+      adversary_(config_.seed ^ 0xadu) {
+  if (!config_.Valid()) {
+    failed_ = true;
+    return;
+  }
+  cionet::MacAddress mac = cionet::MacAddress::FromId(config_.node_id);
+  std::string name = "node-" + std::to_string(config_.node_id);
   cionet::NetStack::Config stack_config;
   stack_config.ip = ip_;
-  stack_config.seed = options_.seed;
+  stack_config.seed = config_.seed;
+  stack_config.tcp_tuning = config_.tcp_tuning;
 
-  switch (options_.profile) {
+  switch (config_.profile) {
     case StackProfile::kSyscallL5: {
       host_port_ = std::make_unique<ObservedPort>(
           std::make_unique<cionet::DirectFabricPort>(fabric, name, mac),
@@ -315,23 +301,23 @@ ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
               ciovirtio::kFeatureIndirectDesc,
           &adversary_, &observability_, clock);
       ciovirtio::HardeningOptions hardening =
-          options_.profile == StackProfile::kHardenedVirtio
+          config_.profile == StackProfile::kHardenedVirtio
               ? ciovirtio::HardeningOptions::Full()
               : ciovirtio::HardeningOptions::Passthrough();
       virtio_driver_ = std::make_unique<ciovirtio::VirtioNetDriver>(
           shared_.get(), layout, virtio_device_.get(), &costs_, hardening,
-          &observability_);
+          &observability_, config_.recovery);
       if (!virtio_driver_->Negotiate().ok()) {
         failed_ = true;
         break;
       }
-      if (options_.profile == StackProfile::kTunneledL2) {
+      if (config_.profile == StackProfile::kTunneledL2) {
         // LightBox-style: the tunnel wraps the raw port; one endpoint of a
         // pair must be the initiator (odd node ids initiate).
         tunnel_port_ = std::make_unique<TunnelPort>(
             virtio_driver_.get(),
             ciobase::BufferFromString("tunnel-gateway-psk-32-bytes....."),
-            options_.node_id % 2 == 1, &costs_);
+            config_.node_id % 2 == 1, &costs_);
         guest_stack_ = std::make_unique<cionet::NetStack>(tunnel_port_.get(),
                                                           clock,
                                                           stack_config);
@@ -348,20 +334,20 @@ ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
       // bound to the expected device measurement by the verifier check.
       static constexpr char kPlatformKey[] = "pcie-cert-chain-root";
       static constexpr char kProvisioning[] = "spdm-session-secret";
-      DdaConfig config;
-      config.mac = mac;
-      DdaLayout layout(config);
+      DdaConfig dda_config;
+      dda_config.mac = mac;
+      DdaLayout layout(dda_config);
       shared_ = std::make_unique<ciotee::SharedRegion>(&memory_, layout.total,
                                                        name + "-dda");
       device_authority_ = std::make_unique<ciotee::AttestationAuthority>(
           ciobase::BufferFromString(kPlatformKey));
       dda_device_ = std::make_unique<DdaDevice>(
-          shared_.get(), config, fabric, name, device_authority_.get(),
+          shared_.get(), dda_config, fabric, name, device_authority_.get(),
           ciobase::BufferFromString(kProvisioning), &adversary_,
           &observability_, clock);
       dda_transport_ = std::make_unique<DdaTransport>(
-          shared_.get(), config, dda_device_.get(), &costs_,
-          device_authority_.get(), options_.seed ^ 0x5bd);
+          shared_.get(), dda_config, dda_device_.get(), &costs_,
+          device_authority_.get(), config_.seed ^ 0x5bd);
       if (!dda_transport_->Attest(ciobase::BufferFromString(kProvisioning))
                .ok()) {
         failed_ = true;
@@ -373,23 +359,23 @@ ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
       break;
     }
     case StackProfile::kDualBoundary: {
-      L2Config config;
-      config.mac = mac;
-      config.mtu = 1500;
-      config.ring_slots = 256;
-      config.slot_size = 2048;
-      config.positioning = options_.l2_positioning;
-      config.rx_ownership = options_.l2_rx_ownership;
-      config.polling = options_.l2_polling;
-      L2Layout layout(config);
+      L2Config l2_config;
+      l2_config.mac = mac;
+      l2_config.mtu = 1500;
+      l2_config.ring_slots = 256;
+      l2_config.slot_size = 2048;
+      l2_config.positioning = config_.l2_positioning;
+      l2_config.rx_ownership = config_.l2_rx_ownership;
+      l2_config.polling = config_.l2_polling;
+      L2Layout layout(l2_config);
       shared_ = std::make_unique<ciotee::SharedRegion>(&memory_, layout.total,
                                                        name + "-l2");
-      l2_device_ = std::make_unique<L2HostDevice>(shared_.get(), config,
+      l2_device_ = std::make_unique<L2HostDevice>(shared_.get(), l2_config,
                                                   fabric, name, &adversary_,
                                                   &observability_, clock);
       l2_transport_ = std::make_unique<L2Transport>(
-          shared_.get(), config, &costs_,
-          config.polling ? nullptr : l2_device_.get());
+          shared_.get(), l2_config, &costs_,
+          l2_config.polling ? nullptr : l2_device_.get(), config_.recovery);
       guest_stack_ = std::make_unique<cionet::NetStack>(l2_transport_.get(),
                                                         clock, stack_config);
       compartments_ = std::make_unique<ciotee::CompartmentManager>(&costs_);
@@ -400,8 +386,8 @@ ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
       compartments_->GrantAccess(app_compartment_, io_compartment_);
       l5_ = std::make_unique<L5Channel>(
           compartments_.get(), app_compartment_, io_compartment_,
-          guest_stack_.get(), &costs_, options_.l5_receive,
-          options_.l5_boundary);
+          guest_stack_.get(), &costs_, config_.l5_receive,
+          config_.l5_boundary);
       ops_ = std::make_unique<DualBoundaryOps>(this);
       break;
     }
@@ -435,9 +421,12 @@ ciobase::Status ConfidentialNode::Connect(cionet::Ipv4Address peer,
   }
   socket_ = *socket;
   have_socket_ = true;
-  if (options_.use_tls) {
+  is_client_ = true;
+  peer_ip_ = peer;
+  peer_port_ = port;
+  if (config_.use_tls) {
     tls_ = std::make_unique<ciotls::TlsSession>(
-        ciotls::TlsRole::kClient, options_.psk, "cio-link", options_.seed);
+        ciotls::TlsRole::kClient, config_.psk, "cio-link", config_.seed);
     tls_->Start();
   }
   return ciobase::OkStatus();
@@ -447,14 +436,17 @@ bool ConfidentialNode::Ready() const {
   if (failed_ || !have_socket_ || !connected_transport_) {
     return false;
   }
-  if (options_.use_tls) {
+  if (config_.use_tls) {
     return tls_ != nullptr && tls_->established();
   }
   return true;
 }
 
 bool ConfidentialNode::Failed() const {
-  return failed_ || (tls_ != nullptr && tls_->failed());
+  // With recovery enabled a dead TLS session is a fault in flight, not a
+  // terminal state — Poll() tears it down and re-establishes.
+  return failed_ || (!config_.recovery.enabled && tls_ != nullptr &&
+                     tls_->failed());
 }
 
 void ConfidentialNode::PumpTls() {
@@ -483,18 +475,18 @@ void ConfidentialNode::PumpBytes() {
   for (;;) {
     auto got = ops_->ReceiveBytes(socket_, 16384, rx_scratch_);
     if (!got.ok()) {
-      if (got.status().code() !=
-          ciobase::StatusCode::kFailedPrecondition) {
-        failed_ = true;
+      if (got.status().code() == ciobase::StatusCode::kFailedPrecondition) {
+        break;  // orderly EOF: the peer closed on purpose — not a fault
       }
+      BeginRecovery(got.status().message().c_str());
       break;
     }
     if (*got == 0) {
       break;
     }
-    if (options_.use_tls) {
+    if (config_.use_tls) {
       if (!tls_->Feed(rx_scratch_).ok()) {
-        failed_ = true;
+        BeginRecovery("tls stream corrupt");
         break;
       }
       PumpTls();  // the handshake may have produced a reply flight
@@ -503,7 +495,7 @@ void ConfidentialNode::PumpBytes() {
     }
   }
   // TLS delivers record-sized chunks; drain them into the framing buffer.
-  if (options_.use_tls && tls_ != nullptr) {
+  if (config_.use_tls && tls_ != nullptr) {
     for (;;) {
       auto chunk = tls_->ReadMessage();
       if (!chunk.ok()) {
@@ -512,29 +504,143 @@ void ConfidentialNode::PumpBytes() {
       ciobase::Append(plain_rx_, *chunk);
     }
   }
-  // Reassemble length-framed application messages (both modes frame the
-  // stream identically; TLS just protects the framed bytes).
+  // Reassemble length-framed, sequence-numbered application messages (both
+  // modes frame the stream identically; TLS just protects the framed
+  // bytes). The sequence numbers make delivery exactly-once across link
+  // resets: resend-window replays deduplicate here, and gaps (messages that
+  // fell out of the peer's window) are counted lost, never papered over.
   while (plain_rx_.size() >= 4) {
     uint32_t len = ciobase::LoadLe32(plain_rx_.data());
-    if (len > (1u << 24)) {
+    if (len < 8 || len > (1u << 24)) {
       failed_ = true;  // hostile framing
       break;
     }
     if (plain_rx_.size() < 4 + len) {
       break;
     }
-    plain_inbox_.emplace_back(plain_rx_.begin() + 4,
-                              plain_rx_.begin() + 4 + len);
+    uint64_t seq = ciobase::LoadLe64(plain_rx_.data() + 4);
+    if (seq <= last_delivered_seq_) {
+      ++recovery_stats_.messages_duplicate_dropped;
+    } else {
+      if (seq != last_delivered_seq_ + 1) {
+        recovery_stats_.messages_lost += seq - last_delivered_seq_ - 1;
+      }
+      last_delivered_seq_ = seq;
+      plain_inbox_.emplace_back(plain_rx_.begin() + 12,
+                                plain_rx_.begin() + 4 + len);
+    }
     plain_rx_.erase(plain_rx_.begin(),
                     plain_rx_.begin() + 4 + len);
   }
+}
+
+void ConfidentialNode::BeginRecovery(const char* reason) {
+  if (!config_.recovery.enabled) {
+    failed_ = true;
+    return;
+  }
+  CIO_LOG(kDebug) << "link recovery (" << reason << ")";
+  ++recovery_stats_.link_errors;
+  recovery_stats_.last_fault_ns = clock_->now_ns();
+  if (have_socket_) {
+    (void)ops_->Abort(socket_);
+  }
+  have_socket_ = false;
+  connected_transport_ = false;
+  tls_.reset();
+  tls_outbox_.clear();
+  plain_rx_.clear();  // a partial frame died with the old channel
+  reconnect_pending_ = true;
+  resend_pending_ = true;
+  if (reconnect_backoff_ns_ == 0) {
+    reconnect_backoff_ns_ = config_.recovery.backoff_initial_ns;
+  }
+  next_reconnect_ns_ = clock_->now_ns() + reconnect_backoff_ns_;
+}
+
+void ConfidentialNode::PollRecovery() {
+  if (!config_.recovery.enabled || failed_) {
+    return;
+  }
+  uint64_t now = clock_->now_ns();
+  // Client side: re-establish TCP + TLS with capped exponential backoff.
+  // (The server keeps listening; Poll()'s accept branch re-arms it.)
+  if (reconnect_pending_ && is_client_ && !have_socket_ &&
+      now >= next_reconnect_ns_) {
+    if (reconnect_attempts_ >= config_.recovery.max_reconnects) {
+      failed_ = true;  // the host never let a connection live again
+      return;
+    }
+    ++reconnect_attempts_;
+    ++recovery_stats_.reconnects;
+    auto socket = ops_->Connect(peer_ip_, peer_port_);
+    if (socket.ok()) {
+      socket_ = *socket;
+      have_socket_ = true;
+      if (config_.use_tls) {
+        tls_ = std::make_unique<ciotls::TlsSession>(
+            ciotls::TlsRole::kClient, config_.psk, "cio-link", config_.seed);
+        tls_->Start();
+        ++recovery_stats_.tls_restarts;
+      }
+    }
+    // If this attempt dies too, the next one waits twice as long (capped).
+    reconnect_backoff_ns_ = std::min(reconnect_backoff_ns_ * 2,
+                                     config_.recovery.backoff_cap_ns);
+    next_reconnect_ns_ = now + reconnect_backoff_ns_;
+  }
+  // Both sides: once the channel is back, replay the resend window. The
+  // receiver's sequence numbers drop whatever was already delivered.
+  if (resend_pending_ && Ready()) {
+    resend_pending_ = false;
+    reconnect_pending_ = false;
+    reconnect_attempts_ = 0;
+    reconnect_backoff_ns_ = 0;
+    recovery_stats_.last_recovery_ns = now;
+    for (const auto& [seq, payload] : resend_window_) {
+      (void)FrameAndQueue(seq, payload);
+      ++recovery_stats_.messages_resent;
+    }
+    PumpBytes();
+  }
+}
+
+ciobase::Status ConfidentialNode::FrameAndQueue(uint64_t seq,
+                                                ciobase::ByteSpan payload) {
+  // Wire framing: [len u32][seq u64][payload], len covering seq + payload.
+  ciobase::Buffer framed;
+  framed.resize(12);
+  ciobase::StoreLe32(framed.data(), static_cast<uint32_t>(8 + payload.size()));
+  ciobase::StoreLe64(framed.data() + 4, seq);
+  ciobase::Append(framed, payload);
+  if (config_.use_tls) {
+    if (tls_ == nullptr) {
+      return ciobase::FailedPrecondition("no session");
+    }
+    CIO_RETURN_IF_ERROR(tls_->WriteMessage(framed));
+    PumpTls();
+  } else {
+    ciobase::Append(tls_outbox_, framed);
+  }
+  return ciobase::OkStatus();
 }
 
 void ConfidentialNode::Poll() {
   if (ops_ == nullptr) {
     return;
   }
-  ops_->Poll();
+  ciobase::Status link = ops_->Poll();
+  if (!link.ok() && link.code() == ciobase::StatusCode::kTimedOut) {
+    // The transport's reset budget is exhausted: the host stopped the link
+    // for good. Everything still in flight is lost.
+    ++recovery_stats_.link_errors;
+    recovery_stats_.last_fault_ns = clock_->now_ns();
+    failed_ = true;
+    return;
+  }
+  // (kLinkReset needs no action here: the transport already reattached its
+  // ring and TCP retransmission replays the frames that died with it.)
+
   // Server: adopt the first pending connection.
   if (listening_ && !have_socket_) {
     auto accepted = ops_->Accept(listener_);
@@ -542,52 +648,61 @@ void ConfidentialNode::Poll() {
       socket_ = *accepted;
       have_socket_ = true;
       connected_transport_ = true;
-      if (options_.use_tls) {
+      if (config_.use_tls) {
         tls_ = std::make_unique<ciotls::TlsSession>(
-            ciotls::TlsRole::kServer, options_.psk, "cio-link",
-            options_.seed + 1);
+            ciotls::TlsRole::kServer, config_.psk, "cio-link",
+            config_.seed + 1);
         tls_->Start();
+        if (reconnect_pending_) {
+          ++recovery_stats_.tls_restarts;
+        }
       }
     }
   }
-  // Client: detect transport establishment.
+  // Client: detect transport establishment (or its death mid-handshake).
   if (have_socket_ && !connected_transport_) {
     auto state = ops_->State(socket_);
     if (state.ok() && *state == cionet::TcpState::kEstablished) {
       connected_transport_ = true;
     }
     if (state.ok() && *state == cionet::TcpState::kClosed) {
-      failed_ = true;
+      BeginRecovery("transport closed before establishment");
     }
+  }
+  // A dead TLS session is a fault to recover from, not a terminal state.
+  if (config_.recovery.enabled && tls_ != nullptr && tls_->failed()) {
+    BeginRecovery("tls session failed");
   }
   PumpTls();
   PumpBytes();
   PumpTls();
+  PollRecovery();
 }
 
 ciobase::Status ConfidentialNode::SendMessage(ciobase::ByteSpan message) {
   if (!Ready()) {
     return ciobase::FailedPrecondition("link not ready");
   }
-  ciobase::Buffer framed;
-  framed.resize(4);
-  ciobase::StoreLe32(framed.data(), static_cast<uint32_t>(message.size()));
-  ciobase::Append(framed, message);
-  if (options_.use_tls) {
-    CIO_RETURN_IF_ERROR(tls_->WriteMessage(framed));
-    PumpTls();
-  } else {
-    ciobase::Append(tls_outbox_, framed);
+  if (message.size() > (1u << 24) - 8) {
+    return ciobase::InvalidArgument("message too large");
   }
+  uint64_t seq = next_send_seq_++;
+  if (config_.recovery.enabled) {
+    resend_window_.emplace_back(
+        seq, ciobase::Buffer(message.begin(), message.end()));
+    if (resend_window_.size() > config_.recovery.resend_window) {
+      // Evicted before any reconnect could replay it: if a fault hits, the
+      // receiver will see the sequence gap and count the loss.
+      resend_window_.pop_front();
+    }
+  }
+  CIO_RETURN_IF_ERROR(FrameAndQueue(seq, message));
   ++messages_sent_;
   PumpBytes();
   return ciobase::OkStatus();
 }
 
 ciobase::Result<ciobase::Buffer> ConfidentialNode::ReceiveMessage() {
-  if (options_.use_tls && tls_ == nullptr) {
-    return ciobase::FailedPrecondition("no session");
-  }
   if (plain_inbox_.empty()) {
     return ciobase::Unavailable("no message");
   }
@@ -599,20 +714,20 @@ ciobase::Result<ciobase::Buffer> ConfidentialNode::ReceiveMessage() {
 
 // --- LinkedPair ------------------------------------------------------------------
 
-LinkedPair::LinkedPair(NodeOptions client_options, NodeOptions server_options,
+LinkedPair::LinkedPair(StackConfig client_config, StackConfig server_config,
                        cionet::Fabric::Options fabric_options) {
   fabric = std::make_unique<cionet::Fabric>(&clock, 4242, fabric_options);
-  if (client_options.psk.empty()) {
-    client_options.psk = ciobase::BufferFromString(
+  if (client_config.psk.empty()) {
+    client_config.psk = ciobase::BufferFromString(
         "attestation-derived-link-key-0001");
   }
-  if (server_options.psk.empty()) {
-    server_options.psk = client_options.psk;
+  if (server_config.psk.empty()) {
+    server_config.psk = client_config.psk;
   }
   client = std::make_unique<ConfidentialNode>(fabric.get(), &clock,
-                                              client_options);
+                                              client_config);
   server = std::make_unique<ConfidentialNode>(fabric.get(), &clock,
-                                              server_options);
+                                              server_config);
 }
 
 void LinkedPair::Pump(uint64_t step_ns) {

@@ -41,6 +41,7 @@
 #include "src/hostsim/observability.h"
 #include "src/net/fabric.h"
 #include "src/net/stack.h"
+#include "src/cio/stack_config.h"
 #include "src/tee/compartment.h"
 #include "src/tee/memory.h"
 #include "src/tee/trust.h"
@@ -49,47 +50,10 @@
 
 namespace cio {
 
-enum class StackProfile {
-  kSyscallL5 = 0,
-  kPassthroughL2 = 1,
-  kHardenedVirtio = 2,
-  kDualBoundary = 3,
-  // §3.4: direct device assignment with SPDM attestation + IDE link
-  // protection; the stack stays in the app domain, the device joins the
-  // TCB, and no interface hardening is needed.
-  kDirectDevice = 4,
-  // §2.4's tunneled approach (LightBox-style): every L2 frame padded to a
-  // fixed size and sealed before the host sees it — minimal observability
-  // (even packet-length entropy collapses), maximal TCB.
-  kTunneledL2 = 5,
-};
-inline constexpr int kStackProfileCount = 6;
-
-std::string_view StackProfileName(StackProfile profile);
-std::vector<StackProfile> AllStackProfiles();
-
-// The trust model each profile instantiates (§2.1/§3.1).
-ciotee::TrustModel ProfileTrustModel(StackProfile profile);
-
-struct NodeOptions {
-  StackProfile profile = StackProfile::kDualBoundary;
-  uint32_t node_id = 1;  // derives MAC 02:00:…:id and IP 10.0.0.id
-  uint64_t seed = 1;
-  ciobase::Buffer psk;   // attestation-bound pre-shared key
-  bool use_tls = true;   // the design mandates TLS; ablations may disable
-
-  // Dual-boundary knobs.
-  L5ReceiveMode l5_receive = L5ReceiveMode::kCopy;
-  L5BoundaryKind l5_boundary = L5BoundaryKind::kCompartment;
-  DataPositioning l2_positioning = DataPositioning::kInline;
-  ReceiveOwnership l2_rx_ownership = ReceiveOwnership::kCopy;
-  bool l2_polling = true;
-};
-
 class ConfidentialNode {
  public:
   ConfidentialNode(cionet::Fabric* fabric, ciobase::SimClock* clock,
-                   NodeOptions options);
+                   StackConfig config);
   ~ConfidentialNode();
 
   ConfidentialNode(const ConfidentialNode&) = delete;
@@ -108,13 +72,19 @@ class ConfidentialNode {
 
   // --- Application data ---------------------------------------------------------
 
+  // Messages are sequence-numbered on the wire ([len u32][seq u64][payload])
+  // so that after a link reset + TLS re-establishment the resend window can
+  // replay unacknowledged messages and the receiver can drop duplicates:
+  // every message is delivered exactly once, or counted in
+  // recovery_stats().messages_lost.
   ciobase::Status SendMessage(ciobase::ByteSpan message);
   ciobase::Result<ciobase::Buffer> ReceiveMessage();
 
   // --- Introspection (benchmarks, campaign) -----------------------------------
 
   cionet::Ipv4Address ip() const { return ip_; }
-  StackProfile profile() const { return options_.profile; }
+  StackProfile profile() const { return config_.profile; }
+  const StackConfig& config() const { return config_; }
   ciobase::CostModel& costs() { return costs_; }
   ciohost::ObservabilityLog& observability() { return observability_; }
   ciohost::Adversary& adversary() { return adversary_; }
@@ -132,6 +102,21 @@ class ConfidentialNode {
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_received() const { return messages_received_; }
 
+  // Link-recovery bookkeeping (tentpole): what the node survived and what
+  // it cost. `messages_lost` counts receive-side sequence gaps — messages a
+  // peer sent that fell out of its resend window across a reconnect.
+  struct RecoveryStats {
+    uint64_t link_errors = 0;       // transport/TCP faults seen by the engine
+    uint64_t reconnects = 0;        // TCP re-establishments attempted
+    uint64_t tls_restarts = 0;      // fresh TLS sessions after a fault
+    uint64_t messages_resent = 0;   // replayed from the resend window
+    uint64_t messages_duplicate_dropped = 0;  // dedup'd by sequence number
+    uint64_t messages_lost = 0;     // receive-side sequence gaps
+    uint64_t last_fault_ns = 0;     // when the engine last saw a fault
+    uint64_t last_recovery_ns = 0;  // when the channel was last re-ready
+  };
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
  private:
   struct SocketOps;       // profile-specific byte-stream plumbing
   struct SyscallOps;
@@ -140,8 +125,14 @@ class ConfidentialNode {
 
   void PumpTls();
   void PumpBytes();
+  // Tears down the failed secure channel and schedules re-establishment
+  // (client re-connects with backoff; server re-arms its accept loop).
+  void BeginRecovery(const char* reason);
+  // Drives reconnect attempts and resend-window replay from Poll().
+  void PollRecovery();
+  ciobase::Status FrameAndQueue(uint64_t seq, ciobase::ByteSpan payload);
 
-  NodeOptions options_;
+  StackConfig config_;
   cionet::Ipv4Address ip_;
   ciobase::SimClock* clock_;
   ciobase::CostModel costs_;
@@ -177,11 +168,27 @@ class ConfidentialNode {
   bool have_socket_ = false;
   ciobase::Buffer tls_outbox_;  // TLS bytes awaiting transport capacity
   ciobase::Buffer rx_scratch_;  // reusable inbound chunk staging (PumpBytes)
-  std::deque<ciobase::Buffer> plain_inbox_;   // no-TLS mode
-  ciobase::Buffer plain_rx_;                  // no-TLS length framing
+  std::deque<ciobase::Buffer> plain_inbox_;   // reassembled messages
+  ciobase::Buffer plain_rx_;                  // length-framing buffer
   bool failed_ = false;
   uint64_t messages_sent_ = 0;
   uint64_t messages_received_ = 0;
+
+  // Recovery state machine (active only with config_.recovery.enabled).
+  bool is_client_ = false;
+  cionet::Ipv4Address peer_ip_{};
+  uint16_t peer_port_ = 0;
+  bool reconnect_pending_ = false;   // channel down, re-establishment due
+  bool resend_pending_ = false;      // replay the window once Ready() again
+  uint32_t reconnect_attempts_ = 0;
+  uint64_t next_reconnect_ns_ = 0;
+  uint64_t reconnect_backoff_ns_ = 0;
+  uint64_t next_send_seq_ = 1;       // our outbound sequence numbers
+  uint64_t last_delivered_seq_ = 0;  // peer's highest delivered sequence
+  // Sent-but-possibly-unacknowledged messages, oldest first, capped at
+  // config_.recovery.resend_window.
+  std::deque<std::pair<uint64_t, ciobase::Buffer>> resend_window_;
+  RecoveryStats recovery_stats_;
 };
 
 // Convenience for tests/benchmarks: two nodes on one fabric, pumped until
@@ -192,7 +199,7 @@ struct LinkedPair {
   std::unique_ptr<ConfidentialNode> client;
   std::unique_ptr<ConfidentialNode> server;
 
-  LinkedPair(NodeOptions client_options, NodeOptions server_options,
+  LinkedPair(StackConfig client_config, StackConfig server_config,
              cionet::Fabric::Options fabric_options = {});
 
   // Establishes server listen + client connect + TLS. Returns success.

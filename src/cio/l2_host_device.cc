@@ -16,7 +16,17 @@ L2HostDevice::L2HostDevice(ciotee::SharedRegion* region,
       observability_(observability),
       clock_(clock) {}
 
+bool L2HostDevice::Faulted(ciohost::FaultStrategy strategy) const {
+  return adversary_ != nullptr &&
+         adversary_->FaultActive(strategy, clock_->now_ns());
+}
+
 void L2HostDevice::Kick() {
+  if (Faulted(ciohost::FaultStrategy::kSwallowDoorbell) ||
+      Faulted(ciohost::FaultStrategy::kLinkKill)) {
+    ++stats_.kicks_swallowed;
+    return;
+  }
   ++stats_.kicks;
   if (observability_ != nullptr) {
     observability_->Record(ciohost::ObsCategory::kDoorbell, clock_->now_ns(),
@@ -26,8 +36,31 @@ void L2HostDevice::Kick() {
 }
 
 void L2HostDevice::Poll() {
+  // A killed or stalled device touches nothing — not even the epoch cell —
+  // so the guest's reset goes unanswered until the fault clears.
+  if (Faulted(ciohost::FaultStrategy::kLinkKill) ||
+      Faulted(ciohost::FaultStrategy::kStallCounters)) {
+    return;
+  }
+  AdoptGuestEpoch();
   DrainTx();
   FillRx();
+}
+
+void L2HostDevice::AdoptGuestEpoch() {
+  uint64_t guest_epoch = region_->HostReadLe64(layout_.GuestEpoch());
+  if (guest_epoch == epoch_) {
+    return;
+  }
+  // The guest reset the ring: forget everything, start from zero, and echo
+  // the epoch so the guest (and tests) can observe the reattach.
+  epoch_ = guest_epoch;
+  tx_consumed_ = 0;
+  rx_produced_ = 0;
+  region_->HostWriteLe64(layout_.TxConsumed(), 0);
+  region_->HostWriteLe64(layout_.RxProduced(), 0);
+  region_->HostWriteLe64(layout_.HostEpoch(), epoch_);
+  ++stats_.epoch_adoptions;
 }
 
 ciobase::Buffer L2HostDevice::ReadTxFrame(uint64_t index) {
@@ -86,17 +119,37 @@ void L2HostDevice::DrainTx() {
                              clock_->now_ns(), "l2 tx");
     }
     ++stats_.frames_tx;
-    (void)fabric_->Inject(endpoint_, frame);
+    if (Faulted(ciohost::FaultStrategy::kDropFrames)) {
+      ++stats_.frames_dropped_fault;  // consumed, never injected
+    } else {
+      (void)fabric_->Inject(endpoint_, frame);
+      if (Faulted(ciohost::FaultStrategy::kDuplicateFrames)) {
+        (void)fabric_->Inject(endpoint_, frame);
+        ++stats_.frames_duplicated_fault;
+      }
+    }
     ++tx_consumed_;
-    region_->HostWriteLe64(layout_.TxConsumed(), tx_consumed_);
+    uint64_t published = tx_consumed_;
+    if (Faulted(ciohost::FaultStrategy::kGarbageCounters)) {
+      published = ~0ULL;
+    }
+    region_->HostWriteLe64(layout_.TxConsumed(), published);
   }
 }
 
-void L2HostDevice::WriteRxFrame(uint64_t index, ciobase::ByteSpan frame) {
+void L2HostDevice::WriteRxFrame(uint64_t index, ciobase::ByteSpan frame,
+                                bool torn) {
   uint32_t len = static_cast<uint32_t>(frame.size());
   if (adversary_ != nullptr) {
     len = adversary_->MutateUsedLen(len, static_cast<uint32_t>(
                                              config_.SlotPayloadCapacity()));
+  }
+  // Torn write: the header claims the full length but only the first half
+  // of the payload lands — the tail is whatever the slot held before. The
+  // guest's clamp discipline keeps this safe; the TCP checksum catches it
+  // and retransmission repairs it.
+  if (torn) {
+    frame = frame.first(frame.size() / 2);
   }
   uint8_t header[kL2SlotHeaderSize];
   switch (config_.positioning) {
@@ -143,6 +196,10 @@ void L2HostDevice::FillRx() {
     if (!frame.ok()) {
       break;
     }
+    if (Faulted(ciohost::FaultStrategy::kDropFrames)) {
+      ++stats_.frames_dropped_fault;
+      continue;
+    }
     if (adversary_ != nullptr) {
       adversary_->MaybeCorruptPayload(*frame);
     }
@@ -152,14 +209,27 @@ void L2HostDevice::FillRx() {
       observability_->Record(ciohost::ObsCategory::kPacketTiming,
                              clock_->now_ns(), "l2 rx");
     }
-    WriteRxFrame(rx_produced_, *frame);
-    ++rx_produced_;
-    uint64_t published = rx_produced_;
-    if (adversary_ != nullptr) {
-      published = adversary_->MutatePublishedCounter(rx_produced_);
+    bool torn = Faulted(ciohost::FaultStrategy::kTornWrite);
+    int copies = Faulted(ciohost::FaultStrategy::kDuplicateFrames) ? 2 : 1;
+    for (int c = 0; c < copies; ++c) {
+      uint64_t consumed_now = region_->HostReadLe64(layout_.RxConsumed());
+      if (rx_produced_ - consumed_now >= layout_.slots) {
+        break;  // no space for the duplicate
+      }
+      if (c > 0) {
+        ++stats_.frames_duplicated_fault;
+      }
+      WriteRxFrame(rx_produced_, *frame, torn);
+      ++rx_produced_;
+      uint64_t published = rx_produced_;
+      if (Faulted(ciohost::FaultStrategy::kGarbageCounters)) {
+        published = ~0ULL;
+      } else if (adversary_ != nullptr) {
+        published = adversary_->MutatePublishedCounter(rx_produced_);
+      }
+      region_->HostWriteLe64(layout_.RxProduced(), published);
+      ++stats_.frames_rx;
     }
-    region_->HostWriteLe64(layout_.RxProduced(), published);
-    ++stats_.frames_rx;
   }
 }
 

@@ -41,14 +41,20 @@ class L2HostDevice final : public ciovirtio::KickTarget {
     uint64_t frames_rx = 0;
     uint64_t rx_dropped_ring_full = 0;
     uint64_t kicks = 0;
+    uint64_t kicks_swallowed = 0;
+    uint64_t frames_dropped_fault = 0;
+    uint64_t frames_duplicated_fault = 0;
+    uint64_t epoch_adoptions = 0;
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  void AdoptGuestEpoch();
   void DrainTx();
   void FillRx();
   ciobase::Buffer ReadTxFrame(uint64_t index);
-  void WriteRxFrame(uint64_t index, ciobase::ByteSpan frame);
+  void WriteRxFrame(uint64_t index, ciobase::ByteSpan frame, bool torn);
+  bool Faulted(ciohost::FaultStrategy strategy) const;
 
   ciotee::SharedRegion* region_;
   L2Config config_;
@@ -61,6 +67,7 @@ class L2HostDevice final : public ciovirtio::KickTarget {
 
   uint64_t tx_consumed_ = 0;
   uint64_t rx_produced_ = 0;
+  uint64_t epoch_ = 0;  // last guest epoch this device adopted
   Stats stats_;
 };
 

@@ -56,6 +56,13 @@ struct L2Layout {
   uint64_t TxConsumed() const { return 64; }
   uint64_t RxProduced() const { return 128; }
   uint64_t RxConsumed() const { return 192; }
+  // Reset epochs (recovery protocol): the guest bumps GuestEpoch when it
+  // resets the ring; an honest host adopts the new epoch, zeroes its own
+  // shadows, and echoes it into HostEpoch. Both live in the counter block's
+  // tail — like the counters they are monotonic u64s, never trusted, only
+  // compared.
+  uint64_t GuestEpoch() const { return 200; }
+  uint64_t HostEpoch() const { return 208; }
 
   uint64_t TxSlot(uint64_t index) const {
     return tx_ring + ciobase::MaskIndex(index, slots) * slot_size;

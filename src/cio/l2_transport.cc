@@ -49,41 +49,18 @@ bool L2Config::Valid() const {
 
 L2Transport::L2Transport(ciotee::SharedRegion* region, const L2Config& config,
                          ciobase::CostModel* costs,
-                         ciovirtio::KickTarget* kick)
+                         ciovirtio::KickTarget* kick,
+                         const ciobase::RecoveryConfig& recovery)
     : region_(region),
       config_(config),
       layout_(config),
       costs_(costs),
-      kick_(kick) {
+      kick_(kick),
+      recovery_(recovery),
+      watchdog_(recovery) {
   assert(config.Valid());
+  assert(recovery.Valid());
   assert(region->size() >= layout_.total);
-}
-
-ciobase::Status L2Transport::SendFrame(ciobase::ByteSpan frame) {
-  if (frame.size() > config_.SlotPayloadCapacity() ||
-      frame.size() > config_.mtu + cionet::kEthernetHeaderSize) {
-    return ciobase::InvalidArgument("frame exceeds fixed capacity");
-  }
-  // Flow control: the host's consumed counter is advisory only. Clamping it
-  // into [produced - slots, produced] keeps the arithmetic total; a lying
-  // host can only cause overwrites of frames it claimed to have consumed
-  // (loss of its own service, not of safety).
-  uint64_t consumed = region_->GuestReadLe64(layout_.TxConsumed());
-  uint64_t in_flight = tx_produced_ - std::min(consumed, tx_produced_);
-  if (in_flight >= layout_.slots) {
-    ++stats_.tx_ring_full;
-    return ciobase::ResourceExhausted("tx ring full");
-  }
-
-  WriteTxSlot(tx_produced_, frame);
-  ++tx_produced_;
-  region_->GuestWriteLe64(layout_.TxProduced(), tx_produced_);
-  ++stats_.frames_sent;
-  if (!config_.polling && kick_ != nullptr) {
-    costs_->ChargeNotify();
-    kick_->Kick();
-  }
-  return ciobase::OkStatus();
 }
 
 void L2Transport::WriteTxSlot(uint64_t index, ciobase::ByteSpan frame) {
@@ -126,22 +103,28 @@ void L2Transport::WriteTxSlot(uint64_t index, ciobase::ByteSpan frame) {
   }
 }
 
-size_t L2Transport::SendFrames(std::span<const ciobase::ByteSpan> frames) {
+ciobase::Result<size_t> L2Transport::SendFrames(
+    std::span<const ciobase::ByteSpan> frames) {
   if (frames.empty()) {
-    return 0;
+    return size_t{0};
   }
-  // One advisory read of the host's consumed counter covers the whole batch
-  // (same clamping as SendFrame: a lying host only loses its own service).
+  // One advisory read of the host's consumed counter covers the whole batch.
+  // Clamping it into [produced - slots, produced] keeps the arithmetic
+  // total; a lying host can only cause overwrites of frames it claimed to
+  // have consumed (loss of its own service, not of safety).
   uint64_t consumed = region_->GuestReadLe64(layout_.TxConsumed());
   uint64_t in_flight = tx_produced_ - std::min(consumed, tx_produced_);
   size_t sent = 0;
+  ciobase::Status reject = ciobase::OkStatus();
   for (ciobase::ByteSpan frame : frames) {
     if (frame.size() > config_.SlotPayloadCapacity() ||
         frame.size() > config_.mtu + cionet::kEthernetHeaderSize) {
-      break;  // same rejection as SendFrame; callers see the short count
+      reject = ciobase::InvalidArgument("frame exceeds fixed capacity");
+      break;
     }
     if (in_flight + sent >= layout_.slots) {
       ++stats_.tx_ring_full;
+      reject = ciobase::ResourceExhausted("tx ring full");
       break;
     }
     WriteTxSlot(tx_produced_, frame);
@@ -157,6 +140,12 @@ size_t L2Transport::SendFrames(std::span<const ciobase::ByteSpan> frames) {
       costs_->ChargeNotify();
       kick_->Kick();
     }
+    // Work is now in flight: the watchdog starts (or keeps) counting until
+    // the host visibly consumes it.
+    watchdog_.Arm(costs_->clock()->now_ns());
+  }
+  if (sent == 0 && !reject.ok()) {
+    return reject;
   }
   return sent;
 }
@@ -268,47 +257,43 @@ void L2Transport::ReceiveSlotInto(uint64_t index, ciobase::Buffer& out) {
   }
 }
 
-ciobase::Result<ciobase::Buffer> L2Transport::ReceiveFrame() {
-  costs_->ChargeRingPoll();
-  uint64_t produced = region_->GuestReadLe64(layout_.RxProduced());
-  // A rewound counter (pending > 2^63) reads as "nothing new". The storm
-  // clamp (pending > slots) lives in ReceiveFrames, which is the only path
-  // that drains more than one slot per counter read.
-  uint64_t pending = produced - rx_consumed_;
-  if (pending == 0 || pending > (1ULL << 63)) {
-    return ciobase::Unavailable("no frame");
-  }
-
-  ciobase::Buffer frame;
-  ReceiveSlotInto(rx_consumed_, frame);
-  ++rx_consumed_;
-  region_->GuestWriteLe64(layout_.RxConsumed(), rx_consumed_);
-  if (frame.empty()) {
-    ++stats_.rx_dropped_empty;
-    return ciobase::Unavailable("empty slot dropped");
-  }
-  ++stats_.frames_received;
-  return frame;
-}
-
-size_t L2Transport::ReceiveFrames(cionet::FrameBatch& batch,
-                                  size_t max_frames) {
+ciobase::Result<size_t> L2Transport::ReceiveFrames(cionet::FrameBatch& batch,
+                                                   size_t max_frames) {
   batch.Clear();
   if (max_frames == 0) {
-    return 0;
+    return size_t{0};
   }
   costs_->ChargeRingPoll();
+  uint64_t now_ns = costs_->clock()->now_ns();
   uint64_t produced = region_->GuestReadLe64(layout_.RxProduced());
-  // Clamp the host's claim into the only coherent window: at most `slots`
-  // frames can genuinely be pending. A stormed counter shrinks to the ring
-  // size; a rewound counter reads as "nothing new".
+  uint64_t consumed = region_->GuestReadLe64(layout_.TxConsumed());
+
+  // Progress detection for the watchdog: the host visibly advanced if it
+  // consumed TX frames (counter moved, coherently) since the last poll.
+  bool progress = false;
+  if (consumed != last_tx_consumed_ && consumed <= tx_produced_) {
+    last_tx_consumed_ = consumed;
+    progress = true;
+  }
+
+  // At most `slots` frames can genuinely be pending: a stormed counter is
+  // incoherent, a rewound counter (pending > 2^63) doubly so.
   uint64_t pending = produced - rx_consumed_;
-  if (pending == 0 || pending > (1ULL << 63)) {
-    return 0;
+  bool rx_coherent = pending <= layout_.slots;
+  if (pending != 0 && !rx_coherent) {
+    ++stats_.rx_incoherent;
+    if (!recovery_.enabled) {
+      // Seed behavior: clamp a stormed claim to the ring size and keep
+      // draining (the garbage slots are dropped by validation); treat a
+      // rewound counter as "nothing new".
+      pending = pending > (1ULL << 63) ? 0 : layout_.slots;
+    } else {
+      // Recovery mode: an incoherent counter is a stall in disguise — do
+      // not chase it; let the watchdog decide.
+      pending = 0;
+    }
   }
-  if (pending > layout_.slots) {
-    pending = layout_.slots;
-  }
+
   uint64_t take = std::min<uint64_t>(pending, max_frames);
   for (uint64_t k = 0; k < take; ++k) {
     ciobase::Buffer& out = batch.Append();
@@ -321,9 +306,66 @@ size_t L2Transport::ReceiveFrames(cionet::FrameBatch& batch,
       ++stats_.frames_received;
     }
   }
-  // Publish the consumed counter once for the whole batch.
-  region_->GuestWriteLe64(layout_.RxConsumed(), rx_consumed_);
+  if (take > 0) {
+    // Publish the consumed counter once for the whole batch.
+    region_->GuestWriteLe64(layout_.RxConsumed(), rx_consumed_);
+    progress = true;
+  }
+
+  if (progress) {
+    watchdog_.NoteProgress(now_ns);
+  } else {
+    bool work_pending = tx_produced_ > last_tx_consumed_ || !rx_coherent;
+    if (work_pending) {
+      watchdog_.Arm(now_ns);
+    } else {
+      watchdog_.Disarm();
+    }
+    if (watchdog_.Expired(now_ns)) {
+      ++stats_.watchdog_fires;
+      if (watchdog_.Exhausted()) {
+        return ciobase::TimedOut("l2 link: reset budget exhausted");
+      }
+      CIO_RETURN_IF_ERROR(ResetRing());
+      watchdog_.NoteReset(now_ns);
+      return ciobase::LinkReset("l2 ring reset");
+    }
+  }
   return batch.size();
+}
+
+ciobase::Status L2Transport::ResetRing() {
+  // Re-verify the fixed geometry before trusting any offset again. The
+  // config is attested and immutable, so this can only fail if the region
+  // itself shrank — a host violation, not a recoverable fault.
+  if (!config_.Valid() || region_->size() < layout_.total) {
+    return ciobase::HostViolation("l2 layout no longer fits the region");
+  }
+  ++epoch_;
+  region_->GuestWriteLe64(layout_.GuestEpoch(), epoch_);
+  // Fresh counters: both guest shadows and all four shared cells. The
+  // host-owned cells live in shared memory, so the guest can zero them; an
+  // honest host adopts the epoch and republishes from zero, a hostile one
+  // just resumes lying — which the coherence checks absorb as before.
+  tx_produced_ = 0;
+  rx_consumed_ = 0;
+  last_tx_consumed_ = 0;
+  region_->GuestWriteLe64(layout_.TxProduced(), 0);
+  region_->GuestWriteLe64(layout_.TxConsumed(), 0);
+  region_->GuestWriteLe64(layout_.RxProduced(), 0);
+  region_->GuestWriteLe64(layout_.RxConsumed(), 0);
+  // Drain the RX ring: zero every slot header so a stale frame from the old
+  // epoch can never be re-parsed as fresh (it reads as len 0 and drops).
+  uint8_t zero_header[kL2SlotHeaderSize] = {};
+  for (uint64_t i = 0; i < layout_.slots; ++i) {
+    region_->GuestWrite(layout_.RxSlot(i), zero_header);
+  }
+  ++stats_.ring_resets;
+  if (!config_.polling && kick_ != nullptr) {
+    costs_->ChargeNotify();
+    kick_->Kick();
+  }
+  return ciobase::OkStatus();
 }
 
 std::vector<ciohost::SurfaceField> L2Transport::AttackSurface() const {

@@ -34,6 +34,7 @@
 
 #include "src/base/arena.h"
 #include "src/base/clock.h"
+#include "src/base/recovery.h"
 #include "src/cio/l2_layout.h"
 #include "src/hostsim/adversary.h"
 #include "src/net/port.h"
@@ -44,23 +45,29 @@ namespace cio {
 
 class L2Transport final : public cionet::FramePort {
  public:
-  // `kick` may be null in polling mode.
+  // `kick` may be null in polling mode. `recovery` enables the watchdog +
+  // ring-reset machinery; the default leaves it off (a wedged host wedges
+  // the link, exactly like the seed behavior).
   L2Transport(ciotee::SharedRegion* region, const L2Config& config,
-              ciobase::CostModel* costs, ciovirtio::KickTarget* kick);
+              ciobase::CostModel* costs, ciovirtio::KickTarget* kick,
+              const ciobase::RecoveryConfig& recovery = {});
 
   // --- cionet::FramePort -----------------------------------------------------
 
-  ciobase::Status SendFrame(ciobase::ByteSpan frame) override;
-  ciobase::Result<ciobase::Buffer> ReceiveFrame() override;
-
   // Batched ring ops: the host counters are read once per batch, the
   // produced/consumed pointers are published once per batch, and the
-  // doorbell (notify mode) is coalesced into a single kick. Every slot still
-  // goes through exactly the same single-fetch validation as the per-frame
-  // path — batching changes how often the ring is touched, not what is
-  // trusted.
-  size_t SendFrames(std::span<const ciobase::ByteSpan> frames) override;
-  size_t ReceiveFrames(cionet::FrameBatch& batch, size_t max_frames) override;
+  // doorbell (notify mode) is coalesced into a single kick. Every slot goes
+  // through the single-fetch validation discipline — there is exactly one
+  // datapath per direction, and this is it.
+  //
+  // ReceiveFrames doubles as the recovery poll: it watches the host's
+  // counters for progress, arms the watchdog while work is in flight or the
+  // counters are incoherent, and on expiry resets the ring (kLinkReset) or —
+  // once the reset budget is exhausted — declares the link dead (kTimedOut).
+  ciobase::Result<size_t> SendFrames(
+      std::span<const ciobase::ByteSpan> frames) override;
+  ciobase::Result<size_t> ReceiveFrames(cionet::FrameBatch& batch,
+                                        size_t max_frames) override;
 
   cionet::MacAddress mac() const override { return config_.mac; }
   uint16_t mtu() const override { return config_.mtu; }
@@ -75,6 +82,15 @@ class L2Transport final : public cionet::FramePort {
   // pool payload bytes).
   std::vector<ciohost::SurfaceField> AttackSurface() const;
 
+  // Reset-and-reattach protocol: bumps the guest epoch, zeroes all four
+  // shared counters and the guest shadows, drains (zeroes) every RX slot
+  // header, and re-verifies the layout against the fixed config. In-flight
+  // frames on the old ring are gone — callers above TCP rely on
+  // retransmission. Exposed for tests; the watchdog calls it on expiry.
+  ciobase::Status ResetRing();
+
+  uint64_t epoch() const { return epoch_; }
+
   struct Stats {
     uint64_t frames_sent = 0;
     uint64_t frames_received = 0;
@@ -82,6 +98,9 @@ class L2Transport final : public cionet::FramePort {
     uint64_t rx_clamped_len = 0;   // host lied about a length; clamped
     uint64_t rx_dropped_empty = 0; // slot failed sanity (len 0 after clamp)
     uint64_t pages_revoked = 0;
+    uint64_t rx_incoherent = 0;    // host counter outside the legal window
+    uint64_t watchdog_fires = 0;
+    uint64_t ring_resets = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -111,10 +130,15 @@ class L2Transport final : public cionet::FramePort {
   ciobase::CostModel* costs_;
   ciovirtio::KickTarget* kick_;
   ciobase::FrameArena arena_;
+  ciobase::RecoveryConfig recovery_;
+  ciobase::LinkWatchdog watchdog_;
 
   // Guest-private counter shadows; never read back from shared memory.
   uint64_t tx_produced_ = 0;
   uint64_t rx_consumed_ = 0;
+  // Last advisory TxConsumed observed; progress detection for the watchdog.
+  uint64_t last_tx_consumed_ = 0;
+  uint64_t epoch_ = 0;
   Stats stats_;
 };
 

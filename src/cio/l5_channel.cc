@@ -63,6 +63,11 @@ ciobase::Status L5Channel::Close(cionet::SocketId socket) {
   return stack_->TcpClose(socket);
 }
 
+ciobase::Status L5Channel::Abort(cionet::SocketId socket) {
+  Crossing crossing(this);
+  return stack_->TcpAbort(socket);
+}
+
 ciobase::Result<size_t> L5Channel::Send(cionet::SocketId socket,
                                         ciobase::ByteSpan data) {
   // Trusted-component-allocates: the app creates the buffer in the I/O
@@ -95,16 +100,6 @@ ciobase::Result<size_t> L5Channel::Send(cionet::SocketId socket,
   return sent;
 }
 
-ciobase::Result<ciobase::Buffer> L5Channel::Receive(cionet::SocketId socket,
-                                                    size_t max_bytes) {
-  ciobase::Buffer out;
-  auto got = ReceiveInto(socket, max_bytes, out);
-  if (!got.ok()) {
-    return got.status();
-  }
-  return out;
-}
-
 ciobase::Result<size_t> L5Channel::ReceiveInto(cionet::SocketId socket,
                                                size_t max_bytes,
                                                ciobase::Buffer& out) {
@@ -129,10 +124,11 @@ ciobase::Result<size_t> L5Channel::ReceiveInto(cionet::SocketId socket,
   }
   if (!got.ok()) {
     (void)compartments_->Free(app_, *handle);
-    if (got.status().code() == ciobase::StatusCode::kUnavailable) {
-      return static_cast<size_t>(0);  // nothing yet
-    }
     return got.status();
+  }
+  if (*got == 0) {
+    (void)compartments_->Free(app_, *handle);
+    return static_cast<size_t>(0);  // nothing yet
   }
 
   out.resize(*got);
@@ -162,9 +158,9 @@ ciobase::Result<size_t> L5Channel::ReceiveInto(cionet::SocketId socket,
   return *got;
 }
 
-void L5Channel::Poll() {
+ciobase::Status L5Channel::Poll() {
   Crossing crossing(this);
-  stack_->Poll();
+  return stack_->Poll();
 }
 
 }  // namespace cio

@@ -48,26 +48,26 @@ class L5Channel {
   ciobase::Result<cionet::SocketId> Accept(cionet::SocketId listener);
   ciobase::Result<cionet::TcpState> State(cionet::SocketId socket);
   ciobase::Status Close(cionet::SocketId socket);
+  // Abortive close (RST now): the engine's recovery path kills dead
+  // connections through this before re-establishing.
+  ciobase::Status Abort(cionet::SocketId socket);
 
   // Zero-copy send of app bytes (already TLS-protected by the caller —
   // the channel never sees plaintext semantics, just bytes).
   ciobase::Result<size_t> Send(cionet::SocketId socket,
                                ciobase::ByteSpan data);
 
-  // Receives up to `max_bytes`; empty buffer = nothing available yet.
-  // EOF surfaces as kFailedPrecondition from the stack's socket layer.
-  ciobase::Result<ciobase::Buffer> Receive(cionet::SocketId socket,
-                                           size_t max_bytes);
-
-  // Bulk-transfer variant: fills caller-provided `out` (cleared, capacity
-  // reused) instead of allocating a fresh private buffer per call. Returns
-  // the byte count; 0 = nothing available yet. The crossing structure, copy
-  // vs revoke discipline, and modeled charges are identical to Receive().
+  // The single receive entry point: fills caller-provided `out` (cleared,
+  // capacity reused across calls) and returns the byte count. Status
+  // conventions follow NetStack::TcpReceive — Ok(0) = nothing available
+  // yet, kFailedPrecondition = orderly EOF, kLinkReset = the connection
+  // died underneath the app.
   ciobase::Result<size_t> ReceiveInto(cionet::SocketId socket,
                                       size_t max_bytes, ciobase::Buffer& out);
 
   // Drives the I/O compartment (stack poll), one crossing per call.
-  void Poll();
+  // Propagates the stack's link status (kLinkReset / kTimedOut).
+  ciobase::Status Poll();
 
   struct Stats {
     uint64_t crossings = 0;

@@ -1,0 +1,80 @@
+// StackConfig: the one consolidated knob block for a ConfidentialNode.
+//
+// Every tunable a stack assembly needs — profile selection, identity,
+// crypto, the dual-boundary L5/L2 knobs, the guest TCP tuning, and the
+// fault-recovery budgets — lives here, so benchmarks, tests and the attack
+// campaign configure a node in exactly one place. DefaultsFor() returns the
+// validated defaults for a profile; notably only the dual-boundary profile
+// enables link recovery by default (the baselines wedge under a hostile
+// host, which is part of what the campaign measures).
+
+#ifndef SRC_CIO_STACK_CONFIG_H_
+#define SRC_CIO_STACK_CONFIG_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/recovery.h"
+#include "src/cio/l2_config.h"
+#include "src/cio/l5_channel.h"
+#include "src/net/tcp.h"
+#include "src/tee/trust.h"
+
+namespace cio {
+
+enum class StackProfile {
+  kSyscallL5 = 0,
+  kPassthroughL2 = 1,
+  kHardenedVirtio = 2,
+  kDualBoundary = 3,
+  // §3.4: direct device assignment with SPDM attestation + IDE link
+  // protection; the stack stays in the app domain, the device joins the
+  // TCB, and no interface hardening is needed.
+  kDirectDevice = 4,
+  // §2.4's tunneled approach (LightBox-style): every L2 frame padded to a
+  // fixed size and sealed before the host sees it — minimal observability
+  // (even packet-length entropy collapses), maximal TCB.
+  kTunneledL2 = 5,
+};
+inline constexpr int kStackProfileCount = 6;
+
+std::string_view StackProfileName(StackProfile profile);
+std::vector<StackProfile> AllStackProfiles();
+
+// The trust model each profile instantiates (§2.1/§3.1).
+ciotee::TrustModel ProfileTrustModel(StackProfile profile);
+
+struct StackConfig {
+  StackProfile profile = StackProfile::kDualBoundary;
+  uint32_t node_id = 1;  // derives MAC 02:00:…:id and IP 10.0.0.id
+  uint64_t seed = 1;
+  ciobase::Buffer psk;   // attestation-bound pre-shared key
+  bool use_tls = true;   // the design mandates TLS; ablations may disable
+
+  // Dual-boundary knobs.
+  L5ReceiveMode l5_receive = L5ReceiveMode::kCopy;
+  L5BoundaryKind l5_boundary = L5BoundaryKind::kCompartment;
+  DataPositioning l2_positioning = DataPositioning::kInline;
+  ReceiveOwnership l2_rx_ownership = ReceiveOwnership::kCopy;
+  bool l2_polling = true;
+
+  // Guest (and, for the syscall profile, host-proxy) TCP stack tuning. The
+  // recovery campaign shrinks the RTO so retransmit-driven catch-up fits in
+  // a simulated fault window.
+  cionet::TcpConnection::Tuning tcp_tuning;
+
+  // Link-fault recovery: watchdog timeouts, ring-reset budgets, TLS
+  // reconnect budget, resend window. Disabled by default; DefaultsFor()
+  // switches it on for the dual-boundary profile.
+  ciobase::RecoveryConfig recovery;
+
+  // Validated per-profile defaults.
+  static StackConfig DefaultsFor(StackProfile profile, uint32_t node_id = 1);
+
+  bool Valid() const;
+};
+
+}  // namespace cio
+
+#endif  // SRC_CIO_STACK_CONFIG_H_

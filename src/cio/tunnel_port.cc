@@ -33,7 +33,7 @@ uint16_t TunnelPort::mtu() const {
                                cionet::kEthernetHeaderSize);
 }
 
-ciobase::Status TunnelPort::SendFrame(ciobase::ByteSpan frame) {
+ciobase::Status TunnelPort::SealOne(ciobase::ByteSpan frame) {
   if (frame.size() + 2 > kTunnelPayload) {
     return ciobase::InvalidArgument("frame exceeds tunnel capacity");
   }
@@ -52,35 +52,67 @@ ciobase::Status TunnelPort::SendFrame(ciobase::ByteSpan frame) {
 
   // Outer frame: same addressing (the tunnel peer owns the same MAC on the
   // outer segment), dedicated ethertype, uniform size.
-  ciobase::Buffer outer;
+  ciobase::Buffer& outer = tx_stage_.Append();
   cionet::EthernetHeader outer_header{header->dst, header->src,
                                       kEtherTypeTunnel};
   outer_header.Serialize(outer);
   ciobase::Append(outer, sealed);
+  tx_spans_.push_back(ciobase::ByteSpan(outer.data(), outer.size()));
   ++stats_.frames_sealed;
-  return inner_->SendFrame(outer);
+  return ciobase::OkStatus();
 }
 
-ciobase::Result<ciobase::Buffer> TunnelPort::ReceiveFrame() {
-  for (;;) {
-    auto outer = inner_->ReceiveFrame();
-    if (!outer.ok()) {
-      return outer.status();
+ciobase::Result<size_t> TunnelPort::SendFrames(
+    std::span<const ciobase::ByteSpan> frames) {
+  tx_stage_.Clear();
+  tx_spans_.clear();
+  ciobase::Status reject = ciobase::OkStatus();
+  for (ciobase::ByteSpan frame : frames) {
+    reject = SealOne(frame);
+    if (!reject.ok()) {
+      break;  // stop at the first frame the tunnel itself rejects
     }
-    auto header = cionet::EthernetHeader::Parse(*outer);
+  }
+  if (tx_spans_.empty()) {
+    if (!reject.ok()) {
+      return reject;
+    }
+    return static_cast<size_t>(0);
+  }
+  // One inner batch for the whole sealed run: the inner port reads its host
+  // counters once and rings one doorbell. If the inner port rejects
+  // mid-batch, the already-sealed tail is dropped (their record sequence
+  // numbers are burned, as in any seal-then-drop path); TCP above
+  // retransmits the payload through fresh records.
+  ciobase::Result<size_t> sent = inner_->SendFrames(tx_spans_);
+  if (!sent.ok()) {
+    return sent.status();
+  }
+  return *sent;
+}
+
+ciobase::Result<size_t> TunnelPort::ReceiveFrames(cionet::FrameBatch& batch,
+                                                  size_t max_frames) {
+  batch.Clear();
+  ciobase::Result<size_t> outer_got =
+      inner_->ReceiveFrames(rx_outer_, max_frames);
+  if (!outer_got.ok()) {
+    return outer_got.status();  // kLinkReset / kTimedOut pass through
+  }
+  for (size_t i = 0; i < rx_outer_.size(); ++i) {
+    ciobase::ByteSpan outer = rx_outer_[i];
+    auto header = cionet::EthernetHeader::Parse(outer);
     if (!header.ok() || header->ether_type != kEtherTypeTunnel) {
       continue;  // non-tunnel traffic on the outer segment: ignore
     }
-    ciobase::ByteSpan sealed =
-        ciobase::ByteSpan(*outer).subspan(cionet::kEthernetHeaderSize);
+    ciobase::ByteSpan sealed = outer.subspan(cionet::kEthernetHeaderSize);
     if (sealed.size() <= ciotls::kRecordHeaderSize) {
       ++stats_.auth_failures;
       continue;
     }
     costs_->ChargeAead(sealed.size());
-    auto plaintext = recv_key_.Open(
-        ciotls::RecordType::kApplicationData,
-        sealed.subspan(ciotls::kRecordHeaderSize));
+    auto plaintext = recv_key_.Open(ciotls::RecordType::kApplicationData,
+                                    sealed.subspan(ciotls::kRecordHeaderSize));
     if (!plaintext.ok()) {
       ++stats_.auth_failures;  // tampered/replayed tunnel frame: dropped
       continue;
@@ -95,9 +127,10 @@ ciobase::Result<ciobase::Buffer> TunnelPort::ReceiveFrame() {
       continue;
     }
     ++stats_.frames_opened;
-    return ciobase::Buffer(plaintext->begin() + 2,
-                           plaintext->begin() + 2 + inner_len);
+    ciobase::Buffer& slot = batch.Append();
+    slot.assign(plaintext->begin() + 2, plaintext->begin() + 2 + inner_len);
   }
+  return batch.size();
 }
 
 }  // namespace cio

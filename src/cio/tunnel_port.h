@@ -34,8 +34,14 @@ class TunnelPort final : public cionet::FramePort {
   TunnelPort(cionet::FramePort* inner, ciobase::ByteSpan psk,
              bool is_initiator, ciobase::CostModel* costs);
 
-  ciobase::Status SendFrame(ciobase::ByteSpan frame) override;
-  ciobase::Result<ciobase::Buffer> ReceiveFrame() override;
+  // Each frame in the batch is sealed to the fixed tunnel size and handed
+  // to the inner port; the inner port coalesces its own doorbell across the
+  // batch. Receive opens every authentic tunnel frame the inner batch
+  // yields; link statuses (kLinkReset / kTimedOut) pass through untouched.
+  ciobase::Result<size_t> SendFrames(
+      std::span<const ciobase::ByteSpan> frames) override;
+  ciobase::Result<size_t> ReceiveFrames(cionet::FrameBatch& batch,
+                                        size_t max_frames) override;
   cionet::MacAddress mac() const override { return inner_->mac(); }
   // The fixed padding eats into the usable MTU.
   uint16_t mtu() const override;
@@ -53,11 +59,19 @@ class TunnelPort final : public cionet::FramePort {
   static constexpr size_t kTunnelPayload = 1400;
 
  private:
+  // Seals one frame into tx_stage_/tx_spans_; kInvalidArgument if the frame
+  // cannot ride the tunnel (oversized, unparseable header).
+  ciobase::Status SealOne(ciobase::ByteSpan frame);
+
   cionet::FramePort* inner_;
   ciobase::CostModel* costs_;
   ciotls::SealingKey send_key_;
   ciotls::SealingKey recv_key_;
   Stats stats_;
+  // Reused staging for batched send/receive (capacity pooled across calls).
+  cionet::FrameBatch tx_stage_;
+  std::vector<ciobase::ByteSpan> tx_spans_;
+  cionet::FrameBatch rx_outer_;
 };
 
 }  // namespace cio

@@ -39,6 +39,45 @@ std::vector<AttackStrategy> AllAttackStrategies() {
           AttackStrategy::kMalformedChain};
 }
 
+std::string_view FaultStrategyName(FaultStrategy strategy) {
+  switch (strategy) {
+    case FaultStrategy::kNone:
+      return "none";
+    case FaultStrategy::kSwallowDoorbell:
+      return "swallow-doorbell";
+    case FaultStrategy::kStallCounters:
+      return "stall-counters";
+    case FaultStrategy::kGarbageCounters:
+      return "garbage-counters";
+    case FaultStrategy::kDropFrames:
+      return "drop-frames";
+    case FaultStrategy::kDuplicateFrames:
+      return "duplicate-frames";
+    case FaultStrategy::kTornWrite:
+      return "torn-write";
+    case FaultStrategy::kLinkKill:
+      return "link-kill";
+  }
+  return "?";
+}
+
+std::vector<FaultStrategy> AllFaultStrategies() {
+  return {FaultStrategy::kSwallowDoorbell, FaultStrategy::kStallCounters,
+          FaultStrategy::kGarbageCounters, FaultStrategy::kDropFrames,
+          FaultStrategy::kDuplicateFrames, FaultStrategy::kTornWrite,
+          FaultStrategy::kLinkKill};
+}
+
+bool Adversary::FaultActive(FaultStrategy strategy, uint64_t now_ns) {
+  for (const FaultWindow& fault : faults_) {
+    if (fault.strategy == strategy && fault.ActiveAt(now_ns)) {
+      ++fault_events_;
+      return true;
+    }
+  }
+  return false;
+}
+
 void Adversary::Arm(ciotee::SharedRegion* region,
                     std::vector<SurfaceField> surface) {
   region_ = region;

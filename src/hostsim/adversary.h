@@ -17,6 +17,14 @@
 //     descriptor chains, jump indices. These model a compromised device
 //     backend rather than a memory racer.
 //
+//  3. Transient faults. Time-windowed denial behaviors — swallowed
+//     doorbells, stalled or garbage counters, dropped/duplicated frames,
+//     torn descriptor writes, outright link kill — injected at a chosen
+//     simulated time for a chosen duration. These exercise the guest's
+//     *recovery* machinery (watchdogs, ring reset, TLS re-establishment)
+//     rather than its safety checks: the question is not "does the guest
+//     stay uncorrupted" but "does the guest come back".
+//
 // The campaign harness (src/cio/attack_campaign.*) decides the outcome of
 // each attack from ground truth: TEE memory violations, compartment
 // violations, delivered-vs-sent payload comparison, and AEAD failures.
@@ -49,6 +57,41 @@ inline constexpr int kAttackStrategyCount = 9;
 
 std::string_view AttackStrategyName(AttackStrategy strategy);
 std::vector<AttackStrategy> AllAttackStrategies();
+
+// Transient host faults: each denies service in a different way while the
+// fault window is open, then the host resumes honest behavior. A recovering
+// guest should notice the stall (watchdog), reset and reattach its ring, and
+// let TCP/TLS replay whatever was in flight.
+enum class FaultStrategy {
+  kNone = 0,
+  kSwallowDoorbell,   // guest kicks are silently ignored
+  kStallCounters,     // host processes nothing and publishes no progress
+  kGarbageCounters,   // host publishes absurd ring counters / used indices
+  kDropFrames,        // frames vanish between ring and fabric, both ways
+  kDuplicateFrames,   // every frame is delivered twice
+  kTornWrite,         // RX payloads are written only partially (torn)
+  kLinkKill,          // the device goes completely dead for the window
+};
+inline constexpr int kFaultStrategyCount = 8;
+
+std::string_view FaultStrategyName(FaultStrategy strategy);
+// Every injectable fault (excluding kNone), for campaign sweeps.
+std::vector<FaultStrategy> AllFaultStrategies();
+
+// A fault armed at a point in simulated time. duration_ns == 0 means the
+// fault never clears (a permanently hostile host).
+struct FaultWindow {
+  FaultStrategy strategy = FaultStrategy::kNone;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+
+  bool ActiveAt(uint64_t now_ns) const {
+    if (strategy == FaultStrategy::kNone || now_ns < start_ns) {
+      return false;
+    }
+    return duration_ns == 0 || now_ns - start_ns < duration_ns;
+  }
+};
 
 // Where interesting fields live in a shared region; registered by transports.
 enum class FieldKind { kLength, kOffset, kIndex, kPayload, kFlags };
@@ -85,11 +128,23 @@ class Adversary {
   // True if the device should emit a malformed (looping/overlong) chain.
   bool ShouldMalformChain();
 
+  // --- Transient fault injection (consulted by host device poll loops) -----
+
+  // Arms a fault window. Windows accumulate until ClearFaults().
+  void InjectFault(FaultWindow window) { faults_.push_back(window); }
+  void ClearFaults() { faults_.clear(); }
+
+  // True if `strategy` is active at `now_ns`; counts each hit as a fault
+  // event so campaigns can assert the fault actually fired.
+  bool FaultActive(FaultStrategy strategy, uint64_t now_ns);
+
   uint64_t tamper_count() const { return tamper_count_; }
   uint64_t behavior_count() const { return behavior_count_; }
+  uint64_t fault_events() const { return fault_events_; }
   void ResetCounters() {
     tamper_count_ = 0;
     behavior_count_ = 0;
+    fault_events_ = 0;
   }
 
  private:
@@ -106,6 +161,8 @@ class Adversary {
   uint64_t window_ = 0;
   uint64_t tamper_count_ = 0;
   uint64_t behavior_count_ = 0;
+  std::vector<FaultWindow> faults_;
+  uint64_t fault_events_ = 0;
 };
 
 }  // namespace ciohost

@@ -108,14 +108,38 @@ class DirectFabricPort final : public FramePort {
         mac_(mac),
         mtu_(mtu) {}
 
-  ciobase::Status SendFrame(ciobase::ByteSpan frame) override {
-    if (frame.size() > kEthernetHeaderSize + mtu_) {
-      return ciobase::InvalidArgument("frame exceeds MTU");
+  ciobase::Result<size_t> SendFrames(
+      std::span<const ciobase::ByteSpan> frames) override {
+    size_t sent = 0;
+    for (ciobase::ByteSpan frame : frames) {
+      if (frame.size() > kEthernetHeaderSize + mtu_) {
+        if (sent == 0) {
+          return ciobase::InvalidArgument("frame exceeds MTU");
+        }
+        break;
+      }
+      ciobase::Status status = fabric_->Inject(endpoint_, frame);
+      if (!status.ok()) {
+        if (sent == 0) {
+          return status;
+        }
+        break;
+      }
+      ++sent;
     }
-    return fabric_->Inject(endpoint_, frame);
+    return sent;
   }
-  ciobase::Result<ciobase::Buffer> ReceiveFrame() override {
-    return fabric_->Poll(endpoint_);
+  ciobase::Result<size_t> ReceiveFrames(FrameBatch& batch,
+                                        size_t max_frames) override {
+    batch.Clear();
+    while (batch.size() < max_frames) {
+      ciobase::Result<ciobase::Buffer> frame = fabric_->Poll(endpoint_);
+      if (!frame.ok()) {
+        break;
+      }
+      batch.Push(std::move(*frame));
+    }
+    return batch.size();
   }
   MacAddress mac() const override { return mac_; }
   uint16_t mtu() const override { return mtu_; }

@@ -5,13 +5,23 @@
 // hardened L2 transport (cio::L2Transport), and a trusted DirectFabricPort
 // used for unit-testing the stack without any host in the way.
 //
-// Besides the per-frame SendFrame/ReceiveFrame pair, ports expose batched
-// SendFrames/ReceiveFrames entry points. The defaults are plain per-frame
-// loops, so every port is batch-correct by construction; transports that talk
-// to a host ring override them to read the host counters once per batch,
-// publish produced/consumed pointers once, and coalesce the doorbell into a
-// single kick (virtio-style event suppression). Batching must never change
-// what bytes arrive — only how often the shared ring is touched.
+// The datapath has exactly two entry points — batched SendFrames and
+// ReceiveFrames — so the single-fetch validation discipline is implemented
+// (and audited) in one place per transport. A "single" frame is a batch of
+// size one; the SendOne/ReceiveOne helpers below provide that sugar for
+// tests and examples. Ring-backed transports read the host counters once per
+// batch, publish produced/consumed pointers once, and coalesce the doorbell
+// into a single kick (virtio-style event suppression). Batching must never
+// change what bytes arrive — only how often the shared ring is touched.
+//
+// Result conventions (the unified Status datapath API):
+//   Ok(n)       n frames moved; Ok(0) from ReceiveFrames means nothing is
+//               pending right now — not an error.
+//   kTimedOut   the transport's watchdog expired and its reset budget is
+//               exhausted; the link is dead.
+//   kLinkReset  the transport reset and reattached its ring during this
+//               call; frames in flight on the old ring are gone. Callers
+//               above TCP need no action (retransmission catches up).
 
 #ifndef SRC_NET_PORT_H_
 #define SRC_NET_PORT_H_
@@ -77,45 +87,48 @@ class FramePort {
  public:
   virtual ~FramePort() = default;
 
-  // Queues one Ethernet frame for transmission. Frames larger than the MTU
-  // plus the Ethernet header are rejected.
-  virtual ciobase::Status SendFrame(ciobase::ByteSpan frame) = 0;
-
-  // Returns the next received frame, or kUnavailable when none is pending.
-  virtual ciobase::Result<ciobase::Buffer> ReceiveFrame() = 0;
-
-  // Sends frames in order, stopping at the first one the port rejects
-  // (ring full, oversized). Returns how many were accepted. The default is a
-  // per-frame loop; ring-backed ports override it to touch the shared ring
-  // once per batch and fire at most one doorbell.
-  virtual size_t SendFrames(std::span<const ciobase::ByteSpan> frames) {
-    size_t sent = 0;
-    for (ciobase::ByteSpan frame : frames) {
-      if (!SendFrame(frame).ok()) {
-        break;
-      }
-      ++sent;
-    }
-    return sent;
-  }
+  // Sends frames in order, stopping at the first one the port rejects (ring
+  // full, oversized). Returns how many were accepted; if the very first
+  // frame is rejected, returns the rejecting status instead, so callers see
+  // *why* the link is not moving. Ok(0) only for an empty input span.
+  virtual ciobase::Result<size_t> SendFrames(
+      std::span<const ciobase::ByteSpan> frames) = 0;
 
   // Clears `batch` and fills it with up to `max_frames` pending frames.
-  // Returns the number received (0 when none are pending).
-  virtual size_t ReceiveFrames(FrameBatch& batch, size_t max_frames) {
-    batch.Clear();
-    while (batch.size() < max_frames) {
-      ciobase::Result<ciobase::Buffer> frame = ReceiveFrame();
-      if (!frame.ok()) {
-        break;
-      }
-      batch.Push(std::move(*frame));
-    }
-    return batch.size();
-  }
+  // Returns the number received — Ok(0) when none are pending — or kTimedOut
+  // / kLinkReset per the conventions above.
+  virtual ciobase::Result<size_t> ReceiveFrames(FrameBatch& batch,
+                                                size_t max_frames) = 0;
 
   virtual MacAddress mac() const = 0;
   virtual uint16_t mtu() const = 0;
 };
+
+// Sends a single frame as a batch of one. Ok only if the frame was accepted.
+inline ciobase::Status SendOne(FramePort& port, ciobase::ByteSpan frame) {
+  ciobase::Result<size_t> sent = port.SendFrames({&frame, 1});
+  if (!sent.ok()) {
+    return sent.status();
+  }
+  return *sent == 1 ? ciobase::OkStatus()
+                    : ciobase::ResourceExhausted("frame not accepted");
+}
+
+// Receives a single frame as a batch of one. kUnavailable when none is
+// pending; other codes pass through. Allocates a fresh batch per call, so
+// this is for tests/examples — hot paths keep a FrameBatch of their own.
+inline ciobase::Result<ciobase::Buffer> ReceiveOne(FramePort& port) {
+  FrameBatch batch;
+  ciobase::Result<size_t> got = port.ReceiveFrames(batch, 1);
+  if (!got.ok()) {
+    return got.status();
+  }
+  if (*got == 0) {
+    return ciobase::Unavailable("no frame pending");
+  }
+  ciobase::ByteSpan frame = batch[0];
+  return ciobase::Buffer(frame.begin(), frame.end());
+}
 
 }  // namespace cionet
 

@@ -76,9 +76,9 @@ void NetStack::SendFrameTo(MacAddress dst, uint16_t ether_type,
     tx_staged_.push_back(std::move(frame));
     return;
   }
-  ciobase::Status status = port_->SendFrame(frame);
+  ciobase::Status status = SendOne(*port_, frame);
   if (!status.ok()) {
-    CIO_LOG(kDebug) << "SendFrame failed: " << status.ToString();
+    CIO_LOG(kDebug) << "SendOne failed: " << status.ToString();
   }
   tx_arena_.Release(std::move(frame));
 }
@@ -93,16 +93,21 @@ void NetStack::FlushTxBatch() {
   }
   size_t offset = 0;
   while (offset < tx_spans_.size()) {
-    size_t sent = port_->SendFrames(
+    ciobase::Result<size_t> sent = port_->SendFrames(
         std::span<const ciobase::ByteSpan>(tx_spans_).subspan(offset));
-    if (sent == 0) {
-      // The port rejected the next frame without progress (ring full and
-      // nothing draining): drop the remainder, like per-frame sends failing.
+    if (!sent.ok()) {
+      // The port rejected the next frame without progress (ring full, link
+      // dead): drop the remainder, like per-frame sends failing. TCP
+      // retransmission replays whatever mattered.
       CIO_LOG(kDebug) << "SendFrames dropped "
-                      << (tx_spans_.size() - offset) << " staged frames";
+                      << (tx_spans_.size() - offset) << " staged frames: "
+                      << sent.status().ToString();
       break;
     }
-    offset += sent;
+    if (*sent == 0) {
+      break;
+    }
+    offset += *sent;
   }
   for (ciobase::Buffer& frame : tx_staged_) {
     tx_arena_.Release(std::move(frame));
@@ -134,7 +139,7 @@ void NetStack::SendIpv4(Ipv4Address dst, uint8_t protocol,
         arp_.NoteRequestSent(next_hop);
         ciobase::Buffer request = arp_.MakeRequestFrame(next_hop);
         ++stats_.frames_tx;
-        (void)port_->SendFrame(request);
+        (void)SendOne(*port_, request);
       }
     }
   }
@@ -175,7 +180,7 @@ void NetStack::HandleFrame(ciobase::ByteSpan frame) {
     std::optional<ciobase::Buffer> reply = arp_.HandlePacket(payload);
     if (reply.has_value()) {
       ++stats_.frames_tx;
-      (void)port_->SendFrame(*reply);
+      (void)SendOne(*port_, *reply);
     }
     if (arp.ok()) {
       FlushArpPending(arp->sender_ip);
@@ -341,18 +346,32 @@ void NetStack::FlushTcpOutput(Socket& socket) {
   }
 }
 
-void NetStack::Poll() {
+ciobase::Status NetStack::Poll() {
+  ciobase::Status link = ciobase::OkStatus();
   // Everything one poll round emits — ACKs for a burst of received frames,
   // retransmits, window updates across sockets — leaves as one TX batch.
   ++tx_batch_depth_;
   // Drain the port in batches; each ReceiveFrames call touches the shared
   // ring once however many frames it returns.
   for (;;) {
-    size_t n = port_->ReceiveFrames(rx_batch_, kRxBatchFrames);
-    for (size_t i = 0; i < n; ++i) {
+    ciobase::Result<size_t> got = port_->ReceiveFrames(rx_batch_,
+                                                       kRxBatchFrames);
+    if (!got.ok()) {
+      // kLinkReset: the transport reset + reattached; in-flight frames died
+      // on the old ring but TCP retransmission replays them — the timers
+      // below keep running. kTimedOut: the link is dead; surface it.
+      if (got.status().code() == ciobase::StatusCode::kLinkReset) {
+        ++stats_.link_resets;
+      } else if (got.status().code() == ciobase::StatusCode::kTimedOut) {
+        ++stats_.link_timeouts;
+      }
+      link = got.status();
+      break;
+    }
+    for (size_t i = 0; i < *got; ++i) {
       HandleFrame(rx_batch_[i]);
     }
-    if (n < kRxBatchFrames) {
+    if (*got < kRxBatchFrames) {
       break;
     }
   }
@@ -378,6 +397,7 @@ void NetStack::Poll() {
   if (--tx_batch_depth_ == 0) {
     FlushTxBatch();
   }
+  return link;
 }
 
 // --- UDP API -------------------------------------------------------------------
@@ -502,7 +522,23 @@ ciobase::Result<size_t> NetStack::TcpReceive(SocketId id,
   }
   auto result = socket->conn->Receive(out);
   FlushTcpOutput(*socket);  // window updates
-  return result;
+  // Unified Status conventions: Ok(0) = nothing pending yet,
+  // kFailedPrecondition = orderly EOF, kLinkReset = the connection died
+  // (RST, retransmission exhaustion) and must be re-established.
+  if (result.ok()) {
+    if (*result == 0) {
+      return ciobase::FailedPrecondition("orderly EOF");
+    }
+    return result;
+  }
+  switch (result.status().code()) {
+    case ciobase::StatusCode::kUnavailable:
+      return static_cast<size_t>(0);
+    case ciobase::StatusCode::kFailedPrecondition:
+      return ciobase::LinkReset(result.status().message());
+    default:
+      return result.status();
+  }
 }
 
 ciobase::Status NetStack::TcpClose(SocketId id) {

@@ -53,7 +53,11 @@ class NetStack {
   NetStack& operator=(const NetStack&) = delete;
 
   // Drains the port, dispatches packets, runs timers, flushes output.
-  void Poll();
+  // Returns the link status: kLinkReset when the port reset + reattached
+  // its ring this round (TCP retransmission recovers transparently; the
+  // caller may want to know for accounting), kTimedOut when the port's
+  // watchdog declared the link dead. Ok otherwise.
+  ciobase::Status Poll();
 
   Ipv4Address ip() const { return config_.ip; }
 
@@ -72,6 +76,10 @@ class NetStack {
   // Next pending connection on a listener, or kUnavailable.
   ciobase::Result<SocketId> TcpAccept(SocketId listener);
   ciobase::Result<size_t> TcpSend(SocketId socket, ciobase::ByteSpan data);
+  // Reads received in-order bytes. Ok(0) = nothing pending yet (poll
+  // again); kFailedPrecondition = orderly EOF (peer FIN drained);
+  // kLinkReset = the connection died underneath the application (RST or
+  // retransmission exhaustion) and must be re-established.
   ciobase::Result<size_t> TcpReceive(SocketId socket,
                                      ciobase::MutableByteSpan out);
   ciobase::Status TcpClose(SocketId socket);
@@ -90,6 +98,8 @@ class NetStack {
     uint64_t checksum_errors = 0;
     uint64_t no_socket_drops = 0;
     uint64_t rst_sent = 0;
+    uint64_t link_resets = 0;    // port returned kLinkReset
+    uint64_t link_timeouts = 0;  // port returned kTimedOut
   };
   const Stats& stats() const { return stats_; }
 

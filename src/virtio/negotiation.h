@@ -46,6 +46,11 @@ struct ConfigLayout {
   uint64_t DriverFeaturesOffset() const { return base + 16; }
   uint64_t MacOffset() const { return base + 24; }
   uint64_t MtuOffset() const { return base + 30; }
+  // Reset epochs (recovery protocol): the guest bumps ResetEpoch before
+  // re-negotiating after a watchdog-triggered ring reset; an honest device
+  // adopts it (zeroing its virtqueue shadows) and echoes DeviceEpoch.
+  uint64_t ResetEpochOffset() const { return base + 32; }
+  uint64_t DeviceEpochOffset() const { return base + 40; }
   static constexpr uint64_t kSize = 64;
 };
 

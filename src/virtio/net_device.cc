@@ -42,7 +42,17 @@ VirtioNetDevice::VirtioNetDevice(ciotee::SharedRegion* region,
   DeviceInitConfig(region, layout.config, offered_features, mac, mtu);
 }
 
+bool VirtioNetDevice::Faulted(ciohost::FaultStrategy strategy) const {
+  return adversary_ != nullptr &&
+         adversary_->FaultActive(strategy, clock_->now_ns());
+}
+
 void VirtioNetDevice::Kick() {
+  if (Faulted(ciohost::FaultStrategy::kSwallowDoorbell) ||
+      Faulted(ciohost::FaultStrategy::kLinkKill)) {
+    ++stats_.kicks_swallowed;
+    return;
+  }
   ++stats_.kicks;
   if (observability_ != nullptr) {
     observability_->Record(ciohost::ObsCategory::kDoorbell, clock_->now_ns(),
@@ -52,9 +62,37 @@ void VirtioNetDevice::Kick() {
 }
 
 void VirtioNetDevice::Poll() {
+  // A killed or stalled device touches nothing — not even the reset epoch —
+  // so a guest-side reattach goes unanswered until the fault clears.
+  if (Faulted(ciohost::FaultStrategy::kLinkKill) ||
+      Faulted(ciohost::FaultStrategy::kStallCounters)) {
+    return;
+  }
+  AdoptGuestEpoch();
   DeviceProcessStatus(region_, layout_.config, offered_features_);
   DrainTx();
   FillRx();
+  if (Faulted(ciohost::FaultStrategy::kGarbageCounters)) {
+    // Publish absurd used indices on both rings; the cells are rewritten
+    // honestly (from the device shadows) once the fault window closes.
+    region_->HostWriteLe16(layout_.tx.UsedIdx(), 0xffff);
+    region_->HostWriteLe16(layout_.rx.UsedIdx(), 0xffff);
+  }
+}
+
+void VirtioNetDevice::AdoptGuestEpoch() {
+  uint64_t guest_epoch =
+      region_->HostReadLe64(layout_.config.ResetEpochOffset());
+  if (guest_epoch == epoch_) {
+    return;
+  }
+  // The guest reset and is renegotiating: forget both rings' shadows and
+  // echo the epoch so the reattach is observable.
+  epoch_ = guest_epoch;
+  tx_.Reset();
+  rx_.Reset();
+  region_->HostWriteLe64(layout_.config.DeviceEpochOffset(), epoch_);
+  ++stats_.epoch_adoptions;
 }
 
 void VirtioNetDevice::DrainTx() {
@@ -84,7 +122,15 @@ void VirtioNetDevice::DrainTx() {
                              clock_->now_ns(), "tx frame");
     }
     ++stats_.frames_tx;
-    (void)fabric_->Inject(endpoint_, frame);
+    if (Faulted(ciohost::FaultStrategy::kDropFrames)) {
+      ++stats_.frames_dropped_fault;  // completion claimed, frame gone
+    } else {
+      (void)fabric_->Inject(endpoint_, frame);
+      if (Faulted(ciohost::FaultStrategy::kDuplicateFrames)) {
+        (void)fabric_->Inject(endpoint_, frame);
+        ++stats_.frames_duplicated_fault;
+      }
+    }
     tx_.PushUsed(*head, static_cast<uint32_t>(frame.size()),
                  static_cast<uint32_t>(frame.size()));
   }
@@ -96,26 +142,40 @@ void VirtioNetDevice::FillRx() {
     if (!frame.ok()) {
       break;
     }
-    std::optional<uint16_t> head = rx_.PopAvail();
-    if (!head.has_value()) {
-      ++stats_.rx_dropped_no_buffer;
+    if (Faulted(ciohost::FaultStrategy::kDropFrames)) {
+      ++stats_.frames_dropped_fault;
       continue;
     }
-    VirtqDesc desc = rx_.ReadDesc(*head);
-    if (adversary_ != nullptr) {
-      adversary_->MaybeCorruptPayload(*frame);
+    int copies = Faulted(ciohost::FaultStrategy::kDuplicateFrames) ? 2 : 1;
+    bool torn = Faulted(ciohost::FaultStrategy::kTornWrite);
+    for (int c = 0; c < copies; ++c) {
+      std::optional<uint16_t> head = rx_.PopAvail();
+      if (!head.has_value()) {
+        ++stats_.rx_dropped_no_buffer;
+        break;
+      }
+      if (c > 0) {
+        ++stats_.frames_duplicated_fault;
+      }
+      VirtqDesc desc = rx_.ReadDesc(*head);
+      if (adversary_ != nullptr) {
+        adversary_->MaybeCorruptPayload(*frame);
+      }
+      uint32_t n = std::min<uint32_t>(static_cast<uint32_t>(frame->size()),
+                                      desc.len);
+      // Torn write: claim `n` bytes but land only the first half; the tail
+      // is stale pool memory. TCP's checksum catches it downstream.
+      uint32_t written = torn ? n / 2 : n;
+      region_->HostWrite(desc.addr, ciobase::ByteSpan(frame->data(), written));
+      if (observability_ != nullptr) {
+        observability_->Record(ciohost::ObsCategory::kPacketLength,
+                               frame->size(), "rx frame");
+        observability_->Record(ciohost::ObsCategory::kPacketTiming,
+                               clock_->now_ns(), "rx frame");
+      }
+      ++stats_.frames_rx;
+      rx_.PushUsed(*head, n, desc.len);
     }
-    uint32_t n = std::min<uint32_t>(static_cast<uint32_t>(frame->size()),
-                                    desc.len);
-    region_->HostWrite(desc.addr, ciobase::ByteSpan(frame->data(), n));
-    if (observability_ != nullptr) {
-      observability_->Record(ciohost::ObsCategory::kPacketLength,
-                             frame->size(), "rx frame");
-      observability_->Record(ciohost::ObsCategory::kPacketTiming,
-                             clock_->now_ns(), "rx frame");
-    }
-    ++stats_.frames_rx;
-    rx_.PushUsed(*head, n, desc.len);
   }
 }
 

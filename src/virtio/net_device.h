@@ -66,10 +66,16 @@ class VirtioNetDevice final : public KickTarget {
     uint64_t frames_rx = 0;  // fabric -> guest
     uint64_t rx_dropped_no_buffer = 0;
     uint64_t kicks = 0;
+    uint64_t kicks_swallowed = 0;
+    uint64_t frames_dropped_fault = 0;
+    uint64_t frames_duplicated_fault = 0;
+    uint64_t epoch_adoptions = 0;
   };
   const Stats& stats() const { return stats_; }
 
  private:
+  bool Faulted(ciohost::FaultStrategy strategy) const;
+  void AdoptGuestEpoch();
   void DrainTx();
   void FillRx();
 
@@ -84,6 +90,7 @@ class VirtioNetDevice final : public KickTarget {
   ciohost::Adversary* adversary_;
   ciohost::ObservabilityLog* observability_;
   ciobase::SimClock* clock_;
+  uint64_t epoch_ = 0;  // last guest reset epoch this device adopted
   Stats stats_;
 };
 

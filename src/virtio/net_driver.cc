@@ -20,7 +20,8 @@ VirtioNetDriver::VirtioNetDriver(ciotee::SharedRegion* region,
                                  VirtioNetLayout layout, KickTarget* device,
                                  ciobase::CostModel* costs,
                                  HardeningOptions hardening,
-                                 ciohost::ObservabilityLog* observability)
+                                 ciohost::ObservabilityLog* observability,
+                                 const ciobase::RecoveryConfig& recovery)
     : region_(region),
       layout_(layout),
       tx_(region, layout.tx, costs),
@@ -30,7 +31,9 @@ VirtioNetDriver::VirtioNetDriver(ciotee::SharedRegion* region,
       device_(device),
       costs_(costs),
       hardening_(hardening),
-      observability_(observability) {}
+      observability_(observability),
+      recovery_(recovery),
+      watchdog_(recovery) {}
 
 ciobase::Status VirtioNetDriver::Negotiate() {
   auto config = DriverNegotiate(region_, layout_.config, kWantedFeatures,
@@ -75,69 +78,43 @@ void VirtioNetDriver::PostRxBuffer() {
   ++stats_.rx_reposts;
 }
 
-ciobase::Status VirtioNetDriver::SendFrame(ciobase::ByteSpan frame) {
+ciobase::Result<size_t> VirtioNetDriver::SendFrames(
+    std::span<const ciobase::ByteSpan> frames) {
   if (!negotiated_) {
     return ciobase::FailedPrecondition("driver not negotiated");
   }
-  if (frame.size() > config_.mtu + cionet::kEthernetHeaderSize) {
-    return ciobase::InvalidArgument("frame exceeds MTU");
-  }
-  if (frame.size() > pool_.slot_size()) {
-    return ciobase::InvalidArgument("frame exceeds pool slot");
-  }
-  ReapTxCompletions();
-  auto desc_id = tx_.AllocDesc();
-  if (!desc_id.has_value()) {
-    return ciobase::ResourceExhausted("tx ring full");
-  }
-  auto slot = pool_.AllocSlot();
-  if (!slot.ok()) {
-    tx_.FreeDesc(*desc_id);
-    return ciobase::ResourceExhausted("tx pool exhausted");
-  }
-  // The bounce-out copy into shared memory. In a CVM this is mandatory
-  // (the device cannot read encrypted memory); SWIOTLB merely makes it
-  // implicit. Here it is explicit and charged.
-  CIO_RETURN_IF_ERROR(pool_.CopyOut(*slot, frame));
-  VirtqDesc desc;
-  desc.addr = *slot;
-  desc.len = static_cast<uint32_t>(frame.size());
-  tx_.WriteDesc(*desc_id, desc);
-  tx_.PostAvail(*desc_id);
-  tx_outstanding_[*desc_id] = *slot;
-  ++stats_.frames_sent;
-  if (!hardening_.polling) {
-    costs_->ChargeNotify();
-    device_->Kick();
-  }
-  return ciobase::OkStatus();
-}
-
-size_t VirtioNetDriver::SendFrames(std::span<const ciobase::ByteSpan> frames) {
-  if (!negotiated_ || frames.empty()) {
-    return 0;
+  if (frames.empty()) {
+    return size_t{0};
   }
   // Reap once up front for the whole batch instead of once per frame. The
   // device cannot produce new completions mid-batch (it runs on kicks or
   // external polls), so one reap sees everything a per-frame loop would.
   ReapTxCompletions();
   size_t sent = 0;
+  ciobase::Status reject = ciobase::OkStatus();
   for (ciobase::ByteSpan frame : frames) {
     if (frame.size() > config_.mtu + cionet::kEthernetHeaderSize ||
         frame.size() > pool_.slot_size()) {
-      break;  // same rejection as SendFrame; callers see the short count
+      reject = ciobase::InvalidArgument("frame exceeds MTU/pool slot");
+      break;
     }
     auto desc_id = tx_.AllocDesc();
     if (!desc_id.has_value()) {
+      reject = ciobase::ResourceExhausted("tx ring full");
       break;
     }
     auto slot = pool_.AllocSlot();
     if (!slot.ok()) {
       tx_.FreeDesc(*desc_id);
+      reject = slot.status();
       break;
     }
-    if (!pool_.CopyOut(*slot, frame).ok()) {
+    // The bounce-out copy into shared memory. In a CVM this is mandatory
+    // (the device cannot read encrypted memory); SWIOTLB merely makes it
+    // implicit. Here it is explicit and charged.
+    if (ciobase::Status copied = pool_.CopyOut(*slot, frame); !copied.ok()) {
       tx_.FreeDesc(*desc_id);
+      reject = copied;
       break;
     }
     VirtqDesc desc;
@@ -149,19 +126,25 @@ size_t VirtioNetDriver::SendFrames(std::span<const ciobase::ByteSpan> frames) {
     ++stats_.frames_sent;
     ++sent;
   }
-  // One doorbell covers every frame posted above.
-  if (sent > 0 && !hardening_.polling) {
-    costs_->ChargeNotify();
-    device_->Kick();
+  if (sent > 0) {
+    // One doorbell covers every frame posted above.
+    if (!hardening_.polling) {
+      costs_->ChargeNotify();
+      device_->Kick();
+    }
+    watchdog_.Arm(costs_->clock()->now_ns());
+  }
+  if (sent == 0 && !reject.ok()) {
+    return reject;
   }
   return sent;
 }
 
-size_t VirtioNetDriver::ReceiveFrames(cionet::FrameBatch& batch,
-                                      size_t max_frames) {
+ciobase::Result<size_t> VirtioNetDriver::ReceiveFrames(
+    cionet::FrameBatch& batch, size_t max_frames) {
   batch.Clear();
   if (!negotiated_) {
-    return 0;
+    return ciobase::FailedPrecondition("driver not negotiated");
   }
   // One read of the shared used index covers the whole batch; each entry and
   // each payload still goes through the per-frame validation path verbatim.
@@ -180,10 +163,55 @@ size_t VirtioNetDriver::ReceiveFrames(cionet::FrameBatch& batch,
     }
     batch.Push(std::move(*frame));
   }
+
+  if (recovery_.enabled) {
+    uint64_t now_ns = costs_->clock()->now_ns();
+    // Reaping here doubles as the progress probe: a healthy device drains
+    // our TX ring even when no RX traffic is due.
+    size_t reaped = ReapTxCompletions();
+    if (batch.size() > 0 || reaped > 0) {
+      watchdog_.NoteProgress(now_ns);
+    } else {
+      if (!tx_outstanding_.empty()) {
+        watchdog_.Arm(now_ns);
+      } else {
+        watchdog_.Disarm();
+      }
+      if (watchdog_.Expired(now_ns)) {
+        ++stats_.watchdog_fires;
+        if (watchdog_.Exhausted()) {
+          return ciobase::TimedOut("virtio link: reset budget exhausted");
+        }
+        CIO_RETURN_IF_ERROR(ResetAndReattach());
+        watchdog_.NoteReset(now_ns);
+        return ciobase::LinkReset("virtio ring reset");
+      }
+    }
+  }
   return batch.size();
 }
 
-void VirtioNetDriver::ReapTxCompletions() {
+ciobase::Status VirtioNetDriver::ResetAndReattach() {
+  // Announce the reset before touching the rings, so an honest device that
+  // polls mid-sequence already knows to forget its shadows.
+  ++reset_epoch_;
+  region_->GuestWriteLe64(layout_.config.ResetEpochOffset(), reset_epoch_);
+  tx_.Reset();
+  rx_.Reset();
+  pool_.Reset();
+  // Every outstanding buffer belonged to the old epoch: forfeit them all.
+  // TCP retransmission replays whatever payloads were in flight.
+  tx_outstanding_.clear();
+  rx_outstanding_.clear();
+  negotiated_ = false;
+  ++stats_.ring_resets;
+  // Full re-negotiation: the status dance, feature snapshot, and RX re-post
+  // run exactly as at boot — there is no shortcut path to keep stateful.
+  return Negotiate();
+}
+
+size_t VirtioNetDriver::ReapTxCompletions() {
+  size_t reaped = 0;
   // Bound the loop: an index-storming host can claim absurd pending counts.
   for (uint16_t i = 0; i < layout_.tx.queue_size; ++i) {
     std::optional<UsedElem> elem = tx_.PopUsed(hardening_.single_fetch);
@@ -207,7 +235,9 @@ void VirtioNetDriver::ReapTxCompletions() {
     (void)pool_.FreeSlot(it->second);
     tx_.FreeDesc(id);
     tx_outstanding_.erase(it);
+    ++reaped;
   }
+  return reaped;
 }
 
 ciobase::Result<ciobase::Buffer> VirtioNetDriver::ReceiveHardened(
@@ -281,20 +311,6 @@ ciobase::Result<ciobase::Buffer> VirtioNetDriver::ReceiveUnhardened(
   PostRxBuffer();
   ++stats_.frames_received;
   return frame;
-}
-
-ciobase::Result<ciobase::Buffer> VirtioNetDriver::ReceiveFrame() {
-  if (!negotiated_) {
-    return ciobase::FailedPrecondition("driver not negotiated");
-  }
-  std::optional<UsedElem> elem = rx_.PopUsed(hardening_.single_fetch);
-  if (!elem.has_value()) {
-    return ciobase::Unavailable("no frame");
-  }
-  if (hardening_.validate_completion_id) {
-    return ReceiveHardened(*elem);
-  }
-  return ReceiveUnhardened(*elem);
 }
 
 std::vector<ciohost::SurfaceField> VirtioNetDriver::AttackSurface() const {

@@ -17,6 +17,7 @@
 #include <map>
 
 #include "src/base/clock.h"
+#include "src/base/recovery.h"
 #include "src/hostsim/adversary.h"
 #include "src/hostsim/observability.h"
 #include "src/net/port.h"
@@ -52,10 +53,13 @@ struct HardeningOptions {
 
 class VirtioNetDriver final : public cionet::FramePort {
  public:
+  // `recovery` enables the watchdog + reset-and-reattach machinery; the
+  // default leaves it off (a wedged device wedges the link).
   VirtioNetDriver(ciotee::SharedRegion* region, VirtioNetLayout layout,
                   KickTarget* device, ciobase::CostModel* costs,
                   HardeningOptions hardening,
-                  ciohost::ObservabilityLog* observability);
+                  ciohost::ObservabilityLog* observability,
+                  const ciobase::RecoveryConfig& recovery = {});
 
   // Runs feature negotiation and posts the initial RX buffers. Must be
   // called (and succeed) before Send/Receive.
@@ -63,15 +67,18 @@ class VirtioNetDriver final : public cionet::FramePort {
 
   // --- cionet::FramePort -----------------------------------------------------
 
-  ciobase::Status SendFrame(ciobase::ByteSpan frame) override;
-  ciobase::Result<ciobase::Buffer> ReceiveFrame() override;
-
-  // Batched variants: TX reaps completions once and fires a single doorbell
+  // Batched ring ops: TX reaps completions once and fires a single doorbell
   // for the whole batch (virtio event suppression); RX reads the shared used
   // index once per batch. Per-frame validation (completion ids, length
-  // clamps, bounce copies) is byte-identical to the per-frame paths.
-  size_t SendFrames(std::span<const ciobase::ByteSpan> frames) override;
-  size_t ReceiveFrames(cionet::FrameBatch& batch, size_t max_frames) override;
+  // clamps, bounce copies) applies to every element identically.
+  //
+  // ReceiveFrames doubles as the recovery poll (see L2Transport): it arms
+  // the watchdog while completions are owed, and on expiry resets the rings
+  // and re-negotiates (kLinkReset) or gives up (kTimedOut).
+  ciobase::Result<size_t> SendFrames(
+      std::span<const ciobase::ByteSpan> frames) override;
+  ciobase::Result<size_t> ReceiveFrames(cionet::FrameBatch& batch,
+                                        size_t max_frames) override;
 
   cionet::MacAddress mac() const override { return config_.mac; }
   uint16_t mtu() const override { return config_.mtu; }
@@ -81,17 +88,28 @@ class VirtioNetDriver final : public cionet::FramePort {
   // areas.
   std::vector<ciohost::SurfaceField> AttackSurface() const;
 
+  // Reset-and-reattach: bumps the reset epoch in config space, resets both
+  // virtqueue halves and the bounce pool, forfeits all outstanding buffers,
+  // and re-runs the full negotiation dance (fresh counters, re-posted RX
+  // ring). Exposed for tests; the watchdog calls it on expiry.
+  ciobase::Status ResetAndReattach();
+
+  uint64_t reset_epoch() const { return reset_epoch_; }
+
   struct Stats {
     uint64_t frames_sent = 0;
     uint64_t frames_received = 0;
     uint64_t completions_rejected = 0;  // hardened path refusals
     uint64_t rx_reposts = 0;
+    uint64_t watchdog_fires = 0;
+    uint64_t ring_resets = 0;
   };
   const Stats& stats() const { return stats_; }
   const NegotiatedConfig& config() const { return config_; }
 
  private:
-  void ReapTxCompletions();
+  // Returns how many TX completions were reaped (progress signal).
+  size_t ReapTxCompletions();
   void PostRxBuffer();
   ciobase::Result<ciobase::Buffer> ReceiveHardened(const UsedElem& elem);
   ciobase::Result<ciobase::Buffer> ReceiveUnhardened(const UsedElem& elem);
@@ -105,8 +123,11 @@ class VirtioNetDriver final : public cionet::FramePort {
   ciobase::CostModel* costs_;
   HardeningOptions hardening_;
   ciohost::ObservabilityLog* observability_;
+  ciobase::RecoveryConfig recovery_;
+  ciobase::LinkWatchdog watchdog_;
   NegotiatedConfig config_;
   bool negotiated_ = false;
+  uint64_t reset_epoch_ = 0;
 
   // Guest-private bookkeeping: descriptor id -> pool slot it points at.
   std::map<uint16_t, uint64_t> tx_outstanding_;

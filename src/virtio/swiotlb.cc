@@ -38,6 +38,13 @@ ciobase::Status Swiotlb::FreeSlot(uint64_t offset) {
   return ciobase::OkStatus();
 }
 
+void Swiotlb::Reset() {
+  free_.clear();
+  for (size_t i = 0; i < slot_count_; ++i) {
+    free_.push_back(pool_offset_ + i * slot_size_);
+  }
+}
+
 bool Swiotlb::ValidSlotOffset(uint64_t offset) const {
   return offset >= pool_offset_ && offset < pool_offset_ + pool_size() &&
          ciobase::IsAligned(offset - pool_offset_, slot_size_);

@@ -46,6 +46,10 @@ class Swiotlb {
 
   // True if `offset` is a valid slot start inside the pool.
   bool ValidSlotOffset(uint64_t offset) const;
+
+  // Rebuilds the free list from scratch (ring reset: every outstanding slot
+  // belonged to the old epoch and is forfeit).
+  void Reset();
   uint64_t pool_offset() const { return pool_offset_; }
   uint64_t pool_size() const { return slot_size_ * slot_count_; }
 

@@ -127,6 +127,21 @@ std::optional<uint16_t> VirtqueueDriver::AllocDesc() {
 
 void VirtqueueDriver::FreeDesc(uint16_t i) { free_.push_back(i); }
 
+void VirtqueueDriver::Reset() {
+  avail_idx_ = 0;
+  last_used_idx_ = 0;
+  free_.clear();
+  for (uint16_t i = 0; i < layout_.queue_size; ++i) {
+    free_.push_back(i);
+  }
+  region_->GuestWriteLe16(layout_.AvailIdx(), 0);
+  // The used idx is device-owned but lives in shared memory: zero it so the
+  // old epoch's completions never read as pending. An honest device adopts
+  // the epoch and republishes from zero; a hostile one resumes lying, which
+  // the validation path absorbs as before.
+  region_->GuestWriteLe16(layout_.UsedIdx(), 0);
+}
+
 // --- Device half ---------------------------------------------------------------
 
 VirtqueueDevice::VirtqueueDevice(ciotee::SharedRegion* region,
@@ -194,6 +209,13 @@ void VirtqueueDevice::PushUsed(uint32_t id, uint32_t len,
   }
   region_->HostWriteLe16(layout_.UsedIdx(), published);
   last_pushed_ = elem;
+}
+
+void VirtqueueDevice::Reset() {
+  last_avail_idx_ = 0;
+  used_idx_ = 0;
+  last_pushed_.reset();
+  region_->HostWriteLe16(layout_.UsedIdx(), 0);
 }
 
 }  // namespace ciovirtio

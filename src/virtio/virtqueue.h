@@ -104,6 +104,13 @@ class VirtqueueDriver {
   void FreeDesc(uint16_t i);
   size_t free_descs() const { return free_.size(); }
 
+  // Ring reset (recovery protocol): zeroes the private shadows, rebuilds
+  // the free list, and zeroes the shared avail/used index cells so nothing
+  // from the old epoch reads as pending. The device half must reset too
+  // (it adopts the guest's reset epoch) or its stale shadows would make it
+  // reprocess or skip entries.
+  void Reset();
+
  private:
   ciotee::SharedRegion* region_;
   VirtqLayout layout_;
@@ -134,6 +141,10 @@ class VirtqueueDevice {
   void PushUsed(uint32_t id, uint32_t len, uint32_t buffer_capacity);
 
   VirtqDesc ReadDesc(uint16_t i);
+
+  // Device half of a ring reset: forget every shadow and zero the shared
+  // used index (the cell this half owns).
+  void Reset();
 
  private:
   ciotee::SharedRegion* region_;

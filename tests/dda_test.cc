@@ -70,9 +70,9 @@ TEST(DdaAttestation, SucceedsWithMatchingSecretAndMeasurement) {
 
 TEST(DdaAttestation, FramesRefusedBeforeAttestation) {
   DdaWorld world;
-  EXPECT_EQ(world.transport->SendFrame(world.ToGuest("early")).code(),
+  EXPECT_EQ(cionet::SendOne(*world.transport, world.ToGuest("early")).code(),
             ciobase::StatusCode::kFailedPrecondition);
-  EXPECT_FALSE(world.transport->ReceiveFrame().ok());
+  EXPECT_FALSE(cionet::ReceiveOne(*world.transport).ok());
 }
 
 TEST(DdaAttestation, WrongVerifierKeyRejectsReport) {
@@ -102,10 +102,10 @@ TEST(DdaAttestation, MismatchedProvisioningSecretKillsLinkNotSafety) {
   // every frame fails authentication — availability loss only.
   ASSERT_TRUE(
       world.transport->Attest(BufferFromString("wrong-secret")).ok());
-  ASSERT_TRUE(world.peer->SendFrame(world.ToGuest("payload")).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.peer, world.ToGuest("payload")).ok());
   world.clock.Advance(25'000);
   world.device->Poll();
-  auto received = world.transport->ReceiveFrame();
+  auto received = cionet::ReceiveOne(*world.transport);
   EXPECT_FALSE(received.ok());
   EXPECT_GT(world.transport->stats().auth_failures, 0u);
 }
@@ -115,10 +115,10 @@ TEST(DdaDataPath, EchoRoundTrip) {
   ASSERT_TRUE(world.transport->Attest(world.secret).ok());
   for (int i = 0; i < 50; ++i) {
     Buffer in = world.ToGuest("frame " + std::to_string(i));
-    ASSERT_TRUE(world.peer->SendFrame(in).ok());
+    ASSERT_TRUE(cionet::SendOne(*world.peer, in).ok());
     world.clock.Advance(25'000);
     world.device->Poll();
-    auto at_guest = world.transport->ReceiveFrame();
+    auto at_guest = cionet::ReceiveOne(*world.transport);
     ASSERT_TRUE(at_guest.ok()) << i;
     EXPECT_EQ(*at_guest, in);
 
@@ -126,10 +126,10 @@ TEST(DdaDataPath, EchoRoundTrip) {
     out[0] = 0x02;  // retarget to the peer
     out[5] = 0x02;
     out[11] = 0x01;
-    ASSERT_TRUE(world.transport->SendFrame(out).ok());
+    ASSERT_TRUE(cionet::SendOne(*world.transport, out).ok());
     world.device->Poll();
     world.clock.Advance(25'000);
-    EXPECT_TRUE(world.peer->ReceiveFrame().ok()) << i;
+    EXPECT_TRUE(cionet::ReceiveOne(*world.peer).ok()) << i;
   }
   EXPECT_EQ(world.transport->stats().auth_failures, 0u);
   EXPECT_TRUE(world.memory.violations().empty());
@@ -139,7 +139,7 @@ TEST(DdaDataPath, HostSeesOnlyCiphertextTlps) {
   DdaWorld world;
   ASSERT_TRUE(world.transport->Attest(world.secret).ok());
   std::string marker = "SUPER-SECRET-PAYLOAD-MARKER";
-  ASSERT_TRUE(world.transport->SendFrame(world.ToGuest(marker)).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.transport, world.ToGuest(marker)).ok());
   // Scan the whole host-visible mailbox for the plaintext.
   ciobase::MutableByteSpan all =
       world.shared->HostWindow(0, world.shared->size());
@@ -164,10 +164,10 @@ TEST(DdaDataPath, TamperedTlpsDroppedNeverDeliveredCorrupted) {
   int delivered_intact = 0;
   for (int i = 0; i < 10; ++i) {
     Buffer in = world.ToGuest("to be mangled #" + std::to_string(i));
-    ASSERT_TRUE(world.peer->SendFrame(in).ok());
+    ASSERT_TRUE(cionet::SendOne(*world.peer, in).ok());
     world.clock.Advance(25'000);
     world.device->Poll();
-    auto received = world.transport->ReceiveFrame();
+    auto received = cionet::ReceiveOne(*world.transport);
     if (received.ok()) {
       EXPECT_EQ(*received, in) << "corrupted frame delivered!";
       ++delivered_intact;
@@ -184,10 +184,10 @@ TEST(DdaDataPath, LengthStormsAreStructurallyClamped) {
   ASSERT_TRUE(world.transport->Attest(world.secret).ok());
   world.adversary.set_strategy(ciohost::AttackStrategy::kUsedLenInflation);
   // The adversary inflates lengths through the device-side relay...
-  ASSERT_TRUE(world.peer->SendFrame(world.ToGuest("x")).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.peer, world.ToGuest("x")).ok());
   world.clock.Advance(25'000);
   world.device->Poll();
-  (void)world.transport->ReceiveFrame();
+  (void)cionet::ReceiveOne(*world.transport);
   // ...but TLP framing clamps them: no out-of-bounds access possible.
   EXPECT_EQ(world.memory.ViolationCount(ciotee::ViolationKind::kOobRead),
             0u);
@@ -196,11 +196,9 @@ TEST(DdaDataPath, LengthStormsAreStructurallyClamped) {
 // --- Engine-level ---------------------------------------------------------------
 
 TEST(DdaProfile, EndToEndMessaging) {
-  NodeOptions client;
-  client.profile = StackProfile::kDirectDevice;
-  client.node_id = 1;
+  StackConfig client = StackConfig::DefaultsFor(StackProfile::kDirectDevice, 1);
   client.seed = 61;
-  NodeOptions server = client;
+  StackConfig server = client;
   server.node_id = 2;
   LinkedPair pair(client, server);
   ASSERT_TRUE(pair.Establish());

@@ -18,12 +18,10 @@ using ciobase::Buffer;
 using ciobase::BufferFromString;
 using namespace cio;  // NOLINT: test file
 
-NodeOptions Options(StackProfile profile, uint32_t node_id) {
-  NodeOptions options;
-  options.profile = profile;
-  options.node_id = node_id;
-  options.seed = 1000 + node_id;
-  return options;
+StackConfig Options(StackProfile profile, uint32_t node_id) {
+  StackConfig config = StackConfig::DefaultsFor(profile, node_id);
+  config.seed = 1000 + node_id;
+  return config;
 }
 
 // Round-trips `count` messages client->server and checks echo integrity.
@@ -113,11 +111,11 @@ struct DualKnobs {
 class DualBoundaryKnobTest : public ::testing::TestWithParam<DualKnobs> {};
 
 TEST_P(DualBoundaryKnobTest, RoundTripsUnderEveryConfiguration) {
-  NodeOptions client = Options(StackProfile::kDualBoundary, 1);
+  StackConfig client = Options(StackProfile::kDualBoundary, 1);
   client.l2_positioning = GetParam().positioning;
   client.l2_rx_ownership = GetParam().ownership;
   client.l5_receive = GetParam().l5;
-  NodeOptions server = Options(StackProfile::kDualBoundary, 2);
+  StackConfig server = Options(StackProfile::kDualBoundary, 2);
   server.l2_positioning = GetParam().positioning;
   server.l2_rx_ownership = GetParam().ownership;
   server.l5_receive = GetParam().l5;
@@ -149,9 +147,9 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(DualBoundary, NotificationModeAlsoWorks) {
-  NodeOptions client = Options(StackProfile::kDualBoundary, 1);
+  StackConfig client = Options(StackProfile::kDualBoundary, 1);
   client.l2_polling = false;
-  NodeOptions server = Options(StackProfile::kDualBoundary, 2);
+  StackConfig server = Options(StackProfile::kDualBoundary, 2);
   server.l2_polling = false;
   LinkedPair pair(client, server);
   ASSERT_TRUE(pair.Establish());
@@ -160,16 +158,16 @@ TEST(DualBoundary, NotificationModeAlsoWorks) {
 }
 
 TEST(DualBoundary, DualTeeBoundaryCostsMore) {
-  NodeOptions compartment = Options(StackProfile::kDualBoundary, 1);
-  NodeOptions server = Options(StackProfile::kDualBoundary, 2);
+  StackConfig compartment = Options(StackProfile::kDualBoundary, 1);
+  StackConfig server = Options(StackProfile::kDualBoundary, 2);
   LinkedPair a(compartment, server);
   ASSERT_TRUE(a.Establish());
   RoundTrip(a, 5, 500);
   uint64_t compartment_ns = a.clock.now_ns();
 
-  NodeOptions dual_tee = compartment;
+  StackConfig dual_tee = compartment;
   dual_tee.l5_boundary = L5BoundaryKind::kDualTee;
-  NodeOptions server2 = server;
+  StackConfig server2 = server;
   server2.l5_boundary = L5BoundaryKind::kDualTee;
   LinkedPair b(dual_tee, server2);
   ASSERT_TRUE(b.Establish());
@@ -329,9 +327,9 @@ TEST(Tunnel, HostTamperingWithTunnelFramesIsDropped) {
 // --- The mandatory-TLS ablation (§3.2: "a mandatory TLS layer...") -----------
 
 TEST(TlsMandatory, WithoutTlsTheSyscallHostSeesPlaintext) {
-  NodeOptions client = Options(StackProfile::kSyscallL5, 1);
+  StackConfig client = Options(StackProfile::kSyscallL5, 1);
   client.use_tls = false;
-  NodeOptions server = Options(StackProfile::kSyscallL5, 2);
+  StackConfig server = Options(StackProfile::kSyscallL5, 2);
   server.use_tls = false;
   LinkedPair pair(client, server);
   ASSERT_TRUE(pair.Establish());

@@ -24,17 +24,21 @@ using namespace cio;  // NOLINT: test file
 class SwappablePort final : public cionet::FramePort {
  public:
   void Set(cionet::FramePort* port) { port_ = port; }
-  ciobase::Status SendFrame(ciobase::ByteSpan frame) override {
+  ciobase::Result<size_t> SendFrames(
+      std::span<const ciobase::ByteSpan> frames) override {
     if (port_ == nullptr) {
+      // Like frames hitting an unplugged NIC: nothing is accepted.
       return ciobase::Unavailable("no device attached");
     }
-    return port_->SendFrame(frame);
+    return port_->SendFrames(frames);
   }
-  ciobase::Result<ciobase::Buffer> ReceiveFrame() override {
+  ciobase::Result<size_t> ReceiveFrames(cionet::FrameBatch& batch,
+                                        size_t max_frames) override {
     if (port_ == nullptr) {
+      batch.Clear();
       return ciobase::Unavailable("no device attached");
     }
-    return port_->ReceiveFrame();
+    return port_->ReceiveFrames(batch, max_frames);
   }
   cionet::MacAddress mac() const override { return port_->mac(); }
   uint16_t mtu() const override { return port_ ? port_->mtu() : 1500; }
@@ -188,11 +192,11 @@ TEST(HotSwap, DetachedEndpointStopsRouting) {
   cionet::EthernetHeader eth{cionet::MacAddress::FromId(2),
                              cionet::MacAddress::FromId(1), 0x88b5};
   eth.Serialize(frame);
-  ASSERT_TRUE(a.SendFrame(frame).ok());
-  EXPECT_TRUE(b.ReceiveFrame().ok());
+  ASSERT_TRUE(cionet::SendOne(a, frame).ok());
+  EXPECT_TRUE(cionet::ReceiveOne(b).ok());
   fabric.Detach(b.endpoint());
-  ASSERT_TRUE(a.SendFrame(frame).ok());
-  EXPECT_FALSE(b.ReceiveFrame().ok());
+  ASSERT_TRUE(cionet::SendOne(a, frame).ok());
+  EXPECT_FALSE(cionet::ReceiveOne(b).ok());
   EXPECT_GT(fabric.stats().frames_dropped_unknown, 0u);
 }
 

@@ -114,18 +114,18 @@ TEST_P(L2PositioningTest, EchoRoundTrip) {
   World world(config);
   for (size_t payload : {0, 1, 100, 1000, 1486}) {
     Buffer out = world.FromGuest(payload);
-    ASSERT_TRUE(world.transport->SendFrame(out).ok()) << payload;
+    ASSERT_TRUE(cionet::SendOne(*world.transport, out).ok()) << payload;
     world.device->Poll();
     world.clock.Advance(25'000);
-    auto at_peer = world.peer->ReceiveFrame();
+    auto at_peer = cionet::ReceiveOne(*world.peer);
     ASSERT_TRUE(at_peer.ok()) << payload;
     EXPECT_EQ(*at_peer, out);
 
     Buffer in = world.ToGuest(payload);
-    ASSERT_TRUE(world.peer->SendFrame(in).ok());
+    ASSERT_TRUE(cionet::SendOne(*world.peer, in).ok());
     world.clock.Advance(25'000);
     world.device->Poll();
-    auto at_guest = world.transport->ReceiveFrame();
+    auto at_guest = cionet::ReceiveOne(*world.transport);
     ASSERT_TRUE(at_guest.ok()) << payload;
     EXPECT_EQ(*at_guest, in);
   }
@@ -139,10 +139,10 @@ TEST_P(L2PositioningTest, RingWrapsManyTimes) {
   World world(config);
   for (int i = 0; i < 100; ++i) {
     Buffer in = world.ToGuest(200 + i % 64);
-    ASSERT_TRUE(world.peer->SendFrame(in).ok());
+    ASSERT_TRUE(cionet::SendOne(*world.peer, in).ok());
     world.clock.Advance(25'000);
     world.device->Poll();
-    auto at_guest = world.transport->ReceiveFrame();
+    auto at_guest = cionet::ReceiveOne(*world.transport);
     ASSERT_TRUE(at_guest.ok()) << i;
     EXPECT_EQ(*at_guest, in) << i;
   }
@@ -166,7 +166,7 @@ INSTANTIATE_TEST_SUITE_P(Modes, L2PositioningTest,
 TEST(L2Transport, RejectsOversizedFrames) {
   World world;
   Buffer too_big = world.FromGuest(1600);  // > MTU
-  EXPECT_FALSE(world.transport->SendFrame(too_big).ok());
+  EXPECT_FALSE(cionet::SendOne(*world.transport, too_big).ok());
 }
 
 TEST(L2Transport, TxFlowControlWhenHostStalls) {
@@ -176,7 +176,7 @@ TEST(L2Transport, TxFlowControlWhenHostStalls) {
   Buffer frame = world.FromGuest(100);
   size_t accepted = 0;
   for (int i = 0; i < 1000; ++i) {
-    if (world.transport->SendFrame(frame).ok()) {
+    if (cionet::SendOne(*world.transport, frame).ok()) {
       ++accepted;
     }
   }
@@ -189,7 +189,7 @@ TEST(L2Transport, NotifyModeKicksDevice) {
   config.polling = false;
   World world(config);
   Buffer frame = world.FromGuest(64);
-  ASSERT_TRUE(world.transport->SendFrame(frame).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.transport, frame).ok());
   // The kick drove the device synchronously: frame already on the fabric.
   EXPECT_EQ(world.device->stats().kicks, 1u);
   EXPECT_EQ(world.costs.counter("notifies"), 1u);
@@ -200,7 +200,7 @@ TEST(L2Transport, NotifyModeKicksDevice) {
 TEST(L2Transport, PollingModeHasNoDoorbells) {
   World world;
   Buffer frame = world.FromGuest(64);
-  ASSERT_TRUE(world.transport->SendFrame(frame).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.transport, frame).ok());
   world.device->Poll();
   EXPECT_EQ(world.costs.counter("notifies"), 0u);
   EXPECT_EQ(world.observability.CountOf(ciohost::ObsCategory::kDoorbell),
@@ -213,11 +213,11 @@ TEST(L2Transport, RevocationChargesPagesNotBytes) {
   config.rx_ownership = ReceiveOwnership::kRevoke;
   World world(config);
   Buffer in = world.ToGuest(1400);
-  ASSERT_TRUE(world.peer->SendFrame(in).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.peer, in).ok());
   world.clock.Advance(25'000);
   world.device->Poll();
   uint64_t copies_before = world.costs.counter("bytes_copied");
-  auto at_guest = world.transport->ReceiveFrame();
+  auto at_guest = cionet::ReceiveOne(*world.transport);
   ASSERT_TRUE(at_guest.ok());
   EXPECT_EQ(*at_guest, in);
   EXPECT_GT(world.costs.counter("pages_unshared"), 0u);
@@ -249,9 +249,9 @@ TEST_P(L2FuzzTest, ArbitraryHostBytesNeverCauseOobAccess) {
     uint64_t len = std::min<uint64_t>(rng.NextBounded(4096) + 1,
                                       all.size() - offset);
     rng.Fill(all.subspan(offset, len));
-    (void)world.transport->ReceiveFrame();
+    (void)cionet::ReceiveOne(*world.transport);
     if (round % 16 == 0) {
-      (void)world.transport->SendFrame(world.FromGuest(rng.NextBounded(
+      (void)cionet::SendOne(*world.transport, world.FromGuest(rng.NextBounded(
           world.config.mtu)));
     }
   }
@@ -283,7 +283,7 @@ INSTANTIATE_TEST_SUITE_P(Modes, L2FuzzTest,
 // consuming yet (the ring is large enough to hold them all).
 void FeedFrames(World& world, const std::vector<Buffer>& frames) {
   for (const Buffer& frame : frames) {
-    ASSERT_TRUE(world.peer->SendFrame(frame).ok());
+    ASSERT_TRUE(cionet::SendOne(*world.peer, frame).ok());
     world.clock.Advance(25'000);
     world.device->Poll();
   }
@@ -309,7 +309,7 @@ TEST_P(L2BatchTest, ReceiveBatchMatchesPerFrameExactly) {
 
   std::vector<Buffer> got_per_frame;
   for (;;) {
-    auto frame = per_frame.transport->ReceiveFrame();
+    auto frame = cionet::ReceiveOne(*per_frame.transport);
     if (!frame.ok()) {
       break;
     }
@@ -318,7 +318,12 @@ TEST_P(L2BatchTest, ReceiveBatchMatchesPerFrameExactly) {
 
   cionet::FrameBatch batch;
   std::vector<Buffer> got_batched;
-  while (batched.transport->ReceiveFrames(batch, 3) > 0) {  // odd batch size
+  for (;;) {
+    auto got = batched.transport->ReceiveFrames(batch, 3);  // odd batch size
+    ASSERT_TRUE(got.ok());
+    if (*got == 0) {
+      break;
+    }  // odd batch size
     for (size_t i = 0; i < batch.size(); ++i) {
       got_batched.emplace_back(batch[i].begin(), batch[i].end());
     }
@@ -360,10 +365,12 @@ TEST_P(L2BatchTest, SendBatchMatchesPerFrameExactly) {
   }
 
   for (const Buffer& frame : frames) {
-    ASSERT_TRUE(per_frame.transport->SendFrame(frame).ok());
+    ASSERT_TRUE(cionet::SendOne(*per_frame.transport, frame).ok());
   }
   std::vector<ciobase::ByteSpan> spans(frames.begin(), frames.end());
-  ASSERT_EQ(batched.transport->SendFrames(spans), frames.size());
+  auto accepted = batched.transport->SendFrames(spans);
+  ASSERT_TRUE(accepted.ok());
+  ASSERT_EQ(*accepted, frames.size());
 
   per_frame.device->Poll();
   batched.device->Poll();
@@ -371,8 +378,8 @@ TEST_P(L2BatchTest, SendBatchMatchesPerFrameExactly) {
   batched.clock.Advance(25'000);
 
   for (const Buffer& frame : frames) {
-    auto a = per_frame.peer->ReceiveFrame();
-    auto b = batched.peer->ReceiveFrame();
+    auto a = cionet::ReceiveOne(*per_frame.peer);
+    auto b = cionet::ReceiveOne(*batched.peer);
     ASSERT_TRUE(a.ok());
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(*a, frame);
@@ -409,11 +416,14 @@ TEST(L2Batch, SendStopsAtRingFull) {
   Buffer frame = world.FromGuest(100);
   std::vector<ciobase::ByteSpan> spans(world.config.ring_slots + 50,
                                        ciobase::ByteSpan(frame));
-  size_t sent = world.transport->SendFrames(spans);
-  EXPECT_EQ(sent, world.config.ring_slots);
+  auto sent = world.transport->SendFrames(spans);
+  ASSERT_TRUE(sent.ok());
+  EXPECT_EQ(*sent, world.config.ring_slots);
   EXPECT_GT(world.transport->stats().tx_ring_full, 0u);
-  // The ring is full: a retry accepts nothing and corrupts nothing.
-  EXPECT_EQ(world.transport->SendFrames(spans), 0u);
+  // The ring is full: a retry accepts nothing and reports why.
+  auto retry = world.transport->SendFrames(spans);
+  EXPECT_FALSE(retry.ok());
+  EXPECT_EQ(retry.status().code(), ciobase::StatusCode::kResourceExhausted);
 }
 
 TEST(L2Batch, SendRejectsOversizedFrameMidBatch) {
@@ -422,7 +432,9 @@ TEST(L2Batch, SendRejectsOversizedFrameMidBatch) {
   Buffer too_big = world.FromGuest(1600);  // > MTU
   std::vector<ciobase::ByteSpan> spans = {ok_frame, too_big, ok_frame};
   // Stops at the oversized frame; the frames before it are sent.
-  EXPECT_EQ(world.transport->SendFrames(spans), 1u);
+  auto sent = world.transport->SendFrames(spans);
+  ASSERT_TRUE(sent.ok());
+  EXPECT_EQ(*sent, 1u);
 }
 
 TEST(L2Batch, HostileRxProducedStormDrainsAtMostRing) {
@@ -434,7 +446,9 @@ TEST(L2Batch, HostileRxProducedStormDrainsAtMostRing) {
   ciobase::StoreLe64(world.shared->HostWindow(layout.RxProduced(), 8).data(),
                      10'000);
   cionet::FrameBatch batch;
-  size_t drained = world.transport->ReceiveFrames(batch, 100'000);
+  auto got = world.transport->ReceiveFrames(batch, 100'000);
+  ASSERT_TRUE(got.ok());
+  size_t drained = *got;
   EXPECT_LE(drained + world.transport->stats().rx_dropped_empty,
             world.config.ring_slots);
   EXPECT_EQ(world.memory.ViolationCount(ciotee::ViolationKind::kOobRead), 0u);
@@ -447,16 +461,16 @@ TEST(L2Batch, HostileRxProducedRewindYieldsNothing) {
   // consumed: monotonicity violation, treated as "nothing pending".
   World world;
   Buffer in = world.ToGuest(100);
-  ASSERT_TRUE(world.peer->SendFrame(in).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.peer, in).ok());
   world.clock.Advance(25'000);
   world.device->Poll();
   cionet::FrameBatch batch;
-  ASSERT_EQ(world.transport->ReceiveFrames(batch, 16), 1u);
+  ASSERT_EQ(*world.transport->ReceiveFrames(batch, 16), 1u);
 
   const L2Layout& layout = world.transport->layout();
   ciobase::StoreLe64(world.shared->HostWindow(layout.RxProduced(), 8).data(),
                      0);  // rewound below rx_consumed_ == 1
-  EXPECT_EQ(world.transport->ReceiveFrames(batch, 16), 0u);
+  EXPECT_EQ(*world.transport->ReceiveFrames(batch, 16), 0u);
   EXPECT_EQ(world.memory.ViolationCount(ciotee::ViolationKind::kOobRead), 0u);
 }
 
@@ -466,7 +480,7 @@ TEST(L2Batch, NotifyModeCoalescesDoorbellPerBatch) {
   World world(config);
   Buffer frame = world.FromGuest(64);
   std::vector<ciobase::ByteSpan> spans(8, ciobase::ByteSpan(frame));
-  ASSERT_EQ(world.transport->SendFrames(spans), 8u);
+  ASSERT_EQ(*world.transport->SendFrames(spans), 8u);
   // One kick and one modeled notify for the whole batch of 8.
   EXPECT_EQ(world.device->stats().kicks, 1u);
   EXPECT_EQ(world.costs.counter("notifies"), 1u);
@@ -485,7 +499,7 @@ TEST(L2Batch, AdversaryStrategiesSafeUnderBatchedOps) {
     Buffer out = world.FromGuest(500);
     std::vector<ciobase::ByteSpan> spans(4, ciobase::ByteSpan(out));
     for (int i = 0; i < 50; ++i) {
-      (void)world.peer->SendFrame(world.ToGuest(500));
+      (void)cionet::SendOne(*world.peer, world.ToGuest(500));
       world.clock.Advance(25'000);
       world.device->Poll();
       (void)world.transport->ReceiveFrames(batch, 8);
@@ -509,11 +523,11 @@ TEST(L2Adversary, AllStrategiesSafeAndOftenDelivering) {
                         world.transport->AttackSurface());
     world.adversary.set_strategy(strategy);
     for (int i = 0; i < 50; ++i) {
-      (void)world.peer->SendFrame(world.ToGuest(500));
+      (void)cionet::SendOne(*world.peer, world.ToGuest(500));
       world.clock.Advance(25'000);
       world.device->Poll();
-      (void)world.transport->ReceiveFrame();
-      (void)world.transport->SendFrame(world.FromGuest(500));
+      (void)cionet::ReceiveOne(*world.transport);
+      (void)cionet::SendOne(*world.transport, world.FromGuest(500));
       world.device->Poll();
     }
     world.adversary.Disarm();

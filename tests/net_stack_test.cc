@@ -213,7 +213,7 @@ TEST(Fabric, UnknownUnicastDropped) {
   cionet::EthernetHeader eth{cionet::MacAddress::FromId(99),
                              cionet::MacAddress::FromId(1), 0x88b5};
   eth.Serialize(frame);
-  EXPECT_TRUE(port.SendFrame(frame).ok());
+  EXPECT_TRUE(cionet::SendOne(port, frame).ok());
   EXPECT_EQ(fabric.stats().frames_dropped_unknown, 1u);
 }
 
@@ -227,10 +227,10 @@ TEST(Fabric, BroadcastFloodsAllOthers) {
   cionet::EthernetHeader eth{cionet::MacAddress::Broadcast(),
                              cionet::MacAddress::FromId(1), 0x88b5};
   eth.Serialize(frame);
-  ASSERT_TRUE(a.SendFrame(frame).ok());
-  EXPECT_TRUE(b.ReceiveFrame().ok());
-  EXPECT_TRUE(c.ReceiveFrame().ok());
-  EXPECT_FALSE(a.ReceiveFrame().ok());  // not echoed to the sender
+  ASSERT_TRUE(cionet::SendOne(a, frame).ok());
+  EXPECT_TRUE(cionet::ReceiveOne(b).ok());
+  EXPECT_TRUE(cionet::ReceiveOne(c).ok());
+  EXPECT_FALSE(cionet::ReceiveOne(a).ok());  // not echoed to the sender
 }
 
 }  // namespace

@@ -142,11 +142,12 @@ TEST(TcpClose, GracefulBothDirections) {
   TwoHostWorld world;
   auto [client, server] = Establish(world, 8080);
   ASSERT_TRUE(world.stack_a->TcpClose(client).ok());
-  // Server sees EOF.
+  // Server sees EOF (orderly shutdown surfaces as kFailedPrecondition).
   bool eof = world.PumpUntil([&] {
     uint8_t buf[16];
     auto got = world.stack_b->TcpReceive(server, buf);
-    return got.ok() && *got == 0;
+    return !got.ok() &&
+           got.status().code() == ciobase::StatusCode::kFailedPrecondition;
   });
   EXPECT_TRUE(eof);
   ASSERT_TRUE(world.stack_b->TcpClose(server).ok());
@@ -193,12 +194,12 @@ TEST(TcpClose, DataBeforeFinIsDelivered) {
       [&] {
         uint8_t buf[4096];
         auto got = world.stack_b->TcpReceive(server, buf);
-        if (got.ok()) {
-          if (*got == 0) {
-            return true;
-          }
-          received.append(reinterpret_cast<char*>(buf), *got);
+        if (!got.ok()) {
+          // Orderly EOF only once all queued data has been drained.
+          return got.status().code() ==
+                 ciobase::StatusCode::kFailedPrecondition;
         }
+        received.append(reinterpret_cast<char*>(buf), *got);
         return false;
       },
       200000);

@@ -90,7 +90,7 @@ TEST(VirtioNegotiation, UnrestrictedDriverAcceptsIndirect) {
 TEST(VirtioNegotiation, SendBeforeNegotiateFails) {
   VirtioWorld world(HardeningOptions::Full());
   Buffer frame = world.PeerFrame("x");
-  EXPECT_EQ(world.driver->SendFrame(frame).code(),
+  EXPECT_EQ(cionet::SendOne(*world.driver, frame).code(),
             ciobase::StatusCode::kFailedPrecondition);
 }
 
@@ -102,9 +102,9 @@ TEST(VirtioDataPath, GuestToPeer) {
                              cionet::MacAddress::FromId(1), 0x88b5};
   eth.Serialize(frame);
   ciobase::AppendString(frame, "guest speaks");
-  ASSERT_TRUE(world.driver->SendFrame(frame).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.driver, frame).ok());
   world.Pump();
-  auto received = world.peer->ReceiveFrame();
+  auto received = cionet::ReceiveOne(*world.peer);
   ASSERT_TRUE(received.ok());
   EXPECT_EQ(*received, frame);
 }
@@ -113,9 +113,9 @@ TEST(VirtioDataPath, PeerToGuest) {
   VirtioWorld world(HardeningOptions::Full());
   ASSERT_TRUE(world.driver->Negotiate().ok());
   Buffer frame = world.PeerFrame("host speaks");
-  ASSERT_TRUE(world.peer->SendFrame(frame).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.peer, frame).ok());
   world.Pump();
-  auto received = world.driver->ReceiveFrame();
+  auto received = cionet::ReceiveOne(*world.driver);
   ASSERT_TRUE(received.ok());
   EXPECT_EQ(*received, frame);
   EXPECT_TRUE(world.memory.violations().empty());
@@ -126,9 +126,9 @@ TEST(VirtioDataPath, ManyFramesBothWays) {
   ASSERT_TRUE(world.driver->Negotiate().ok());
   for (int i = 0; i < 200; ++i) {
     Buffer frame = world.PeerFrame("frame " + std::to_string(i));
-    ASSERT_TRUE(world.peer->SendFrame(frame).ok());
+    ASSERT_TRUE(cionet::SendOne(*world.peer, frame).ok());
     world.Pump(2);
-    auto received = world.driver->ReceiveFrame();
+    auto received = cionet::ReceiveOne(*world.driver);
     ASSERT_TRUE(received.ok()) << "frame " << i << ": "
                                << received.status().ToString();
     EXPECT_EQ(*received, frame);
@@ -140,9 +140,9 @@ TEST(VirtioDataPath, UnhardenedAlsoWorksWithoutAttack) {
   VirtioWorld world(HardeningOptions::None());
   ASSERT_TRUE(world.driver->Negotiate().ok());
   Buffer frame = world.PeerFrame("benign");
-  ASSERT_TRUE(world.peer->SendFrame(frame).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.peer, frame).ok());
   world.Pump();
-  auto received = world.driver->ReceiveFrame();
+  auto received = cionet::ReceiveOne(*world.driver);
   ASSERT_TRUE(received.ok());
   ASSERT_GE(received->size(), frame.size());
   EXPECT_TRUE(std::equal(frame.begin(), frame.end(), received->begin()));
@@ -155,9 +155,9 @@ TEST(VirtioAttack, UsedLenInflationClampedByHardenedDriver) {
   ASSERT_TRUE(world.driver->Negotiate().ok());
   world.adversary.set_strategy(ciohost::AttackStrategy::kUsedLenInflation);
   Buffer frame = world.PeerFrame("short");
-  ASSERT_TRUE(world.peer->SendFrame(frame).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.peer, frame).ok());
   world.Pump();
-  auto received = world.driver->ReceiveFrame();
+  auto received = cionet::ReceiveOne(*world.driver);
   ASSERT_TRUE(received.ok());
   // The hardened driver clamps to its own posted capacity: no OOB access.
   EXPECT_LE(received->size(), 2048u);
@@ -169,9 +169,9 @@ TEST(VirtioAttack, UsedLenInflationBreaksUnhardenedDriver) {
   ASSERT_TRUE(world.driver->Negotiate().ok());
   world.adversary.set_strategy(ciohost::AttackStrategy::kUsedLenInflation);
   Buffer frame = world.PeerFrame("short");
-  ASSERT_TRUE(world.peer->SendFrame(frame).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.peer, frame).ok());
   world.Pump();
-  auto received = world.driver->ReceiveFrame();
+  auto received = cionet::ReceiveOne(*world.driver);
   // The unhardened driver trusts the inflated length: it reads far past the
   // posted buffer (recorded as an out-of-bounds access by the TEE memory
   // model) and returns a hugely oversized frame.
@@ -184,15 +184,15 @@ TEST(VirtioAttack, ReplayedCompletionRejectedByHardenedDriver) {
   VirtioWorld world(HardeningOptions::Full());
   ASSERT_TRUE(world.driver->Negotiate().ok());
   Buffer frame = world.PeerFrame("first");
-  ASSERT_TRUE(world.peer->SendFrame(frame).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.peer, frame).ok());
   world.Pump();
-  ASSERT_TRUE(world.driver->ReceiveFrame().ok());
+  ASSERT_TRUE(cionet::ReceiveOne(*world.driver).ok());
   // Now replay: every completion the device pushes is the stale one.
   world.adversary.set_strategy(ciohost::AttackStrategy::kReplayCompletion);
   Buffer frame2 = world.PeerFrame("second");
-  ASSERT_TRUE(world.peer->SendFrame(frame2).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.peer, frame2).ok());
   world.Pump();
-  auto received = world.driver->ReceiveFrame();
+  auto received = cionet::ReceiveOne(*world.driver);
   // The replayed id no longer matches an outstanding buffer: refused.
   EXPECT_FALSE(received.ok());
   EXPECT_GT(world.driver->stats().completions_rejected, 0u);
@@ -203,12 +203,12 @@ TEST(VirtioAttack, DoubleFetchOffsetHitsUnhardenedOnly) {
   {
     VirtioWorld world(HardeningOptions::None());
     ASSERT_TRUE(world.driver->Negotiate().ok());
-    ASSERT_TRUE(world.peer->SendFrame(world.PeerFrame("payload")).ok());
+    ASSERT_TRUE(cionet::SendOne(*world.peer, world.PeerFrame("payload")).ok());
     world.Pump();
     world.adversary.Arm(&world.shared, world.driver->AttackSurface());
     world.adversary.set_strategy(
         ciohost::AttackStrategy::kDoubleFetchOffset);
-    (void)world.driver->ReceiveFrame();
+    (void)cionet::ReceiveOne(*world.driver);
     world.adversary.Disarm();
     // The flipped offset (0xff...) sent the payload read out of bounds.
     EXPECT_GT(world.memory.ViolationCount(ciotee::ViolationKind::kOobRead),
@@ -219,12 +219,12 @@ TEST(VirtioAttack, DoubleFetchOffsetHitsUnhardenedOnly) {
   {
     VirtioWorld world(HardeningOptions::Full());
     ASSERT_TRUE(world.driver->Negotiate().ok());
-    ASSERT_TRUE(world.peer->SendFrame(world.PeerFrame("payload")).ok());
+    ASSERT_TRUE(cionet::SendOne(*world.peer, world.PeerFrame("payload")).ok());
     world.Pump();
     world.adversary.Arm(&world.shared, world.driver->AttackSurface());
     world.adversary.set_strategy(
         ciohost::AttackStrategy::kDoubleFetchOffset);
-    auto received = world.driver->ReceiveFrame();
+    auto received = cionet::ReceiveOne(*world.driver);
     world.adversary.Disarm();
     EXPECT_EQ(world.memory.ViolationCount(ciotee::ViolationKind::kOobRead),
               0u);
@@ -239,13 +239,13 @@ TEST(VirtioAttack, IndexStormBoundedByHardenedDriver) {
   VirtioWorld world(HardeningOptions::Full());
   ASSERT_TRUE(world.driver->Negotiate().ok());
   world.adversary.set_strategy(ciohost::AttackStrategy::kIndexStorm);
-  ASSERT_TRUE(world.peer->SendFrame(world.PeerFrame("x")).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.peer, world.PeerFrame("x")).ok());
   world.Pump();
   // The stormed used-idx claims thousands of completions; all the phantom
   // ones carry ids that don't match outstanding buffers and are refused.
   int delivered = 0;
   for (int i = 0; i < 200; ++i) {
-    auto received = world.driver->ReceiveFrame();
+    auto received = cionet::ReceiveOne(*world.driver);
     if (received.ok()) {
       ++delivered;
     }
@@ -296,9 +296,9 @@ TEST(VirtioObservability, HostSeesLengthsAndDoorbells) {
   ASSERT_TRUE(world.driver->Negotiate().ok());
   world.observability.Clear();
   Buffer frame = world.PeerFrame("observable");
-  ASSERT_TRUE(world.peer->SendFrame(frame).ok());
+  ASSERT_TRUE(cionet::SendOne(*world.peer, frame).ok());
   world.Pump();
-  ASSERT_TRUE(world.driver->ReceiveFrame().ok());
+  ASSERT_TRUE(cionet::ReceiveOne(*world.driver).ok());
   EXPECT_GT(world.observability.CountOf(ciohost::ObsCategory::kPacketLength),
             0u);
   EXPECT_GT(world.observability.CountOf(ciohost::ObsCategory::kPacketTiming),
