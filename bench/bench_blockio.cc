@@ -2,9 +2,15 @@
 // the dual-boundary storage stack — raw hardened block ring, + encryption
 // at rest, + extent FS, + the full ConfidentialStore (compartment boundary
 // and app-side sealing). Sequential and random access, modeled clock.
+//
+// `--json <path>` additionally writes the table as a JSON array, one
+// object per (layer, access) row — the bench-trajectory format consumed by
+// tools/run_bench.sh to track storage performance across revisions.
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "src/base/rng.h"
 #include "src/blockio/store.h"
@@ -35,14 +41,21 @@ struct StorageWorld {
   }
 };
 
+struct Row {
+  std::string layer;
+  std::string access;
+  double write_ops_per_sec = 0.0;
+  double read_ops_per_sec = 0.0;
+};
+
 double OpsPerSec(uint64_t ops, uint64_t modeled_ns) {
   return modeled_ns == 0 ? 0.0
                          : 1e9 * static_cast<double>(ops) /
                                static_cast<double>(modeled_ns);
 }
 
-void BenchClient(const char* name, cioblock::BlockClient* client,
-                 ciobase::SimClock* clock, bool random_access) {
+Row BenchClient(const char* name, cioblock::BlockClient* client,
+                ciobase::SimClock* clock, bool random_access) {
   ciobase::Rng rng(5);
   ciobase::Buffer block = rng.Bytes(client->block_size());
   constexpr int kOps = 300;
@@ -60,14 +73,46 @@ void BenchClient(const char* name, cioblock::BlockClient* client,
     (void)client->ReadBlock(lba);
   }
   uint64_t read_ns = clock->now_ns() - start_ns;
-  std::printf("%-22s %6s %14.0f %14.0f\n", name,
-              random_access ? "rand" : "seq", OpsPerSec(kOps, write_ns),
-              OpsPerSec(kOps, read_ns));
+  Row row{name, random_access ? "rand" : "seq", OpsPerSec(kOps, write_ns),
+          OpsPerSec(kOps, read_ns)};
+  std::printf("%-22s %6s %14.0f %14.0f\n", row.layer.c_str(),
+              row.access.c_str(), row.write_ops_per_sec,
+              row.read_ops_per_sec);
+  return row;
+}
+
+void WriteJson(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "  {\"layer\": \"%s\", \"access\": \"%s\", "
+                 "\"write_ops_per_sec\": %.1f, "
+                 "\"read_ops_per_sec\": %.1f}%s\n",
+                 r.layer.c_str(), r.access.c_str(), r.write_ops_per_sec,
+                 r.read_ops_per_sec, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  std::vector<Row> rows;
   std::printf("== block I/O (4 KiB-class ops, modeled) ==\n");
   std::printf("%-22s %6s %14s %14s\n", "layer", "access", "write ops/s",
               "read ops/s");
@@ -75,13 +120,13 @@ int main() {
   for (bool random_access : {false, true}) {
     {
       StorageWorld world;
-      BenchClient("raw hardened ring", world.ring.get(), &world.clock,
-                  random_access);
+      rows.push_back(BenchClient("raw hardened ring", world.ring.get(),
+                                 &world.clock, random_access));
     }
     {
       StorageWorld world;
-      BenchClient("+ encryption at rest", world.crypt.get(), &world.clock,
-                  random_access);
+      rows.push_back(BenchClient("+ encryption at rest", world.crypt.get(),
+                                 &world.clock, random_access));
     }
   }
 
@@ -115,8 +160,15 @@ int main() {
       (void)store.Get("obj-" + std::to_string(i % 32));
     }
     uint64_t get_ns = clock.now_ns() - start_ns;
-    std::printf("%-22s %6s %14.0f %14.0f\n", "full dual-boundary", "3KB",
-                OpsPerSec(kOps, put_ns), OpsPerSec(kOps, get_ns));
+    Row row{"full dual-boundary", "3KB", OpsPerSec(kOps, put_ns),
+            OpsPerSec(kOps, get_ns)};
+    std::printf("%-22s %6s %14.0f %14.0f\n", row.layer.c_str(),
+                row.access.c_str(), row.write_ops_per_sec,
+                row.read_ops_per_sec);
+    rows.push_back(row);
+  }
+  if (json_path != nullptr) {
+    WriteJson(json_path, rows);
   }
   std::printf(
       "\nShape: the hardened ring itself costs one copy per op; encryption\n"

@@ -1,0 +1,168 @@
+// §3.3 storage crash/fault campaign, exit-code enforced.
+//
+// Three matrices:
+//  * crash cells — the host block device dies after every stride-th device
+//    write, discarding its write-back cache; the guest remounts (journal
+//    replay + generation-table reload) and the oracle checks that every
+//    acknowledged Put/Delete survived and no torn or invented value was
+//    ever served;
+//  * transient-fault cells — each storage fault (swallowed doorbells,
+//    stalled/garbage counters, torn writes, link kill, dropped
+//    completions, bit rot) opens for a 12 ms window mid-workload; the
+//    stack must ride it out and return to full service with integrity
+//    intact (kTampered detections are fine, wrong values are not);
+//  * the rollback probe — host snapshots the image, guest overwrites and
+//    flushes, host restores; durable generations must refuse the stale
+//    image, and the volatile control arm must demonstrate the gap.
+//
+// Exits non-zero unless every invariant holds. `--json` emits all three
+// matrices as one JSON document for tooling.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/cio/storage_campaign.h"
+
+namespace {
+
+std::string JsonEscape(std::string_view in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+void PrintCrashJson(const std::vector<cio::StorageCrashCell>& cells) {
+  std::printf("  \"crash_cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const auto& cell = cells[i];
+    std::printf(
+        "    {\"stride\": %llu, \"survived\": %s, \"crashes\": %llu, "
+        "\"remounts\": %llu, \"journal_replays\": %llu, "
+        "\"ops_attempted\": %zu, \"ops_committed\": %zu, "
+        "\"lost_committed\": %llu, \"wrong_values\": %llu, "
+        "\"tamper_alarms\": %llu, \"mount_failures\": %llu}%s\n",
+        static_cast<unsigned long long>(cell.stride),
+        cell.survived ? "true" : "false",
+        static_cast<unsigned long long>(cell.crashes),
+        static_cast<unsigned long long>(cell.remounts),
+        static_cast<unsigned long long>(cell.journal_replays),
+        cell.ops_attempted, cell.ops_committed,
+        static_cast<unsigned long long>(cell.lost_committed),
+        static_cast<unsigned long long>(cell.wrong_values),
+        static_cast<unsigned long long>(cell.tamper_alarms),
+        static_cast<unsigned long long>(cell.mount_failures),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+}
+
+void PrintFaultJson(const std::vector<cio::StorageFaultCell>& cells) {
+  std::printf("  \"fault_cells\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const auto& cell = cells[i];
+    std::printf(
+        "    {\"fault\": \"%s\", \"recovered\": %s, \"fault_events\": %llu, "
+        "\"ring_resets\": %llu, \"watchdog_fires\": %llu, "
+        "\"ops_attempted\": %zu, \"ops_committed\": %zu, "
+        "\"lost_committed\": %llu, \"wrong_values\": %llu, "
+        "\"tampered_reads\": %llu}%s\n",
+        JsonEscape(ciohost::FaultStrategyName(cell.fault)).c_str(),
+        cell.recovered ? "true" : "false",
+        static_cast<unsigned long long>(cell.fault_events),
+        static_cast<unsigned long long>(cell.ring_resets),
+        static_cast<unsigned long long>(cell.watchdog_fires),
+        cell.ops_attempted, cell.ops_committed,
+        static_cast<unsigned long long>(cell.lost_committed),
+        static_cast<unsigned long long>(cell.wrong_values),
+        static_cast<unsigned long long>(cell.tampered_reads),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+}
+
+void PrintRollbackJson(const char* name,
+                       const cio::StorageRollbackResult& probe) {
+  std::printf(
+      "  \"%s\": {\"durable_generations\": %s, \"read_detected\": %s, "
+      "\"remount_detected\": %s, \"stale_accepted\": %s},\n",
+      name, probe.durable_generations ? "true" : "false",
+      probe.read_detected ? "true" : "false",
+      probe.remount_detected ? "true" : "false",
+      probe.stale_accepted ? "true" : "false");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    }
+  }
+
+  cio::StorageCampaignOptions options;
+  auto crash_cells = cio::RunStorageCrashCampaign(options);
+  auto fault_cells = cio::RunStorageFaultCampaign(options);
+  auto durable_probe =
+      cio::RunStorageRollbackProbe(/*durable_generations=*/true);
+  auto volatile_probe =
+      cio::RunStorageRollbackProbe(/*durable_generations=*/false);
+  bool holds = cio::StorageInvariantsHold(crash_cells, fault_cells,
+                                          durable_probe, volatile_probe);
+
+  if (json) {
+    std::printf("{\n");
+    PrintCrashJson(crash_cells);
+    PrintFaultJson(fault_cells);
+    PrintRollbackJson("rollback_durable", durable_probe);
+    PrintRollbackJson("rollback_volatile", volatile_probe);
+    std::printf("  \"storage_invariants_hold\": %s\n}\n",
+                holds ? "true" : "false");
+    return holds ? 0 : 1;
+  }
+
+  std::printf("== storage crash campaign (%zu strides) ==\n\n%s\n",
+              crash_cells.size(),
+              cio::StorageCrashTable(crash_cells).c_str());
+  std::printf(
+      "Claim (crash consistency): every acknowledged Put/Delete is durable\n"
+      "(WriteFile journals and flushes before acknowledging); a crash at\n"
+      "ANY device-write boundary resolves each in-flight op to either its\n"
+      "old or its new state after journal replay — never a torn value.\n\n");
+
+  std::printf("== storage fault campaign (%zu faults, %.1f ms windows) "
+              "==\n\n%s\n",
+              fault_cells.size(),
+              static_cast<double>(options.fault_duration_ns) / 1e6,
+              cio::StorageFaultTable(fault_cells).c_str());
+  std::printf(
+      "Claim (availability + integrity): the ring recovery machinery rides\n"
+      "out every transient storage fault, and corruption surfaces only as\n"
+      "detected kTampered — a wrong value never reaches the application.\n\n");
+
+  std::printf("== rollback-across-remount probe ==\n\n");
+  auto print_probe = [](const char* arm,
+                        const cio::StorageRollbackResult& probe) {
+    std::printf("%-22s read-detected=%s remount-detected=%s "
+                "stale-accepted=%s\n",
+                arm, probe.read_detected ? "yes" : "no",
+                probe.remount_detected ? "yes" : "no",
+                probe.stale_accepted ? "YES" : "no");
+  };
+  print_probe("durable generations", durable_probe);
+  print_probe("volatile (control)", volatile_probe);
+  std::printf(
+      "\nClaim (freshness): binding the generation-table epoch to the\n"
+      "hardware monotonic counter makes image rollback detectable across\n"
+      "remounts; the volatile arm shows the attack the counter closes.\n\n");
+
+  std::printf("storage invariants hold: %s\n", holds ? "yes" : "NO");
+  return holds ? 0 : 1;
+}

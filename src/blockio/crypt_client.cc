@@ -10,72 +10,91 @@ namespace cioblock {
 
 EncryptedBlockClient::EncryptedBlockClient(BlockClient* inner,
                                            ciobase::ByteSpan key,
-                                           ciobase::CostModel* costs)
-    : inner_(inner), key_(ciocrypto::DeriveAeadKey(key)), costs_(costs) {}
+                                           ciobase::CostModel* costs,
+                                           CryptClientOptions options)
+    : inner_(inner), key_(ciocrypto::DeriveAeadKey(key)), costs_(costs),
+      options_(options) {
+  // Satellite fix: the old code computed inner block_size - kOverhead
+  // unconditionally, underflowing for tiny inner blocks. Validate the
+  // geometry once here; an invalid client fails every op cleanly.
+  uint32_t inner_bs = inner_->block_size();
+  uint64_t inner_count = inner_->block_count();
+  if (inner_bs <= kOverhead) {
+    geometry_status_ = ciobase::InvalidArgument(
+        "inner block size too small for AEAD overhead");
+    return;
+  }
+  usable_block_size_ = inner_bs - kOverhead;
+  if (options_.durable_generations) {
+    if (options_.rollback_counter == nullptr) {
+      geometry_status_ = ciobase::InvalidArgument(
+          "durable generations require a rollback counter");
+      return;
+    }
+    // Reserve two alternating table slots of T chunks each at the head of
+    // the inner device: smallest T with T chunks covering every remaining
+    // data block's generation entry.
+    uint64_t epc = usable_block_size_ / 8;
+    if (epc == 0) {
+      geometry_status_ = ciobase::InvalidArgument(
+          "block too small for a generation table chunk");
+      return;
+    }
+    uint64_t t = 1;
+    while (2 * t < inner_count && t * epc < inner_count - 2 * t) {
+      ++t;
+    }
+    if (2 * t >= inner_count) {
+      geometry_status_ = ciobase::InvalidArgument(
+          "device too small for the generation table");
+      return;
+    }
+    reserved_blocks_ = 2 * t;
+  } else {
+    session_established_ = true;  // volatile mode needs no mount handshake
+  }
+  data_block_count_ = inner_count - reserved_blocks_;
+}
 
 ciobase::Buffer EncryptedBlockClient::NonceFor(uint64_t lba,
                                                uint64_t generation) const {
+  // Generations are globally unique across the disk's lifetime (volatile:
+  // per-process counter; durable: session epoch salt in the high bits), so
+  // the nonce is unique even before mixing in the LBA.
   ciobase::Buffer nonce(ciocrypto::kAeadNonceSize, 0);
-  ciobase::StoreLe64(nonce.data(), lba ^ (generation << 1));
-  ciobase::StoreLe32(nonce.data() + 8, static_cast<uint32_t>(generation));
+  ciobase::StoreLe64(nonce.data(), generation);
+  ciobase::StoreLe32(nonce.data() + 8, static_cast<uint32_t>(lba));
   return nonce;
 }
 
-ciobase::Status EncryptedBlockClient::WriteBlock(uint64_t lba,
-                                                 ciobase::ByteSpan data) {
-  if (data.size() > block_size()) {
-    return ciobase::InvalidArgument("plaintext exceeds usable block size");
-  }
-  if (costs_ != nullptr) {
-    costs_->ChargeAead(data.size());
-  }
-  uint64_t generation = ++generations_[lba];
+ciobase::Buffer EncryptedBlockClient::SealStored(
+    uint64_t lba, uint64_t generation, ciobase::ByteSpan plaintext) const {
   uint32_t sealed_len =
-      static_cast<uint32_t>(data.size() + ciocrypto::kAeadTagSize);
+      static_cast<uint32_t>(plaintext.size() + ciocrypto::kAeadTagSize);
   uint8_t aad[20];
   ciobase::StoreLe64(aad, lba);
   ciobase::StoreLe64(aad + 8, generation);
   ciobase::StoreLe32(aad + 16, sealed_len);
+  if (costs_ != nullptr) {
+    costs_->ChargeAead(plaintext.size());
+  }
   ciobase::Buffer sealed =
-      ciocrypto::AeadSeal(key_, NonceFor(lba, generation), aad, data);
+      ciocrypto::AeadSeal(key_, NonceFor(lba, generation), aad, plaintext);
   ciobase::Buffer stored(12);
   ciobase::StoreLe64(stored.data(), generation);
   ciobase::StoreLe32(stored.data() + 8, sealed_len);
   ciobase::Append(stored, sealed);
-  return inner_->WriteBlock(lba, stored);
+  return stored;
 }
 
-ciobase::Result<ciobase::Buffer> EncryptedBlockClient::ReadBlock(
-    uint64_t lba) {
-  auto stored = inner_->ReadBlock(lba);
-  if (!stored.ok()) {
-    return stored.status();
-  }
-  // Never-written blocks are all-zero images; report them as empty.
-  bool all_zero = true;
-  for (uint8_t b : *stored) {
-    if (b != 0) {
-      all_zero = false;
-      break;
-    }
-  }
-  if (all_zero) {
-    if (generations_.count(lba) != 0) {
-      return ciobase::Tampered("host erased a written block");
-    }
-    return ciobase::Buffer{};
-  }
-  if (stored->size() < kOverhead) {
+ciobase::Result<ciobase::Buffer> EncryptedBlockClient::OpenStored(
+    uint64_t lba, uint64_t generation, ciobase::ByteSpan stored) const {
+  if (stored.size() < kOverhead) {
     return ciobase::Tampered("stored block truncated");
   }
-  uint64_t generation = ciobase::LoadLe64(stored->data());
-  uint32_t sealed_len = ciobase::LoadLe32(stored->data() + 8);
-  auto it = generations_.find(lba);
-  if (it != generations_.end() && generation != it->second) {
-    return ciobase::Tampered("block rollback or replay detected");
-  }
+  uint32_t sealed_len = ciobase::LoadLe32(stored.data() + 8);
   if (sealed_len < ciocrypto::kAeadTagSize ||
-      12 + static_cast<size_t>(sealed_len) > stored->size()) {
+      12 + static_cast<size_t>(sealed_len) > stored.size()) {
     return ciobase::Tampered("stored block length forged");
   }
   uint8_t aad[20];
@@ -87,12 +106,230 @@ ciobase::Result<ciobase::Buffer> EncryptedBlockClient::ReadBlock(
   }
   auto opened = ciocrypto::AeadOpen(
       key_, NonceFor(lba, generation), aad,
-      ciobase::ByteSpan(stored->data() + 12, sealed_len));
+      ciobase::ByteSpan(stored.data() + 12, sealed_len));
   if (!opened.ok()) {
     return ciobase::Tampered("block authentication failed");
   }
+  return opened;
+}
+
+uint64_t EncryptedBlockClient::NextGeneration() {
+  ++session_writes_;
+  if (!options_.durable_generations) {
+    return session_writes_;
+  }
+  return (session_salt_ << 24) | (session_writes_ & 0xFFFFFF);
+}
+
+ciobase::Status EncryptedBlockClient::EnsureSession() {
+  CIO_RETURN_IF_ERROR(geometry_status_);
+  if (session_established_) {
+    return ciobase::OkStatus();
+  }
+  return Remount();
+}
+
+ciobase::Status EncryptedBlockClient::WriteBlock(uint64_t lba,
+                                                 ciobase::ByteSpan data) {
+  CIO_RETURN_IF_ERROR(EnsureSession());
+  if (lba >= data_block_count_) {
+    return ciobase::OutOfRange("lba beyond usable device");
+  }
+  if (data.size() > usable_block_size_) {
+    return ciobase::InvalidArgument("plaintext exceeds usable block size");
+  }
+  uint64_t generation = NextGeneration();
+  CIO_RETURN_IF_ERROR(inner_->WriteBlock(
+      lba + reserved_blocks_, SealStored(lba, generation, data)));
+  generations_[lba] = generation;
+  dirty_ = true;
+  return ciobase::OkStatus();
+}
+
+ciobase::Result<ciobase::Buffer> EncryptedBlockClient::ReadBlock(
+    uint64_t lba) {
+  CIO_RETURN_IF_ERROR(EnsureSession());
+  if (lba >= data_block_count_) {
+    return ciobase::OutOfRange("lba beyond usable device");
+  }
+  auto stored = inner_->ReadBlock(lba + reserved_blocks_);
+  if (!stored.ok()) {
+    return stored.status();
+  }
+  // Never-written blocks are all-zero images; report them as empty.
+  bool all_zero = true;
+  for (uint8_t b : *stored) {
+    if (b != 0) {
+      all_zero = false;
+      break;
+    }
+  }
+  auto it = generations_.find(lba);
+  if (all_zero) {
+    if (it != generations_.end()) {
+      return ciobase::Tampered("host erased a written block");
+    }
+    return ciobase::Buffer{};
+  }
+  if (stored->size() < kOverhead) {
+    return ciobase::Tampered("stored block truncated");
+  }
+  uint64_t generation = ciobase::LoadLe64(stored->data());
+  if (it != generations_.end()) {
+    if (generation != it->second) {
+      return ciobase::Tampered("block rollback or replay detected");
+    }
+  } else if (options_.durable_generations) {
+    // Durable mode tracks every flushed block; an untracked non-zero block
+    // can only be host fabrication (unflushed writes die wholesale).
+    return ciobase::Tampered("block not in the generation table");
+  }
+  auto opened = OpenStored(lba, generation, *stored);
+  if (!opened.ok()) {
+    return opened.status();
+  }
+  // Volatile mode adopts authenticated blocks it has not seen (fresh
+  // client over an existing image).
   generations_[lba] = generation;
   return opened;
+}
+
+ciobase::Status EncryptedBlockClient::PersistGenerations() {
+  uint64_t epoch = last_epoch_ + 1;
+  uint64_t slot = epoch % 2;
+  uint64_t chunks = ChunksPerSlot();
+  uint64_t epc = EntriesPerChunk();
+  for (uint64_t c = 0; c < chunks; ++c) {
+    ciobase::Buffer plain(epc * 8, 0);
+    for (uint64_t i = 0; i < epc; ++i) {
+      uint64_t idx = c * epc + i;
+      if (idx >= data_block_count_) {
+        break;
+      }
+      auto it = generations_.find(idx);
+      if (it != generations_.end()) {
+        ciobase::StoreLe64(plain.data() + i * 8, it->second);
+      }
+    }
+    CIO_RETURN_IF_ERROR(inner_->WriteBlock(
+        slot * chunks + c, SealStored(kTableLbaBase + c, epoch, plain)));
+  }
+  last_epoch_ = epoch;
+  dirty_ = false;
+  return ciobase::OkStatus();
+}
+
+ciobase::Status EncryptedBlockClient::LoadGenerations() {
+  uint64_t counter = options_.rollback_counter->value();
+  uint64_t chunks = ChunksPerSlot();
+  uint64_t epc = EntriesPerChunk();
+  uint64_t best_epoch = 0;
+  std::map<uint64_t, uint64_t> best_table;
+  for (uint64_t slot = 0; slot < 2; ++slot) {
+    uint64_t slot_epoch = 0;
+    std::map<uint64_t, uint64_t> table;
+    bool valid = true;
+    for (uint64_t c = 0; c < chunks && valid; ++c) {
+      auto stored = inner_->ReadBlock(slot * chunks + c);
+      if (!stored.ok()) {
+        if (stored.status().code() == ciobase::StatusCode::kTampered) {
+          valid = false;  // corrupted slot; the other one may still be good
+          break;
+        }
+        return stored.status();  // transport trouble: propagate, retryable
+      }
+      if (stored->size() < kOverhead) {
+        valid = false;  // never written (or torn): not a table
+        break;
+      }
+      uint64_t epoch = ciobase::LoadLe64(stored->data());
+      if (c == 0) {
+        slot_epoch = epoch;
+      } else if (epoch != slot_epoch) {
+        valid = false;  // chunks from different epochs: torn table write
+        break;
+      }
+      auto plain = OpenStored(kTableLbaBase + c, epoch, *stored);
+      if (!plain.ok() || plain->size() != epc * 8) {
+        valid = false;
+        break;
+      }
+      for (uint64_t i = 0; i < epc; ++i) {
+        uint64_t idx = c * epc + i;
+        uint64_t generation = ciobase::LoadLe64(plain->data() + i * 8);
+        if (idx < data_block_count_ && generation != 0) {
+          table[idx] = generation;
+        }
+      }
+    }
+    if (valid && slot_epoch > best_epoch) {
+      best_epoch = slot_epoch;
+      best_table = std::move(table);
+    }
+  }
+  if (best_epoch == 0) {
+    if (counter != 0) {
+      return ciobase::Tampered(
+          "generation table missing: host rolled back past the last flush");
+    }
+    // Fresh device, fresh counter: empty table is the truth.
+    generations_.clear();
+    last_epoch_ = 0;
+    return ciobase::OkStatus();
+  }
+  if (best_epoch < counter) {
+    return ciobase::Tampered(
+        "generation table epoch behind the rollback counter");
+  }
+  generations_ = std::move(best_table);
+  last_epoch_ = best_epoch;
+  options_.rollback_counter->BumpTo(best_epoch);
+  ++stats_.table_loads;
+  stats_.entries_loaded += generations_.size();
+  return ciobase::OkStatus();
+}
+
+ciobase::Status EncryptedBlockClient::Remount() {
+  CIO_RETURN_IF_ERROR(geometry_status_);
+  session_established_ = false;
+  if (!options_.durable_generations) {
+    // A rebooted volatile client has no memory of past generations; it
+    // re-adopts whatever authenticates. (This is exactly the gap the
+    // durable mode closes — see the rollback-across-remount test.)
+    generations_.clear();
+    session_established_ = true;
+    return ciobase::OkStatus();
+  }
+  generations_.clear();
+  CIO_RETURN_IF_ERROR(LoadGenerations());
+  // Burn a fresh epoch as this session's nonce salt: persist + flush +
+  // bump. Generations handed to writes that a later crash discards are
+  // then never reissued (the next mount burns a higher epoch).
+  CIO_RETURN_IF_ERROR(PersistGenerations());
+  CIO_RETURN_IF_ERROR(inner_->Flush());
+  options_.rollback_counter->BumpTo(last_epoch_);
+  session_salt_ = last_epoch_;
+  session_writes_ = 0;
+  session_established_ = true;
+  return ciobase::OkStatus();
+}
+
+ciobase::Status EncryptedBlockClient::Flush() {
+  CIO_RETURN_IF_ERROR(EnsureSession());
+  if (!options_.durable_generations) {
+    return inner_->Flush();
+  }
+  bool persisted = false;
+  if (dirty_) {
+    CIO_RETURN_IF_ERROR(PersistGenerations());
+    persisted = true;
+  }
+  CIO_RETURN_IF_ERROR(inner_->Flush());
+  if (persisted) {
+    options_.rollback_counter->BumpTo(last_epoch_);
+    ++stats_.table_flushes;
+  }
+  return ciobase::OkStatus();
 }
 
 uint64_t EncryptedBlockClient::Generation(uint64_t lba) const {

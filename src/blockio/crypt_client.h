@@ -1,12 +1,27 @@
 // EncryptedBlockClient: AEAD encryption-at-rest above any BlockClient.
 //
 // The guest holds the disk key; the host block device only ever stores
-// sealed blocks. The AEAD nonce is derived from the LBA and a per-block
-// write generation (stored in the block header), and the LBA is bound into
-// the associated data — so a malicious host can neither forge block
-// contents nor swap blocks around (a relocated block fails authentication),
-// and replaying an *old* version of a block is detectable by callers that
-// track generations (the extent FS checks monotonicity for its metadata).
+// sealed blocks. Every write gets a globally unique generation number (so
+// AEAD nonces never repeat, even across host crashes that discard writes),
+// and the LBA, generation, and length are bound into the associated data —
+// a malicious host can neither forge block contents nor swap blocks around
+// (a relocated block fails authentication), and replaying an *old* version
+// of a block fails the exact-generation check.
+//
+// Freshness across remounts (the SGX-LKL property): with durable
+// generations enabled, the generation table itself is persisted in sealed
+// "epoch blocks" — two alternating table slots at the head of the inner
+// device, each sealed under an epoch number that is bound to a hardware
+// MonotonicCounter (src/tee/monotonic_counter.h). Flush order is
+//   write table (epoch e) -> inner flush -> counter := e
+// so the durable table's epoch is always the counter value (or counter+1
+// if the host died between the flush and the bump, which Remount accepts
+// and adopts). A host that restores an older image presents a table whose
+// epoch is *behind* the counter: Remount fails with kTampered, and so does
+// rollback of any individual data block (its stored generation no longer
+// matches the loaded table). Each (re)mount also burns a fresh epoch as
+// the session's nonce salt, so generations assigned to writes that a crash
+// later discards are never reissued.
 
 #ifndef SRC_BLOCKIO_CRYPT_CLIENT_H_
 #define SRC_BLOCKIO_CRYPT_CLIENT_H_
@@ -15,8 +30,18 @@
 
 #include "src/blockio/block_ring.h"
 #include "src/crypto/aead.h"
+#include "src/tee/monotonic_counter.h"
 
 namespace cioblock {
+
+struct CryptClientOptions {
+  // Persist the generation table in sealed epoch blocks at the head of the
+  // inner device. Requires rollback_counter. Off by default: the volatile
+  // mode matches the pre-durability behavior (rollback detected only
+  // within one session).
+  bool durable_generations = false;
+  ciotee::MonotonicCounter* rollback_counter = nullptr;
+};
 
 class EncryptedBlockClient final : public BlockClient {
  public:
@@ -26,29 +51,86 @@ class EncryptedBlockClient final : public BlockClient {
 
   // `costs` may be null (AEAD work then goes unmodeled; tests only).
   EncryptedBlockClient(BlockClient* inner, ciobase::ByteSpan key,
-                       ciobase::CostModel* costs = nullptr);
+                       ciobase::CostModel* costs = nullptr,
+                       CryptClientOptions options = {});
 
   ciobase::Status WriteBlock(uint64_t lba, ciobase::ByteSpan data) override;
   // Returns the decrypted plaintext; kTampered if the host corrupted,
-  // forged, or relocated the block. Never-written blocks read as empty.
+  // forged, relocated, or rolled back the block. Never-written blocks read
+  // as empty.
   ciobase::Result<ciobase::Buffer> ReadBlock(uint64_t lba) override;
-  ciobase::Status Flush() override { return inner_->Flush(); }
-  uint32_t block_size() const override {
-    return inner_->block_size() - kOverhead;
-  }
-  uint64_t block_count() const override { return inner_->block_count(); }
+  // Durable mode: persists the generation table (epoch e), flushes the
+  // inner device, then bumps the rollback counter to e — the commit point
+  // for everything written since the previous flush.
+  ciobase::Status Flush() override;
+  uint32_t block_size() const override { return usable_block_size_; }
+  uint64_t block_count() const override { return data_block_count_; }
+
+  // Drops the in-memory generation state and reloads it from the epoch
+  // blocks (no-op load in volatile mode). kTampered if the persisted table
+  // is missing or its epoch is behind the rollback counter (host rolled
+  // the image back). Called by ConfidentialStore::Remount after a host
+  // restart; safe to call on a freshly formatted device.
+  ciobase::Status Remount();
+
+  // kInvalidArgument when the inner geometry cannot host this layer
+  // (block size <= kOverhead, or no room for the generation table).
+  ciobase::Status geometry_status() const { return geometry_status_; }
+  // Inner blocks reserved at the head of the device for the epoch-block
+  // table slots (0 in volatile mode).
+  uint64_t reserved_blocks() const { return reserved_blocks_; }
 
   // Write generation last observed for `lba` (0 = never seen).
   uint64_t Generation(uint64_t lba) const;
 
+  struct Stats {
+    uint64_t table_flushes = 0;
+    uint64_t table_loads = 0;
+    uint64_t entries_loaded = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
+  // Table chunks get sealed under synthetic LBAs far above any data LBA so
+  // their nonces/AAD can never collide with data blocks.
+  static constexpr uint64_t kTableLbaBase = 1ULL << 62;
+
   ciobase::Buffer NonceFor(uint64_t lba, uint64_t generation) const;
+  ciobase::Buffer SealStored(uint64_t lba, uint64_t generation,
+                             ciobase::ByteSpan plaintext) const;
+  ciobase::Result<ciobase::Buffer> OpenStored(uint64_t lba,
+                                              uint64_t generation,
+                                              ciobase::ByteSpan stored) const;
+  // Durable mode: next globally unique write generation.
+  uint64_t NextGeneration();
+  // Lazily establishes the durable session (initial Remount) on first use.
+  ciobase::Status EnsureSession();
+  // Writes the full table as epoch `last_epoch_ + 1` into the alternate
+  // slot (no inner flush; Flush()/Remount() sequence that).
+  ciobase::Status PersistGenerations();
+  // Loads the newest valid table slot; enforces the counter bound.
+  ciobase::Status LoadGenerations();
+
+  uint64_t EntriesPerChunk() const { return usable_block_size_ / 8; }
+  uint64_t ChunksPerSlot() const { return reserved_blocks_ / 2; }
 
   BlockClient* inner_;
   ciobase::Buffer key_;
   ciobase::CostModel* costs_;
-  // Guest-private generation tracking (anti-rollback for reads we issue).
+  CryptClientOptions options_;
+  ciobase::Status geometry_status_;
+  uint32_t usable_block_size_ = 0;
+  uint64_t data_block_count_ = 0;
+  uint64_t reserved_blocks_ = 0;
+  // Guest-private generation tracking (anti-rollback). Exact match on
+  // read; persisted through the epoch blocks in durable mode.
   std::map<uint64_t, uint64_t> generations_;
+  bool dirty_ = false;             // generations changed since last persist
+  bool session_established_ = false;
+  uint64_t session_salt_ = 0;      // epoch burned at mount; high gen bits
+  uint64_t session_writes_ = 0;    // low gen bits (volatile: whole gen)
+  uint64_t last_epoch_ = 0;        // last table epoch written
+  Stats stats_;
 };
 
 }  // namespace cioblock

@@ -22,18 +22,45 @@ ConfidentialStore::ConfidentialStore(
       memory, options_.ring.RegionSize(), "block-ring");
   device_ = std::make_unique<HostBlockDevice>(shared_.get(), options_.ring,
                                               adversary, observability, clock);
-  ring_client_ = std::make_unique<RingBlockClient>(shared_.get(),
-                                                   options_.ring,
-                                                   device_.get(), costs_);
+  ring_client_ = std::make_unique<RingBlockClient>(
+      shared_.get(), options_.ring, device_.get(), costs_,
+      options_.recovery);
+  CryptClientOptions crypt_options;
+  crypt_options.durable_generations = options_.rollback_counter != nullptr;
+  crypt_options.rollback_counter = options_.rollback_counter;
   crypt_client_ = std::make_unique<EncryptedBlockClient>(
-      ring_client_.get(), options_.disk_key, costs_);
+      ring_client_.get(), options_.disk_key, costs_, crypt_options);
   fs_ = std::make_unique<ExtentFs>(crypt_client_.get());
 }
 
 ciobase::Status ConfidentialStore::Format() {
+  CIO_RETURN_IF_ERROR(crypt_client_->geometry_status());
   compartments_->SwitchTo(storage_);
   ciobase::Status status = fs_->Format(options_.inode_count);
   compartments_->SwitchTo(app_);
+  return status;
+}
+
+ciobase::Status ConfidentialStore::Flush() {
+  compartments_->SwitchTo(storage_);
+  ciobase::Status status = fs_->Flush();
+  compartments_->SwitchTo(app_);
+  return status;
+}
+
+ciobase::Status ConfidentialStore::Remount() {
+  compartments_->SwitchTo(storage_);
+  // Order matters: a live ring first (the layers above talk through it),
+  // then the freshness-checked generation table, then journal replay.
+  ring_client_->Reattach();
+  ciobase::Status status = crypt_client_->Remount();
+  if (status.ok()) {
+    status = fs_->Mount();
+  }
+  compartments_->SwitchTo(app_);
+  if (status.ok()) {
+    ++stats_.remounts;
+  }
   return status;
 }
 

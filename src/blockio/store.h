@@ -13,6 +13,15 @@
 // can drop or withhold objects (availability) and observe object names and
 // sizes (observability) but can neither read nor undetectably modify
 // values. Encryption-at-rest below the FS additionally blinds the host.
+//
+// Recovery: with options.recovery.enabled the ring client rides out
+// transient host faults transparently. A host *crash* (restart with its
+// write-back cache lost) surfaces as kLinkReset with needs_remount()
+// latched on the ring client; the application then calls Remount(), which
+// reattaches the ring, reloads (and freshness-checks) the generation
+// table, and replays the filesystem journal. With options.rollback_counter
+// set, generations are durable: a host that rolls the image back to an
+// older snapshot is caught at Remount (or at first read) with kTampered.
 
 #ifndef SRC_BLOCKIO_STORE_H_
 #define SRC_BLOCKIO_STORE_H_
@@ -32,6 +41,11 @@ class ConfidentialStore {
     ciobase::Buffer disk_key;   // encryption at rest (below the FS)
     ciobase::Buffer value_key;  // app-side sealing (above the FS)
     uint32_t inode_count = 64;
+    // Ring-level fault recovery (watchdog + reset-and-reattach).
+    ciobase::RecoveryConfig recovery;
+    // Non-null enables durable generations (rollback detection across
+    // remounts) anchored in this hardware monotonic counter.
+    ciotee::MonotonicCounter* rollback_counter = nullptr;
   };
 
   // Builds the whole stack: shared region, host device, ring client,
@@ -51,14 +65,25 @@ class ConfidentialStore {
   ciobase::Result<ciobase::Buffer> Get(std::string_view name);
   ciobase::Status Delete(std::string_view name);
   std::vector<std::string> List();
+  // Durability barrier: everything acknowledged before a successful Flush
+  // survives a host crash.
+  ciobase::Status Flush();
+  // Recovery path after a host restart (ops returning kLinkReset with
+  // ring_client()->needs_remount()): reattaches the ring, reloads the
+  // generation table (kTampered on rollback of the image), and remounts
+  // the filesystem (journal replay).
+  ciobase::Status Remount();
 
   HostBlockDevice* host_device() { return device_.get(); }
+  RingBlockClient* ring_client() { return ring_client_.get(); }
+  EncryptedBlockClient* crypt_client() { return crypt_client_.get(); }
   ExtentFs* fs() { return fs_.get(); }
 
   struct Stats {
     uint64_t puts = 0;
     uint64_t gets = 0;
     uint64_t seal_failures = 0;
+    uint64_t remounts = 0;
   };
   const Stats& stats() const { return stats_; }
 

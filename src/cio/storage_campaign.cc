@@ -1,0 +1,583 @@
+#include "src/cio/storage_campaign.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "src/base/rng.h"
+#include "src/tee/compartment.h"
+
+namespace cio {
+namespace {
+
+// A full storage world: clock, TEE memory, two compartments, adversary,
+// hardware rollback counter, and the dual-boundary store with ring
+// recovery enabled. Durable generations are the default; the rollback
+// probe's control arm turns them off.
+struct StorageWorld {
+  ciobase::SimClock clock;
+  ciobase::CostModel costs{&clock};
+  ciotee::TeeMemory memory;
+  ciotee::CompartmentManager compartments{&costs};
+  ciotee::CompartmentId app = compartments.Create("app", 1 << 20);
+  ciotee::CompartmentId storage = compartments.Create("storage", 1 << 20);
+  ciohost::Adversary adversary;
+  ciohost::ObservabilityLog observability;
+  ciotee::MonotonicCounter counter;
+  std::unique_ptr<cioblock::ConfidentialStore> store;
+
+  StorageWorld(uint64_t seed, bool durable_generations)
+      : adversary(seed) {
+    cioblock::ConfidentialStore::Options options;
+    options.ring.block_count = 512;
+    options.disk_key =
+        ciobase::BufferFromString("storage-campaign-disk-key-000000");
+    options.value_key =
+        ciobase::BufferFromString("storage-campaign-value-key-00000");
+    options.recovery.enabled = true;
+    options.rollback_counter = durable_generations ? &counter : nullptr;
+    store = std::make_unique<cioblock::ConfidentialStore>(
+        &memory, &compartments, app, storage, &costs, &adversary,
+        &observability, &clock, std::move(options));
+  }
+};
+
+std::string KeyName(size_t key) { return "obj-" + std::to_string(key); }
+
+// Unique value per Put; self-describing so the oracle never collides.
+ciobase::Buffer MakeValue(size_t key, uint64_t serial) {
+  ciobase::Buffer value(64 + (serial * 13 + key * 5) % 128);
+  for (size_t i = 0; i < value.size(); ++i) {
+    value[i] = static_cast<uint8_t>(key * 31 + serial * 7 + i);
+  }
+  return value;
+}
+
+// Ground truth for one key. Acknowledged ops collapse the state to a
+// single outcome; unacknowledged ops widen it (the update may or may not
+// have committed — both readings are legal, a third is not).
+struct OracleKey {
+  std::vector<ciobase::Buffer> acceptable;  // any of these values is legal
+  bool missing_ok = true;                   // NotFound is legal
+  bool tainted = false;  // host corrupted its bytes; kTampered is detection
+
+  bool definite() const { return acceptable.size() == 1 && !missing_ok; }
+  void CommitValue(ciobase::Buffer value) {
+    acceptable.clear();
+    acceptable.push_back(std::move(value));
+    missing_ok = false;
+    tainted = false;
+  }
+  void CommitMissing() {
+    acceptable.clear();
+    missing_ok = true;
+    tainted = false;
+  }
+  bool Accepts(const ciobase::Buffer& observed) const {
+    for (const auto& candidate : acceptable) {
+      if (candidate == observed) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// Shared driver for crash and fault cells: runs Put/Get/Delete ops against
+// the store, maintains the oracle, and accumulates violation counters.
+struct Workload {
+  cioblock::ConfidentialStore& store;
+  cioblock::HostBlockDevice& device;
+  uint64_t crash_budget;  // 0 = crashes not part of this cell
+
+  std::vector<OracleKey> oracle;
+  uint64_t serial = 0;
+  size_t ops_attempted = 0;
+  size_t ops_committed = 0;
+  uint64_t lost_committed = 0;
+  uint64_t wrong_values = 0;
+  uint64_t unexpected_tampered = 0;
+  uint64_t tampered_reads = 0;
+  uint64_t mount_failures = 0;
+  // True while the in-memory fs state is known to equal the durable state
+  // (right after a remount or an acknowledged op); only then may a Get
+  // collapse oracle doubt — otherwise it could pin an uncommitted value.
+  bool state_committed = true;
+  std::string note;
+
+  explicit Workload(cioblock::ConfidentialStore& s, size_t keys,
+                    uint64_t budget)
+      : store(s), device(*s.host_device()), crash_budget(budget),
+        oracle(keys) {}
+
+  void DisarmIfSpent() {
+    if (crash_budget != 0 && device.stats().crashes >= crash_budget) {
+      device.CrashAfterWrites(0);
+    }
+  }
+
+  // Remounts until it sticks; each attempt may itself crash the host
+  // again, which is exactly the crash-during-recovery case under test.
+  bool Remount() {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      DisarmIfSpent();
+      ciobase::Status status = store.Remount();
+      if (status.ok()) {
+        state_committed = true;
+        return true;
+      }
+      if (status.code() != ciobase::StatusCode::kLinkReset) {
+        ++mount_failures;
+        note = "remount: " + status.ToString();
+        return false;
+      }
+    }
+    ++mount_failures;
+    note = "remount never converged";
+    return false;
+  }
+
+  bool RemountIfNeeded() {
+    if (!store.ring_client()->needs_remount()) {
+      return true;
+    }
+    return Remount();
+  }
+
+  // taint: the host is corrupting payloads right now (torn-write window),
+  // so even an acknowledged Put may leave undecryptable bytes on disk.
+  void Put(size_t key, bool taint) {
+    ++ops_attempted;
+    ciobase::Buffer value = MakeValue(key, ++serial);
+    ciobase::Status status = store.Put(KeyName(key), value);
+    if (status.ok()) {
+      ++ops_committed;
+      oracle[key].CommitValue(value);
+      oracle[key].tainted = taint;
+      state_committed = true;
+      return;
+    }
+    // Outcome unknown: the new value joins the acceptable set.
+    oracle[key].acceptable.push_back(value);
+    if (taint) {
+      oracle[key].tainted = true;
+    }
+    state_committed = false;
+    if (status.code() == ciobase::StatusCode::kLinkReset && Remount() &&
+        store.Put(KeyName(key), value).ok()) {
+      ++ops_committed;
+      oracle[key].CommitValue(std::move(value));
+      oracle[key].tainted = taint;
+      state_committed = true;
+    }
+  }
+
+  void Delete(size_t key) {
+    ++ops_attempted;
+    ciobase::Status status = store.Delete(KeyName(key));
+    if (status.ok()) {
+      ++ops_committed;
+      oracle[key].CommitMissing();
+      state_committed = true;
+      return;
+    }
+    if (status.code() == ciobase::StatusCode::kNotFound) {
+      if (!oracle[key].missing_ok) {
+        ++lost_committed;  // a committed object vanished without a crash
+      }
+      return;
+    }
+    oracle[key].missing_ok = true;
+    state_committed = false;
+    if (status.code() == ciobase::StatusCode::kLinkReset && Remount()) {
+      ciobase::Status retry = store.Delete(KeyName(key));
+      if (retry.ok() ||
+          retry.code() == ciobase::StatusCode::kNotFound) {
+        // Post-remount the fs reflects durable state: the object is gone
+        // (either this delete or the crashed one committed).
+        if (retry.ok()) {
+          ++ops_committed;
+        }
+        oracle[key].CommitMissing();
+        state_committed = true;
+      }
+    }
+  }
+
+  // corrupting_window: reads may legitimately come back kTampered right
+  // now (bit rot / torn writes in flight).
+  void Get(size_t key, bool corrupting_window) {
+    ++ops_attempted;
+    auto read = store.Get(KeyName(key));
+    if (!read.ok() &&
+        read.status().code() == ciobase::StatusCode::kLinkReset) {
+      if (!Remount()) {
+        return;
+      }
+      read = store.Get(KeyName(key));
+    }
+    OracleKey& truth = oracle[key];
+    if (read.ok()) {
+      if (truth.Accepts(*read)) {
+        if (state_committed) {
+          truth.CommitValue(*read);
+        }
+      } else {
+        ++wrong_values;
+        note = "Get returned a value nobody put";
+      }
+      return;
+    }
+    switch (read.status().code()) {
+      case ciobase::StatusCode::kNotFound:
+        if (truth.missing_ok) {
+          if (state_committed) {
+            truth.CommitMissing();
+          }
+        } else {
+          ++lost_committed;
+          note = "committed object unreadable";
+        }
+        break;
+      case ciobase::StatusCode::kTampered:
+        ++tampered_reads;
+        if (!truth.tainted && !corrupting_window) {
+          ++unexpected_tampered;
+          note = "kTampered without host corruption";
+        }
+        break;
+      default:
+        // Transient availability trouble; the op simply did not happen.
+        break;
+    }
+  }
+
+  // Post-recovery liveness: rewrite every key honestly and verify it.
+  bool ProveFullService() {
+    for (size_t key = 0; key < oracle.size(); ++key) {
+      ciobase::Buffer value = MakeValue(key, ++serial);
+      if (!store.Put(KeyName(key), value).ok()) {
+        note = "post-recovery Put failed on " + KeyName(key);
+        return false;
+      }
+      oracle[key].CommitValue(value);
+      auto read = store.Get(KeyName(key));
+      if (!read.ok() || !(*read == oracle[key].acceptable[0])) {
+        note = "post-recovery Get failed on " + KeyName(key);
+        return false;
+      }
+    }
+    if (!store.Delete(KeyName(0)).ok()) {
+      note = "post-recovery Delete failed";
+      return false;
+    }
+    oracle[0].CommitMissing();
+    if (store.Get(KeyName(0)).ok()) {
+      note = "deleted object still readable";
+      return false;
+    }
+    return true;
+  }
+
+  bool Violated() const {
+    return lost_committed != 0 || wrong_values != 0 ||
+           unexpected_tampered != 0 || mount_failures != 0;
+  }
+};
+
+}  // namespace
+
+StorageCrashCell RunStorageCrashCell(uint64_t stride,
+                                     const StorageCampaignOptions& options) {
+  StorageCrashCell cell;
+  cell.stride = stride;
+  StorageWorld world(options.seed * 97 + stride, /*durable_generations=*/true);
+  cioblock::ConfidentialStore& store = *world.store;
+  if (!store.Format().ok()) {
+    cell.note = "format failed";
+    return cell;
+  }
+  Workload work(store, options.keys, options.max_crashes);
+  ciobase::Rng rng(options.seed * 7 + stride);
+
+  // Honest warm-up: seed some committed objects.
+  for (size_t i = 0; i < options.ops_before; ++i) {
+    work.Put(i % options.keys, /*taint=*/false);
+  }
+  if (work.ops_committed != options.ops_before) {
+    cell.note = "warm-up failed";
+    return cell;
+  }
+
+  // Crash the host after every stride-th device write (self re-arming)
+  // and keep the workload coming.
+  store.host_device()->CrashAfterWrites(stride);
+  for (size_t i = 0; i < options.ops_per_run; ++i) {
+    work.DisarmIfSpent();
+    if (!work.RemountIfNeeded()) {
+      break;
+    }
+    size_t key = static_cast<size_t>(rng.NextBounded(options.keys));
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1:
+        work.Put(key, /*taint=*/false);
+        break;
+      case 2:
+        work.Get(key, /*corrupting_window=*/false);
+        break;
+      default:
+        work.Delete(key);
+        break;
+    }
+    if (work.mount_failures != 0) {
+      break;
+    }
+  }
+
+  // Honest epilogue: disarm, force a final remount (replaying whatever the
+  // last crash left in the journal), verify every key against the oracle,
+  // and prove the store carries fresh work.
+  store.host_device()->CrashAfterWrites(0);
+  bool epilogue_ok = work.Remount();
+  if (epilogue_ok) {
+    for (size_t key = 0; key < options.keys; ++key) {
+      work.Get(key, /*corrupting_window=*/false);
+    }
+    epilogue_ok = work.ProveFullService();
+  }
+
+  cell.crashes = store.host_device()->stats().crashes;
+  cell.remounts = store.stats().remounts;
+  cell.journal_replays = store.fs()->stats().journal_replays;
+  cell.ops_attempted = work.ops_attempted;
+  cell.ops_committed = work.ops_committed;
+  cell.lost_committed = work.lost_committed;
+  cell.wrong_values = work.wrong_values;
+  cell.tamper_alarms = work.unexpected_tampered + work.tampered_reads;
+  cell.mount_failures = work.mount_failures;
+  cell.note = work.note;
+  cell.survived = epilogue_ok && !work.Violated() &&
+                  work.tampered_reads == 0 && cell.crashes > 0;
+  if (cell.survived) {
+    cell.note = "all committed ops durable across " +
+                std::to_string(cell.crashes) + " crashes";
+  } else if (cell.crashes == 0 && cell.note.empty()) {
+    cell.note = "crash never fired";
+  }
+  return cell;
+}
+
+std::vector<StorageCrashCell> RunStorageCrashCampaign(
+    const StorageCampaignOptions& options) {
+  std::vector<StorageCrashCell> cells;
+  for (uint64_t stride : options.crash_strides) {
+    cells.push_back(RunStorageCrashCell(stride, options));
+  }
+  return cells;
+}
+
+StorageFaultCell RunStorageFaultCell(ciohost::FaultStrategy fault,
+                                     const StorageCampaignOptions& options) {
+  StorageFaultCell cell;
+  cell.fault = fault;
+  StorageWorld world(options.seed * 131 + static_cast<uint64_t>(fault),
+                     /*durable_generations=*/true);
+  cioblock::ConfidentialStore& store = *world.store;
+  if (!store.Format().ok()) {
+    cell.note = "format failed";
+    return cell;
+  }
+  Workload work(store, options.keys, /*budget=*/0);
+  ciobase::Rng rng(options.seed * 11 + static_cast<uint64_t>(fault));
+
+  for (size_t i = 0; i < options.ops_before; ++i) {
+    work.Put(i % options.keys, /*taint=*/false);
+  }
+  if (work.ops_committed != options.ops_before) {
+    cell.note = "warm-up failed";
+    return cell;
+  }
+
+  // Open the fault window and keep the workload coming through it. Ops
+  // block inside the ring retry machinery until the window closes, so most
+  // of the window is consumed by the first few ops.
+  const uint64_t window_start = world.clock.now_ns();
+  const uint64_t window_end = window_start + options.fault_duration_ns;
+  world.adversary.InjectFault(
+      {fault, window_start, options.fault_duration_ns});
+  const bool corrupts = fault == ciohost::FaultStrategy::kTornWrite ||
+                        fault == ciohost::FaultStrategy::kBitRot;
+  for (size_t i = 0; i < options.ops_per_run; ++i) {
+    bool in_window = world.clock.now_ns() < window_end;
+    size_t key = static_cast<size_t>(rng.NextBounded(options.keys));
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1:
+        work.Put(key, in_window &&
+                          fault == ciohost::FaultStrategy::kTornWrite);
+        break;
+      case 2:
+        work.Get(key, in_window && corrupts);
+        break;
+      default:
+        work.Delete(key);
+        break;
+    }
+  }
+  // Make sure the window is over before judging recovery.
+  if (world.clock.now_ns() < window_end) {
+    world.clock.Advance(window_end - world.clock.now_ns());
+  }
+
+  // The host is honest again: full service must come back (rewriting every
+  // key also clears torn-write taint), and a remount against the healed
+  // image must succeed.
+  bool recovered = work.ProveFullService() && work.Remount();
+  if (recovered) {
+    for (size_t key = 0; key < options.keys; ++key) {
+      work.Get(key, /*corrupting_window=*/false);
+    }
+    for (size_t i = 0; i < options.ops_after && recovered; ++i) {
+      size_t key = static_cast<size_t>(rng.NextBounded(options.keys));
+      work.Put(key, /*taint=*/false);
+      recovered = work.ops_committed > 0 && work.note.empty();
+    }
+  }
+
+  cell.fault_events = world.adversary.fault_events();
+  cell.ring_resets = store.ring_client()->stats().ring_resets;
+  cell.watchdog_fires = store.ring_client()->stats().watchdog_fires;
+  cell.ops_attempted = work.ops_attempted;
+  cell.ops_committed = work.ops_committed;
+  cell.wrong_values = work.wrong_values;
+  cell.lost_committed = work.lost_committed;
+  cell.tampered_reads = work.tampered_reads;
+  cell.note = work.note;
+  cell.recovered = recovered && !work.Violated();
+  if (cell.recovered && cell.note.empty()) {
+    cell.note = "full service restored";
+  }
+  return cell;
+}
+
+std::vector<StorageFaultCell> RunStorageFaultCampaign(
+    const StorageCampaignOptions& options) {
+  std::vector<StorageFaultCell> cells;
+  for (ciohost::FaultStrategy fault : options.faults) {
+    cells.push_back(RunStorageFaultCell(fault, options));
+  }
+  return cells;
+}
+
+StorageRollbackResult RunStorageRollbackProbe(bool durable_generations) {
+  StorageRollbackResult result;
+  result.durable_generations = durable_generations;
+  StorageWorld world(1234, durable_generations);
+  cioblock::ConfidentialStore& store = *world.store;
+  if (!store.Format().ok()) {
+    return result;
+  }
+  ciobase::Buffer v1 = MakeValue(0, 1);
+  ciobase::Buffer v2 = MakeValue(0, 2);
+  if (!store.Put("victim", v1).ok()) {
+    return result;
+  }
+  store.host_device()->SnapshotImage();  // host keeps yesterday's image
+  if (!store.Put("victim", v2).ok()) {
+    return result;
+  }
+  store.host_device()->RestoreSnapshot();  // ...and serves it back
+
+  // In-session: the generation map still expects v2's generation.
+  auto read = store.Get("victim");
+  result.read_detected =
+      !read.ok() && read.status().code() == ciobase::StatusCode::kTampered;
+
+  // Cross-session: remount against the rolled-back image.
+  ciobase::Status remount = store.Remount();
+  if (remount.code() == ciobase::StatusCode::kTampered) {
+    result.remount_detected = true;
+  } else if (remount.ok()) {
+    auto stale = store.Get("victim");
+    result.stale_accepted = stale.ok() && *stale == v1;
+  }
+  return result;
+}
+
+std::string StorageCrashTable(const std::vector<StorageCrashCell>& cells) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-8s %-9s %7s %8s %8s %9s %5s %6s  %s\n",
+                "stride", "survived", "crashes", "remounts", "replays",
+                "committed", "lost", "wrong", "note");
+  out += line;
+  out += std::string(100, '-') + "\n";
+  for (const auto& cell : cells) {
+    std::snprintf(
+        line, sizeof(line),
+        "%-8llu %-9s %7llu %8llu %8llu %6zu/%zu %5llu %6llu  %s\n",
+        static_cast<unsigned long long>(cell.stride),
+        cell.survived ? "yes" : "LOST",
+        static_cast<unsigned long long>(cell.crashes),
+        static_cast<unsigned long long>(cell.remounts),
+        static_cast<unsigned long long>(cell.journal_replays),
+        cell.ops_committed, cell.ops_attempted,
+        static_cast<unsigned long long>(cell.lost_committed),
+        static_cast<unsigned long long>(cell.wrong_values),
+        cell.note.c_str());
+    out += line;
+  }
+  return out;
+}
+
+std::string StorageFaultTable(const std::vector<StorageFaultCell>& cells) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%-18s %-9s %7s %7s %9s %5s %6s %8s  %s\n", "fault",
+                "recovered", "events", "resets", "committed", "lost",
+                "wrong", "tampered", "note");
+  out += line;
+  out += std::string(100, '-') + "\n";
+  for (const auto& cell : cells) {
+    std::snprintf(
+        line, sizeof(line),
+        "%-18s %-9s %7llu %7llu %6zu/%zu %5llu %6llu %8llu  %s\n",
+        std::string(ciohost::FaultStrategyName(cell.fault)).c_str(),
+        cell.recovered ? "yes" : "WEDGED",
+        static_cast<unsigned long long>(cell.fault_events),
+        static_cast<unsigned long long>(cell.ring_resets),
+        cell.ops_committed, cell.ops_attempted,
+        static_cast<unsigned long long>(cell.lost_committed),
+        static_cast<unsigned long long>(cell.wrong_values),
+        static_cast<unsigned long long>(cell.tampered_reads),
+        cell.note.c_str());
+    out += line;
+  }
+  return out;
+}
+
+bool StorageInvariantsHold(const std::vector<StorageCrashCell>& crash_cells,
+                           const std::vector<StorageFaultCell>& fault_cells,
+                           const StorageRollbackResult& durable_probe,
+                           const StorageRollbackResult& volatile_probe) {
+  for (const auto& cell : crash_cells) {
+    if (!cell.survived) {
+      return false;
+    }
+  }
+  for (const auto& cell : fault_cells) {
+    if (!cell.recovered || cell.fault_events == 0 ||
+        cell.wrong_values != 0 || cell.lost_committed != 0) {
+      return false;
+    }
+  }
+  // Durable generations must catch the rollback both ways; the volatile
+  // control arm must catch it in-session but accept the stale image after
+  // remount — proving the probe discriminates and durability closes it.
+  return durable_probe.read_detected && durable_probe.remount_detected &&
+         !durable_probe.stale_accepted && volatile_probe.read_detected &&
+         volatile_probe.stale_accepted && !volatile_probe.remount_detected;
+}
+
+}  // namespace cio

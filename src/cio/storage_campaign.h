@@ -1,0 +1,120 @@
+// Storage crash/fault campaign: the §3.3 storage stack under deterministic
+// host crashes, transient storage faults, and image rollback.
+//
+// Three dimensions, each with its own ground-truth oracle:
+//
+//  * CRASH cells: the host block device is killed after every stride-th
+//    device write (discarding its write-back cache), the guest remounts,
+//    and the oracle checks crash consistency — every acknowledged Put or
+//    Delete (they flush internally; an OK means durable) must survive
+//    every later crash, an unacknowledged op may resolve either way but
+//    never to a torn or invented value, and every remount must succeed.
+//
+//  * FAULT cells: each transient storage fault (swallowed doorbells,
+//    stalled/garbage counters, torn writes, dropped completions, bit rot,
+//    link kill) opens for a bounded window mid-workload. The guest must
+//    ride the window out on the ring recovery machinery and come back to
+//    full service, and no fault may ever surface a wrong value — at worst
+//    a detected kTampered on data the host corrupted.
+//
+//  * ROLLBACK probe: the host snapshots the image, the guest overwrites
+//    and flushes, the host restores the snapshot. With durable generations
+//    the stale image is rejected (kTampered at read and at remount); the
+//    volatile control arm accepts the stale value after remount, which is
+//    exactly the gap durable generations close.
+//
+// bench_storage_resilience runs all three and exits non-zero unless
+// StorageInvariantsHold; tests reuse individual cells.
+
+#ifndef SRC_CIO_STORAGE_CAMPAIGN_H_
+#define SRC_CIO_STORAGE_CAMPAIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/blockio/store.h"
+
+namespace cio {
+
+struct StorageCampaignOptions {
+  uint64_t seed = 1;
+  size_t keys = 7;            // distinct object names in the workload
+  size_t ops_before = 8;      // honest warm-up ops per cell
+  size_t ops_per_run = 40;    // ops offered while crashes / faults fire
+  size_t ops_after = 8;       // honest ops after recovery (liveness proof)
+  uint64_t fault_duration_ns = 12'000'000;  // 12 ms transient windows
+  uint64_t max_crashes = 6;   // crash budget per crash cell
+  std::vector<uint64_t> crash_strides = {1, 2, 3, 4, 5, 7, 9, 13};
+  std::vector<ciohost::FaultStrategy> faults =
+      ciohost::AllStorageFaultStrategies();
+};
+
+struct StorageCrashCell {
+  uint64_t stride = 0;
+  bool survived = false;
+  // Evidence.
+  uint64_t crashes = 0;          // host restarts actually exercised
+  uint64_t remounts = 0;
+  uint64_t journal_replays = 0;
+  size_t ops_attempted = 0;
+  size_t ops_committed = 0;      // acknowledged (and therefore durable) ops
+  uint64_t lost_committed = 0;   // acknowledged update missing after a crash
+  uint64_t wrong_values = 0;     // a Get returned bytes nobody ever put
+  uint64_t tamper_alarms = 0;    // false kTampered (crashes are not attacks)
+  uint64_t mount_failures = 0;
+  std::string note;
+};
+
+struct StorageFaultCell {
+  ciohost::FaultStrategy fault = ciohost::FaultStrategy::kNone;
+  bool recovered = false;
+  // Evidence.
+  uint64_t fault_events = 0;     // host-side fault hits (0 = never bit)
+  uint64_t ring_resets = 0;
+  uint64_t watchdog_fires = 0;
+  size_t ops_attempted = 0;
+  size_t ops_committed = 0;
+  uint64_t wrong_values = 0;
+  uint64_t lost_committed = 0;
+  uint64_t tampered_reads = 0;   // detections (integrity held), not failures
+  std::string note;
+};
+
+struct StorageRollbackResult {
+  bool durable_generations = false;
+  bool read_detected = false;     // in-session: stale block flagged at Get
+  bool remount_detected = false;  // cross-session: rolled-back image refused
+  bool stale_accepted = false;    // the rollback went unnoticed after remount
+};
+
+// One crash cell: host dies after every stride-th device write.
+StorageCrashCell RunStorageCrashCell(uint64_t stride,
+                                     const StorageCampaignOptions& options);
+std::vector<StorageCrashCell> RunStorageCrashCampaign(
+    const StorageCampaignOptions& options);
+
+// One transient-fault cell.
+StorageFaultCell RunStorageFaultCell(ciohost::FaultStrategy fault,
+                                     const StorageCampaignOptions& options);
+std::vector<StorageFaultCell> RunStorageFaultCampaign(
+    const StorageCampaignOptions& options);
+
+// Snapshot/overwrite/restore; run once with durable generations and once
+// with the volatile control arm.
+StorageRollbackResult RunStorageRollbackProbe(bool durable_generations);
+
+std::string StorageCrashTable(const std::vector<StorageCrashCell>& cells);
+std::string StorageFaultTable(const std::vector<StorageFaultCell>& cells);
+
+// The enforced claim: every crash cell survives, every fault cell recovers
+// with its fault actually exercised, rollback is detected with durable
+// generations, and the volatile control arm demonstrates the gap (it
+// detects in-session but accepts the stale image after remount).
+bool StorageInvariantsHold(const std::vector<StorageCrashCell>& crash_cells,
+                           const std::vector<StorageFaultCell>& fault_cells,
+                           const StorageRollbackResult& durable_probe,
+                           const StorageRollbackResult& volatile_probe);
+
+}  // namespace cio
+
+#endif  // SRC_CIO_STORAGE_CAMPAIGN_H_

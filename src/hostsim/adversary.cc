@@ -57,6 +57,10 @@ std::string_view FaultStrategyName(FaultStrategy strategy) {
       return "torn-write";
     case FaultStrategy::kLinkKill:
       return "link-kill";
+    case FaultStrategy::kDropCompletions:
+      return "drop-completions";
+    case FaultStrategy::kBitRot:
+      return "bit-rot";
   }
   return "?";
 }
@@ -66,6 +70,13 @@ std::vector<FaultStrategy> AllFaultStrategies() {
           FaultStrategy::kGarbageCounters, FaultStrategy::kDropFrames,
           FaultStrategy::kDuplicateFrames, FaultStrategy::kTornWrite,
           FaultStrategy::kLinkKill};
+}
+
+std::vector<FaultStrategy> AllStorageFaultStrategies() {
+  return {FaultStrategy::kSwallowDoorbell, FaultStrategy::kStallCounters,
+          FaultStrategy::kGarbageCounters, FaultStrategy::kTornWrite,
+          FaultStrategy::kLinkKill,        FaultStrategy::kDropCompletions,
+          FaultStrategy::kBitRot};
 }
 
 bool Adversary::FaultActive(FaultStrategy strategy, uint64_t now_ns) {

@@ -69,14 +69,20 @@ enum class FaultStrategy {
   kGarbageCounters,   // host publishes absurd ring counters / used indices
   kDropFrames,        // frames vanish between ring and fabric, both ways
   kDuplicateFrames,   // every frame is delivered twice
-  kTornWrite,         // RX payloads are written only partially (torn)
+  kTornWrite,         // RX payloads / disk blocks are written only partially
   kLinkKill,          // the device goes completely dead for the window
+  kDropCompletions,   // storage ops execute but their completions vanish
+  kBitRot,            // storage reads return bytes with a flipped bit
 };
-inline constexpr int kFaultStrategyCount = 8;
+inline constexpr int kFaultStrategyCount = 10;
 
 std::string_view FaultStrategyName(FaultStrategy strategy);
-// Every injectable fault (excluding kNone), for campaign sweeps.
+// Every injectable network-path fault (excluding kNone), for campaign sweeps.
 std::vector<FaultStrategy> AllFaultStrategies();
+// Every fault the storage path campaign sweeps: the network set minus the
+// frame-level faults (the block ring has no frames) plus the storage-only
+// faults (dropped completions, bit rot).
+std::vector<FaultStrategy> AllStorageFaultStrategies();
 
 // A fault armed at a point in simulated time. duration_ns == 0 means the
 // fault never clears (a permanently hostile host).

@@ -1,0 +1,49 @@
+// MonotonicCounter: a model of the hardware non-volatile anti-rollback
+// counter a confidential VM gets from its platform (SNP's VMPL-protected
+// versioned state, TDX's TDG.SYS services, or a vTPM NV counter).
+//
+// The storage stack's freshness story (SGX-LKL-style) needs exactly one
+// trusted primitive that survives host restarts and that the host cannot
+// rewind: a counter that only ever moves forward. EncryptedBlockClient
+// binds the epoch of its persisted generation table to this counter — a
+// host that restores yesterday's disk image presents a table whose epoch
+// is behind the counter, which remount rejects as kTampered.
+//
+// The model is deliberately tiny: it lives in guest-trusted memory in the
+// simulation (the host never gets a pointer to it), and forward-only
+// semantics are enforced here so no caller can accidentally rewind it.
+
+#ifndef SRC_TEE_MONOTONIC_COUNTER_H_
+#define SRC_TEE_MONOTONIC_COUNTER_H_
+
+#include <cstdint>
+
+namespace ciotee {
+
+class MonotonicCounter {
+ public:
+  explicit MonotonicCounter(uint64_t initial = 0) : value_(initial) {}
+
+  uint64_t value() const { return value_; }
+
+  // Advances to `target`. Requests to move backwards are ignored (the
+  // hardware refuses); returns true if the counter actually advanced.
+  bool BumpTo(uint64_t target) {
+    if (target <= value_) {
+      return false;
+    }
+    value_ = target;
+    ++bumps_;
+    return true;
+  }
+
+  uint64_t bumps() const { return bumps_; }
+
+ private:
+  uint64_t value_;
+  uint64_t bumps_ = 0;
+};
+
+}  // namespace ciotee
+
+#endif  // SRC_TEE_MONOTONIC_COUNTER_H_

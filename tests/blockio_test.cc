@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/base/bytes.h"
 #include "src/base/rng.h"
 #include "src/blockio/crypt_client.h"
 #include "src/blockio/extent_fs.h"
@@ -85,6 +86,40 @@ TEST(BlockRing, LenInflationClampedNoOob) {
   EXPECT_EQ(world.memory.ViolationCount(ciotee::ViolationKind::kOobRead), 0u);
 }
 
+TEST(BlockRing, UnknownOpcodeCompletedWithError) {
+  // Satellite: an op the device does not know must be completed with a
+  // status error (keeping the FIFO in lockstep), not silently dropped.
+  // Craft a raw submission with op=99 the way a compromised guest driver
+  // (or a fuzzer) would.
+  BlockWorld world;
+  BlockLayout layout(world.config);
+  uint8_t header[32] = {0};
+  ciobase::StoreLe32(header, 99);      // unknown op
+  ciobase::StoreLe32(header + 4, 0);   // len
+  ciobase::StoreLe64(header + 8, 1);   // lba
+  world.shared->GuestWrite(layout.SubmitSlot(0), header);
+  world.shared->GuestWriteLe64(layout.SubmitProduced(), 1);
+  world.device->Kick();
+  EXPECT_EQ(world.device->stats().bad_op, 1u);
+  // The completion exists and carries a non-zero status.
+  EXPECT_EQ(world.shared->GuestReadLe64(layout.CompleteProduced()), 1u);
+  uint8_t complete[32] = {0};
+  world.shared->GuestRead(layout.CompleteSlot(0), complete);
+  EXPECT_NE(ciobase::LoadLe32(complete), 0u);
+  // The ring stays usable for well-formed traffic afterwards: the device
+  // consumed the bad submission, so the client's view (which never saw the
+  // raw injection) would be off by one — use a fresh client to confirm the
+  // device itself still serves ops.
+  world.shared->GuestWriteLe64(layout.CompleteConsumed(), 1);
+  uint8_t good[32] = {0};
+  ciobase::StoreLe32(good, static_cast<uint32_t>(BlockOp::kFlush));
+  world.shared->GuestWrite(layout.SubmitSlot(1), good);
+  world.shared->GuestWriteLe64(layout.SubmitProduced(), 2);
+  world.device->Kick();
+  world.shared->GuestRead(layout.CompleteSlot(1), complete);
+  EXPECT_EQ(ciobase::LoadLe32(complete), 0u);  // flush completed ok
+}
+
 TEST(BlockRing, HostObservesAccessPattern) {
   BlockWorld world;
   ASSERT_TRUE(world.client->WriteBlock(42, BufferFromString("p")).ok());
@@ -161,6 +196,40 @@ TEST(CryptBlock, ErasureDetected) {
   ASSERT_TRUE(world.client->WriteBlock(5, zeros).ok());
   auto read = world.crypt.ReadBlock(5);
   EXPECT_FALSE(read.ok());
+}
+
+TEST(CryptBlock, TinyInnerBlockGeometryRejected) {
+  // Satellite fix: an inner block size at or below the AEAD overhead used
+  // to underflow usable_block_size_. It must now fail cleanly at
+  // construction with kInvalidArgument on every operation.
+  ciobase::SimClock clock;
+  ciobase::CostModel costs(&clock);
+  ciotee::TeeMemory memory;
+  BlockRingConfig tiny;
+  tiny.block_size = 16;  // < kOverhead (28)
+  tiny.block_count = 64;
+  ciotee::SharedRegion shared(&memory, tiny.RegionSize(), "tiny-ring");
+  HostBlockDevice device(&shared, tiny, nullptr, nullptr, &clock);
+  RingBlockClient ring(&shared, tiny, &device, &costs);
+  EncryptedBlockClient crypt(&ring, BufferFromString("k"), &costs);
+  EXPECT_EQ(crypt.geometry_status().code(),
+            ciobase::StatusCode::kInvalidArgument);
+  EXPECT_EQ(crypt.block_size(), 0u);
+  EXPECT_EQ(crypt.WriteBlock(0, BufferFromString("x")).code(),
+            ciobase::StatusCode::kInvalidArgument);
+  EXPECT_EQ(crypt.ReadBlock(0).status().code(),
+            ciobase::StatusCode::kInvalidArgument);
+  EXPECT_EQ(crypt.Flush().code(), ciobase::StatusCode::kInvalidArgument);
+}
+
+TEST(CryptBlock, DurableModeRequiresCounter) {
+  BlockWorld world;
+  CryptClientOptions options;
+  options.durable_generations = true;  // but no counter supplied
+  EncryptedBlockClient crypt(world.client.get(), BufferFromString("k"),
+                             &world.costs, options);
+  EXPECT_EQ(crypt.geometry_status().code(),
+            ciobase::StatusCode::kInvalidArgument);
 }
 
 // --- Extent filesystem -----------------------------------------------------------

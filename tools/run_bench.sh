@@ -12,8 +12,10 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
-cmake --build "$build_dir" --target bench_throughput bench_crypto -j >/dev/null
+cmake --build "$build_dir" --target bench_throughput bench_crypto bench_blockio -j >/dev/null
 
 "$build_dir/bench/bench_throughput" --json "$repo_root/BENCH_throughput.json"
 echo
 "$build_dir/bench/bench_crypto"
+echo
+"$build_dir/bench/bench_blockio" --json "$repo_root/BENCH_blockio.json"
