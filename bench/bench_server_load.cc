@@ -1,0 +1,336 @@
+// Open-loop load harness for the multi-tenant confidential server.
+//
+// For each of the four Figure-5 profile corners, 64 clients each run a
+// deterministic open-loop arrival schedule (SimClock-driven: arrivals do
+// NOT wait for completions) of fixed-size echo requests against one
+// ConfidentialServer. Reported per profile:
+//
+//   * throughput — echoes completed per simulated second,
+//   * fairness   — min/max per-client goodput rate (deficit round-robin
+//                  should keep this near 1; the gate is >= 0.5),
+//   * latency    — p50/p95/p99 from *scheduled arrival* to echo receipt
+//                  (open-loop: queueing during recovery counts against us).
+//
+// On the dual-boundary profile the run additionally takes the fault
+// matrix mid-transfer — a 12 ms link kill (past the TCP retry budget, so
+// every connection dies and must reconnect + reattach) followed by a
+// stalled-counter window — and must still complete with ZERO lost
+// messages. A separate admission probe per profile verifies rejections
+// beyond the connection cap are orderly: typed client-side failure, no
+// crash, table bounded.
+//
+// Exit code is the gate (CI runs this in both plain and sanitizer jobs):
+// non-zero when any profile fails establishment, completion, fairness,
+// zero-loss, or orderly admission. `--json <path>` writes BENCH_server.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/serve/harness.h"
+
+namespace {
+
+using cio::StackProfile;
+using cioserve::MultiClientWorld;
+
+constexpr size_t kClients = 64;
+constexpr size_t kMessagesPerClient = 16;
+constexpr size_t kMessageBytes = 512;
+constexpr uint64_t kArrivalIntervalNs = 250'000;  // per client
+constexpr uint64_t kClientStaggerNs = 5'000;
+
+struct Row {
+  std::string profile;
+  bool established = false;
+  bool completed = false;
+  bool zero_lost = false;
+  bool admission_orderly = false;
+  double throughput_msgs_per_sec = 0.0;
+  double fairness = 0.0;  // min/max per-client goodput rate
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t lost = 0;
+  uint64_t recovered = 0;
+  uint64_t rejected_admission = 0;
+  uint64_t fault_events = 0;
+
+  bool Ok() const {
+    return established && completed && zero_lost && admission_orderly &&
+           fairness >= 0.5;
+  }
+};
+
+double Percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) {
+    return 0.0;
+  }
+  size_t index = static_cast<size_t>(q * static_cast<double>(
+                                             sorted_us.size() - 1));
+  return sorted_us[index];
+}
+
+// The 64-client open-loop echo run (with the fault matrix on the
+// dual-boundary profile).
+void RunLoadPoint(StackProfile profile, Row& row) {
+  MultiClientWorld::Options options;
+  options.profile = profile;
+  options.num_clients = kClients;
+  options.seed = 8800 + static_cast<uint64_t>(profile);
+  options.server_config.max_connections = kClients;
+  options.server_config.reattach_timeout_ns = 2'000'000'000;
+  MultiClientWorld world(options);
+  if (!world.EstablishAll(120000)) {
+    return;
+  }
+  row.established = true;
+
+  // Deterministic open-loop schedule: client i's m-th request is DUE at
+  // start + i*stagger + m*interval, no matter what the server or the host
+  // is doing at that moment.
+  const uint64_t start_ns = world.clock.now_ns() + 100'000;
+  struct ClientState {
+    size_t offered = 0;    // next message index to offer
+    size_t accepted = 0;   // messages the channel took so far
+    size_t echoed = 0;
+    std::deque<uint64_t> in_flight_due_ns;  // FIFO: delivery is in-order
+    uint64_t last_echo_ns = 0;
+  };
+  std::vector<ClientState> state(kClients);
+  std::vector<double> latencies_us;
+  latencies_us.reserve(kClients * kMessagesPerClient);
+  ciobase::Buffer payload(kMessageBytes, 0x42);
+
+  const bool with_faults = profile == StackProfile::kDualBoundary;
+  // Mid-transfer: after ~a third of the schedule has fired.
+  const uint64_t fault1_ns =
+      start_ns + kMessagesPerClient / 3 * kArrivalIntervalNs;
+  bool fault1_armed = with_faults;
+  bool fault2_armed = with_faults;
+
+  auto all_done = [&] {
+    for (size_t i = 0; i < kClients; ++i) {
+      if (state[i].echoed < kMessagesPerClient ||
+          !world.clients[i]->Ready()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (int round = 0; round < 400000 && !all_done(); ++round) {
+    uint64_t now = world.clock.now_ns();
+    if (fault1_armed && now >= fault1_ns) {
+      fault1_armed = false;
+      world.server_node->adversary().InjectFault(
+          {ciohost::FaultStrategy::kLinkKill, now, 12'000'000});
+    }
+    if (fault2_armed && now >= fault1_ns + 20'000'000) {
+      fault2_armed = false;
+      world.server_node->adversary().InjectFault(
+          {ciohost::FaultStrategy::kStallCounters, now, 2'000'000});
+    }
+    for (size_t i = 0; i < kClients; ++i) {
+      ClientState& client = state[i];
+      // Open-loop arrivals: everything due by now is offered; the latency
+      // clock for each message started at its due time regardless of when
+      // the (possibly recovering) channel accepts it.
+      while (client.offered < kMessagesPerClient &&
+             now >= start_ns + i * kClientStaggerNs +
+                        client.offered * kArrivalIntervalNs) {
+        ++client.offered;
+      }
+      while (client.accepted < client.offered &&
+             world.clients[i]->Ready() &&
+             world.clients[i]->SendMessage(payload).ok()) {
+        client.in_flight_due_ns.push_back(start_ns + i * kClientStaggerNs +
+                                          client.accepted *
+                                              kArrivalIntervalNs);
+        ++client.accepted;
+      }
+      while (world.clients[i]->ReceiveMessage().ok()) {
+        if (!client.in_flight_due_ns.empty()) {
+          uint64_t due = client.in_flight_due_ns.front();
+          client.in_flight_due_ns.pop_front();
+          latencies_us.push_back(
+              static_cast<double>(now - std::min(due, now)) / 1000.0);
+        }
+        ++client.echoed;
+        client.last_echo_ns = now;
+      }
+    }
+    world.EchoRound();
+    world.Pump();
+  }
+
+  row.completed = all_done();
+  uint64_t lost = 0;
+  for (auto& client : world.clients) {
+    lost += client->recovery_stats().messages_lost;
+  }
+  row.lost = lost;
+  row.zero_lost = lost == 0;
+  row.recovered = world.server->stats().recovered;
+  row.fault_events = world.server_node->adversary().fault_events();
+
+  if (row.completed) {
+    uint64_t first_due = start_ns;
+    uint64_t last_echo = 0;
+    double min_rate = 0.0;
+    double max_rate = 0.0;
+    for (size_t i = 0; i < kClients; ++i) {
+      last_echo = std::max(last_echo, state[i].last_echo_ns);
+      uint64_t first = start_ns + i * kClientStaggerNs;
+      double span_s =
+          static_cast<double>(state[i].last_echo_ns - first) / 1e9;
+      double rate = span_s > 0
+                        ? static_cast<double>(kMessagesPerClient) / span_s
+                        : 0.0;
+      min_rate = i == 0 ? rate : std::min(min_rate, rate);
+      max_rate = i == 0 ? rate : std::max(max_rate, rate);
+    }
+    double total_s = static_cast<double>(last_echo - first_due) / 1e9;
+    row.throughput_msgs_per_sec =
+        total_s > 0
+            ? static_cast<double>(kClients * kMessagesPerClient) / total_s
+            : 0.0;
+    row.fairness = max_rate > 0 ? min_rate / max_rate : 0.0;
+    std::sort(latencies_us.begin(), latencies_us.end());
+    row.p50_us = Percentile(latencies_us, 0.50);
+    row.p95_us = Percentile(latencies_us, 0.95);
+    row.p99_us = Percentile(latencies_us, 0.99);
+  }
+}
+
+// Small over-capacity probe: 6 clients race for 4 slots. Rejections must
+// be typed client-side failures, the table must stay at the cap, and the
+// admitted majority must keep working.
+void RunAdmissionProbe(StackProfile profile, Row& row) {
+  MultiClientWorld::Options options;
+  options.profile = profile;
+  options.num_clients = 6;
+  options.server_config.max_connections = 4;
+  options.seed = 9900 + static_cast<uint64_t>(profile);
+  MultiClientWorld world(options);
+  if (!world.server->Start().ok()) {
+    return;
+  }
+  for (auto& client : world.clients) {
+    if (!client->Connect(world.server_node->ip(), world.server->config().port)
+             .ok()) {
+      return;
+    }
+  }
+  world.PumpUntil(
+      [&] {
+        size_t settled = 0;
+        for (auto& client : world.clients) {
+          settled += (client->Ready() || client->Failed()) ? 1 : 0;
+        }
+        return settled == world.clients.size();
+      },
+      200000);
+  size_t ready = 0;
+  size_t failed_typed = 0;
+  for (auto& client : world.clients) {
+    ready += client->Ready() ? 1 : 0;
+    failed_typed += client->Failed() ? 1 : 0;
+  }
+  row.rejected_admission = world.server->stats().rejected_admission;
+  row.admission_orderly = ready == 4 && failed_typed == 2 &&
+                          world.server->active_connections() <= 4 &&
+                          row.rejected_admission >= 2;
+}
+
+void WriteJson(const char* path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "  {\"profile\": \"%s\", \"clients\": %zu, "
+        "\"messages_per_client\": %zu, \"msg_size\": %zu, \"ok\": %s, "
+        "\"throughput_msgs_per_sec\": %.1f, \"fairness\": %.3f, "
+        "\"p50_us\": %.1f, \"p95_us\": %.1f, \"p99_us\": %.1f, "
+        "\"lost\": %llu, \"recovered\": %llu, "
+        "\"rejected_admission\": %llu, \"fault_events\": %llu}%s\n",
+        r.profile.c_str(), kClients, kMessagesPerClient, kMessageBytes,
+        r.Ok() ? "true" : "false", r.throughput_msgs_per_sec, r.fairness,
+        r.p50_us, r.p95_us, r.p99_us,
+        static_cast<unsigned long long>(r.lost),
+        static_cast<unsigned long long>(r.recovered),
+        static_cast<unsigned long long>(r.rejected_admission),
+        static_cast<unsigned long long>(r.fault_events),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  const StackProfile kProfiles[] = {
+      StackProfile::kSyscallL5, StackProfile::kPassthroughL2,
+      StackProfile::kHardenedVirtio, StackProfile::kDualBoundary};
+
+  std::printf("== server load: %zu clients x %zu msgs x %zuB, open loop ==\n",
+              kClients, kMessagesPerClient, kMessageBytes);
+  std::printf("%-18s %10s %8s %8s %8s %8s %5s %5s %6s\n", "profile", "msgs/s",
+              "fair", "p50us", "p95us", "p99us", "lost", "rec", "adm-rej");
+  std::printf("%s\n", std::string(84, '-').c_str());
+
+  std::vector<Row> rows;
+  bool all_ok = true;
+  for (StackProfile profile : kProfiles) {
+    Row row;
+    row.profile = std::string(cio::StackProfileName(profile));
+    RunLoadPoint(profile, row);
+    RunAdmissionProbe(profile, row);
+    std::printf("%-18s %10.0f %8.3f %8.1f %8.1f %8.1f %5llu %5llu %6llu%s\n",
+                row.profile.c_str(), row.throughput_msgs_per_sec,
+                row.fairness, row.p50_us, row.p95_us, row.p99_us,
+                static_cast<unsigned long long>(row.lost),
+                static_cast<unsigned long long>(row.recovered),
+                static_cast<unsigned long long>(row.rejected_admission),
+                row.Ok() ? "" : "  FAIL");
+    if (!row.Ok()) {
+      std::printf(
+          "    established=%d completed=%d zero_lost=%d admission=%d "
+          "fairness=%.3f\n",
+          row.established, row.completed, row.zero_lost,
+          row.admission_orderly, row.fairness);
+      all_ok = false;
+    }
+    rows.push_back(row);
+  }
+
+  if (json_path != nullptr) {
+    WriteJson(json_path, rows);
+  }
+  if (!all_ok) {
+    std::printf("server load gate FAILED\n");
+    return 1;
+  }
+  std::printf("server load gate passed: %zu clients per profile, "
+              "dual-boundary fault matrix zero-loss\n",
+              kClients);
+  return 0;
+}

@@ -60,34 +60,10 @@ class ObservedPort final : public cionet::FramePort {
 
 // --- Byte-stream plumbing ------------------------------------------------------
 
-struct ConfidentialNode::SocketOps {
-  virtual ~SocketOps() = default;
-  virtual ciobase::Result<cionet::SocketId> Connect(cionet::Ipv4Address ip,
-                                                    uint16_t port) = 0;
-  virtual ciobase::Result<cionet::SocketId> Listen(uint16_t port) = 0;
-  virtual ciobase::Result<cionet::SocketId> Accept(
-      cionet::SocketId listener) = 0;
-  virtual ciobase::Result<cionet::TcpState> State(cionet::SocketId id) = 0;
-  // Abortive close (RST now); the recovery path uses it to kill a dead
-  // connection before re-establishing.
-  virtual ciobase::Status Abort(cionet::SocketId id) = 0;
-  // Returns bytes accepted (possibly 0 under backpressure).
-  virtual ciobase::Result<size_t> SendBytes(cionet::SocketId id,
-                                            ciobase::ByteSpan data) = 0;
-  // Fills `out` with the next chunk (capacity reused across calls); returns
-  // the byte count — 0 when nothing is pending — kFailedPrecondition at
-  // orderly EOF, kLinkReset when the connection died underneath us.
-  virtual ciobase::Result<size_t> ReceiveBytes(cionet::SocketId id, size_t max,
-                                               ciobase::Buffer& out) = 0;
-  // Drives the stack; surfaces the link status (kTimedOut = transport
-  // watchdog exhausted its reset budget, kLinkReset = ring reset this round).
-  virtual ciobase::Status Poll() = 0;
-};
-
 // Syscall-level I/O (Graphene/SCONE style): the socket lives in the HOST
 // network stack; every data-carrying operation is a host exit with a
 // boundary copy, and its type, arguments, and exact size are host-visible.
-struct ConfidentialNode::SyscallOps final : ConfidentialNode::SocketOps {
+struct ConfidentialNode::SyscallOps final : SocketLayer {
   ConfidentialNode* node;
   explicit SyscallOps(ConfidentialNode* n) : node(n) {}
 
@@ -118,6 +94,11 @@ struct ConfidentialNode::SyscallOps final : ConfidentialNode::SocketOps {
   }
   ciobase::Result<cionet::TcpState> State(cionet::SocketId id) override {
     return node->host_stack_->GetTcpState(id);
+  }
+  ciobase::Status Close(cionet::SocketId id) override {
+    node->costs_.ChargeHostExit();
+    RecordCall("close", id.value);
+    return node->host_stack_->TcpClose(id);
   }
   ciobase::Status Abort(cionet::SocketId id) override {
     node->costs_.ChargeHostExit();
@@ -159,12 +140,24 @@ struct ConfidentialNode::SyscallOps final : ConfidentialNode::SocketOps {
     out.resize(*got);
     return *got;
   }
+  ciobase::Result<size_t> AcceptPending(cionet::SocketId id) override {
+    return node->host_stack_->TcpAcceptPending(id);
+  }
+  ciobase::Result<bool> Readable(cionet::SocketId id) override {
+    return node->host_stack_->TcpReadable(id);
+  }
+  ciobase::Result<size_t> SendSpace(cionet::SocketId id) override {
+    return node->host_stack_->TcpSendSpace(id);
+  }
+  ciobase::Result<cionet::Ipv4Address> Peer(cionet::SocketId id) override {
+    return node->host_stack_->GetTcpPeer(id);
+  }
   ciobase::Status Poll() override { return node->host_stack_->Poll(); }
 };
 
 // Guest-owned stack over some FramePort (passthrough / hardened virtio):
 // a single trust domain containing app + TLS + stack + driver.
-struct ConfidentialNode::GuestStackOps final : ConfidentialNode::SocketOps {
+struct ConfidentialNode::GuestStackOps final : SocketLayer {
   ConfidentialNode* node;
   explicit GuestStackOps(ConfidentialNode* n) : node(n) {}
 
@@ -180,6 +173,9 @@ struct ConfidentialNode::GuestStackOps final : ConfidentialNode::SocketOps {
   }
   ciobase::Result<cionet::TcpState> State(cionet::SocketId id) override {
     return node->guest_stack_->GetTcpState(id);
+  }
+  ciobase::Status Close(cionet::SocketId id) override {
+    return node->guest_stack_->TcpClose(id);
   }
   ciobase::Status Abort(cionet::SocketId id) override {
     return node->guest_stack_->TcpAbort(id);
@@ -198,6 +194,18 @@ struct ConfidentialNode::GuestStackOps final : ConfidentialNode::SocketOps {
     }
     out.resize(*got);
     return *got;
+  }
+  ciobase::Result<size_t> AcceptPending(cionet::SocketId id) override {
+    return node->guest_stack_->TcpAcceptPending(id);
+  }
+  ciobase::Result<bool> Readable(cionet::SocketId id) override {
+    return node->guest_stack_->TcpReadable(id);
+  }
+  ciobase::Result<size_t> SendSpace(cionet::SocketId id) override {
+    return node->guest_stack_->TcpSendSpace(id);
+  }
+  ciobase::Result<cionet::Ipv4Address> Peer(cionet::SocketId id) override {
+    return node->guest_stack_->GetTcpPeer(id);
   }
   void PollDevice() {
     if (node->virtio_device_ != nullptr) {
@@ -220,7 +228,7 @@ struct ConfidentialNode::GuestStackOps final : ConfidentialNode::SocketOps {
 
 // Dual-boundary: the stack lives in the I/O compartment; all socket calls
 // cross the L5 channel.
-struct ConfidentialNode::DualBoundaryOps final : ConfidentialNode::SocketOps {
+struct ConfidentialNode::DualBoundaryOps final : SocketLayer {
   ConfidentialNode* node;
   explicit DualBoundaryOps(ConfidentialNode* n) : node(n) {}
 
@@ -237,6 +245,9 @@ struct ConfidentialNode::DualBoundaryOps final : ConfidentialNode::SocketOps {
   ciobase::Result<cionet::TcpState> State(cionet::SocketId id) override {
     return node->l5_->State(id);
   }
+  ciobase::Status Close(cionet::SocketId id) override {
+    return node->l5_->Close(id);
+  }
   ciobase::Status Abort(cionet::SocketId id) override {
     return node->l5_->Abort(id);
   }
@@ -247,6 +258,18 @@ struct ConfidentialNode::DualBoundaryOps final : ConfidentialNode::SocketOps {
   ciobase::Result<size_t> ReceiveBytes(cionet::SocketId id, size_t max,
                                        ciobase::Buffer& out) override {
     return node->l5_->ReceiveInto(id, max, out);
+  }
+  ciobase::Result<size_t> AcceptPending(cionet::SocketId id) override {
+    return node->l5_->AcceptPending(id);
+  }
+  ciobase::Result<bool> Readable(cionet::SocketId id) override {
+    return node->l5_->Readable(id);
+  }
+  ciobase::Result<size_t> SendSpace(cionet::SocketId id) override {
+    return node->l5_->SendSpace(id);
+  }
+  ciobase::Result<cionet::Ipv4Address> Peer(cionet::SocketId id) override {
+    return node->l5_->Peer(id);
   }
   ciobase::Status Poll() override {
     node->l2_device_->Poll();
@@ -266,7 +289,9 @@ ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
           10, 0, 0, static_cast<uint8_t>(config_.node_id))),
       clock_(clock),
       costs_(clock),
-      adversary_(config_.seed ^ 0xadu) {
+      adversary_(config_.seed ^ 0xadu),
+      session_(config_.use_tls, config_.psk,
+               config_.recovery.enabled ? config_.recovery.resend_window : 0) {
   if (!config_.Valid()) {
     failed_ = true;
     return;
@@ -277,6 +302,7 @@ ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
   stack_config.ip = ip_;
   stack_config.seed = config_.seed;
   stack_config.tcp_tuning = config_.tcp_tuning;
+  stack_config.tcp_accept_backlog = config_.accept_backlog;
 
   switch (config_.profile) {
     case StackProfile::kSyscallL5: {
@@ -424,11 +450,7 @@ ciobase::Status ConfidentialNode::Connect(cionet::Ipv4Address peer,
   is_client_ = true;
   peer_ip_ = peer;
   peer_port_ = port;
-  if (config_.use_tls) {
-    tls_ = std::make_unique<ciotls::TlsSession>(
-        ciotls::TlsRole::kClient, config_.psk, "cio-link", config_.seed);
-    tls_->Start();
-  }
+  session_.Start(ciotls::TlsRole::kClient, config_.seed);
   return ciobase::OkStatus();
 }
 
@@ -436,25 +458,13 @@ bool ConfidentialNode::Ready() const {
   if (failed_ || !have_socket_ || !connected_transport_) {
     return false;
   }
-  if (config_.use_tls) {
-    return tls_ != nullptr && tls_->established();
-  }
-  return true;
+  return session_.Established();
 }
 
 bool ConfidentialNode::Failed() const {
   // With recovery enabled a dead TLS session is a fault in flight, not a
   // terminal state — Poll() tears it down and re-establishes.
-  return failed_ || (!config_.recovery.enabled && tls_ != nullptr &&
-                     tls_->failed());
-}
-
-void ConfidentialNode::PumpTls() {
-  if (tls_ == nullptr) {
-    return;
-  }
-  ciobase::Buffer out = tls_->TakeOutput();
-  ciobase::Append(tls_outbox_, out);
+  return failed_ || (!config_.recovery.enabled && session_.TlsFailed());
 }
 
 void ConfidentialNode::PumpBytes() {
@@ -462,13 +472,12 @@ void ConfidentialNode::PumpBytes() {
     return;
   }
   // Flush pending protected bytes into the transport, as far as it allows.
-  while (!tls_outbox_.empty()) {
-    auto sent = ops_->SendBytes(socket_, tls_outbox_);
+  while (session_.HasOutbound()) {
+    auto sent = ops_->SendBytes(socket_, session_.outbound());
     if (!sent.ok() || *sent == 0) {
       break;
     }
-    tls_outbox_.erase(tls_outbox_.begin(),
-                      tls_outbox_.begin() + static_cast<long>(*sent));
+    session_.ConsumeOutbound(*sent);
   }
   // Drain inbound bytes into the reusable scratch chunk: the steady-state
   // receive path allocates nothing per round.
@@ -484,53 +493,23 @@ void ConfidentialNode::PumpBytes() {
     if (*got == 0) {
       break;
     }
-    if (config_.use_tls) {
-      if (!tls_->Feed(rx_scratch_).ok()) {
-        BeginRecovery("tls stream corrupt");
-        break;
+    ciobase::Status ingested = session_.Ingest(rx_scratch_);
+    if (!ingested.ok()) {
+      if (ingested.code() == ciobase::StatusCode::kTampered) {
+        failed_ = true;  // hostile framing inside the protected stream
+      } else {
+        BeginRecovery(ingested.message().c_str());
       }
-      PumpTls();  // the handshake may have produced a reply flight
-    } else {
-      ciobase::Append(plain_rx_, rx_scratch_);
-    }
-  }
-  // TLS delivers record-sized chunks; drain them into the framing buffer.
-  if (config_.use_tls && tls_ != nullptr) {
-    for (;;) {
-      auto chunk = tls_->ReadMessage();
-      if (!chunk.ok()) {
-        break;
-      }
-      ciobase::Append(plain_rx_, *chunk);
-    }
-  }
-  // Reassemble length-framed, sequence-numbered application messages (both
-  // modes frame the stream identically; TLS just protects the framed
-  // bytes). The sequence numbers make delivery exactly-once across link
-  // resets: resend-window replays deduplicate here, and gaps (messages that
-  // fell out of the peer's window) are counted lost, never papered over.
-  while (plain_rx_.size() >= 4) {
-    uint32_t len = ciobase::LoadLe32(plain_rx_.data());
-    if (len < 8 || len > (1u << 24)) {
-      failed_ = true;  // hostile framing
       break;
     }
-    if (plain_rx_.size() < 4 + len) {
+  }
+  // A handshake reply flight produced while ingesting leaves this round.
+  while (have_socket_ && session_.HasOutbound()) {
+    auto sent = ops_->SendBytes(socket_, session_.outbound());
+    if (!sent.ok() || *sent == 0) {
       break;
     }
-    uint64_t seq = ciobase::LoadLe64(plain_rx_.data() + 4);
-    if (seq <= last_delivered_seq_) {
-      ++recovery_stats_.messages_duplicate_dropped;
-    } else {
-      if (seq != last_delivered_seq_ + 1) {
-        recovery_stats_.messages_lost += seq - last_delivered_seq_ - 1;
-      }
-      last_delivered_seq_ = seq;
-      plain_inbox_.emplace_back(plain_rx_.begin() + 12,
-                                plain_rx_.begin() + 4 + len);
-    }
-    plain_rx_.erase(plain_rx_.begin(),
-                    plain_rx_.begin() + 4 + len);
+    session_.ConsumeOutbound(*sent);
   }
 }
 
@@ -547,9 +526,7 @@ void ConfidentialNode::BeginRecovery(const char* reason) {
   }
   have_socket_ = false;
   connected_transport_ = false;
-  tls_.reset();
-  tls_outbox_.clear();
-  plain_rx_.clear();  // a partial frame died with the old channel
+  session_.ResetChannel();
   reconnect_pending_ = true;
   resend_pending_ = true;
   if (reconnect_backoff_ns_ == 0) {
@@ -577,12 +554,7 @@ void ConfidentialNode::PollRecovery() {
     if (socket.ok()) {
       socket_ = *socket;
       have_socket_ = true;
-      if (config_.use_tls) {
-        tls_ = std::make_unique<ciotls::TlsSession>(
-            ciotls::TlsRole::kClient, config_.psk, "cio-link", config_.seed);
-        tls_->Start();
-        ++recovery_stats_.tls_restarts;
-      }
+      session_.Start(ciotls::TlsRole::kClient, config_.seed);
     }
     // If this attempt dies too, the next one waits twice as long (capped).
     reconnect_backoff_ns_ = std::min(reconnect_backoff_ns_ * 2,
@@ -597,32 +569,9 @@ void ConfidentialNode::PollRecovery() {
     reconnect_attempts_ = 0;
     reconnect_backoff_ns_ = 0;
     recovery_stats_.last_recovery_ns = now;
-    for (const auto& [seq, payload] : resend_window_) {
-      (void)FrameAndQueue(seq, payload);
-      ++recovery_stats_.messages_resent;
-    }
+    (void)session_.Replay();
     PumpBytes();
   }
-}
-
-ciobase::Status ConfidentialNode::FrameAndQueue(uint64_t seq,
-                                                ciobase::ByteSpan payload) {
-  // Wire framing: [len u32][seq u64][payload], len covering seq + payload.
-  ciobase::Buffer framed;
-  framed.resize(12);
-  ciobase::StoreLe32(framed.data(), static_cast<uint32_t>(8 + payload.size()));
-  ciobase::StoreLe64(framed.data() + 4, seq);
-  ciobase::Append(framed, payload);
-  if (config_.use_tls) {
-    if (tls_ == nullptr) {
-      return ciobase::FailedPrecondition("no session");
-    }
-    CIO_RETURN_IF_ERROR(tls_->WriteMessage(framed));
-    PumpTls();
-  } else {
-    ciobase::Append(tls_outbox_, framed);
-  }
-  return ciobase::OkStatus();
 }
 
 void ConfidentialNode::Poll() {
@@ -648,15 +597,7 @@ void ConfidentialNode::Poll() {
       socket_ = *accepted;
       have_socket_ = true;
       connected_transport_ = true;
-      if (config_.use_tls) {
-        tls_ = std::make_unique<ciotls::TlsSession>(
-            ciotls::TlsRole::kServer, config_.psk, "cio-link",
-            config_.seed + 1);
-        tls_->Start();
-        if (reconnect_pending_) {
-          ++recovery_stats_.tls_restarts;
-        }
-      }
+      session_.Start(ciotls::TlsRole::kServer, config_.seed + 1);
     }
   }
   // Client: detect transport establishment (or its death mid-handshake).
@@ -670,12 +611,10 @@ void ConfidentialNode::Poll() {
     }
   }
   // A dead TLS session is a fault to recover from, not a terminal state.
-  if (config_.recovery.enabled && tls_ != nullptr && tls_->failed()) {
+  if (config_.recovery.enabled && session_.TlsFailed()) {
     BeginRecovery("tls session failed");
   }
-  PumpTls();
   PumpBytes();
-  PumpTls();
   PollRecovery();
 }
 
@@ -683,33 +622,23 @@ ciobase::Status ConfidentialNode::SendMessage(ciobase::ByteSpan message) {
   if (!Ready()) {
     return ciobase::FailedPrecondition("link not ready");
   }
-  if (message.size() > (1u << 24) - 8) {
-    return ciobase::InvalidArgument("message too large");
-  }
-  uint64_t seq = next_send_seq_++;
-  if (config_.recovery.enabled) {
-    resend_window_.emplace_back(
-        seq, ciobase::Buffer(message.begin(), message.end()));
-    if (resend_window_.size() > config_.recovery.resend_window) {
-      // Evicted before any reconnect could replay it: if a fault hits, the
-      // receiver will see the sequence gap and count the loss.
-      resend_window_.pop_front();
-    }
-  }
-  CIO_RETURN_IF_ERROR(FrameAndQueue(seq, message));
-  ++messages_sent_;
+  CIO_RETURN_IF_ERROR(session_.Send(message));
   PumpBytes();
   return ciobase::OkStatus();
 }
 
 ciobase::Result<ciobase::Buffer> ConfidentialNode::ReceiveMessage() {
-  if (plain_inbox_.empty()) {
-    return ciobase::Unavailable("no message");
-  }
-  ciobase::Buffer message = std::move(plain_inbox_.front());
-  plain_inbox_.pop_front();
-  ++messages_received_;
-  return message;
+  return session_.Receive();
+}
+
+ConfidentialNode::RecoveryStats ConfidentialNode::recovery_stats() const {
+  RecoveryStats stats = recovery_stats_;
+  const Session::Stats& session = session_.stats();
+  stats.tls_restarts = session.tls_restarts;
+  stats.messages_resent = session.messages_resent;
+  stats.messages_duplicate_dropped = session.messages_duplicate_dropped;
+  stats.messages_lost = session.messages_lost;
+  return stats;
 }
 
 // --- LinkedPair ------------------------------------------------------------------

@@ -26,7 +26,6 @@
 #ifndef SRC_CIO_ENGINE_H_
 #define SRC_CIO_ENGINE_H_
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -36,6 +35,7 @@
 #include "src/cio/l2_host_device.h"
 #include "src/cio/l2_transport.h"
 #include "src/cio/l5_channel.h"
+#include "src/cio/session.h"
 #include "src/cio/tunnel_port.h"
 #include "src/hostsim/adversary.h"
 #include "src/hostsim/observability.h"
@@ -45,10 +45,53 @@
 #include "src/tee/compartment.h"
 #include "src/tee/memory.h"
 #include "src/tee/trust.h"
-#include "src/tls/session.h"
 #include "src/virtio/net_driver.h"
 
 namespace cio {
+
+// The profile-specific socket plumbing a stack assembly exposes: every
+// profile provides the same byte-stream interface over its own machinery
+// (host syscalls, guest stack, or the L5 channel into the I/O compartment).
+// ConfidentialNode drives exactly one socket through it; the multi-tenant
+// ConfidentialServer (src/serve/) multiplexes many.
+class SocketLayer {
+ public:
+  virtual ~SocketLayer() = default;
+
+  virtual ciobase::Result<cionet::SocketId> Connect(cionet::Ipv4Address ip,
+                                                    uint16_t port) = 0;
+  virtual ciobase::Result<cionet::SocketId> Listen(uint16_t port) = 0;
+  virtual ciobase::Result<cionet::SocketId> Accept(
+      cionet::SocketId listener) = 0;
+  virtual ciobase::Result<cionet::TcpState> State(cionet::SocketId id) = 0;
+  // Orderly close (FIN after buffered data); the server's draining state
+  // uses it.
+  virtual ciobase::Status Close(cionet::SocketId id) = 0;
+  // Abortive close (RST now); the recovery path uses it to kill a dead
+  // connection before re-establishing.
+  virtual ciobase::Status Abort(cionet::SocketId id) = 0;
+  // Returns bytes accepted (possibly 0 under backpressure).
+  virtual ciobase::Result<size_t> SendBytes(cionet::SocketId id,
+                                            ciobase::ByteSpan data) = 0;
+  // Fills `out` with the next chunk (capacity reused across calls); returns
+  // the byte count — 0 when nothing is pending — kFailedPrecondition at
+  // orderly EOF, kLinkReset when the connection died underneath us.
+  virtual ciobase::Result<size_t> ReceiveBytes(cionet::SocketId id, size_t max,
+                                               ciobase::Buffer& out) = 0;
+  // --- Readiness (poll-loop support) ----------------------------------------
+  // Pending not-yet-accepted connections on a listener.
+  virtual ciobase::Result<size_t> AcceptPending(cionet::SocketId listener) = 0;
+  // True when ReceiveBytes would make progress (bytes, EOF, or a dead
+  // connection to report) — lets a server skip idle connections cheaply.
+  virtual ciobase::Result<bool> Readable(cionet::SocketId id) = 0;
+  // Free send-buffer space (backpressure signal).
+  virtual ciobase::Result<size_t> SendSpace(cionet::SocketId id) = 0;
+  // Remote address of an established connection (the server's reattach key).
+  virtual ciobase::Result<cionet::Ipv4Address> Peer(cionet::SocketId id) = 0;
+  // Drives the stack; surfaces the link status (kTimedOut = transport
+  // watchdog exhausted its reset budget, kLinkReset = ring reset this round).
+  virtual ciobase::Status Poll() = 0;
+};
 
 class ConfidentialNode {
  public:
@@ -76,7 +119,7 @@ class ConfidentialNode {
   // so that after a link reset + TLS re-establishment the resend window can
   // replay unacknowledged messages and the receiver can drop duplicates:
   // every message is delivered exactly once, or counted in
-  // recovery_stats().messages_lost.
+  // recovery_stats().messages_lost. (See cio::Session for the machinery.)
   ciobase::Status SendMessage(ciobase::ByteSpan message);
   ciobase::Result<ciobase::Buffer> ReceiveMessage();
 
@@ -95,15 +138,23 @@ class ConfidentialNode {
   DdaTransport* dda_transport() { return dda_transport_.get(); }
   TunnelPort* tunnel_port() { return tunnel_port_.get(); }
   ciotee::SharedRegion* shared_region() { return shared_.get(); }
-  const ciotls::TlsSession* tls() const { return tls_.get(); }
+  const ciotls::TlsSession* tls() const { return session_.tls(); }
+  // The profile's socket plumbing: the multi-tenant server drives its own
+  // connection table through this instead of the node's single socket.
+  SocketLayer* sockets() { return ops_.get(); }
   // Application-level operations completed (messages in + out): the
   // denominator of the observability score.
-  uint64_t app_ops() const { return messages_sent_ + messages_received_; }
-  uint64_t messages_sent() const { return messages_sent_; }
-  uint64_t messages_received() const { return messages_received_; }
+  uint64_t app_ops() const {
+    return session_.stats().messages_sent + session_.stats().messages_received;
+  }
+  uint64_t messages_sent() const { return session_.stats().messages_sent; }
+  uint64_t messages_received() const {
+    return session_.stats().messages_received;
+  }
+  const Session& session() const { return session_; }
 
-  // Link-recovery bookkeeping (tentpole): what the node survived and what
-  // it cost. `messages_lost` counts receive-side sequence gaps — messages a
+  // Link-recovery bookkeeping (PR 2): what the node survived and what it
+  // cost. `messages_lost` counts receive-side sequence gaps — messages a
   // peer sent that fell out of its resend window across a reconnect.
   struct RecoveryStats {
     uint64_t link_errors = 0;       // transport/TCP faults seen by the engine
@@ -115,22 +166,21 @@ class ConfidentialNode {
     uint64_t last_fault_ns = 0;     // when the engine last saw a fault
     uint64_t last_recovery_ns = 0;  // when the channel was last re-ready
   };
-  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  // Composed from the node's link-level counters and the session's message
+  // accounting (returned by value since the session owns half the fields).
+  RecoveryStats recovery_stats() const;
 
  private:
-  struct SocketOps;       // profile-specific byte-stream plumbing
-  struct SyscallOps;
+  struct SyscallOps;       // profile-specific byte-stream plumbing
   struct GuestStackOps;
   struct DualBoundaryOps;
 
-  void PumpTls();
   void PumpBytes();
   // Tears down the failed secure channel and schedules re-establishment
   // (client re-connects with backoff; server re-arms its accept loop).
   void BeginRecovery(const char* reason);
   // Drives reconnect attempts and resend-window replay from Poll().
   void PollRecovery();
-  ciobase::Status FrameAndQueue(uint64_t seq, ciobase::ByteSpan payload);
 
   StackConfig config_;
   cionet::Ipv4Address ip_;
@@ -157,22 +207,19 @@ class ConfidentialNode {
   std::unique_ptr<cionet::FramePort> host_port_;
   std::unique_ptr<cionet::NetStack> host_stack_;  // syscall profile
   std::unique_ptr<L5Channel> l5_;
-  std::unique_ptr<SocketOps> ops_;
+  std::unique_ptr<SocketLayer> ops_;
 
-  std::unique_ptr<ciotls::TlsSession> tls_;
+  // The single secure channel this node runs (TLS + framing + resend
+  // window); src/serve/ holds one Session per connection instead.
+  Session session_;
   bool listening_ = false;
   bool connected_transport_ = false;
   uint16_t listen_port_ = 0;
   cionet::SocketId listener_{};
   cionet::SocketId socket_{};
   bool have_socket_ = false;
-  ciobase::Buffer tls_outbox_;  // TLS bytes awaiting transport capacity
   ciobase::Buffer rx_scratch_;  // reusable inbound chunk staging (PumpBytes)
-  std::deque<ciobase::Buffer> plain_inbox_;   // reassembled messages
-  ciobase::Buffer plain_rx_;                  // length-framing buffer
   bool failed_ = false;
-  uint64_t messages_sent_ = 0;
-  uint64_t messages_received_ = 0;
 
   // Recovery state machine (active only with config_.recovery.enabled).
   bool is_client_ = false;
@@ -183,12 +230,7 @@ class ConfidentialNode {
   uint32_t reconnect_attempts_ = 0;
   uint64_t next_reconnect_ns_ = 0;
   uint64_t reconnect_backoff_ns_ = 0;
-  uint64_t next_send_seq_ = 1;       // our outbound sequence numbers
-  uint64_t last_delivered_seq_ = 0;  // peer's highest delivered sequence
-  // Sent-but-possibly-unacknowledged messages, oldest first, capped at
-  // config_.recovery.resend_window.
-  std::deque<std::pair<uint64_t, ciobase::Buffer>> resend_window_;
-  RecoveryStats recovery_stats_;
+  RecoveryStats recovery_stats_;  // link-level half; session owns the rest
 };
 
 // Convenience for tests/benchmarks: two nodes on one fabric, pumped until

@@ -68,6 +68,27 @@ ciobase::Status L5Channel::Abort(cionet::SocketId socket) {
   return stack_->TcpAbort(socket);
 }
 
+ciobase::Result<size_t> L5Channel::AcceptPending(cionet::SocketId listener) {
+  Crossing crossing(this);
+  return stack_->TcpAcceptPending(listener);
+}
+
+ciobase::Result<bool> L5Channel::Readable(cionet::SocketId socket) {
+  Crossing crossing(this);
+  return stack_->TcpReadable(socket);
+}
+
+ciobase::Result<size_t> L5Channel::SendSpace(cionet::SocketId socket) {
+  Crossing crossing(this);
+  return stack_->TcpSendSpace(socket);
+}
+
+ciobase::Result<cionet::Ipv4Address> L5Channel::Peer(
+    cionet::SocketId socket) {
+  Crossing crossing(this);
+  return stack_->GetTcpPeer(socket);
+}
+
 ciobase::Result<size_t> L5Channel::Send(cionet::SocketId socket,
                                         ciobase::ByteSpan data) {
   // Trusted-component-allocates: the app creates the buffer in the I/O

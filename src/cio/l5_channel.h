@@ -52,6 +52,14 @@ class L5Channel {
   // connections through this before re-establishing.
   ciobase::Status Abort(cionet::SocketId socket);
 
+  // Readiness queries (each one crossing): the multi-tenant server's poll
+  // loop uses these to skip idle connections without paying a full
+  // receive round trip per connection per round.
+  ciobase::Result<size_t> AcceptPending(cionet::SocketId listener);
+  ciobase::Result<bool> Readable(cionet::SocketId socket);
+  ciobase::Result<size_t> SendSpace(cionet::SocketId socket);
+  ciobase::Result<cionet::Ipv4Address> Peer(cionet::SocketId socket);
+
   // Zero-copy send of app bytes (already TLS-protected by the caller —
   // the channel never sees plaintext semantics, just bytes).
   ciobase::Result<size_t> Send(cionet::SocketId socket,

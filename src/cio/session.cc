@@ -1,0 +1,160 @@
+#include "src/cio/session.h"
+
+namespace cio {
+
+Session::Session(bool use_tls, ciobase::Buffer psk, size_t resend_window_cap)
+    : use_tls_(use_tls), psk_(std::move(psk)), resend_cap_(resend_window_cap) {}
+
+void Session::Start(ciotls::TlsRole role, uint64_t seed) {
+  if (use_tls_) {
+    tls_ = std::make_unique<ciotls::TlsSession>(role, psk_, "cio-link", seed);
+    tls_->Start();
+    PumpTls();
+  }
+  if (started_once_) {
+    ++stats_.tls_restarts;
+  }
+  started_once_ = true;
+}
+
+bool Session::Established() const {
+  if (!started_once_) {
+    return false;
+  }
+  if (use_tls_) {
+    return tls_ != nullptr && tls_->established();
+  }
+  return true;
+}
+
+void Session::PumpTls() {
+  if (tls_ == nullptr) {
+    return;
+  }
+  ciobase::Buffer out = tls_->TakeOutput();
+  ciobase::Append(outbound_, out);
+}
+
+ciobase::Status Session::FrameAndQueue(uint64_t seq,
+                                       ciobase::ByteSpan payload) {
+  // Wire framing: [len u32][seq u64][payload], len covering seq + payload.
+  ciobase::Buffer framed;
+  framed.resize(12);
+  ciobase::StoreLe32(framed.data(), static_cast<uint32_t>(8 + payload.size()));
+  ciobase::StoreLe64(framed.data() + 4, seq);
+  ciobase::Append(framed, payload);
+  if (use_tls_) {
+    if (tls_ == nullptr) {
+      return ciobase::FailedPrecondition("no session");
+    }
+    CIO_RETURN_IF_ERROR(tls_->WriteMessage(framed));
+    PumpTls();
+  } else {
+    ciobase::Append(outbound_, framed);
+  }
+  return ciobase::OkStatus();
+}
+
+ciobase::Status Session::Send(ciobase::ByteSpan payload) {
+  if (!Established()) {
+    return ciobase::FailedPrecondition("channel not established");
+  }
+  if (payload.size() > kMaxMessageBytes) {
+    return ciobase::InvalidArgument("message too large");
+  }
+  uint64_t seq = next_send_seq_++;
+  if (resend_cap_ > 0) {
+    resend_window_.emplace_back(seq,
+                                ciobase::Buffer(payload.begin(), payload.end()));
+    if (resend_window_.size() > resend_cap_) {
+      // Evicted before any reconnect could replay it: if a fault hits, the
+      // receiver will see the sequence gap and count the loss.
+      resend_window_.pop_front();
+    }
+  }
+  CIO_RETURN_IF_ERROR(FrameAndQueue(seq, payload));
+  ++stats_.messages_sent;
+  return ciobase::OkStatus();
+}
+
+ciobase::Result<ciobase::Buffer> Session::Receive() {
+  if (inbox_.empty()) {
+    return ciobase::Unavailable("no message");
+  }
+  ciobase::Buffer message = std::move(inbox_.front());
+  inbox_.pop_front();
+  ++stats_.messages_received;
+  return message;
+}
+
+void Session::ConsumeOutbound(size_t n) {
+  outbound_.erase(outbound_.begin(),
+                  outbound_.begin() + static_cast<long>(n));
+}
+
+ciobase::Status Session::Ingest(ciobase::ByteSpan bytes) {
+  if (use_tls_) {
+    if (tls_ == nullptr) {
+      return ciobase::FailedPrecondition("channel not started");
+    }
+    if (!tls_->Feed(bytes).ok()) {
+      return ciobase::LinkReset("tls stream corrupt");
+    }
+    PumpTls();  // the handshake may have produced a reply flight
+    for (;;) {
+      auto chunk = tls_->ReadMessage();
+      if (!chunk.ok()) {
+        break;
+      }
+      ciobase::Append(frame_rx_, *chunk);
+    }
+  } else {
+    ciobase::Append(frame_rx_, bytes);
+  }
+  return ParseFrames();
+}
+
+ciobase::Status Session::ParseFrames() {
+  // Reassemble length-framed, sequence-numbered application messages (both
+  // modes frame the stream identically; TLS just protects the framed
+  // bytes). The sequence numbers make delivery exactly-once across link
+  // resets: resend-window replays deduplicate here, and gaps (messages that
+  // fell out of the peer's window) are counted lost, never papered over.
+  while (frame_rx_.size() >= 4) {
+    uint32_t len = ciobase::LoadLe32(frame_rx_.data());
+    if (len < 8 || len > (1u << 24)) {
+      return ciobase::Tampered("hostile framing");
+    }
+    if (frame_rx_.size() < 4 + len) {
+      break;
+    }
+    uint64_t seq = ciobase::LoadLe64(frame_rx_.data() + 4);
+    if (seq <= last_delivered_seq_) {
+      ++stats_.messages_duplicate_dropped;
+    } else {
+      if (seq != last_delivered_seq_ + 1) {
+        stats_.messages_lost += seq - last_delivered_seq_ - 1;
+      }
+      last_delivered_seq_ = seq;
+      inbox_.emplace_back(frame_rx_.begin() + 12, frame_rx_.begin() + 4 + len);
+    }
+    frame_rx_.erase(frame_rx_.begin(), frame_rx_.begin() + 4 + len);
+  }
+  return ciobase::OkStatus();
+}
+
+void Session::ResetChannel() {
+  tls_.reset();
+  outbound_.clear();
+  frame_rx_.clear();  // a partial frame died with the old channel
+}
+
+ciobase::Status Session::Replay() {
+  for (const auto& [seq, payload] : resend_window_) {
+    CIO_RETURN_IF_ERROR(FrameAndQueue(seq, payload));
+    ++stats_.messages_resent;
+  }
+  return ciobase::OkStatus();
+}
+
+}  // namespace cio

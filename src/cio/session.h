@@ -1,0 +1,126 @@
+// Session: the per-connection secure-channel state machine shared by the
+// single-socket ConfidentialNode (src/cio/engine.*) and the multi-tenant
+// ConfidentialServer (src/serve/*).
+//
+// One Session owns everything that belongs to exactly one peer relationship
+// and survives transport re-establishment:
+//
+//   * the TLS session (PSK handshake, record protection),
+//   * the [len u32][seq u64][payload] message framing on the protected
+//     byte stream,
+//   * exactly-once delivery accounting (duplicate drop, loss counting), and
+//   * the resend window replayed after a link reset + TLS restart.
+//
+// It is deliberately byte-oriented and transport-agnostic: the owner moves
+// bytes between outbound() and whatever socket plumbing the stack profile
+// provides, and feeds received bytes to Ingest(). That keeps one
+// implementation of the PR-2 recovery machinery for both the client engine
+// and every server connection — no copy-paste between engine.cc and
+// src/serve/.
+
+#ifndef SRC_CIO_SESSION_H_
+#define SRC_CIO_SESSION_H_
+
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "src/base/bytes.h"
+#include "src/base/status.h"
+#include "src/tls/session.h"
+
+namespace cio {
+
+class Session {
+ public:
+  struct Stats {
+    uint64_t messages_sent = 0;      // accepted by Send()
+    uint64_t messages_received = 0;  // handed out by Receive()
+    uint64_t messages_resent = 0;    // replayed from the resend window
+    uint64_t messages_duplicate_dropped = 0;  // dedup'd by sequence number
+    uint64_t messages_lost = 0;   // receive-side sequence gaps
+    uint64_t tls_restarts = 0;    // Start() calls after the first
+  };
+
+  // `resend_window_cap` == 0 disables the resend window (no recovery).
+  Session(bool use_tls, ciobase::Buffer psk, size_t resend_window_cap);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // (Re)creates the secure channel over a fresh byte stream. The first call
+  // is the initial establishment; later calls (after ResetChannel) count as
+  // TLS restarts.
+  void Start(ciotls::TlsRole role, uint64_t seed);
+
+  // Channel ready for application messages (TLS established, or always for
+  // plaintext ablations once Start ran).
+  bool Established() const;
+  // The TLS state machine failed (forged/garbled stream): the channel must
+  // be reset and re-established, or the connection declared dead.
+  bool TlsFailed() const { return tls_ != nullptr && tls_->failed(); }
+
+  // --- Application messages --------------------------------------------------
+
+  static constexpr size_t kMaxMessageBytes = (1u << 24) - 8;
+
+  // Frames, protects, and queues one message; records it in the resend
+  // window. kFailedPrecondition when the channel is not Established().
+  ciobase::Status Send(ciobase::ByteSpan payload);
+  // Next reassembled inbound message, kUnavailable when none.
+  ciobase::Result<ciobase::Buffer> Receive();
+  bool HasInbound() const { return !inbox_.empty(); }
+
+  // --- Byte plumbing ---------------------------------------------------------
+
+  // Bytes awaiting the transport (handshake flights, protected records).
+  const ciobase::Buffer& outbound() const { return outbound_; }
+  bool HasOutbound() const { return !outbound_.empty(); }
+  void ConsumeOutbound(size_t n);
+
+  // Feeds raw bytes read from the transport. Typed failures:
+  //   kLinkReset — the TLS stream is corrupt; recoverable by resetting the
+  //                channel and re-establishing (PR-2 semantics).
+  //   kTampered  — hostile framing inside the protected stream; terminal.
+  ciobase::Status Ingest(ciobase::ByteSpan bytes);
+
+  // --- Recovery --------------------------------------------------------------
+
+  // The transport under the channel died: drop the TLS session and every
+  // in-flight byte, keep sequence numbers and the resend window.
+  void ResetChannel();
+  // Once Established() again, re-frame everything still in the window; the
+  // peer's sequence numbers drop whatever was already delivered.
+  ciobase::Status Replay();
+
+  const Stats& stats() const { return stats_; }
+  const ciotls::TlsSession* tls() const { return tls_.get(); }
+  size_t resend_window_size() const { return resend_window_.size(); }
+  uint64_t last_delivered_seq() const { return last_delivered_seq_; }
+
+ private:
+  ciobase::Status FrameAndQueue(uint64_t seq, ciobase::ByteSpan payload);
+  void PumpTls();  // moves pending TLS output into outbound_
+  ciobase::Status ParseFrames();
+
+  bool use_tls_;
+  ciobase::Buffer psk_;
+  size_t resend_cap_;
+  bool started_once_ = false;
+
+  std::unique_ptr<ciotls::TlsSession> tls_;
+  ciobase::Buffer outbound_;  // protected bytes awaiting the transport
+  ciobase::Buffer frame_rx_;  // length-framing reassembly buffer
+  std::deque<ciobase::Buffer> inbox_;
+
+  uint64_t next_send_seq_ = 1;       // our outbound sequence numbers
+  uint64_t last_delivered_seq_ = 0;  // peer's highest delivered sequence
+  // Sent-but-possibly-unacknowledged messages, oldest first, capped at
+  // resend_cap_.
+  std::deque<std::pair<uint64_t, ciobase::Buffer>> resend_window_;
+  Stats stats_;
+};
+
+}  // namespace cio
+
+#endif  // SRC_CIO_SESSION_H_

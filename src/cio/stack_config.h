@@ -64,6 +64,10 @@ struct StackConfig {
   // a simulated fault window.
   cionet::TcpConnection::Tuning tcp_tuning;
 
+  // Listener accept-queue cap (SYNs beyond it are refused with RST); the
+  // multi-tenant server sizes this to its connection budget.
+  size_t accept_backlog = 64;
+
   // Link-fault recovery: watchdog timeouts, ring-reset budgets, TLS
   // reconnect budget, resend window. Disabled by default; DefaultsFor()
   // switches it on for the dual-boundary profile.

@@ -281,6 +281,14 @@ void NetStack::HandleTcp(const Ipv4Header& ip, ciobase::ByteSpan segment) {
     for (auto& [id, socket] : sockets_) {
       if (socket.type == SocketType::kTcpListener &&
           socket.local_port == header->dst_port) {
+        if (socket.accept_queue.size() >= config_.tcp_accept_backlog) {
+          // Listener overflow: refuse now rather than queue without bound.
+          // The RST gives the client a typed failure (kLinkReset from its
+          // TcpReceive) instead of a silent SYN timeout.
+          ++stats_.accept_overflows;
+          SendRst(ip, *header, payload.size());
+          return;
+        }
         Socket conn_socket;
         conn_socket.type = SocketType::kTcpConnection;
         conn_socket.local_port = header->dst_port;
@@ -585,6 +593,41 @@ ciobase::Result<TcpConnection::Stats> NetStack::GetTcpStats(
     return ciobase::NotFound("not a TCP connection");
   }
   return socket->conn->stats();
+}
+
+ciobase::Result<size_t> NetStack::TcpAcceptPending(SocketId id) const {
+  const Socket* listener = Find(id);
+  if (listener == nullptr || listener->type != SocketType::kTcpListener) {
+    return ciobase::NotFound("not a listener");
+  }
+  return listener->accept_queue.size();
+}
+
+ciobase::Result<bool> NetStack::TcpReadable(SocketId id) const {
+  const Socket* socket = Find(id);
+  if (socket == nullptr || socket->type != SocketType::kTcpConnection) {
+    return ciobase::NotFound("not a TCP connection");
+  }
+  // A failed or defunct connection is "readable": the next TcpReceive
+  // reports the death (kLinkReset) or the EOF instead of blocking forever.
+  return socket->conn->readable() || socket->conn->failed() ||
+         socket->conn->Defunct();
+}
+
+ciobase::Result<size_t> NetStack::TcpSendSpace(SocketId id) const {
+  const Socket* socket = Find(id);
+  if (socket == nullptr || socket->type != SocketType::kTcpConnection) {
+    return ciobase::NotFound("not a TCP connection");
+  }
+  return socket->conn->send_space();
+}
+
+ciobase::Result<Ipv4Address> NetStack::GetTcpPeer(SocketId id) const {
+  const Socket* socket = Find(id);
+  if (socket == nullptr || socket->type != SocketType::kTcpConnection) {
+    return ciobase::NotFound("not a TCP connection");
+  }
+  return socket->conn->endpoints().remote_ip;
 }
 
 }  // namespace cionet

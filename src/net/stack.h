@@ -45,6 +45,11 @@ class NetStack {
     Ipv4Address gateway;  // 0 = no gateway (on-link only)
     uint64_t seed = 1;
     TcpConnection::Tuning tcp_tuning;
+    // Pending-connection cap per listener: a SYN arriving with the accept
+    // queue full is refused with a RST (counted in stats().accept_overflows)
+    // instead of growing guest memory without bound — the L3 analogue of
+    // admission control at the server layer.
+    size_t tcp_accept_backlog = 64;
   };
 
   NetStack(FramePort* port, ciobase::SimClock* clock, Config config);
@@ -87,6 +92,19 @@ class NetStack {
   ciobase::Result<TcpState> GetTcpState(SocketId socket) const;
   ciobase::Result<TcpConnection::Stats> GetTcpStats(SocketId socket) const;
 
+  // --- Readiness (poll-loop support) ----------------------------------------
+  // These are cheap state queries so a server can skip idle sockets.
+
+  // Connections queued on a listener, not yet TcpAccept'ed.
+  ciobase::Result<size_t> TcpAcceptPending(SocketId listener) const;
+  // True when TcpReceive would make progress: buffered bytes, a drained
+  // FIN (EOF to report), or a dead connection (kLinkReset to report).
+  ciobase::Result<bool> TcpReadable(SocketId socket) const;
+  // Free send-buffer space; 0 means TcpSend would accept nothing.
+  ciobase::Result<size_t> TcpSendSpace(SocketId socket) const;
+  // Remote address of a connection (server-side reattach key).
+  ciobase::Result<Ipv4Address> GetTcpPeer(SocketId socket) const;
+
   struct Stats {
     uint64_t frames_rx = 0;
     uint64_t frames_tx = 0;
@@ -98,6 +116,7 @@ class NetStack {
     uint64_t checksum_errors = 0;
     uint64_t no_socket_drops = 0;
     uint64_t rst_sent = 0;
+    uint64_t accept_overflows = 0;  // SYNs refused: accept queue full
     uint64_t link_resets = 0;    // port returned kLinkReset
     uint64_t link_timeouts = 0;  // port returned kTimedOut
   };

@@ -1,0 +1,67 @@
+// MultiClientWorld: one ConfidentialServer plus N single-socket client
+// engines on one simulated fabric — the shared fixture for the server tests
+// and the open-loop load benchmark.
+//
+// The server node and every client node assemble the SAME StackProfile, so
+// a load point exercises the full profile-specific datapath on both sides
+// (e.g. 64 dual-boundary clients all crossing their own L5 boundaries into
+// one dual-boundary server). All nodes share one attestation-bound PSK;
+// seeds are derived per node so TLS nonces never collide.
+
+#ifndef SRC_SERVE_HARNESS_H_
+#define SRC_SERVE_HARNESS_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/serve/server.h"
+
+namespace cioserve {
+
+struct MultiClientWorld {
+  struct Options {
+    cio::StackProfile profile = cio::StackProfile::kDualBoundary;
+    size_t num_clients = 8;
+    ServerConfig server_config;
+    uint64_t seed = 4242;
+    // Shrinks TCP RTOs (and keeps the profile's default recovery config)
+    // so fault windows of a few simulated milliseconds produce connection
+    // death + reconnect instead of a silent multi-second retransmit stall.
+    bool fast_tcp = true;
+    cionet::Fabric::Options fabric_options{};
+  };
+
+  ciobase::SimClock clock;
+  std::unique_ptr<cionet::Fabric> fabric;
+  std::unique_ptr<cio::ConfidentialNode> server_node;
+  std::unique_ptr<ConfidentialServer> server;
+  std::vector<std::unique_ptr<cio::ConfidentialNode>> clients;
+
+  explicit MultiClientWorld(const Options& options);
+
+  // One simulation round: server Poll, every client Poll, clock step.
+  void Pump(uint64_t step_ns = 10'000);
+  bool PumpUntil(const std::function<bool()>& done, int max_rounds = 60000,
+                 uint64_t step_ns = 10'000);
+
+  // Connects every client and pumps until all are Ready() and the server
+  // has an established connection for each.
+  bool EstablishAll(int max_rounds = 60000);
+
+  // Echo application on the server: every inbound message goes straight
+  // back on its connection. Echoes that cannot go out yet (backpressure,
+  // connection mid-recovery) stay queued and are retried each call, so a
+  // transport fault delays an echo but never drops it. Returns messages
+  // echoed this round.
+  size_t EchoRound();
+  size_t pending_echoes() const { return echo_queue_.size(); }
+
+ private:
+  std::deque<Incoming> echo_queue_;
+};
+
+}  // namespace cioserve
+
+#endif  // SRC_SERVE_HARNESS_H_

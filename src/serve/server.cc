@@ -1,0 +1,381 @@
+#include "src/serve/server.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+
+namespace cioserve {
+
+std::string_view ConnStateName(ConnState state) {
+  switch (state) {
+    case ConnState::kHandshaking:
+      return "handshaking";
+    case ConnState::kEstablished:
+      return "established";
+    case ConnState::kDraining:
+      return "draining";
+    case ConnState::kClosed:
+      return "closed";
+  }
+  return "?";
+}
+
+ConfidentialServer::ConfidentialServer(cio::ConfidentialNode* node,
+                                       ciobase::SimClock* clock,
+                                       ServerConfig config)
+    : node_(node),
+      sockets_(node->sockets()),
+      clock_(clock),
+      config_(config) {}
+
+ciobase::Status ConfidentialServer::Start() {
+  if (sockets_ == nullptr) {
+    return ciobase::FailedPrecondition("node failed to initialize");
+  }
+  auto listener = sockets_->Listen(config_.port);
+  if (!listener.ok()) {
+    return listener.status();
+  }
+  listener_ = *listener;
+  listening_ = true;
+  return ciobase::OkStatus();
+}
+
+void ConfidentialServer::AcceptPending() {
+  auto pending = sockets_->AcceptPending(listener_);
+  if (!pending.ok()) {
+    return;
+  }
+  ciohost::CounterSet& counters = node_->observability().counters();
+  for (size_t i = 0; i < *pending; ++i) {
+    auto accepted = sockets_->Accept(listener_);
+    if (!accepted.ok()) {
+      break;
+    }
+    cionet::SocketId socket = *accepted;
+    auto peer = sockets_->Peer(socket);
+    if (!peer.ok()) {
+      (void)sockets_->Abort(socket);
+      continue;
+    }
+
+    // A fresh connection from an address we already serve is the client's
+    // recovery path reconnecting: the server may not have noticed the fault
+    // (nothing in flight means nothing failed server-side), so the accept
+    // itself is the fault signal. Park the old connection's session first,
+    // then let the reattach branch below pick it up. Erase the stale table
+    // entry now — the reattached connection reuses its id.
+    for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+      if (it->second.session != nullptr && it->second.peer == *peer &&
+          it->second.state != ConnState::kClosed) {
+        ParkConnection(it->second);
+        ++stats_.closed;
+        counters.Add("server.closed");
+        connections_.erase(it);
+        break;
+      }
+    }
+
+    // Admission control: beyond the table cap, refuse NOW with an abortive
+    // RST. The client gets a typed failure (kLinkReset from its receive
+    // path) instead of a silent squat in a queue; no server memory grows.
+    if (connections_.size() >= config_.max_connections) {
+      (void)sockets_->Abort(socket);
+      ++stats_.rejected_admission;
+      counters.Add("server.rejected_admission");
+      continue;
+    }
+
+    Connection conn;
+    conn.socket = socket;
+    conn.peer = *peer;
+    conn.state = ConnState::kHandshaking;
+    conn.opened_ns = clock_->now_ns();
+
+    auto parked = parked_.find(peer->value);
+    if (parked != parked_.end()) {
+      // Reattach: the parked Session keeps the sequence numbers and the
+      // resend window, so after the TLS restart both sides replay and the
+      // receiver's dedup makes delivery exactly-once across the fault. The
+      // connection also keeps its id — the application's handle survives.
+      conn.id = parked->second.id;
+      conn.session = std::move(parked->second.session);
+      conn.reattached = true;
+      parked_.erase(parked);
+      ++stats_.recovered;
+      counters.Add("server.recovered");
+    } else {
+      conn.id = next_conn_id_++;
+      const cio::StackConfig& node_config = node_->config();
+      size_t resend_cap = node_config.recovery.enabled
+                              ? node_config.recovery.resend_window
+                              : 0;
+      conn.session = std::make_unique<cio::Session>(
+          node_config.use_tls, node_config.psk, resend_cap);
+    }
+    conn.session->Start(ciotls::TlsRole::kServer,
+                        node_->config().seed + 1 + conn.id);
+    ++stats_.accepted;
+    counters.Add("server.accepted");
+    connections_.emplace(conn.id, std::move(conn));
+  }
+}
+
+void ConfidentialServer::ParkConnection(Connection& conn) {
+  (void)sockets_->Abort(conn.socket);
+  if (conn.session != nullptr && node_->config().recovery.enabled &&
+      conn.state != ConnState::kDraining) {
+    conn.session->ResetChannel();
+    parked_[conn.peer.value] =
+        ParkedSession{std::move(conn.session), clock_->now_ns(), conn.id};
+  }
+  conn.session.reset();
+  conn.state = ConnState::kClosed;
+}
+
+bool ConfidentialServer::PumpConnection(Connection& conn) {
+  for (size_t chunk = 0; chunk < config_.max_rx_chunks_per_round; ++chunk) {
+    auto got = sockets_->ReceiveBytes(conn.socket, config_.rx_chunk_bytes,
+                                      rx_scratch_);
+    if (!got.ok()) {
+      if (got.status().code() == ciobase::StatusCode::kFailedPrecondition) {
+        // Orderly EOF: the client closed on purpose. Finish our side too.
+        (void)sockets_->Close(conn.socket);
+        conn.session.reset();
+        conn.state = ConnState::kClosed;
+        return false;
+      }
+      // kLinkReset (or the socket vanished): transport fault — park for
+      // the client's reconnect.
+      ParkConnection(conn);
+      return false;
+    }
+    if (*got == 0) {
+      break;
+    }
+    ciobase::Status ingested = conn.session->Ingest(rx_scratch_);
+    if (!ingested.ok()) {
+      if (ingested.code() == ciobase::StatusCode::kTampered) {
+        // Hostile framing inside the protected stream: terminal for this
+        // connection, and nothing worth parking.
+        ++stats_.tampered;
+        node_->observability().counters().Add("server.tampered");
+        (void)sockets_->Abort(conn.socket);
+        conn.session.reset();
+        conn.state = ConnState::kClosed;
+      } else {
+        ParkConnection(conn);  // corrupt TLS stream: recoverable fault
+      }
+      return false;
+    }
+  }
+  if (conn.session->TlsFailed()) {
+    ParkConnection(conn);
+    return false;
+  }
+  if (conn.state == ConnState::kHandshaking && conn.session->Established()) {
+    conn.state = ConnState::kEstablished;
+    if (conn.reattached) {
+      // Channel is back: replay the resend window; the client's sequence
+      // dedup drops whatever it already had.
+      (void)conn.session->Replay();
+      conn.reattached = false;
+    }
+  }
+  while (conn.session->HasInbound()) {
+    auto message = conn.session->Receive();
+    if (!message.ok()) {
+      break;
+    }
+    inbox_.push_back(Incoming{conn.id, std::move(*message)});
+  }
+  return true;
+}
+
+void ConfidentialServer::FlushOutbound() {
+  // Deficit round-robin over everyone with queued output: each backlogged
+  // connection accrues one quantum per round and sends only while its
+  // deficit lasts, so a hot client cannot monopolize the transport's batch
+  // slots. Draining connections flush here too, then FIN.
+  const size_t deficit_cap = config_.drr_quantum_bytes * 8;
+  for (auto& [id, conn] : connections_) {
+    if (conn.state == ConnState::kClosed || conn.session == nullptr) {
+      continue;
+    }
+    if (!conn.session->HasOutbound()) {
+      conn.drr_deficit = 0;  // not backlogged: no credit hoarding
+      if (conn.state == ConnState::kDraining) {
+        (void)sockets_->Close(conn.socket);
+        conn.session.reset();
+        conn.state = ConnState::kClosed;
+      }
+      continue;
+    }
+    conn.drr_deficit =
+        std::min(conn.drr_deficit + config_.drr_quantum_bytes, deficit_cap);
+    while (conn.session->HasOutbound() && conn.drr_deficit > 0) {
+      const ciobase::Buffer& pending = conn.session->outbound();
+      size_t want = std::min(pending.size(), conn.drr_deficit);
+      auto sent = sockets_->SendBytes(
+          conn.socket, ciobase::ByteSpan(pending.data(), want));
+      if (!sent.ok()) {
+        ParkConnection(conn);
+        break;
+      }
+      if (*sent == 0) {
+        break;  // transport backpressure: keep the deficit for next round
+      }
+      conn.session->ConsumeOutbound(*sent);
+      conn.drr_deficit -= *sent;
+    }
+    if (conn.state == ConnState::kDraining && conn.session != nullptr &&
+        !conn.session->HasOutbound()) {
+      (void)sockets_->Close(conn.socket);
+      conn.session.reset();
+      conn.state = ConnState::kClosed;
+    }
+  }
+}
+
+void ConfidentialServer::Reap() {
+  ciohost::CounterSet& counters = node_->observability().counters();
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->second.state == ConnState::kClosed) {
+      ++stats_.closed;
+      counters.Add("server.closed");
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  uint64_t now = clock_->now_ns();
+  for (auto it = parked_.begin(); it != parked_.end();) {
+    if (now - it->second.parked_ns > config_.reattach_timeout_ns) {
+      // The client never came back: its unacknowledged messages are gone
+      // for good (they would have been counted lost by the peer anyway).
+      ++stats_.expired_parked;
+      counters.Add("server.expired_parked");
+      it = parked_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ConfidentialServer::UpdateGauges() {
+  node_->observability().counters().Set("server.active",
+                                        connections_.size());
+}
+
+void ConfidentialServer::Poll() {
+  if (!listening_ || sockets_ == nullptr) {
+    return;
+  }
+  ciobase::Status link = sockets_->Poll();
+  if (!link.ok() && link.code() == ciobase::StatusCode::kTimedOut) {
+    // The transport watchdog exhausted its reset budget: the link under
+    // EVERY connection is dead for good. Park them all; if the host never
+    // relents the parked sessions expire on their own.
+    for (auto& [id, conn] : connections_) {
+      if (conn.state != ConnState::kClosed) {
+        ParkConnection(conn);
+      }
+    }
+  }
+  // (kLinkReset: the transport already reattached its ring; TCP
+  // retransmission replays the frames that died with it. Nothing to do.)
+
+  AcceptPending();
+
+  uint64_t now = clock_->now_ns();
+  for (auto& [id, conn] : connections_) {
+    if (conn.state == ConnState::kClosed || conn.session == nullptr) {
+      continue;
+    }
+    if (conn.state == ConnState::kHandshaking &&
+        now - conn.opened_ns > config_.handshake_timeout_ns) {
+      // A slow handshake squats a table slot; bound the squat. Parked
+      // reattach state (if any) stays parked for a genuine retry.
+      ParkConnection(conn);
+      continue;
+    }
+    // Readiness gate: idle connections cost one query, not a receive
+    // round trip across the boundary.
+    auto readable = sockets_->Readable(conn.socket);
+    if (!readable.ok()) {
+      ParkConnection(conn);
+      continue;
+    }
+    if (*readable) {
+      (void)PumpConnection(conn);
+    }
+  }
+
+  FlushOutbound();
+  Reap();
+  UpdateGauges();
+}
+
+ciobase::Result<Incoming> ConfidentialServer::Receive() {
+  if (inbox_.empty()) {
+    return ciobase::Unavailable("no message");
+  }
+  Incoming incoming = std::move(inbox_.front());
+  inbox_.pop_front();
+  return incoming;
+}
+
+ciobase::Status ConfidentialServer::Send(ConnId id,
+                                         ciobase::ByteSpan message) {
+  auto it = connections_.find(id);
+  if (it == connections_.end() || it->second.session == nullptr) {
+    return ciobase::NotFound("no such connection");
+  }
+  Connection& conn = it->second;
+  if (conn.state != ConnState::kEstablished) {
+    return ciobase::FailedPrecondition("connection not established");
+  }
+  // Backpressure: the per-connection output queue is a hard byte budget.
+  // Refusing here (typed, recoverable by the app) beats growing without
+  // bound while a slow client drains.
+  if (conn.session->outbound().size() + message.size() >
+      config_.max_send_queue_bytes) {
+    ++stats_.send_queue_rejections;
+    return ciobase::ResourceExhausted("send queue over budget");
+  }
+  return conn.session->Send(message);
+}
+
+ciobase::Status ConfidentialServer::Drain(ConnId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end() || it->second.session == nullptr) {
+    return ciobase::NotFound("no such connection");
+  }
+  Connection& conn = it->second;
+  if (conn.state != ConnState::kEstablished &&
+      conn.state != ConnState::kHandshaking) {
+    return ciobase::OkStatus();  // already draining or closed
+  }
+  conn.state = ConnState::kDraining;  // flush, then FIN (FlushOutbound)
+  return ciobase::OkStatus();
+}
+
+ciobase::Result<ConnState> ConfidentialServer::StateOf(ConnId id) const {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) {
+    return ciobase::NotFound("no such connection");
+  }
+  return it->second.state;
+}
+
+std::vector<ConnId> ConfidentialServer::EstablishedConnections() const {
+  std::vector<ConnId> ids;
+  for (const auto& [id, conn] : connections_) {
+    if (conn.state == ConnState::kEstablished) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
+}
+
+}  // namespace cioserve

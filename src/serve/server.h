@@ -1,0 +1,206 @@
+// ConfidentialServer: a multi-tenant confidential server on one guest stack.
+//
+// The single-socket ConfidentialNode (src/cio/engine.*) demonstrates the
+// paper's datapath for a point-to-point link. A real confidential service
+// terminates MANY clients at once, all multiplexed over the same hardened
+// L2 transport and the same single-distrust L5 boundary — which raises
+// exactly the problems this subsystem owns:
+//
+//  * Connection table. Every client gets its own cio::Session (TLS, framing,
+//    resend window) keyed by a connection id, with an explicit lifecycle:
+//    handshaking -> established -> draining -> closed. The per-connection
+//    recovery state is the PR-2 machinery, shared with the engine through
+//    cio::Session — one implementation, two owners.
+//
+//  * Readiness-driven poll loop. One Poll() drives the transport once, then
+//    visits only connections the SocketLayer reports readable (plus anyone
+//    with queued output). Idle connections cost one readiness query, not a
+//    full receive round trip across the L5 boundary.
+//
+//  * Fair scheduling. Outbound transport capacity is shared by deficit
+//    round-robin: each established connection accrues a byte quantum per
+//    round and may only flush while its deficit lasts. A hot client cannot
+//    monopolize the L2 batch slots and starve the others.
+//
+//  * Admission control and backpressure. A connection beyond
+//    max_connections is refused at accept (abortive RST — the client sees a
+//    typed kLinkReset, never a hang) and counted. Established connections
+//    have a send-queue byte cap; Send() beyond it returns
+//    kResourceExhausted to the application instead of growing memory.
+//
+//  * Fault recovery. When a client's transport dies mid-conversation the
+//    server parks the Session (sequence numbers + resend window) keyed by
+//    the peer's address. The client's engine reconnects (PR-2 client-side
+//    backoff); the fresh accept from the same address reattaches the parked
+//    Session, TLS re-establishes, both sides replay their windows, and the
+//    sequence numbers dedup — exactly-once delivery across the fault, per
+//    connection.
+//
+// Single-threaded and poll-driven like everything else in the simulation:
+// call Poll() every simulation round.
+
+#ifndef SRC_SERVE_SERVER_H_
+#define SRC_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/cio/engine.h"
+#include "src/cio/session.h"
+
+namespace cioserve {
+
+// Connection lifecycle. kHandshaking covers TCP establishment + the TLS
+// flight; kDraining means Close was requested and queued output is still
+// flushing (no new Sends accepted); kClosed connections are reaped.
+enum class ConnState { kHandshaking, kEstablished, kDraining, kClosed };
+
+std::string_view ConnStateName(ConnState state);
+
+using ConnId = uint64_t;
+
+struct ServerConfig {
+  uint16_t port = 443;
+
+  // Admission control: connections at the cap are refused with an abortive
+  // RST and counted (stats().rejected_admission).
+  size_t max_connections = 64;
+
+  // Backpressure: per-connection queued-output byte cap. Send() returns
+  // kResourceExhausted beyond it.
+  size_t max_send_queue_bytes = 256 << 10;
+
+  // Deficit round-robin: bytes of transport credit each established
+  // connection accrues per Poll() round.
+  size_t drr_quantum_bytes = 4096;
+
+  // Inbound chunking per connection per round (bounds one client's share
+  // of a round even when its pipe is full).
+  size_t rx_chunk_bytes = 16384;
+  size_t max_rx_chunks_per_round = 4;
+
+  // How long a faulted connection's Session stays parked awaiting the
+  // client's reconnect before its state (and resend window) is dropped.
+  uint64_t reattach_timeout_ns = 500'000'000;
+
+  // A connection stuck in kHandshaking longer than this is aborted (slow
+  // handshakes hold a table slot; this bounds the squat).
+  uint64_t handshake_timeout_ns = 2'000'000'000;
+};
+
+// One inbound application message, tagged with the connection it came from.
+struct Incoming {
+  ConnId conn = 0;
+  ciobase::Buffer message;
+};
+
+class ConfidentialServer {
+ public:
+  // The server multiplexes over `node`'s SocketLayer; the node supplies the
+  // whole stack assembly (profile machinery, costs, observability) but its
+  // own single-socket Connect/Listen API stays unused.
+  ConfidentialServer(cio::ConfidentialNode* node, ciobase::SimClock* clock,
+                     ServerConfig config);
+
+  ConfidentialServer(const ConfidentialServer&) = delete;
+  ConfidentialServer& operator=(const ConfidentialServer&) = delete;
+
+  // Starts listening. The accept backlog is the node's stack-level knob
+  // (StackConfig::accept_backlog); admission control here is the layer
+  // above it.
+  ciobase::Status Start();
+
+  // One scheduling round: drive the transport, accept (or refuse) pending
+  // connections, pump every readable connection's Session, flush outbound
+  // by deficit round-robin, reap the dead, expire parked sessions.
+  void Poll();
+
+  // Next inbound message from any connection, kUnavailable when none.
+  ciobase::Result<Incoming> Receive();
+
+  // Queues one message to a connection. kNotFound for unknown ids,
+  // kFailedPrecondition unless established, kResourceExhausted when the
+  // connection's send queue is over budget.
+  ciobase::Status Send(ConnId conn, ciobase::ByteSpan message);
+
+  // Orderly shutdown: flush what is queued, then FIN. The connection
+  // refuses new Sends immediately (kDraining).
+  ciobase::Status Drain(ConnId conn);
+
+  struct Stats {
+    uint64_t accepted = 0;            // connections admitted
+    uint64_t rejected_admission = 0;  // refused at the max_connections cap
+    uint64_t recovered = 0;           // parked sessions reattached
+    uint64_t closed = 0;              // connections reaped
+    uint64_t expired_parked = 0;      // parked sessions dropped (timeout)
+    uint64_t send_queue_rejections = 0;  // Sends over the queue cap
+    uint64_t tampered = 0;            // connections killed: hostile framing
+  };
+  const Stats& stats() const { return stats_; }
+  const ServerConfig& config() const { return config_; }
+
+  size_t active_connections() const { return connections_.size(); }
+  size_t parked_sessions() const { return parked_.size(); }
+  ciobase::Result<ConnState> StateOf(ConnId conn) const;
+  // Established connection ids, for tests/benchmarks.
+  std::vector<ConnId> EstablishedConnections() const;
+  cio::ConfidentialNode* node() { return node_; }
+
+ private:
+  struct Connection {
+    ConnId id = 0;
+    cionet::SocketId socket{};
+    cionet::Ipv4Address peer{};
+    ConnState state = ConnState::kHandshaking;
+    // The per-connection secure channel; a unique_ptr so it can be parked
+    // across a transport fault and reattached on reconnect.
+    std::unique_ptr<cio::Session> session;
+    size_t drr_deficit = 0;     // unused transport credit (DRR)
+    uint64_t opened_ns = 0;
+    bool reattached = false;    // carries a recovered session
+  };
+
+  struct ParkedSession {
+    std::unique_ptr<cio::Session> session;
+    uint64_t parked_ns = 0;
+    // The faulted connection's id: the reattached connection keeps it, so
+    // the application's handle stays valid across the fault.
+    ConnId id = 0;
+  };
+
+  void AcceptPending();
+  // The transport under `conn` died: park its Session for reattach and
+  // drop the connection from the table.
+  void ParkConnection(Connection& conn);
+  // Moves inbound bytes into and outbound bytes out of the Session, within
+  // this round's budgets. Returns false when the connection died.
+  bool PumpConnection(Connection& conn);
+  void FlushOutbound();  // DRR pass over connections with queued output
+  void Reap();           // drop kClosed connections, expire parked sessions
+  void UpdateGauges();   // active-connection gauge in the counter set
+
+  cio::ConfidentialNode* node_;
+  cio::SocketLayer* sockets_;
+  ciobase::SimClock* clock_;
+  ServerConfig config_;
+
+  bool listening_ = false;
+  cionet::SocketId listener_{};
+  ConnId next_conn_id_ = 1;
+  // Poll/flush iterate in id order, which doubles as round-robin order;
+  // DRR deficits make the shares fair regardless of iteration order.
+  std::map<ConnId, Connection> connections_;
+  // Faulted connections' sessions awaiting the client's reconnect, keyed
+  // by peer address (the engine reconnects from the same simulated IP).
+  std::map<uint32_t, ParkedSession> parked_;
+  std::deque<Incoming> inbox_;
+  ciobase::Buffer rx_scratch_;  // reusable inbound staging chunk
+  Stats stats_;
+};
+
+}  // namespace cioserve
+
+#endif  // SRC_SERVE_SERVER_H_

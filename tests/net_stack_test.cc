@@ -233,4 +233,57 @@ TEST(Fabric, BroadcastFloodsAllOthers) {
   EXPECT_FALSE(cionet::ReceiveOne(a).ok());  // not echoed to the sender
 }
 
+TEST(TcpStack, ListenerBacklogOverflowRefusesTypedAndCounts) {
+  // Host B's listener holds at most 2 pending connections; 5 SYNs race in
+  // with nobody accepting. The overflow must be refused with a RST (typed
+  // kLinkReset at the client), counted, and must never grow the queue.
+  TwoHostWorld world({}, /*accept_backlog_b=*/2);
+  auto listener = world.stack_b->TcpListen(80);
+  ASSERT_TRUE(listener.ok());
+  std::vector<SocketId> conns;
+  for (int i = 0; i < 5; ++i) {
+    auto conn = world.stack_a->TcpConnect(world.stack_b->ip(), 80);
+    ASSERT_TRUE(conn.ok());
+    conns.push_back(*conn);
+  }
+  world.Pump(500);
+
+  EXPECT_EQ(world.stack_b->stats().accept_overflows, 3u);
+  auto pending = world.stack_b->TcpAcceptPending(*listener);
+  ASSERT_TRUE(pending.ok());
+  EXPECT_EQ(*pending, 2u);  // bounded: never grew past the backlog
+
+  // Clients: 2 established, 3 dead with a typed failure (not a hang).
+  int established = 0;
+  int refused = 0;
+  Buffer scratch(64, 0);
+  for (SocketId conn : conns) {
+    auto state = world.stack_a->GetTcpState(conn);
+    ASSERT_TRUE(state.ok());
+    if (*state == cionet::TcpState::kEstablished) {
+      ++established;
+    } else {
+      auto got = world.stack_a->TcpReceive(conn, scratch);
+      ASSERT_FALSE(got.ok());
+      EXPECT_EQ(got.status().code(), ciobase::StatusCode::kLinkReset);
+      ++refused;
+    }
+  }
+  EXPECT_EQ(established, 2);
+  EXPECT_EQ(refused, 3);
+
+  // The queued two are still perfectly serviceable.
+  auto accepted = world.stack_b->TcpAccept(*listener);
+  ASSERT_TRUE(accepted.ok());
+  auto readable = world.stack_b->TcpReadable(*accepted);
+  ASSERT_TRUE(readable.ok());
+  EXPECT_FALSE(*readable);  // no data yet — readiness, not liveness
+  auto space = world.stack_b->TcpSendSpace(*accepted);
+  ASSERT_TRUE(space.ok());
+  EXPECT_GT(*space, 0u);
+  auto peer = world.stack_b->GetTcpPeer(*accepted);
+  ASSERT_TRUE(peer.ok());
+  EXPECT_EQ(*peer, world.stack_a->ip());
+}
+
 }  // namespace

@@ -21,7 +21,10 @@ struct TwoHostWorld {
   std::unique_ptr<cionet::NetStack> stack_a;
   std::unique_ptr<cionet::NetStack> stack_b;
 
-  explicit TwoHostWorld(cionet::Fabric::Options options = {}) {
+  // `accept_backlog_b` caps host B's per-listener pending-connection queue
+  // (the backlog-overflow tests shrink it).
+  explicit TwoHostWorld(cionet::Fabric::Options options = {},
+                        size_t accept_backlog_b = 64) {
     fabric = std::make_unique<cionet::Fabric>(&clock, 42, options);
     auto mac_a = cionet::MacAddress::FromId(1);
     auto mac_b = cionet::MacAddress::FromId(2);
@@ -35,6 +38,7 @@ struct TwoHostWorld {
     cionet::NetStack::Config config_b;
     config_b.ip = cionet::Ipv4Address::FromOctets(10, 0, 0, 2);
     config_b.seed = 202;
+    config_b.tcp_accept_backlog = accept_backlog_b;
     stack_a = std::make_unique<cionet::NetStack>(port_a.get(), &clock,
                                                  config_a);
     stack_b = std::make_unique<cionet::NetStack>(port_b.get(), &clock,

@@ -1,0 +1,446 @@
+// Multi-tenant confidential server: connection table, Session reuse,
+// admission control, fair scheduling, and recovery under a mid-transfer
+// fault with many clients in flight.
+//
+//   * cio::Session units: framing round trip, exactly-once accounting,
+//     resend-window replay + dedup — the machinery both the engine and
+//     every server connection share.
+//   * Lifecycle: handshaking -> established -> draining -> closed, echo
+//     across many concurrent clients on every Figure-5 profile corner.
+//   * Admission: the 65th connection is refused with an abortive RST; the
+//     probing client fails typed, the table never exceeds its cap.
+//   * Backpressure: Send beyond the queue budget returns
+//     kResourceExhausted; nothing grows without bound.
+//   * Fairness: with one hot client flooding, deficit round-robin keeps
+//     the other clients' echoes flowing.
+//   * Recovery: a link-kill + stalled-counter window while >= 8 dual-
+//     boundary clients are mid-transfer; every message is delivered
+//     exactly once (zero lost) after the herd reconnects.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/serve/harness.h"
+
+namespace {
+
+using ciobase::Buffer;
+using ciobase::BufferFromString;
+using cio::StackProfile;
+using namespace cioserve;  // NOLINT: test file
+
+std::string ToString(const Buffer& buffer) {
+  return std::string(reinterpret_cast<const char*>(buffer.data()),
+                     buffer.size());
+}
+
+// --- cio::Session units ------------------------------------------------------
+
+TEST(Session, PlaintextFramingRoundTripExactlyOnce) {
+  cio::Session a(false, Buffer{}, 8);
+  cio::Session b(false, Buffer{}, 8);
+  a.Start(ciotls::TlsRole::kClient, 1);
+  b.Start(ciotls::TlsRole::kServer, 2);
+  ASSERT_TRUE(a.Established());
+
+  ASSERT_TRUE(a.Send(BufferFromString("hello")).ok());
+  ASSERT_TRUE(a.Send(BufferFromString("world")).ok());
+  ASSERT_TRUE(b.Ingest(a.outbound()).ok());
+  a.ConsumeOutbound(a.outbound().size());
+
+  auto first = b.Receive();
+  auto second = b.Receive();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(ToString(*first), "hello");
+  EXPECT_EQ(ToString(*second), "world");
+  EXPECT_FALSE(b.Receive().ok());
+  EXPECT_EQ(b.stats().messages_received, 2u);
+  EXPECT_EQ(b.stats().messages_lost, 0u);
+}
+
+TEST(Session, ReplayAfterResetDeliversOnceAndCountsDuplicates) {
+  cio::Session tx(false, Buffer{}, 8);
+  cio::Session rx(false, Buffer{}, 8);
+  tx.Start(ciotls::TlsRole::kClient, 1);
+  rx.Start(ciotls::TlsRole::kServer, 2);
+
+  ASSERT_TRUE(tx.Send(BufferFromString("m1")).ok());
+  ASSERT_TRUE(tx.Send(BufferFromString("m2")).ok());
+  ASSERT_TRUE(rx.Ingest(tx.outbound()).ok());
+  tx.ConsumeOutbound(tx.outbound().size());
+
+  // The transport dies with nothing in flight; both ends reset, then the
+  // sender replays its whole window.
+  tx.ResetChannel();
+  rx.ResetChannel();
+  tx.Start(ciotls::TlsRole::kClient, 1);
+  rx.Start(ciotls::TlsRole::kServer, 2);
+  ASSERT_TRUE(tx.Replay().ok());
+  ASSERT_TRUE(tx.Send(BufferFromString("m3")).ok());
+  ASSERT_TRUE(rx.Ingest(tx.outbound()).ok());
+
+  // m1/m2 arrive again but were already delivered: dedup'd, not re-queued.
+  std::vector<std::string> delivered;
+  for (;;) {
+    auto message = rx.Receive();
+    if (!message.ok()) {
+      break;
+    }
+    delivered.push_back(ToString(*message));
+  }
+  EXPECT_EQ(delivered, (std::vector<std::string>{"m1", "m2", "m3"}));
+  EXPECT_EQ(rx.stats().messages_duplicate_dropped, 2u);
+  EXPECT_EQ(rx.stats().messages_lost, 0u);
+  EXPECT_EQ(tx.stats().messages_resent, 2u);
+}
+
+TEST(Session, HostileFramingIsTamperedNotRecoverable) {
+  cio::Session rx(false, Buffer{}, 0);
+  rx.Start(ciotls::TlsRole::kServer, 2);
+  Buffer garbage;
+  garbage.resize(16, 0xff);  // len field way over the message cap
+  ciobase::Status status = rx.Ingest(garbage);
+  EXPECT_EQ(status.code(), ciobase::StatusCode::kTampered);
+}
+
+// --- Lifecycle + echo across profiles ---------------------------------------
+
+// The four Figure-5 corners the load harness drives.
+std::vector<StackProfile> ServedProfiles() {
+  return {StackProfile::kSyscallL5, StackProfile::kPassthroughL2,
+          StackProfile::kHardenedVirtio, StackProfile::kDualBoundary};
+}
+
+TEST(Server, ManyClientsEchoOnEveryProfile) {
+  for (StackProfile profile : ServedProfiles()) {
+    MultiClientWorld::Options options;
+    options.profile = profile;
+    options.num_clients = 12;
+    options.seed = 91 + static_cast<uint64_t>(profile);
+    MultiClientWorld world(options);
+    ASSERT_TRUE(world.EstablishAll())
+        << cio::StackProfileName(profile) << ": establishment";
+    EXPECT_EQ(world.server->stats().accepted, 12u);
+    EXPECT_EQ(world.server->active_connections(), 12u);
+
+    // Every client sends 3 messages; every message must come back to the
+    // client that sent it.
+    for (size_t i = 0; i < world.clients.size(); ++i) {
+      for (int m = 0; m < 3; ++m) {
+        std::string payload =
+            "client " + std::to_string(i) + " msg " + std::to_string(m);
+        ASSERT_TRUE(
+            world.clients[i]->SendMessage(BufferFromString(payload)).ok());
+      }
+    }
+    std::vector<size_t> echoes(world.clients.size(), 0);
+    std::vector<bool> ordered(world.clients.size(), true);
+    ASSERT_TRUE(world.PumpUntil(
+        [&] {
+          world.EchoRound();
+          size_t done = 0;
+          for (size_t i = 0; i < world.clients.size(); ++i) {
+            for (;;) {
+              auto echo = world.clients[i]->ReceiveMessage();
+              if (!echo.ok()) {
+                break;
+              }
+              std::string expect = "client " + std::to_string(i) + " msg " +
+                                   std::to_string(echoes[i]);
+              ordered[i] = ordered[i] && ToString(*echo) == expect;
+              ++echoes[i];
+            }
+            done += echoes[i] >= 3 ? 1 : 0;
+          }
+          return done == world.clients.size();
+        },
+        60000))
+        << cio::StackProfileName(profile) << ": echo completion";
+    for (size_t i = 0; i < world.clients.size(); ++i) {
+      EXPECT_EQ(echoes[i], 3u) << cio::StackProfileName(profile);
+      EXPECT_TRUE(ordered[i])
+          << cio::StackProfileName(profile) << " client " << i
+          << ": echoes out of order or corrupted";
+    }
+    // Lifecycle counters surfaced through the observability layer.
+    const ciohost::CounterSet& counters =
+        world.server_node->observability().counters();
+    EXPECT_EQ(counters.Get("server.accepted"), 12u);
+    EXPECT_EQ(counters.Get("server.active"), 12u);
+  }
+}
+
+TEST(Server, DrainFlushesThenCloses) {
+  MultiClientWorld::Options options;
+  options.num_clients = 2;
+  options.seed = 300;
+  MultiClientWorld world(options);
+  ASSERT_TRUE(world.EstablishAll());
+  std::vector<ConnId> conns = world.server->EstablishedConnections();
+  ASSERT_EQ(conns.size(), 2u);
+
+  // Queue a farewell, then drain: the message must still arrive before the
+  // connection closes, and the draining connection must refuse new sends.
+  ASSERT_TRUE(world.server->Send(conns[0], BufferFromString("bye")).ok());
+  ASSERT_TRUE(world.server->Drain(conns[0]).ok());
+  auto state = world.server->StateOf(conns[0]);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, ConnState::kDraining);
+  EXPECT_EQ(world.server->Send(conns[0], BufferFromString("late")).code(),
+            ciobase::StatusCode::kFailedPrecondition);
+
+  bool got_bye = false;
+  ASSERT_TRUE(world.PumpUntil([&] {
+    auto message = world.clients[0]->ReceiveMessage();
+    if (message.ok()) {
+      got_bye = ToString(*message) == "bye";
+    }
+    return got_bye && !world.server->StateOf(conns[0]).ok();
+  }));
+  EXPECT_TRUE(got_bye);
+  EXPECT_EQ(world.server->active_connections(), 1u);
+  EXPECT_GE(world.server->stats().closed, 1u);
+  // The untouched neighbor still works.
+  ASSERT_TRUE(world.server->Send(conns[1], BufferFromString("still on")).ok());
+  ASSERT_TRUE(world.PumpUntil([&] {
+    return world.clients[1]->ReceiveMessage().ok();
+  }));
+}
+
+// --- Admission control + backpressure ---------------------------------------
+
+TEST(Server, AdmissionRefusesBeyondCapWithTypedFailure) {
+  MultiClientWorld::Options options;
+  options.num_clients = 6;
+  options.server_config.max_connections = 4;
+  options.seed = 404;
+  MultiClientWorld world(options);
+  ASSERT_TRUE(world.server->Start().ok());
+  for (auto& client : world.clients) {
+    ASSERT_TRUE(
+        client->Connect(world.server_node->ip(), world.server->config().port)
+            .ok());
+  }
+  // The herd races in; exactly max_connections win slots. Refused clients
+  // see their connection die (abortive RST -> typed failure in the client
+  // engine, which here burns its reconnect budget and fails cleanly).
+  world.PumpUntil(
+      [&] {
+        size_t settled = 0;
+        for (auto& client : world.clients) {
+          settled += (client->Ready() || client->Failed()) ? 1 : 0;
+        }
+        return settled == world.clients.size() &&
+               world.server->stats().rejected_admission >= 2;
+      },
+      120000);
+
+  EXPECT_EQ(world.server->active_connections(), 4u);
+  EXPECT_EQ(world.server->EstablishedConnections().size(), 4u);
+  EXPECT_GE(world.server->stats().rejected_admission, 2u);
+  size_t ready = 0;
+  size_t failed = 0;
+  for (auto& client : world.clients) {
+    ready += client->Ready() ? 1 : 0;
+    failed += client->Failed() ? 1 : 0;
+  }
+  EXPECT_EQ(ready, 4u);
+  EXPECT_EQ(failed, 2u);
+  EXPECT_EQ(world.server_node->observability().counters().Get(
+                "server.rejected_admission"),
+            world.server->stats().rejected_admission);
+  // Admitted clients are unaffected by the refused herd.
+  cio::ConfidentialNode* admitted = nullptr;
+  for (auto& client : world.clients) {
+    if (client->Ready()) {
+      admitted = client.get();
+      break;
+    }
+  }
+  ASSERT_NE(admitted, nullptr);
+  ASSERT_TRUE(admitted->SendMessage(BufferFromString("ping")).ok());
+  ASSERT_TRUE(world.PumpUntil([&] {
+    world.EchoRound();
+    return admitted->ReceiveMessage().ok();
+  }));
+}
+
+TEST(Server, SendQueueCapRejectsTyped) {
+  MultiClientWorld::Options options;
+  options.num_clients = 1;
+  options.server_config.max_send_queue_bytes = 4096;
+  options.seed = 550;
+  MultiClientWorld world(options);
+  ASSERT_TRUE(world.EstablishAll());
+  ConnId conn = world.server->EstablishedConnections()[0];
+
+  // Stuff the queue without pumping: beyond the byte budget the server
+  // refuses with kResourceExhausted instead of growing.
+  Buffer chunk;
+  chunk.resize(1024, 0xab);
+  bool saw_exhausted = false;
+  for (int i = 0; i < 64 && !saw_exhausted; ++i) {
+    ciobase::Status status = world.server->Send(conn, chunk);
+    if (!status.ok()) {
+      EXPECT_EQ(status.code(), ciobase::StatusCode::kResourceExhausted);
+      saw_exhausted = true;
+    }
+  }
+  EXPECT_TRUE(saw_exhausted);
+  EXPECT_GE(world.server->stats().send_queue_rejections, 1u);
+  // Backpressure is transient: once the queue drains, sends work again.
+  ASSERT_TRUE(world.PumpUntil([&] {
+    return world.server->Send(conn, BufferFromString("after")).ok();
+  }));
+}
+
+// --- Fairness ---------------------------------------------------------------
+
+TEST(Server, HotClientCannotStarveTheQuiet) {
+  MultiClientWorld::Options options;
+  options.num_clients = 5;
+  options.seed = 660;
+  MultiClientWorld world(options);
+  ASSERT_TRUE(world.EstablishAll());
+  std::vector<ConnId> conns = world.server->EstablishedConnections();
+  ASSERT_EQ(conns.size(), 5u);
+
+  // Connection 0 is hot: the server floods it with large messages every
+  // round. The others each await one small echo-critical message; DRR must
+  // get those out long before the hot backlog drains.
+  Buffer flood;
+  flood.resize(8192, 0x5a);
+  for (size_t i = 1; i < conns.size(); ++i) {
+    ASSERT_TRUE(
+        world.server
+            ->Send(conns[i], BufferFromString("quiet " + std::to_string(i)))
+            .ok());
+  }
+  size_t quiet_delivered = 0;
+  int rounds_to_quiet = -1;
+  for (int round = 0; round < 20000 && quiet_delivered < 4; ++round) {
+    (void)world.server->Send(conns[0], flood);  // keep the hot queue full
+    world.Pump();
+    for (size_t i = 1; i < world.clients.size(); ++i) {
+      if (world.clients[i]->ReceiveMessage().ok()) {
+        ++quiet_delivered;
+      }
+    }
+    rounds_to_quiet = round;
+  }
+  EXPECT_EQ(quiet_delivered, 4u)
+      << "quiet clients starved behind the hot one";
+  EXPECT_LT(rounds_to_quiet, 2000);
+}
+
+// --- Recovery under fault with a herd in flight ------------------------------
+
+TEST(Server, FaultWindowWithEightClientsMidTransferZeroLost) {
+  MultiClientWorld::Options options;
+  options.profile = StackProfile::kDualBoundary;
+  options.num_clients = 8;
+  options.seed = 777;
+  options.server_config.reattach_timeout_ns = 2'000'000'000;
+  MultiClientWorld world(options);
+  ASSERT_TRUE(world.EstablishAll());
+
+  const int kMessages = 6;
+  std::vector<int> sent(world.clients.size(), 0);
+  std::vector<int> echoed(world.clients.size(), 0);
+  std::vector<bool> ordered(world.clients.size(), true);
+  auto pump_once = [&] {
+    world.Pump();
+    world.EchoRound();
+    for (size_t i = 0; i < world.clients.size(); ++i) {
+      for (;;) {
+        auto echo = world.clients[i]->ReceiveMessage();
+        if (!echo.ok()) {
+          break;
+        }
+        std::string expect =
+            "c" + std::to_string(i) + " m" + std::to_string(echoed[i]);
+        ordered[i] = ordered[i] && ToString(*echo) == expect;
+        ++echoed[i];
+      }
+    }
+  };
+  auto offer_all = [&](int count) {
+    // Every client keeps offering until the (possibly reconnecting)
+    // channel accepts; interleaved so all 8 are genuinely concurrent.
+    for (int m = 0; m < count; ++m) {
+      for (size_t i = 0; i < world.clients.size(); ++i) {
+        for (int round = 0; round < 60000; ++round) {
+          std::string payload =
+              "c" + std::to_string(i) + " m" + std::to_string(sent[i]);
+          if (world.clients[i]->Ready() &&
+              world.clients[i]->SendMessage(BufferFromString(payload)).ok()) {
+            ++sent[i];
+            break;
+          }
+          pump_once();
+        }
+      }
+      pump_once();
+    }
+  };
+
+  offer_all(2);  // everyone mid-transfer
+
+  // The hostile host kills the SERVER's link for 12 ms (past the TCP retry
+  // budget: every connection dies at once), then later stalls its
+  // counters. All 8 clients must reconnect; the server reattaches each
+  // parked session; replay + dedup keep delivery exactly-once.
+  uint64_t fault_start = world.clock.now_ns();
+  world.server_node->adversary().InjectFault(
+      {ciohost::FaultStrategy::kLinkKill, fault_start, 12'000'000});
+  offer_all(2);
+  world.server_node->adversary().InjectFault(
+      {ciohost::FaultStrategy::kStallCounters, world.clock.now_ns(),
+       2'000'000});
+  offer_all(kMessages - 4);
+
+  ASSERT_TRUE(world.PumpUntil(
+      [&] {
+        world.EchoRound();
+        for (size_t i = 0; i < world.clients.size(); ++i) {
+          for (;;) {
+            auto echo = world.clients[i]->ReceiveMessage();
+            if (!echo.ok()) {
+              break;
+            }
+            std::string expect =
+                "c" + std::to_string(i) + " m" + std::to_string(echoed[i]);
+            ordered[i] = ordered[i] && ToString(*echo) == expect;
+            ++echoed[i];
+          }
+          if (echoed[i] < kMessages || !world.clients[i]->Ready()) {
+            return false;
+          }
+        }
+        return true;
+      },
+      120000))
+      << "herd did not fully recover";
+
+  for (size_t i = 0; i < world.clients.size(); ++i) {
+    EXPECT_EQ(sent[i], kMessages);
+    EXPECT_EQ(echoed[i], kMessages) << "client " << i;
+    EXPECT_TRUE(ordered[i]) << "client " << i << " echoes corrupted";
+    EXPECT_EQ(world.clients[i]->recovery_stats().messages_lost, 0u);
+    EXPECT_FALSE(world.clients[i]->Failed());
+  }
+  // The fault actually bit and the server actually recovered sessions.
+  EXPECT_GT(world.server_node->adversary().fault_events(), 0u);
+  EXPECT_GE(world.server->stats().recovered, 1u);
+  EXPECT_EQ(world.server_node->observability().counters().Get(
+                "server.recovered"),
+            world.server->stats().recovered);
+  // No message the server's sessions reassembled was lost either.
+  EXPECT_EQ(world.server->active_connections(), 8u);
+}
+
+}  // namespace

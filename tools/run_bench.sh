@@ -12,10 +12,13 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
-cmake --build "$build_dir" --target bench_throughput bench_crypto bench_blockio -j >/dev/null
+cmake --build "$build_dir" --target bench_throughput bench_crypto \
+  bench_blockio bench_server_load -j >/dev/null
 
 "$build_dir/bench/bench_throughput" --json "$repo_root/BENCH_throughput.json"
 echo
 "$build_dir/bench/bench_crypto"
 echo
 "$build_dir/bench/bench_blockio" --json "$repo_root/BENCH_blockio.json"
+echo
+"$build_dir/bench/bench_server_load" --json "$repo_root/BENCH_server.json"
