@@ -108,7 +108,7 @@ void BatchedL5Table() {
         // Let data pile up; batch-receive every 32 rounds.
         if (round % 32 == 0) {
           uint64_t before = clock.now_ns();
-          auto received = l5.ReceiveInto(server, batch, receive_buffer);
+          auto received = l5.ReceiveOne(server, batch, receive_buffer);
           uint64_t after = clock.now_ns();
           if (received.ok() && *received >= batch / 2) {
             in_receive_ns += after - before;

@@ -1,9 +1,17 @@
-// End-to-end throughput across stack profiles and message sizes
-// (TCP + TLS, modeled clock). Complements fig5_design_space with the
-// size sweep.
+// End-to-end throughput and per-message latency across stack profiles and
+// message sizes (TCP + TLS, modeled clock). Complements fig5_design_space
+// with the size sweep.
+//
+// Two arms per (profile, size) cell:
+//   throughput  — burst submission (8 messages per round share one
+//                 doorbell): the async SQ/CQ batching shape.
+//   latency     — one message per round with l5_latency_mode set, so the
+//                 dual-boundary engine doorbells inline on every submit
+//                 (batch depth capped at 1).
+// `--mode=latency|throughput` restricts the run to one arm; default is both.
 //
 // `--json <path>` additionally writes the table as a JSON array, one object
-// per (profile, size) cell — the bench-trajectory format consumed by
+// per (profile, size, mode) cell — the bench-trajectory format consumed by
 // tools/run_bench.sh to track datapath performance across revisions.
 
 #include <cstdio>
@@ -16,10 +24,13 @@ namespace {
 
 struct Row {
   std::string profile;
+  std::string mode;
   size_t size = 0;
   bool ok = false;
   double msgs_per_sec = 0.0;
   double gbit_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
 };
 
 void WriteJson(const char* path, const std::vector<Row>& rows) {
@@ -32,11 +43,12 @@ void WriteJson(const char* path, const std::vector<Row>& rows) {
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
-                 "  {\"profile\": \"%s\", \"msg_size\": %zu, \"ok\": %s, "
-                 "\"msgs_per_sec\": %.1f, \"gbit_per_sec\": %.4f}%s\n",
-                 r.profile.c_str(), r.size, r.ok ? "true" : "false",
-                 r.msgs_per_sec, r.gbit_per_sec,
-                 i + 1 < rows.size() ? "," : "");
+                 "  {\"profile\": \"%s\", \"mode\": \"%s\", \"msg_size\": %zu, "
+                 "\"ok\": %s, \"msgs_per_sec\": %.1f, \"gbit_per_sec\": %.4f, "
+                 "\"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
+                 r.profile.c_str(), r.mode.c_str(), r.size,
+                 r.ok ? "true" : "false", r.msgs_per_sec, r.gbit_per_sec,
+                 r.p50_us, r.p99_us, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -48,37 +60,63 @@ void WriteJson(const char* path, const std::vector<Row>& rows) {
 int main(int argc, char** argv) {
   using namespace cio;  // NOLINT
   const char* json_path = nullptr;
+  bool run_throughput = true;
+  bool run_latency = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--mode=throughput") == 0) {
+      run_latency = false;
+    } else if (std::strcmp(argv[i], "--mode=latency") == 0) {
+      run_throughput = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--mode=latency|throughput] [--json <path>]\n",
+                   argv[0]);
+      return 2;
     }
   }
 
   const size_t kSizes[] = {256, 1400, 4096, 16384};
   std::vector<Row> rows;
-  std::printf("== throughput (modeled) ==\n");
-  std::printf("%-18s %8s %12s %12s\n", "profile", "msg size", "msgs/s",
-              "Gbit/s");
-  std::printf("%s\n", std::string(56, '-').c_str());
+  std::printf("== throughput / latency (modeled) ==\n");
+  std::printf("%-18s %-10s %8s %12s %12s %10s %10s\n", "profile", "mode",
+              "msg size", "msgs/s", "Gbit/s", "p50 us", "p99 us");
+  std::printf("%s\n", std::string(88, '-').c_str());
   for (StackProfile profile : AllStackProfiles()) {
     for (size_t size : kSizes) {
-      LinkedPair pair(ciobench::MakeNode(profile, 1),
-                      ciobench::MakeNode(profile, 2));
-      if (!pair.Establish()) {
-        std::printf("%-18s %8zu  establish failed\n",
-                    std::string(StackProfileName(profile)).c_str(), size);
-        rows.push_back({std::string(StackProfileName(profile)), size, false,
-                        0.0, 0.0});
-        continue;
+      for (int arm = 0; arm < 2; ++arm) {
+        const bool latency_arm = arm == 1;
+        if (latency_arm ? !run_latency : !run_throughput) {
+          continue;
+        }
+        const char* mode = latency_arm ? "latency" : "throughput";
+        StackConfig client = ciobench::MakeNode(profile, 1);
+        StackConfig server = ciobench::MakeNode(profile, 2);
+        if (latency_arm) {
+          client.l5_latency_mode = true;
+          server.l5_latency_mode = true;
+        }
+        LinkedPair pair(client, server);
+        if (!pair.Establish()) {
+          std::printf("%-18s %-10s %8zu  establish failed\n",
+                      std::string(StackProfileName(profile)).c_str(), mode,
+                      size);
+          rows.push_back({std::string(StackProfileName(profile)), mode, size,
+                          false, 0.0, 0.0, 0.0, 0.0});
+          continue;
+        }
+        size_t count = size >= 16384 ? 100 : 200;
+        auto result =
+            ciobench::BurstTransfer(pair, count, size, latency_arm ? 1 : 8);
+        std::printf("%-18s %-10s %8zu %12.0f %12.3f %10.1f %10.1f%s\n",
+                    std::string(StackProfileName(profile)).c_str(), mode, size,
+                    result.MsgPerSec(), result.GbitPerSec(), result.p50_us,
+                    result.p99_us, result.ok ? "" : "  (incomplete)");
+        rows.push_back({std::string(StackProfileName(profile)), mode, size,
+                        result.ok, result.MsgPerSec(), result.GbitPerSec(),
+                        result.p50_us, result.p99_us});
       }
-      size_t count = size >= 16384 ? 100 : 200;
-      auto result = ciobench::BulkTransfer(pair, count, size);
-      std::printf("%-18s %8zu %12.0f %12.3f%s\n",
-                  std::string(StackProfileName(profile)).c_str(), size,
-                  result.MsgPerSec(), result.GbitPerSec(),
-                  result.ok ? "" : "  (incomplete)");
-      rows.push_back({std::string(StackProfileName(profile)), size, result.ok,
-                      result.MsgPerSec(), result.GbitPerSec()});
     }
   }
   if (json_path != nullptr) {

@@ -4,7 +4,10 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
+#include <deque>
+#include <vector>
 
 #include "src/base/rng.h"
 #include "src/cio/engine.h"
@@ -61,6 +64,66 @@ inline TransferResult BulkTransfer(cio::LinkedPair& pair, size_t count,
   result.modeled_ns = pair.clock.now_ns() - start_ns;
   result.payload_bytes = static_cast<uint64_t>(count) * size;
   result.messages = count;
+  return result;
+}
+
+struct TimedTransferResult : TransferResult {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+// Like BulkTransfer, but submits up to `burst` messages per pump round
+// (back-to-back into the async submission queue — one doorbell carries the
+// whole burst) and stamps every message from submission to delivery, so the
+// per-message latency distribution is measured alongside throughput.
+// burst == 1 is the latency-test shape: one message per round, nothing
+// queueing behind it.
+inline TimedTransferResult BurstTransfer(cio::LinkedPair& pair, size_t count,
+                                         size_t size, size_t burst) {
+  TimedTransferResult result;
+  ciobase::Rng rng(1);
+  ciobase::Buffer message = rng.Bytes(size);
+  std::deque<uint64_t> sent_at_ns;  // FIFO: delivery is in-order
+  std::vector<double> latencies_us;
+  latencies_us.reserve(count);
+  uint64_t start_ns = pair.clock.now_ns();
+  size_t sent = 0;
+  size_t received = 0;
+  bool done = pair.PumpUntil(
+      [&] {
+        for (size_t b = 0; b < burst && sent < count; ++b) {
+          if (!pair.client->SendMessage(message).ok()) {
+            break;
+          }
+          sent_at_ns.push_back(pair.clock.now_ns());
+          ++sent;
+        }
+        while (pair.server->ReceiveMessage().ok()) {
+          if (!sent_at_ns.empty()) {
+            latencies_us.push_back(
+                static_cast<double>(pair.clock.now_ns() -
+                                    sent_at_ns.front()) /
+                1000.0);
+            sent_at_ns.pop_front();
+          }
+          ++received;
+        }
+        return received == count;
+      },
+      2'000'000, 5'000);
+  result.ok = done;
+  result.modeled_ns = pair.clock.now_ns() - start_ns;
+  result.payload_bytes = static_cast<uint64_t>(count) * size;
+  result.messages = count;
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    auto at = [&](double q) {
+      return latencies_us[static_cast<size_t>(
+          q * static_cast<double>(latencies_us.size() - 1))];
+    };
+    result.p50_us = at(0.50);
+    result.p99_us = at(0.99);
+  }
   return result;
 }
 

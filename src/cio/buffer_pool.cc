@@ -1,0 +1,46 @@
+#include "src/cio/buffer_pool.h"
+
+#include <cassert>
+
+namespace cio {
+
+void BufferPool::Init(ciobase::MutableByteSpan region, uint32_t slots,
+                      uint32_t slot_size) {
+  assert(region.size() >= static_cast<size_t>(slots) * slot_size);
+  region_ = region;
+  slots_ = slots;
+  slot_size_ = slot_size;
+  free_.clear();
+  free_.reserve(slots);
+  // LIFO order, highest index first, so Acquire hands out slot 0 first —
+  // deterministic layouts make the hostile-CQE tests reproducible.
+  for (uint32_t i = slots; i > 0; --i) {
+    free_.push_back(static_cast<uint16_t>(i - 1));
+  }
+  acquired_.assign(slots, 0);
+}
+
+std::optional<uint16_t> BufferPool::Acquire() {
+  if (free_.empty()) {
+    return std::nullopt;
+  }
+  uint16_t slot = free_.back();
+  free_.pop_back();
+  acquired_[slot] = 1;
+  return slot;
+}
+
+void BufferPool::Release(uint16_t slot) {
+  if (slot >= slots_ || acquired_[slot] == 0) {
+    return;  // stale or duplicated index: ignore, never corrupt the list
+  }
+  acquired_[slot] = 0;
+  free_.push_back(slot);
+}
+
+ciobase::MutableByteSpan BufferPool::SlotSpan(uint16_t slot) {
+  uint32_t index = slot % slots_;  // masked, not checked
+  return region_.subspan(static_cast<size_t>(index) * slot_size_, slot_size_);
+}
+
+}  // namespace cio

@@ -253,11 +253,11 @@ struct ConfidentialNode::DualBoundaryOps final : SocketLayer {
   }
   ciobase::Result<size_t> SendBytes(cionet::SocketId id,
                                     ciobase::ByteSpan data) override {
-    return node->l5_->Send(id, data);
+    return node->l5_->SendOne(id, data);
   }
   ciobase::Result<size_t> ReceiveBytes(cionet::SocketId id, size_t max,
                                        ciobase::Buffer& out) override {
-    return node->l5_->ReceiveInto(id, max, out);
+    return node->l5_->ReceiveOne(id, max, out);
   }
   ciobase::Result<size_t> AcceptPending(cionet::SocketId id) override {
     return node->l5_->AcceptPending(id);
@@ -402,6 +402,7 @@ ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
       l2_transport_ = std::make_unique<L2Transport>(
           shared_.get(), l2_config, &costs_,
           l2_config.polling ? nullptr : l2_device_.get(), config_.recovery);
+      l2_transport_->set_sealed_rx(config_.l2_sealed_rx);
       guest_stack_ = std::make_unique<cionet::NetStack>(l2_transport_.get(),
                                                         clock, stack_config);
       compartments_ = std::make_unique<ciotee::CompartmentManager>(&costs_);
@@ -413,7 +414,7 @@ ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
       l5_ = std::make_unique<L5Channel>(
           compartments_.get(), app_compartment_, io_compartment_,
           guest_stack_.get(), &costs_, config_.l5_receive,
-          config_.l5_boundary);
+          config_.l5_boundary, config_.l5_queue);
       ops_ = std::make_unique<DualBoundaryOps>(this);
       break;
     }
@@ -527,6 +528,12 @@ void ConfidentialNode::BeginRecovery(const char* reason) {
   have_socket_ = false;
   connected_transport_ = false;
   session_.ResetChannel();
+  if (l5_ != nullptr) {
+    // Ring epoch reset: everything still queued in the SQ/CQ is abandoned
+    // (its payloads live in the resend window) and any completions the old
+    // generation still posts reap as stale instead of as tampering.
+    l5_->AbandonInFlight();
+  }
   reconnect_pending_ = true;
   resend_pending_ = true;
   if (reconnect_backoff_ns_ == 0) {
@@ -621,6 +628,32 @@ void ConfidentialNode::Poll() {
 ciobase::Status ConfidentialNode::SendMessage(ciobase::ByteSpan message) {
   if (!Ready()) {
     return ciobase::FailedPrecondition("link not ready");
+  }
+  // Async fast path: seal the framed message straight into registered pool
+  // slots and queue one scatter-gather SQ entry — no staging copy, no
+  // boundary crossing here. The next doorbell (this round's Poll, or right
+  // now in latency mode) carries the whole batch. Requires an empty legacy
+  // outbound queue so wire order equals submission order.
+  if (l5_ != nullptr && l5_->queues_ready() && !session_.HasOutbound()) {
+    L5Channel::MessageWriter writer;
+    if (l5_->BeginMessage(socket_, message.size(), config_.use_tls, writer)) {
+      ciobase::Status sealed = session_.SendInto(message, writer);
+      if (sealed.ok()) {
+        l5_->SubmitMessage(writer);
+        if (config_.l5_latency_mode) {
+          // Don't batch: ring the doorbell for this message alone.
+          (void)ops_->Poll();
+          PumpBytes();
+        }
+        return ciobase::OkStatus();
+      }
+      l5_->AbandonMessage(writer);
+      if (sealed.code() != ciobase::StatusCode::kResourceExhausted) {
+        return sealed;
+      }
+      // ResourceExhausted before any sealing: fall through to the
+      // streaming path below.
+    }
   }
   CIO_RETURN_IF_ERROR(session_.Send(message));
   PumpBytes();

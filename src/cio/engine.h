@@ -133,6 +133,9 @@ class ConfidentialNode {
   ciohost::Adversary& adversary() { return adversary_; }
   ciotee::TeeMemory& memory() { return memory_; }
   ciotee::CompartmentManager* compartments() { return compartments_.get(); }
+  // The dual-boundary async datapath (null on other profiles): the server
+  // drives batched egress + per-connection teardown through this.
+  L5Channel* l5() { return l5_.get(); }
   L2Transport* l2_transport() { return l2_transport_.get(); }
   ciovirtio::VirtioNetDriver* virtio_driver() { return virtio_driver_.get(); }
   DdaTransport* dda_transport() { return dda_transport_.get(); }

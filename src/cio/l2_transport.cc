@@ -47,6 +47,13 @@ bool L2Config::Valid() const {
 
 // --- L2Transport ---------------------------------------------------------------
 
+namespace {
+// Sealed-RX accounting: the bytes the guest must still inspect per frame
+// before the AEAD layer takes over (slot header + enough payload prefix for
+// the ethernet/IP/TCP headers the guest stack parses).
+constexpr size_t kL2SealedSnapshotBytes = 64;
+}  // namespace
+
 L2Transport::L2Transport(ciotee::SharedRegion* region, const L2Config& config,
                          ciobase::CostModel* costs,
                          ciovirtio::KickTarget* kick,
@@ -108,11 +115,20 @@ ciobase::Result<size_t> L2Transport::SendFrames(
   if (frames.empty()) {
     return size_t{0};
   }
-  // One advisory read of the host's consumed counter covers the whole batch.
-  // Clamping it into [produced - slots, produced] keeps the arithmetic
-  // total; a lying host can only cause overwrites of frames it claimed to
-  // have consumed (loss of its own service, not of safety).
-  uint64_t consumed = region_->GuestReadLe64(layout_.TxConsumed());
+  // One advisory read of the host's consumed counter covers the whole batch —
+  // and within a single simulated instant, all batches (the same-tick cache
+  // below). Clamping it into [produced - slots, produced] keeps the
+  // arithmetic total; a lying host can only cause overwrites of frames it
+  // claimed to have consumed (loss of its own service, not of safety).
+  uint64_t now_ns = costs_->clock()->now_ns();
+  uint64_t consumed;
+  if (tx_consumed_cache_ns_ == now_ns) {
+    consumed = tx_consumed_cache_;
+  } else {
+    consumed = region_->GuestReadLe64(layout_.TxConsumed());
+    tx_consumed_cache_ = consumed;
+    tx_consumed_cache_ns_ = now_ns;
+  }
   uint64_t in_flight = tx_produced_ - std::min(consumed, tx_produced_);
   size_t sent = 0;
   ciobase::Status reject = ciobase::OkStatus();
@@ -142,7 +158,7 @@ ciobase::Result<size_t> L2Transport::SendFrames(
     }
     // Work is now in flight: the watchdog starts (or keeps) counting until
     // the host visibly consumes it.
-    watchdog_.Arm(costs_->clock()->now_ns());
+    watchdog_.Arm(now_ns);
   }
   if (sent == 0 && !reject.ok()) {
     return reject;
@@ -168,7 +184,11 @@ void L2Transport::TakePayloadInto(uint64_t masked_offset, uint32_t len,
     // fill is private), so the host can recycle the chunk.
     costs_->ChargePageReshare(pages);
   } else {
-    costs_->ChargeCopy(len);
+    // Sealed mode: the copy out of shared memory is fused with the AEAD
+    // pass above us — account only the header-prefix snapshot the stack
+    // parses before the payload is authenticated.
+    costs_->ChargeCopy(sealed_rx_ ? std::min<size_t>(len, kL2SealedSnapshotBytes)
+                                  : len);
     region_->GuestRead(masked_offset, out);
   }
 }
@@ -178,7 +198,8 @@ void L2Transport::ReceiveInlineInto(uint64_t index, ciobase::Buffer& out) {
   // together; this read is simultaneously the validation source, the use
   // source, and the mandatory copy.
   ciobase::Buffer slot = arena_.Acquire(config_.slot_size);
-  costs_->ChargeCopy(config_.slot_size);
+  costs_->ChargeCopy(sealed_rx_ ? kL2SlotHeaderSize + kL2SealedSnapshotBytes
+                                : config_.slot_size);
   region_->GuestRead(layout_.RxSlot(index), slot);
   uint32_t len = ciobase::LoadLe32(slot.data());
   uint32_t capacity = config_.SlotPayloadCapacity();
@@ -267,6 +288,8 @@ ciobase::Result<size_t> L2Transport::ReceiveFrames(cionet::FrameBatch& batch,
   uint64_t now_ns = costs_->clock()->now_ns();
   uint64_t produced = region_->GuestReadLe64(layout_.RxProduced());
   uint64_t consumed = region_->GuestReadLe64(layout_.TxConsumed());
+  tx_consumed_cache_ = consumed;
+  tx_consumed_cache_ns_ = now_ns;
 
   // Progress detection for the watchdog: the host visibly advanced if it
   // consumed TX frames (counter moved, coherently) since the last poll.
@@ -350,6 +373,8 @@ ciobase::Status L2Transport::ResetRing() {
   tx_produced_ = 0;
   rx_consumed_ = 0;
   last_tx_consumed_ = 0;
+  tx_consumed_cache_ = 0;
+  tx_consumed_cache_ns_ = ~0ull;
   region_->GuestWriteLe64(layout_.TxProduced(), 0);
   region_->GuestWriteLe64(layout_.TxConsumed(), 0);
   region_->GuestWriteLe64(layout_.RxProduced(), 0);

@@ -75,6 +75,14 @@ class L2Transport final : public cionet::FramePort {
   const L2Config& config() const { return config_; }
   const L2Layout& layout() const { return layout_; }
 
+  // Sealed receive: the layer above authenticates every payload byte (L5
+  // AEAD), so the defensive RX copy is redundant — model only a header
+  // snapshot per frame and hand the payload over for in-place unsealing.
+  // Runtime-selected (not part of L2Config) so the attestation measurement
+  // of the wire format is unchanged; it alters accounting, not layout.
+  void set_sealed_rx(bool sealed) { sealed_rx_ = sealed; }
+  bool sealed_rx() const { return sealed_rx_; }
+
   // Attestation measurement covering code identity + fixed config.
   ciotee::Measurement Measure() const { return config_.Measure(); }
 
@@ -133,11 +141,20 @@ class L2Transport final : public cionet::FramePort {
   ciobase::RecoveryConfig recovery_;
   ciobase::LinkWatchdog watchdog_;
 
+  bool sealed_rx_ = false;
+
   // Guest-private counter shadows; never read back from shared memory.
   uint64_t tx_produced_ = 0;
   uint64_t rx_consumed_ = 0;
   // Last advisory TxConsumed observed; progress detection for the watchdog.
   uint64_t last_tx_consumed_ = 0;
+  // Same-tick cache of the advisory TxConsumed counter: within one simulated
+  // instant the host cannot have advanced, so back-to-back sends (a batch
+  // flush) open one TOCTOU window instead of one per call. The counter is
+  // advisory only (clamped into the legal window), so a stale value is at
+  // worst conservative.
+  uint64_t tx_consumed_cache_ = 0;
+  uint64_t tx_consumed_cache_ns_ = ~0ull;
   uint64_t epoch_ = 0;
   Stats stats_;
 };

@@ -1,21 +1,49 @@
 #include "src/cio/l5_channel.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "src/tls/record.h"
 
 namespace cio {
 
 L5Channel::L5Channel(ciotee::CompartmentManager* compartments,
                      ciotee::CompartmentId app, ciotee::CompartmentId io,
                      cionet::NetStack* stack, ciobase::CostModel* costs,
-                     L5ReceiveMode receive_mode,
-                     L5BoundaryKind boundary_kind)
+                     L5ReceiveMode receive_mode, L5BoundaryKind boundary_kind,
+                     const L5QueueConfig& queues)
     : compartments_(compartments),
       app_(app),
       io_(io),
       stack_(stack),
       costs_(costs),
       receive_mode_(receive_mode),
-      boundary_kind_(boundary_kind) {}
+      boundary_kind_(boundary_kind),
+      queues_(queues) {
+  InitQueues();
+}
+
+void L5Channel::InitQueues() {
+  if (!queues_.Valid()) {
+    return;
+  }
+  // ONE registration for the channel's lifetime: control block, both rings,
+  // and the slot pool live together in the I/O heap, allocated by the
+  // trusted component so the stack never validates a pointer.
+  auto handle = compartments_->Allocate(app_, io_, queues_.TotalBytes());
+  if (!handle.ok()) {
+    return;  // heap too small for the async datapath; channel stays inert
+  }
+  auto span = compartments_->Access(app_, *handle);
+  if (!span.ok()) {
+    return;
+  }
+  region_ = *span;
+  std::memset(region_.data(), 0, kSqcqControlBytes);
+  pool_.Init(region_.subspan(queues_.PoolOffset()), queues_.pool_slots,
+             queues_.slot_size);
+  queues_ready_ = true;
+}
 
 void L5Channel::ChargeCrossing() {
   ++stats_.crossings;
@@ -59,8 +87,23 @@ ciobase::Result<cionet::TcpState> L5Channel::State(cionet::SocketId socket) {
 }
 
 ciobase::Status L5Channel::Close(cionet::SocketId socket) {
+  // An orderly close must not outrun this socket's queued submissions: the
+  // FIN would precede (or discard) data still sitting in the SQ. One
+  // doorbell pushes whatever is pending before the stack sees the close.
+  if (HasInFlightSends(socket)) {
+    (void)Doorbell();
+  }
   Crossing crossing(this);
   return stack_->TcpClose(socket);
+}
+
+bool L5Channel::HasInFlightSends(cionet::SocketId socket) const {
+  for (const auto& [user_data, entry] : in_flight_) {
+    if (entry.op == kSqOpSend && entry.socket == socket.value) {
+      return true;
+    }
+  }
+  return false;
 }
 
 ciobase::Status L5Channel::Abort(cionet::SocketId socket) {
@@ -74,6 +117,14 @@ ciobase::Result<size_t> L5Channel::AcceptPending(cionet::SocketId listener) {
 }
 
 ciobase::Result<bool> L5Channel::Readable(cionet::SocketId socket) {
+  // Harvested-but-undelivered CQ events count as readable — once a recv
+  // completion lands, the bytes live in app-side events, not in the stack's
+  // socket buffer. Checking them first also avoids a boundary crossing for
+  // the common "data already here" case.
+  auto pending = events_.find(socket.value);
+  if (pending != events_.end() && !pending->second.empty()) {
+    return true;
+  }
   Crossing crossing(this);
   return stack_->TcpReadable(socket);
 }
@@ -89,99 +140,691 @@ ciobase::Result<cionet::Ipv4Address> L5Channel::Peer(
   return stack_->GetTcpPeer(socket);
 }
 
-ciobase::Result<size_t> L5Channel::Send(cionet::SocketId socket,
-                                        ciobase::ByteSpan data) {
-  // Trusted-component-allocates: the app creates the buffer in the I/O
-  // heap and fills it; the stack consumes it in place, verifying nothing.
-  auto handle = compartments_->Allocate(app_, io_, data.size());
-  if (!handle.ok()) {
-    return handle.status();
-  }
-  auto span = compartments_->Access(app_, *handle);
-  if (!span.ok()) {
-    return span.status();
-  }
-  std::memcpy(span->data(), data.data(), data.size());
+// --- Layout helpers ---------------------------------------------------------
 
-  ciobase::Result<size_t> sent = static_cast<size_t>(0);
-  {
-    Crossing crossing(this);
-    auto io_view = compartments_->Access(io_, *handle);
-    if (!io_view.ok()) {
-      sent = io_view.status();
-    } else {
-      sent = stack_->TcpSend(socket,
-                             ciobase::ByteSpan(io_view->data(), data.size()));
-    }
-  }
-  (void)compartments_->Free(app_, *handle);
-  if (sent.ok()) {
-    stats_.bytes_sent += *sent;
-  }
-  return sent;
+ciobase::MutableByteSpan L5Channel::SqeSpan(uint32_t index) {
+  uint32_t masked = index & (queues_.sq_entries - 1);
+  return region_.subspan(queues_.SqOffset() + masked * kSqeSize, kSqeSize);
 }
 
-ciobase::Result<size_t> L5Channel::ReceiveInto(cionet::SocketId socket,
-                                               size_t max_bytes,
-                                               ciobase::Buffer& out) {
+ciobase::MutableByteSpan L5Channel::CqeSpan(uint32_t index) {
+  uint32_t masked = index & (queues_.cq_entries - 1);
+  return region_.subspan(queues_.CqOffset() + masked * kCqeSize, kCqeSize);
+}
+
+bool L5Channel::SqFull() const {
+  // sq_consumed_ comes back through the call gate at doorbell time, never
+  // from host-writable memory, so this check cannot be spoofed into
+  // overwriting unconsumed entries.
+  return sq_tail_ - sq_consumed_ >= queues_.sq_entries;
+}
+
+// --- Submission -------------------------------------------------------------
+
+uint32_t L5Channel::SlotsForMessage(size_t payload_bytes, bool use_tls,
+                                    uint32_t slot_size) {
+  if (!use_tls) {
+    // [len u32][seq u64] then raw payload, streamed across slots.
+    return static_cast<uint32_t>((12 + payload_bytes + slot_size - 1) /
+                                 slot_size);
+  }
+  // Sealed framing: a 12-byte header record first, then payload fragments
+  // record-per-fragment, packed back to back; a fragment needs at least one
+  // payload byte past the record overhead to be worth starting in a slot.
+  constexpr size_t kOverhead = ciotls::kSealedRecordOverhead;
+  constexpr size_t kHeaderRecord = 12 + kOverhead;
+  uint32_t slots = 1;
+  size_t room = slot_size - kHeaderRecord;
+  size_t remaining = payload_bytes;
+  while (remaining > 0) {
+    if (room < kOverhead + 1) {
+      ++slots;
+      room = slot_size;
+    }
+    size_t n =
+        std::min({remaining, room - kOverhead, ciotls::kMaxRecordPayload});
+    remaining -= n;
+    room -= n + kOverhead;
+  }
+  return slots;
+}
+
+ciobase::MutableByteSpan L5Channel::MessageWriter::NextSpan(size_t min_bytes) {
+  if (channel_ == nullptr || !active_) {
+    return {};
+  }
+  while (current_ < slots_.size()) {
+    ciobase::MutableByteSpan slot = channel_->pool_.SlotSpan(slots_[current_]);
+    size_t remaining = slot.size() - used_[current_];
+    if (remaining >= min_bytes && remaining > 0) {
+      return slot.subspan(used_[current_]);
+    }
+    ++current_;  // the wasted tail stays unsent: segments carry used bytes
+  }
+  return {};
+}
+
+void L5Channel::MessageWriter::Commit(size_t n) {
+  if (channel_ == nullptr || !active_ || current_ >= slots_.size()) {
+    return;
+  }
+  used_[current_] += static_cast<uint32_t>(n);
+}
+
+bool L5Channel::BeginMessage(cionet::SocketId socket, size_t payload_bytes,
+                             bool use_tls, MessageWriter& writer) {
+  if (!queues_ready_ || payload_bytes > kMaxSqMessageBytes) {
+    return false;
+  }
+  uint32_t needed = SlotsForMessage(payload_bytes, use_tls, queues_.slot_size);
+  if (needed > kSqMaxSegments) {
+    return false;
+  }
+  if (SqFull() || pool_.free_slots() < needed) {
+    ++stats_.sq_backpressure;
+    return false;
+  }
+  writer.channel_ = this;
+  writer.socket_ = socket.value;
+  writer.slots_.clear();
+  writer.used_.clear();
+  writer.current_ = 0;
+  writer.active_ = true;
+  for (uint32_t i = 0; i < needed; ++i) {
+    writer.slots_.push_back(*pool_.Acquire());
+    writer.used_.push_back(0);
+  }
+  return true;
+}
+
+void L5Channel::SubmitSqe(SqEntry& sqe) {
+  sqe.user_data = next_user_data_++;
+  EncodeSqe(sqe, SqeSpan(sq_tail_));
+  ++sq_tail_;
+  ciobase::StoreLe32(ctrl() + kCtrlSqTail, sq_tail_);
+  InFlight entry;
+  entry.op = sqe.op;
+  entry.seg_count = sqe.seg_count;
+  entry.socket = sqe.socket;
+  for (size_t i = 0; i < sqe.seg_count; ++i) {
+    entry.segs[i] = sqe.segs[i];
+  }
+  in_flight_[sqe.user_data] = entry;
+  ++stats_.sq_submitted;
+}
+
+void L5Channel::SubmitMessage(MessageWriter& writer) {
+  if (!writer.active_ || writer.channel_ != this) {
+    return;
+  }
+  writer.active_ = false;
+  SqEntry sqe;
+  sqe.op = kSqOpSend;
+  sqe.socket = writer.socket_;
+  size_t total = 0;
+  for (size_t i = 0; i < writer.slots_.size(); ++i) {
+    if (writer.used_[i] == 0) {
+      pool_.Release(writer.slots_[i]);  // over-reserved trailing slot
+      continue;
+    }
+    sqe.segs[sqe.seg_count] = SqSegment{writer.slots_[i], writer.used_[i]};
+    ++sqe.seg_count;
+    total += writer.used_[i];
+  }
+  if (sqe.seg_count == 0) {
+    return;
+  }
+  SubmitSqe(sqe);
+  stats_.bytes_sent += total;
+}
+
+void L5Channel::AbandonMessage(MessageWriter& writer) {
+  if (!writer.active_ || writer.channel_ != this) {
+    return;
+  }
+  writer.active_ = false;
+  for (uint16_t slot : writer.slots_) {
+    pool_.Release(slot);
+  }
+}
+
+ciobase::Result<size_t> L5Channel::SubmitStream(cionet::SocketId socket,
+                                                ciobase::ByteSpan data) {
+  if (!queues_ready_) {
+    return ciobase::FailedPrecondition("async queues unavailable");
+  }
+  size_t accepted = 0;
+  while (accepted < data.size()) {
+    if (SqFull() || pool_.free_slots() == 0) {
+      ++stats_.sq_backpressure;
+      break;
+    }
+    SqEntry sqe;
+    sqe.op = kSqOpSend;
+    sqe.socket = socket.value;
+    size_t total = 0;
+    while (sqe.seg_count < kSqMaxSegments &&
+           accepted + total < data.size()) {
+      auto slot = pool_.Acquire();
+      if (!slot) {
+        ++stats_.sq_backpressure;
+        break;
+      }
+      size_t n = std::min<size_t>(queues_.slot_size,
+                                  data.size() - accepted - total);
+      // The app's one write into registered memory; the stack transmits
+      // from the slot in place.
+      std::memcpy(pool_.SlotSpan(*slot).data(), data.data() + accepted + total,
+                  n);
+      sqe.segs[sqe.seg_count] = SqSegment{*slot, static_cast<uint32_t>(n)};
+      ++sqe.seg_count;
+      total += n;
+    }
+    if (sqe.seg_count == 0) {
+      break;
+    }
+    SubmitSqe(sqe);
+    stats_.bytes_sent += total;
+    accepted += total;
+  }
+  return accepted;
+}
+
+void L5Channel::EnsureRecvArmed(cionet::SocketId socket) {
+  if (!queues_ready_) {
+    return;
+  }
+  uint32_t& armed = armed_[socket.value];
+  // Never let armed receives drain the pool: a quarter stays reserved for
+  // submissions, or a many-connection server deadlocks (all slots parked in
+  // idle recv entries, no slot left to send the bytes that would complete
+  // them). Sockets that lose the arming race use ReceiveOne's direct
+  // fallback instead.
+  const size_t send_reserve =
+      std::max<size_t>(queues_.recv_segments, queues_.pool_slots / 4);
+  while (armed < queues_.recv_entries) {
+    if (SqFull() || pool_.free_slots() < queues_.recv_segments + send_reserve) {
+      ++stats_.sq_backpressure;
+      return;
+    }
+    SqEntry sqe;
+    sqe.op = kSqOpRecv;
+    sqe.socket = socket.value;
+    sqe.seg_count = static_cast<uint8_t>(queues_.recv_segments);
+    for (uint32_t i = 0; i < queues_.recv_segments; ++i) {
+      sqe.segs[i] = SqSegment{*pool_.Acquire(), queues_.slot_size};
+    }
+    SubmitSqe(sqe);
+    ++armed;
+  }
+}
+
+// --- The doorbell crossing --------------------------------------------------
+
+ciobase::Status L5Channel::Doorbell() {
+  if (!queues_ready_) {
+    return ciobase::FailedPrecondition("async queues unavailable");
+  }
+  ciobase::Status link = ciobase::OkStatus();
+  {
+    Crossing crossing(this);
+    costs_->ChargeRingPoll();
+    IoConsumeSq();
+    link = stack_->Poll();
+    IoService();
+    // Consumed count returns through the call gate (a syscall-style return
+    // value), so SQ-full detection never trusts host-writable memory.
+    sq_consumed_ = io_sq_head_;
+  }
+  ++stats_.doorbells;
+  ciobase::Status harvested = Harvest();
+  if (!harvested.ok()) {
+    return harvested;
+  }
+  return link;
+}
+
+void L5Channel::IoConsumeSq() {
+  uint32_t tail = ciobase::LoadLe32(ctrl() + kCtrlSqTail);
+  if (tail - io_sq_head_ > queues_.sq_entries) {
+    // Host-scribbled tail: clamp to one ring's worth; garbage entries
+    // decode to ops on unknown sockets and complete as resets.
+    tail = io_sq_head_ + queues_.sq_entries;
+  }
+  while (io_sq_head_ != tail) {
+    SqEntry sqe = DecodeSqe(SqeSpan(io_sq_head_));
+    ++io_sq_head_;
+    IoSocketQueues& queues = io_queues_[sqe.socket];
+    if (sqe.op == kSqOpSend) {
+      queues.sends.push_back(sqe);
+    } else if (sqe.op == kSqOpRecv) {
+      queues.recvs.push_back(sqe);
+    }
+    // Unknown opcodes are dropped: the app is trusted, so these can only
+    // come from host scribbling over the ring.
+  }
+  ciobase::StoreLe32(ctrl() + kCtrlSqHead, io_sq_head_);
+}
+
+void L5Channel::IoService() {
+  DrainHeldCqes();
+  for (auto& [socket, queues] : io_queues_) {
+    IoServiceSends(socket, queues);
+    IoServiceRecvs(socket, queues);
+  }
+  for (auto it = io_queues_.begin(); it != io_queues_.end();) {
+    if (it->second.sends.empty() && it->second.recvs.empty()) {
+      it = io_queues_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void L5Channel::IoServiceSends(uint32_t socket, IoSocketQueues& queues) {
+  while (!queues.sends.empty()) {
+    const SqEntry& sqe = queues.sends.front();
+    size_t total = 0;
+    for (size_t i = 0; i < sqe.seg_count; ++i) {
+      total += sqe.segs[i].len;
+    }
+    CqEntry cqe;
+    cqe.op = kSqOpSend;
+    cqe.user_data = sqe.user_data;
+    cqe.epoch = ciobase::LoadLe32(ctrl() + kCtrlEpoch);
+    auto space = stack_->TcpSendSpace(cionet::SocketId{socket});
+    if (!space.ok()) {
+      cqe.code = kCqReset;  // socket gone underneath the queue
+      PostCqe(socket, cqe);
+      queues.sends.pop_front();
+      continue;
+    }
+    if (*space < total) {
+      break;  // all-or-nothing per entry; retry at the next doorbell
+    }
+    bool failed = false;
+    for (size_t i = 0; i < sqe.seg_count && !failed; ++i) {
+      ciobase::MutableByteSpan span = pool_.SlotSpan(sqe.segs[i].slot);
+      size_t len = std::min<size_t>(sqe.segs[i].len, span.size());
+      auto sent = stack_->TcpSend(cionet::SocketId{socket},
+                                  ciobase::ByteSpan(span.data(), len));
+      failed = !sent.ok() || *sent != len;
+    }
+    if (failed) {
+      cqe.code = kCqReset;
+    } else {
+      cqe.code = kCqOk;
+      cqe.seg_count = sqe.seg_count;
+      for (size_t i = 0; i < sqe.seg_count; ++i) {
+        cqe.seg_len[i] = sqe.segs[i].len;
+      }
+      cqe.result = static_cast<uint32_t>(total);
+    }
+    PostCqe(socket, cqe);
+    queues.sends.pop_front();
+  }
+}
+
+void L5Channel::IoServiceRecvs(uint32_t socket, IoSocketQueues& queues) {
+  while (!queues.recvs.empty()) {
+    const SqEntry& sqe = queues.recvs.front();
+    CqEntry cqe;
+    cqe.op = kSqOpRecv;
+    cqe.user_data = sqe.user_data;
+    cqe.epoch = ciobase::LoadLe32(ctrl() + kCtrlEpoch);
+    auto readable = stack_->TcpReadable(cionet::SocketId{socket});
+    if (!readable.ok()) {
+      cqe.code = kCqReset;
+      PostCqe(socket, cqe);
+      queues.recvs.pop_front();
+      continue;
+    }
+    if (!*readable) {
+      break;
+    }
+    size_t got_total = 0;
+    bool eof = false;
+    bool reset = false;
+    for (size_t i = 0; i < sqe.seg_count; ++i) {
+      ciobase::MutableByteSpan span = pool_.SlotSpan(sqe.segs[i].slot);
+      size_t cap = std::min<size_t>(sqe.segs[i].len, span.size());
+      auto got =
+          stack_->TcpReceive(cionet::SocketId{socket}, span.first(cap));
+      if (!got.ok()) {
+        if (got.status().code() == ciobase::StatusCode::kFailedPrecondition) {
+          eof = true;
+        } else {
+          reset = true;
+        }
+        break;
+      }
+      if (*got == 0) {
+        break;
+      }
+      cqe.seg_len[i] = static_cast<uint32_t>(*got);
+      cqe.seg_count = static_cast<uint8_t>(i + 1);
+      got_total += *got;
+      if (*got < cap) {
+        break;  // drained the socket
+      }
+    }
+    if (got_total > 0) {
+      cqe.code = kCqOk;
+      cqe.result = static_cast<uint32_t>(got_total);
+      PostCqe(socket, cqe);
+      queues.recvs.pop_front();
+      continue;  // a pending EOF/reset completes the next armed entry
+    }
+    if (eof || reset) {
+      cqe.code = eof ? kCqEof : kCqReset;
+      cqe.seg_count = 0;
+      PostCqe(socket, cqe);
+      queues.recvs.pop_front();
+      continue;
+    }
+    break;
+  }
+}
+
+void L5Channel::PostCqe(uint32_t socket, const CqEntry& cqe) {
+  uint32_t head = ciobase::LoadLe32(ctrl() + kCtrlCqHead);
+  uint32_t used = io_cq_tail_ - head;
+  if (used > queues_.cq_entries) {
+    used = queues_.cq_entries;  // hostile head: treat the ring as full
+  }
+  if (used >= queues_.cq_entries) {
+    // CQ overflow backpressure: hold the completion io-side, in order, and
+    // drain once the app reaps. Nothing is dropped.
+    held_cqes_.push_back(HeldCqe{socket, cqe});
+    return;
+  }
+  EncodeCqe(cqe, CqeSpan(io_cq_tail_));
+  ++io_cq_tail_;
+  ciobase::StoreLe32(ctrl() + kCtrlCqTail, io_cq_tail_);
+}
+
+void L5Channel::DrainHeldCqes() {
+  while (!held_cqes_.empty()) {
+    uint32_t head = ciobase::LoadLe32(ctrl() + kCtrlCqHead);
+    uint32_t used = io_cq_tail_ - head;
+    if (used > queues_.cq_entries) {
+      used = queues_.cq_entries;
+    }
+    if (used >= queues_.cq_entries) {
+      return;
+    }
+    EncodeCqe(held_cqes_.front().cqe, CqeSpan(io_cq_tail_));
+    ++io_cq_tail_;
+    ciobase::StoreLe32(ctrl() + kCtrlCqTail, io_cq_tail_);
+    held_cqes_.pop_front();
+  }
+}
+
+// --- App-side reaping -------------------------------------------------------
+
+ciobase::Status L5Channel::Harvest() {
+  uint32_t tail = ciobase::LoadLe32(ctrl() + kCtrlCqTail);
+  if (tail - cq_head_ > queues_.cq_entries) {
+    return ciobase::Tampered("cq tail outside ring window");
+  }
+  while (cq_head_ != tail) {
+    CqEntry cqe = DecodeCqe(CqeSpan(cq_head_));
+    ++cq_head_;
+    ciobase::StoreLe32(ctrl() + kCtrlCqHead, cq_head_);
+    CIO_RETURN_IF_ERROR(ConsumeCqe(cqe));
+  }
+  return ciobase::OkStatus();
+}
+
+ciobase::Status L5Channel::ConsumeCqe(const CqEntry& cqe) {
+  if (cqe.epoch != epoch_) {
+    // A completion from before the last ring reset: its entry was already
+    // abandoned into the resend window, so this is recovery noise, not an
+    // attack.
+    ++stats_.cq_stale_dropped;
+    return ciobase::OkStatus();
+  }
+  auto it = in_flight_.find(cqe.user_data);
+  if (it == in_flight_.end()) {
+    return ciobase::Tampered("unknown or duplicated completion");
+  }
+  const InFlight entry = it->second;
+  if (cqe.op != entry.op) {
+    return ciobase::Tampered("completion opcode mismatch");
+  }
+  if (cqe.code > kCqReset) {
+    return ciobase::Tampered("unknown completion code");
+  }
+  if (cqe.seg_count > entry.seg_count) {
+    return ciobase::Tampered("completion segment overflow");
+  }
+  uint64_t sum = 0;
+  for (size_t i = 0; i < cqe.seg_count; ++i) {
+    if (cqe.seg_len[i] > entry.segs[i].len) {
+      return ciobase::Tampered("completion length exceeds submission");
+    }
+    sum += cqe.seg_len[i];
+  }
+  if (cqe.result != sum) {
+    return ciobase::Tampered("completion result/length mismatch");
+  }
+  in_flight_.erase(it);
+  ++stats_.cq_completions;
+  if (entry.op == kSqOpSend) {
+    ReleaseEntrySlots(entry);
+    if (cqe.code != kCqOk) {
+      // The bytes may not have hit the wire; delivery is owned by the
+      // session resend window, so this is accounting, not an error.
+      ++stats_.send_failures;
+    }
+    return ciobase::OkStatus();
+  }
+  // Receive completion.
+  auto armed_it = armed_.find(entry.socket);
+  if (armed_it != armed_.end() && armed_it->second > 0) {
+    --armed_it->second;
+  }
+  if (cqe.code == kCqOk && cqe.result > 0) {
+    RecvEvent event;
+    event.kind = RecvEvent::Kind::kData;
+    if (receive_mode_ == L5ReceiveMode::kCopy) {
+      // Copy-before-parse: snapshot the slots the stack may keep mutating.
+      ++stats_.receive_copies;
+      costs_->ChargeCopy(cqe.result);
+    } else if (receive_mode_ == L5ReceiveMode::kRevoke) {
+      // Revoke-then-parse: pull the filled pages out of the shared pool.
+      ++stats_.receive_revocations;
+      size_t page = costs_->constants().page_size;
+      costs_->ChargePageUnshare(
+          std::max<size_t>(1, (cqe.result + page - 1) / page));
+    }
+    // kSealed: every byte is AEAD-authenticated above this layer, so no
+    // defensive copy or unshare is modeled for the harvest.
+    event.data.reserve(cqe.result);
+    for (size_t i = 0; i < cqe.seg_count; ++i) {
+      ciobase::MutableByteSpan span = pool_.SlotSpan(entry.segs[i].slot);
+      event.data.insert(event.data.end(), span.data(),
+                        span.data() + cqe.seg_len[i]);
+    }
+    events_[entry.socket].push_back(std::move(event));
+    stats_.bytes_received += cqe.result;
+  } else if (cqe.code == kCqEof) {
+    events_[entry.socket].push_back(RecvEvent{RecvEvent::Kind::kEof, {}});
+  } else if (cqe.code == kCqReset) {
+    events_[entry.socket].push_back(RecvEvent{RecvEvent::Kind::kReset, {}});
+  }
+  ReleaseEntrySlots(entry);
+  return ciobase::OkStatus();
+}
+
+void L5Channel::ReleaseEntrySlots(const InFlight& entry) {
+  for (size_t i = 0; i < entry.seg_count; ++i) {
+    pool_.Release(entry.segs[i].slot);
+  }
+}
+
+std::optional<L5Channel::RecvEvent> L5Channel::NextEvent(
+    cionet::SocketId socket) {
+  auto it = events_.find(socket.value);
+  if (it == events_.end() || it->second.empty()) {
+    return std::nullopt;
+  }
+  RecvEvent event = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) {
+    events_.erase(it);
+  }
+  return event;
+}
+
+// --- Teardown paths ---------------------------------------------------------
+
+void L5Channel::CancelSocket(cionet::SocketId socket) {
+  if (!queues_ready_) {
+    return;
+  }
+  // Sweep already-posted completions to their owners first, so another
+  // socket's data is never thrown away with this one's. Tampering found
+  // here resurfaces on the next doorbell.
+  (void)Harvest();
+  events_.erase(socket.value);
+  {
+    Crossing crossing(this);
+    IoConsumeSq();  // pull published-but-unconsumed entries so they purge
+    sq_consumed_ = io_sq_head_;
+    io_queues_.erase(socket.value);
+    for (auto it = held_cqes_.begin(); it != held_cqes_.end();) {
+      if (it->socket == socket.value) {
+        it = held_cqes_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if (it->second.socket == socket.value) {
+      ReleaseEntrySlots(it->second);
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  armed_.erase(socket.value);
+}
+
+void L5Channel::AbandonInFlight() {
+  if (!queues_ready_) {
+    return;
+  }
+  events_.clear();
+  {
+    Crossing crossing(this);
+    io_queues_.clear();
+    held_cqes_.clear();
+    io_sq_head_ = 0;
+    io_cq_tail_ = 0;
+  }
+  for (auto& [user_data, entry] : in_flight_) {
+    ReleaseEntrySlots(entry);
+  }
+  in_flight_.clear();
+  armed_.clear();
+  sq_tail_ = 0;
+  sq_consumed_ = 0;
+  cq_head_ = 0;
+  // New ring generation: completions the old epoch still owes reap as
+  // stale. The session resend window re-delivers everything that was in
+  // flight, preserving exactly-once end to end.
+  ++epoch_;
+  std::memset(region_.data(), 0, kSqcqControlBytes);
+  ciobase::StoreLe32(ctrl() + kCtrlEpoch, epoch_);
+}
+
+// --- One-shot wrappers ------------------------------------------------------
+
+ciobase::Result<size_t> L5Channel::SendOne(cionet::SocketId socket,
+                                           ciobase::ByteSpan data) {
+  auto accepted = SubmitStream(socket, data);
+  if (!accepted.ok()) {
+    return accepted;
+  }
+  ciobase::Status rung = Doorbell();
+  if (rung.code() == ciobase::StatusCode::kTampered) {
+    return rung;
+  }
+  return accepted;
+}
+
+ciobase::Result<size_t> L5Channel::ReceiveOne(cionet::SocketId socket,
+                                              size_t max_bytes,
+                                              ciobase::Buffer& out) {
   out.clear();
-  // The I/O-domain staging buffer is still allocated (and freed) per call:
-  // the compartment heap is a bump allocator that can only rewind when no
-  // allocation is live, so a persistent staging handle would leak the heap.
-  // Reuse happens on the app-private side: `out` keeps its capacity.
-  auto handle = compartments_->Allocate(app_, io_, max_bytes);
-  if (!handle.ok()) {
-    return handle.status();
+  if (!queues_ready_) {
+    return ciobase::FailedPrecondition("async queues unavailable");
   }
-  ciobase::Result<size_t> got = static_cast<size_t>(0);
-  {
-    Crossing crossing(this);
-    auto io_view = compartments_->Access(io_, *handle);
-    if (!io_view.ok()) {
-      got = io_view.status();
-    } else {
-      got = stack_->TcpReceive(socket, *io_view);
+  EnsureRecvArmed(socket);
+  ciobase::Status rung = Doorbell();
+  if (rung.code() == ciobase::StatusCode::kTampered) {
+    return rung;
+  }
+  while (out.size() < max_bytes) {
+    auto it = events_.find(socket.value);
+    if (it == events_.end() || it->second.empty()) {
+      break;
+    }
+    RecvEvent& front = it->second.front();
+    if (front.kind != RecvEvent::Kind::kData) {
+      if (!out.empty()) {
+        break;  // deliver data first; EOF/reset surfaces next call
+      }
+      RecvEvent::Kind kind = front.kind;
+      it->second.pop_front();
+      if (kind == RecvEvent::Kind::kEof) {
+        return ciobase::FailedPrecondition("connection closed by peer");
+      }
+      return ciobase::LinkReset("connection reset");
+    }
+    ciobase::Append(out, front.data);
+    it->second.pop_front();
+  }
+  if (out.empty()) {
+    auto armed = armed_.find(socket.value);
+    if (armed == armed_.end() || armed->second == 0) {
+      // Pool-contention fallback: every registered slot is held by other
+      // sockets' armed receives, so waiting on an SQ entry would starve
+      // this socket. Receive directly inside one crossing, charged exactly
+      // like the pooled path — liveness over zero-copy. Safe for ordering:
+      // with no armed entries and no queued events, the socket's bytes can
+      // only be in the stack's own buffer.
+      out.resize(max_bytes);
+      size_t got = 0;
+      {
+        Crossing crossing(this);
+        auto direct =
+            stack_->TcpReceive(socket, ciobase::MutableByteSpan(out));
+        if (!direct.ok()) {
+          out.clear();
+          return direct.status();
+        }
+        got = *direct;
+      }
+      out.resize(got);
+      if (got > 0) {
+        if (receive_mode_ == L5ReceiveMode::kCopy) {
+          ++stats_.receive_copies;
+          costs_->ChargeCopy(got);
+        } else if (receive_mode_ == L5ReceiveMode::kRevoke) {
+          ++stats_.receive_revocations;
+          size_t page = costs_->constants().page_size;
+          costs_->ChargePageUnshare(std::max<size_t>(1, (got + page - 1) / page));
+        }
+        stats_.bytes_received += got;
+      }
     }
   }
-  if (!got.ok()) {
-    (void)compartments_->Free(app_, *handle);
-    return got.status();
-  }
-  if (*got == 0) {
-    (void)compartments_->Free(app_, *handle);
-    return static_cast<size_t>(0);  // nothing yet
-  }
-
-  out.resize(*got);
-  if (receive_mode_ == L5ReceiveMode::kCopy) {
-    // Copy before parse: the stack may keep mutating the I/O-domain buffer
-    // after returning, so the app snapshots it into private memory.
-    ++stats_.receive_copies;
-    costs_->ChargeCopy(*got);
-    auto span = compartments_->Access(app_, *handle);
-    if (span.ok()) {
-      std::memcpy(out.data(), span->data(), *got);
-    }
-  } else {
-    // Revoke-then-parse: ownership moves to the app; the stack's access is
-    // dead from here on, so in-place parsing is safe without a copy.
-    ++stats_.receive_revocations;
-    size_t page = costs_->constants().page_size;
-    costs_->ChargePageUnshare(std::max<size_t>(1, (*got + page - 1) / page));
-    CIO_RETURN_IF_ERROR(compartments_->Transfer(app_, *handle, app_));
-    auto span = compartments_->Access(app_, *handle);
-    if (span.ok()) {
-      std::memcpy(out.data(), span->data(), *got);  // materialize (uncharged)
-    }
-  }
-  (void)compartments_->Free(app_, *handle);
-  stats_.bytes_received += *got;
-  return *got;
+  return out.size();
 }
 
-ciobase::Status L5Channel::Poll() {
-  Crossing crossing(this);
-  return stack_->Poll();
-}
+ciobase::Status L5Channel::Poll() { return Doorbell(); }
 
 }  // namespace cio

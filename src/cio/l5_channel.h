@@ -5,18 +5,25 @@
 // trusts the application, the application does not trust the I/O stack.
 // That single distrust is what the design exploits:
 //
-//  * "Avoid the need to verify pointers": the application allocates buffers
-//    directly in the I/O compartment's heap (trusted-component-allocates
-//    policy [34]). The stack only ever sees buffers the app created there,
-//    so it never validates an app pointer; the app never dereferences a
-//    stack pointer at all.
-//  * Zero-copy send: the app writes its (TLS-protected) bytes into the
-//    I/O-domain buffer once; the stack transmits from it in place.
-//  * Receive: the stack fills an app-allocated I/O-domain buffer. Because
-//    the stack is untrusted, the app must either copy the bytes out before
-//    parsing (kCopy) or revoke the buffer's ownership so the stack can no
-//    longer mutate it (kRevoke) — the L5 instance of the copy/revocation
-//    trade-off.
+//  * "Avoid the need to verify pointers": the application registers ONE
+//    queue region (control block + SQ + CQ + sealed-buffer pool) in the
+//    I/O compartment's heap at construction (trusted-component-allocates
+//    policy [34]). The stack only ever touches that region, addressed by
+//    slot index — it never validates an app pointer, the app never
+//    dereferences a stack pointer.
+//  * Async zero-copy datapath: the app seals TLS records directly into
+//    registered slots, queues submission entries (scatter-gather for large
+//    messages), and rings the doorbell ONCE per batch — one boundary
+//    crossing amortized over every queued operation, instead of a crossing
+//    per message. Completions are reaped lazily from the CQ with no
+//    crossing at all.
+//  * Receive trust: everything the I/O side writes back — CQ indices,
+//    completion codes, lengths — is hostile-host-writable, so the reaper
+//    validates each entry against its private in-flight shadow (typed
+//    kTampered on mismatch) and then materializes payload bytes per the
+//    receive-mode policy: copy-before-parse (kCopy), ownership revocation
+//    (kRevoke), or sealed-in-place (kSealed — the AEAD layer above already
+//    rejects any byte the host flips, so no defensive copy is charged).
 //
 // The boundary crossing itself is either an intra-TEE compartment switch
 // (the paper's choice) or a full TEE-to-TEE switch (the rejected dual-
@@ -25,21 +32,35 @@
 #ifndef SRC_CIO_L5_CHANNEL_H_
 #define SRC_CIO_L5_CHANNEL_H_
 
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
 #include "src/base/clock.h"
+#include "src/cio/buffer_pool.h"
+#include "src/cio/session.h"
+#include "src/cio/sqcq.h"
 #include "src/net/stack.h"
 #include "src/tee/compartment.h"
 
 namespace cio {
 
-enum class L5ReceiveMode { kCopy, kRevoke };
+enum class L5ReceiveMode { kCopy, kRevoke, kSealed };
 enum class L5BoundaryKind { kCompartment, kDualTee };
+
+// Messages at or below this use the seal-into-slot fast path (fits the
+// kSqMaxSegments scatter-gather budget with default slots); larger payloads
+// fall back to the streaming path.
+inline constexpr size_t kMaxSqMessageBytes = 24000;
 
 class L5Channel {
  public:
   L5Channel(ciotee::CompartmentManager* compartments,
             ciotee::CompartmentId app, ciotee::CompartmentId io,
             cionet::NetStack* stack, ciobase::CostModel* costs,
-            L5ReceiveMode receive_mode, L5BoundaryKind boundary_kind);
+            L5ReceiveMode receive_mode, L5BoundaryKind boundary_kind,
+            const L5QueueConfig& queues = L5QueueConfig{});
 
   // Connection management: thin crossings into the I/O compartment.
   ciobase::Result<cionet::SocketId> Connect(cionet::Ipv4Address ip,
@@ -60,21 +81,101 @@ class L5Channel {
   ciobase::Result<size_t> SendSpace(cionet::SocketId socket);
   ciobase::Result<cionet::Ipv4Address> Peer(cionet::SocketId socket);
 
-  // Zero-copy send of app bytes (already TLS-protected by the caller —
-  // the channel never sees plaintext semantics, just bytes).
-  ciobase::Result<size_t> Send(cionet::SocketId socket,
-                               ciobase::ByteSpan data);
+  // --- Async datapath --------------------------------------------------------
 
-  // The single receive entry point: fills caller-provided `out` (cleared,
-  // capacity reused across calls) and returns the byte count. Status
-  // conventions follow NetStack::TcpReceive — Ok(0) = nothing available
-  // yet, kFailedPrecondition = orderly EOF, kLinkReset = the connection
-  // died underneath the app.
-  ciobase::Result<size_t> ReceiveInto(cionet::SocketId socket,
-                                      size_t max_bytes, ciobase::Buffer& out);
+  bool queues_ready() const { return queues_ready_; }
+  const L5QueueConfig& queue_config() const { return queues_; }
 
-  // Drives the I/O compartment (stack poll), one crossing per call.
-  // Propagates the stack's link status (kLinkReset / kTimedOut).
+  // Slot budget a message of `payload_bytes` needs through SendInto (record
+  // per fragment, header record first) or the plaintext framing.
+  static uint32_t SlotsForMessage(size_t payload_bytes, bool use_tls,
+                                  uint32_t slot_size);
+
+  // SegmentSink over a reserved run of pool slots: Session::SendInto seals
+  // records straight into registered memory, and SubmitMessage() turns the
+  // written prefixes into one scatter-gather SQ entry.
+  class MessageWriter : public SegmentSink {
+   public:
+    MessageWriter() = default;
+    ciobase::MutableByteSpan NextSpan(size_t min_bytes) override;
+    void Commit(size_t n) override;
+
+   private:
+    friend class L5Channel;
+    L5Channel* channel_ = nullptr;
+    uint32_t socket_ = 0;
+    std::vector<uint16_t> slots_;
+    std::vector<uint32_t> used_;  // bytes written per slot
+    size_t current_ = 0;
+    bool active_ = false;
+  };
+
+  // Reserves SQ space + slots for one message. False means backpressure
+  // (SQ full or pool exhausted) or the message doesn't fit the fast path —
+  // the caller falls back to the streaming path. A successful Begin MUST be
+  // paired with SubmitMessage or AbandonMessage.
+  bool BeginMessage(cionet::SocketId socket, size_t payload_bytes,
+                    bool use_tls, MessageWriter& writer);
+  void SubmitMessage(MessageWriter& writer);
+  void AbandonMessage(MessageWriter& writer);
+
+  // Streaming submission: copies `data` into freshly acquired slots (the
+  // app's one write into registered memory) and queues scatter-gather send
+  // entries. Returns bytes accepted — short on backpressure; the caller
+  // keeps the rest and retries after the next doorbell.
+  ciobase::Result<size_t> SubmitStream(cionet::SocketId socket,
+                                       ciobase::ByteSpan data);
+
+  // Keeps `recv_entries` receive SQEs armed for the socket (slots
+  // permitting) so inbound bytes land in registered slots with no
+  // per-receive round trip.
+  void EnsureRecvArmed(cionet::SocketId socket);
+
+  // THE one crossing of the async path: publishes queued SQEs, drives the
+  // stack, services sends/receives into registered slots, posts CQEs, and
+  // then reaps + validates completions app-side. Returns the link status
+  // (kLinkReset / kTimedOut) or kTampered when a CQ entry fails validation.
+  ciobase::Status Doorbell();
+
+  // A validated receive completion, materialized per the receive mode.
+  struct RecvEvent {
+    enum class Kind { kData, kEof, kReset };
+    Kind kind = Kind::kData;
+    ciobase::Buffer data;
+  };
+  std::optional<RecvEvent> NextEvent(cionet::SocketId socket);
+
+  // Tears down one socket's queue state (armed receives, queued sends,
+  // undelivered events) without disturbing other sockets — the server's
+  // park path. Slots return to the pool; delivery is owned by the session
+  // resend window.
+  void CancelSocket(cionet::SocketId socket);
+
+  // True while this socket still has submitted-but-unreaped send entries —
+  // an orderly close must wait for (or flush) them first.
+  bool HasInFlightSends(cionet::SocketId socket) const;
+
+  // Full ring reset for recovery: bumps the epoch (completions from the old
+  // generation reap as stale, not as tampering), drops every in-flight
+  // entry and returns its slots. The caller replays from the session resend
+  // window once the channel is re-established.
+  void AbandonInFlight();
+
+  // --- One-shot wrappers (the legacy per-message API surface) ---------------
+
+  // Submit-and-doorbell one streaming send. Returns bytes accepted.
+  ciobase::Result<size_t> SendOne(cionet::SocketId socket,
+                                  ciobase::ByteSpan data);
+
+  // Arm, doorbell, and drain this socket's receive events into `out`
+  // (cleared; capacity reused). Status conventions follow the legacy
+  // receive path: Ok(0) = nothing available, kFailedPrecondition = orderly
+  // EOF, kLinkReset = the connection died underneath the app. `max_bytes`
+  // is a hint — slot granularity may return more.
+  ciobase::Result<size_t> ReceiveOne(cionet::SocketId socket,
+                                     size_t max_bytes, ciobase::Buffer& out);
+
+  // Drives the I/O compartment; identical to Doorbell().
   ciobase::Status Poll();
 
   struct Stats {
@@ -83,8 +184,21 @@ class L5Channel {
     uint64_t bytes_received = 0;
     uint64_t receive_copies = 0;
     uint64_t receive_revocations = 0;
+    uint64_t doorbells = 0;
+    uint64_t sq_submitted = 0;
+    uint64_t cq_completions = 0;
+    uint64_t cq_stale_dropped = 0;  // old-epoch completions after recovery
+    uint64_t sq_backpressure = 0;   // SQ-full / pool-empty pushback
+    uint64_t send_failures = 0;     // failed send completions (resend covers)
   };
   const Stats& stats() const { return stats_; }
+
+  // Test hooks: the raw shared region (hostile-host tests scribble CQ
+  // entries through this) and ring bookkeeping.
+  ciobase::MutableByteSpan queue_region_for_test() { return region_; }
+  uint32_t epoch() const { return epoch_; }
+  size_t free_slots() const { return pool_.free_slots(); }
+  size_t in_flight_entries() const { return in_flight_.size(); }
 
  private:
   // RAII crossing: enter the I/O compartment, return to the app.
@@ -97,7 +211,43 @@ class L5Channel {
     L5Channel* channel_;
   };
 
+  struct InFlight {
+    uint8_t op = 0;
+    uint8_t seg_count = 0;
+    uint32_t socket = 0;
+    SqSegment segs[kSqMaxSegments];
+  };
+  struct HeldCqe {
+    uint32_t socket = 0;
+    CqEntry cqe;
+  };
+  struct IoSocketQueues {
+    std::deque<SqEntry> sends;
+    std::deque<SqEntry> recvs;
+  };
+
   void ChargeCrossing();
+  void InitQueues();
+
+  uint8_t* ctrl() { return region_.data(); }
+  ciobase::MutableByteSpan SqeSpan(uint32_t index);
+  ciobase::MutableByteSpan CqeSpan(uint32_t index);
+
+  bool SqFull() const;
+  void SubmitSqe(SqEntry& sqe);
+  void ReleaseEntrySlots(const InFlight& entry);
+
+  // App side: reap + validate CQ entries (no crossing).
+  ciobase::Status Harvest();
+  ciobase::Status ConsumeCqe(const CqEntry& cqe);
+
+  // I/O side (inside a crossing): consume SQEs, service sockets, post CQEs.
+  void IoConsumeSq();
+  void IoService();
+  void IoServiceSends(uint32_t socket, IoSocketQueues& queues);
+  void IoServiceRecvs(uint32_t socket, IoSocketQueues& queues);
+  void PostCqe(uint32_t socket, const CqEntry& cqe);
+  void DrainHeldCqes();
 
   ciotee::CompartmentManager* compartments_;
   ciotee::CompartmentId app_;
@@ -106,7 +256,28 @@ class L5Channel {
   ciobase::CostModel* costs_;
   L5ReceiveMode receive_mode_;
   L5BoundaryKind boundary_kind_;
+  L5QueueConfig queues_;
   Stats stats_;
+
+  bool queues_ready_ = false;
+  ciobase::MutableByteSpan region_;
+  BufferPool pool_;
+
+  // App-private submission/reap state (never trusted from shared memory).
+  uint32_t sq_tail_ = 0;
+  uint32_t sq_consumed_ = 0;  // gate-returned, not read from the region
+  uint32_t cq_head_ = 0;
+  uint32_t epoch_ = 0;
+  uint64_t next_user_data_ = 1;
+  std::map<uint64_t, InFlight> in_flight_;
+  std::map<uint32_t, uint32_t> armed_;  // socket -> armed recv entries
+  std::map<uint32_t, std::deque<RecvEvent>> events_;
+
+  // I/O-compartment-private state.
+  uint32_t io_sq_head_ = 0;
+  uint32_t io_cq_tail_ = 0;
+  std::map<uint32_t, IoSocketQueues> io_queues_;
+  std::deque<HeldCqe> held_cqes_;  // CQ-full backpressure, drained in order
 };
 
 }  // namespace cio

@@ -31,6 +31,19 @@
 
 namespace cio {
 
+// Destination for scatter-gather sends: hands out writable spans of the
+// registered slot pool so Session::SendInto can seal records in place, with
+// no intermediate contiguous staging buffer. NextSpan(min_bytes) returns the
+// remaining room of the current segment, advancing to a fresh one when less
+// than `min_bytes` remain (empty span == sink exhausted); Commit(n) marks
+// the first n bytes of the last NextSpan() result as written.
+class SegmentSink {
+ public:
+  virtual ~SegmentSink() = default;
+  virtual ciobase::MutableByteSpan NextSpan(size_t min_bytes) = 0;
+  virtual void Commit(size_t n) = 0;
+};
+
 class Session {
  public:
   struct Stats {
@@ -67,6 +80,16 @@ class Session {
   // Frames, protects, and queues one message; records it in the resend
   // window. kFailedPrecondition when the channel is not Established().
   ciobase::Status Send(ciobase::ByteSpan payload);
+  // Like Send(), but seals the framed message directly into `sink` segments
+  // (record-per-fragment, packed back to back) instead of outbound_ — the
+  // zero-staging path of the async L5 datapath. Wire format is identical to
+  // Send(): the peer's record reader reassembles across any segmentation.
+  // Returns kResourceExhausted (before consuming a sequence number) when the
+  // sink can't fit even the frame header, so the caller can fall back to the
+  // outbound_ path; once sealing starts the message is committed to the
+  // resend window and any mid-message exhaustion is kInternal (recovery
+  // re-delivers from the window).
+  ciobase::Status SendInto(ciobase::ByteSpan payload, SegmentSink& sink);
   // Next reassembled inbound message, kUnavailable when none.
   ciobase::Result<ciobase::Buffer> Receive();
   bool HasInbound() const { return !inbox_.empty(); }
@@ -100,6 +123,7 @@ class Session {
 
  private:
   ciobase::Status FrameAndQueue(uint64_t seq, ciobase::ByteSpan payload);
+  void PushResendWindow(uint64_t seq, ciobase::ByteSpan payload);
   void PumpTls();  // moves pending TLS output into outbound_
   ciobase::Status ParseFrames();
 

@@ -51,6 +51,13 @@ StackConfig StackConfig::DefaultsFor(StackProfile profile, uint32_t node_id) {
   // Only the dual-boundary design recovers from transient host faults; the
   // baselines keep their historical wedge-on-fault behavior.
   config.recovery.enabled = profile == StackProfile::kDualBoundary;
+  if (profile == StackProfile::kDualBoundary) {
+    // With the async datapath every payload byte is sealed end to end, so
+    // the defensive per-byte receive copies at both layers are redundant
+    // with the AEAD check: harvest in place, snapshot only headers.
+    config.l5_receive = L5ReceiveMode::kSealed;
+    config.l2_sealed_rx = true;
+  }
   return config;
 }
 
@@ -59,6 +66,9 @@ bool StackConfig::Valid() const {
     return false;  // must fit the 10.0.0.x host octet
   }
   if (!recovery.Valid()) {
+    return false;
+  }
+  if (!l5_queue.Valid()) {
     return false;
   }
   const cionet::TcpConnection::Tuning& t = tcp_tuning;

@@ -59,6 +59,16 @@ struct StackConfig {
   ReceiveOwnership l2_rx_ownership = ReceiveOwnership::kCopy;
   bool l2_polling = true;
 
+  // Async L5 datapath: SQ/CQ geometry + sealed-buffer pool.
+  L5QueueConfig l5_queue;
+  // Latency mode: doorbell immediately after each submitted message instead
+  // of batching until the next poll round — trades peak throughput for p99.
+  bool l5_latency_mode = false;
+  // Sealed L2 receive: charge only a header snapshot per frame instead of a
+  // defensive payload copy — sound when every payload byte is authenticated
+  // by the L5 AEAD layer before parsing (the dual-boundary default).
+  bool l2_sealed_rx = false;
+
   // Guest (and, for the syscall profile, host-proxy) TCP stack tuning. The
   // recovery campaign shrinks the RTO so retransmit-driven catch-up fits in
   // a simulated fault window.

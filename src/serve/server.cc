@@ -122,6 +122,11 @@ void ConfidentialServer::AcceptPending() {
 }
 
 void ConfidentialServer::ParkConnection(Connection& conn) {
+  if (cio::L5Channel* l5 = node_->l5(); l5 != nullptr) {
+    // Retire this socket's SQ/CQ state (queued entries, undelivered events,
+    // registered slots) without disturbing the other connections' rings.
+    l5->CancelSocket(conn.socket);
+  }
   (void)sockets_->Abort(conn.socket);
   if (conn.session != nullptr && node_->config().recovery.enabled &&
       conn.state != ConnState::kDraining) {
@@ -198,13 +203,23 @@ void ConfidentialServer::FlushOutbound() {
   // deficit lasts, so a hot client cannot monopolize the transport's batch
   // slots. Draining connections flush here too, then FIN.
   const size_t deficit_cap = config_.drr_quantum_bytes * 8;
+  // Async egress: each connection's slice goes into the submission queue
+  // (sealed bytes copied into registered slots, no boundary crossing), and
+  // ONE doorbell after the loop carries the whole round's batch. Profiles
+  // without the async datapath fall back to the per-call socket layer.
+  cio::L5Channel* l5 = node_->l5();
+  const bool async = l5 != nullptr && l5->queues_ready();
+  bool submitted = false;
   for (auto& [id, conn] : connections_) {
     if (conn.state == ConnState::kClosed || conn.session == nullptr) {
       continue;
     }
     if (!conn.session->HasOutbound()) {
       conn.drr_deficit = 0;  // not backlogged: no credit hoarding
-      if (conn.state == ConnState::kDraining) {
+      if (conn.state == ConnState::kDraining &&
+          !(async && l5->HasInFlightSends(conn.socket))) {
+        // Async egress: "no session backlog" is not "flushed" — wait until
+        // the SQ has no entries left for this socket before the FIN.
         (void)sockets_->Close(conn.socket);
         conn.session.reset();
         conn.state = ConnState::kClosed;
@@ -216,8 +231,9 @@ void ConfidentialServer::FlushOutbound() {
     while (conn.session->HasOutbound() && conn.drr_deficit > 0) {
       const ciobase::Buffer& pending = conn.session->outbound();
       size_t want = std::min(pending.size(), conn.drr_deficit);
-      auto sent = sockets_->SendBytes(
-          conn.socket, ciobase::ByteSpan(pending.data(), want));
+      ciobase::ByteSpan slice(pending.data(), want);
+      auto sent = async ? l5->SubmitStream(conn.socket, slice)
+                        : sockets_->SendBytes(conn.socket, slice);
       if (!sent.ok()) {
         ParkConnection(conn);
         break;
@@ -225,15 +241,23 @@ void ConfidentialServer::FlushOutbound() {
       if (*sent == 0) {
         break;  // transport backpressure: keep the deficit for next round
       }
+      submitted = true;
       conn.session->ConsumeOutbound(*sent);
       conn.drr_deficit -= *sent;
     }
     if (conn.state == ConnState::kDraining && conn.session != nullptr &&
-        !conn.session->HasOutbound()) {
+        !conn.session->HasOutbound() &&
+        !(async && l5->HasInFlightSends(conn.socket))) {
       (void)sockets_->Close(conn.socket);
       conn.session.reset();
       conn.state = ConnState::kClosed;
     }
+  }
+  if (async && submitted) {
+    // A tampered completion here is surfaced again by the next receive
+    // poll, which parks the affected connection; the doorbell itself only
+    // needs to push the batch.
+    (void)l5->Doorbell();
   }
 }
 

@@ -212,12 +212,14 @@ ciobase::Status VirtioNetDriver::ResetAndReattach() {
 
 size_t VirtioNetDriver::ReapTxCompletions() {
   size_t reaped = 0;
-  // Bound the loop: an index-storming host can claim absurd pending counts.
-  for (uint16_t i = 0; i < layout_.tx.queue_size; ++i) {
-    std::optional<UsedElem> elem = tx_.PopUsed(hardening_.single_fetch);
-    if (!elem.has_value()) {
-      break;
-    }
+  // One read of the shared used index covers every pending completion
+  // (PopUsedMany bounds the claim to the queue size internally); each entry
+  // still goes through the per-completion validation below verbatim.
+  tx_used_scratch_.clear();
+  size_t popped = tx_.PopUsedMany(hardening_.single_fetch,
+                                  layout_.tx.queue_size, tx_used_scratch_);
+  for (size_t k = 0; k < popped; ++k) {
+    const UsedElem* elem = &tx_used_scratch_[k];
     uint16_t id = static_cast<uint16_t>(elem->id);
     auto it = tx_outstanding_.find(id);
     if (it == tx_outstanding_.end()) {

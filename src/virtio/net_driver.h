@@ -134,6 +134,9 @@ class VirtioNetDriver final : public cionet::FramePort {
   std::map<uint16_t, uint64_t> rx_outstanding_;
   // Reused across ReceiveFrames calls (zero-allocation steady state).
   std::vector<UsedElem> used_scratch_;
+  // Separate scratch for TX reaping: ReapTxCompletions runs inside
+  // ReceiveFrames while used_scratch_ still holds the RX batch.
+  std::vector<UsedElem> tx_used_scratch_;
   Stats stats_;
 };
 

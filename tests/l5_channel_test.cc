@@ -1,7 +1,8 @@
-// Tests for the L5 single-distrust channel: trusted-component-allocates
-// semantics, zero-copy send, copy vs revoke receive, ownership transfer
-// (compartment revocation), boundary-kind cost accounting, and the
-// grant-matrix direction (app may touch I/O memory, never vice versa).
+// Tests for the L5 single-distrust channel and its async SQ/CQ datapath:
+// trusted-component-allocates semantics, zero-copy submission through the
+// registered slot pool, copy vs revoke vs sealed receive accounting at
+// harvest time, boundary-kind cost accounting, and the grant-matrix
+// direction (app may touch I/O memory, never vice versa).
 
 #include <gtest/gtest.h>
 
@@ -61,7 +62,7 @@ struct L5World {
     cionet::SocketId server{};
     for (int i = 0; i < 1000; ++i) {
       peer_stack->Poll();
-      l5->Poll();
+      (void)l5->Poll();
       clock.Advance(5'000);
       auto accepted = l5->Accept(*listener);
       if (accepted.ok()) {
@@ -80,10 +81,10 @@ struct L5World {
     }
   }
 
-  // Test sugar over the single ReceiveInto entry point.
+  // Test sugar over the submit-and-reap ReceiveOne entry point.
   ciobase::Result<Buffer> Receive(cionet::SocketId socket, size_t max_bytes) {
     Buffer out;
-    auto got = l5->ReceiveInto(socket, max_bytes, out);
+    auto got = l5->ReceiveOne(socket, max_bytes, out);
     if (!got.ok()) {
       return got.status();
     }
@@ -91,17 +92,26 @@ struct L5World {
   }
 };
 
-TEST(L5Channel, SendIsZeroCopyThroughIoHeap) {
+TEST(L5Channel, QueuesComeUpWithDefaultGeometry) {
+  L5World world;
+  EXPECT_TRUE(world.l5->queues_ready());
+  EXPECT_EQ(world.l5->queue_config().sq_entries, 64u);
+  EXPECT_EQ(world.l5->free_slots(), world.l5->queue_config().pool_slots);
+}
+
+TEST(L5Channel, SendIsZeroCopyThroughRegisteredSlots) {
   L5World world;
   auto [server, client] = world.Establish();
   Buffer data = BufferFromString("through the io heap");
   uint64_t copies_before = world.costs.counter("bytes_copied");
-  auto sent = world.l5->Send(server, data);
+  auto sent = world.l5->SendOne(server, data);
   ASSERT_TRUE(sent.ok());
   EXPECT_EQ(*sent, data.size());
-  // No boundary copy was charged on send (the stack consumed the app's
-  // io-heap buffer in place).
+  // No boundary copy was charged on send: the payload went into a
+  // pre-registered pool slot the stack consumes in place.
   EXPECT_EQ(world.costs.counter("bytes_copied"), copies_before);
+  EXPECT_GE(world.l5->stats().sq_submitted, 1u);
+  EXPECT_GE(world.l5->stats().doorbells, 1u);
   world.Pump();
   uint8_t buf[64];
   auto got = world.peer_stack->TcpReceive(client, buf);
@@ -110,7 +120,7 @@ TEST(L5Channel, SendIsZeroCopyThroughIoHeap) {
             "through the io heap");
 }
 
-TEST(L5Channel, CopyReceiveChargesCopy) {
+TEST(L5Channel, CopyReceiveChargesCopyAtHarvest) {
   L5World world(L5ReceiveMode::kCopy);
   auto [server, client] = world.Establish();
   ASSERT_TRUE(
@@ -137,6 +147,24 @@ TEST(L5Channel, RevokeReceiveChargesPagesAndTransfersOwnership) {
   EXPECT_EQ(world.l5->stats().receive_revocations, 1u);
 }
 
+TEST(L5Channel, SealedReceiveChargesNeitherCopiesNorPages) {
+  L5World world(L5ReceiveMode::kSealed);
+  auto [server, client] = world.Establish();
+  ASSERT_TRUE(
+      world.peer_stack->TcpSend(client, BufferFromString("payload")).ok());
+  world.Pump();
+  uint64_t copies_before = world.costs.counter("bytes_copied");
+  uint64_t pages_before = world.costs.counter("pages_unshared");
+  auto received = world.Receive(server, 64);
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(ciobase::StringFromBytes(*received), "payload");
+  // Sealed payloads are authenticated above this layer; harvest is free.
+  EXPECT_EQ(world.costs.counter("bytes_copied"), copies_before);
+  EXPECT_EQ(world.costs.counter("pages_unshared"), pages_before);
+  EXPECT_EQ(world.l5->stats().receive_copies, 0u);
+  EXPECT_EQ(world.l5->stats().receive_revocations, 0u);
+}
+
 TEST(L5Channel, EmptyReceiveReturnsEmptyBuffer) {
   L5World world;
   auto [server, client] = world.Establish();
@@ -151,19 +179,43 @@ TEST(L5Channel, CrossingsAreCountedAndCharged) {
   auto [server, client] = world.Establish();
   (void)client;
   uint64_t before = world.l5->stats().crossings;
-  (void)world.l5->Send(server, BufferFromString("x"));
+  (void)world.l5->SendOne(server, BufferFromString("x"));
   (void)world.Receive(server, 16);
-  world.l5->Poll();
+  (void)world.l5->Poll();
   EXPECT_GE(world.l5->stats().crossings, before + 3);
   EXPECT_GT(world.costs.counter("compartment_switches"), 0u);
   EXPECT_EQ(world.costs.counter("tee_switches"), 0u);
+}
+
+TEST(L5Channel, BatchedSubmissionSharesOneDoorbell) {
+  // The point of the SQ: N messages submitted back to back cross the
+  // boundary once, not N times.
+  L5World world;
+  auto [server, client] = world.Establish();
+  (void)client;
+  uint64_t crossings_before = world.l5->stats().crossings;
+  Buffer payload(512, 0xab);
+  for (int i = 0; i < 8; ++i) {
+    L5Channel::MessageWriter writer;
+    ASSERT_TRUE(
+        world.l5->BeginMessage(server, payload.size(), false, writer));
+    ciobase::MutableByteSpan span = writer.NextSpan(payload.size());
+    ASSERT_GE(span.size(), payload.size());
+    std::copy(payload.begin(), payload.end(), span.begin());
+    writer.Commit(payload.size());
+    world.l5->SubmitMessage(writer);
+  }
+  EXPECT_EQ(world.l5->stats().crossings, crossings_before);  // no crossing yet
+  ASSERT_TRUE(world.l5->Doorbell().ok());
+  EXPECT_EQ(world.l5->stats().crossings, crossings_before + 1);
+  EXPECT_GE(world.l5->stats().sq_submitted, 8u);
 }
 
 TEST(L5Channel, DualTeeBoundaryChargesTeeSwitches) {
   L5World world(L5ReceiveMode::kCopy, L5BoundaryKind::kDualTee);
   auto [server, client] = world.Establish();
   (void)client;
-  (void)world.l5->Send(server, BufferFromString("x"));
+  (void)world.l5->SendOne(server, BufferFromString("x"));
   EXPECT_GT(world.costs.counter("tee_switches"), 0u);
 }
 
@@ -190,9 +242,22 @@ TEST(L5Channel, OwnershipTransferRevokesOldOwner) {
   EXPECT_TRUE(world.compartments.Access(world.app, *handle).ok());
 }
 
-TEST(L5Channel, ManyTransfersDoNotExhaustHeaps) {
-  // Regression test for the bump-allocator reclamation: sustained traffic
-  // must not run the io heap out of memory.
+TEST(L5Channel, SlotsForMessageMatchesWriterConsumption) {
+  // The public estimate and the writer must agree, or BeginMessage would
+  // reserve the wrong number of slots.
+  for (size_t payload : {size_t{1}, size_t{100}, size_t{4096}, size_t{9000},
+                         size_t{16384}, size_t{24000}}) {
+    size_t plain = L5Channel::SlotsForMessage(payload, false, 4096);
+    EXPECT_EQ(plain, (12 + payload + 4095) / 4096) << payload;
+    size_t tls = L5Channel::SlotsForMessage(payload, true, 4096);
+    EXPECT_GE(tls, plain) << payload;
+    EXPECT_LE(tls, 8u) << payload;
+  }
+}
+
+TEST(L5Channel, ManyMessagesDoNotExhaustHeaps) {
+  // Regression test: the queue region and slot pool are allocated once; a
+  // sustained stream must recycle slots instead of growing the io heap.
   L5World world;
   auto [server, client] = world.Establish();
   ciobase::Rng rng(9);
@@ -204,6 +269,9 @@ TEST(L5Channel, ManyTransfersDoNotExhaustHeaps) {
     ASSERT_TRUE(received.ok()) << "iteration " << i << ": "
                                << received.status().ToString();
   }
+  EXPECT_EQ(world.l5->free_slots() + world.l5->in_flight_entries() *
+                                         world.l5->queue_config().recv_segments,
+            world.l5->queue_config().pool_slots);
 }
 
 }  // namespace

@@ -1,0 +1,544 @@
+// Tests for the io_uring-style SQ/CQ datapath itself: entry codecs and
+// geometry validation, SQ-full / pool-exhaustion backpressure, CQ-overflow
+// spill (held completions drain in order, nothing lost), out-of-order
+// reaping across sockets, hostile-host CQ scribbling (duplicate, stale,
+// garbage entries surface as typed Status — never memory errors), and
+// exactly-once delivery when the link dies with a batch in flight.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/cio/engine.h"
+#include "src/cio/l5_channel.h"
+#include "src/cio/sqcq.h"
+#include "src/net/fabric.h"
+
+namespace {
+
+using ciobase::Buffer;
+using ciobase::BufferFromString;
+using namespace cio;  // NOLINT: test file
+
+// --- Codecs and geometry -----------------------------------------------------
+
+TEST(Sqcq, SqeRoundTripsAllFields) {
+  SqEntry in;
+  in.op = kSqOpSend;
+  in.seg_count = 3;
+  in.socket = 0xDEADBEEF;
+  in.user_data = 0x1122334455667788ull;
+  for (size_t i = 0; i < 3; ++i) {
+    in.segs[i].slot = static_cast<uint16_t>(100 + i);
+    in.segs[i].len = static_cast<uint32_t>(1000 + i);
+  }
+  uint8_t raw[kSqeSize];
+  EncodeSqe(in, ciobase::MutableByteSpan(raw, sizeof raw));
+  SqEntry out = DecodeSqe(ciobase::ByteSpan(raw, sizeof raw));
+  EXPECT_EQ(out.op, in.op);
+  EXPECT_EQ(out.seg_count, in.seg_count);
+  EXPECT_EQ(out.socket, in.socket);
+  EXPECT_EQ(out.user_data, in.user_data);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(out.segs[i].slot, in.segs[i].slot);
+    EXPECT_EQ(out.segs[i].len, in.segs[i].len);
+  }
+}
+
+TEST(Sqcq, CqeRoundTripsAndDecodeClampsSegCount) {
+  CqEntry in;
+  in.op = kSqOpRecv;
+  in.seg_count = 2;
+  in.code = kCqEof;
+  in.result = 4096;
+  in.user_data = 42;
+  in.epoch = 7;
+  in.seg_len[0] = 4000;
+  in.seg_len[1] = 96;
+  uint8_t raw[kCqeSize];
+  EncodeCqe(in, ciobase::MutableByteSpan(raw, sizeof raw));
+  CqEntry out = DecodeCqe(ciobase::ByteSpan(raw, sizeof raw));
+  EXPECT_EQ(out.op, in.op);
+  EXPECT_EQ(out.seg_count, in.seg_count);
+  EXPECT_EQ(out.code, in.code);
+  EXPECT_EQ(out.result, in.result);
+  EXPECT_EQ(out.user_data, in.user_data);
+  EXPECT_EQ(out.epoch, in.epoch);
+  EXPECT_EQ(out.seg_len[0], 4000u);
+  EXPECT_EQ(out.seg_len[1], 96u);
+
+  // A host-scribbled seg_count cannot direct reads past the fixed arrays.
+  raw[1] = 0xFF;
+  EXPECT_EQ(DecodeCqe(ciobase::ByteSpan(raw, sizeof raw)).seg_count,
+            kSqMaxSegments);
+}
+
+TEST(Sqcq, QueueConfigValidation) {
+  L5QueueConfig config;
+  EXPECT_TRUE(config.Valid());
+
+  L5QueueConfig bad = config;
+  bad.sq_entries = 48;  // not a power of two
+  EXPECT_FALSE(bad.Valid());
+  bad = config;
+  bad.cq_entries = 1;
+  EXPECT_FALSE(bad.Valid());
+  bad = config;
+  bad.pool_slots = kSqMaxSegments - 1;  // one full message must fit
+  EXPECT_FALSE(bad.Valid());
+  bad = config;
+  bad.slot_size = 128;
+  EXPECT_FALSE(bad.Valid());
+  bad = config;
+  bad.recv_segments = kSqMaxSegments + 1;
+  EXPECT_FALSE(bad.Valid());
+
+  // The region layout is consistent: control, SQ, CQ, pool, in that order.
+  EXPECT_EQ(config.SqOffset(), kSqcqControlBytes);
+  EXPECT_EQ(config.CqOffset(), config.SqOffset() + config.sq_entries * kSqeSize);
+  EXPECT_EQ(config.TotalBytes(),
+            config.PoolOffset() +
+                static_cast<size_t>(config.pool_slots) * config.slot_size);
+}
+
+// --- Fixture -----------------------------------------------------------------
+
+// An L5 world with a configurable queue geometry: a NetStack in the "io"
+// compartment talking over a direct fabric to a plain peer stack.
+struct SqcqWorld {
+  ciobase::SimClock clock;
+  ciobase::CostModel costs{&clock};
+  cionet::Fabric fabric{&clock, 47};
+  cionet::DirectFabricPort port_io{&fabric, "io",
+                                   cionet::MacAddress::FromId(1)};
+  cionet::DirectFabricPort port_peer{&fabric, "peer",
+                                     cionet::MacAddress::FromId(2)};
+  std::unique_ptr<cionet::NetStack> io_stack;
+  std::unique_ptr<cionet::NetStack> peer_stack;
+  ciotee::CompartmentManager compartments{&costs};
+  ciotee::CompartmentId app = compartments.Create("app", 1 << 20);
+  ciotee::CompartmentId io = compartments.Create("io", 1 << 20);
+  std::unique_ptr<L5Channel> l5;
+  cionet::SocketId listener{};
+
+  explicit SqcqWorld(const L5QueueConfig& queues = L5QueueConfig{},
+                     L5ReceiveMode mode = L5ReceiveMode::kCopy) {
+    cionet::NetStack::Config config_io;
+    config_io.ip = cionet::Ipv4Address::FromOctets(10, 0, 0, 1);
+    cionet::NetStack::Config config_peer;
+    config_peer.ip = cionet::Ipv4Address::FromOctets(10, 0, 0, 2);
+    config_peer.seed = 9;
+    io_stack = std::make_unique<cionet::NetStack>(&port_io, &clock,
+                                                  config_io);
+    peer_stack = std::make_unique<cionet::NetStack>(&port_peer, &clock,
+                                                    config_peer);
+    compartments.GrantAccess(app, io);
+    l5 = std::make_unique<L5Channel>(&compartments, app, io, io_stack.get(),
+                                     &costs, mode,
+                                     L5BoundaryKind::kCompartment, queues);
+    auto listening = l5->Listen(80);
+    EXPECT_TRUE(listening.ok());
+    listener = *listening;
+  }
+
+  // One accepted connection; returns (l5-side socket, peer-side socket).
+  std::pair<cionet::SocketId, cionet::SocketId> Establish() {
+    auto client = peer_stack->TcpConnect(
+        cionet::Ipv4Address::FromOctets(10, 0, 0, 1), 80);
+    EXPECT_TRUE(client.ok());
+    cionet::SocketId server{};
+    for (int i = 0; i < 1000; ++i) {
+      peer_stack->Poll();
+      (void)l5->Poll();
+      clock.Advance(5'000);
+      auto accepted = l5->Accept(listener);
+      if (accepted.ok()) {
+        server = *accepted;
+        break;
+      }
+    }
+    return {server, *client};
+  }
+
+  void Pump(int rounds = 50) {
+    for (int i = 0; i < rounds; ++i) {
+      peer_stack->Poll();
+      (void)l5->Poll();
+      clock.Advance(5'000);
+    }
+  }
+
+  // Seals `payload` into pool slots and queues the SQ entry (no doorbell).
+  bool QueuePlain(cionet::SocketId socket, const Buffer& payload) {
+    L5Channel::MessageWriter writer;
+    if (!l5->BeginMessage(socket, payload.size(), /*use_tls=*/false, writer)) {
+      return false;
+    }
+    size_t written = 0;
+    while (written < payload.size()) {
+      ciobase::MutableByteSpan span = writer.NextSpan(1);
+      if (span.empty()) {
+        l5->AbandonMessage(writer);
+        return false;
+      }
+      size_t n = std::min(span.size(), payload.size() - written);
+      std::memcpy(span.data(), payload.data() + written, n);
+      writer.Commit(n);
+      written += n;
+    }
+    l5->SubmitMessage(writer);
+    return true;
+  }
+
+  // Hostile host: write a CQ entry at the published tail and advance it.
+  void ScribbleCqe(const CqEntry& cqe) {
+    ciobase::MutableByteSpan region = l5->queue_region_for_test();
+    const L5QueueConfig& config = l5->queue_config();
+    uint32_t tail = ciobase::LoadLe32(region.data() + kCtrlCqTail);
+    uint32_t masked = tail & (config.cq_entries - 1);
+    EncodeCqe(cqe, region.subspan(config.CqOffset() + masked * kCqeSize,
+                                  kCqeSize));
+    ciobase::StoreLe32(region.data() + kCtrlCqTail, tail + 1);
+  }
+};
+
+// --- Backpressure ------------------------------------------------------------
+
+TEST(Sqcq, SqFullBackpressuresAndRecoversAfterDoorbell) {
+  L5QueueConfig tiny;
+  tiny.sq_entries = 2;
+  tiny.cq_entries = 4;
+  tiny.pool_slots = 16;
+  tiny.slot_size = 512;
+  SqcqWorld world(tiny);
+  auto [server, client] = world.Establish();
+  Buffer payload = BufferFromString("small");
+
+  EXPECT_TRUE(world.QueuePlain(server, payload));
+  EXPECT_TRUE(world.QueuePlain(server, payload));
+  // Ring full until a doorbell hands the consumed count back through the
+  // call gate.
+  EXPECT_FALSE(world.QueuePlain(server, payload));
+  EXPECT_GE(world.l5->stats().sq_backpressure, 1u);
+
+  EXPECT_NE(world.l5->Doorbell().code(), ciobase::StatusCode::kTampered);
+  EXPECT_TRUE(world.QueuePlain(server, payload));
+  world.Pump();
+  EXPECT_EQ(world.l5->in_flight_entries(), 0u);
+}
+
+TEST(Sqcq, PoolExhaustionBackpressuresUntilCompletionsReturnSlots) {
+  L5QueueConfig tiny;
+  tiny.sq_entries = 16;
+  tiny.cq_entries = 16;
+  tiny.pool_slots = 8;  // exactly one max-fan-out message
+  tiny.slot_size = 256;
+  SqcqWorld world(tiny);
+  auto [server, client] = world.Establish();
+  ciobase::Rng rng(3);
+  Buffer big = rng.Bytes(1500);  // 12B framing + 1500B -> 6 of 8 slots
+
+  uint64_t backpressure_before = world.l5->stats().sq_backpressure;
+  EXPECT_TRUE(world.QueuePlain(server, big));
+  EXPECT_EQ(world.l5->free_slots(), 2u);
+  EXPECT_FALSE(world.QueuePlain(server, big));
+  EXPECT_GT(world.l5->stats().sq_backpressure, backpressure_before);
+
+  // Completions hand the slots back; the same message then fits.
+  world.Pump();
+  EXPECT_EQ(world.l5->free_slots(), tiny.pool_slots);
+  EXPECT_TRUE(world.QueuePlain(server, big));
+  world.Pump();
+  EXPECT_EQ(world.l5->free_slots(), tiny.pool_slots);
+}
+
+// --- CQ overflow spill -------------------------------------------------------
+
+TEST(Sqcq, CqOverflowSpillsAndDrainsInOrderWithoutLoss) {
+  L5QueueConfig tiny;
+  tiny.sq_entries = 16;
+  tiny.cq_entries = 4;  // half the batch must spill to held completions
+  tiny.pool_slots = 16;
+  tiny.slot_size = 512;
+  SqcqWorld world(tiny);
+  auto [server, client] = world.Establish();
+
+  std::string all;
+  for (int i = 0; i < 8; ++i) {
+    std::string piece = "piece-" + std::to_string(i) + ";";
+    ASSERT_TRUE(world.QueuePlain(server, BufferFromString(piece)));
+    all += piece;
+  }
+  ASSERT_EQ(world.l5->in_flight_entries(), 8u);
+
+  // One doorbell services all eight sends but can only post a CQ window's
+  // worth; the rest are held io-side and drain on later doorbells.
+  EXPECT_NE(world.l5->Doorbell().code(), ciobase::StatusCode::kTampered);
+  EXPECT_EQ(world.l5->stats().cq_completions, 4u);
+  EXPECT_EQ(world.l5->in_flight_entries(), 4u);
+  world.Pump();
+  EXPECT_EQ(world.l5->stats().cq_completions, 8u);
+  EXPECT_EQ(world.l5->in_flight_entries(), 0u);
+  EXPECT_EQ(world.l5->free_slots(), tiny.pool_slots);
+
+  // Every byte arrived, in submission order.
+  std::string received;
+  uint8_t buf[256];
+  for (int i = 0; i < 50 && received.size() < all.size(); ++i) {
+    auto got = world.peer_stack->TcpReceive(client, buf);
+    if (got.ok() && *got > 0) {
+      received.append(reinterpret_cast<const char*>(buf), *got);
+    }
+    world.Pump(2);
+  }
+  EXPECT_EQ(received, all);
+}
+
+// --- Out-of-order reaping ----------------------------------------------------
+
+TEST(Sqcq, CompletionsReapOutOfSubmissionOrderAcrossSockets) {
+  SqcqWorld world;
+  auto [server_a, client_a] = world.Establish();
+  auto [server_b, client_b] = world.Establish();
+  ASSERT_NE(server_a.value, server_b.value);
+
+  // Submit to the later socket FIRST: the I/O side services sockets in id
+  // order, so completions post in the opposite order from submission and
+  // the reaper must match them by user_data, not position.
+  Buffer for_b = BufferFromString("second socket, first submit");
+  Buffer for_a = BufferFromString("first socket, second submit");
+  ASSERT_TRUE(world.QueuePlain(server_b, for_b));
+  ASSERT_TRUE(world.QueuePlain(server_a, for_a));
+  EXPECT_NE(world.l5->Doorbell().code(), ciobase::StatusCode::kTampered);
+  world.Pump();
+  EXPECT_EQ(world.l5->in_flight_entries(), 0u);
+
+  uint8_t buf[64];
+  auto got_a = world.peer_stack->TcpReceive(client_a, buf);
+  ASSERT_TRUE(got_a.ok());
+  EXPECT_EQ(ciobase::StringFromBytes(ciobase::ByteSpan(buf, *got_a)),
+            "first socket, second submit");
+  auto got_b = world.peer_stack->TcpReceive(client_b, buf);
+  ASSERT_TRUE(got_b.ok());
+  EXPECT_EQ(ciobase::StringFromBytes(ciobase::ByteSpan(buf, *got_b)),
+            "second socket, first submit");
+}
+
+// --- Hostile-host CQ scribbling ---------------------------------------------
+
+TEST(Sqcq, DuplicateCompletionIsTampering) {
+  SqcqWorld world;
+  auto [server, client] = world.Establish();
+  ASSERT_TRUE(world.l5->SendOne(server, BufferFromString("once")).ok());
+  world.Pump();
+  ASSERT_EQ(world.l5->in_flight_entries(), 0u);
+
+  // Replay the already-reaped completion (user_data 1, current epoch).
+  CqEntry replay;
+  replay.op = kSqOpSend;
+  replay.seg_count = 0;
+  replay.code = kCqOk;
+  replay.result = 0;
+  replay.user_data = 1;
+  replay.epoch = world.l5->epoch();
+  world.ScribbleCqe(replay);
+  EXPECT_EQ(world.l5->Poll().code(), ciobase::StatusCode::kTampered);
+}
+
+TEST(Sqcq, StaleEpochCompletionIsDroppedNotFatal) {
+  SqcqWorld world;
+  auto [server, client] = world.Establish();
+  ASSERT_TRUE(world.l5->SendOne(server, BufferFromString("pre-reset")).ok());
+  world.Pump();
+
+  // Ring reset (recovery path): the old generation may still owe
+  // completions; they must reap as recovery noise, not as an attack.
+  world.l5->AbandonInFlight();
+  EXPECT_EQ(world.l5->epoch(), 1u);
+  CqEntry old_epoch;
+  old_epoch.op = kSqOpSend;
+  old_epoch.code = kCqOk;
+  old_epoch.user_data = 1;
+  old_epoch.epoch = 0;
+  world.ScribbleCqe(old_epoch);
+  EXPECT_NE(world.l5->Poll().code(), ciobase::StatusCode::kTampered);
+  EXPECT_GE(world.l5->stats().cq_stale_dropped, 1u);
+}
+
+TEST(Sqcq, GarbageCompletionEntryIsTampering) {
+  SqcqWorld world;
+  (void)world.Establish();
+
+  CqEntry garbage;
+  uint8_t raw[kCqeSize];
+  std::memset(raw, 0xA5, sizeof raw);
+  garbage = DecodeCqe(ciobase::ByteSpan(raw, sizeof raw));
+  garbage.epoch = world.l5->epoch();  // survives the stale filter...
+  world.ScribbleCqe(garbage);
+  // ...and dies on the shadow check: no such user_data was ever submitted.
+  EXPECT_EQ(world.l5->Poll().code(), ciobase::StatusCode::kTampered);
+}
+
+TEST(Sqcq, CompletionFieldMismatchesAreTampering) {
+  // Arm receive entries (no inbound data, so they stay in flight as known
+  // user_data values), then forge completions that contradict the shadow.
+  SqcqWorld world;
+  auto [server, client] = world.Establish();
+  Buffer sink;
+  auto got = world.l5->ReceiveOne(server, 4096, sink);
+  ASSERT_TRUE(got.ok());
+  ASSERT_GT(world.l5->in_flight_entries(), 0u);
+  const L5QueueConfig& config = world.l5->queue_config();
+
+  {
+    // Opcode flip: recv submitted, send completed.
+    CqEntry forged;
+    forged.op = kSqOpSend;
+    forged.user_data = 1;
+    forged.epoch = world.l5->epoch();
+    world.ScribbleCqe(forged);
+    EXPECT_EQ(world.l5->Poll().code(), ciobase::StatusCode::kTampered);
+  }
+  {
+    // Length exceeding what was submitted for the segment.
+    SqcqWorld fresh;
+    auto [fs, fc] = fresh.Establish();
+    Buffer fresh_sink;
+    ASSERT_TRUE(fresh.l5->ReceiveOne(fs, 4096, fresh_sink).ok());
+    CqEntry forged;
+    forged.op = kSqOpRecv;
+    forged.seg_count = 1;
+    forged.user_data = 1;
+    forged.epoch = fresh.l5->epoch();
+    forged.seg_len[0] = config.slot_size + 1;
+    forged.result = config.slot_size + 1;
+    fresh.ScribbleCqe(forged);
+    EXPECT_EQ(fresh.l5->Poll().code(), ciobase::StatusCode::kTampered);
+  }
+  {
+    // Result not matching the per-segment sum.
+    SqcqWorld fresh;
+    auto [fs, fc] = fresh.Establish();
+    Buffer fresh_sink;
+    ASSERT_TRUE(fresh.l5->ReceiveOne(fs, 4096, fresh_sink).ok());
+    CqEntry forged;
+    forged.op = kSqOpRecv;
+    forged.seg_count = 1;
+    forged.user_data = 1;
+    forged.epoch = fresh.l5->epoch();
+    forged.seg_len[0] = 100;
+    forged.result = 101;
+    fresh.ScribbleCqe(forged);
+    EXPECT_EQ(fresh.l5->Poll().code(), ciobase::StatusCode::kTampered);
+  }
+  {
+    // Unknown completion code.
+    SqcqWorld fresh;
+    auto [fs, fc] = fresh.Establish();
+    Buffer fresh_sink;
+    ASSERT_TRUE(fresh.l5->ReceiveOne(fs, 4096, fresh_sink).ok());
+    CqEntry forged;
+    forged.op = kSqOpRecv;
+    forged.user_data = 1;
+    forged.epoch = fresh.l5->epoch();
+    forged.code = kCqReset + 1;
+    fresh.ScribbleCqe(forged);
+    EXPECT_EQ(fresh.l5->Poll().code(), ciobase::StatusCode::kTampered);
+  }
+}
+
+TEST(Sqcq, CqTailOutsideRingWindowIsTampering) {
+  SqcqWorld world;
+  (void)world.Establish();
+  ciobase::MutableByteSpan region = world.l5->queue_region_for_test();
+  // A runaway tail would walk the reaper through the whole ring of dead
+  // entries forever; the window check rejects it before any decode.
+  ciobase::StoreLe32(region.data() + kCtrlCqTail,
+                     world.l5->queue_config().cq_entries + 7);
+  EXPECT_EQ(world.l5->Poll().code(), ciobase::StatusCode::kTampered);
+}
+
+// --- Exactly-once across a mid-batch link kill ------------------------------
+
+TEST(Sqcq, KillLinkMidBatchDeliversExactlyOnce) {
+  StackConfig client = StackConfig::DefaultsFor(StackProfile::kDualBoundary, 1);
+  client.seed = 6101;
+  client.tcp_tuning.initial_rto_ns = 1'000'000;
+  client.tcp_tuning.min_rto_ns = 500'000;
+  client.tcp_tuning.max_rto_ns = 4'000'000;
+  client.tcp_tuning.max_retries = 4;
+  StackConfig server = client;
+  server.node_id = 2;
+  server.seed = 6102;
+  LinkedPair pair(client, server);
+  ASSERT_TRUE(pair.Establish());
+
+  std::vector<std::string> sent;
+  std::vector<std::string> received;
+  auto drain = [&] {
+    for (;;) {
+      auto message = pair.server->ReceiveMessage();
+      if (!message.ok()) {
+        break;
+      }
+      received.emplace_back(reinterpret_cast<const char*>(message->data()),
+                            message->size());
+    }
+  };
+  // Bursts of four: each burst lands back to back in the submission queue
+  // and shares a doorbell, so the fault window catches whole batches in
+  // flight, not single messages.
+  auto offer_burst = [&](int burst_id) {
+    for (int round = 0; round < 30000; ++round) {
+      if (pair.client->Ready()) {
+        int accepted = 0;
+        for (int i = 0; i < 4; ++i) {
+          std::string payload =
+              "burst-" + std::to_string(burst_id) + "-msg-" + std::to_string(i);
+          if (!pair.client->SendMessage(BufferFromString(payload)).ok()) {
+            break;
+          }
+          sent.push_back(payload);
+          ++accepted;
+        }
+        if (accepted == 4) {
+          return true;
+        }
+      }
+      pair.Pump();
+      drain();
+    }
+    return false;
+  };
+
+  ASSERT_TRUE(offer_burst(0));
+  // Kill the link past the TCP retry budget with a batch just submitted:
+  // recovery must reset the ring epoch and replay from the resend window.
+  pair.client->adversary().InjectFault(
+      {ciohost::FaultStrategy::kLinkKill, pair.clock.now_ns(), 12'000'000});
+  ASSERT_TRUE(offer_burst(1));
+  ASSERT_TRUE(offer_burst(2));
+  ASSERT_TRUE(offer_burst(3));
+
+  ASSERT_TRUE(pair.PumpUntil(
+      [&] {
+        drain();
+        return received.size() >= sent.size() && pair.client->Ready() &&
+               !pair.client->Failed() && !pair.server->Failed();
+      },
+      60000));
+
+  // Exactly once, in order: no losses, no duplicates, no reordering.
+  EXPECT_EQ(received, sent);
+  const auto& stats = pair.client->recovery_stats();
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_EQ(stats.messages_lost, 0u);
+  EXPECT_EQ(pair.server->recovery_stats().messages_lost, 0u);
+  EXPECT_TRUE(pair.client->memory().violations().empty());
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Diff a freshly generated BENCH_*.json against the committed baseline.
+
+Rows are matched by their identity fields (profile / mode / msg_size /
+layer / access / ...), then each performance metric is compared with a
+percentage tolerance, direction-aware: throughput-like metrics may not drop
+below baseline * (1 - tol), latency-like metrics may not rise above
+baseline * (1 + tol). The modeled clock makes the benchmarks deterministic,
+so any drift past the tolerance is a real datapath change, not noise.
+
+Usage: check_bench.py <baseline.json> <fresh.json> [--tolerance 0.10]
+Exit code 0 = within tolerance, 1 = regression (or shape mismatch).
+"""
+
+import argparse
+import json
+import sys
+
+IDENTITY_FIELDS = {
+    "profile", "mode", "msg_size", "layer", "access",
+    "clients", "messages_per_client", "strategy",
+}
+# Higher is better: a fresh value below baseline * (1 - tol) fails.
+HIGHER_BETTER_SUFFIXES = ("_per_sec", "gbit_per_sec", "fairness")
+# Lower is better: a fresh value above baseline * (1 + tol) fails.
+LOWER_BETTER_SUFFIXES = ("_us", "_ns")
+# Hard invariants: compared exactly, no tolerance.
+EXACT_FIELDS = {"ok", "lost"}
+# Bookkeeping counters that legitimately move between revisions.
+IGNORED_FIELDS = {"recovered", "rejected_admission", "fault_events"}
+
+
+def row_key(row):
+    return tuple(sorted(
+        (k, v) for k, v in row.items() if k in IDENTITY_FIELDS))
+
+
+def classify(field):
+    if field in EXACT_FIELDS:
+        return "exact"
+    if field in IGNORED_FIELDS or field in IDENTITY_FIELDS:
+        return "ignore"
+    if field.endswith(LOWER_BETTER_SUFFIXES):
+        return "lower"
+    if field.endswith(HIGHER_BETTER_SUFFIXES) or field == "fairness":
+        return "higher"
+    return "ignore"
+
+
+def compare(baseline, fresh, tolerance):
+    fresh_by_key = {row_key(r): r for r in fresh}
+    failures = []
+    for base_row in baseline:
+        key = row_key(base_row)
+        label = " ".join(str(v) for _, v in key)
+        fresh_row = fresh_by_key.get(key)
+        if fresh_row is None:
+            failures.append(f"missing row: {label}")
+            continue
+        if not base_row.get("ok", True):
+            continue  # the baseline never completed this cell; nothing to hold
+        for field, base_value in base_row.items():
+            kind = classify(field)
+            if kind == "ignore":
+                continue
+            fresh_value = fresh_row.get(field)
+            if fresh_value is None:
+                failures.append(f"{label}: field {field} disappeared")
+                continue
+            if kind == "exact":
+                if fresh_value != base_value:
+                    failures.append(
+                        f"{label}: {field} was {base_value}, now {fresh_value}")
+                continue
+            if base_value == 0:
+                continue  # unmeasured in the baseline; nothing to compare
+            ratio = fresh_value / base_value
+            if kind == "higher" and ratio < 1.0 - tolerance:
+                failures.append(
+                    f"{label}: {field} dropped {(1.0 - ratio) * 100:.1f}% "
+                    f"({base_value} -> {fresh_value})")
+            elif kind == "lower" and ratio > 1.0 + tolerance:
+                failures.append(
+                    f"{label}: {field} rose {(ratio - 1.0) * 100:.1f}% "
+                    f"({base_value} -> {fresh_value})")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative drift allowed per metric (default 0.10)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.fresh) as f:
+        fresh = json.load(f)
+
+    failures = compare(baseline, fresh, args.tolerance)
+    name = args.baseline
+    if failures:
+        print(f"{name}: {len(failures)} regression(s) past "
+              f"{args.tolerance * 100:.0f}% tolerance:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"{name}: {len(baseline)} rows within "
+          f"{args.tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,24 +1,54 @@
 #!/usr/bin/env bash
-# Builds the benchmarks and records the throughput trajectory for this
+# Builds the benchmarks and records the performance trajectory for this
 # revision: bench_throughput's table goes to stdout and its JSON form is
-# written to BENCH_throughput.json at the repo root, so successive revisions
-# can be diffed cell by cell.
+# written to BENCH_throughput.json at the repo root (likewise blockio and
+# server load), so successive revisions can be diffed cell by cell.
 #
-# Usage: tools/run_bench.sh [build-dir]   (default: build)
+# Usage:
+#   tools/run_bench.sh [build-dir]          regenerate the committed baselines
+#   tools/run_bench.sh --check [build-dir]  run fresh, diff against the
+#                                           committed baselines with a
+#                                           percentage tolerance, exit
+#                                           non-zero on regression (CI gate)
+#
+# BENCH_TOLERANCE overrides the allowed relative drift (default 0.10).
 
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+check_mode=0
+if [[ "${1:-}" == "--check" ]]; then
+  check_mode=1
+  shift
+fi
 build_dir="${1:-$repo_root/build}"
+tolerance="${BENCH_TOLERANCE:-0.10}"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" --target bench_throughput bench_crypto \
   bench_blockio bench_server_load -j >/dev/null
 
-"$build_dir/bench/bench_throughput" --json "$repo_root/BENCH_throughput.json"
+out_dir="$repo_root"
+if [[ "$check_mode" == 1 ]]; then
+  out_dir="$(mktemp -d)"
+  trap 'rm -rf "$out_dir"' EXIT
+fi
+
+"$build_dir/bench/bench_throughput" --json "$out_dir/BENCH_throughput.json"
 echo
 "$build_dir/bench/bench_crypto"
 echo
-"$build_dir/bench/bench_blockio" --json "$repo_root/BENCH_blockio.json"
+"$build_dir/bench/bench_blockio" --json "$out_dir/BENCH_blockio.json"
 echo
-"$build_dir/bench/bench_server_load" --json "$repo_root/BENCH_server.json"
+"$build_dir/bench/bench_server_load" --json "$out_dir/BENCH_server.json"
+
+if [[ "$check_mode" == 1 ]]; then
+  echo
+  status=0
+  for name in BENCH_throughput BENCH_blockio BENCH_server; do
+    python3 "$repo_root/tools/check_bench.py" \
+      "$repo_root/$name.json" "$out_dir/$name.json" \
+      --tolerance "$tolerance" || status=1
+  done
+  exit "$status"
+fi
