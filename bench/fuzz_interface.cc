@@ -1,0 +1,153 @@
+// CLI for the coverage-guided host-interface fuzzer (src/fuzz).
+//
+// Modes:
+//   (default)        seeded campaign; prints the report table
+//   --smoke          CI gate: fixed seed, 10k iterations across every
+//                    target, exit 1 unless zero gated failures AND strictly
+//                    more coverage with mutation than without
+//   --replay FILE    re-execute one serialized repro; exit 0 iff the
+//                    recorded failure reproduces
+//
+// Flags: --seed N, --iters N, --rounds N, --target NAME, --out DIR,
+// --json, --verbose. Exit codes: 0 pass/reproduced, 1 gate failed or
+// failure did not reproduce, 2 usage error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/fuzz/fuzzer.h"
+
+namespace {
+
+void PrintReport(const ciofuzz::FuzzReport& report, bool json) {
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"iterations\": %zu,\n", report.iterations_run);
+    std::printf("  \"corpus_size\": %zu,\n", report.corpus_size);
+    std::printf("  \"baseline_edges\": %zu,\n", report.baseline_edges);
+    std::printf("  \"mutated_edges\": %zu,\n", report.mutated_edges);
+    std::printf("  \"coverage_hash\": \"%016llx\",\n",
+                static_cast<unsigned long long>(report.coverage_hash));
+    std::printf("  \"trace_hash\": \"%016llx\",\n",
+                static_cast<unsigned long long>(report.trace_hash));
+    std::printf("  \"baseline_incomplete\": %zu,\n",
+                report.baseline_incomplete);
+    std::printf("  \"expected_vulns\": %zu,\n", report.expected_vulns);
+    std::printf("  \"failures\": [\n");
+    for (size_t i = 0; i < report.failures.size(); ++i) {
+      const ciofuzz::FuzzFailure& failure = report.failures[i];
+      std::printf(
+          "    {\"target\": \"%s\", \"kind\": \"%s\", \"iteration\": %zu, "
+          "\"repro\": \"%s\"}%s\n",
+          failure.target.c_str(), failure.kind.c_str(), failure.iteration,
+          failure.repro_path.c_str(),
+          i + 1 < report.failures.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"passed\": %s\n", report.Passed() ? "true" : "false");
+    std::printf("}\n");
+    return;
+  }
+  std::printf("cio-fuzz: %zu iterations, corpus %zu\n", report.iterations_run,
+              report.corpus_size);
+  std::printf("  coverage: baseline %zu edges -> mutated %zu edges (%s)\n",
+              report.baseline_edges, report.mutated_edges,
+              report.mutated_edges > report.baseline_edges
+                  ? "mutation adds coverage"
+                  : "NO coverage gain from mutation");
+  std::printf("  hashes: coverage=%016llx trace=%016llx\n",
+              static_cast<unsigned long long>(report.coverage_hash),
+              static_cast<unsigned long long>(report.trace_hash));
+  if (report.baseline_incomplete > 0) {
+    std::printf("  BASELINE INCOMPLETE: %zu unmutated runs did not finish\n",
+                report.baseline_incomplete);
+  }
+  if (report.expected_vulns > 0) {
+    std::printf(
+        "  expected vulnerabilities: %zu memory violations on unhardened "
+        "profiles (the reproduced CVE class; not gating)\n",
+        report.expected_vulns);
+  }
+  for (const ciofuzz::FuzzFailure& failure : report.failures) {
+    std::printf("  FAILURE [%s] %s at iteration %zu: %s%s%s\n",
+                failure.target.c_str(), failure.kind.c_str(),
+                failure.iteration, failure.note.c_str(),
+                failure.repro_path.empty() ? "" : " repro=",
+                failure.repro_path.c_str());
+  }
+  if (report.failures.empty()) {
+    std::printf("  no gated failures\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ciofuzz::FuzzOptions options;
+  bool smoke = false;
+  bool json = false;
+  std::string replay_path;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--iters") {
+      options.iterations = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--rounds") {
+      options.run.pump_rounds =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--target") {
+      options.only_target = next();
+    } else if (arg == "--out") {
+      options.out_dir = next();
+    } else if (arg == "--replay") {
+      replay_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) {
+    ciofuzz::RunResult result;
+    std::string error;
+    if (!ciofuzz::Fuzzer::Replay(replay_path, &result, &error)) {
+      std::fprintf(stderr, "replay error: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("replay: %s%s completed=%d steps=%zu non_ok_edges=%zu %s\n",
+                result.gated ? "GATED " : "clean ",
+                result.gated ? result.kind.c_str() : "",
+                result.completed ? 1 : 0, result.steps_applied,
+                result.non_ok_edges, result.note.c_str());
+    return result.gated ? 0 : 1;  // a repro that reproduces exits 0
+  }
+
+  if (smoke) {
+    options.seed = 42;
+    if (options.iterations == 1000) {  // not overridden
+      options.iterations = 10000;
+    }
+  }
+  options.run.seed = options.seed;
+
+  ciofuzz::Fuzzer fuzzer(options);
+  ciofuzz::FuzzReport report = fuzzer.Run();
+  PrintReport(report, json);
+  return report.Passed() ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+#include "src/base/coverage.h"
+
+#include <algorithm>
+
+namespace ciobase {
+
+CoverageMap& CoverageMap::Instance() {
+  static CoverageMap instance;
+  return instance;
+}
+
+uint16_t CoverageMap::RegisterSite(const char* name) {
+  auto it = site_ids_.find(name);
+  if (it != site_ids_.end()) {
+    return it->second;
+  }
+  uint16_t id = static_cast<uint16_t>(site_names_.size());
+  site_ids_.emplace(name, id);
+  site_names_.emplace_back(name);
+  hits_.resize(site_names_.size() * kCodeSlots, 0);
+  return id;
+}
+
+void CoverageMap::Hit(uint16_t site, uint16_t code) {
+  if (site >= site_names_.size()) {
+    return;
+  }
+  if (code >= kCodeSlots) {
+    code = kCodeSlots - 1;
+  }
+  ++hits_[static_cast<size_t>(site) * kCodeSlots + code];
+  ++total_hits_;
+}
+
+size_t CoverageMap::DistinctEdges() const {
+  size_t edges = 0;
+  for (uint64_t count : hits_) {
+    if (count > 0) {
+      ++edges;
+    }
+  }
+  return edges;
+}
+
+void CoverageMap::ResetHits() {
+  std::fill(hits_.begin(), hits_.end(), 0);
+  total_hits_ = 0;
+}
+
+std::vector<CoverageMap::Edge> CoverageMap::Edges() const {
+  // site_ids_ iterates in name order, giving a stable, name-sorted listing.
+  std::vector<Edge> edges;
+  for (const auto& [name, id] : site_ids_) {
+    for (uint16_t code = 0; code < kCodeSlots; ++code) {
+      uint64_t count = hits_[static_cast<size_t>(id) * kCodeSlots + code];
+      if (count > 0) {
+        edges.push_back({name, code, count});
+      }
+    }
+  }
+  return edges;
+}
+
+uint64_t CoverageMap::EdgeHash() const {
+  uint64_t hash = 14695981039346656037ULL;
+  auto mix = [&hash](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xff;
+      hash *= 1099511628211ULL;
+    }
+  };
+  for (const Edge& edge : Edges()) {
+    for (char c : edge.site) {
+      hash ^= static_cast<uint8_t>(c);
+      hash *= 1099511628211ULL;
+    }
+    mix(edge.code);
+    mix(edge.hits);
+  }
+  return hash;
+}
+
+std::string CoverageMap::Summary() const {
+  return "edges=" + std::to_string(DistinctEdges()) +
+         " sites=" + std::to_string(SiteCount()) +
+         " hits=" + std::to_string(TotalHits());
+}
+
+}  // namespace ciobase

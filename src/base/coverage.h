@@ -1,0 +1,102 @@
+// CoverageMap: lightweight probe instrumentation for the guest drivers.
+//
+// The coverage-guided fuzzer (src/fuzz) needs a feedback signal that says
+// "this hostile input made the guest take a validation path it never took
+// before". Branch coverage of the whole binary would be overkill (and
+// non-deterministic across build configs), so we instrument exactly the
+// decision points that matter for interface hardening: every place a guest
+// driver classifies host behavior — a completion accepted, a length clamped,
+// an id rejected, a watchdog fired — drops a CIO_COV(site, code) probe.
+//
+// An *edge* is a (probe-site, status-code) pair: the same site returning
+// kOk and kTampered are two different edges, so an input that makes a
+// previously-happy check fail (or a previously-failing check pass) counts
+// as new coverage. Sites are identified by stable string names, so coverage
+// reports and corpus metadata survive across processes and builds.
+//
+// The map is a process-global singleton: the simulation is single-threaded
+// by construction, probes are two array indexations, and the fuzzer resets
+// hit counts between runs while site registration persists for the process
+// lifetime (ids are handed out once per call site via a static local).
+
+#ifndef SRC_BASE_COVERAGE_H_
+#define SRC_BASE_COVERAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace ciobase {
+
+class CoverageMap {
+ public:
+  // One slot per StatusCode (15 today) with room to grow; codes at or above
+  // the cap are clamped into the last slot rather than dropped.
+  static constexpr uint16_t kCodeSlots = 16;
+
+  static CoverageMap& Instance();
+
+  // Registers (or looks up) a probe site by name. Stable: the same name
+  // always maps to the same id within a process.
+  uint16_t RegisterSite(const char* name);
+
+  void Hit(uint16_t site, uint16_t code);
+
+  // Distinct (site, code) edges observed since the last ResetHits().
+  size_t DistinctEdges() const;
+  uint64_t TotalHits() const { return total_hits_; }
+  size_t SiteCount() const { return site_names_.size(); }
+
+  // Zeroes every hit count; registered sites (and their ids) persist.
+  void ResetHits();
+
+  struct Edge {
+    std::string site;
+    uint16_t code = 0;
+    uint64_t hits = 0;
+  };
+  // Every hit edge, sorted by site name then code (stable across runs).
+  std::vector<Edge> Edges() const;
+
+  // FNV-1a hash over the sorted (site, code, hits) triples: two runs with
+  // identical coverage produce identical hashes. The fuzz determinism gate
+  // compares these.
+  uint64_t EdgeHash() const;
+
+  // Human-readable "edges=N sites=M hits=K".
+  std::string Summary() const;
+
+ private:
+  CoverageMap() = default;
+
+  std::map<std::string, uint16_t> site_ids_;
+  std::vector<std::string> site_names_;
+  std::vector<uint64_t> hits_;  // site * kCodeSlots + code
+  uint64_t total_hits_ = 0;
+};
+
+inline uint16_t CoverageCode(StatusCode code) {
+  return static_cast<uint16_t>(code);
+}
+inline uint16_t CoverageCode(const Status& status) {
+  return static_cast<uint16_t>(status.code());
+}
+inline uint16_t CoverageCode(uint16_t code) { return code; }
+inline uint16_t CoverageCode(int code) { return static_cast<uint16_t>(code); }
+
+// Records edge (site, code). `site` must be a string literal (stable name);
+// `code` may be a StatusCode, Status, or small integer.
+#define CIO_COV(site, code)                                              \
+  do {                                                                   \
+    static const uint16_t cio_cov_site_id_ =                             \
+        ::ciobase::CoverageMap::Instance().RegisterSite(site);           \
+    ::ciobase::CoverageMap::Instance().Hit(cio_cov_site_id_,             \
+                                           ::ciobase::CoverageCode(code)); \
+  } while (0)
+
+}  // namespace ciobase
+
+#endif  // SRC_BASE_COVERAGE_H_

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/base/bits.h"
+#include "src/base/coverage.h"
 
 namespace cioblock {
 
@@ -99,6 +100,7 @@ void RingBlockClient::ResetRing() {
     if (last_boot_ != 0) {
       needs_remount_ = true;
       ++stats_.host_restarts;
+      CIO_COV("block.boot_count_changed", ciobase::StatusCode::kLinkReset);
     }
     last_boot_ = boot;
   }
@@ -138,16 +140,22 @@ ciobase::Result<ciobase::Buffer> RingBlockClient::Reap(uint32_t expected_len) {
       uint32_t len = ciobase::LoadLe32(raw.data() + 4);
       if (len > expected_len) {
         ++stats_.clamped_completions;
+        CIO_COV("block.reap.len_clamped", ciobase::StatusCode::kOutOfRange);
         len = expected_len;
       }
       if (status != 0) {
         ++stats_.failed_completions;
+        CIO_COV("block.reap.device_failure",
+                ciobase::StatusCode::kHostViolation);
         return ciobase::HostViolation("device reported failure");
       }
+      CIO_COV("block.reap.completion", ciobase::StatusCode::kOk);
       return ciobase::Buffer(raw.begin() + 32, raw.begin() + 32 + len);
     }
     if (!coherent) {
       ++stats_.incoherent_counters;
+      CIO_COV("block.reap.incoherent_counter",
+              ciobase::StatusCode::kHostViolation);
     }
     if (!recovery_.enabled) {
       if (++spins >= 1024) {
@@ -160,8 +168,10 @@ ciobase::Result<ciobase::Buffer> RingBlockClient::Reap(uint32_t expected_len) {
     if (watchdog_.Expired(now)) {
       ++stats_.watchdog_fires;
       if (watchdog_.Exhausted()) {
+        CIO_COV("block.watchdog", ciobase::StatusCode::kTimedOut);
         return ciobase::TimedOut("block device dead: reset budget spent");
       }
+      CIO_COV("block.watchdog", ciobase::StatusCode::kLinkReset);
       ResetRing();
       watchdog_.NoteReset(costs_->clock()->now_ns());
       return ciobase::LinkReset("block ring reset");
@@ -338,7 +348,10 @@ void HostBlockDevice::Poll() {
       Faulted(ciohost::FaultStrategy::kLinkKill)) {
     return;
   }
-  for (;;) {
+  // Per-poll budget: SubmitProduced is guest-written shared memory; a fuzzed
+  // value must not spin the device model unboundedly in one poll. An honest
+  // guest never has more than one ring of submissions outstanding.
+  for (uint64_t budget = 0; budget < layout_.slots; ++budget) {
     uint64_t produced = region_->HostReadLe64(layout_.SubmitProduced());
     if (submit_consumed_ >= produced) {
       break;

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/base/coverage.h"
+
 namespace cioblock {
 
 // Stored block layout: [generation u64][sealed_len u32][ciphertext || tag].
@@ -90,11 +92,13 @@ ciobase::Buffer EncryptedBlockClient::SealStored(
 ciobase::Result<ciobase::Buffer> EncryptedBlockClient::OpenStored(
     uint64_t lba, uint64_t generation, ciobase::ByteSpan stored) const {
   if (stored.size() < kOverhead) {
+    CIO_COV("crypt.open.truncated", ciobase::StatusCode::kTampered);
     return ciobase::Tampered("stored block truncated");
   }
   uint32_t sealed_len = ciobase::LoadLe32(stored.data() + 8);
   if (sealed_len < ciocrypto::kAeadTagSize ||
       12 + static_cast<size_t>(sealed_len) > stored.size()) {
+    CIO_COV("crypt.open.length_forged", ciobase::StatusCode::kTampered);
     return ciobase::Tampered("stored block length forged");
   }
   uint8_t aad[20];
@@ -108,8 +112,10 @@ ciobase::Result<ciobase::Buffer> EncryptedBlockClient::OpenStored(
       key_, NonceFor(lba, generation), aad,
       ciobase::ByteSpan(stored.data() + 12, sealed_len));
   if (!opened.ok()) {
+    CIO_COV("crypt.open.auth_failed", ciobase::StatusCode::kTampered);
     return ciobase::Tampered("block authentication failed");
   }
+  CIO_COV("crypt.open.ok", ciobase::StatusCode::kOk);
   return opened;
 }
 

@@ -103,7 +103,11 @@ ciobase::Buffer L2HostDevice::ReadTxFrame(uint64_t index) {
 }
 
 void L2HostDevice::DrainTx() {
-  for (;;) {
+  // Per-poll budget: TxProduced is guest-written but lives in shared memory,
+  // so a fuzzed/hostile value (e.g. UINT64_MAX) must not spin this loop for
+  // an unbounded number of iterations. One ring's worth per poll is all an
+  // honest guest can ever have outstanding.
+  for (uint64_t budget = 0; budget < layout_.slots; ++budget) {
     uint64_t produced = region_->HostReadLe64(layout_.TxProduced());
     if (tx_consumed_ >= produced) {
       break;

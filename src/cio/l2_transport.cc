@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/base/coverage.h"
+
 namespace cio {
 
 // --- L2Config ----------------------------------------------------------------
@@ -205,6 +207,7 @@ void L2Transport::ReceiveInlineInto(uint64_t index, ciobase::Buffer& out) {
   uint32_t capacity = config_.SlotPayloadCapacity();
   if (len > capacity) {
     ++stats_.rx_clamped_len;
+    CIO_COV("l2.rx.len_clamped", ciobase::StatusCode::kOutOfRange);
     len = capacity;
   }
   out.assign(slot.begin() + kL2SlotHeaderSize,
@@ -219,6 +222,7 @@ void L2Transport::ReceivePoolInto(uint64_t index, ciobase::Buffer& out) {
   uint32_t offset = ciobase::LoadLe32(header + 4);
   if (len > config_.slot_size) {
     ++stats_.rx_clamped_len;
+    CIO_COV("l2.rx.len_clamped", ciobase::StatusCode::kOutOfRange);
     len = static_cast<uint32_t>(config_.slot_size);
   }
   // Masking, not checking: whatever `offset` says, the access lands inside
@@ -305,6 +309,7 @@ ciobase::Result<size_t> L2Transport::ReceiveFrames(cionet::FrameBatch& batch,
   bool rx_coherent = pending <= layout_.slots;
   if (pending != 0 && !rx_coherent) {
     ++stats_.rx_incoherent;
+    CIO_COV("l2.rx.incoherent_counter", ciobase::StatusCode::kHostViolation);
     if (!recovery_.enabled) {
       // Seed behavior: clamp a stormed claim to the ring size and keep
       // draining (the garbage slots are dropped by validation); treat a
@@ -324,9 +329,11 @@ ciobase::Result<size_t> L2Transport::ReceiveFrames(cionet::FrameBatch& batch,
     ++rx_consumed_;
     if (out.empty()) {
       ++stats_.rx_dropped_empty;
+      CIO_COV("l2.rx.dropped_empty", ciobase::StatusCode::kUnavailable);
       batch.DropLast();
     } else {
       ++stats_.frames_received;
+      CIO_COV("l2.rx.frame", ciobase::StatusCode::kOk);
     }
   }
   if (take > 0) {
@@ -347,8 +354,10 @@ ciobase::Result<size_t> L2Transport::ReceiveFrames(cionet::FrameBatch& batch,
     if (watchdog_.Expired(now_ns)) {
       ++stats_.watchdog_fires;
       if (watchdog_.Exhausted()) {
+        CIO_COV("l2.watchdog", ciobase::StatusCode::kTimedOut);
         return ciobase::TimedOut("l2 link: reset budget exhausted");
       }
+      CIO_COV("l2.watchdog", ciobase::StatusCode::kLinkReset);
       CIO_RETURN_IF_ERROR(ResetRing());
       watchdog_.NoteReset(now_ns);
       return ciobase::LinkReset("l2 ring reset");

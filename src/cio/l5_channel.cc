@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/base/coverage.h"
 #include "src/tls/record.h"
 
 namespace cio {
@@ -222,6 +223,7 @@ bool L5Channel::BeginMessage(cionet::SocketId socket, size_t payload_bytes,
   }
   if (SqFull() || pool_.free_slots() < needed) {
     ++stats_.sq_backpressure;
+    CIO_COV("l5.sq.backpressure", ciobase::StatusCode::kResourceExhausted);
     return false;
   }
   writer.channel_ = this;
@@ -389,6 +391,7 @@ void L5Channel::IoConsumeSq() {
   if (tail - io_sq_head_ > queues_.sq_entries) {
     // Host-scribbled tail: clamp to one ring's worth; garbage entries
     // decode to ops on unknown sockets and complete as resets.
+    CIO_COV("l5.sq.runaway_tail", ciobase::StatusCode::kOutOfRange);
     tail = io_sq_head_ + queues_.sq_entries;
   }
   while (io_sq_head_ != tail) {
@@ -530,7 +533,13 @@ void L5Channel::PostCqe(uint32_t socket, const CqEntry& cqe) {
   uint32_t head = ciobase::LoadLe32(ctrl() + kCtrlCqHead);
   uint32_t used = io_cq_tail_ - head;
   if (used > queues_.cq_entries) {
-    used = queues_.cq_entries;  // hostile head: treat the ring as full
+    // Hostile head: an honest app can only publish a head inside
+    // [io_cq_tail_ - cq_entries, io_cq_tail_]. Treat the ring as full (the
+    // completion is held, nothing dropped) and surface the forgery as a
+    // typed edge; the app re-asserts its true head every Harvest, so the
+    // wedge heals at the next doorbell.
+    CIO_COV("l5.cq.incoherent_head", ciobase::StatusCode::kOutOfRange);
+    used = queues_.cq_entries;
   }
   if (used >= queues_.cq_entries) {
     // CQ overflow backpressure: hold the completion io-side, in order, and
@@ -548,6 +557,7 @@ void L5Channel::DrainHeldCqes() {
     uint32_t head = ciobase::LoadLe32(ctrl() + kCtrlCqHead);
     uint32_t used = io_cq_tail_ - head;
     if (used > queues_.cq_entries) {
+      CIO_COV("l5.cq.incoherent_head", ciobase::StatusCode::kOutOfRange);
       used = queues_.cq_entries;
     }
     if (used >= queues_.cq_entries) {
@@ -563,8 +573,15 @@ void L5Channel::DrainHeldCqes() {
 // --- App-side reaping -------------------------------------------------------
 
 ciobase::Status L5Channel::Harvest() {
+  // Self-healing counters: re-assert the app-owned cells from private state
+  // every reap. A host that scribbles CqHead or Epoch can wedge at most one
+  // doorbell interval — the next Harvest restores the truth and any held
+  // completions drain.
+  ciobase::StoreLe32(ctrl() + kCtrlCqHead, cq_head_);
+  ciobase::StoreLe32(ctrl() + kCtrlEpoch, epoch_);
   uint32_t tail = ciobase::LoadLe32(ctrl() + kCtrlCqTail);
   if (tail - cq_head_ > queues_.cq_entries) {
+    CIO_COV("l5.cq.runaway_tail", ciobase::StatusCode::kTampered);
     return ciobase::Tampered("cq tail outside ring window");
   }
   while (cq_head_ != tail) {
@@ -582,34 +599,42 @@ ciobase::Status L5Channel::ConsumeCqe(const CqEntry& cqe) {
     // abandoned into the resend window, so this is recovery noise, not an
     // attack.
     ++stats_.cq_stale_dropped;
+    CIO_COV("l5.cq.stale_epoch", ciobase::StatusCode::kUnavailable);
     return ciobase::OkStatus();
   }
   auto it = in_flight_.find(cqe.user_data);
   if (it == in_flight_.end()) {
+    CIO_COV("l5.cq.unknown_user_data", ciobase::StatusCode::kTampered);
     return ciobase::Tampered("unknown or duplicated completion");
   }
   const InFlight entry = it->second;
   if (cqe.op != entry.op) {
+    CIO_COV("l5.cq.opcode_mismatch", ciobase::StatusCode::kTampered);
     return ciobase::Tampered("completion opcode mismatch");
   }
   if (cqe.code > kCqReset) {
+    CIO_COV("l5.cq.unknown_code", ciobase::StatusCode::kTampered);
     return ciobase::Tampered("unknown completion code");
   }
   if (cqe.seg_count > entry.seg_count) {
+    CIO_COV("l5.cq.segment_overflow", ciobase::StatusCode::kTampered);
     return ciobase::Tampered("completion segment overflow");
   }
   uint64_t sum = 0;
   for (size_t i = 0; i < cqe.seg_count; ++i) {
     if (cqe.seg_len[i] > entry.segs[i].len) {
+      CIO_COV("l5.cq.length_overflow", ciobase::StatusCode::kTampered);
       return ciobase::Tampered("completion length exceeds submission");
     }
     sum += cqe.seg_len[i];
   }
   if (cqe.result != sum) {
+    CIO_COV("l5.cq.result_mismatch", ciobase::StatusCode::kTampered);
     return ciobase::Tampered("completion result/length mismatch");
   }
   in_flight_.erase(it);
   ++stats_.cq_completions;
+  CIO_COV("l5.cq.completion", ciobase::StatusCode::kOk);
   if (entry.op == kSqOpSend) {
     ReleaseEntrySlots(entry);
     if (cqe.code != kCqOk) {

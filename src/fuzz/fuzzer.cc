@@ -1,0 +1,242 @@
+#include "src/fuzz/fuzzer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "src/base/coverage.h"
+
+namespace ciofuzz {
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+void FnvMix(uint64_t& hash, ciobase::ByteSpan bytes) {
+  for (uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= kFnvPrime;
+  }
+}
+
+void FnvMixString(uint64_t& hash, std::string_view text) {
+  FnvMix(hash, ciobase::ByteSpan(
+                    reinterpret_cast<const uint8_t*>(text.data()),
+                    text.size()));
+}
+
+using EdgeKey = std::pair<std::string, uint16_t>;
+
+// Folds this run's coverage into the campaign-wide union edge set.
+void AccumulateEdges(std::set<EdgeKey>& into) {
+  for (const ciobase::CoverageMap::Edge& edge :
+       ciobase::CoverageMap::Instance().Edges()) {
+    into.insert({edge.site, edge.code});
+  }
+}
+
+uint64_t HashEdgeSet(const std::set<EdgeKey>& edges) {
+  uint64_t hash = kFnvOffset;
+  for (const EdgeKey& edge : edges) {
+    FnvMixString(hash, edge.first);
+    uint8_t code[2];
+    ciobase::StoreLe16(code, edge.second);
+    FnvMix(hash, code);
+  }
+  return hash;
+}
+
+}  // namespace
+
+Fuzzer::Fuzzer(FuzzOptions options) : options_(std::move(options)) {
+  for (auto& target : AllFuzzTargets()) {
+    if (options_.only_target.empty() ||
+        target->name() == options_.only_target) {
+      targets_.push_back(std::move(target));
+    }
+  }
+}
+
+std::string Fuzzer::ReproText(const FuzzFailure& failure,
+                              const FuzzOptions& options) {
+  std::ostringstream text;
+  text << "# cio-fuzz repro\n";
+  text << "target=" << failure.target << "\n";
+  text << "seed=" << options.run.seed << "\n";
+  text << "messages=" << options.run.messages << "\n";
+  text << "message_size=" << options.run.message_size << "\n";
+  text << "pump_rounds=" << options.run.pump_rounds << "\n";
+  text << "failure=" << failure.kind << "\n";
+  text << "# " << failure.note << "\n";
+  text << failure.input.Serialize();
+  return text.str();
+}
+
+FuzzReport Fuzzer::Run() {
+  FuzzReport report;
+  if (targets_.empty()) {
+    return report;
+  }
+  Mutator mutator(options_.seed);
+  std::set<EdgeKey> baseline_edges;
+  std::set<EdgeKey> union_edges;
+  uint64_t trace_hash = kFnvOffset;
+
+  // Baseline: one unmutated run per target. Establishes the no-mutation
+  // edge set and proves the scripted workloads complete on a friendly host.
+  for (auto& target : targets_) {
+    TargetOptions run = options_.run;
+    run.seed = options_.seed;
+    RunResult result = target->Run(FuzzInput{}, mutator, run);
+    AccumulateEdges(baseline_edges);
+    AccumulateEdges(union_edges);
+    if (!result.completed || result.gated) {
+      ++report.baseline_incomplete;
+      FuzzFailure failure;
+      failure.target = std::string(target->name());
+      failure.kind = result.gated ? result.kind : "baseline-incomplete";
+      failure.note = "unmutated baseline: " + result.note;
+      report.failures.push_back(std::move(failure));
+    }
+  }
+  report.baseline_edges = baseline_edges.size();
+
+  for (size_t i = 0; i < options_.iterations; ++i) {
+    FuzzTarget& target = *targets_[i % targets_.size()];
+    std::string target_name(target.name());
+    std::vector<TargetWindow> specs = target.WindowSpecs();
+    std::vector<CorpusEntry>& corpus = corpus_[target_name];
+
+    FuzzInput input;
+    if (!corpus.empty() && mutator.rng().NextBool(0.7)) {
+      const CorpusEntry& base =
+          corpus[mutator.rng().NextBounded(corpus.size())];
+      input = mutator.Mutate(base.input, specs, options_.run.pump_rounds);
+    } else {
+      input = mutator.Generate(specs, options_.run.pump_rounds,
+                               options_.max_steps);
+    }
+
+    FnvMixString(trace_hash, target_name);
+    FnvMixString(trace_hash, input.Serialize());
+
+    TargetOptions run = options_.run;
+    run.seed = options_.seed;
+    auto started = std::chrono::steady_clock::now();
+    RunResult result = target.Run(input, mutator, run);
+    ++report.iterations_run;
+    if (options_.verbose) {
+      auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - started)
+                            .count();
+      if (elapsed_ms > 50) {
+        std::fprintf(stderr, "fuzz: slow iteration %zu (%s): %lld ms\n%s",
+                     i, target_name.c_str(),
+                     static_cast<long long>(elapsed_ms),
+                     input.Serialize().c_str());
+      }
+    }
+
+    size_t before = union_edges.size();
+    AccumulateEdges(union_edges);
+    if (union_edges.size() > before) {
+      corpus.push_back(CorpusEntry{input});
+      if (corpus.size() > options_.corpus_limit) {
+        corpus.erase(corpus.begin());
+      }
+    }
+
+    if (result.gated && target.expect_vulnerable() &&
+        result.kind == "memory-violation") {
+      // The deliberately-unhardened stacks reproducing their CVE class:
+      // count it (the smoke run asserts this DOES happen) without failing.
+      ++report.expected_vulns;
+    } else if (result.gated) {
+      FuzzFailure failure;
+      failure.target = target_name;
+      failure.kind = result.kind;
+      failure.note = result.note;
+      failure.iteration = i;
+      failure.input = input;
+      if (!options_.out_dir.empty()) {
+        char name[128];
+        std::snprintf(name, sizeof(name), "/repro-%s-%zu.txt",
+                      target_name.c_str(), i);
+        failure.repro_path = options_.out_dir + name;
+        std::ofstream file(failure.repro_path);
+        file << ReproText(failure, options_);
+      }
+      report.failures.push_back(std::move(failure));
+    }
+    if (options_.verbose && (i + 1) % 500 == 0) {
+      std::fprintf(stderr, "fuzz: %zu/%zu iterations, %zu edges, %zu fails\n",
+                   i + 1, options_.iterations, union_edges.size(),
+                   report.failures.size());
+    }
+  }
+
+  for (const auto& [name, corpus] : corpus_) {
+    report.corpus_size += corpus.size();
+  }
+  report.mutated_edges = union_edges.size();
+  report.coverage_hash = HashEdgeSet(union_edges);
+  report.trace_hash = trace_hash;
+  return report;
+}
+
+bool Fuzzer::Replay(const std::string& path, RunResult* result,
+                    std::string* error) {
+  std::ifstream file(path);
+  if (!file) {
+    *error = "cannot open repro file: " + path;
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  std::string text = buffer.str();
+
+  // Header: key=value lines; steps parsed by FuzzInput::Parse.
+  std::string target_name;
+  TargetOptions run;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    auto eq = line.find('=');
+    if (line.empty() || line[0] == '#' || eq == std::string::npos) {
+      continue;
+    }
+    std::string key = line.substr(0, eq);
+    std::string value = line.substr(eq + 1);
+    if (key == "target") {
+      target_name = value;
+    } else if (key == "seed") {
+      run.seed = std::stoull(value);
+    } else if (key == "messages") {
+      run.messages = std::stoull(value);
+    } else if (key == "message_size") {
+      run.message_size = std::stoull(value);
+    } else if (key == "pump_rounds") {
+      run.pump_rounds = static_cast<uint32_t>(std::stoul(value));
+    }
+  }
+
+  FuzzInput input;
+  if (!FuzzInput::Parse(text, &input)) {
+    *error = "malformed step line in " + path;
+    return false;
+  }
+  std::unique_ptr<FuzzTarget> target = MakeFuzzTarget(target_name);
+  if (target == nullptr) {
+    *error = "unknown target in repro: " + target_name;
+    return false;
+  }
+  // The replay mutator only applies recorded steps; its seed is irrelevant
+  // to the trace but kept equal to the run seed for uniformity.
+  Mutator mutator(run.seed);
+  *result = target->Run(input, mutator, run);
+  return true;
+}
+
+}  // namespace ciofuzz

@@ -1,0 +1,103 @@
+// Coverage-guided fuzzer over the confidential-I/O host interface.
+//
+// Loop: pick a target round-robin, draw an input (fresh, or a mutation of a
+// corpus entry for that target), run it against a fresh world, and read the
+// CoverageMap. An input that lights up a (probe-site, status-code) edge the
+// campaign has not seen before joins the in-memory corpus; an input that
+// trips the target's oracle is serialized to a repro file that replays with
+// a single --replay invocation.
+//
+// Determinism is the contract: the whole campaign is a pure function of the
+// seed. The report carries two hashes to prove it — trace_hash (over every
+// executed input's serialized form) and coverage_hash (over the union edge
+// set) — and the determinism test re-runs a campaign and compares both.
+//
+// The report also carries the no-mutation baseline edge count next to the
+// mutated union: the smoke gate requires strictly more coverage WITH
+// mutation (otherwise the mutator is dead weight and the campaign proves
+// nothing).
+
+#ifndef SRC_FUZZ_FUZZER_H_
+#define SRC_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/fuzz/target.h"
+
+namespace ciofuzz {
+
+struct FuzzOptions {
+  uint64_t seed = 42;
+  size_t iterations = 1000;
+  TargetOptions run;            // per-run workload knobs
+  size_t max_steps = 10;        // steps in a freshly generated input
+  size_t corpus_limit = 128;    // per-target corpus cap (FIFO eviction)
+  std::string only_target;      // run just this target ("" = all)
+  std::string out_dir;          // repro files land here ("" = no files)
+  bool verbose = false;
+};
+
+struct FuzzFailure {
+  std::string target;
+  std::string kind;
+  std::string note;
+  size_t iteration = 0;
+  std::string repro_path;  // empty when out_dir was not set
+  FuzzInput input;
+};
+
+struct FuzzReport {
+  size_t iterations_run = 0;
+  size_t corpus_size = 0;          // across all targets
+  size_t baseline_edges = 0;       // union edges with NO mutation
+  size_t mutated_edges = 0;        // union edges across the mutated campaign
+  uint64_t coverage_hash = 0;      // FNV-1a over the union edge set
+  uint64_t trace_hash = 0;         // FNV-1a over every executed input
+  size_t baseline_incomplete = 0;  // baseline runs that failed to finish
+  // Memory violations on targets whose stack is deliberately unhardened
+  // (expect_vulnerable()): the reproduced CVE class, tallied but not gating.
+  size_t expected_vulns = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool Passed() const {
+    return failures.empty() && baseline_incomplete == 0 &&
+           mutated_edges > baseline_edges;
+  }
+};
+
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzOptions options);
+
+  // Baseline pass (one unmutated run per target), then the mutation
+  // campaign. Deterministic in options.seed.
+  FuzzReport Run();
+
+  // Re-executes a serialized repro file. Returns false (with *error set) if
+  // the file is unreadable/malformed or names an unknown target; otherwise
+  // *result holds the replayed outcome — a faithful repro gates again.
+  static bool Replay(const std::string& path, RunResult* result,
+                     std::string* error);
+
+  // Serializes a failure to repro-file text (header + step lines).
+  static std::string ReproText(const FuzzFailure& failure,
+                               const FuzzOptions& options);
+
+ private:
+  struct CorpusEntry {
+    FuzzInput input;
+  };
+
+  FuzzOptions options_;
+  std::vector<std::unique_ptr<FuzzTarget>> targets_;
+  std::map<std::string, std::vector<CorpusEntry>> corpus_;  // by target name
+};
+
+}  // namespace ciofuzz
+
+#endif  // SRC_FUZZ_FUZZER_H_

@@ -1,0 +1,331 @@
+#include "src/fuzz/mutator.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace ciofuzz {
+namespace {
+
+// Boundary values that historically break index/length validation.
+constexpr uint64_t kInteresting[] = {
+    0,    1,          0x7f,       0x80,       0xff,       0x100,
+    255,  UINT16_MAX, 0x8000,     UINT32_MAX, 0x80000000, UINT64_MAX,
+    63,   64,         65,         127,        128,        129,
+    4096, 2048,       0xdeadbeef,
+};
+constexpr size_t kInterestingCount = sizeof(kInteresting) / sizeof(uint64_t);
+
+uint32_t OpWidth(MutOp op, uint32_t step_width) {
+  switch (op) {
+    case MutOp::kBitFlip:
+    case MutOp::kByteSet:
+      return 1;
+    case MutOp::kWriteLe16:
+      return 2;
+    case MutOp::kWriteLe32:
+      return 4;
+    case MutOp::kWriteLe64:
+      return 8;
+    case MutOp::kFillRandom:
+    case MutOp::kAddDelta:
+      return step_width == 0 ? 1 : step_width;
+  }
+  return 1;
+}
+
+void ReadWindow(const TargetWindow& window, uint64_t offset,
+                ciobase::MutableByteSpan out) {
+  if (window.region != nullptr) {
+    window.region->HostRead(window.base_offset + offset, out);
+  } else {
+    std::memcpy(out.data(), window.raw.data() + offset, out.size());
+  }
+}
+
+void WriteWindow(const TargetWindow& window, uint64_t offset,
+                 ciobase::ByteSpan data) {
+  if (window.region != nullptr) {
+    window.region->HostWrite(window.base_offset + offset, data);
+  } else {
+    std::memcpy(window.raw.data() + offset, data.data(), data.size());
+  }
+}
+
+}  // namespace
+
+std::string_view MutOpName(MutOp op) {
+  switch (op) {
+    case MutOp::kBitFlip:
+      return "bit-flip";
+    case MutOp::kByteSet:
+      return "byte-set";
+    case MutOp::kWriteLe16:
+      return "write-le16";
+    case MutOp::kWriteLe32:
+      return "write-le32";
+    case MutOp::kWriteLe64:
+      return "write-le64";
+    case MutOp::kFillRandom:
+      return "fill-random";
+    case MutOp::kAddDelta:
+      return "add-delta";
+  }
+  return "?";
+}
+
+bool ParseMutOp(std::string_view name, MutOp* out) {
+  for (int i = 0; i < kMutOpCount; ++i) {
+    MutOp op = static_cast<MutOp>(i);
+    if (name == MutOpName(op)) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string FuzzInput::Serialize() const {
+  std::string text;
+  char line[160];
+  for (const MutationStep& step : steps) {
+    std::snprintf(line, sizeof(line), "step %u %s %s %llu %u %llu\n",
+                  step.round, step.window.c_str(),
+                  std::string(MutOpName(step.op)).c_str(),
+                  static_cast<unsigned long long>(step.offset), step.width,
+                  static_cast<unsigned long long>(step.value));
+    text += line;
+  }
+  return text;
+}
+
+bool FuzzInput::Parse(std::string_view text, FuzzInput* out) {
+  out->steps.clear();
+  std::istringstream stream{std::string(text)};
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag != "step") {
+      // Header lines ("target=...", "seed=...") and anything else non-step.
+      continue;
+    }
+    MutationStep step;
+    std::string op_name;
+    unsigned long long offset = 0;
+    unsigned long long value = 0;
+    fields >> step.round >> step.window >> op_name >> offset >> step.width >>
+        value;
+    if (fields.fail() || !ParseMutOp(op_name, &step.op)) {
+      return false;
+    }
+    step.offset = offset;
+    step.value = value;
+    out->steps.push_back(std::move(step));
+  }
+  return true;
+}
+
+const TargetWindow& Mutator::PickWindow(
+    const std::vector<TargetWindow>& windows) {
+  uint64_t total = 0;
+  for (const TargetWindow& window : windows) {
+    total += window.weight;
+  }
+  uint64_t pick = rng_.NextBounded(total == 0 ? 1 : total);
+  for (const TargetWindow& window : windows) {
+    if (pick < window.weight) {
+      return window;
+    }
+    pick -= window.weight;
+  }
+  return windows.back();
+}
+
+uint64_t Mutator::InterestingValue() {
+  if (rng_.NextBool(0.5)) {
+    return kInteresting[rng_.NextBounded(kInterestingCount)];
+  }
+  return rng_.NextU64();
+}
+
+MutationStep Mutator::RandomStep(const std::vector<TargetWindow>& windows,
+                                 uint32_t max_rounds) {
+  const TargetWindow& window = PickWindow(windows);
+  MutationStep step;
+  step.round = static_cast<uint32_t>(
+      rng_.NextBounded(max_rounds == 0 ? 1 : max_rounds));
+  step.window = window.name;
+  step.op = static_cast<MutOp>(rng_.NextBounded(kMutOpCount));
+  step.offset = rng_.NextBounded(window.length == 0 ? 1 : window.length);
+  // Aligned offsets hit counter/index cells far more often than random ones.
+  if (rng_.NextBool(0.5)) {
+    step.offset &= ~static_cast<uint64_t>(7);
+  }
+  step.width = static_cast<uint32_t>(1) << rng_.NextBounded(4);  // 1,2,4,8
+  if (step.op == MutOp::kFillRandom) {
+    step.width = static_cast<uint32_t>(rng_.NextInRange(1, 64));
+  }
+  step.value = InterestingValue();
+  return step;
+}
+
+FuzzInput Mutator::Generate(const std::vector<TargetWindow>& windows,
+                            uint32_t max_rounds, size_t max_steps) {
+  FuzzInput input;
+  if (windows.empty()) {
+    return input;
+  }
+  size_t count = rng_.NextInRange(1, max_steps == 0 ? 1 : max_steps);
+  for (size_t i = 0; i < count; ++i) {
+    input.steps.push_back(RandomStep(windows, max_rounds));
+  }
+  return input;
+}
+
+FuzzInput Mutator::Mutate(const FuzzInput& base,
+                          const std::vector<TargetWindow>& windows,
+                          uint32_t max_rounds) {
+  FuzzInput input = base;
+  if (windows.empty()) {
+    return input;
+  }
+  size_t edits = rng_.NextInRange(1, 3);
+  for (size_t i = 0; i < edits; ++i) {
+    uint64_t choice = rng_.NextBounded(4);
+    if (choice == 0 || input.steps.empty()) {
+      input.steps.push_back(RandomStep(windows, max_rounds));
+    } else if (choice == 1 && input.steps.size() > 1) {
+      input.steps.erase(input.steps.begin() +
+                        rng_.NextBounded(input.steps.size()));
+    } else {
+      MutationStep& step = input.steps[rng_.NextBounded(input.steps.size())];
+      switch (rng_.NextBounded(3)) {
+        case 0:
+          step.value = InterestingValue();
+          break;
+        case 1:
+          step.offset = rng_.NextBounded(256) * 8;
+          break;
+        default:
+          step.round = static_cast<uint32_t>(
+              rng_.NextBounded(max_rounds == 0 ? 1 : max_rounds));
+          break;
+      }
+    }
+  }
+  return input;
+}
+
+size_t Mutator::ApplyRound(const FuzzInput& input, uint32_t round,
+                           const std::vector<TargetWindow>& windows) {
+  size_t applied = 0;
+  for (const MutationStep& step : input.steps) {
+    if (step.round != round) {
+      continue;
+    }
+    for (const TargetWindow& window : windows) {
+      if (window.name == step.window && window.bound()) {
+        ApplyStep(step, window);
+        ++applied;
+        break;
+      }
+    }
+  }
+  return applied;
+}
+
+void Mutator::ApplyStep(const MutationStep& step, const TargetWindow& window) {
+  uint64_t length =
+      window.region != nullptr ? window.length : window.raw.size();
+  if (window.region != nullptr) {
+    // Never write past the region even if the spec length was optimistic.
+    uint64_t region_size = window.region->size();
+    if (window.base_offset >= region_size) {
+      return;
+    }
+    length = std::min<uint64_t>(length, region_size - window.base_offset);
+  }
+  uint32_t width = OpWidth(step.op, step.width);
+  if (length == 0 || !window.bound()) {
+    return;
+  }
+  width = static_cast<uint32_t>(std::min<uint64_t>(width, length));
+  uint64_t offset = step.offset % length;
+  if (offset + width > length) {
+    offset = length - width;
+  }
+
+  uint8_t bytes[64];
+  switch (step.op) {
+    case MutOp::kBitFlip: {
+      ReadWindow(window, offset, ciobase::MutableByteSpan(bytes, 1));
+      bytes[0] ^= static_cast<uint8_t>(1u << (step.value % 8));
+      WriteWindow(window, offset, ciobase::ByteSpan(bytes, 1));
+      break;
+    }
+    case MutOp::kByteSet: {
+      bytes[0] = static_cast<uint8_t>(step.value);
+      WriteWindow(window, offset, ciobase::ByteSpan(bytes, 1));
+      break;
+    }
+    case MutOp::kWriteLe16: {
+      ciobase::StoreLe16(bytes, static_cast<uint16_t>(step.value));
+      WriteWindow(window, offset, ciobase::ByteSpan(bytes, width));
+      break;
+    }
+    case MutOp::kWriteLe32: {
+      ciobase::StoreLe32(bytes, static_cast<uint32_t>(step.value));
+      WriteWindow(window, offset, ciobase::ByteSpan(bytes, width));
+      break;
+    }
+    case MutOp::kWriteLe64: {
+      ciobase::StoreLe64(bytes, step.value);
+      WriteWindow(window, offset, ciobase::ByteSpan(bytes, width));
+      break;
+    }
+    case MutOp::kFillRandom: {
+      // Independent xorshift stream so the fill is a pure function of the
+      // step, not of mutator state.
+      uint64_t x = step.value | 1;
+      uint32_t n = std::min<uint32_t>(width, sizeof(bytes));
+      for (uint32_t i = 0; i < n; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        bytes[i] = static_cast<uint8_t>(x);
+      }
+      WriteWindow(window, offset, ciobase::ByteSpan(bytes, n));
+      break;
+    }
+    case MutOp::kAddDelta: {
+      uint32_t n = width;
+      if (n != 1 && n != 2 && n != 4 && n != 8) {
+        n = 8;
+      }
+      if (offset + n > length) {
+        offset = length >= n ? length - n : 0;
+        n = static_cast<uint32_t>(std::min<uint64_t>(n, length));
+      }
+      uint8_t raw[8] = {0};
+      ReadWindow(window, offset, ciobase::MutableByteSpan(raw, n));
+      uint64_t current = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        current |= static_cast<uint64_t>(raw[i]) << (8 * i);
+      }
+      current += step.value;
+      for (uint32_t i = 0; i < n; ++i) {
+        raw[i] = static_cast<uint8_t>(current >> (8 * i));
+      }
+      WriteWindow(window, offset, ciobase::ByteSpan(raw, n));
+      break;
+    }
+  }
+}
+
+}  // namespace ciofuzz

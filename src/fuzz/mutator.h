@@ -1,0 +1,118 @@
+// Deterministic shared-memory mutator: the fuzzer's hostile-host hand.
+//
+// A fuzz input is a list of MutationSteps, each saying "before pump round R,
+// write <op> at <offset> into window <name>". Windows name every
+// host-writable span of a target's shared memory (ring counters, descriptor
+// tables, config space, SQ/CQ cells, completion slots); steps reference them
+// by name so a serialized input replays against a freshly built world.
+//
+// Everything is seeded: Generate/Mutate draw only from the ciobase::Rng the
+// Mutator owns, and ApplyStep is a pure function of (step, window) — same
+// seed, same trace, byte for byte. Writes go through SharedRegion::HostWrite
+// (the adversary's channel: no TOCTOU hook, no violation) or a raw span for
+// regions that are plain registered memory (the L5 queue region). Offsets
+// are clamped to the bound window, so an input generated against one
+// geometry stays in-bounds against another.
+
+#ifndef SRC_FUZZ_MUTATOR_H_
+#define SRC_FUZZ_MUTATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/base/rng.h"
+#include "src/tee/shared_region.h"
+
+namespace ciofuzz {
+
+// One host-writable span of a target's shared memory. For generation only
+// name/length/weight matter (the binding may be null); at apply time the
+// target binds the same names to live regions.
+struct TargetWindow {
+  std::string name;
+  uint64_t length = 0;
+  uint32_t weight = 1;
+
+  // Binding (exactly one set when bound): a shared region at base_offset,
+  // or a raw span for plain registered memory.
+  ciotee::SharedRegion* region = nullptr;
+  uint64_t base_offset = 0;
+  ciobase::MutableByteSpan raw;
+
+  bool bound() const { return region != nullptr || !raw.empty(); }
+};
+
+enum class MutOp : uint8_t {
+  kBitFlip = 0,   // flip bit (value % 8) of the byte at offset
+  kByteSet,       // write one byte = value
+  kWriteLe16,     // write value as LE16
+  kWriteLe32,     // write value as LE32
+  kWriteLe64,     // write value as LE64
+  kFillRandom,    // fill `width` bytes from an xorshift stream seeded by value
+  kAddDelta,      // read LE<width>, add value, write back
+};
+inline constexpr int kMutOpCount = 7;
+
+std::string_view MutOpName(MutOp op);
+bool ParseMutOp(std::string_view name, MutOp* out);
+
+struct MutationStep {
+  uint32_t round = 0;    // applied before pump round `round`
+  std::string window;    // TargetWindow name
+  MutOp op = MutOp::kBitFlip;
+  uint64_t offset = 0;   // within the window (clamped at apply time)
+  uint32_t width = 1;    // kFillRandom / kAddDelta operand size
+  uint64_t value = 0;
+};
+
+// A fuzz input: the full mutation schedule for one target run.
+struct FuzzInput {
+  std::vector<MutationStep> steps;
+
+  // One "step <round> <window> <op> <offset> <width> <value>" line per step.
+  std::string Serialize() const;
+  // Parses step lines; blank lines, `#` comments and `key=value` header
+  // lines are ignored (so a whole repro file parses directly). Returns
+  // false on a malformed step line.
+  static bool Parse(std::string_view text, FuzzInput* out);
+};
+
+class Mutator {
+ public:
+  explicit Mutator(uint64_t seed) : rng_(seed) {}
+
+  // Fresh random input: up to max_steps steps across [0, max_rounds).
+  FuzzInput Generate(const std::vector<TargetWindow>& windows,
+                     uint32_t max_rounds, size_t max_steps);
+
+  // Mutated copy of a corpus input: tweak, drop, or append steps.
+  FuzzInput Mutate(const FuzzInput& base,
+                   const std::vector<TargetWindow>& windows,
+                   uint32_t max_rounds);
+
+  // Applies every step scheduled for `round` against the bound windows.
+  // Steps naming an unknown or unbound window are skipped. Returns the
+  // number of steps applied.
+  size_t ApplyRound(const FuzzInput& input, uint32_t round,
+                    const std::vector<TargetWindow>& windows);
+
+  // Applies one step to one bound window (offset clamped into the window).
+  static void ApplyStep(const MutationStep& step, const TargetWindow& window);
+
+  ciobase::Rng& rng() { return rng_; }
+
+ private:
+  MutationStep RandomStep(const std::vector<TargetWindow>& windows,
+                          uint32_t max_rounds);
+  const TargetWindow& PickWindow(const std::vector<TargetWindow>& windows);
+  uint64_t InterestingValue();
+
+  ciobase::Rng rng_;
+};
+
+}  // namespace ciofuzz
+
+#endif  // SRC_FUZZ_MUTATOR_H_

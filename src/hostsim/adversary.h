@@ -84,12 +84,35 @@ std::vector<FaultStrategy> AllFaultStrategies();
 // faults (dropped completions, bit rot).
 std::vector<FaultStrategy> AllStorageFaultStrategies();
 
-// A fault armed at a point in simulated time. duration_ns == 0 means the
-// fault never clears (a permanently hostile host).
+// A fault armed at a point in simulated time, active over the half-open
+// interval [start_ns, start_ns + duration_ns).
+//
+// Semantics (pinned by tests/fuzz_test.cc):
+//  - duration_ns == 0 on a directly-constructed window means the fault
+//    never clears (a permanently hostile host). Use Permanent() to say so
+//    explicitly; Timed() treats a zero duration as an EMPTY window (never
+//    active) instead, so computed durations degrade to a no-op rather than
+//    silently escalating to forever.
+//  - strategy == kNone is never active, whatever the interval says.
+//  - Overlapping windows of the same strategy form a union: the fault is
+//    active whenever any window covers `now`. Windows of different
+//    strategies are independent. Adversary::FaultActive counts at most one
+//    fault event per query however many windows overlap.
 struct FaultWindow {
   FaultStrategy strategy = FaultStrategy::kNone;
   uint64_t start_ns = 0;
   uint64_t duration_ns = 0;
+
+  static FaultWindow Permanent(FaultStrategy strategy, uint64_t start_ns) {
+    return {strategy, start_ns, 0};
+  }
+  static FaultWindow Timed(FaultStrategy strategy, uint64_t start_ns,
+                           uint64_t duration_ns) {
+    if (duration_ns == 0) {
+      return {FaultStrategy::kNone, start_ns, 0};  // empty, not permanent
+    }
+    return {strategy, start_ns, duration_ns};
+  }
 
   bool ActiveAt(uint64_t now_ns) const {
     if (strategy == FaultStrategy::kNone || now_ns < start_ns) {

@@ -56,11 +56,19 @@ ciobase::Status Fabric::Inject(EndpointId from, ciobase::ByteSpan frame) {
     }
     return ciobase::OkStatus();
   }
+  // Several endpoints may share one MAC (a guest with two queues/devices,
+  // RSS-style). Spread unicast traffic across them round-robin — the
+  // deterministic stand-in for a receive-side hash.
+  rss_scratch_.clear();
   for (size_t i = 0; i < endpoints_.size(); ++i) {
     if (endpoints_[i].attached && endpoints_[i].mac == header->dst) {
-      Deliver(from, endpoints_[i], frame);
-      return ciobase::OkStatus();
+      rss_scratch_.push_back(i);
     }
+  }
+  if (!rss_scratch_.empty()) {
+    size_t pick = rss_scratch_[rss_round_++ % rss_scratch_.size()];
+    Deliver(from, endpoints_[pick], frame);
+    return ciobase::OkStatus();
   }
   ++stats_.frames_dropped_unknown;
   return ciobase::OkStatus();  // unknown unicast: silently dropped

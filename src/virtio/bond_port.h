@@ -1,0 +1,94 @@
+// BondPort: one FramePort over two virtio-net devices sharing a MAC.
+//
+// The multi-device part of the device zoo: a guest with two independent
+// virtio-net instances (own shared region, own rings, own negotiation) bonds
+// them below the network stack, striping TX round-robin and draining both on
+// RX. The fabric spreads inbound unicast across the two device endpoints the
+// same way (RSS stand-in), so both rings carry live traffic and interleaved
+// doorbells/completions are inside the fuzzed state space. Each leg keeps
+// its own hardening and watchdog; a reset on one leg surfaces as the usual
+// typed kLinkReset while the other leg keeps carrying frames.
+
+#ifndef SRC_VIRTIO_BOND_PORT_H_
+#define SRC_VIRTIO_BOND_PORT_H_
+
+#include <algorithm>
+
+#include "src/net/port.h"
+#include "src/virtio/net_driver.h"
+
+namespace ciovirtio {
+
+class BondPort final : public cionet::FramePort {
+ public:
+  BondPort(VirtioNetDriver* primary, VirtioNetDriver* secondary)
+      : legs_{primary, secondary} {}
+
+  ciobase::Result<size_t> SendFrames(
+      std::span<const ciobase::ByteSpan> frames) override {
+    size_t sent = 0;
+    for (ciobase::ByteSpan frame : frames) {
+      VirtioNetDriver* leg = legs_[tx_round_++ % 2];
+      auto one = leg->SendFrames({&frame, 1});
+      if (!one.ok() || *one == 0) {
+        // Ring full or leg down: try the other leg before giving up, so a
+        // single dead device degrades to half bandwidth, not zero.
+        VirtioNetDriver* other = legs_[tx_round_++ % 2];
+        one = other->SendFrames({&frame, 1});
+      }
+      if (!one.ok()) {
+        if (sent == 0) {
+          return one.status();
+        }
+        break;
+      }
+      if (*one == 0) {
+        break;
+      }
+      sent += *one;
+    }
+    return sent;
+  }
+
+  ciobase::Result<size_t> ReceiveFrames(cionet::FrameBatch& batch,
+                                        size_t max_frames) override {
+    batch.Clear();
+    ciobase::Status first_error = ciobase::OkStatus();
+    for (VirtioNetDriver* leg : legs_) {
+      if (batch.size() >= max_frames) {
+        break;
+      }
+      scratch_.Clear();
+      auto got = leg->ReceiveFrames(scratch_, max_frames - batch.size());
+      if (!got.ok()) {
+        if (first_error.ok()) {
+          first_error = got.status();
+        }
+        continue;  // the other leg still gets drained
+      }
+      for (size_t i = 0; i < scratch_.size(); ++i) {
+        ciobase::ByteSpan frame = scratch_[i];
+        ciobase::Buffer& slot = batch.Append();
+        slot.assign(frame.begin(), frame.end());
+      }
+    }
+    if (batch.size() == 0 && !first_error.ok()) {
+      return first_error;
+    }
+    return batch.size();
+  }
+
+  cionet::MacAddress mac() const override { return legs_[0]->mac(); }
+  uint16_t mtu() const override {
+    return std::min(legs_[0]->mtu(), legs_[1]->mtu());
+  }
+
+ private:
+  VirtioNetDriver* legs_[2];
+  uint64_t tx_round_ = 0;
+  cionet::FrameBatch scratch_;
+};
+
+}  // namespace ciovirtio
+
+#endif  // SRC_VIRTIO_BOND_PORT_H_

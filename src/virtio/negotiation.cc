@@ -1,5 +1,7 @@
 #include "src/virtio/negotiation.h"
 
+#include "src/base/coverage.h"
+
 namespace ciovirtio {
 
 void DeviceInitConfig(ciotee::SharedRegion* region, const ConfigLayout& layout,
@@ -74,7 +76,34 @@ ciobase::Result<NegotiatedConfig> DriverNegotiate(
   if ((status & kStatusFeaturesOk) == 0) {
     region->GuestWriteU8(layout.StatusOffset(),
                          static_cast<uint8_t>(status | kStatusFailed));
+    CIO_COV("virtio.negotiate.features_rejected",
+            ciobase::StatusCode::kHostViolation);
     return ciobase::HostViolation("device rejected features");
+  }
+  // Strict status check: an honest device either clears FEATURES_OK or
+  // leaves the byte exactly as we wrote it. NEEDS_RESET, FAILED, a premature
+  // DRIVER_OK, or garbage bits mean the host is improvising mid-dance —
+  // refuse rather than carry hostile state into the data plane.
+  constexpr uint8_t kExpectedAfterFeaturesOk =
+      kStatusAcknowledge | kStatusDriver | kStatusFeaturesOk;
+  if (status != kExpectedAfterFeaturesOk) {
+    CIO_COV("virtio.negotiate.status_garbage",
+            ciobase::StatusCode::kHostViolation);
+    return ciobase::HostViolation("unexpected status bits after FEATURES_OK");
+  }
+  // Mid-flight re-negotiation check: the feature words are host-owned, so a
+  // hostile device can advertise one feature set, watch us accept it, then
+  // swap the words before we finish. We never *use* a re-read (the snapshot
+  // in `accept` is authoritative), but a changed word is direct evidence of
+  // an ordering attack — surface it as a typed violation instead of silently
+  // proceeding on the snapshot.
+  uint64_t device_features_again =
+      region->GuestReadLe64(layout.DeviceFeaturesOffset());
+  if (device_features_again != device_features) {
+    observe("device_features changed mid-negotiation", device_features_again);
+    CIO_COV("virtio.negotiate.features_changed",
+            ciobase::StatusCode::kHostViolation);
+    return ciobase::HostViolation("device features changed mid-negotiation");
   }
 
   NegotiatedConfig config;
@@ -89,16 +118,28 @@ ciobase::Result<NegotiatedConfig> DriverNegotiate(
     observe("read mtu", mtu);
     // Validate host-supplied MTU against sane bounds ("add checks").
     if (mtu < 68 || mtu > 9000) {
+      CIO_COV("virtio.negotiate.hostile_mtu",
+              ciobase::StatusCode::kHostViolation);
       return ciobase::HostViolation("hostile MTU");
     }
     config.mtu = mtu;
   }
 
-  // Step 6: DRIVER_OK.
-  region->GuestWriteU8(layout.StatusOffset(),
-                       kStatusAcknowledge | kStatusDriver | kStatusFeaturesOk |
-                           kStatusDriverOk);
+  // Step 6: DRIVER_OK, then one read-back. The status byte is the host's
+  // lever for forcing re-negotiation (NEEDS_RESET) — a driver that polls it
+  // later would hand the host a control loop. We read it exactly once here,
+  // require the exact value we wrote, and never consult it again.
+  constexpr uint8_t kFinalStatus = kStatusAcknowledge | kStatusDriver |
+                                   kStatusFeaturesOk | kStatusDriverOk;
+  region->GuestWriteU8(layout.StatusOffset(), kFinalStatus);
   observe("status=DRIVER_OK", 0);
+  if (uint8_t final_status = region->GuestReadU8(layout.StatusOffset());
+      final_status != kFinalStatus) {
+    CIO_COV("virtio.negotiate.driverok_clobbered",
+            ciobase::StatusCode::kHostViolation);
+    return ciobase::HostViolation("status clobbered at DRIVER_OK");
+  }
+  CIO_COV("virtio.negotiate.ok", ciobase::StatusCode::kOk);
   return config;
 }
 

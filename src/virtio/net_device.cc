@@ -96,7 +96,11 @@ void VirtioNetDevice::AdoptGuestEpoch() {
 }
 
 void VirtioNetDevice::DrainTx() {
-  for (;;) {
+  // Per-poll work budget: an honest driver never has more than queue_size
+  // submissions outstanding, so the cap only bites when the avail index was
+  // forged (a hostile or fuzzed guest-side counter must not be able to spin
+  // the device model for an unbounded number of iterations in one poll).
+  for (uint16_t budget = 0; budget < layout_.tx.queue_size; ++budget) {
     std::optional<uint16_t> head = tx_.PopAvail();
     if (!head.has_value()) {
       break;
@@ -107,10 +111,16 @@ void VirtioNetDevice::DrainTx() {
       if ((desc.flags & kDescFlagWrite) != 0) {
         continue;  // device-writable descriptors carry no TX payload
       }
+      // Bound the per-descriptor DMA by the pool slot geometry: an honest
+      // driver never posts a descriptor longer than one pool slot, so the
+      // clamp only bites forged lengths — which must not buy a multi-GB
+      // host-side allocation and copy.
+      uint32_t len = std::min<uint32_t>(
+          desc.len, static_cast<uint32_t>(layout_.pool_slot_size));
       size_t old_size = frame.size();
-      frame.resize(old_size + desc.len);
+      frame.resize(old_size + len);
       region_->HostRead(desc.addr, ciobase::MutableByteSpan(
-                                       frame.data() + old_size, desc.len));
+                                       frame.data() + old_size, len));
     }
     if (adversary_ != nullptr) {
       adversary_->MaybeCorruptPayload(frame);

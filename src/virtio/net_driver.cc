@@ -1,5 +1,6 @@
 #include "src/virtio/net_driver.h"
 
+#include "src/base/coverage.h"
 #include "src/base/log.h"
 
 namespace ciovirtio {
@@ -180,8 +181,10 @@ ciobase::Result<size_t> VirtioNetDriver::ReceiveFrames(
       if (watchdog_.Expired(now_ns)) {
         ++stats_.watchdog_fires;
         if (watchdog_.Exhausted()) {
+          CIO_COV("virtio.net.watchdog", ciobase::StatusCode::kTimedOut);
           return ciobase::TimedOut("virtio link: reset budget exhausted");
         }
+        CIO_COV("virtio.net.watchdog", ciobase::StatusCode::kLinkReset);
         CIO_RETURN_IF_ERROR(ResetAndReattach());
         watchdog_.NoteReset(now_ns);
         return ciobase::LinkReset("virtio ring reset");
@@ -225,6 +228,8 @@ size_t VirtioNetDriver::ReapTxCompletions() {
     if (it == tx_outstanding_.end()) {
       if (hardening_.validate_completion_id) {
         ++stats_.completions_rejected;
+        CIO_COV("virtio.net.tx.forged_id",
+                ciobase::StatusCode::kHostViolation);
         continue;  // replayed or forged completion: refuse
       }
       // Unhardened: free whatever the id aliases to. Freeing a random
@@ -250,6 +255,7 @@ ciobase::Result<ciobase::Buffer> VirtioNetDriver::ReceiveHardened(
   auto it = rx_outstanding_.find(id);
   if (elem.id >= layout_.rx.queue_size || it == rx_outstanding_.end()) {
     ++stats_.completions_rejected;
+    CIO_COV("virtio.net.rx.forged_id", ciobase::StatusCode::kHostViolation);
     return ciobase::HostViolation("forged rx completion id");
   }
   uint64_t slot = it->second;
@@ -263,6 +269,7 @@ ciobase::Result<ciobase::Buffer> VirtioNetDriver::ReceiveHardened(
       std::min<size_t>(pool_.slot_size(),
                        config_.mtu + cionet::kEthernetHeaderSize));
   if (len > cap) {
+    CIO_COV("virtio.net.rx.len_clamped", ciobase::StatusCode::kOutOfRange);
     if (!hardening_.clamp_used_len) {
       // Even "full" hardening configs keep this knob on; callers can turn
       // it off to measure the isolated effect of the other checks.
@@ -287,6 +294,7 @@ ciobase::Result<ciobase::Buffer> VirtioNetDriver::ReceiveHardened(
   PostRxBuffer();  // recycle a buffer for the device
   if (frame.ok()) {
     ++stats_.frames_received;
+    CIO_COV("virtio.net.rx.frame", ciobase::StatusCode::kOk);
   }
   return frame;
 }

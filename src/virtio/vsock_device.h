@@ -1,0 +1,134 @@
+// VirtioVsockDevice: a virtio-vsock-style host device model.
+//
+// Vsock is the second member of the device zoo (ISSUE 7): a stream transport
+// between guest and host that does NOT ride the network fabric — packets
+// cross only the shared-memory virtqueues, addressed by (CID, port) instead
+// of MAC/IP. That makes it a pure host-interface surface: every field of
+// every packet header is written by the untrusted host, and the guest driver
+// must treat CIDs, ports, lengths, opcodes and credit counters as attacker
+// data. The host side here implements an echo service (the workload the
+// fuzzer drives) plus the same adversarial fault repertoire as the net
+// device: swallowed doorbells, stalls, drops/duplicates, payload corruption,
+// and garbage counters.
+//
+// Wire format (one packet per descriptor chain, all LE), 40-byte header:
+//   [ 0] src_cid  u64      [ 8] dst_cid  u64
+//   [16] src_port u32      [20] dst_port u32
+//   [24] len      u32      [28] op       u16   [30] flags u16
+//   [32] buf_alloc u32     [36] fwd_cnt  u32
+// followed by `len` payload bytes (kOpRw only).
+
+#ifndef SRC_VIRTIO_VSOCK_DEVICE_H_
+#define SRC_VIRTIO_VSOCK_DEVICE_H_
+
+#include "src/base/clock.h"
+#include "src/hostsim/adversary.h"
+#include "src/hostsim/observability.h"
+#include "src/virtio/negotiation.h"
+#include "src/virtio/net_device.h"
+#include "src/virtio/virtqueue.h"
+
+namespace ciovirtio {
+
+// Well-known CIDs (virtio-vsock convention).
+inline constexpr uint64_t kVsockHostCid = 2;
+inline constexpr uint64_t kVsockGuestCidBase = 3;  // + node_id
+
+// Stream operations.
+inline constexpr uint16_t kVsockOpRequest = 1;        // connect
+inline constexpr uint16_t kVsockOpResponse = 2;       // connect accepted
+inline constexpr uint16_t kVsockOpRst = 3;
+inline constexpr uint16_t kVsockOpShutdown = 4;
+inline constexpr uint16_t kVsockOpRw = 5;             // payload
+inline constexpr uint16_t kVsockOpCreditUpdate = 6;
+inline constexpr uint16_t kVsockOpCreditRequest = 7;
+
+inline constexpr size_t kVsockHeaderSize = 40;
+
+struct VsockPacketHeader {
+  uint64_t src_cid = 0;
+  uint64_t dst_cid = 0;
+  uint32_t src_port = 0;
+  uint32_t dst_port = 0;
+  uint32_t len = 0;
+  uint16_t op = 0;
+  uint16_t flags = 0;
+  uint32_t buf_alloc = 0;
+  uint32_t fwd_cnt = 0;
+};
+
+void EncodeVsockHeader(const VsockPacketHeader& header, uint8_t* out);
+VsockPacketHeader DecodeVsockHeader(const uint8_t* in);
+
+// Memory geometry of a vsock device in its own shared region: the standard
+// 64-byte config block (guest CID replaces MAC/MTU at offset 24), a TX and
+// an RX virtqueue, and a buffer pool.
+struct VsockLayout {
+  ConfigLayout config;
+  VirtqLayout tx;  // guest -> host
+  VirtqLayout rx;  // host -> guest
+  uint64_t pool_offset = 0;
+  size_t pool_slot_size = 2048;
+  size_t pool_slot_count = 128;
+
+  uint64_t GuestCidOffset() const { return config.base + 24; }
+  static VsockLayout Make(uint16_t queue_size, size_t pool_slot_size,
+                          size_t pool_slot_count);
+  uint64_t TotalSize() const {
+    return pool_offset + pool_slot_size * pool_slot_count;
+  }
+};
+
+// Host half: an echo service behind the virtqueues. Connection requests to
+// any port are accepted; kOpRw payloads are echoed back with src/dst
+// swapped; credit counters are maintained per the stream protocol.
+class VirtioVsockDevice final : public KickTarget {
+ public:
+  VirtioVsockDevice(ciotee::SharedRegion* region, VsockLayout layout,
+                    uint64_t guest_cid, ciohost::Adversary* adversary,
+                    ciohost::ObservabilityLog* observability,
+                    ciobase::SimClock* clock);
+
+  void Poll();
+  void Kick() override;
+
+  struct Stats {
+    uint64_t packets_rx = 0;  // guest -> host
+    uint64_t packets_tx = 0;  // host -> guest
+    uint64_t connects = 0;
+    uint64_t bytes_echoed = 0;
+    uint64_t kicks = 0;
+    uint64_t kicks_swallowed = 0;
+    uint64_t packets_dropped_fault = 0;
+    uint64_t packets_duplicated_fault = 0;
+    uint64_t tx_dropped_no_buffer = 0;
+    uint64_t malformed_from_guest = 0;
+    uint64_t epoch_adoptions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool Faulted(ciohost::FaultStrategy strategy) const;
+  void AdoptGuestEpoch();
+  void DrainTx();
+  void SendToGuest(const VsockPacketHeader& header, ciobase::ByteSpan payload);
+
+  ciotee::SharedRegion* region_;
+  VsockLayout layout_;
+  VirtqueueDevice tx_;
+  VirtqueueDevice rx_;
+  uint64_t guest_cid_;
+  ciohost::Adversary* adversary_;
+  ciohost::ObservabilityLog* observability_;
+  ciobase::SimClock* clock_;
+  uint64_t epoch_ = 0;
+  // Host-side stream accounting (single echo connection at a time is enough
+  // for the workload; the header fields still carry the full protocol).
+  uint32_t host_fwd_cnt_ = 0;   // bytes the host has consumed from the guest
+  uint32_t host_tx_cnt_ = 0;    // bytes the host has sent to the guest
+  Stats stats_;
+};
+
+}  // namespace ciovirtio
+
+#endif  // SRC_VIRTIO_VSOCK_DEVICE_H_

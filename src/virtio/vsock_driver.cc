@@ -1,0 +1,332 @@
+#include "src/virtio/vsock_driver.h"
+
+#include <algorithm>
+
+#include "src/base/coverage.h"
+#include "src/virtio/negotiation.h"
+
+namespace ciovirtio {
+
+namespace {
+// Fixed guest-side ephemeral port: one stream at a time is all the workload
+// (and the fuzzer) needs; the header fields still carry the full protocol.
+constexpr uint32_t kLocalPort = 51000;
+constexpr uint64_t kConnectPollStepNs = 10'000;
+}  // namespace
+
+VirtioVsockDriver::VirtioVsockDriver(ciotee::SharedRegion* region,
+                                     VsockLayout layout, KickTarget* device,
+                                     ciobase::CostModel* costs,
+                                     uint64_t expected_cid,
+                                     ciohost::ObservabilityLog* observability)
+    : region_(region),
+      layout_(layout),
+      tx_(region, layout.tx, costs),
+      rx_(region, layout.rx, costs),
+      pool_(region, layout.pool_offset, layout.pool_slot_size,
+            layout.pool_slot_count, costs),
+      device_(device),
+      costs_(costs),
+      expected_cid_(expected_cid),
+      observability_(observability) {}
+
+ciobase::Status VirtioVsockDriver::Negotiate() {
+  // Vsock wants no MAC/MTU features, so the shared dance never touches the
+  // bytes the CID occupies; it still gets the full mid-flight hardening.
+  auto config = DriverNegotiate(region_, layout_.config, kFeatureVersion1,
+                                /*restrict_features=*/false, observability_);
+  if (!config.ok()) {
+    return config.status();
+  }
+  // One validated fetch of the host-published CID. The value is pinned at
+  // attestation time (expected_cid_), so a flipped word is a violation, not
+  // a re-configuration.
+  uint64_t cid = region_->GuestReadLe64(layout_.GuestCidOffset());
+  if (cid != expected_cid_ || cid < kVsockGuestCidBase) {
+    CIO_COV("vsock.negotiate.bad_cid", ciobase::StatusCode::kHostViolation);
+    return ciobase::HostViolation("vsock guest CID forged");
+  }
+  guest_cid_ = cid;
+  negotiated_ = true;
+  size_t rx_buffers = std::min<size_t>(layout_.pool_slot_count / 2,
+                                       layout_.rx.queue_size / 2);
+  for (size_t i = 0; i < rx_buffers; ++i) {
+    PostRxBuffer();
+  }
+  costs_->ChargeNotify();
+  device_->Kick();
+  CIO_COV("vsock.negotiate.ok", ciobase::StatusCode::kOk);
+  return ciobase::OkStatus();
+}
+
+void VirtioVsockDriver::PostRxBuffer() {
+  auto desc_id = rx_.AllocDesc();
+  if (!desc_id.has_value()) {
+    return;
+  }
+  auto slot = pool_.AllocSlot();
+  if (!slot.ok()) {
+    rx_.FreeDesc(*desc_id);
+    return;
+  }
+  VirtqDesc desc;
+  desc.addr = *slot;
+  desc.len = static_cast<uint32_t>(pool_.slot_size());
+  desc.flags = kDescFlagWrite;
+  rx_.WriteDesc(*desc_id, desc);
+  rx_.PostAvail(*desc_id);
+  rx_outstanding_[*desc_id] = *slot;
+}
+
+ciobase::Status VirtioVsockDriver::SendPacket(const VsockPacketHeader& header,
+                                              ciobase::ByteSpan payload) {
+  if (!negotiated_) {
+    return ciobase::FailedPrecondition("vsock driver not negotiated");
+  }
+  ReapTx();
+  size_t total = kVsockHeaderSize + payload.size();
+  if (total > pool_.slot_size()) {
+    return ciobase::InvalidArgument("vsock packet exceeds pool slot");
+  }
+  auto desc_id = tx_.AllocDesc();
+  if (!desc_id.has_value()) {
+    return ciobase::ResourceExhausted("vsock tx ring full");
+  }
+  auto slot = pool_.AllocSlot();
+  if (!slot.ok()) {
+    tx_.FreeDesc(*desc_id);
+    return slot.status();
+  }
+  ciobase::Buffer packet(total);
+  EncodeVsockHeader(header, packet.data());
+  std::copy(payload.begin(), payload.end(),
+            packet.begin() + kVsockHeaderSize);
+  if (ciobase::Status copied = pool_.CopyOut(*slot, packet); !copied.ok()) {
+    tx_.FreeDesc(*desc_id);
+    (void)pool_.FreeSlot(*slot);
+    return copied;
+  }
+  VirtqDesc desc;
+  desc.addr = *slot;
+  desc.len = static_cast<uint32_t>(total);
+  tx_.WriteDesc(*desc_id, desc);
+  tx_.PostAvail(*desc_id);
+  tx_outstanding_[*desc_id] = *slot;
+  ++stats_.packets_sent;
+  costs_->ChargeNotify();
+  device_->Kick();
+  return ciobase::OkStatus();
+}
+
+void VirtioVsockDriver::ReapTx() {
+  used_scratch_.clear();
+  size_t popped = tx_.PopUsedMany(/*single_fetch=*/true,
+                                  layout_.tx.queue_size, used_scratch_);
+  for (size_t k = 0; k < popped; ++k) {
+    uint16_t id = static_cast<uint16_t>(used_scratch_[k].id);
+    auto it = tx_outstanding_.find(id);
+    if (it == tx_outstanding_.end()) {
+      ++stats_.completions_rejected;
+      CIO_COV("vsock.tx.forged_id", ciobase::StatusCode::kHostViolation);
+      continue;
+    }
+    (void)pool_.FreeSlot(it->second);
+    tx_.FreeDesc(id);
+    tx_outstanding_.erase(it);
+  }
+}
+
+ciobase::Status VirtioVsockDriver::Connect(uint32_t port,
+                                           uint64_t deadline_ns) {
+  if (!negotiated_) {
+    return ciobase::FailedPrecondition("vsock driver not negotiated");
+  }
+  connected_ = false;
+  local_port_ = kLocalPort;
+  remote_port_ = port;
+  VsockPacketHeader header;
+  header.src_cid = guest_cid_;
+  header.dst_cid = kVsockHostCid;
+  header.src_port = local_port_;
+  header.dst_port = remote_port_;
+  header.op = kVsockOpRequest;
+  header.buf_alloc = static_cast<uint32_t>(
+      pool_.slot_size() * (pool_.slot_count() / 2));
+  header.fwd_cnt = fwd_cnt_;
+  CIO_RETURN_IF_ERROR(SendPacket(header, {}));
+  uint64_t deadline = costs_->clock()->now_ns() + deadline_ns;
+  for (;;) {
+    ciobase::Status polled = Poll();
+    if (connected_) {
+      CIO_COV("vsock.connect.ok", ciobase::StatusCode::kOk);
+      return ciobase::OkStatus();
+    }
+    if (!polled.ok()) {
+      return polled;
+    }
+    if (costs_->clock()->now_ns() >= deadline) {
+      CIO_COV("vsock.connect.timeout", ciobase::StatusCode::kTimedOut);
+      return ciobase::TimedOut("vsock connect: no response");
+    }
+    costs_->clock()->Advance(kConnectPollStepNs);
+    costs_->ChargeNotify();
+    device_->Kick();
+  }
+}
+
+ciobase::Status VirtioVsockDriver::Send(ciobase::ByteSpan payload) {
+  if (!connected_) {
+    return ciobase::FailedPrecondition("vsock stream not connected");
+  }
+  // Credit check against the peer's last advertisement. The numbers are
+  // host-authored; honoring them only throttles us (a lying host starves
+  // its own echo service), and the subtraction is wrap-safe by clamping.
+  uint32_t in_flight = tx_cnt_ - peer_fwd_cnt_;
+  if (in_flight > peer_buf_alloc_ ||
+      payload.size() > peer_buf_alloc_ - in_flight) {
+    ++stats_.credit_stalls;
+    CIO_COV("vsock.tx.credit_stall",
+            ciobase::StatusCode::kResourceExhausted);
+    VsockPacketHeader ask;
+    ask.src_cid = guest_cid_;
+    ask.dst_cid = kVsockHostCid;
+    ask.src_port = local_port_;
+    ask.dst_port = remote_port_;
+    ask.op = kVsockOpCreditRequest;
+    ask.fwd_cnt = fwd_cnt_;
+    (void)SendPacket(ask, {});
+    return ciobase::ResourceExhausted("vsock credit window closed");
+  }
+  VsockPacketHeader header;
+  header.src_cid = guest_cid_;
+  header.dst_cid = kVsockHostCid;
+  header.src_port = local_port_;
+  header.dst_port = remote_port_;
+  header.op = kVsockOpRw;
+  header.len = static_cast<uint32_t>(payload.size());
+  header.fwd_cnt = fwd_cnt_;
+  CIO_RETURN_IF_ERROR(SendPacket(header, payload));
+  tx_cnt_ += static_cast<uint32_t>(payload.size());
+  return ciobase::OkStatus();
+}
+
+ciobase::Status VirtioVsockDriver::Poll() {
+  if (!negotiated_) {
+    return ciobase::FailedPrecondition("vsock driver not negotiated");
+  }
+  ReapTx();
+  used_scratch_.clear();
+  size_t popped = rx_.PopUsedMany(/*single_fetch=*/true,
+                                  layout_.rx.queue_size, used_scratch_);
+  ciobase::Status first_error = ciobase::OkStatus();
+  for (size_t k = 0; k < popped; ++k) {
+    ciobase::Status consumed = ConsumeRx(used_scratch_[k]);
+    if (!consumed.ok() && first_error.ok()) {
+      first_error = consumed;
+    }
+  }
+  return first_error;
+}
+
+ciobase::Status VirtioVsockDriver::ConsumeRx(const UsedElem& elem) {
+  uint16_t id = static_cast<uint16_t>(elem.id);
+  auto it = rx_outstanding_.find(id);
+  if (elem.id >= layout_.rx.queue_size || it == rx_outstanding_.end()) {
+    ++stats_.completions_rejected;
+    CIO_COV("vsock.rx.forged_id", ciobase::StatusCode::kHostViolation);
+    return ciobase::HostViolation("vsock forged rx completion id");
+  }
+  uint64_t slot = it->second;
+  rx_outstanding_.erase(it);
+  rx_.FreeDesc(id);
+  // Clamp the host-claimed length to the slot we actually posted, then
+  // bounce the whole packet into private memory with one fetch; every parse
+  // below reads the snapshot, never shared memory.
+  uint32_t len =
+      std::min<uint32_t>(elem.len, static_cast<uint32_t>(pool_.slot_size()));
+  ciobase::Result<ciobase::Buffer> packet = pool_.CopyIn(slot, len);
+  (void)pool_.FreeSlot(slot);
+  PostRxBuffer();
+  if (!packet.ok()) {
+    return packet.status();
+  }
+  if (packet->size() < kVsockHeaderSize) {
+    ++stats_.header_violations;
+    CIO_COV("vsock.rx.short_packet", ciobase::StatusCode::kHostViolation);
+    return ciobase::HostViolation("vsock packet shorter than header");
+  }
+  VsockPacketHeader header = DecodeVsockHeader(packet->data());
+  if (header.len > packet->size() - kVsockHeaderSize) {
+    ++stats_.header_violations;
+    CIO_COV("vsock.rx.len_overflow", ciobase::StatusCode::kHostViolation);
+    return ciobase::HostViolation("vsock header length exceeds packet");
+  }
+  if (header.dst_cid != guest_cid_ || header.src_cid != kVsockHostCid) {
+    ++stats_.header_violations;
+    CIO_COV("vsock.rx.bad_route", ciobase::StatusCode::kHostViolation);
+    return ciobase::HostViolation("vsock packet for wrong CID pair");
+  }
+  if (header.dst_port != local_port_ || header.src_port != remote_port_) {
+    ++stats_.header_violations;
+    CIO_COV("vsock.rx.bad_route", ciobase::StatusCode::kHostViolation);
+    return ciobase::HostViolation("vsock packet for wrong port pair");
+  }
+  // Credit advertisement rides every packet; snapshot it.
+  peer_buf_alloc_ = header.buf_alloc;
+  peer_fwd_cnt_ = header.fwd_cnt;
+  switch (header.op) {
+    case kVsockOpResponse:
+      if (connected_) {
+        ++stats_.header_violations;
+        CIO_COV("vsock.rx.dup_response",
+                ciobase::StatusCode::kHostViolation);
+        return ciobase::HostViolation("vsock duplicate connect response");
+      }
+      connected_ = true;
+      return ciobase::OkStatus();
+    case kVsockOpRw: {
+      fwd_cnt_ += header.len;
+      rx_queue_.emplace_back(packet->begin() + kVsockHeaderSize,
+                             packet->begin() + kVsockHeaderSize + header.len);
+      ++stats_.packets_received;
+      CIO_COV("vsock.rx.packet", ciobase::StatusCode::kOk);
+      return ciobase::OkStatus();
+    }
+    case kVsockOpCreditUpdate:
+      CIO_COV("vsock.rx.credit_update", ciobase::StatusCode::kOk);
+      return ciobase::OkStatus();
+    case kVsockOpCreditRequest: {
+      VsockPacketHeader reply;
+      reply.src_cid = guest_cid_;
+      reply.dst_cid = kVsockHostCid;
+      reply.src_port = local_port_;
+      reply.dst_port = remote_port_;
+      reply.op = kVsockOpCreditUpdate;
+      reply.buf_alloc = static_cast<uint32_t>(
+          pool_.slot_size() * (pool_.slot_count() / 2));
+      reply.fwd_cnt = fwd_cnt_;
+      return SendPacket(reply, {});
+    }
+    case kVsockOpRst:
+    case kVsockOpShutdown:
+      connected_ = false;
+      ++stats_.resets_seen;
+      CIO_COV("vsock.rx.reset", ciobase::StatusCode::kLinkReset);
+      return ciobase::LinkReset("vsock stream reset by peer");
+    default:
+      ++stats_.header_violations;
+      CIO_COV("vsock.rx.unknown_op", ciobase::StatusCode::kHostViolation);
+      return ciobase::HostViolation("vsock unknown opcode");
+  }
+}
+
+ciobase::Result<ciobase::Buffer> VirtioVsockDriver::Receive() {
+  if (rx_queue_.empty()) {
+    return ciobase::Unavailable("no vsock payload pending");
+  }
+  ciobase::Buffer out = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+  return out;
+}
+
+}  // namespace ciovirtio

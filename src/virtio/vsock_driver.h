@@ -1,0 +1,109 @@
+// VirtioVsockDriver: the hardened guest half of the vsock stream device.
+//
+// Every inbound packet is host-authored: the driver bounces it into private
+// memory with a single fetch, validates the completion id against its own
+// bookkeeping, and then treats every header field — CIDs, ports, length,
+// opcode, credit counters — as attacker data. Violations surface as typed
+// Status (kHostViolation / kLinkReset), never as trust in a re-read. The
+// driver carries no watchdog: Poll() never blocks, and Connect() bounds its
+// wait with an explicit deadline on the simulated clock (kTimedOut beyond
+// it). Payload confidentiality/integrity is NOT this layer's job — like the
+// net path, callers that need it seal application records (the fuzz target
+// does AEAD over the echo payload, so host corruption is kTampered there,
+// not silent).
+
+#ifndef SRC_VIRTIO_VSOCK_DRIVER_H_
+#define SRC_VIRTIO_VSOCK_DRIVER_H_
+
+#include <deque>
+#include <map>
+
+#include "src/base/clock.h"
+#include "src/hostsim/observability.h"
+#include "src/virtio/swiotlb.h"
+#include "src/virtio/virtqueue.h"
+#include "src/virtio/vsock_device.h"
+
+namespace ciovirtio {
+
+class VirtioVsockDriver {
+ public:
+  VirtioVsockDriver(ciotee::SharedRegion* region, VsockLayout layout,
+                    KickTarget* device, ciobase::CostModel* costs,
+                    uint64_t expected_cid,
+                    ciohost::ObservabilityLog* observability);
+
+  // Full feature/status dance (shared with virtio-net, including the
+  // mid-flight re-negotiation checks), then one validated read of the
+  // host-published guest CID.
+  ciobase::Status Negotiate();
+
+  // Opens the single stream to (host CID, `port`). Spins the simulated
+  // clock until the response arrives or `deadline_ns` elapses.
+  ciobase::Status Connect(uint32_t port, uint64_t deadline_ns = 1'000'000);
+
+  // Sends one kOpRw payload on the connected stream, respecting the peer's
+  // advertised credit (kResourceExhausted when the window is closed).
+  ciobase::Status Send(ciobase::ByteSpan payload);
+
+  // Drains completed RX buffers into the inbound queue. Never blocks.
+  // Returns the first violation encountered (remaining completions in the
+  // batch are still consumed and validated).
+  ciobase::Status Poll();
+
+  // Pops one received payload, if any (after Poll()).
+  ciobase::Result<ciobase::Buffer> Receive();
+
+  bool connected() const { return connected_; }
+  uint64_t guest_cid() const { return guest_cid_; }
+
+  struct Stats {
+    uint64_t packets_sent = 0;
+    uint64_t packets_received = 0;
+    uint64_t completions_rejected = 0;
+    uint64_t header_violations = 0;
+    uint64_t credit_stalls = 0;
+    uint64_t resets_seen = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ciobase::Status SendPacket(const VsockPacketHeader& header,
+                             ciobase::ByteSpan payload);
+  void PostRxBuffer();
+  // Validates one RX used entry; appends payloads to rx_queue_.
+  ciobase::Status ConsumeRx(const UsedElem& elem);
+  void ReapTx();
+
+  ciotee::SharedRegion* region_;
+  VsockLayout layout_;
+  VirtqueueDriver tx_;
+  VirtqueueDriver rx_;
+  Swiotlb pool_;
+  KickTarget* device_;
+  ciobase::CostModel* costs_;
+  uint64_t expected_cid_;
+  ciohost::ObservabilityLog* observability_;
+
+  bool negotiated_ = false;
+  bool connected_ = false;
+  uint64_t guest_cid_ = 0;
+  uint32_t local_port_ = 0;
+  uint32_t remote_port_ = 0;
+  // Credit (snapshot of the peer's last advertisement; host-authored, used
+  // only to throttle our own sends — lying shrinks the host's own service).
+  uint32_t peer_buf_alloc_ = 0;
+  uint32_t peer_fwd_cnt_ = 0;
+  uint32_t tx_cnt_ = 0;   // total payload bytes we have sent
+  uint32_t fwd_cnt_ = 0;  // total payload bytes we have consumed
+
+  std::map<uint16_t, uint64_t> tx_outstanding_;  // desc id -> pool slot
+  std::map<uint16_t, uint64_t> rx_outstanding_;
+  std::deque<ciobase::Buffer> rx_queue_;
+  std::vector<UsedElem> used_scratch_;
+  Stats stats_;
+};
+
+}  // namespace ciovirtio
+
+#endif  // SRC_VIRTIO_VSOCK_DRIVER_H_

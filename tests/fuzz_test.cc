@@ -1,0 +1,289 @@
+// Tests for the coverage-guided host-interface fuzzer (src/fuzz) and the
+// FaultWindow semantics it pins down (src/hostsim/adversary.h).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/base/coverage.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/mutator.h"
+#include "src/fuzz/target.h"
+#include "src/hostsim/adversary.h"
+
+namespace {
+
+using ciofuzz::FuzzInput;
+using ciofuzz::MutationStep;
+using ciofuzz::MutOp;
+using ciofuzz::Mutator;
+using ciofuzz::TargetWindow;
+using ciohost::Adversary;
+using ciohost::FaultStrategy;
+using ciohost::FaultWindow;
+
+TargetWindow RawWindow(const char* name, ciobase::MutableByteSpan span) {
+  TargetWindow window;
+  window.name = name;
+  window.length = span.size();
+  window.raw = span;
+  return window;
+}
+
+// --- Mutation steps ----------------------------------------------------------
+
+TEST(MutatorTest, SerializeParseRoundTrip) {
+  FuzzInput input;
+  input.steps.push_back({7, "l2.counters", MutOp::kWriteLe64, 64, 8,
+                         0xdeadbeefcafef00dULL});
+  input.steps.push_back({0, "virtio.rest", MutOp::kBitFlip, 12345, 1, 5});
+  input.steps.push_back({159, "block.cells", MutOp::kFillRandom, 0, 64, 42});
+
+  std::string text = input.Serialize();
+  FuzzInput parsed;
+  ASSERT_TRUE(FuzzInput::Parse(text, &parsed));
+  ASSERT_EQ(parsed.steps.size(), input.steps.size());
+  for (size_t i = 0; i < input.steps.size(); ++i) {
+    EXPECT_EQ(parsed.steps[i].round, input.steps[i].round);
+    EXPECT_EQ(parsed.steps[i].window, input.steps[i].window);
+    EXPECT_EQ(parsed.steps[i].op, input.steps[i].op);
+    EXPECT_EQ(parsed.steps[i].offset, input.steps[i].offset);
+    EXPECT_EQ(parsed.steps[i].width, input.steps[i].width);
+    EXPECT_EQ(parsed.steps[i].value, input.steps[i].value);
+  }
+  // Re-serializing the parse reproduces the text exactly.
+  EXPECT_EQ(parsed.Serialize(), text);
+}
+
+TEST(MutatorTest, ParseIgnoresHeaderAndComments) {
+  const char* repro =
+      "# cio-fuzz repro\n"
+      "target=net-dual-boundary\n"
+      "seed=42\n"
+      "\n"
+      "# a note\n"
+      "step 3 l5.ctrl byte-set 8 1 129\n";
+  FuzzInput parsed;
+  ASSERT_TRUE(FuzzInput::Parse(repro, &parsed));
+  ASSERT_EQ(parsed.steps.size(), 1u);
+  EXPECT_EQ(parsed.steps[0].round, 3u);
+  EXPECT_EQ(parsed.steps[0].window, "l5.ctrl");
+  EXPECT_EQ(parsed.steps[0].op, MutOp::kByteSet);
+}
+
+TEST(MutatorTest, ParseRejectsMalformedStep) {
+  FuzzInput parsed;
+  EXPECT_FALSE(FuzzInput::Parse("step 1 w not-an-op 0 1 0\n", &parsed));
+  EXPECT_FALSE(FuzzInput::Parse("step 1 w\n", &parsed));
+}
+
+TEST(MutatorTest, ApplyStepWritesExactBytes) {
+  ciobase::Buffer memory(64, 0);
+  TargetWindow window =
+      RawWindow("w", ciobase::MutableByteSpan(memory.data(), memory.size()));
+
+  Mutator::ApplyStep({0, "w", MutOp::kByteSet, 10, 1, 0x5a}, window);
+  EXPECT_EQ(memory[10], 0x5a);
+
+  Mutator::ApplyStep({0, "w", MutOp::kWriteLe32, 20, 4, 0x11223344}, window);
+  EXPECT_EQ(memory[20], 0x44);
+  EXPECT_EQ(memory[21], 0x33);
+  EXPECT_EQ(memory[22], 0x22);
+  EXPECT_EQ(memory[23], 0x11);
+
+  Mutator::ApplyStep({0, "w", MutOp::kBitFlip, 0, 1, 3}, window);
+  EXPECT_EQ(memory[0], 1 << 3);
+
+  Mutator::ApplyStep({0, "w", MutOp::kAddDelta, 20, 4, 1}, window);
+  EXPECT_EQ(memory[20], 0x45);  // 0x11223344 + 1, low byte
+
+  // Offsets are clamped modulo the window, never past it.
+  Mutator::ApplyStep({0, "w", MutOp::kByteSet, 64 + 5, 1, 0xEE}, window);
+  EXPECT_EQ(memory[5], 0xEE);
+}
+
+TEST(MutatorTest, FillRandomIsAFunctionOfTheStepAlone) {
+  ciobase::Buffer a(32, 0), b(32, 0);
+  TargetWindow wa = RawWindow("w", ciobase::MutableByteSpan(a.data(), 32));
+  TargetWindow wb = RawWindow("w", ciobase::MutableByteSpan(b.data(), 32));
+  MutationStep step{0, "w", MutOp::kFillRandom, 4, 16, 777};
+  Mutator::ApplyStep(step, wa);
+  Mutator::ApplyStep(step, wb);
+  EXPECT_EQ(a, b);
+  // The fill actually wrote something.
+  EXPECT_NE(a, ciobase::Buffer(32, 0));
+}
+
+TEST(MutatorTest, GenerateIsDeterministicInSeed) {
+  std::vector<TargetWindow> specs;
+  TargetWindow spec;
+  spec.name = "w";
+  spec.length = 4096;
+  spec.weight = 1;
+  specs.push_back(spec);
+
+  Mutator m1(123), m2(123), m3(124);
+  FuzzInput a = m1.Generate(specs, 160, 10);
+  FuzzInput b = m2.Generate(specs, 160, 10);
+  FuzzInput c = m3.Generate(specs, 160, 10);
+  EXPECT_EQ(a.Serialize(), b.Serialize());
+  EXPECT_NE(a.Serialize(), c.Serialize());
+}
+
+// --- Campaign determinism and coverage ---------------------------------------
+
+ciofuzz::FuzzOptions SmallCampaign(uint64_t seed) {
+  ciofuzz::FuzzOptions options;
+  options.seed = seed;
+  options.run.seed = seed;
+  options.iterations = 36;
+  return options;
+}
+
+TEST(FuzzerTest, CampaignIsDeterministicInSeed) {
+  ciofuzz::FuzzReport first = ciofuzz::Fuzzer(SmallCampaign(7)).Run();
+  ciofuzz::FuzzReport second = ciofuzz::Fuzzer(SmallCampaign(7)).Run();
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
+  EXPECT_EQ(first.coverage_hash, second.coverage_hash);
+  EXPECT_EQ(first.mutated_edges, second.mutated_edges);
+  EXPECT_EQ(first.corpus_size, second.corpus_size);
+  EXPECT_EQ(first.failures.size(), second.failures.size());
+
+  ciofuzz::FuzzReport other = ciofuzz::Fuzzer(SmallCampaign(8)).Run();
+  EXPECT_NE(first.trace_hash, other.trace_hash);
+}
+
+TEST(FuzzerTest, MutationAddsCoverageOverBaseline) {
+  // The same assertion the CI smoke gate makes: a campaign must light up
+  // edges the unmutated workloads never reach, or the mutator is dead
+  // weight.
+  ciofuzz::FuzzOptions options = SmallCampaign(42);
+  options.iterations = 120;
+  ciofuzz::FuzzReport report = ciofuzz::Fuzzer(options).Run();
+  EXPECT_EQ(report.baseline_incomplete, 0u)
+      << "unmutated baseline workloads must complete";
+  EXPECT_GT(report.mutated_edges, report.baseline_edges);
+}
+
+TEST(FuzzerTest, ReplayReproducesARecordedRun) {
+  // Serialize a handcrafted failure record, then replay it twice: the
+  // outcomes must agree field for field (the repro file is the full input).
+  ciofuzz::FuzzFailure failure;
+  failure.target = "net-dual-boundary";
+  failure.kind = "synthetic";
+  failure.note = "determinism probe";
+  failure.input.steps.push_back(
+      {9, "l5.ctrl", MutOp::kWriteLe16, 16, 4, 15058137608686373754ULL});
+  failure.input.steps.push_back({6, "l5.ctrl", MutOp::kByteSet, 10, 2, 129});
+
+  ciofuzz::FuzzOptions options;
+  std::string path = ::testing::TempDir() + "/cio_fuzz_replay_test.txt";
+  {
+    std::ofstream file(path);
+    file << ciofuzz::Fuzzer::ReproText(failure, options);
+  }
+
+  ciofuzz::RunResult first, second;
+  std::string error;
+  ASSERT_TRUE(ciofuzz::Fuzzer::Replay(path, &first, &error)) << error;
+  ASSERT_TRUE(ciofuzz::Fuzzer::Replay(path, &second, &error)) << error;
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.gated, second.gated);
+  EXPECT_EQ(first.kind, second.kind);
+  EXPECT_EQ(first.steps_applied, second.steps_applied);
+  EXPECT_EQ(first.non_ok_edges, second.non_ok_edges);
+  EXPECT_EQ(first.steps_applied, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(FuzzerTest, ReplayRejectsUnknownTargetAndMissingFile) {
+  ciofuzz::RunResult result;
+  std::string error;
+  EXPECT_FALSE(
+      ciofuzz::Fuzzer::Replay("/nonexistent/repro.txt", &result, &error));
+
+  std::string path = ::testing::TempDir() + "/cio_fuzz_bad_target.txt";
+  {
+    std::ofstream file(path);
+    file << "target=no-such-target\nstep 0 w bit-flip 0 1 0\n";
+  }
+  EXPECT_FALSE(ciofuzz::Fuzzer::Replay(path, &result, &error));
+  std::remove(path.c_str());
+}
+
+TEST(FuzzerTest, EveryTargetHasWindowsAndIsFindableByName) {
+  auto targets = ciofuzz::AllFuzzTargets();
+  ASSERT_FALSE(targets.empty());
+  for (const auto& target : targets) {
+    EXPECT_FALSE(target->WindowSpecs().empty()) << target->name();
+    EXPECT_NE(ciofuzz::MakeFuzzTarget(target->name()), nullptr)
+        << target->name();
+  }
+  EXPECT_EQ(ciofuzz::MakeFuzzTarget("bogus"), nullptr);
+}
+
+// --- FaultWindow semantics (pinned here; see adversary.h) --------------------
+
+TEST(FaultWindowTest, PermanentWindowNeverClears) {
+  FaultWindow fault = FaultWindow::Permanent(FaultStrategy::kLinkKill, 100);
+  EXPECT_FALSE(fault.ActiveAt(99));
+  EXPECT_TRUE(fault.ActiveAt(100));
+  EXPECT_TRUE(fault.ActiveAt(UINT64_MAX));
+}
+
+TEST(FaultWindowTest, DirectZeroDurationIsPermanent) {
+  // Pre-existing campaign idiom: a brace-constructed {strategy, now, 0}
+  // means "dead forever" (storage_crash_test relies on it).
+  FaultWindow fault{FaultStrategy::kLinkKill, 50, 0};
+  EXPECT_TRUE(fault.ActiveAt(50));
+  EXPECT_TRUE(fault.ActiveAt(1'000'000'000));
+}
+
+TEST(FaultWindowTest, TimedZeroDurationIsEmptyNotPermanent) {
+  // A computed duration that collapses to zero must degrade to a no-op, not
+  // silently escalate to a permanent fault.
+  FaultWindow fault =
+      FaultWindow::Timed(FaultStrategy::kStallCounters, 100, 0);
+  EXPECT_FALSE(fault.ActiveAt(99));
+  EXPECT_FALSE(fault.ActiveAt(100));
+  EXPECT_FALSE(fault.ActiveAt(101));
+  EXPECT_FALSE(fault.ActiveAt(UINT64_MAX));
+}
+
+TEST(FaultWindowTest, TimedWindowIsHalfOpen) {
+  FaultWindow fault =
+      FaultWindow::Timed(FaultStrategy::kDropFrames, 100, 10);
+  EXPECT_FALSE(fault.ActiveAt(99));
+  EXPECT_TRUE(fault.ActiveAt(100));   // inclusive start
+  EXPECT_TRUE(fault.ActiveAt(109));
+  EXPECT_FALSE(fault.ActiveAt(110));  // exclusive end
+}
+
+TEST(FaultWindowTest, NoneStrategyIsNeverActive) {
+  FaultWindow fault{FaultStrategy::kNone, 0, 0};
+  EXPECT_FALSE(fault.ActiveAt(0));
+  EXPECT_FALSE(fault.ActiveAt(12345));
+}
+
+TEST(FaultWindowTest, OverlappingWindowsFormAUnion) {
+  Adversary adversary(1);
+  adversary.InjectFault(
+      FaultWindow::Timed(FaultStrategy::kDropFrames, 100, 50));
+  adversary.InjectFault(
+      FaultWindow::Timed(FaultStrategy::kDropFrames, 120, 100));
+
+  EXPECT_FALSE(adversary.FaultActive(FaultStrategy::kDropFrames, 99));
+  EXPECT_TRUE(adversary.FaultActive(FaultStrategy::kDropFrames, 110));
+  // Inside the overlap: active, and counted as ONE event for this query.
+  uint64_t before = adversary.fault_events();
+  EXPECT_TRUE(adversary.FaultActive(FaultStrategy::kDropFrames, 130));
+  EXPECT_EQ(adversary.fault_events(), before + 1);
+  // Covered only by the second window once the first expires.
+  EXPECT_TRUE(adversary.FaultActive(FaultStrategy::kDropFrames, 180));
+  EXPECT_FALSE(adversary.FaultActive(FaultStrategy::kDropFrames, 220));
+  // Different strategies are independent.
+  EXPECT_FALSE(adversary.FaultActive(FaultStrategy::kLinkKill, 130));
+}
+
+}  // namespace

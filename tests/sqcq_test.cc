@@ -12,10 +12,12 @@
 #include <string>
 #include <vector>
 
+#include "src/base/coverage.h"
 #include "src/base/rng.h"
 #include "src/cio/engine.h"
 #include "src/cio/l5_channel.h"
 #include "src/cio/sqcq.h"
+#include "src/fuzz/mutator.h"
 #include "src/net/fabric.h"
 
 namespace {
@@ -460,6 +462,171 @@ TEST(Sqcq, CqTailOutsideRingWindowIsTampering) {
   ciobase::StoreLe32(region.data() + kCtrlCqTail,
                      world.l5->queue_config().cq_entries + 7);
   EXPECT_EQ(world.l5->Poll().code(), ciobase::StatusCode::kTampered);
+}
+
+// --- Hostile control-cell mutation (the fuzzer's mutator as a library) ------
+
+// The SQ/CQ control cells are the five hottest host-writable words in the
+// L5 region. These tests drive them with ciofuzz::Mutator::ApplyStep — the
+// exact write primitive the campaign uses — and assert the channel's
+// contract: app-owned cells self-heal, io-owned forgeries are typed, and
+// nothing ever wedges without a typed signal.
+
+ciofuzz::TargetWindow CtrlWindow(SqcqWorld& world) {
+  ciofuzz::TargetWindow window;
+  window.name = "l5.ctrl";
+  window.length = kSqcqControlBytes;
+  window.weight = 1;
+  window.raw = world.l5->queue_region_for_test().subspan(0, kSqcqControlBytes);
+  return window;
+}
+
+bool SawEdge(std::string_view site, ciobase::StatusCode code) {
+  for (const ciobase::CoverageMap::Edge& edge :
+       ciobase::CoverageMap::Instance().Edges()) {
+    if (edge.site == site && edge.code == static_cast<uint16_t>(code)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(SqcqMutation, ForgedCqHeadIsTypedEdgeAndSelfHeals) {
+  SqcqWorld world;
+  auto [server, client] = world.Establish();
+  ciobase::CoverageMap::Instance().ResetHits();
+  ASSERT_TRUE(world.QueuePlain(server, BufferFromString("held then drained")));
+
+  // Forge the app-owned CqHead one past the published tail: the unsigned
+  // window tail - head wraps huge and the incoherent-head check fires.
+  ciofuzz::TargetWindow ctrl = CtrlWindow(world);
+  ciofuzz::MutationStep forge;
+  forge.window = ctrl.name;
+  forge.op = ciofuzz::MutOp::kWriteLe32;
+  forge.offset = kCtrlCqHead;
+  forge.value = ciobase::LoadLe32(ctrl.raw.data() + kCtrlCqTail) + 1;
+  ciofuzz::Mutator::ApplyStep(forge, ctrl);
+
+  // The doorbell's io pass sees the forged head, holds the completion (not
+  // dropped) and emits the typed edge; Harvest re-asserts the true head in
+  // the same call, so this is never Tampered.
+  EXPECT_NE(world.l5->Poll().code(), ciobase::StatusCode::kTampered);
+  EXPECT_TRUE(SawEdge("l5.cq.incoherent_head",
+                      ciobase::StatusCode::kOutOfRange));
+
+  // ...and the wedge heals: the held completion drains on later doorbells.
+  world.Pump();
+  EXPECT_EQ(world.l5->in_flight_entries(), 0u);
+  EXPECT_EQ(ciobase::LoadLe32(ctrl.raw.data() + kCtrlCqHead),
+            ciobase::LoadLe32(ctrl.raw.data() + kCtrlCqTail));
+}
+
+TEST(SqcqMutation, ForgedEpochCellDropsStaleTypedAndHeals) {
+  SqcqWorld world;
+  auto [server, client] = world.Establish();
+  ciobase::CoverageMap::Instance().ResetHits();
+  ASSERT_TRUE(world.QueuePlain(server, BufferFromString("stamped stale")));
+
+  // Bump the app-owned epoch cell: the io side stamps this send's CQE with
+  // the forged generation, which the reaper must drop as recovery noise —
+  // a typed counter and edge, never Tampered, never a trusted completion.
+  ciofuzz::TargetWindow ctrl = CtrlWindow(world);
+  ciofuzz::MutationStep forge;
+  forge.window = ctrl.name;
+  forge.op = ciofuzz::MutOp::kAddDelta;
+  forge.offset = kCtrlEpoch;
+  forge.width = 4;
+  forge.value = 7;
+  ciofuzz::Mutator::ApplyStep(forge, ctrl);
+
+  EXPECT_TRUE(world.l5->Poll().ok());
+  EXPECT_GE(world.l5->stats().cq_stale_dropped, 1u);
+  EXPECT_TRUE(SawEdge("l5.cq.stale_epoch",
+                      ciobase::StatusCode::kUnavailable));
+  // Harvest healed the cell back to the true generation.
+  EXPECT_EQ(ciobase::LoadLe32(ctrl.raw.data() + kCtrlEpoch),
+            world.l5->epoch());
+}
+
+TEST(SqcqMutation, ForgedSqHeadCannotSpoofConsumption) {
+  L5QueueConfig tiny;
+  tiny.sq_entries = 2;
+  tiny.cq_entries = 4;
+  tiny.pool_slots = 16;
+  tiny.slot_size = 512;
+  SqcqWorld world(tiny);
+  auto [server, client] = world.Establish();
+  Buffer payload = BufferFromString("gate");
+  ASSERT_TRUE(world.QueuePlain(server, payload));
+  ASSERT_TRUE(world.QueuePlain(server, payload));
+
+  // Host pretends the io side consumed far ahead. SQ-full detection uses
+  // the count returned through the call gate, never this cell, so the
+  // forgery buys nothing: the ring stays full.
+  ciofuzz::TargetWindow ctrl = CtrlWindow(world);
+  ciofuzz::MutationStep forge;
+  forge.window = ctrl.name;
+  forge.op = ciofuzz::MutOp::kWriteLe32;
+  forge.offset = kCtrlSqHead;
+  forge.value = 1000;
+  ciofuzz::Mutator::ApplyStep(forge, ctrl);
+  EXPECT_FALSE(world.QueuePlain(server, payload));
+
+  // A real doorbell consumes through the gate and reopens the ring.
+  EXPECT_NE(world.l5->Poll().code(), ciobase::StatusCode::kTampered);
+  EXPECT_TRUE(world.QueuePlain(server, payload));
+  world.Pump();
+  EXPECT_EQ(world.l5->in_flight_entries(), 0u);
+}
+
+TEST(SqcqMutation, SeededControlCellStormNeverWedgesSilently) {
+  // Seeded random storms over the whole control block, exactly as the
+  // campaign generates them. The oracle contract: every storm ends in
+  // typed tampering, a clean drain, or a wedge that left a typed signal —
+  // a silent wedge (stuck in-flight entries with only kOk edges) is the
+  // gated "hang" failure.
+  const uint64_t seeds[] = {11, 29, 6361};
+  for (uint64_t seed : seeds) {
+    SqcqWorld world;
+    auto [server, client] = world.Establish();
+    ciobase::CoverageMap::Instance().ResetHits();
+    std::vector<ciofuzz::TargetWindow> windows;
+    windows.push_back(CtrlWindow(world));
+    ciofuzz::Mutator mutator(seed);
+    constexpr uint32_t kRounds = 24;
+    ciofuzz::FuzzInput input = mutator.Generate(windows, kRounds, 12);
+
+    bool tampered = false;
+    for (uint32_t round = 0; round < kRounds && !tampered; ++round) {
+      if (round % 4 == 0) {
+        (void)world.QueuePlain(server, BufferFromString("storm"));
+      }
+      mutator.ApplyRound(input, round, windows);
+      if (world.l5->Poll().code() == ciobase::StatusCode::kTampered) {
+        tampered = true;  // typed detection: recovery would take over
+      }
+      world.peer_stack->Poll();
+      world.clock.Advance(5'000);
+    }
+    if (tampered) {
+      continue;
+    }
+    world.Pump();
+    bool drained = world.l5->in_flight_entries() == 0;
+    bool typed_signal = world.l5->stats().cq_stale_dropped > 0;
+    for (const ciobase::CoverageMap::Edge& edge :
+         ciobase::CoverageMap::Instance().Edges()) {
+      if (edge.code != 0) {
+        typed_signal = true;
+      }
+    }
+    EXPECT_TRUE(drained || typed_signal) << "silent wedge at seed " << seed;
+    // The self-healing cells converged back to the app's private truth.
+    EXPECT_EQ(ciobase::LoadLe32(
+                  world.l5->queue_region_for_test().data() + kCtrlEpoch),
+              world.l5->epoch())
+        << "seed " << seed;
+  }
 }
 
 // --- Exactly-once across a mid-batch link kill ------------------------------

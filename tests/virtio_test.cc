@@ -94,6 +94,40 @@ TEST(VirtioNegotiation, SendBeforeNegotiateFails) {
             ciobase::StatusCode::kFailedPrecondition);
 }
 
+TEST(VirtioNegotiation, MidFlightNeedsResetIsTypedViolation) {
+  // The status byte is the host's lever for forcing re-negotiation. A
+  // hardened driver reads it back exactly once and refuses anything but the
+  // value it wrote — NEEDS_RESET mid-dance is a typed violation, never a
+  // silent restart of the dance.
+  VirtioWorld world(HardeningOptions::Full());
+  size_t status_offset = world.layout.config.StatusOffset();
+  world.shared.SetTamperHook([status_offset](ciobase::MutableByteSpan bytes) {
+    bytes[status_offset] |= kStatusNeedsReset;
+  });
+  EXPECT_EQ(world.driver->Negotiate().code(),
+            ciobase::StatusCode::kHostViolation);
+  world.shared.ClearTamperHook();
+}
+
+TEST(VirtioNegotiation, FeatureWordSwapAfterAcceptIsTypedViolation) {
+  // Advertise-then-swap: the host changes the device feature words only
+  // after the driver has written its accepted subset. The driver's private
+  // snapshot stays authoritative, and the changed word surfaces as a typed
+  // violation instead of being silently re-read.
+  VirtioWorld world(HardeningOptions::Full());
+  size_t device_features = world.layout.config.DeviceFeaturesOffset();
+  size_t driver_features = world.layout.config.DriverFeaturesOffset();
+  world.shared.SetTamperHook(
+      [device_features, driver_features](ciobase::MutableByteSpan bytes) {
+        if (ciobase::LoadLe64(bytes.data() + driver_features) != 0) {
+          bytes[device_features + 5] |= 0x80;  // unknown high feature bit
+        }
+      });
+  EXPECT_EQ(world.driver->Negotiate().code(),
+            ciobase::StatusCode::kHostViolation);
+  world.shared.ClearTamperHook();
+}
+
 TEST(VirtioDataPath, GuestToPeer) {
   VirtioWorld world(HardeningOptions::Full());
   ASSERT_TRUE(world.driver->Negotiate().ok());

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Builds and drives the coverage-guided host-interface fuzzer (src/fuzz,
+# CLI in bench/fuzz_interface.cc).
+#
+# Usage:
+#   tools/run_fuzz.sh --smoke [build-dir]        CI gate: fixed-seed 10k
+#                                                iterations across every
+#                                                target; repro files land in
+#                                                $FUZZ_OUT (default
+#                                                <build>/fuzz-out); exits
+#                                                non-zero on any gated
+#                                                failure or missing coverage
+#                                                gain
+#   tools/run_fuzz.sh --replay FILE [build-dir]  re-execute one serialized
+#                                                repro; exit 0 iff the
+#                                                recorded failure reproduces
+#   tools/run_fuzz.sh [flags...]                 ad-hoc campaign; flags are
+#                                                passed straight to the
+#                                                binary (--seed, --iters,
+#                                                --target, --json, ...)
+#
+# FUZZ_OUT overrides where smoke-mode repro files are written.
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+mode="run"
+replay_file=""
+case "${1:-}" in
+  --smoke)
+    mode="smoke"
+    shift
+    ;;
+  --replay)
+    mode="replay"
+    replay_file="${2:?usage: tools/run_fuzz.sh --replay FILE [build-dir]}"
+    shift 2
+    ;;
+esac
+
+# A trailing bare argument that names a directory selects the build tree
+# (mirrors run_bench.sh); everything else is forwarded to the binary.
+build_dir="$repo_root/build"
+args=()
+for arg in "$@"; do
+  if [[ -d "$arg" || "$arg" == */build* ]] && [[ "$arg" != -* ]]; then
+    build_dir="$arg"
+  else
+    args+=("$arg")
+  fi
+done
+
+cmake -B "$build_dir" -S "$repo_root" >/dev/null
+cmake --build "$build_dir" --target fuzz_interface -j >/dev/null
+
+fuzz_bin="$build_dir/bench/fuzz_interface"
+
+case "$mode" in
+  smoke)
+    out_dir="${FUZZ_OUT:-$build_dir/fuzz-out}"
+    mkdir -p "$out_dir"
+    "$fuzz_bin" --smoke --out "$out_dir" "${args[@]+"${args[@]}"}"
+    ;;
+  replay)
+    "$fuzz_bin" --replay "$replay_file" "${args[@]+"${args[@]}"}"
+    ;;
+  run)
+    "$fuzz_bin" "${args[@]+"${args[@]}"}"
+    ;;
+esac
