@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "LINK_RESET";
     case StatusCode::kTampered:
       return "TAMPERED";
+    case StatusCode::kUnauthenticated:
+      return "UNAUTHENTICATED";
     case StatusCode::kHostViolation:
       return "HOST_VIOLATION";
     case StatusCode::kPermissionDenied:
@@ -79,6 +81,9 @@ Status LinkReset(std::string message) {
 }
 Status Tampered(std::string message) {
   return Status(StatusCode::kTampered, std::move(message));
+}
+Status Unauthenticated(std::string message) {
+  return Status(StatusCode::kUnauthenticated, std::move(message));
 }
 Status HostViolation(std::string message) {
   return Status(StatusCode::kHostViolation, std::move(message));

@@ -32,6 +32,7 @@ enum class StatusCode {
   kLinkReset,          // the link was reset and reattached; in-flight frames
                        // on the old ring are gone and must be re-sent
   kTampered,           // cryptographic or structural integrity check failed
+  kUnauthenticated,    // admission refused: missing/forged/stale attestation
   kHostViolation,      // the untrusted host broke the interface contract
   kPermissionDenied,   // trust-domain policy forbids the access
   kUnimplemented,
@@ -74,6 +75,7 @@ Status Unavailable(std::string message);
 Status TimedOut(std::string message);
 Status LinkReset(std::string message);
 Status Tampered(std::string message);
+Status Unauthenticated(std::string message);
 Status HostViolation(std::string message);
 Status PermissionDenied(std::string message);
 Status Unimplemented(std::string message);

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/base/log.h"
+#include "src/tee/attestation.h"
 
 namespace cio {
 
@@ -294,7 +295,9 @@ ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
       costs_(clock),
       adversary_(config_.seed ^ 0xadu),
       session_(config_.use_tls, config_.psk,
-               config_.recovery.enabled ? config_.recovery.resend_window : 0) {
+               config_.recovery.enabled ? config_.recovery.resend_window : 0,
+               RekeyPolicy{config_.rekey_after_records,
+                           config_.rekey_after_bytes}) {
   if (!config_.Valid()) {
     failed_ = true;
     return;
@@ -501,6 +504,44 @@ ciobase::Status ConfidentialNode::Connect(cionet::Ipv4Address peer,
   return ciobase::OkStatus();
 }
 
+ciobase::Status ConfidentialNode::Disconnect() {
+  if (failed_ || ops_ == nullptr) {
+    return ciobase::FailedPrecondition("node failed to initialize");
+  }
+  if (have_socket_) {
+    // Orderly FIN first (buffered data flushes), then release every pool
+    // slot / held CQE / armed counter the socket still pins — the churn
+    // loop must return the node to exact pool-accounting zero.
+    (void)ops_->Close(socket_);
+    if (l5_ != nullptr) {
+      l5_->CancelSocket(socket_);
+    }
+  }
+  have_socket_ = false;
+  connected_transport_ = false;
+  is_client_ = false;
+  admitted_ = false;
+  reconnect_pending_ = false;
+  resend_pending_ = false;
+  reconnect_attempts_ = 0;
+  reconnect_backoff_ns_ = 0;
+  RetireSessionStats();
+  session_.Forget();
+  ++sessions_retired_;
+  return ciobase::OkStatus();
+}
+
+void ConfidentialNode::RetireSessionStats() {
+  const Session::Stats& s = session_.stats();
+  retired_.sent += s.messages_sent;
+  retired_.received += s.messages_received;
+  retired_.resent += s.messages_resent;
+  retired_.dups += s.messages_duplicate_dropped;
+  retired_.lost += s.messages_lost;
+  retired_.tls_restarts += s.tls_restarts;
+  retired_.rekeys += s.rekeys;
+}
+
 bool ConfidentialNode::Ready() const {
   if (failed_ || !have_socket_ || !connected_transport_) {
     return false;
@@ -627,6 +668,88 @@ void ConfidentialNode::PollRecovery() {
   }
 }
 
+void ConfidentialNode::PollControlPlane() {
+  while (session_.HasControl()) {
+    auto msg = session_.PollControl();
+    if (!msg.has_value()) {
+      break;
+    }
+    switch (static_cast<CtrlType>(msg->type)) {
+      case CtrlType::kAttestChallenge: {
+        // Bind the report to this connection: nonce = H(challenge ||
+        // transcript), so a report lifted from another connection or signed
+        // over an old challenge fails verification. A node without a
+        // platform key answers with an empty report and takes the typed
+        // rejection.
+        ciobase::Buffer report_bytes;
+        if (!config_.attestation_key.empty()) {
+          ciocrypto::Sha256Digest transcript{};
+          if (session_.tls() != nullptr) {
+            transcript = session_.tls()->transcript_hash();
+          }
+          // Stale-probe hook: sign zeros instead of the fresh challenge,
+          // modeling a replayed report.
+          ciobase::Buffer challenge =
+              config_.attest_stale_probe
+                  ? ciobase::Buffer(msg->body.size(), 0)
+                  : msg->body;
+          ciotee::AttestationAuthority authority(config_.attestation_key);
+          ciotee::AttestationReport report = authority.Issue(
+              ciotee::Measure(config_.code_identity, {}),
+              ciotee::BindNonce(challenge, transcript));
+          report_bytes = report.Serialize();
+        }
+        (void)session_.SendControl(CtrlType::kAttestReport, report_bytes);
+        PumpBytes();
+        break;
+      }
+      case CtrlType::kAdmitted:
+        admitted_ = true;
+        break;
+      case CtrlType::kDenied:
+        // Terminal: reconnecting with the same credential would only burn
+        // the recovery budget on guaranteed kUnauthenticated rejections.
+        denied_ = true;
+        failed_ = true;
+        return;
+      case CtrlType::kRedirect: {
+        if (msg->body.size() != 6 || !is_client_ ||
+            !config_.recovery.enabled) {
+          break;
+        }
+        cionet::Ipv4Address target{ciobase::LoadLe32(msg->body.data())};
+        uint16_t port = static_cast<uint16_t>(
+            msg->body[4] | static_cast<uint16_t>(msg->body[5]) << 8);
+        // The session migrated: drop the transport to the old instance and
+        // reconnect to the new one immediately (directed move, no backoff).
+        // The resend window + fresh handshake restore exactly-once there.
+        ++migrations_;
+        if (have_socket_) {
+          (void)ops_->Abort(socket_);
+        }
+        have_socket_ = false;
+        connected_transport_ = false;
+        session_.ResetChannel();
+        if (l5_ != nullptr) {
+          l5_->AbandonInFlight();
+        }
+        admitted_ = false;
+        peer_ip_ = target;
+        peer_port_ = port;
+        reconnect_pending_ = true;
+        resend_pending_ = true;
+        if (reconnect_backoff_ns_ == 0) {
+          reconnect_backoff_ns_ = config_.recovery.backoff_initial_ns;
+        }
+        next_reconnect_ns_ = clock_->now_ns();
+        return;  // ResetChannel dropped the rest of the control inbox
+      }
+      default:
+        break;  // unknown control types are ignored, not faults
+    }
+  }
+}
+
 void ConfidentialNode::Poll() {
   if (ops_ == nullptr) {
     return;
@@ -671,6 +794,7 @@ void ConfidentialNode::Poll() {
     BeginRecovery("tls session failed");
   }
   PumpBytes();
+  PollControlPlane();
   PollRecovery();
 }
 
@@ -716,10 +840,11 @@ ciobase::Result<ciobase::Buffer> ConfidentialNode::ReceiveMessage() {
 ConfidentialNode::RecoveryStats ConfidentialNode::recovery_stats() const {
   RecoveryStats stats = recovery_stats_;
   const Session::Stats& session = session_.stats();
-  stats.tls_restarts = session.tls_restarts;
-  stats.messages_resent = session.messages_resent;
-  stats.messages_duplicate_dropped = session.messages_duplicate_dropped;
-  stats.messages_lost = session.messages_lost;
+  stats.tls_restarts = session.tls_restarts + retired_.tls_restarts;
+  stats.messages_resent = session.messages_resent + retired_.resent;
+  stats.messages_duplicate_dropped =
+      session.messages_duplicate_dropped + retired_.dups;
+  stats.messages_lost = session.messages_lost + retired_.lost;
   return stats;
 }
 

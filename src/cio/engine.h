@@ -108,12 +108,30 @@ class ConfidentialNode {
 
   ciobase::Status Listen(uint16_t port);
   ciobase::Status Connect(cionet::Ipv4Address peer, uint16_t port);
+  // Orderly teardown of the current connection and a full session reset:
+  // the node can Connect() again as a brand-new peer relationship (churn).
+  // Cumulative message/recovery counters survive in the retired totals.
+  ciobase::Status Disconnect();
   // Drives everything: host devices, guest stack, TLS pumping. Call in the
   // simulation loop.
   void Poll();
   // True once the transport is connected and (if enabled) TLS established.
   bool Ready() const;
   bool Failed() const;
+
+  // --- Admission / migration (client side) ------------------------------------
+
+  // Attestation-gated servers challenge after the handshake; Poll() answers
+  // with a report bound to {challenge, TLS transcript} using
+  // config.attestation_key. These expose the outcome.
+  bool admitted() const { return admitted_; }
+  // The server rejected admission (kUnauthenticated there): terminal here —
+  // reconnect loops cannot fix a bad credential.
+  bool denied() const { return denied_; }
+  // Times this node followed a kCtrlRedirect to a new instance.
+  uint64_t migrations() const { return migrations_; }
+  // Sessions retired by Disconnect() over this node's lifetime.
+  uint64_t sessions_retired() const { return sessions_retired_; }
 
   // --- Application data ---------------------------------------------------------
 
@@ -156,14 +174,17 @@ class ConfidentialNode {
   SocketLayer* sockets() { return ops_.get(); }
   // Application-level operations completed (messages in + out): the
   // denominator of the observability score.
-  uint64_t app_ops() const {
-    return session_.stats().messages_sent + session_.stats().messages_received;
+  uint64_t app_ops() const { return messages_sent() + messages_received(); }
+  uint64_t messages_sent() const {
+    return session_.stats().messages_sent + retired_.sent;
   }
-  uint64_t messages_sent() const { return session_.stats().messages_sent; }
   uint64_t messages_received() const {
-    return session_.stats().messages_received;
+    return session_.stats().messages_received + retired_.received;
   }
+  // Send-direction key updates initiated (live session + retired ones).
+  uint64_t rekeys() const { return session_.stats().rekeys + retired_.rekeys; }
   const Session& session() const { return session_; }
+  Session& session_mut() { return session_; }
 
   // Link-recovery bookkeeping (PR 2): what the node survived and what it
   // cost. `messages_lost` counts receive-side sequence gaps — messages a
@@ -193,6 +214,11 @@ class ConfidentialNode {
   void BeginRecovery(const char* reason);
   // Drives reconnect attempts and resend-window replay from Poll().
   void PollRecovery();
+  // Drains the session's control inbox: attestation challenges, admission
+  // verdicts, migration redirects.
+  void PollControlPlane();
+  // Folds the live session's counters into the retired totals (Disconnect).
+  void RetireSessionStats();
 
   StackConfig config_;
   cionet::Ipv4Address ip_;
@@ -253,6 +279,24 @@ class ConfidentialNode {
   uint64_t next_reconnect_ns_ = 0;
   uint64_t reconnect_backoff_ns_ = 0;
   RecoveryStats recovery_stats_;  // link-level half; session owns the rest
+
+  // Admission / migration state (client side).
+  bool admitted_ = false;
+  bool denied_ = false;
+  uint64_t migrations_ = 0;
+  uint64_t sessions_retired_ = 0;
+  // Counters of sessions already retired by Disconnect(), so churn-style
+  // reuse doesn't erase a node's lifetime accounting.
+  struct RetiredTotals {
+    uint64_t sent = 0;
+    uint64_t received = 0;
+    uint64_t resent = 0;
+    uint64_t dups = 0;
+    uint64_t lost = 0;
+    uint64_t tls_restarts = 0;
+    uint64_t rekeys = 0;
+  };
+  RetiredTotals retired_;
 };
 
 // Convenience for tests/benchmarks: two nodes on one fabric, pumped until

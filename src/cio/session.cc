@@ -5,8 +5,69 @@
 
 namespace cio {
 
-Session::Session(bool use_tls, ciobase::Buffer psk, size_t resend_window_cap)
-    : use_tls_(use_tls), psk_(std::move(psk)), resend_cap_(resend_window_cap) {}
+namespace {
+
+// Serialized-session layout (version in the magic): little-endian, strict.
+constexpr uint32_t kSessionMagic = 0x314E5343;  // "CSN1"
+constexpr uint32_t kFlagUseTls = 1u << 0;
+// Hard caps on restored collections: a blob that claims more crossed the
+// host and is hostile regardless of what the seal said.
+constexpr uint32_t kMaxRestorePsk = 4096;
+constexpr uint32_t kMaxRestoreEntries = 65536;
+
+// Bounds-checked little-endian cursor over an untrusted blob. All getters
+// return false once any read would run past the end; the caller maps that
+// to one typed kTampered.
+class BlobReader {
+ public:
+  explicit BlobReader(ciobase::ByteSpan blob) : blob_(blob) {}
+
+  bool U32(uint32_t& out) {
+    if (blob_.size() - pos_ < 4) {
+      return Fail();
+    }
+    out = ciobase::LoadLe32(blob_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t& out) {
+    if (blob_.size() - pos_ < 8) {
+      return Fail();
+    }
+    out = ciobase::LoadLe64(blob_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool Bytes(size_t n, ciobase::Buffer& out) {
+    if (blob_.size() - pos_ < n) {
+      return Fail();
+    }
+    out.assign(blob_.begin() + static_cast<long>(pos_),
+               blob_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+  bool Done() const { return !failed_ && pos_ == blob_.size(); }
+  bool failed() const { return failed_; }
+
+ private:
+  bool Fail() {
+    failed_ = true;
+    return false;
+  }
+  ciobase::ByteSpan blob_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+Session::Session(bool use_tls, ciobase::Buffer psk, size_t resend_window_cap,
+                 RekeyPolicy rekey)
+    : use_tls_(use_tls),
+      psk_(std::move(psk)),
+      resend_cap_(resend_window_cap),
+      rekey_(rekey) {}
 
 void Session::Start(ciotls::TlsRole role, uint64_t seed) {
   if (use_tls_) {
@@ -14,6 +75,10 @@ void Session::Start(ciotls::TlsRole role, uint64_t seed) {
     tls_->Start();
     PumpTls();
   }
+  // A fresh channel starts from generation-zero keys; the rekey odometer
+  // restarts with it.
+  records_since_rekey_ = 0;
+  bytes_since_rekey_ = 0;
   if (started_once_) {
     ++stats_.tls_restarts;
   }
@@ -69,7 +134,60 @@ ciobase::Status Session::Send(ciobase::ByteSpan payload) {
   PushResendWindow(seq, payload);
   CIO_RETURN_IF_ERROR(FrameAndQueue(seq, payload));
   ++stats_.messages_sent;
+  NoteSealed(payload.size());
   return ciobase::OkStatus();
+}
+
+ciobase::Status Session::SendControl(CtrlType type, ciobase::ByteSpan body) {
+  if (!Established()) {
+    return ciobase::FailedPrecondition("channel not established");
+  }
+  if (body.size() + 1 > kMaxMessageBytes) {
+    return ciobase::InvalidArgument("control body too large");
+  }
+  ciobase::Buffer payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(static_cast<uint8_t>(type));
+  ciobase::Append(payload, body);
+  // Sequence zero: the receive side routes it to the control inbox without
+  // touching the dedup state, and it is never resend-window tracked.
+  CIO_RETURN_IF_ERROR(FrameAndQueue(0, payload));
+  ++stats_.control_sent;
+  return ciobase::OkStatus();
+}
+
+std::optional<ControlMessage> Session::PollControl() {
+  if (control_inbox_.empty()) {
+    return std::nullopt;
+  }
+  ControlMessage msg = std::move(control_inbox_.front());
+  control_inbox_.pop_front();
+  return msg;
+}
+
+void Session::Rekey() {
+  if (tls_ == nullptr || !tls_->established()) {
+    return;
+  }
+  if (tls_->RequestKeyUpdate().ok()) {
+    ++stats_.rekeys;
+    records_since_rekey_ = 0;
+    bytes_since_rekey_ = 0;
+    PumpTls();
+  }
+}
+
+void Session::NoteSealed(size_t payload_bytes) {
+  if (!use_tls_ || !rekey_.enabled()) {
+    return;
+  }
+  ++records_since_rekey_;
+  bytes_since_rekey_ += payload_bytes;
+  if ((rekey_.after_records != 0 &&
+       records_since_rekey_ >= rekey_.after_records) ||
+      (rekey_.after_bytes != 0 && bytes_since_rekey_ >= rekey_.after_bytes)) {
+    Rekey();
+  }
 }
 
 void Session::PushResendWindow(uint64_t seq, ciobase::ByteSpan payload) {
@@ -170,6 +288,11 @@ ciobase::Status Session::SendInto(ciobase::ByteSpan payload,
     offset += n;
   }
   ++stats_.messages_sent;
+  // Accounted only after every fragment of this message sealed under the
+  // current key: the KeyUpdate (if triggered) lands in outbound_, which the
+  // engine flushes after the SQ slots just committed — record order under
+  // the old key is preserved.
+  NoteSealed(payload.size());
   return ciobase::OkStatus();
 }
 
@@ -225,7 +348,17 @@ ciobase::Status Session::ParseFrames() {
       break;
     }
     uint64_t seq = ciobase::LoadLe64(frame_rx_.data() + 4);
-    if (seq <= last_delivered_seq_) {
+    if (seq == 0) {
+      // Control frame: [ctrl u8][body] routed around the dedup state.
+      if (len < 9) {
+        return ciobase::Tampered("hostile control framing");
+      }
+      control_inbox_.push_back(ControlMessage{
+          frame_rx_[12],
+          ciobase::Buffer(frame_rx_.begin() + 13,
+                          frame_rx_.begin() + 4 + len)});
+      ++stats_.control_received;
+    } else if (seq <= last_delivered_seq_) {
       ++stats_.messages_duplicate_dropped;
     } else {
       if (seq != last_delivered_seq_ + 1) {
@@ -243,6 +376,9 @@ void Session::ResetChannel() {
   tls_.reset();
   outbound_.clear();
   frame_rx_.clear();  // a partial frame died with the old channel
+  // Undelivered control messages die with the transport incarnation that
+  // produced them: a challenge or redirect must not outlive its channel.
+  control_inbox_.clear();
 }
 
 ciobase::Status Session::Replay() {
@@ -251,6 +387,150 @@ ciobase::Status Session::Replay() {
     ++stats_.messages_resent;
   }
   return ciobase::OkStatus();
+}
+
+ciobase::Buffer Session::SerializeState() const {
+  ciobase::Buffer blob;
+  auto put32 = [&blob](uint32_t v) {
+    size_t at = blob.size();
+    blob.resize(at + 4);
+    ciobase::StoreLe32(blob.data() + at, v);
+  };
+  auto put64 = [&blob](uint64_t v) {
+    size_t at = blob.size();
+    blob.resize(at + 8);
+    ciobase::StoreLe64(blob.data() + at, v);
+  };
+  put32(kSessionMagic);
+  put32(use_tls_ ? kFlagUseTls : 0);
+  put32(static_cast<uint32_t>(resend_cap_));
+  put64(next_send_seq_);
+  put64(last_delivered_seq_);
+  put64(stats_.messages_sent);
+  put64(stats_.messages_received);
+  put64(stats_.messages_resent);
+  put64(stats_.messages_duplicate_dropped);
+  put64(stats_.messages_lost);
+  put64(stats_.tls_restarts);
+  put64(stats_.rekeys);
+  put64(stats_.control_sent);
+  put64(stats_.control_received);
+  put32(static_cast<uint32_t>(psk_.size()));
+  ciobase::Append(blob, psk_);
+  put32(static_cast<uint32_t>(resend_window_.size()));
+  for (const auto& [seq, payload] : resend_window_) {
+    put64(seq);
+    put32(static_cast<uint32_t>(payload.size()));
+    ciobase::Append(blob, payload);
+  }
+  // Messages delivered (dedup state advanced) but not yet handed to the
+  // application travel with the session: dropping them here would turn
+  // "delivered exactly once" into "delivered zero times".
+  put32(static_cast<uint32_t>(inbox_.size()));
+  for (const auto& message : inbox_) {
+    put32(static_cast<uint32_t>(message.size()));
+    ciobase::Append(blob, message);
+  }
+  return blob;
+}
+
+ciobase::Result<std::unique_ptr<Session>> Session::Restore(
+    ciobase::ByteSpan blob, RekeyPolicy rekey) {
+  BlobReader reader(blob);
+  uint32_t magic = 0;
+  uint32_t flags = 0;
+  uint32_t resend_cap = 0;
+  if (!reader.U32(magic) || magic != kSessionMagic) {
+    return ciobase::Tampered("session blob: bad magic");
+  }
+  if (!reader.U32(flags) || (flags & ~kFlagUseTls) != 0) {
+    return ciobase::Tampered("session blob: bad flags");
+  }
+  if (!reader.U32(resend_cap) || resend_cap > kMaxRestoreEntries) {
+    return ciobase::Tampered("session blob: bad resend cap");
+  }
+  uint64_t next_send_seq = 0;
+  uint64_t last_delivered_seq = 0;
+  Stats stats;
+  bool header_ok =
+      reader.U64(next_send_seq) && reader.U64(last_delivered_seq) &&
+      reader.U64(stats.messages_sent) && reader.U64(stats.messages_received) &&
+      reader.U64(stats.messages_resent) &&
+      reader.U64(stats.messages_duplicate_dropped) &&
+      reader.U64(stats.messages_lost) && reader.U64(stats.tls_restarts) &&
+      reader.U64(stats.rekeys) && reader.U64(stats.control_sent) &&
+      reader.U64(stats.control_received);
+  if (!header_ok || next_send_seq == 0) {
+    return ciobase::Tampered("session blob: truncated header");
+  }
+  uint32_t psk_len = 0;
+  ciobase::Buffer psk;
+  if (!reader.U32(psk_len) || psk_len > kMaxRestorePsk ||
+      !reader.Bytes(psk_len, psk)) {
+    return ciobase::Tampered("session blob: bad psk");
+  }
+  auto session = std::make_unique<Session>(
+      (flags & kFlagUseTls) != 0, std::move(psk), resend_cap, rekey);
+  session->next_send_seq_ = next_send_seq;
+  session->last_delivered_seq_ = last_delivered_seq;
+  session->stats_ = stats;
+  uint32_t window_count = 0;
+  if (!reader.U32(window_count) || window_count > kMaxRestoreEntries ||
+      window_count > resend_cap) {
+    return ciobase::Tampered("session blob: bad window count");
+  }
+  uint64_t prev_seq = 0;
+  for (uint32_t i = 0; i < window_count; ++i) {
+    uint64_t seq = 0;
+    uint32_t len = 0;
+    ciobase::Buffer payload;
+    if (!reader.U64(seq) || !reader.U32(len) || len > kMaxMessageBytes ||
+        !reader.Bytes(len, payload)) {
+      return ciobase::Tampered("session blob: bad window entry");
+    }
+    // Window entries are strictly increasing and below the send cursor;
+    // anything else is a stitched-together blob.
+    if (seq <= prev_seq || seq >= next_send_seq) {
+      return ciobase::Tampered("session blob: window sequence disorder");
+    }
+    prev_seq = seq;
+    session->resend_window_.emplace_back(seq, std::move(payload));
+  }
+  uint32_t inbox_count = 0;
+  if (!reader.U32(inbox_count) || inbox_count > kMaxRestoreEntries) {
+    return ciobase::Tampered("session blob: bad inbox count");
+  }
+  for (uint32_t i = 0; i < inbox_count; ++i) {
+    uint32_t len = 0;
+    ciobase::Buffer message;
+    if (!reader.U32(len) || len > kMaxMessageBytes ||
+        !reader.Bytes(len, message)) {
+      return ciobase::Tampered("session blob: bad inbox entry");
+    }
+    session->inbox_.push_back(std::move(message));
+  }
+  if (!reader.Done()) {
+    return ciobase::Tampered("session blob: trailing bytes");
+  }
+  // The restored session is parked: established again only after a fresh
+  // handshake on the new instance (counted as a TLS restart).
+  session->started_once_ = true;
+  return session;
+}
+
+void Session::Forget() {
+  tls_.reset();
+  outbound_.clear();
+  frame_rx_.clear();
+  inbox_.clear();
+  control_inbox_.clear();
+  resend_window_.clear();
+  next_send_seq_ = 1;
+  last_delivered_seq_ = 0;
+  records_since_rekey_ = 0;
+  bytes_since_rekey_ = 0;
+  started_once_ = false;
+  stats_ = Stats{};
 }
 
 }  // namespace cio

@@ -8,8 +8,12 @@
 //   * the TLS session (PSK handshake, record protection),
 //   * the [len u32][seq u64][payload] message framing on the protected
 //     byte stream,
-//   * exactly-once delivery accounting (duplicate drop, loss counting), and
-//   * the resend window replayed after a link reset + TLS restart.
+//   * exactly-once delivery accounting (duplicate drop, loss counting),
+//   * the resend window replayed after a link reset + TLS restart,
+//   * the in-band control plane (sequence-zero frames) used for
+//     attestation admission and migration redirects, and
+//   * the rekey policy that ratchets the TLS traffic secrets forward after
+//     a configurable number of records or bytes.
 //
 // It is deliberately byte-oriented and transport-agnostic: the owner moves
 // bytes between outbound() and whatever socket plumbing the stack profile
@@ -17,12 +21,22 @@
 // implementation of the PR-2 recovery machinery for both the client engine
 // and every server connection — no copy-paste between engine.cc and
 // src/serve/.
+//
+// Migration: SerializeState() captures the durable half of the session
+// (sequence numbers, resend window, undelivered inbox, stats, PSK) in a
+// versioned little-endian layout; Restore() rebuilds a Session on another
+// instance. Live traffic keys are intentionally NOT serialized — the
+// resumed session performs a fresh handshake from the attestation-bound
+// PSK, so a stolen blob never contains usable record keys and migration
+// gets forward secrecy for free. The blob itself must travel under seal
+// with rollback protection (see cioserve::SessionVault).
 
 #ifndef SRC_CIO_SESSION_H_
 #define SRC_CIO_SESSION_H_
 
 #include <deque>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "src/base/bytes.h"
@@ -44,6 +58,31 @@ class SegmentSink {
   virtual void Commit(size_t n) = 0;
 };
 
+// Control-plane message types carried as sequence-zero frames inside the
+// protected stream. Control frames never enter the resend window and never
+// touch the dedup state: challenges and redirects are bound to one
+// transport incarnation and must not replay across reattach.
+enum class CtrlType : uint8_t {
+  kAttestChallenge = 1,  // server -> client: fresh nonce to bind a report to
+  kAttestReport = 2,     // client -> server: serialized AttestationReport
+  kAdmitted = 3,         // server -> client: admission complete
+  kDenied = 4,           // server -> client: typed admission rejection
+  kRedirect = 5,         // server -> client: resume at {ip u32, port u16}
+};
+
+struct ControlMessage {
+  uint8_t type = 0;
+  ciobase::Buffer body;
+};
+
+// Send-side rekey thresholds; 0 disables that trigger. Either peer rekeys
+// its own sending direction (TLS KeyUpdate) once a threshold trips.
+struct RekeyPolicy {
+  uint64_t after_records = 0;
+  uint64_t after_bytes = 0;
+  bool enabled() const { return after_records > 0 || after_bytes > 0; }
+};
+
 class Session {
  public:
   struct Stats {
@@ -53,10 +92,14 @@ class Session {
     uint64_t messages_duplicate_dropped = 0;  // dedup'd by sequence number
     uint64_t messages_lost = 0;   // receive-side sequence gaps
     uint64_t tls_restarts = 0;    // Start() calls after the first
+    uint64_t rekeys = 0;          // send-direction key updates we initiated
+    uint64_t control_sent = 0;
+    uint64_t control_received = 0;
   };
 
   // `resend_window_cap` == 0 disables the resend window (no recovery).
-  Session(bool use_tls, ciobase::Buffer psk, size_t resend_window_cap);
+  Session(bool use_tls, ciobase::Buffer psk, size_t resend_window_cap,
+          RekeyPolicy rekey = {});
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -94,6 +137,31 @@ class Session {
   ciobase::Result<ciobase::Buffer> Receive();
   bool HasInbound() const { return !inbox_.empty(); }
 
+  // --- Control plane ---------------------------------------------------------
+
+  // Queues a sequence-zero control frame ([type u8][body]) on the protected
+  // stream. Not resend-window tracked: control is per-transport-incarnation.
+  ciobase::Status SendControl(CtrlType type, ciobase::ByteSpan body);
+  bool HasControl() const { return !control_inbox_.empty(); }
+  std::optional<ControlMessage> PollControl();
+
+  // --- Rekeying --------------------------------------------------------------
+
+  // Forces a send-direction key update now (no-op for plaintext ablations or
+  // before establishment). Automatic rekeys fire from Send/SendInto once the
+  // policy thresholds trip; the KeyUpdate record is queued *behind* the
+  // message that tripped it, so record order under the old key is preserved.
+  void Rekey();
+  const RekeyPolicy& rekey_policy() const { return rekey_; }
+  void set_rekey_policy(RekeyPolicy policy) { rekey_ = policy; }
+  // Ratchet generations of the live TLS session (0 when none).
+  uint32_t send_generation() const {
+    return tls_ != nullptr ? tls_->send_generation() : 0;
+  }
+  uint32_t recv_generation() const {
+    return tls_ != nullptr ? tls_->recv_generation() : 0;
+  }
+
   // --- Byte plumbing ---------------------------------------------------------
 
   // Bytes awaiting the transport (handshake flights, protected records).
@@ -116,32 +184,56 @@ class Session {
   // peer's sequence numbers drop whatever was already delivered.
   ciobase::Status Replay();
 
+  // --- Migration -------------------------------------------------------------
+
+  // Serializes the durable session state (see file comment for what travels
+  // and what deliberately does not). Callers park the session first
+  // (ResetChannel) so no half-written channel bytes are in play.
+  ciobase::Buffer SerializeState() const;
+  // Rebuilds a Session from SerializeState() output. Strictly bounds-checked;
+  // any structural violation is kTampered (the blob crossed the host).
+  static ciobase::Result<std::unique_ptr<Session>> Restore(
+      ciobase::ByteSpan blob, RekeyPolicy rekey = {});
+
+  // Resets ALL state (sequence numbers, window, stats, channel) so the
+  // object can serve a brand-new peer relationship — churn-style reuse.
+  void Forget();
+
   const Stats& stats() const { return stats_; }
   const ciotls::TlsSession* tls() const { return tls_.get(); }
   size_t resend_window_size() const { return resend_window_.size(); }
   uint64_t last_delivered_seq() const { return last_delivered_seq_; }
+  uint64_t next_send_seq() const { return next_send_seq_; }
 
  private:
   ciobase::Status FrameAndQueue(uint64_t seq, ciobase::ByteSpan payload);
   void PushResendWindow(uint64_t seq, ciobase::ByteSpan payload);
   void PumpTls();  // moves pending TLS output into outbound_
   ciobase::Status ParseFrames();
+  // Accounts one sealed application message against the rekey policy and
+  // triggers Rekey() once a threshold trips. Called AFTER the message is
+  // framed so the KeyUpdate lands behind it in the stream.
+  void NoteSealed(size_t payload_bytes);
 
   bool use_tls_;
   ciobase::Buffer psk_;
   size_t resend_cap_;
+  RekeyPolicy rekey_;
   bool started_once_ = false;
 
   std::unique_ptr<ciotls::TlsSession> tls_;
   ciobase::Buffer outbound_;  // protected bytes awaiting the transport
   ciobase::Buffer frame_rx_;  // length-framing reassembly buffer
   std::deque<ciobase::Buffer> inbox_;
+  std::deque<ControlMessage> control_inbox_;
 
   uint64_t next_send_seq_ = 1;       // our outbound sequence numbers
   uint64_t last_delivered_seq_ = 0;  // peer's highest delivered sequence
   // Sent-but-possibly-unacknowledged messages, oldest first, capped at
   // resend_cap_.
   std::deque<std::pair<uint64_t, ciobase::Buffer>> resend_window_;
+  uint64_t records_since_rekey_ = 0;
+  uint64_t bytes_since_rekey_ = 0;
   Stats stats_;
 };
 

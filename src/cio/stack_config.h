@@ -11,6 +11,7 @@
 #ifndef SRC_CIO_STACK_CONFIG_H_
 #define SRC_CIO_STACK_CONFIG_H_
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -90,6 +91,22 @@ struct StackConfig {
   // reconnect budget, resend window. Disabled by default; DefaultsFor()
   // switches it on for the dual-boundary profile.
   ciobase::RecoveryConfig recovery;
+
+  // Session lifecycle (ISSUE 9). Send-side rekey thresholds: after this many
+  // application records / payload bytes the node ratchets its TLS sending
+  // keys forward in-band (0 disables that trigger; both zero = no rekeying).
+  uint64_t rekey_after_records = 0;
+  uint64_t rekey_after_bytes = 0;
+
+  // Attestation credentials for admission to an attestation-gated server:
+  // `attestation_key` is the simulated platform key (empty = this node
+  // cannot produce reports and will be rejected kUnauthenticated), and
+  // `code_identity` feeds the measurement. `attest_stale_probe` is a
+  // campaign hook: the client signs a fixed nonce instead of the server's
+  // fresh challenge, modeling a replayed/stale report.
+  ciobase::Buffer attestation_key;
+  std::string code_identity = "cio-node";
+  bool attest_stale_probe = false;
 
   // Validated per-profile defaults.
   static StackConfig DefaultsFor(StackProfile profile, uint32_t node_id = 1);

@@ -105,7 +105,12 @@ class TcpConnection {
   void Abort();
 
   TcpState state() const { return state_; }
-  bool readable() const { return !receive_buffer_.empty() || peer_fin_drained_; }
+  // EOF counts as readable (select semantics): a received FIN must wake the
+  // poll gate so the next Receive can report it — otherwise a quiesced
+  // peer's orderly close is never noticed.
+  bool readable() const {
+    return !receive_buffer_.empty() || peer_fin_received_;
+  }
   size_t send_space() const {
     return tuning_.send_buffer_limit - send_buffer_.size();
   }

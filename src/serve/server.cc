@@ -10,10 +10,14 @@ std::string_view ConnStateName(ConnState state) {
   switch (state) {
     case ConnState::kHandshaking:
       return "handshaking";
+    case ConnState::kAttesting:
+      return "attesting";
     case ConnState::kEstablished:
       return "established";
     case ConnState::kDraining:
       return "draining";
+    case ConnState::kMigrating:
+      return "migrating";
     case ConnState::kClosed:
       return "closed";
   }
@@ -26,7 +30,14 @@ ConfidentialServer::ConfidentialServer(cio::ConfidentialNode* node,
     : node_(node),
       sockets_(node->sockets()),
       clock_(clock),
-      config_(config) {}
+      config_(std::move(config)),
+      rng_(node->config().seed ^ 0xa77e57u) {
+  if (config_.require_attestation) {
+    authority_ = std::make_unique<ciotee::AttestationAuthority>(
+        config_.attestation_key);
+    expected_measurement_ = ciotee::Measure(config_.expected_identity, {});
+  }
+}
 
 ciobase::Status ConfidentialServer::Start() {
   if (sockets_ == nullptr) {
@@ -111,7 +122,9 @@ void ConfidentialServer::AcceptPending() {
                               ? node_config.recovery.resend_window
                               : 0;
       conn.session = std::make_unique<cio::Session>(
-          node_config.use_tls, node_config.psk, resend_cap);
+          node_config.use_tls, node_config.psk, resend_cap,
+          cio::RekeyPolicy{node_config.rekey_after_records,
+                           node_config.rekey_after_bytes});
     }
     conn.session->Start(ciotls::TlsRole::kServer,
                         node_->config().seed + 1 + conn.id);
@@ -129,10 +142,28 @@ void ConfidentialServer::ParkConnection(Connection& conn) {
   }
   (void)sockets_->Abort(conn.socket);
   if (conn.session != nullptr && node_->config().recovery.enabled &&
-      conn.state != ConnState::kDraining) {
+      conn.state != ConnState::kDraining &&
+      conn.state != ConnState::kMigrating) {
+    // (A kMigrating session is never parked: its authoritative copy already
+    // left for the other instance — parking the stale local copy would hand
+    // the client two diverging continuations.)
     conn.session->ResetChannel();
     parked_[conn.peer.value] =
         ParkedSession{std::move(conn.session), clock_->now_ns(), conn.id};
+  }
+  conn.session.reset();
+  conn.state = ConnState::kClosed;
+}
+
+void ConfidentialServer::CloseAndRelease(Connection& conn) {
+  (void)sockets_->Close(conn.socket);
+  if (cio::L5Channel* l5 = node_->l5(); l5 != nullptr) {
+    // The FIN is queued below the SQ/CQ layer, so this releases only what
+    // the socket still pins up here: armed receive entries, held
+    // completions, registered pool slots. Without it every orderly close
+    // leaked its receive slots until pool exhaustion (the park/reattach
+    // audit: parked sessions release at park time, closed ones here).
+    l5->CancelSocket(conn.socket);
   }
   conn.session.reset();
   conn.state = ConnState::kClosed;
@@ -145,9 +176,7 @@ bool ConfidentialServer::PumpConnection(Connection& conn) {
     if (!got.ok()) {
       if (got.status().code() == ciobase::StatusCode::kFailedPrecondition) {
         // Orderly EOF: the client closed on purpose. Finish our side too.
-        (void)sockets_->Close(conn.socket);
-        conn.session.reset();
-        conn.state = ConnState::kClosed;
+        CloseAndRelease(conn);
         return false;
       }
       // kLinkReset (or the socket vanished): transport fault — park for
@@ -179,15 +208,33 @@ bool ConfidentialServer::PumpConnection(Connection& conn) {
     return false;
   }
   if (conn.state == ConnState::kHandshaking && conn.session->Established()) {
-    conn.state = ConnState::kEstablished;
-    if (conn.reattached) {
-      // Channel is back: replay the resend window; the client's sequence
-      // dedup drops whatever it already had.
-      (void)conn.session->Replay();
-      conn.reattached = false;
+    if (config_.require_attestation) {
+      // Channel up, admission pending: challenge with a fresh nonce. Every
+      // transport (re)establishment re-attests — a reattach is a new
+      // transcript, so yesterday's report cannot cover it.
+      conn.state = ConnState::kAttesting;
+      conn.challenge = rng_.Bytes(16);
+      (void)conn.session->SendControl(cio::CtrlType::kAttestChallenge,
+                                      conn.challenge);
+    } else {
+      Admit(conn);
     }
   }
-  while (conn.session->HasInbound()) {
+  if (conn.state == ConnState::kAttesting) {
+    PumpAdmission(conn);
+  }
+  if (conn.state == ConnState::kEstablished) {
+    // Stray control frames on an admitted connection (duplicate reports)
+    // are drained and ignored — never growth, never a fault.
+    while (conn.session->PollControl().has_value()) {
+    }
+  }
+  // Application delivery is held until admission: frames a client replays
+  // ahead of its report sit in the session inbox (dedup already counted
+  // them) and surface the moment the connection is admitted.
+  while ((conn.state == ConnState::kEstablished ||
+          conn.state == ConnState::kDraining) &&
+         conn.session->HasInbound()) {
     auto message = conn.session->Receive();
     if (!message.ok()) {
       break;
@@ -195,6 +242,71 @@ bool ConfidentialServer::PumpConnection(Connection& conn) {
     inbox_.push_back(Incoming{conn.id, std::move(*message)});
   }
   return true;
+}
+
+void ConfidentialServer::Admit(Connection& conn) {
+  conn.state = ConnState::kEstablished;
+  conn.challenge.clear();
+  if (conn.reattached) {
+    // Channel is back: replay the resend window; the client's sequence
+    // dedup drops whatever it already had.
+    (void)conn.session->Replay();
+    conn.reattached = false;
+  }
+}
+
+ciobase::Status ConfidentialServer::VerifyReport(
+    const Connection& conn, ciobase::ByteSpan report_bytes) const {
+  if (report_bytes.empty()) {
+    return ciobase::Unauthenticated("missing attestation report");
+  }
+  auto report = ciotee::AttestationReport::Parse(report_bytes);
+  if (!report.ok()) {
+    return ciobase::Unauthenticated("malformed attestation report");
+  }
+  // The report must be bound to THIS connection: nonce = H(challenge ||
+  // transcript). Forged key -> MAC invalid; replayed/stale report -> nonce
+  // mismatch; wrong build -> measurement mismatch. All one typed outcome.
+  ciocrypto::Sha256Digest transcript{};
+  if (conn.session->tls() != nullptr) {
+    transcript = conn.session->tls()->transcript_hash();
+  }
+  ciobase::Status verdict = authority_->Verify(
+      *report, expected_measurement_,
+      ciotee::BindNonce(conn.challenge, transcript));
+  if (!verdict.ok()) {
+    return ciobase::Unauthenticated(verdict.message());
+  }
+  return ciobase::OkStatus();
+}
+
+void ConfidentialServer::PumpAdmission(Connection& conn) {
+  while (auto ctrl = conn.session->PollControl()) {
+    if (static_cast<cio::CtrlType>(ctrl->type) !=
+        cio::CtrlType::kAttestReport) {
+      continue;
+    }
+    ciobase::Status verdict = VerifyReport(conn, ctrl->body);
+    ciohost::CounterSet& counters = node_->observability().counters();
+    if (verdict.ok()) {
+      ++stats_.admitted;
+      counters.Add("server.admitted");
+      (void)conn.session->SendControl(cio::CtrlType::kAdmitted, {});
+      Admit(conn);
+    } else {
+      // Typed rejection, counted OUTSIDE the leakage score: the denial is
+      // flushed to the client (so it stops retrying a hopeless credential),
+      // then the socket drains shut. Nothing is parked — an unadmitted
+      // session has no state worth recovering.
+      ++stats_.rejected_unauthenticated;
+      counters.Add("server.rejected_unauthenticated");
+      (void)conn.session->SendControl(
+          cio::CtrlType::kDenied,
+          ciobase::BufferFromString(verdict.message()));
+      conn.state = ConnState::kDraining;
+    }
+    return;
+  }
 }
 
 void ConfidentialServer::FlushOutbound() {
@@ -216,13 +328,14 @@ void ConfidentialServer::FlushOutbound() {
     }
     if (!conn.session->HasOutbound()) {
       conn.drr_deficit = 0;  // not backlogged: no credit hoarding
-      if (conn.state == ConnState::kDraining &&
+      if ((conn.state == ConnState::kDraining ||
+           conn.state == ConnState::kMigrating) &&
           !(async && l5->HasInFlightSends(conn.socket))) {
         // Async egress: "no session backlog" is not "flushed" — wait until
         // the SQ has no entries left for this socket before the FIN.
-        (void)sockets_->Close(conn.socket);
-        conn.session.reset();
-        conn.state = ConnState::kClosed;
+        // (kMigrating rides the same machinery: once the redirect is out,
+        // nothing local remains authoritative and the socket closes.)
+        CloseAndRelease(conn);
       }
       continue;
     }
@@ -245,12 +358,11 @@ void ConfidentialServer::FlushOutbound() {
       conn.session->ConsumeOutbound(*sent);
       conn.drr_deficit -= *sent;
     }
-    if (conn.state == ConnState::kDraining && conn.session != nullptr &&
-        !conn.session->HasOutbound() &&
+    if ((conn.state == ConnState::kDraining ||
+         conn.state == ConnState::kMigrating) &&
+        conn.session != nullptr && !conn.session->HasOutbound() &&
         !(async && l5->HasInFlightSends(conn.socket))) {
-      (void)sockets_->Close(conn.socket);
-      conn.session.reset();
-      conn.state = ConnState::kClosed;
+      CloseAndRelease(conn);
     }
   }
   if (async && submitted) {
@@ -316,7 +428,8 @@ void ConfidentialServer::Poll() {
     if (conn.state == ConnState::kClosed || conn.session == nullptr) {
       continue;
     }
-    if (conn.state == ConnState::kHandshaking &&
+    if ((conn.state == ConnState::kHandshaking ||
+         conn.state == ConnState::kAttesting) &&
         now - conn.opened_ns > config_.handshake_timeout_ns) {
       // A slow handshake squats a table slot; bound the squat. Parked
       // reattach state (if any) stays parked for a genuine retry.
@@ -384,6 +497,18 @@ ciobase::Status ConfidentialServer::Drain(ConnId id) {
   return ciobase::OkStatus();
 }
 
+bool ConfidentialServer::ServesPeer(cionet::Ipv4Address peer) const {
+  if (parked_.find(peer.value) != parked_.end()) {
+    return true;
+  }
+  for (const auto& [id, conn] : connections_) {
+    if (conn.peer == peer && conn.state != ConnState::kClosed) {
+      return true;
+    }
+  }
+  return false;
+}
+
 ciobase::Result<ConnState> ConfidentialServer::StateOf(ConnId id) const {
   auto it = connections_.find(id);
   if (it == connections_.end()) {
@@ -400,6 +525,79 @@ std::vector<ConnId> ConfidentialServer::EstablishedConnections() const {
     }
   }
   return ids;
+}
+
+const cio::Session* ConfidentialServer::SessionOf(ConnId id) const {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) {
+    return nullptr;
+  }
+  return it->second.session.get();
+}
+
+ciobase::Result<ciobase::Buffer> ConfidentialServer::MigrateSession(
+    ConnId id, SessionVault& vault, cionet::Ipv4Address target_ip,
+    uint16_t target_port) {
+  auto it = connections_.find(id);
+  if (it == connections_.end() || it->second.session == nullptr) {
+    return ciobase::NotFound("no such connection");
+  }
+  Connection& conn = it->second;
+  if (conn.state != ConnState::kEstablished) {
+    return ciobase::FailedPrecondition("connection not established");
+  }
+  // Serialize FIRST: the exported state must not include the redirect we
+  // queue below (the importing instance would otherwise believe the client
+  // already has it and skip the replay that covers it).
+  ciobase::Buffer state = conn.session->SerializeState();
+  // Envelope: [peer_ip u32 LE][session state] — the importer parks the
+  // session under the peer's address so the redirected reconnect reattaches.
+  ciobase::Buffer envelope(4 + state.size());
+  ciobase::StoreLe32(envelope.data(), conn.peer.value);
+  std::copy(state.begin(), state.end(), envelope.begin() + 4);
+  ciobase::Buffer sealed = vault.Seal(envelope);
+
+  ciobase::Buffer redirect(6);
+  ciobase::StoreLe32(redirect.data(), target_ip.value);
+  ciobase::StoreLe16(redirect.data() + 4, target_port);
+  (void)conn.session->SendControl(cio::CtrlType::kRedirect, redirect);
+  // From here this instance is no longer authoritative for the session: no
+  // new application sends, no inbox delivery, just the redirect flushing
+  // and the socket closing (FlushOutbound). The session is never parked —
+  // the sealed export is the only continuation.
+  conn.state = ConnState::kMigrating;
+  ++stats_.migrated_out;
+  node_->observability().counters().Add("server.migrated_out");
+  return sealed;
+}
+
+ciobase::Status ConfidentialServer::ImportSession(ciobase::ByteSpan sealed,
+                                                  SessionVault& vault) {
+  auto envelope = vault.Open(sealed);
+  if (!envelope.ok()) {
+    return envelope.status();  // typed kTampered from the vault
+  }
+  if (envelope->size() < 4) {
+    return ciobase::Tampered("migrated session envelope truncated");
+  }
+  uint32_t peer = ciobase::LoadLe32(envelope->data());
+  const cio::StackConfig& node_config = node_->config();
+  auto session = cio::Session::Restore(
+      ciobase::ByteSpan(envelope->data() + 4, envelope->size() - 4),
+      cio::RekeyPolicy{node_config.rekey_after_records,
+                       node_config.rekey_after_bytes});
+  if (!session.ok()) {
+    return session.status();
+  }
+  // Park under the embedded peer address: the client's redirected reconnect
+  // is an ordinary reattach from here — fresh TLS from the shared PSK,
+  // re-attestation when gated, both sides replay, sequence dedup keeps
+  // delivery exactly-once across the instance move.
+  parked_[peer] =
+      ParkedSession{std::move(*session), clock_->now_ns(), next_conn_id_++};
+  ++stats_.migrated_in;
+  node_->observability().counters().Add("server.migrated_in");
+  return ciobase::OkStatus();
 }
 
 }  // namespace cioserve

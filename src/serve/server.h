@@ -46,17 +46,32 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "src/base/rng.h"
 #include "src/cio/engine.h"
 #include "src/cio/session.h"
+#include "src/serve/session_vault.h"
+#include "src/tee/attestation.h"
 
 namespace cioserve {
 
 // Connection lifecycle. kHandshaking covers TCP establishment + the TLS
-// flight; kDraining means Close was requested and queued output is still
-// flushing (no new Sends accepted); kClosed connections are reaped.
-enum class ConnState { kHandshaking, kEstablished, kDraining, kClosed };
+// flight; kAttesting means the channel is up but the client still owes a
+// transcript-bound attestation report (attestation-gated admission);
+// kDraining means Close was requested and queued output is still flushing
+// (no new Sends accepted); kMigrating means the session was exported to
+// another instance and only the redirect still needs to flush; kClosed
+// connections are reaped.
+enum class ConnState {
+  kHandshaking,
+  kAttesting,
+  kEstablished,
+  kDraining,
+  kMigrating,
+  kClosed,
+};
 
 std::string_view ConnStateName(ConnState state);
 
@@ -86,9 +101,21 @@ struct ServerConfig {
   // client's reconnect before its state (and resend window) is dropped.
   uint64_t reattach_timeout_ns = 500'000'000;
 
-  // A connection stuck in kHandshaking longer than this is aborted (slow
-  // handshakes hold a table slot; this bounds the squat).
+  // A connection stuck in kHandshaking (or kAttesting) longer than this is
+  // aborted (slow handshakes hold a table slot; this bounds the squat).
   uint64_t handshake_timeout_ns = 2'000'000'000;
+
+  // Attestation-gated admission. When enabled, every established channel
+  // (including reattaches after a fault) is challenged with a fresh nonce
+  // and must answer with a ciotee::AttestationReport over
+  // {Measure(expected_identity), H(challenge || TLS transcript)} issued
+  // under `attestation_key`. Missing/forged/stale reports are typed
+  // kUnauthenticated rejections (stats().rejected_unauthenticated), sent to
+  // the client as a kCtrlDenied before the close — never counted against
+  // the leakage score, never parked.
+  bool require_attestation = false;
+  ciobase::Buffer attestation_key;
+  std::string expected_identity = "cio-node";
 };
 
 // One inbound application message, tagged with the connection it came from.
@@ -130,6 +157,29 @@ class ConfidentialServer {
   // refuses new Sends immediately (kDraining).
   ciobase::Status Drain(ConnId conn);
 
+  // --- Live migration --------------------------------------------------------
+
+  // Exports an established connection's session for resumption on another
+  // instance: serializes the durable session state (sequence numbers,
+  // resend window, undelivered inbox), seals it through `vault`, queues a
+  // kCtrlRedirect({target_ip, target_port}) to the client, and puts the
+  // connection in kMigrating (the redirect flushes, then the socket
+  // closes; the session is never parked here again). Anything still in
+  // flight rides the serialized resend window and the client's replay.
+  // Returns the sealed blob to transfer via the confidential storage path.
+  ciobase::Result<ciobase::Buffer> MigrateSession(ConnId conn,
+                                                  SessionVault& vault,
+                                                  cionet::Ipv4Address target_ip,
+                                                  uint16_t target_port);
+
+  // Imports a sealed session exported by another instance: unseals through
+  // `vault` (kTampered on any integrity/rollback/replay violation),
+  // restores the cio::Session, and parks it keyed by the embedded peer
+  // address — the client's redirected reconnect reattaches it, TLS
+  // re-establishes from the attestation-bound PSK, both sides replay, and
+  // the sequence numbers keep delivery exactly-once across instances.
+  ciobase::Status ImportSession(ciobase::ByteSpan sealed, SessionVault& vault);
+
   struct Stats {
     uint64_t accepted = 0;            // connections admitted
     uint64_t rejected_admission = 0;  // refused at the max_connections cap
@@ -138,15 +188,29 @@ class ConfidentialServer {
     uint64_t expired_parked = 0;      // parked sessions dropped (timeout)
     uint64_t send_queue_rejections = 0;  // Sends over the queue cap
     uint64_t tampered = 0;            // connections killed: hostile framing
+    // Admission outcomes (typed, outside the leakage score).
+    uint64_t admitted = 0;                   // attestation verified
+    uint64_t rejected_unauthenticated = 0;   // missing/forged/stale report
+    // Live migration.
+    uint64_t migrated_out = 0;  // sessions exported to another instance
+    uint64_t migrated_in = 0;   // sealed sessions imported and parked
   };
   const Stats& stats() const { return stats_; }
   const ServerConfig& config() const { return config_; }
 
   size_t active_connections() const { return connections_.size(); }
   size_t parked_sessions() const { return parked_.size(); }
+  // True while the server still holds state for `peer` — a live table
+  // entry or a parked session. Churn drivers wait for this to clear
+  // between an orderly close and the next connect from the same address,
+  // so a fresh connection can never reattach a half-torn-down session.
+  bool ServesPeer(cionet::Ipv4Address peer) const;
   ciobase::Result<ConnState> StateOf(ConnId conn) const;
   // Established connection ids, for tests/benchmarks.
   std::vector<ConnId> EstablishedConnections() const;
+  // The connection's live session (null when unknown/closed) — introspection
+  // for tests/benchmarks (ratchet generations, stats).
+  const cio::Session* SessionOf(ConnId conn) const;
   cio::ConfidentialNode* node() { return node_; }
 
  private:
@@ -161,6 +225,7 @@ class ConfidentialServer {
     size_t drr_deficit = 0;     // unused transport credit (DRR)
     uint64_t opened_ns = 0;
     bool reattached = false;    // carries a recovered session
+    ciobase::Buffer challenge;  // admission nonce (kAttesting only)
   };
 
   struct ParkedSession {
@@ -175,9 +240,20 @@ class ConfidentialServer {
   // The transport under `conn` died: park its Session for reattach and
   // drop the connection from the table.
   void ParkConnection(Connection& conn);
+  // Orderly teardown: FIN, then release every L5 resource (pool slots,
+  // armed recv entries, held completions) the socket still pins.
+  void CloseAndRelease(Connection& conn);
   // Moves inbound bytes into and outbound bytes out of the Session, within
   // this round's budgets. Returns false when the connection died.
   bool PumpConnection(Connection& conn);
+  // Channel up (and, when gated, attested): established + reattach replay.
+  void Admit(Connection& conn);
+  // Checks a client's attestation report against the expected measurement
+  // and this connection's {challenge, transcript}-bound nonce.
+  ciobase::Status VerifyReport(const Connection& conn,
+                               ciobase::ByteSpan report_bytes) const;
+  // kAttesting: consume the client's report and admit or deny.
+  void PumpAdmission(Connection& conn);
   void FlushOutbound();  // DRR pass over connections with queued output
   void Reap();           // drop kClosed connections, expire parked sessions
   void UpdateGauges();   // active-connection gauge in the counter set
@@ -199,6 +275,11 @@ class ConfidentialServer {
   std::deque<Incoming> inbox_;
   ciobase::Buffer rx_scratch_;  // reusable inbound staging chunk
   Stats stats_;
+
+  // Attestation-gated admission (config_.require_attestation).
+  ciobase::Rng rng_;  // challenge nonces
+  std::unique_ptr<ciotee::AttestationAuthority> authority_;
+  ciotee::Measurement expected_measurement_{};
 };
 
 }  // namespace cioserve

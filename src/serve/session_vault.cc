@@ -1,0 +1,70 @@
+#include "src/serve/session_vault.h"
+
+#include "src/crypto/aead.h"
+
+namespace cioserve {
+
+namespace {
+
+constexpr uint32_t kVaultMagic = 0x31565343;  // "CSV1"
+constexpr size_t kHeaderSize = 4 + 8;         // magic + epoch
+
+ciobase::Buffer EpochNonce(uint64_t epoch) {
+  ciobase::Buffer nonce(ciocrypto::kAeadNonceSize, 0);
+  ciobase::StoreLe64(nonce.data(), epoch);
+  nonce[8] = 's';
+  nonce[9] = 'v';
+  return nonce;
+}
+
+}  // namespace
+
+SessionVault::SessionVault(ciobase::ByteSpan vault_key,
+                           ciotee::MonotonicCounter* counter)
+    : key_(ciocrypto::DeriveAeadKey(vault_key)), counter_(counter) {}
+
+ciobase::Buffer SessionVault::Seal(ciobase::ByteSpan blob) {
+  uint64_t epoch = counter_->value() + 1;
+  counter_->BumpTo(epoch);
+  live_epochs_.insert(epoch);
+
+  ciobase::Buffer out(kHeaderSize);
+  ciobase::StoreLe32(out.data(), kVaultMagic);
+  ciobase::StoreLe64(out.data() + 4, epoch);
+  ciobase::Buffer aad(out.begin(), out.end());
+  ciocrypto::AeadSealInto(key_, EpochNonce(epoch), aad, blob, out);
+  ++stats_.sealed;
+  return out;
+}
+
+ciobase::Result<ciobase::Buffer> SessionVault::Open(ciobase::ByteSpan sealed) {
+  ++stats_.rejected;  // undone on success
+  if (sealed.size() < kHeaderSize + ciocrypto::kAeadTagSize) {
+    return ciobase::Tampered("session seal truncated");
+  }
+  if (ciobase::LoadLe32(sealed.data()) != kVaultMagic) {
+    return ciobase::Tampered("session seal: bad magic");
+  }
+  uint64_t epoch = ciobase::LoadLe64(sealed.data() + 4);
+  if (epoch > counter_->value()) {
+    return ciobase::Tampered("session seal from the future");
+  }
+  if (live_epochs_.find(epoch) == live_epochs_.end()) {
+    // Either never issued by this vault, already consumed (replay), or the
+    // export was superseded — all of which smell like the host rolling the
+    // session back to an old snapshot.
+    return ciobase::Tampered("session seal rolled back or replayed");
+  }
+  ciobase::ByteSpan aad = sealed.subspan(0, kHeaderSize);
+  auto opened = ciocrypto::AeadOpen(key_, EpochNonce(epoch), aad,
+                                    sealed.subspan(kHeaderSize));
+  if (!opened.ok()) {
+    return ciobase::Tampered("session seal integrity failure");
+  }
+  live_epochs_.erase(epoch);  // single use: a second import is a replay
+  --stats_.rejected;
+  ++stats_.opened;
+  return opened;
+}
+
+}  // namespace cioserve

@@ -17,6 +17,15 @@ Measurement Measure(std::string_view code_identity, ciobase::ByteSpan config) {
   return h.Finish();
 }
 
+ciobase::Buffer BindNonce(ciobase::ByteSpan challenge,
+                          const ciocrypto::Sha256Digest& transcript_hash) {
+  ciocrypto::Sha256 h;
+  h.Update(challenge);
+  h.Update(transcript_hash);
+  ciocrypto::Sha256Digest bound = h.Finish();
+  return ciobase::Buffer(bound.begin(), bound.end());
+}
+
 ciobase::Buffer AttestationReport::Serialize() const {
   ciobase::Buffer out;
   ciobase::Append(out, measurement);

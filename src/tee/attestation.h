@@ -24,6 +24,14 @@ using Measurement = ciocrypto::Sha256Digest;
 // what makes "zero re-negotiation" attestable).
 Measurement Measure(std::string_view code_identity, ciobase::ByteSpan config);
 
+// Binds an admission challenge to a TLS handshake transcript:
+// SHA256(challenge || transcript_hash). Issuing reports over the bound
+// nonce ties them to one connection — a report lifted from another
+// connection (different transcript) or signed over an old challenge fails
+// nonce verification instead of being replayable.
+ciobase::Buffer BindNonce(ciobase::ByteSpan challenge,
+                          const ciocrypto::Sha256Digest& transcript_hash);
+
 struct AttestationReport {
   Measurement measurement;
   ciobase::Buffer nonce;

@@ -198,6 +198,7 @@ ciobase::Status TlsSession::HandleProtectedRecord(const Record& record) {
         return ciobase::Tampered(failure_);
       }
       RotateSecret(recv_secret_, recv_key_);
+      ++recv_generation_;
       ++stats_.key_updates;
       return ciobase::OkStatus();
     case RecordType::kAlert:
@@ -297,6 +298,7 @@ ciobase::Status TlsSession::RequestKeyUpdate() {
                              ciobase::ByteSpan(&request, 1)));
   ++stats_.records_sealed;
   RotateSecret(send_secret_, send_key_);
+  ++send_generation_;
   ++stats_.key_updates;
   return ciobase::OkStatus();
 }

@@ -91,6 +91,17 @@ class TlsSession {
   // Rotates our sending keys and tells the peer (KeyUpdate record).
   ciobase::Status RequestKeyUpdate();
 
+  // Ratchet generations: how many times each direction's traffic secret has
+  // been rotated forward since this handshake. A healthy pair converges to
+  // client.send == server.recv (and vice versa) once the stream is drained.
+  uint32_t send_generation() const { return send_generation_; }
+  uint32_t recv_generation() const { return recv_generation_; }
+
+  // Hash over CH || SH — the handshake transcript this session's keys are
+  // bound to. Attestation-gated admission binds report nonces to it so a
+  // report cannot be cut-and-pasted onto a different connection.
+  ciocrypto::Sha256Digest transcript_hash() const { return TranscriptHash(); }
+
   struct Stats {
     uint64_t records_sealed = 0;
     uint64_t records_opened = 0;
@@ -130,6 +141,8 @@ class TlsSession {
   RecordReader reader_;
   ciobase::Buffer output_;
   std::deque<ciobase::Buffer> inbox_;
+  uint32_t send_generation_ = 0;
+  uint32_t recv_generation_ = 0;
   Stats stats_;
 };
 

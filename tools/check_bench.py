@@ -18,7 +18,7 @@ import sys
 
 IDENTITY_FIELDS = {
     "profile", "mode", "msg_size", "layer", "access",
-    "clients", "messages_per_client", "strategy",
+    "clients", "messages_per_client", "strategy", "arm",
 }
 # Higher is better: a fresh value below baseline * (1 - tol) fails.
 HIGHER_BETTER_SUFFIXES = ("_per_sec", "gbit_per_sec", "fairness")

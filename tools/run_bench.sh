@@ -26,7 +26,7 @@ tolerance="${BENCH_TOLERANCE:-0.10}"
 
 cmake -B "$build_dir" -S "$repo_root" >/dev/null
 cmake --build "$build_dir" --target bench_throughput bench_crypto \
-  bench_blockio bench_server_load -j >/dev/null
+  bench_blockio bench_server_load bench_session_churn -j >/dev/null
 
 out_dir="$repo_root"
 if [[ "$check_mode" == 1 ]]; then
@@ -41,11 +41,13 @@ echo
 "$build_dir/bench/bench_blockio" --json "$out_dir/BENCH_blockio.json"
 echo
 "$build_dir/bench/bench_server_load" --json "$out_dir/BENCH_server.json"
+echo
+"$build_dir/bench/bench_session_churn" --json "$out_dir/BENCH_session.json"
 
 if [[ "$check_mode" == 1 ]]; then
   echo
   status=0
-  for name in BENCH_throughput BENCH_blockio BENCH_server; do
+  for name in BENCH_throughput BENCH_blockio BENCH_server BENCH_session; do
     python3 "$repo_root/tools/check_bench.py" \
       "$repo_root/$name.json" "$out_dir/$name.json" \
       --tolerance "$tolerance" || status=1
