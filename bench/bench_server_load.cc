@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "src/prof/profiler.h"
 #include "src/serve/harness.h"
 
 namespace {
@@ -75,19 +76,27 @@ double Percentile(std::vector<double>& sorted_us, double q) {
 }
 
 // The 64-client open-loop echo run (with the fault matrix on the
-// dual-boundary profile).
-void RunLoadPoint(StackProfile profile, Row& row) {
+// dual-boundary profile). When `prof` is non-null it is attached to the
+// server node and reset after establishment, so the profile covers the
+// steady-state load (including the fault matrix) and none of the
+// handshake storm.
+void RunLoadPoint(StackProfile profile, Row& row,
+                  cioprof::ProfRegistry* prof = nullptr) {
   MultiClientWorld::Options options;
   options.profile = profile;
   options.num_clients = kClients;
   options.seed = 8800 + static_cast<uint64_t>(profile);
   options.server_config.max_connections = kClients;
   options.server_config.reattach_timeout_ns = 2'000'000'000;
+  options.server_profiler = prof;
   MultiClientWorld world(options);
   if (!world.EstablishAll(120000)) {
     return;
   }
   row.established = true;
+  if (prof != nullptr) {
+    prof->Reset();
+  }
 
   // Deterministic open-loop schedule: client i's m-th request is DUE at
   // start + i*stagger + m*interval, no matter what the server or the host
@@ -281,9 +290,12 @@ void WriteJson(const char* path, const std::vector<Row>& rows) {
 
 int main(int argc, char** argv) {
   const char* json_path = nullptr;
+  const char* profile_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0 && i + 1 < argc) {
+      profile_path = argv[++i];
     }
   }
 
@@ -299,10 +311,30 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   bool all_ok = true;
+  std::string profile_json = "[";
+  bool profile_first = true;
   for (StackProfile profile : kProfiles) {
     Row row;
     row.profile = std::string(cio::StackProfileName(profile));
-    RunLoadPoint(profile, row);
+    cioprof::ProfRegistry prof;
+    RunLoadPoint(profile, row, profile_path != nullptr ? &prof : nullptr);
+    if (profile_path != nullptr) {
+      prof.AppendJsonRows(&profile_json, row.profile, "server-load",
+                          &profile_first);
+      if (profile == StackProfile::kDualBoundary) {
+        // The headline question: where does the dual-boundary server's time
+        // go under load? Print the flame, and gate the attribution — at
+        // least 90% of in-round time must land in a named child probe.
+        std::printf("\n-- dual-boundary server flame (steady-state load) --\n");
+        std::printf("%s\n", prof.ToFlameSummary().c_str());
+        if (prof.unattributed_pct() >= 10.0) {
+          std::printf("profile attribution gate FAILED: "
+                      "unattributed %.2f%% >= 10%%\n",
+                      prof.unattributed_pct());
+          all_ok = false;
+        }
+      }
+    }
     RunAdmissionProbe(profile, row);
     std::printf("%-18s %10.0f %8.3f %8.1f %8.1f %8.1f %5llu %5llu %6llu%s\n",
                 row.profile.c_str(), row.throughput_msgs_per_sec,
@@ -324,6 +356,17 @@ int main(int argc, char** argv) {
 
   if (json_path != nullptr) {
     WriteJson(json_path, rows);
+  }
+  if (profile_path != nullptr) {
+    profile_json += "\n]\n";
+    std::FILE* f = std::fopen(profile_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", profile_path);
+      return 1;
+    }
+    std::fwrite(profile_json.data(), 1, profile_json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", profile_path);
   }
   if (!all_ok) {
     std::printf("server load gate FAILED\n");

@@ -1,7 +1,33 @@
 #include "src/base/clock.h"
 
-// SimClock and CostModel are header-only today; this translation unit exists
-// so the library has a stable archive member for them and future out-of-line
-// additions.
+namespace ciobase {
 
-namespace ciobase {}  // namespace ciobase
+std::string_view CostCounterName(CostCounter counter) {
+  switch (counter) {
+    case CostCounter::kHostExits:
+      return "host_exits";
+    case CostCounter::kNotifies:
+      return "notifies";
+    case CostCounter::kCompartmentSwitches:
+      return "compartment_switches";
+    case CostCounter::kTeeSwitches:
+      return "tee_switches";
+    case CostCounter::kRingPolls:
+      return "ring_polls";
+    case CostCounter::kCopies:
+      return "copies";
+    case CostCounter::kBytesCopied:
+      return "bytes_copied";
+    case CostCounter::kAeadOps:
+      return "aead_ops";
+    case CostCounter::kBytesAead:
+      return "bytes_aead";
+    case CostCounter::kPagesUnshared:
+      return "pages_unshared";
+    case CostCounter::kPagesReshared:
+      return "pages_reshared";
+  }
+  return "unknown";
+}
+
+}  // namespace ciobase

@@ -21,9 +21,14 @@
 #ifndef SRC_BASE_CLOCK_H_
 #define SRC_BASE_CLOCK_H_
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <map>
-#include <string>
+#include <string_view>
+
+namespace cioprof {
+class ProfRegistry;  // src/prof — base never links it, only carries a pointer
+}  // namespace cioprof
 
 namespace ciobase {
 
@@ -67,65 +72,101 @@ struct CostConstants {
   size_t page_size = 4096;
 };
 
+// The counters a CostModel keeps, as interned slots: the charge hot path is
+// an array index, not a string-keyed map lookup. The string names survive
+// only for dump/JSON and for test assertions (counter("notifies")).
+enum class CostCounter : uint8_t {
+  kHostExits = 0,
+  kNotifies,
+  kCompartmentSwitches,
+  kTeeSwitches,
+  kRingPolls,
+  kCopies,
+  kBytesCopied,
+  kAeadOps,
+  kBytesAead,
+  kPagesUnshared,
+  kPagesReshared,
+};
+inline constexpr size_t kCostCounterCount = 11;
+
+// Stable display name for a counter slot ("host_exits", "notifies", ...).
+std::string_view CostCounterName(CostCounter counter);
+
 // Charges modeled costs to a SimClock and keeps named counters so benchmarks
 // can report a breakdown (exits, copies, bytes copied, pages revoked, ...).
 class CostModel {
  public:
+  using Slots = std::array<uint64_t, kCostCounterCount>;
   explicit CostModel(SimClock* clock) : clock_(clock) {}
   CostModel(SimClock* clock, CostConstants constants)
       : clock_(clock), c_(constants) {}
 
   const CostConstants& constants() const { return c_; }
 
-  void ChargeHostExit() { Charge("host_exits", c_.host_exit_ns); }
-  void ChargeNotify() { Charge("notifies", c_.notify_ns); }
+  void ChargeHostExit() { Charge(CostCounter::kHostExits, c_.host_exit_ns); }
+  void ChargeNotify() { Charge(CostCounter::kNotifies, c_.notify_ns); }
   void ChargeCompartmentSwitch() {
-    Charge("compartment_switches", c_.compartment_switch_ns);
+    Charge(CostCounter::kCompartmentSwitches, c_.compartment_switch_ns);
   }
-  void ChargeTeeSwitch() { Charge("tee_switches", c_.tee_switch_ns); }
-  void ChargeRingPoll() { Charge("ring_polls", c_.ring_poll_ns); }
+  void ChargeTeeSwitch() { Charge(CostCounter::kTeeSwitches, c_.tee_switch_ns); }
+  void ChargeRingPoll() { Charge(CostCounter::kRingPolls, c_.ring_poll_ns); }
   void ChargeCopy(size_t bytes) {
-    Count("copies", 1);
-    Count("bytes_copied", bytes);
+    Count(CostCounter::kCopies, 1);
+    Count(CostCounter::kBytesCopied, bytes);
     clock_->Advance(static_cast<uint64_t>(c_.copy_ns_per_byte *
                                           static_cast<double>(bytes)));
   }
   void ChargeAead(size_t bytes) {
-    Count("aead_ops", 1);
-    Count("bytes_aead", bytes);
+    Count(CostCounter::kAeadOps, 1);
+    Count(CostCounter::kBytesAead, bytes);
     clock_->Advance(static_cast<uint64_t>(c_.aead_ns_per_byte *
                                           static_cast<double>(bytes)));
   }
   void ChargePageUnshare(size_t pages) {
-    Count("pages_unshared", pages);
+    Count(CostCounter::kPagesUnshared, pages);
     clock_->Advance(static_cast<uint64_t>(c_.page_unshare_ns *
                                           static_cast<double>(pages)));
   }
   void ChargePageReshare(size_t pages) {
-    Count("pages_reshared", pages);
+    Count(CostCounter::kPagesReshared, pages);
     clock_->Advance(static_cast<uint64_t>(c_.page_reshare_ns *
                                           static_cast<double>(pages)));
   }
 
-  uint64_t counter(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+  uint64_t counter(CostCounter c) const {
+    return slots_[static_cast<size_t>(c)];
   }
-  const std::map<std::string, uint64_t>& counters() const { return counters_; }
-  void ResetCounters() { counters_.clear(); }
+  // Name-keyed lookup for dumps and tests; linear scan, not for hot paths.
+  uint64_t counter(std::string_view name) const {
+    for (size_t i = 0; i < kCostCounterCount; ++i) {
+      if (CostCounterName(static_cast<CostCounter>(i)) == name) {
+        return slots_[i];
+      }
+    }
+    return 0;
+  }
+  const Slots& slots() const { return slots_; }
+  void ResetCounters() { slots_.fill(0); }
 
   SimClock* clock() const { return clock_; }
 
+  // Optional in-sim profiler observing this node (see src/prof/profiler.h).
+  // Instrumented components reach it through their existing costs_ pointer.
+  void set_profiler(cioprof::ProfRegistry* profiler) { profiler_ = profiler; }
+  cioprof::ProfRegistry* profiler() const { return profiler_; }
+
  private:
-  void Charge(const char* name, double ns) {
-    Count(name, 1);
+  void Charge(CostCounter c, double ns) {
+    Count(c, 1);
     clock_->Advance(static_cast<uint64_t>(ns));
   }
-  void Count(const char* name, uint64_t n) { counters_[name] += n; }
+  void Count(CostCounter c, uint64_t n) { slots_[static_cast<size_t>(c)] += n; }
 
   SimClock* clock_;
   CostConstants c_;
-  std::map<std::string, uint64_t> counters_;
+  Slots slots_{};
+  cioprof::ProfRegistry* profiler_ = nullptr;
 };
 
 }  // namespace ciobase

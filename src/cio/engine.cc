@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/base/log.h"
+#include "src/prof/profiler.h"
 #include "src/tee/attestation.h"
 
 namespace cio {
@@ -302,6 +303,14 @@ ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
     failed_ = true;
     return;
   }
+  if (config_.profiler != nullptr) {
+    // One registry profiles one node: bind it to this node's clock + cost
+    // model so probes below (session, stacks, rings, drivers) all attribute
+    // through the same counter snapshots.
+    config_.profiler->Bind(clock, &costs_);
+    costs_.set_profiler(config_.profiler);
+    session_.set_profiler(config_.profiler);
+  }
   cionet::MacAddress mac = cionet::MacAddress::FromId(config_.node_id);
   std::string name = "node-" + std::to_string(config_.node_id);
   cionet::NetStack::Config stack_config;
@@ -451,6 +460,10 @@ ConfidentialNode::ConfidentialNode(cionet::Fabric* fabric,
       break;
     }
   }
+  if (config_.profiler != nullptr) {
+    if (guest_stack_ != nullptr) guest_stack_->set_profiler(config_.profiler);
+    if (host_stack_ != nullptr) host_stack_->set_profiler(config_.profiler);
+  }
   if (config_.enable_vsock && !failed_) {
     // Independent shared region: vsock traffic never rides the net fabric,
     // so it attaches beside whatever transport the profile chose.
@@ -559,6 +572,7 @@ void ConfidentialNode::PumpBytes() {
   if (!have_socket_) {
     return;
   }
+  CIO_PROF_SCOPE(costs_.profiler(), "engine.pump");
   // Flush pending protected bytes into the transport, as far as it allows.
   while (session_.HasOutbound()) {
     auto sent = ops_->SendBytes(socket_, session_.outbound());
@@ -754,6 +768,7 @@ void ConfidentialNode::Poll() {
   if (ops_ == nullptr) {
     return;
   }
+  CIO_PROF_SCOPE(costs_.profiler(), "engine.poll");
   if (vsock_device_ != nullptr) {
     vsock_device_->Poll();
   }
@@ -794,14 +809,21 @@ void ConfidentialNode::Poll() {
     BeginRecovery("tls session failed");
   }
   PumpBytes();
-  PollControlPlane();
-  PollRecovery();
+  {
+    CIO_PROF_SCOPE(costs_.profiler(), "engine.ctrl");
+    PollControlPlane();
+  }
+  {
+    CIO_PROF_SCOPE(costs_.profiler(), "engine.recovery");
+    PollRecovery();
+  }
 }
 
 ciobase::Status ConfidentialNode::SendMessage(ciobase::ByteSpan message) {
   if (!Ready()) {
     return ciobase::FailedPrecondition("link not ready");
   }
+  CIO_PROF_SCOPE(costs_.profiler(), "engine.send");
   // Async fast path: seal the framed message straight into registered pool
   // slots and queue one scatter-gather SQ entry — no staging copy, no
   // boundary crossing here. The next doorbell (this round's Poll, or right
@@ -834,6 +856,7 @@ ciobase::Status ConfidentialNode::SendMessage(ciobase::ByteSpan message) {
 }
 
 ciobase::Result<ciobase::Buffer> ConfidentialNode::ReceiveMessage() {
+  CIO_PROF_SCOPE(costs_.profiler(), "engine.reap");
   return session_.Receive();
 }
 

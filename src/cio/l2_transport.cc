@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/base/coverage.h"
+#include "src/prof/profiler.h"
 
 namespace cio {
 
@@ -117,6 +118,7 @@ ciobase::Result<size_t> L2Transport::SendFrames(
   if (frames.empty()) {
     return size_t{0};
   }
+  CIO_PROF_SCOPE(costs_->profiler(), "l2.tx");
   // One advisory read of the host's consumed counter covers the whole batch —
   // and within a single simulated instant, all batches (the same-tick cache
   // below). Clamping it into [produced - slots, produced] keeps the
@@ -288,12 +290,19 @@ ciobase::Result<size_t> L2Transport::ReceiveFrames(cionet::FrameBatch& batch,
   if (max_frames == 0) {
     return size_t{0};
   }
-  costs_->ChargeRingPoll();
-  uint64_t now_ns = costs_->clock()->now_ns();
-  uint64_t produced = region_->GuestReadLe64(layout_.RxProduced());
-  uint64_t consumed = region_->GuestReadLe64(layout_.TxConsumed());
-  tx_consumed_cache_ = consumed;
-  tx_consumed_cache_ns_ = now_ns;
+  CIO_PROF_SCOPE(costs_->profiler(), "l2.rx");
+  uint64_t now_ns;
+  uint64_t produced;
+  uint64_t consumed;
+  {
+    CIO_PROF_SCOPE(costs_->profiler(), "l2.counters");
+    costs_->ChargeRingPoll();
+    now_ns = costs_->clock()->now_ns();
+    produced = region_->GuestReadLe64(layout_.RxProduced());
+    consumed = region_->GuestReadLe64(layout_.TxConsumed());
+    tx_consumed_cache_ = consumed;
+    tx_consumed_cache_ns_ = now_ns;
+  }
 
   // Progress detection for the watchdog: the host visibly advanced if it
   // consumed TX frames (counter moved, coherently) since the last poll.

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/base/coverage.h"
+#include "src/prof/profiler.h"
 #include "src/tls/record.h"
 
 namespace cio {
@@ -295,6 +296,7 @@ ciobase::Result<size_t> L5Channel::SubmitStream(cionet::SocketId socket,
   if (!queues_ready_) {
     return ciobase::FailedPrecondition("async queues unavailable");
   }
+  CIO_PROF_SCOPE(costs_->profiler(), "l5.submit");
   size_t accepted = 0;
   while (accepted < data.size()) {
     if (SqFull() || pool_.free_slots() == 0) {
@@ -367,13 +369,20 @@ ciobase::Status L5Channel::Doorbell() {
   if (!queues_ready_) {
     return ciobase::FailedPrecondition("async queues unavailable");
   }
+  CIO_PROF_SCOPE(costs_->profiler(), "l5.doorbell");
   ciobase::Status link = ciobase::OkStatus();
   {
     Crossing crossing(this);
     costs_->ChargeRingPoll();
-    IoConsumeSq();
+    {
+      CIO_PROF_SCOPE(costs_->profiler(), "l5.sq_consume");
+      IoConsumeSq();
+    }
     link = stack_->Poll();
-    IoService();
+    {
+      CIO_PROF_SCOPE(costs_->profiler(), "l5.io_service");
+      IoService();
+    }
     // Consumed count returns through the call gate (a syscall-style return
     // value), so SQ-full detection never trusts host-writable memory.
     sq_consumed_ = io_sq_head_;
@@ -573,6 +582,7 @@ void L5Channel::DrainHeldCqes() {
 // --- App-side reaping -------------------------------------------------------
 
 ciobase::Status L5Channel::Harvest() {
+  CIO_PROF_SCOPE(costs_->profiler(), "l5.harvest");
   // Self-healing counters: re-assert the app-owned cells from private state
   // every reap. A host that scribbles CqHead or Epoch can wedge at most one
   // doorbell interval — the next Harvest restores the truth and any held

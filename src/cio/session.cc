@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/prof/profiler.h"
+
 namespace cio {
 
 namespace {
@@ -72,6 +74,7 @@ Session::Session(bool use_tls, ciobase::Buffer psk, size_t resend_window_cap,
 void Session::Start(ciotls::TlsRole role, uint64_t seed) {
   if (use_tls_) {
     tls_ = std::make_unique<ciotls::TlsSession>(role, psk_, "cio-link", seed);
+    tls_->set_profiler(prof_);
     tls_->Start();
     PumpTls();
   }
@@ -127,6 +130,7 @@ ciobase::Status Session::Send(ciobase::ByteSpan payload) {
   if (!Established()) {
     return ciobase::FailedPrecondition("channel not established");
   }
+  CIO_PROF_SCOPE(prof_, "session.seal");
   if (payload.size() > kMaxMessageBytes) {
     return ciobase::InvalidArgument("message too large");
   }
@@ -208,6 +212,7 @@ ciobase::Status Session::SendInto(ciobase::ByteSpan payload,
   if (!Established()) {
     return ciobase::FailedPrecondition("channel not established");
   }
+  CIO_PROF_SCOPE(prof_, "session.seal");
   if (payload.size() > kMaxMessageBytes) {
     return ciobase::InvalidArgument("message too large");
   }
@@ -312,6 +317,7 @@ void Session::ConsumeOutbound(size_t n) {
 }
 
 ciobase::Status Session::Ingest(ciobase::ByteSpan bytes) {
+  CIO_PROF_SCOPE(prof_, "session.open");
   if (use_tls_) {
     if (tls_ == nullptr) {
       return ciobase::FailedPrecondition("channel not started");

@@ -43,6 +43,10 @@
 #include "src/base/status.h"
 #include "src/tls/session.h"
 
+namespace cioprof {
+class ProfRegistry;
+}  // namespace cioprof
+
 namespace cio {
 
 // Destination for scatter-gather sends: hands out writable spans of the
@@ -199,6 +203,11 @@ class Session {
   // object can serve a brand-new peer relationship — churn-style reuse.
   void Forget();
 
+  // In-sim profiler for the owning node ("session.seal"/"session.open"
+  // probes); null = disabled. Survives Start()/ResetChannel()/Forget().
+  void set_profiler(cioprof::ProfRegistry* profiler) { prof_ = profiler; }
+  cioprof::ProfRegistry* profiler() const { return prof_; }
+
   const Stats& stats() const { return stats_; }
   const ciotls::TlsSession* tls() const { return tls_.get(); }
   size_t resend_window_size() const { return resend_window_.size(); }
@@ -234,6 +243,7 @@ class Session {
   std::deque<std::pair<uint64_t, ciobase::Buffer>> resend_window_;
   uint64_t records_since_rekey_ = 0;
   uint64_t bytes_since_rekey_ = 0;
+  cioprof::ProfRegistry* prof_ = nullptr;
   Stats stats_;
 };
 

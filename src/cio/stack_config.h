@@ -22,6 +22,10 @@
 #include "src/net/tcp.h"
 #include "src/tee/trust.h"
 
+namespace cioprof {
+class ProfRegistry;
+}  // namespace cioprof
+
 namespace cio {
 
 enum class StackProfile {
@@ -78,6 +82,11 @@ struct StackConfig {
   // Listener accept-queue cap (SYNs beyond it are refused with RST); the
   // multi-tenant server sizes this to its connection budget.
   size_t accept_backlog = 64;
+
+  // Optional in-sim profiler (src/prof): the node binds it to its clock +
+  // cost model at construction and hangs it on every instrumented layer.
+  // One registry per node — counter snapshots don't compose across nodes.
+  cioprof::ProfRegistry* profiler = nullptr;
 
   // Device zoo (ISSUE 7). `enable_vsock` attaches a vsock stream device in
   // its own shared region (any profile with a host boundary, i.e. not the

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/base/log.h"
+#include "src/prof/profiler.h"
 
 namespace cionet {
 
@@ -355,6 +356,7 @@ void NetStack::FlushTcpOutput(Socket& socket) {
 }
 
 ciobase::Status NetStack::Poll() {
+  CIO_PROF_SCOPE(prof_, "tcp.poll");
   ciobase::Status link = ciobase::OkStatus();
   // Everything one poll round emits — ACKs for a burst of received frames,
   // retransmits, window updates across sockets — leaves as one TX batch.

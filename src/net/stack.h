@@ -24,6 +24,10 @@
 #include "src/net/tcp.h"
 #include "src/net/udp.h"
 
+namespace cioprof {
+class ProfRegistry;
+}  // namespace cioprof
+
 namespace cionet {
 
 struct SocketId {
@@ -65,6 +69,9 @@ class NetStack {
   ciobase::Status Poll();
 
   Ipv4Address ip() const { return config_.ip; }
+
+  // In-sim profiler of the owning node ("tcp.poll" probe); null = disabled.
+  void set_profiler(cioprof::ProfRegistry* profiler) { prof_ = profiler; }
 
   // --- UDP ------------------------------------------------------------------
 
@@ -136,6 +143,8 @@ class NetStack {
     std::unique_ptr<TcpConnection> conn;
     bool close_requested = false;
   };
+
+  cioprof::ProfRegistry* prof_ = nullptr;
 
   Socket* Find(SocketId id);
   const Socket* Find(SocketId id) const;

@@ -1,0 +1,279 @@
+#include "src/prof/profiler.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace cioprof {
+namespace {
+
+// Log2 duration bucket: 0 -> [0], k -> [2^(k-1), 2^k). Values past the last
+// bucket saturate into it.
+size_t BucketOf(uint64_t ns) {
+  if (ns == 0) return 0;
+  size_t width = 64 - static_cast<size_t>(__builtin_clzll(ns));
+  return std::min(width, ProfRegistry::kHistBuckets - 1);
+}
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  int n = vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+
+std::string_view LeafOf(std::string_view path) {
+  size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+void ProfRegistry::Bind(ciobase::SimClock* clock, ciobase::CostModel* costs) {
+  clock_ = clock;
+  costs_ = costs;
+  enabled_ = true;
+  if (costs_ != nullptr) last_slots_ = costs_->slots();
+}
+
+void ProfRegistry::AttributeCounters() {
+  if (costs_ == nullptr) return;
+  const Slots& cur = costs_->slots();
+  if (depth_ > 0) {
+    Slots& target = probes_[frames_[depth_ - 1].probe].counters;
+    for (size_t i = 0; i < target.size(); ++i) {
+      target[i] += cur[i] - last_slots_[i];
+    }
+  }
+  last_slots_ = cur;
+}
+
+uint32_t ProfRegistry::Intern(uint32_t parent, const char* name) {
+  auto key = std::make_pair(parent, std::string_view(name));
+  auto it = intern_.find(key);
+  if (it != intern_.end()) return it->second;
+  Probe probe;
+  if (parent == kNoParent) {
+    probe.path = name;
+    probe.depth = 0;
+  } else {
+    probe.path = probes_[parent].path + "/" + name;
+    probe.depth = probes_[parent].depth + 1;
+  }
+  probe.parent = parent;
+  uint32_t index = static_cast<uint32_t>(probes_.size());
+  probes_.push_back(std::move(probe));
+  intern_.emplace(key, index);
+  return index;
+}
+
+bool ProfRegistry::EnterScope(const char* name) {
+  if (depth_ >= kMaxDepth) {
+    ++dropped_;
+    return false;
+  }
+  AttributeCounters();
+  uint32_t parent = depth_ == 0 ? kNoParent : frames_[depth_ - 1].probe;
+  Frame& frame = frames_[depth_++];
+  frame.probe = Intern(parent, name);
+  frame.enter_ns = clock_->now_ns();
+  frame.child_ns = 0;
+  return true;
+}
+
+void ProfRegistry::ExitScope() {
+  if (depth_ == 0) return;  // unbalanced exit; drop rather than crash
+  AttributeCounters();
+  Frame& frame = frames_[depth_ - 1];
+  uint64_t inclusive = clock_->now_ns() - frame.enter_ns;
+  Probe& probe = probes_[frame.probe];
+  probe.count += 1;
+  probe.total_ns += inclusive;
+  probe.self_ns += inclusive - std::min(inclusive, frame.child_ns);
+  size_t bucket = BucketOf(inclusive);
+  probe.hist_count[bucket] += 1;
+  probe.hist_sum[bucket] += inclusive;
+  --depth_;
+  if (depth_ > 0) frames_[depth_ - 1].child_ns += inclusive;
+}
+
+uint64_t ProfRegistry::Percentile(const Probe& probe, uint32_t permille) {
+  uint64_t total = 0;
+  for (uint64_t c : probe.hist_count) total += c;
+  if (total == 0) return 0;
+  uint64_t rank = (total * permille + 999) / 1000;
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  uint64_t last_mean = 0;
+  for (size_t b = 0; b < kHistBuckets; ++b) {
+    if (probe.hist_count[b] == 0) continue;
+    cumulative += probe.hist_count[b];
+    last_mean = probe.hist_sum[b] / probe.hist_count[b];
+    if (cumulative >= rank) return last_mean;
+  }
+  return last_mean;
+}
+
+uint64_t ProfRegistry::total_ns() const {
+  uint64_t total = 0;
+  for (const Probe& probe : probes_) {
+    if (probe.parent == kNoParent) total += probe.total_ns;
+  }
+  return total;
+}
+
+double ProfRegistry::unattributed_pct() const {
+  uint64_t total = total_ns();
+  if (total == 0) return 0.0;
+  uint64_t unattributed = 0;
+  for (const Probe& probe : probes_) {
+    if (probe.parent == kNoParent) unattributed += probe.self_ns;
+  }
+  return 100.0 * static_cast<double>(unattributed) /
+         static_cast<double>(total);
+}
+
+std::vector<ProbeRow> ProfRegistry::Rows() const {
+  std::vector<ProbeRow> rows;
+  rows.reserve(probes_.size());
+  for (const Probe& probe : probes_) {
+    ProbeRow row;
+    row.path = probe.path;
+    row.depth = probe.depth;
+    row.count = probe.count;
+    row.total_ns = probe.total_ns;
+    row.self_ns = probe.self_ns;
+    row.p50_ns = Percentile(probe, 500);
+    row.p95_ns = Percentile(probe, 950);
+    row.p99_ns = Percentile(probe, 990);
+    row.counters = probe.counters;
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ProbeRow& a, const ProbeRow& b) { return a.path < b.path; });
+  return rows;
+}
+
+std::string ProfRegistry::ToFlameSummary() const {
+  std::string out;
+  uint64_t total = total_ns();
+  AppendF(&out,
+          "flame: total %.3f ms modeled, unattributed %.1f%%, %zu probes",
+          static_cast<double>(total) / 1e6, unattributed_pct(),
+          probes_.size());
+  if (dropped_ > 0) {
+    AppendF(&out, ", %llu dropped",
+            static_cast<unsigned long long>(dropped_));
+  }
+  out += "\n";
+
+  // Children lists, sorted by inclusive time (desc), path as tie-break.
+  std::vector<std::vector<uint32_t>> children(probes_.size());
+  std::vector<uint32_t> roots;
+  for (uint32_t i = 0; i < probes_.size(); ++i) {
+    if (probes_[i].parent == kNoParent) {
+      roots.push_back(i);
+    } else {
+      children[probes_[i].parent].push_back(i);
+    }
+  }
+  auto order = [this](uint32_t a, uint32_t b) {
+    if (probes_[a].total_ns != probes_[b].total_ns) {
+      return probes_[a].total_ns > probes_[b].total_ns;
+    }
+    return probes_[a].path < probes_[b].path;
+  };
+  std::sort(roots.begin(), roots.end(), order);
+  for (auto& list : children) std::sort(list.begin(), list.end(), order);
+
+  // Iterative pre-order walk (explicit stack; depth is bounded by kMaxDepth).
+  std::vector<uint32_t> stack(roots.rbegin(), roots.rend());
+  while (!stack.empty()) {
+    uint32_t index = stack.back();
+    stack.pop_back();
+    const Probe& probe = probes_[index];
+    std::string label(probe.depth * 2, ' ');
+    label.append(LeafOf(probe.path));
+    double share = total == 0 ? 0.0
+                              : 100.0 * static_cast<double>(probe.total_ns) /
+                                    static_cast<double>(total);
+    AppendF(&out, "  %-44s incl %12.3f us  self %12.3f us  %5.1f%%  n=%llu\n",
+            label.c_str(), static_cast<double>(probe.total_ns) / 1e3,
+            static_cast<double>(probe.self_ns) / 1e3, share,
+            static_cast<unsigned long long>(probe.count));
+    for (auto it = children[index].rbegin(); it != children[index].rend();
+         ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+void ProfRegistry::AppendJsonRows(std::string* out, std::string_view profile,
+                                  std::string_view arm, bool* first) const {
+  uint64_t total = total_ns();
+  auto lead = [&] {
+    if (!*first) *out += ",";
+    *first = false;
+    *out += "\n ";
+  };
+  for (const ProbeRow& row : Rows()) {
+    lead();
+    double share = total == 0 ? 0.0
+                              : 100.0 * static_cast<double>(row.total_ns) /
+                                    static_cast<double>(total);
+    AppendF(out,
+            "{\"profile\": \"%.*s\", \"arm\": \"%.*s\", \"probe\": \"%s\", "
+            "\"count\": %llu, \"total_us\": %.3f, \"self_us\": %.3f, "
+            "\"share_pct\": %.2f, \"p50_ns\": %llu, \"p95_ns\": %llu, "
+            "\"p99_ns\": %llu",
+            static_cast<int>(profile.size()), profile.data(),
+            static_cast<int>(arm.size()), arm.data(), row.path.c_str(),
+            static_cast<unsigned long long>(row.count),
+            static_cast<double>(row.total_ns) / 1e3,
+            static_cast<double>(row.self_ns) / 1e3, share,
+            static_cast<unsigned long long>(row.p50_ns),
+            static_cast<unsigned long long>(row.p95_ns),
+            static_cast<unsigned long long>(row.p99_ns));
+    static const ciobase::CostCounter kReported[] = {
+        ciobase::CostCounter::kHostExits,
+        ciobase::CostCounter::kNotifies,
+        ciobase::CostCounter::kCompartmentSwitches,
+        ciobase::CostCounter::kRingPolls,
+        ciobase::CostCounter::kCopies,
+        ciobase::CostCounter::kBytesCopied,
+    };
+    for (ciobase::CostCounter c : kReported) {
+      std::string_view name = ciobase::CostCounterName(c);
+      AppendF(out, ", \"%.*s\": %llu", static_cast<int>(name.size()),
+              name.data(),
+              static_cast<unsigned long long>(
+                  row.counters[static_cast<size_t>(c)]));
+    }
+    *out += "}";
+  }
+  lead();
+  AppendF(out,
+          "{\"profile\": \"%.*s\", \"arm\": \"%.*s\", \"probe\": \"(total)\", "
+          "\"total_us\": %.3f, \"unattributed_pct\": %.2f, \"probes\": %zu, "
+          "\"dropped\": %llu}",
+          static_cast<int>(profile.size()), profile.data(),
+          static_cast<int>(arm.size()), arm.data(),
+          static_cast<double>(total) / 1e3, unattributed_pct(),
+          probes_.size(), static_cast<unsigned long long>(dropped_));
+}
+
+void ProfRegistry::Reset() {
+  probes_.clear();
+  intern_.clear();
+  depth_ = 0;
+  dropped_ = 0;
+  if (costs_ != nullptr) last_slots_ = costs_->slots();
+}
+
+}  // namespace cioprof

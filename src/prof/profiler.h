@@ -1,0 +1,199 @@
+// In-sim cycle-accounting profiler.
+//
+// Every interesting stage of the datapath (engine submit/reap, TLS seal/open,
+// SQ/CQ doorbell + harvest, virtio kick/poll, L2 counter reads, server DRR
+// egress rounds, TCP poll) brackets itself with a scoped RAII probe:
+//
+//   CIO_PROF_SCOPE(costs_->profiler(), "l5.doorbell");
+//
+// Probes nest into dotted stage paths ("server.round/server.egress/
+// l5.doorbell"), so the same leaf name under two callers is two distinct
+// probes. Time is read from ciobase::SimClock — the modeled clock that every
+// boundary crossing charges — which makes the profile deterministic: two runs
+// of the same simulation produce byte-identical JSON.
+//
+// Attribution rules:
+//   * Inclusive time of a probe = sum over activations of (exit - enter) on
+//     the simulated clock. Exclusive (self) time subtracts the inclusive
+//     time of child activations.
+//   * CostModel counter deltas (host exits, notifies, copies, compartment
+//     switches, ...) are attributed to the innermost open scope at the
+//     moment of the charge, by snapshotting the counter slots at every
+//     scope enter/exit boundary. They are exclusive by construction.
+//   * Durations feed fixed log2-bucket histograms (count + sum per bucket),
+//     from which p50/p95/p99 are derived deterministically. No allocation
+//     happens on the probe hot path: the per-probe stat block is allocated
+//     once when a path is first interned (FrameArena-style pooling via a
+//     deque of fixed blocks), and the scope stack is a fixed array.
+//
+// Overhead contract: a probe compiled in but pointing at a null or disabled
+// registry advances the clock by exactly 0 ns, touches no counters, and
+// allocates nothing — the constructor is two branches. An enabled probe
+// still advances the clock by 0 ns (the profiler observes the simulation,
+// it never charges it); only real wall time is spent on bookkeeping.
+
+#ifndef SRC_PROF_PROFILER_H_
+#define SRC_PROF_PROFILER_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/base/clock.h"
+
+namespace cioprof {
+
+// One row of the rendered profile, keyed by the full dotted path.
+struct ProbeRow {
+  std::string path;        // "server.round/server.egress/l5.doorbell"
+  uint32_t depth = 0;      // nesting depth (0 = root)
+  uint64_t count = 0;      // activations
+  uint64_t total_ns = 0;   // inclusive simulated time
+  uint64_t self_ns = 0;    // exclusive simulated time
+  uint64_t p50_ns = 0;
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+  // Exclusive CostModel counter deltas attributed to this probe.
+  std::array<uint64_t, ciobase::kCostCounterCount> counters{};
+};
+
+class ProfRegistry {
+ public:
+  static constexpr size_t kMaxDepth = 64;
+  static constexpr size_t kHistBuckets = 48;
+
+  // A default-constructed registry is disabled: probes against it are free.
+  ProfRegistry() = default;
+
+  ProfRegistry(const ProfRegistry&) = delete;
+  ProfRegistry& operator=(const ProfRegistry&) = delete;
+
+  // Binds the registry to one node's simulated clock and cost model and
+  // enables it. One registry profiles one node: counter snapshots are
+  // meaningless across two CostModels. `costs` may be null (time-only).
+  void Bind(ciobase::SimClock* clock, ciobase::CostModel* costs);
+
+  // Flag-disable without unbinding (probes become free again).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_ && clock_ != nullptr; }
+
+  // --- Probe hot path (called by ProfScope) ---------------------------------
+
+  // Pushes a scope named `name` (must be a string literal or otherwise
+  // outlive the registry). Returns false when the scope stack is full —
+  // the activation is dropped and counted in dropped_scopes().
+  bool EnterScope(const char* name);
+  // Pops the innermost scope. Strict LIFO (RAII guarantees it).
+  void ExitScope();
+
+  // --- Rendering ------------------------------------------------------------
+
+  // Rows sorted by path, shares computed against total_ns().
+  std::vector<ProbeRow> Rows() const;
+
+  // Sum of root-probe inclusive time: the denominator for share-of-total.
+  uint64_t total_ns() const;
+
+  // Share of total time spent inside root probes but not inside any child
+  // probe, in percent. The "unattributed remainder" of the flame summary.
+  double unattributed_pct() const;
+
+  // Inclusive/exclusive text flame tree, children sorted by inclusive time
+  // (descending, path as tie-break). Deterministic.
+  std::string ToFlameSummary() const;
+
+  // Appends one JSON row object per probe (comma-separated, no brackets) to
+  // `out`, keyed by {profile, arm, probe}, plus a trailing "(total)" summary
+  // row carrying total_us and unattributed_pct. `first` tracks whether a
+  // leading comma is needed and is updated. Fixed formatting, byte-stable.
+  void AppendJsonRows(std::string* out, std::string_view profile,
+                      std::string_view arm, bool* first) const;
+
+  uint64_t dropped_scopes() const { return dropped_; }
+  size_t probe_count() const { return probes_.size(); }
+
+  // Clears all recorded samples and paths (keeps the binding and flag).
+  void Reset();
+
+ private:
+  using Slots = std::array<uint64_t, ciobase::kCostCounterCount>;
+
+  // Per-path stat block, allocated once at interning; stable address
+  // (deque never relocates), fixed size, no steady-state allocation.
+  struct Probe {
+    std::string path;
+    uint32_t parent = kNoParent;  // index into probes_, kNoParent for roots
+    uint32_t depth = 0;
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t self_ns = 0;
+    std::array<uint64_t, kHistBuckets> hist_count{};
+    std::array<uint64_t, kHistBuckets> hist_sum{};
+    Slots counters{};
+  };
+
+  struct Frame {
+    uint32_t probe = 0;
+    uint64_t enter_ns = 0;
+    uint64_t child_ns = 0;  // inclusive time of completed children
+  };
+
+  static constexpr uint32_t kNoParent = 0xffffffffu;
+
+  // Attributes CostModel counter deltas since the last boundary to the
+  // innermost open scope (or discards them when no scope is open).
+  void AttributeCounters();
+
+  uint32_t Intern(uint32_t parent, const char* name);
+  static uint64_t Percentile(const Probe& probe, uint32_t permille);
+
+  ciobase::SimClock* clock_ = nullptr;
+  ciobase::CostModel* costs_ = nullptr;
+  bool enabled_ = false;
+
+  std::deque<Probe> probes_;
+  // (parent probe, leaf name) -> probe index. Keys view literal storage, so
+  // lookups on the hot path allocate nothing.
+  std::map<std::pair<uint32_t, std::string_view>, uint32_t> intern_;
+
+  std::array<Frame, kMaxDepth> frames_{};
+  uint32_t depth_ = 0;
+  uint64_t dropped_ = 0;
+  Slots last_slots_{};
+};
+
+// RAII probe: records enter on construction, exit on destruction. Free when
+// the registry is null or disabled.
+class ProfScope {
+ public:
+  ProfScope(ProfRegistry* registry, const char* name) {
+    if (registry != nullptr && registry->enabled() &&
+        registry->EnterScope(name)) {
+      registry_ = registry;
+    }
+  }
+  ~ProfScope() {
+    if (registry_ != nullptr) registry_->ExitScope();
+  }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  ProfRegistry* registry_ = nullptr;
+};
+
+#define CIO_PROF_CAT2(a, b) a##b
+#define CIO_PROF_CAT(a, b) CIO_PROF_CAT2(a, b)
+#define CIO_PROF_SCOPE(registry, name)                       \
+  ::cioprof::ProfScope CIO_PROF_CAT(cio_prof_scope_, __LINE__)( \
+      (registry), (name))
+
+}  // namespace cioprof
+
+#endif  // SRC_PROF_PROFILER_H_

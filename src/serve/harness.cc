@@ -43,6 +43,7 @@ MultiClientWorld::MultiClientWorld(const Options& options) {
   server_config.rekey_after_bytes = options.rekey_after_bytes;
   server_config.accept_backlog =
       std::max<size_t>(64, options.num_clients + 8);
+  server_config.profiler = options.server_profiler;
   if (options.fast_tcp) {
     TuneTcpFast(server_config);
   }

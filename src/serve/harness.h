@@ -49,6 +49,11 @@ struct MultiClientWorld {
     // (0 = never; see StackConfig::rekey_after_records/bytes).
     uint64_t rekey_after_records = 0;
     uint64_t rekey_after_bytes = 0;
+
+    // In-sim profiler attached to the FIRST server node (src/prof). One
+    // registry binds to one node's clock+cost model; the load benchmark
+    // profiles the server side, where the interesting contention lives.
+    cioprof::ProfRegistry* server_profiler = nullptr;
   };
 
   ciobase::SimClock clock;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/base/log.h"
+#include "src/prof/profiler.h"
 
 namespace cioserve {
 
@@ -53,6 +54,7 @@ ciobase::Status ConfidentialServer::Start() {
 }
 
 void ConfidentialServer::AcceptPending() {
+  CIO_PROF_SCOPE(node_->costs().profiler(), "server.accept");
   auto pending = sockets_->AcceptPending(listener_);
   if (!pending.ok()) {
     return;
@@ -126,6 +128,7 @@ void ConfidentialServer::AcceptPending() {
           cio::RekeyPolicy{node_config.rekey_after_records,
                            node_config.rekey_after_bytes});
     }
+    conn.session->set_profiler(node_->costs().profiler());
     conn.session->Start(ciotls::TlsRole::kServer,
                         node_->config().seed + 1 + conn.id);
     ++stats_.accepted;
@@ -310,6 +313,7 @@ void ConfidentialServer::PumpAdmission(Connection& conn) {
 }
 
 void ConfidentialServer::FlushOutbound() {
+  CIO_PROF_SCOPE(node_->costs().profiler(), "server.egress");
   // Deficit round-robin over everyone with queued output: each backlogged
   // connection accrues one quantum per round and sends only while its
   // deficit lasts, so a hot client cannot monopolize the transport's batch
@@ -374,6 +378,7 @@ void ConfidentialServer::FlushOutbound() {
 }
 
 void ConfidentialServer::Reap() {
+  CIO_PROF_SCOPE(node_->costs().profiler(), "server.reap");
   ciohost::CounterSet& counters = node_->observability().counters();
   for (auto it = connections_.begin(); it != connections_.end();) {
     if (it->second.state == ConnState::kClosed) {
@@ -407,6 +412,7 @@ void ConfidentialServer::Poll() {
   if (!listening_ || sockets_ == nullptr) {
     return;
   }
+  CIO_PROF_SCOPE(node_->costs().profiler(), "server.round");
   ciobase::Status link = sockets_->Poll();
   if (!link.ok() && link.code() == ciobase::StatusCode::kTimedOut) {
     // The transport watchdog exhausted its reset budget: the link under
@@ -423,28 +429,31 @@ void ConfidentialServer::Poll() {
 
   AcceptPending();
 
-  uint64_t now = clock_->now_ns();
-  for (auto& [id, conn] : connections_) {
-    if (conn.state == ConnState::kClosed || conn.session == nullptr) {
-      continue;
-    }
-    if ((conn.state == ConnState::kHandshaking ||
-         conn.state == ConnState::kAttesting) &&
-        now - conn.opened_ns > config_.handshake_timeout_ns) {
-      // A slow handshake squats a table slot; bound the squat. Parked
-      // reattach state (if any) stays parked for a genuine retry.
-      ParkConnection(conn);
-      continue;
-    }
-    // Readiness gate: idle connections cost one query, not a receive
-    // round trip across the boundary.
-    auto readable = sockets_->Readable(conn.socket);
-    if (!readable.ok()) {
-      ParkConnection(conn);
-      continue;
-    }
-    if (*readable) {
-      (void)PumpConnection(conn);
+  {
+    CIO_PROF_SCOPE(node_->costs().profiler(), "server.pump");
+    uint64_t now = clock_->now_ns();
+    for (auto& [id, conn] : connections_) {
+      if (conn.state == ConnState::kClosed || conn.session == nullptr) {
+        continue;
+      }
+      if ((conn.state == ConnState::kHandshaking ||
+           conn.state == ConnState::kAttesting) &&
+          now - conn.opened_ns > config_.handshake_timeout_ns) {
+        // A slow handshake squats a table slot; bound the squat. Parked
+        // reattach state (if any) stays parked for a genuine retry.
+        ParkConnection(conn);
+        continue;
+      }
+      // Readiness gate: idle connections cost one query, not a receive
+      // round trip across the boundary.
+      auto readable = sockets_->Readable(conn.socket);
+      if (!readable.ok()) {
+        ParkConnection(conn);
+        continue;
+      }
+      if (*readable) {
+        (void)PumpConnection(conn);
+      }
     }
   }
 
@@ -589,6 +598,7 @@ ciobase::Status ConfidentialServer::ImportSession(ciobase::ByteSpan sealed,
   if (!session.ok()) {
     return session.status();
   }
+  (*session)->set_profiler(node_->costs().profiler());
   // Park under the embedded peer address: the client's redirected reconnect
   // is an ordinary reattach from here — fresh TLS from the shared PSK,
   // re-attestation when gated, both sides replay, sequence dedup keeps

@@ -2,6 +2,7 @@
 
 #include "src/crypto/hkdf.h"
 #include "src/crypto/hmac.h"
+#include "src/prof/profiler.h"
 
 namespace ciotls {
 
@@ -154,6 +155,7 @@ ciobase::Status TlsSession::HandleHandshakeRecord(const Record& record) {
 }
 
 ciobase::Status TlsSession::HandleProtectedRecord(const Record& record) {
+  CIO_PROF_SCOPE(prof_, "aead.decrypt");
   auto opened = recv_key_.Open(record.type, record.payload);
   if (!opened.ok()) {
     ++stats_.auth_failures;
@@ -246,6 +248,7 @@ ciobase::Status TlsSession::WriteMessage(ciobase::ByteSpan plaintext) {
   if (state_ != TlsState::kEstablished) {
     return ciobase::FailedPrecondition("not established");
   }
+  CIO_PROF_SCOPE(prof_, "aead.encrypt");
   size_t offset = 0;
   do {
     size_t n = std::min(kMaxRecordPayload, plaintext.size() - offset);
@@ -264,6 +267,7 @@ ciobase::Result<size_t> TlsSession::SealRecordToSpan(
   if (state_ != TlsState::kEstablished) {
     return ciobase::FailedPrecondition("not established");
   }
+  CIO_PROF_SCOPE(prof_, "aead.encrypt");
   if (plaintext.size() > kMaxRecordPayload) {
     return ciobase::InvalidArgument("record plaintext too large");
   }

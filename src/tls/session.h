@@ -40,6 +40,10 @@
 #include "src/crypto/sha256.h"
 #include "src/tls/record.h"
 
+namespace cioprof {
+class ProfRegistry;
+}  // namespace cioprof
+
 namespace ciotls {
 
 enum class TlsRole { kClient, kServer };
@@ -102,6 +106,10 @@ class TlsSession {
   // report cannot be cut-and-pasted onto a different connection.
   ciocrypto::Sha256Digest transcript_hash() const { return TranscriptHash(); }
 
+  // In-sim profiler of the owning node ("aead.encrypt"/"aead.decrypt"
+  // probes around record protection); null = disabled.
+  void set_profiler(cioprof::ProfRegistry* profiler) { prof_ = profiler; }
+
   struct Stats {
     uint64_t records_sealed = 0;
     uint64_t records_opened = 0;
@@ -143,6 +151,7 @@ class TlsSession {
   std::deque<ciobase::Buffer> inbox_;
   uint32_t send_generation_ = 0;
   uint32_t recv_generation_ = 0;
+  cioprof::ProfRegistry* prof_ = nullptr;
   Stats stats_;
 };
 

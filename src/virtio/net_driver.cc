@@ -2,6 +2,7 @@
 
 #include "src/base/coverage.h"
 #include "src/base/log.h"
+#include "src/prof/profiler.h"
 
 namespace ciovirtio {
 
@@ -87,6 +88,7 @@ ciobase::Result<size_t> VirtioNetDriver::SendFrames(
   if (frames.empty()) {
     return size_t{0};
   }
+  CIO_PROF_SCOPE(costs_->profiler(), "virtio.tx");
   // Reap once up front for the whole batch instead of once per frame. The
   // device cannot produce new completions mid-batch (it runs on kicks or
   // external polls), so one reap sees everything a per-frame loop would.
@@ -130,6 +132,7 @@ ciobase::Result<size_t> VirtioNetDriver::SendFrames(
   if (sent > 0) {
     // One doorbell covers every frame posted above.
     if (!hardening_.polling) {
+      CIO_PROF_SCOPE(costs_->profiler(), "virtio.kick");
       costs_->ChargeNotify();
       device_->Kick();
     }
@@ -147,6 +150,7 @@ ciobase::Result<size_t> VirtioNetDriver::ReceiveFrames(
   if (!negotiated_) {
     return ciobase::FailedPrecondition("driver not negotiated");
   }
+  CIO_PROF_SCOPE(costs_->profiler(), "virtio.rx");
   // One read of the shared used index covers the whole batch; each entry and
   // each payload still goes through the per-frame validation path verbatim.
   used_scratch_.clear();

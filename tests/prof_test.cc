@@ -1,0 +1,361 @@
+// Unit tests for the in-sim cycle-accounting profiler (src/prof):
+// dotted-path nesting and reentrancy, deterministic byte-identical JSON,
+// the overhead contract of a disabled registry (zero clock advance, zero
+// allocation), innermost-scope counter attribution, histogram percentile
+// edges, and the CostModel enum/string counter slot parity.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <string>
+
+#include "src/base/clock.h"
+#include "src/prof/profiler.h"
+
+// Global allocation counter for the zero-allocation overhead contract.
+// Counts every operator new in the process; tests snapshot it around the
+// probe hot path.
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+
+namespace {
+
+using ciobase::CostCounter;
+using ciobase::CostModel;
+using ciobase::SimClock;
+using cioprof::ProbeRow;
+using cioprof::ProfRegistry;
+
+const ProbeRow* FindRow(const std::vector<ProbeRow>& rows,
+                        std::string_view path) {
+  for (const ProbeRow& row : rows) {
+    if (row.path == path) {
+      return &row;
+    }
+  }
+  return nullptr;
+}
+
+TEST(Profiler, NestsIntoDottedPaths) {
+  SimClock clock;
+  ProfRegistry registry;
+  registry.Bind(&clock, nullptr);
+
+  for (int i = 0; i < 3; ++i) {
+    CIO_PROF_SCOPE(&registry, "engine.poll");
+    clock.Advance(100);
+    {
+      CIO_PROF_SCOPE(&registry, "tls.seal");
+      clock.Advance(40);
+    }
+    {
+      CIO_PROF_SCOPE(&registry, "tls.seal");  // reentry: same probe
+      clock.Advance(10);
+    }
+  }
+  // The same leaf under a different parent is a distinct probe.
+  {
+    CIO_PROF_SCOPE(&registry, "engine.send");
+    CIO_PROF_SCOPE(&registry, "tls.seal");
+    clock.Advance(7);
+  }
+
+  auto rows = registry.Rows();
+  ASSERT_EQ(rows.size(), 4u);
+  const ProbeRow* poll = FindRow(rows, "engine.poll");
+  const ProbeRow* seal = FindRow(rows, "engine.poll/tls.seal");
+  const ProbeRow* send_seal = FindRow(rows, "engine.send/tls.seal");
+  ASSERT_NE(poll, nullptr);
+  ASSERT_NE(seal, nullptr);
+  ASSERT_NE(send_seal, nullptr);
+  EXPECT_EQ(poll->count, 3u);
+  EXPECT_EQ(poll->total_ns, 450u);       // 3 * (100 + 40 + 10)
+  EXPECT_EQ(poll->self_ns, 300u);        // children claim 50 per round
+  EXPECT_EQ(poll->depth, 0u);
+  EXPECT_EQ(seal->count, 6u);            // two activations per round
+  EXPECT_EQ(seal->total_ns, 150u);
+  EXPECT_EQ(seal->self_ns, 150u);        // leaf: inclusive == exclusive
+  EXPECT_EQ(seal->depth, 1u);
+  EXPECT_EQ(send_seal->count, 1u);
+  EXPECT_EQ(send_seal->total_ns, 7u);
+  EXPECT_EQ(registry.total_ns(), 457u);  // both roots
+}
+
+TEST(Profiler, TwoIdenticalRunsProduceIdenticalJson) {
+  auto run = [] {
+    SimClock clock;
+    CostModel costs(&clock);
+    ProfRegistry registry;
+    registry.Bind(&clock, &costs);
+    for (int i = 0; i < 50; ++i) {
+      CIO_PROF_SCOPE(&registry, "engine.send");
+      costs.ChargeHostExit();
+      {
+        CIO_PROF_SCOPE(&registry, "session.seal");
+        costs.ChargeCopy(1000 + static_cast<size_t>(i));
+      }
+      if (i % 3 == 0) {
+        CIO_PROF_SCOPE(&registry, "l5.doorbell");
+        costs.ChargeNotify();
+      }
+    }
+    std::string out = "[";
+    bool first = true;
+    registry.AppendJsonRows(&out, "dual-boundary", "test-arm", &first);
+    out += "\n]\n";
+    return out;
+  };
+  std::string first_run = run();
+  std::string second_run = run();
+  EXPECT_FALSE(first_run.empty());
+  EXPECT_EQ(first_run, second_run);  // bit-identical, not merely equivalent
+}
+
+TEST(Profiler, DisabledRegistryIsFree) {
+  SimClock clock;
+  CostModel costs(&clock);
+
+  // Null registry (the compiled-in-but-unconfigured shape).
+  uint64_t clock_before = clock.now_ns();
+  uint64_t allocs_before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    CIO_PROF_SCOPE(nullptr, "engine.poll");
+    CIO_PROF_SCOPE(static_cast<ProfRegistry*>(nullptr), "tls.seal");
+  }
+  EXPECT_EQ(clock.now_ns(), clock_before);
+  EXPECT_EQ(g_allocations.load(), allocs_before);
+
+  // Bound but flag-disabled registry: probes must also be free, and must
+  // record nothing.
+  ProfRegistry registry;
+  registry.Bind(&clock, &costs);
+  registry.set_enabled(false);
+  clock_before = clock.now_ns();
+  allocs_before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    CIO_PROF_SCOPE(&registry, "engine.poll");
+  }
+  EXPECT_EQ(clock.now_ns(), clock_before);       // exactly 0 ns advanced
+  EXPECT_EQ(g_allocations.load(), allocs_before);  // zero allocation
+  EXPECT_EQ(registry.probe_count(), 0u);
+  EXPECT_EQ(registry.total_ns(), 0u);
+
+  // Unbound registry: enabled() stays false without a clock.
+  ProfRegistry unbound;
+  EXPECT_FALSE(unbound.enabled());
+
+  // And the enabled steady state (paths already interned) allocates
+  // nothing on the hot path either.
+  registry.set_enabled(true);
+  {
+    CIO_PROF_SCOPE(&registry, "engine.poll");  // interns once
+  }
+  allocs_before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) {
+    CIO_PROF_SCOPE(&registry, "engine.poll");
+  }
+  EXPECT_EQ(g_allocations.load(), allocs_before);
+}
+
+TEST(Profiler, CountersAttributeToInnermostOpenScope) {
+  SimClock clock;
+  CostModel costs(&clock);
+  ProfRegistry registry;
+  registry.Bind(&clock, &costs);
+
+  costs.ChargeHostExit();  // before any scope: discarded, not attributed
+  {
+    CIO_PROF_SCOPE(&registry, "outer");
+    costs.ChargeHostExit();          // outer
+    costs.ChargeCopy(100);           // outer
+    {
+      CIO_PROF_SCOPE(&registry, "inner");
+      costs.ChargeHostExit();        // inner
+      costs.ChargeNotify();          // inner
+    }
+    costs.ChargeHostExit();          // back in outer after the child closed
+  }
+  costs.ChargeNotify();  // after all scopes closed: discarded
+
+  auto rows = registry.Rows();
+  const ProbeRow* outer = FindRow(rows, "outer");
+  const ProbeRow* inner = FindRow(rows, "outer/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->counters[static_cast<size_t>(CostCounter::kHostExits)], 2u);
+  EXPECT_EQ(outer->counters[static_cast<size_t>(CostCounter::kCopies)], 1u);
+  EXPECT_EQ(outer->counters[static_cast<size_t>(CostCounter::kBytesCopied)],
+            100u);
+  EXPECT_EQ(outer->counters[static_cast<size_t>(CostCounter::kNotifies)], 0u);
+  EXPECT_EQ(inner->counters[static_cast<size_t>(CostCounter::kHostExits)], 1u);
+  EXPECT_EQ(inner->counters[static_cast<size_t>(CostCounter::kNotifies)], 1u);
+  EXPECT_EQ(inner->counters[static_cast<size_t>(CostCounter::kCopies)], 0u);
+  // Counter deltas are exclusive: outer does NOT absorb inner's charges.
+  // The modeled time, by contrast, is inclusive in total_ns.
+  EXPECT_EQ(outer->total_ns,
+            outer->self_ns + inner->total_ns);
+}
+
+TEST(Profiler, HistogramPercentileEdges) {
+  SimClock clock;
+  ProfRegistry registry;
+  registry.Bind(&clock, nullptr);
+
+  // 99 activations of 100 ns and one of 100000 ns: p50/p95 sit in the
+  // 100 ns bucket, p99 crosses into the outlier's bucket at rank 100.
+  for (int i = 0; i < 99; ++i) {
+    CIO_PROF_SCOPE(&registry, "stage");
+    clock.Advance(100);
+  }
+  {
+    CIO_PROF_SCOPE(&registry, "stage");
+    clock.Advance(100000);
+  }
+  auto rows = registry.Rows();
+  const ProbeRow* stage = FindRow(rows, "stage");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->count, 100u);
+  EXPECT_EQ(stage->p50_ns, 100u);
+  EXPECT_EQ(stage->p95_ns, 100u);
+  EXPECT_EQ(stage->p99_ns, 100u);  // rank 99 of 100 still in the low bucket
+
+  // One more outlier pushes p99 (rank ceil(101*0.99)=100) into the
+  // outlier bucket, whose bucket-mean represents both samples.
+  {
+    CIO_PROF_SCOPE(&registry, "stage");
+    clock.Advance(100000);
+  }
+  rows = registry.Rows();
+  stage = FindRow(rows, "stage");
+  EXPECT_EQ(stage->p50_ns, 100u);
+  EXPECT_EQ(stage->p99_ns, 100000u);
+
+  // Zero-duration activations land in bucket 0 and report 0.
+  SimClock clock2;
+  ProfRegistry registry2;
+  registry2.Bind(&clock2, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    CIO_PROF_SCOPE(&registry2, "noop");
+  }
+  rows = registry2.Rows();
+  const ProbeRow* noop = FindRow(rows, "noop");
+  ASSERT_NE(noop, nullptr);
+  EXPECT_EQ(noop->p50_ns, 0u);
+  EXPECT_EQ(noop->p99_ns, 0u);
+}
+
+TEST(Profiler, FlameSummaryAndUnattributedShare) {
+  SimClock clock;
+  ProfRegistry registry;
+  registry.Bind(&clock, nullptr);
+  {
+    CIO_PROF_SCOPE(&registry, "root");
+    clock.Advance(60);  // root self
+    {
+      CIO_PROF_SCOPE(&registry, "child");
+      clock.Advance(40);
+    }
+  }
+  EXPECT_EQ(registry.total_ns(), 100u);
+  EXPECT_DOUBLE_EQ(registry.unattributed_pct(), 60.0);
+  std::string flame = registry.ToFlameSummary();
+  EXPECT_NE(flame.find("root"), std::string::npos);
+  EXPECT_NE(flame.find("child"), std::string::npos);
+  EXPECT_NE(flame.find("unattributed 60.0%"), std::string::npos);
+}
+
+TEST(Profiler, DepthOverflowDropsNotCrashes) {
+  SimClock clock;
+  ProfRegistry registry;
+  registry.Bind(&clock, nullptr);
+  // Recursion past kMaxDepth: the excess activations are dropped and
+  // counted; the stack unwinds cleanly.
+  std::function<void(size_t)> recurse = [&](size_t n) {
+    if (n == 0) {
+      return;
+    }
+    CIO_PROF_SCOPE(&registry, "recurse");
+    clock.Advance(1);
+    recurse(n - 1);
+  };
+  recurse(ProfRegistry::kMaxDepth + 10);
+  EXPECT_EQ(registry.dropped_scopes(), 10u);
+  EXPECT_EQ(registry.probe_count(), ProfRegistry::kMaxDepth);
+}
+
+TEST(Profiler, ResetClearsSamplesKeepsBinding) {
+  SimClock clock;
+  CostModel costs(&clock);
+  ProfRegistry registry;
+  registry.Bind(&clock, &costs);
+  {
+    CIO_PROF_SCOPE(&registry, "stage");
+    costs.ChargeHostExit();
+  }
+  EXPECT_EQ(registry.probe_count(), 1u);
+  registry.Reset();
+  EXPECT_EQ(registry.probe_count(), 0u);
+  EXPECT_TRUE(registry.enabled());
+  // Charges from before the Reset must not leak into the first scope after
+  // it: Reset re-snapshots the counter slots.
+  costs.ChargeNotify();  // outside any scope, after Reset snapshot...
+  {
+    CIO_PROF_SCOPE(&registry, "stage");
+  }
+  auto rows = registry.Rows();
+  const ProbeRow* stage = FindRow(rows, "stage");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->counters[static_cast<size_t>(CostCounter::kNotifies)], 0u);
+}
+
+TEST(CostModel, EnumAndStringCounterParity) {
+  SimClock clock;
+  CostModel costs(&clock);
+  costs.ChargeHostExit();
+  costs.ChargeHostExit();
+  costs.ChargeNotify();
+  costs.ChargeCopy(512);
+  costs.ChargeAead(2048);
+  costs.ChargePageUnshare(3);
+
+  EXPECT_EQ(costs.counter(CostCounter::kHostExits), 2u);
+  EXPECT_EQ(costs.counter("host_exits"), 2u);
+  EXPECT_EQ(costs.counter(CostCounter::kNotifies), 1u);
+  EXPECT_EQ(costs.counter("notifies"), 1u);
+  EXPECT_EQ(costs.counter("copies"), 1u);
+  EXPECT_EQ(costs.counter("bytes_copied"), 512u);
+  EXPECT_EQ(costs.counter("aead_ops"), 1u);
+  EXPECT_EQ(costs.counter("bytes_aead"), 2048u);
+  EXPECT_EQ(costs.counter("pages_unshared"), 3u);
+  EXPECT_EQ(costs.counter("no_such_counter"), 0u);
+
+  // Every slot has a distinct, stable display name.
+  for (size_t i = 0; i < ciobase::kCostCounterCount; ++i) {
+    std::string_view name =
+        ciobase::CostCounterName(static_cast<CostCounter>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(costs.counter(name),
+              costs.counter(static_cast<CostCounter>(i)));
+  }
+
+  costs.ResetCounters();
+  EXPECT_EQ(costs.counter(CostCounter::kHostExits), 0u);
+  EXPECT_EQ(costs.counter("bytes_copied"), 0u);
+}
+
+}  // namespace

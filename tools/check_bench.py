@@ -8,7 +8,14 @@ below baseline * (1 - tol), latency-like metrics may not rise above
 baseline * (1 + tol). The modeled clock makes the benchmarks deterministic,
 so any drift past the tolerance is a real datapath change, not noise.
 
+`_pct` metrics (profiler share-of-total and unattributed remainders) are
+shares, not magnitudes: they are compared with an ABSOLUTE drift window in
+percentage points (|fresh - base| <= pct-tolerance), in both directions,
+including when the baseline is 0.00 — a stage share appearing from nothing
+is exactly the drift the profile gate exists to catch.
+
 Usage: check_bench.py <baseline.json> <fresh.json> [--tolerance 0.10]
+                      [--pct-tolerance 5.0]
 Exit code 0 = within tolerance, 1 = regression (or shape mismatch).
 """
 
@@ -18,14 +25,18 @@ import sys
 
 IDENTITY_FIELDS = {
     "profile", "mode", "msg_size", "layer", "access",
-    "clients", "messages_per_client", "strategy", "arm",
+    "clients", "messages_per_client", "strategy", "arm", "probe",
 }
 # Higher is better: a fresh value below baseline * (1 - tol) fails.
 HIGHER_BETTER_SUFFIXES = ("_per_sec", "gbit_per_sec", "fairness")
 # Lower is better: a fresh value above baseline * (1 + tol) fails.
 LOWER_BETTER_SUFFIXES = ("_us", "_ns")
-# Hard invariants: compared exactly, no tolerance.
-EXACT_FIELDS = {"ok", "lost"}
+# Share-of-total percentages: absolute drift window, both directions.
+PCT_SUFFIXES = ("_pct",)
+# Hard invariants: compared exactly, no tolerance. `dropped` is the
+# profiler's scope-stack overflow count — any nonzero change means probes
+# were silently lost.
+EXACT_FIELDS = {"ok", "lost", "dropped"}
 # Bookkeeping counters that legitimately move between revisions.
 IGNORED_FIELDS = {"recovered", "rejected_admission", "fault_events"}
 
@@ -40,6 +51,8 @@ def classify(field):
         return "exact"
     if field in IGNORED_FIELDS or field in IDENTITY_FIELDS:
         return "ignore"
+    if field.endswith(PCT_SUFFIXES):
+        return "pct"
     if field.endswith(LOWER_BETTER_SUFFIXES):
         return "lower"
     if field.endswith(HIGHER_BETTER_SUFFIXES) or field == "fairness":
@@ -47,7 +60,7 @@ def classify(field):
     return "ignore"
 
 
-def compare(baseline, fresh, tolerance):
+def compare(baseline, fresh, tolerance, pct_tolerance=5.0):
     fresh_by_key = {row_key(r): r for r in fresh}
     failures = []
     for base_row in baseline:
@@ -72,6 +85,13 @@ def compare(baseline, fresh, tolerance):
                     failures.append(
                         f"{label}: {field} was {base_value}, now {fresh_value}")
                 continue
+            if kind == "pct":
+                drift = abs(fresh_value - base_value)
+                if drift > pct_tolerance:
+                    failures.append(
+                        f"{label}: {field} drifted {drift:.2f} points "
+                        f"({base_value} -> {fresh_value})")
+                continue
             if base_value == 0:
                 continue  # unmeasured in the baseline; nothing to compare
             ratio = fresh_value / base_value
@@ -92,6 +112,9 @@ def main():
     parser.add_argument("fresh")
     parser.add_argument("--tolerance", type=float, default=0.10,
                         help="relative drift allowed per metric (default 0.10)")
+    parser.add_argument("--pct-tolerance", type=float, default=5.0,
+                        help="absolute drift in percentage points allowed for "
+                             "_pct share metrics (default 5.0)")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -99,7 +122,7 @@ def main():
     with open(args.fresh) as f:
         fresh = json.load(f)
 
-    failures = compare(baseline, fresh, args.tolerance)
+    failures = compare(baseline, fresh, args.tolerance, args.pct_tolerance)
     name = args.baseline
     if failures:
         print(f"{name}: {len(failures)} regression(s) past "
